@@ -1,0 +1,93 @@
+//! The attacker's server-side infrastructure: a malicious NTP farm and a
+//! fake authoritative nameserver.
+//!
+//! Once the resolver's cache holds attacker glue (fragmentation path) or the
+//! attacker owns the route (BGP path), these two components finish the job:
+//! the fake nameserver answers `pool.ntp.org` with all 89 farm addresses at
+//! TTL > 24 h, and the farm serves time shifted by the attacker's Δ.
+
+use crate::payload::{farm_addrs, POISON_TTL};
+use dnslab::name::Name;
+use dnslab::zone::{Rotation, Zone};
+use ntplab::clock::LocalClock;
+use ntplab::server::NtpServer;
+use std::net::Ipv4Addr;
+
+/// Builds one [`NtpServer`] node hosting every farm address, all answering
+/// from one clock shifted by `shift_ns`.
+///
+/// A consistent shift matters: Chronos' ω-agreement check compares the
+/// surviving samples against each other, so the farm must lie in unison.
+pub fn build_ntp_farm(count: usize, shift_ns: i64) -> NtpServer {
+    NtpServer::with_addrs(farm_addrs(count), LocalClock::new(shift_ns, 0.0))
+}
+
+/// Builds the fake `pool.ntp.org` zone served once the attacker controls
+/// resolution: every response carries all `count` farm addresses with
+/// [`POISON_TTL`].
+pub fn fake_pool_zone(pool_name: Name, count: usize) -> Zone {
+    fake_pool_zone_with_ttl(pool_name, count, POISON_TTL)
+}
+
+/// Like [`fake_pool_zone`] with an explicit TTL (mitigation experiments use
+/// sub-threshold TTLs).
+pub fn fake_pool_zone_with_ttl(pool_name: Name, count: usize, ttl: u32) -> Zone {
+    Zone::new(pool_name)
+        .with_rotation(Rotation::new(farm_addrs(count), count, ttl))
+        .with_authority_sections(false)
+}
+
+/// Addresses the fake nameserver should be reachable at (the glue targets
+/// planted by the fragmentation attack).
+pub fn fake_ns_addr() -> Ipv4Addr {
+    Ipv4Addr::new(198, 19, 255, 53)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnslab::wire::{Question, RecordType};
+
+    #[test]
+    fn farm_lies_in_unison() {
+        let farm = build_ntp_farm(89, 500_000_000);
+        assert_eq!(
+            farm.clock()
+                .offset_from_true(netsim::time::SimTime::from_secs(10)),
+            500_000_000
+        );
+    }
+
+    #[test]
+    fn fake_zone_serves_all_records_every_query() {
+        let pool: Name = "pool.ntp.org".parse().unwrap();
+        let mut zone = fake_pool_zone(pool.clone(), 89);
+        let q = Question {
+            name: pool.clone(),
+            qtype: RecordType::A,
+        };
+        let a1 = zone.answer(&q);
+        let a2 = zone.answer(&q);
+        assert_eq!(a1.answers.len(), 89);
+        assert_eq!(a2.answers.len(), 89);
+        assert!(a1.answers.iter().all(|r| r.ttl == POISON_TTL));
+        assert!(a1.authorities.is_empty(), "lean responses, no NS section");
+        // Same 89 addresses both times (rotation over the full set).
+        let mut s1: Vec<_> = a1.answers.iter().filter_map(|r| r.as_a()).collect();
+        let mut s2: Vec<_> = a2.answers.iter().filter_map(|r| r.as_a()).collect();
+        s1.sort();
+        s2.sort();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn custom_ttl_variant() {
+        let pool: Name = "pool.ntp.org".parse().unwrap();
+        let mut zone = fake_pool_zone_with_ttl(pool.clone(), 10, 300);
+        let ans = zone.answer(&Question {
+            name: pool,
+            qtype: RecordType::A,
+        });
+        assert!(ans.answers.iter().all(|r| r.ttl == 300));
+    }
+}

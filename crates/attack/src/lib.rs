@@ -1,0 +1,39 @@
+//! # attacklab — the attacker toolkit
+//!
+//! Every capability the paper's off-path attacker needs, at packet level
+//! where the mechanism is packet-level:
+//!
+//! * [`payload`] — crafting the 89-record, TTL > 24 h poison response;
+//! * [`fragpoison`] — defragmentation cache poisoning: ICMP PMTU forcing,
+//!   IP-ID prediction, byte-exact tail forgery with UDP-checksum
+//!   compensation, and fragment pre-planting;
+//! * [`bgp`] — prefix-hijack MitM impersonation of the nameserver;
+//! * [`kaminsky`] — blind TXID/port-guessing spoofing (the baseline);
+//! * [`trigger`] — third-party query triggering (SMTP, open resolvers) and
+//!   background cross-traffic;
+//! * [`farm`] — the malicious NTP server farm and fake authoritative zone;
+//! * [`plan`] — strategy-agnostic attack descriptions.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bgp;
+pub mod farm;
+pub mod fragpoison;
+pub mod kaminsky;
+pub mod payload;
+pub mod plan;
+pub mod trigger;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::bgp::{BgpHijackAttacker, BgpHijackConfig};
+    pub use crate::farm::{build_ntp_farm, fake_ns_addr, fake_pool_zone};
+    pub use crate::fragpoison::{forge_tail, FragPoisonConfig, FragPoisoner};
+    pub use crate::kaminsky::{BlindSpoofAttacker, BlindSpoofConfig, PortGuess};
+    pub use crate::payload::{
+        farm_addrs, is_farm_addr, max_poison_records, poison_response, POISON_TTL,
+    };
+    pub use crate::plan::{AttackPlan, PoisonStrategy};
+    pub use crate::trigger::{send_mail, BackgroundQuerier, SmtpServer, SMTP_PORT};
+}

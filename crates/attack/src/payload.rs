@@ -1,0 +1,111 @@
+//! Poison-payload crafting (paper §IV).
+//!
+//! The attacker's DNS response packs the maximum number of A records that
+//! still fits in a single non-fragmented datagram (89 at Ethernet MTU with
+//! EDNS) and carries a TTL just above 24 hours, so every later hourly query
+//! during Chronos pool generation is served from cache and contributes no
+//! new benign servers.
+
+use dnslab::capacity::max_a_records;
+use dnslab::name::Name;
+use dnslab::wire::{Message, Record};
+use std::net::Ipv4Addr;
+
+/// First address of the attacker's NTP-farm range (`198.18.0.0/15`, the
+/// benchmarking range — comfortably disjoint from the benign `10.32.0.0/16`
+/// universe).
+pub const ATTACKER_FARM_BASE: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+
+/// TTL used on poisoned records: one second above 24 hours (paper §IV:
+/// "set the DNS TTL to a value bigger than 24 hours").
+pub const POISON_TTL: u32 = 86_401;
+
+/// `count` consecutive farm addresses starting at [`ATTACKER_FARM_BASE`].
+pub fn farm_addrs(count: usize) -> Vec<Ipv4Addr> {
+    let base = u32::from(ATTACKER_FARM_BASE);
+    (0..count as u32).map(|i| Ipv4Addr::from(base + i)).collect()
+}
+
+/// `true` if `addr` belongs to the attacker farm range.
+pub fn is_farm_addr(addr: Ipv4Addr) -> bool {
+    let o = addr.octets();
+    o[0] == 198 && (o[1] & 0xfe) == 18
+}
+
+/// The maximum poison records deliverable unfragmented at `mtu` (EDNS
+/// response, as resolvers request).
+pub fn max_poison_records(qname: &Name, mtu: u16) -> usize {
+    max_a_records(qname, mtu, true)
+}
+
+/// Builds the forged response to `query`: `count` farm addresses with
+/// [`POISON_TTL`].
+pub fn poison_response(query: &Message, count: usize, ttl: u32) -> Message {
+    let qname = query
+        .question
+        .first()
+        .map(|q| q.name.clone())
+        .unwrap_or_else(Name::root);
+    let mut msg = Message::response_to(query);
+    msg.flags.authoritative = true;
+    for addr in farm_addrs(count) {
+        msg.answers.push(Record::a(qname.clone(), addr, ttl));
+    }
+    if query.edns_udp_size().is_some() {
+        msg = msg.with_edns(4096);
+    }
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnslab::capacity::dns_budget;
+    use dnslab::wire::Question;
+
+    fn pool_query() -> Message {
+        Message::query(7, Question::a("pool.ntp.org".parse().unwrap())).with_edns(4096)
+    }
+
+    #[test]
+    fn paper_number_89_at_ethernet_mtu() {
+        let pool: Name = "pool.ntp.org".parse().unwrap();
+        assert_eq!(max_poison_records(&pool, 1500), 89);
+    }
+
+    #[test]
+    fn poison_response_fits_unfragmented() {
+        let q = pool_query();
+        let msg = poison_response(&q, 89, POISON_TTL);
+        assert_eq!(msg.answer_addrs().len(), 89);
+        assert!(msg.encoded_len() <= dns_budget(1500));
+        assert!(msg.answers.iter().all(|r| r.ttl == POISON_TTL));
+        assert_eq!(msg.id, q.id, "txid echoed");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the relation is the paper's claim
+    fn poison_ttl_exceeds_generation_window() {
+        assert!(POISON_TTL > 24 * 3600);
+    }
+
+    #[test]
+    fn farm_addrs_distinct_and_in_range() {
+        let addrs = farm_addrs(89);
+        assert_eq!(addrs.len(), 89);
+        let mut dedup = addrs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 89);
+        assert!(addrs.iter().all(|&a| is_farm_addr(a)));
+        assert!(!is_farm_addr(Ipv4Addr::new(10, 32, 0, 1)));
+        assert!(!is_farm_addr(Ipv4Addr::new(203, 0, 113, 1)));
+    }
+
+    #[test]
+    fn response_without_edns_when_query_lacks_it() {
+        let q = Message::query(9, Question::a("pool.ntp.org".parse().unwrap()));
+        let msg = poison_response(&q, 4, POISON_TTL);
+        assert!(msg.edns_udp_size().is_none());
+    }
+}

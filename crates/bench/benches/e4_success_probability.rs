@@ -1,0 +1,21 @@
+//! E4 — capture probability: plain NTP (1 poisoning opportunity) vs
+//! Chronos (12 winning opportunities of 24): 1 − (1 − q)^12.
+
+use bench::banner;
+use chronos_pitfalls::experiments::{e4_table, run_e4};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const QS: &[f64] = &[0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+
+fn bench_e4(c: &mut Criterion) {
+    banner("E4 — success-probability amplification (claim C4)");
+    let rows = run_e4(42, QS, 20_000);
+    println!("{}", e4_table(&rows));
+
+    c.bench_function("e4_success_probability/sweep_mc2k", |b| {
+        b.iter(|| run_e4(42, QS, 2_000))
+    });
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E5 — the Chronos security bound: expected years to shift a client by
+//! >100 ms vs the attacker's pool fraction, collapsing at 2/3 (89/133).
+
+use bench::banner;
+use chronos_pitfalls::experiments::{e5_table, run_e5};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const FRACTIONS: &[f64] = &[
+    0.05, 0.10, 0.20, 0.25, 0.33, 0.45, 0.55, 0.60, 0.65, 0.669, 0.75,
+];
+
+fn bench_e5(c: &mut Criterion) {
+    banner("E5 — security bound vs attacker pool fraction (claim C6)");
+    for n in [96usize, 133, 500] {
+        let rows = run_e5(n, 15, 5, FRACTIONS);
+        println!("{}", e5_table(n, &rows));
+    }
+
+    c.bench_function("e5_security_bound/sweep_n133", |b| {
+        b.iter(|| run_e5(133, 15, 5, FRACTIONS))
+    });
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

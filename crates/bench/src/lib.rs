@@ -1,0 +1,13 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench regenerates one of the paper's tables or figures (printing
+//! it to stdout) and then times the underlying experiment runner. The
+//! printed artifacts are the reproduction deliverable; the timings document
+//! the cost of regenerating them.
+
+/// Prints a banner separating bench output sections.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}

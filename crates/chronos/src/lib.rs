@@ -1,0 +1,41 @@
+//! # chronos — the Chronos NTP client (NDSS'18), rebuilt
+//!
+//! Chronos hardens NTP clients with three mechanisms, all implemented here:
+//!
+//! 1. **A large server pool gathered via DNS** ([`pool`]): `pool.ntp.org`
+//!    resolved hourly for 24 hours, 4 addresses per response → 96 servers.
+//!    This is the mechanism the DSN-S 2020 paper attacks.
+//! 2. **Randomized sampling with provably secure selection** ([`select`]):
+//!    sample m servers, trim d = m/3 from each end, require ω-agreement and
+//!    a drift envelope.
+//! 3. **Panic mode**: after K rejected samples, query the whole pool and
+//!    take the trimmed (by thirds) mean.
+//!
+//! [`analysis`] reproduces the security bound ("~20 years to shift a client
+//! by 100 ms") and its collapse at an attacker pool-fraction of 2/3; the §V
+//! mitigations (record cap, TTL rejection) are config switches on
+//! [`config::PoolGenConfig`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod client;
+pub mod config;
+pub mod consensus;
+pub mod multipath;
+pub mod pool;
+pub mod select;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::analysis::{
+        panic_controlled, prob_sample_controlled, shift_attack_bound, SecurityBound,
+    };
+    pub use crate::client::{ChronosClient, ChronosStats, Phase};
+    pub use crate::consensus::{combine_round, ConsensusRule};
+    pub use crate::multipath::ConsensusPoolClient;
+    pub use crate::config::{ChronosConfig, PoolGenConfig};
+    pub use crate::pool::{PoolGenerator, PoolRound};
+    pub use crate::select::{chronos_select, panic_select, ChronosDecision, RejectReason};
+}

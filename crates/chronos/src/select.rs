@@ -1,0 +1,284 @@
+//! Chronos' provably secure sample-selection algorithm (NDSS'18 §4.1).
+//!
+//! Order the m offset samples, discard the d lowest and d highest, and
+//! accept the survivors' average only if (1) the survivors agree to within
+//! ω and (2) the average stays inside the drift envelope. Reject otherwise —
+//! after K rejections the client "panics" and queries the whole pool,
+//! trimming a third from each end.
+//!
+//! Security intuition: as long as fewer than 2/3 of the *pool* is malicious,
+//! a lying server's sample must either be trimmed or agree with honest ones.
+//! The DSN paper's attack does not break this logic — it breaks the
+//! assumption, by packing the pool with 2/3 attacker servers via DNS.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a Chronos sample round was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Fewer than `2d + 1` samples arrived.
+    TooFewSamples {
+        /// Samples received.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// Surviving samples spread wider than ω.
+    Disagreement {
+        /// Observed max−min spread (ns).
+        spread_ns: i64,
+    },
+    /// Survivor average outside the local-clock envelope.
+    OutsideEnvelope {
+        /// Observed average (ns).
+        avg_ns: i64,
+    },
+}
+
+/// Outcome of one Chronos selection round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChronosDecision {
+    /// Update the clock by `correction_ns`.
+    Accept {
+        /// The accepted correction (survivors' mean offset, ns).
+        correction_ns: i64,
+        /// Number of surviving samples averaged.
+        survivors: usize,
+    },
+    /// Resample (or panic after K rejections).
+    Reject(RejectReason),
+}
+
+/// Runs Chronos selection over raw offset samples (nanoseconds, relative to
+/// the local clock).
+///
+/// * `trim` — d, removed from each end after sorting.
+/// * `omega_ns` — agreement bound for the survivors.
+/// * `envelope_ns` — `ERR + drift·Δt`, the acceptable distance from the
+///   local clock.
+pub fn chronos_select(
+    offsets_ns: &[i64],
+    trim: usize,
+    omega_ns: i64,
+    envelope_ns: i64,
+) -> ChronosDecision {
+    let needed = 2 * trim + 1;
+    if offsets_ns.len() < needed {
+        return ChronosDecision::Reject(RejectReason::TooFewSamples {
+            got: offsets_ns.len(),
+            needed,
+        });
+    }
+    let mut sorted = offsets_ns.to_vec();
+    sorted.sort_unstable();
+    let survivors = &sorted[trim..sorted.len() - trim];
+    let spread = survivors[survivors.len() - 1] - survivors[0];
+    if spread > omega_ns {
+        return ChronosDecision::Reject(RejectReason::Disagreement { spread_ns: spread });
+    }
+    let avg = mean_i64(survivors);
+    if avg.abs() > envelope_ns {
+        return ChronosDecision::Reject(RejectReason::OutsideEnvelope { avg_ns: avg });
+    }
+    ChronosDecision::Accept {
+        correction_ns: avg,
+        survivors: survivors.len(),
+    }
+}
+
+/// Panic-mode selection (NDSS'18 §4.2): over *all* pool samples, discard the
+/// bottom and top third and average the middle. No ω or envelope check —
+/// panic mode is the last resort.
+///
+/// Returns `None` when no samples are available.
+pub fn panic_select(offsets_ns: &[i64]) -> Option<i64> {
+    if offsets_ns.is_empty() {
+        return None;
+    }
+    let mut sorted = offsets_ns.to_vec();
+    sorted.sort_unstable();
+    let third = sorted.len() / 3;
+    let survivors = &sorted[third..sorted.len() - third];
+    Some(mean_i64(survivors))
+}
+
+fn mean_i64(xs: &[i64]) -> i64 {
+    debug_assert!(!xs.is_empty());
+    let sum: i128 = xs.iter().map(|&x| i128::from(x)).sum();
+    (sum / xs.len() as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: i64 = 1_000_000;
+
+    /// 15 honest samples scattered within a few ms of zero.
+    fn honest_samples() -> Vec<i64> {
+        (0..15).map(|i| (i as i64 - 7) * MS / 4).collect()
+    }
+
+    #[test]
+    fn honest_round_is_accepted_near_zero() {
+        match chronos_select(&honest_samples(), 5, 25 * MS, 100 * MS) {
+            ChronosDecision::Accept {
+                correction_ns,
+                survivors,
+            } => {
+                assert_eq!(survivors, 5);
+                assert!(correction_ns.abs() < MS, "got {correction_ns}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minority_liars_are_trimmed() {
+        // 5 liars at +500 ms among 15: exactly d, all trimmed off the top.
+        let mut samples = honest_samples();
+        for s in samples.iter_mut().take(5) {
+            *s = 500 * MS;
+        }
+        match chronos_select(&samples, 5, 25 * MS, 100 * MS) {
+            ChronosDecision::Accept { correction_ns, .. } => {
+                assert!(correction_ns.abs() < 2 * MS, "liars had no effect");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn majority_but_disagreeing_liars_cause_rejection() {
+        // 10 of 15 lie, but wildly inconsistently: survivors disagree > ω.
+        let mut samples = honest_samples();
+        for (i, s) in samples.iter_mut().enumerate().take(10) {
+            *s = (300 + 40 * i as i64) * MS;
+        }
+        match chronos_select(&samples, 5, 25 * MS, 100 * MS) {
+            ChronosDecision::Reject(RejectReason::Disagreement { spread_ns }) => {
+                assert!(spread_ns > 25 * MS);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consistent_majority_within_envelope_wins() {
+        // The attack configuration: ≥ m−d consistent liars shifting by an
+        // amount inside the envelope — the survivors are all attacker
+        // samples and the client accepts the shifted average.
+        let mut samples = vec![0i64; 15];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = if i < 10 { 80 * MS + (i as i64 % 3) * MS / 2 } else { 0 };
+        }
+        match chronos_select(&samples, 5, 25 * MS, 100 * MS) {
+            ChronosDecision::Accept { correction_ns, .. } => {
+                assert!(
+                    correction_ns > 78 * MS,
+                    "attacker-controlled average: {correction_ns}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn big_consistent_shift_is_caught_by_envelope() {
+        // All 15 lie by +500 ms consistently: agreement passes but the
+        // envelope check rejects (this is what forces the attacker to shift
+        // gradually or wait for a cold client).
+        let samples = vec![500 * MS; 15];
+        match chronos_select(&samples, 5, 25 * MS, 100 * MS) {
+            ChronosDecision::Reject(RejectReason::OutsideEnvelope { avg_ns }) => {
+                assert_eq!(avg_ns, 500 * MS);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let samples = vec![0i64; 10]; // need 11 for d=5
+        assert_eq!(
+            chronos_select(&samples, 5, 25 * MS, 100 * MS),
+            ChronosDecision::Reject(RejectReason::TooFewSamples {
+                got: 10,
+                needed: 11
+            })
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let samples = vec![
+            3 * MS,
+            -2 * MS,
+            0,
+            MS,
+            -MS,
+            2 * MS,
+            -3 * MS,
+            500 * MS, // outlier, trimmed
+            -500 * MS,
+            0,
+            0,
+        ];
+        match chronos_select(&samples, 2, 25 * MS, 100 * MS) {
+            ChronosDecision::Accept { correction_ns, .. } => {
+                assert!(correction_ns.abs() < MS);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_trims_thirds_and_averages() {
+        // 44 honest (0) + 89 liars (+500 ms): panic over 133 samples trims
+        // 44 from each side, leaving 45 all-malicious survivors.
+        let mut offsets = vec![0i64; 44];
+        offsets.extend(vec![500 * MS; 89]);
+        let avg = panic_select(&offsets).unwrap();
+        assert_eq!(avg, 500 * MS, "attacker controls panic mode at 2/3");
+    }
+
+    #[test]
+    fn panic_with_honest_majority_is_safe() {
+        // 89 honest + 44 liars: the middle third is all honest.
+        let mut offsets = vec![0i64; 89];
+        offsets.extend(vec![500 * MS; 44]);
+        let avg = panic_select(&offsets).unwrap();
+        assert_eq!(avg, 0);
+    }
+
+    #[test]
+    fn panic_exactly_at_two_thirds_boundary() {
+        // With attacker just below 2/3, honest samples survive the trim and
+        // drag the average down.
+        let mut offsets = vec![0i64; 45];
+        offsets.extend(vec![500 * MS; 88]); // 88/133 = 0.6617 < 2/3
+        let avg = panic_select(&offsets).unwrap();
+        assert!(avg < 500 * MS, "attacker no longer fully controls: {avg}");
+    }
+
+    #[test]
+    fn panic_edge_cases() {
+        assert_eq!(panic_select(&[]), None);
+        assert_eq!(panic_select(&[7 * MS]), Some(7 * MS));
+        assert_eq!(panic_select(&[MS, 3 * MS]), Some(2 * MS));
+    }
+
+    #[test]
+    fn envelope_zero_accepts_only_zero_average() {
+        let samples = vec![0i64; 11];
+        assert!(matches!(
+            chronos_select(&samples, 5, 25 * MS, 0),
+            ChronosDecision::Accept { .. }
+        ));
+        let shifted = vec![MS; 11];
+        assert!(matches!(
+            chronos_select(&shifted, 5, 25 * MS, 0),
+            ChronosDecision::Reject(RejectReason::OutsideEnvelope { .. })
+        ));
+    }
+}

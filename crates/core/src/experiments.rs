@@ -1,0 +1,1176 @@
+//! Experiment runners E1–E9: one per table/figure of the reproduction
+//! (see EXPERIMENTS.md for the index and DESIGN.md §4 for the mapping).
+//!
+//! Every runner returns typed rows plus a rendered [`Table`] (or
+//! [`crate::report::Series`]), so
+//! benches, examples and tests share one implementation.
+
+use crate::poolmodel::{self, PoolCompositionRow, PoolModelParams};
+use crate::report::{fmt_prob, fmt_years, Table};
+use crate::scenario::{Scenario, ScenarioConfig};
+use crate::study::{self, StudyFindings};
+use crate::successmodel::{self, SuccessRow};
+use attacklab::fragpoison::FragPoisonStats;
+use attacklab::payload::is_farm_addr;
+use attacklab::plan::{AttackPlan, PoisonStrategy};
+use chronos::analysis::{shift_attack_bound, SecurityBound};
+use chronos::config::{ChronosConfig, PoolGenConfig};
+use dnslab::capacity::{dns_budget, max_a_records, response_size};
+use dnslab::name::Name;
+use netsim::rng::SimRng;
+use netsim::stack::IpIdPolicy;
+use netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A compressed Chronos configuration for packet-level experiments: the
+/// full 24-round structure at `interval` spacing (instead of hourly), so
+/// the whole generation fits in a short simulation without changing the
+/// attack's arithmetic.
+pub fn compressed_chronos(rounds: usize, interval: SimDuration) -> ChronosConfig {
+    ChronosConfig {
+        poll_interval: SimDuration::from_secs(32),
+        pool: PoolGenConfig {
+            queries: rounds,
+            query_interval: interval,
+            ..PoolGenConfig::default()
+        },
+        ..ChronosConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// E1 — Figure 1: the attack timeline.
+// ---------------------------------------------------------------------
+
+/// Which poisoning mechanism E1 exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum E1Strategy {
+    /// Packet-level defragmentation poisoning (glue rewrite).
+    Fragmentation,
+    /// Oracle injection at the given round.
+    Oracle {
+        /// 1-based pool-generation round.
+        round: usize,
+    },
+}
+
+/// One pool-generation round of the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E1RoundRow {
+    /// 1-based round.
+    pub round: usize,
+    /// Hours since generation start (1 round/hour in paper time).
+    pub hour: f64,
+    /// Benign addresses added this round.
+    pub added_benign: usize,
+    /// Malicious addresses added this round.
+    pub added_malicious: usize,
+    /// Cumulative benign pool.
+    pub pool_benign: usize,
+    /// Cumulative malicious pool.
+    pub pool_malicious: usize,
+    /// Attacker fraction after this round.
+    pub fraction: f64,
+}
+
+/// Result of the E1 timeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E1Result {
+    /// Per-round timeline (Figure 1's data).
+    pub rows: Vec<E1RoundRow>,
+    /// First round that contributed malicious addresses.
+    pub first_malicious_round: Option<usize>,
+    /// Final attacker fraction.
+    pub final_fraction: f64,
+    /// Whether the attacker ends with ≥ 2/3 (panic-mode control).
+    pub attack_succeeds: bool,
+    /// Fragmentation attacker counters (packet-level runs only).
+    pub frag_stats: Option<FragPoisonStats>,
+}
+
+/// Runs the Figure 1 timeline.
+pub fn run_e1(seed: u64, strategy: E1Strategy, rounds: usize) -> E1Result {
+    let interval = SimDuration::from_secs(200);
+    let attack = match strategy {
+        E1Strategy::Fragmentation => AttackPlan {
+            strategy: PoisonStrategy::Fragmentation {
+                start: SimTime::ZERO,
+            },
+            ..AttackPlan::paper_default(SimDuration::from_millis(500))
+        },
+        E1Strategy::Oracle { round } => AttackPlan {
+            strategy: PoisonStrategy::Oracle { round },
+            ..AttackPlan::paper_default(SimDuration::from_millis(500))
+        },
+    };
+    let mut scenario = Scenario::build(ScenarioConfig {
+        seed,
+        benign_universe: 120,
+        chronos: compressed_chronos(rounds, interval),
+        attack: Some(attack),
+        ..ScenarioConfig::default()
+    });
+    scenario.run_pool_generation(interval * (rounds as u64 + 4));
+
+    let mut rows = Vec::new();
+    let mut pool_benign = 0usize;
+    let mut pool_malicious = 0usize;
+    let mut first_malicious_round = None;
+    for r in scenario.chronos().pool().rounds() {
+        let added_malicious = r.added.iter().filter(|&&a| is_farm_addr(a)).count();
+        let added_benign = r.added.len() - added_malicious;
+        pool_benign += added_benign;
+        pool_malicious += added_malicious;
+        if added_malicious > 0 && first_malicious_round.is_none() {
+            first_malicious_round = Some(r.round);
+        }
+        let total = pool_benign + pool_malicious;
+        rows.push(E1RoundRow {
+            round: r.round,
+            hour: r.round as f64,
+            added_benign,
+            added_malicious,
+            pool_benign,
+            pool_malicious,
+            fraction: if total == 0 {
+                0.0
+            } else {
+                pool_malicious as f64 / total as f64
+            },
+        });
+    }
+    let final_fraction = scenario.attacker_fraction();
+    let frag_stats = scenario
+        .nodes
+        .frag_attacker
+        .map(|id| {
+            scenario
+                .world
+                .node::<attacklab::fragpoison::FragPoisoner>(id)
+                .stats()
+        });
+    E1Result {
+        rows,
+        first_malicious_round,
+        final_fraction,
+        attack_succeeds: chronos::analysis::panic_controlled(
+            pool_benign + pool_malicious,
+            pool_malicious,
+        ),
+        frag_stats,
+    }
+}
+
+impl E1Result {
+    /// Renders the timeline as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E1 / Figure 1 — DNS poisoning attack on Chronos pool generation",
+            &["round", "+benign", "+malicious", "pool benign", "pool malicious", "attacker %"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.round.to_string(),
+                r.added_benign.to_string(),
+                r.added_malicious.to_string(),
+                r.pool_benign.to_string(),
+                r.pool_malicious.to_string(),
+                format!("{:.1}", 100.0 * r.fraction),
+            ]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2 — pool composition vs poisoning round (claim C3).
+// ---------------------------------------------------------------------
+
+/// Result of the E2 analytic sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E2Result {
+    /// One row per poisoning round.
+    pub rows: Vec<PoolCompositionRow>,
+    /// The paper's deadline: the latest winning round (12).
+    pub latest_winning_round: Option<usize>,
+}
+
+/// Runs the E2 sweep.
+pub fn run_e2(params: PoolModelParams) -> E2Result {
+    E2Result {
+        rows: poolmodel::sweep(params),
+        latest_winning_round: poolmodel::latest_winning_round(params),
+    }
+}
+
+impl E2Result {
+    /// Renders the sweep as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E2 — pool composition vs poisoning round (analytic, §IV)",
+            &["poison round", "benign", "malicious", "attacker %", ">= 2/3"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.poison_round.to_string(),
+                r.benign.to_string(),
+                r.malicious.to_string(),
+                format!("{:.1}", 100.0 * r.fraction),
+                if r.controls_panic { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3 — response capacity (claim C2).
+// ---------------------------------------------------------------------
+
+/// One capacity measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E3Row {
+    /// Path MTU.
+    pub mtu: u16,
+    /// Whether the response carries an EDNS OPT record.
+    pub edns: bool,
+    /// Maximum A records that fit unfragmented.
+    pub max_records: usize,
+    /// Wire size of the maximal response (DNS payload bytes).
+    pub wire_bytes: usize,
+    /// The DNS payload budget at this MTU.
+    pub budget: usize,
+}
+
+/// Runs the E3 capacity measurements against the real encoder.
+pub fn run_e3() -> Vec<E3Row> {
+    let pool: Name = "pool.ntp.org".parse().expect("static name");
+    let mut rows = Vec::new();
+    for &(mtu, edns) in &[
+        (548u16, true),
+        (576, true),
+        (1280, true),
+        (1500, true),
+        (1500, false),
+    ] {
+        let max_records = max_a_records(&pool, mtu, edns);
+        rows.push(E3Row {
+            mtu,
+            edns,
+            max_records,
+            wire_bytes: response_size(&pool, max_records, edns),
+            budget: dns_budget(mtu),
+        });
+    }
+    rows
+}
+
+/// Renders the E3 rows.
+pub fn e3_table(rows: &[E3Row]) -> Table {
+    let mut t = Table::new(
+        "E3 — max A records in one non-fragmented response (claim: 89 @ MTU 1500)",
+        &["mtu", "edns", "max records", "wire bytes", "budget"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.mtu.to_string(),
+            if r.edns { "yes" } else { "no" }.to_string(),
+            r.max_records.to_string(),
+            r.wire_bytes.to_string(),
+            r.budget.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E4 — success probability amplification (claim C4).
+// ---------------------------------------------------------------------
+
+/// One E4 row: closed form plus Monte-Carlo cross-check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E4Row {
+    /// The analytic comparison.
+    pub analytic: SuccessRow,
+    /// Monte-Carlo estimate of the Chronos capture probability.
+    pub mc_chronos: f64,
+}
+
+/// Runs the E4 sweep with `trials` Monte-Carlo trials per point.
+pub fn run_e4(seed: u64, qs: &[f64], trials: u32) -> Vec<E4Row> {
+    let mut rng = SimRng::seed_from(seed);
+    successmodel::sweep(qs)
+        .into_iter()
+        .map(|analytic| {
+            let mc_chronos = successmodel::monte_carlo(
+                analytic.q,
+                successmodel::opportunities::CHRONOS_WINNING,
+                trials,
+                &mut rng,
+            );
+            E4Row {
+                analytic,
+                mc_chronos,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E4 rows.
+pub fn e4_table(rows: &[E4Row]) -> Table {
+    let mut t = Table::new(
+        "E4 — capture probability: plain NTP (1 try) vs Chronos (12 tries)",
+        &["q per try", "plain", "chronos", "chronos (MC)", "amplification"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            fmt_prob(r.analytic.q),
+            fmt_prob(r.analytic.p_plain),
+            fmt_prob(r.analytic.p_chronos),
+            fmt_prob(r.mc_chronos),
+            format!("{:.2}x", r.analytic.amplification),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E5 — the Chronos security bound and its collapse at 2/3 (claim C6).
+// ---------------------------------------------------------------------
+
+/// One E5 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E5Row {
+    /// Attacker's pool fraction.
+    pub fraction: f64,
+    /// Attacker servers of the pool.
+    pub malicious: usize,
+    /// The analytic bound.
+    pub bound: SecurityBound,
+}
+
+/// Sweeps attacker fractions for a pool of `n`, sampling `m` with trim `d`.
+pub fn run_e5(n: usize, m: usize, d: usize, fractions: &[f64]) -> Vec<E5Row> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let malicious = ((n as f64) * f).round() as usize;
+            E5Row {
+                fraction: f,
+                malicious,
+                bound: shift_attack_bound(
+                    n,
+                    malicious,
+                    m,
+                    d,
+                    SimDuration::from_millis(100),
+                    SimDuration::from_millis(100),
+                    SimDuration::from_hours(1),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders the E5 rows.
+pub fn e5_table(n: usize, rows: &[E5Row]) -> Table {
+    let mut t = Table::new(
+        format!("E5 — expected effort to shift a Chronos client >100 ms (n = {n})"),
+        &["attacker %", "servers", "p/poll", "E[polls]", "years", "panic owned"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:.1}", 100.0 * r.fraction),
+            r.malicious.to_string(),
+            fmt_prob(r.bound.p_per_poll),
+            if r.bound.expected_polls.is_finite() {
+                format!("{:.3e}", r.bound.expected_polls)
+            } else {
+                "inf".to_string()
+            },
+            fmt_years(r.bound.expected_years),
+            if r.bound.panic_is_controlled { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E7 — the measurement study (claims C7–C9).
+// ---------------------------------------------------------------------
+
+/// Result of the E7 study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E7Result {
+    /// What our scan of the synthetic population measured.
+    pub measured: StudyFindings,
+    /// The paper's published values.
+    pub paper: StudyFindings,
+}
+
+/// Synthesises a population and scans it.
+pub fn run_e7(seed: u64, resolver_count: usize) -> E7Result {
+    let population = study::synthesize_population(seed, resolver_count);
+    E7Result {
+        measured: study::scan(&population, seed ^ 0xabcd),
+        paper: study::paper_reference(),
+    }
+}
+
+impl E7Result {
+    /// Renders measured-vs-paper.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E7 — fragmentation measurement study (measured vs paper §II)",
+            &["metric", "measured", "paper"],
+        );
+        let m = &self.measured;
+        let p = &self.paper;
+        t.push_row(vec![
+            "nameservers fragmenting @548, unsigned".into(),
+            format!("{}/{}", m.nameservers_frag_vulnerable, m.nameservers_total),
+            format!("{}/{}", p.nameservers_frag_vulnerable, p.nameservers_total),
+        ]);
+        t.push_row(vec![
+            "resolvers accepting some fragments".into(),
+            format!("{:.0}%", m.resolvers_accept_any_pct),
+            format!("{:.0}%", p.resolvers_accept_any_pct),
+        ]);
+        t.push_row(vec![
+            "resolvers accepting 68-byte-MTU fragments".into(),
+            format!("{:.0}%", m.resolvers_accept_tiny_pct),
+            format!("{:.0}%", p.resolvers_accept_tiny_pct),
+        ]);
+        t.push_row(vec![
+            "resolvers triggerable via third parties".into(),
+            format!("{:.0}%", m.resolvers_triggerable_pct),
+            format!("{:.0}%", p.resolvers_triggerable_pct),
+        ]);
+        t
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8 — mitigations (claim C10).
+// ---------------------------------------------------------------------
+
+/// The §V mitigation variants under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum E8Variant {
+    /// No attack at all (control).
+    NoAttack,
+    /// Attack, unmitigated Chronos.
+    Unmitigated,
+    /// Cap: at most 4 addresses accepted per response.
+    RecordCap,
+    /// Responses with TTL > 3600 discarded.
+    TtlReject,
+    /// Both mitigations.
+    Both,
+    /// Both mitigations, but the attacker holds a 24 h BGP hijack and
+    /// serves inconspicuous rotating responses (the §V residual).
+    BothPlusBgp24h,
+}
+
+impl E8Variant {
+    /// All variants in report order.
+    pub fn all() -> [E8Variant; 6] {
+        [
+            E8Variant::NoAttack,
+            E8Variant::Unmitigated,
+            E8Variant::RecordCap,
+            E8Variant::TtlReject,
+            E8Variant::Both,
+            E8Variant::BothPlusBgp24h,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            E8Variant::NoAttack => "no attack",
+            E8Variant::Unmitigated => "attack, unmitigated",
+            E8Variant::RecordCap => "attack, cap 4/response",
+            E8Variant::TtlReject => "attack, reject TTL>1h",
+            E8Variant::Both => "attack, both mitigations",
+            E8Variant::BothPlusBgp24h => "24h BGP hijack vs both",
+        }
+    }
+}
+
+/// One E8 outcome row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E8Row {
+    /// The variant.
+    pub variant: E8Variant,
+    /// Final benign pool size.
+    pub benign: usize,
+    /// Final malicious pool size.
+    pub malicious: usize,
+    /// Attacker fraction.
+    pub fraction: f64,
+    /// Whether the attacker controls panic mode (attack success).
+    pub attack_succeeds: bool,
+}
+
+/// Runs all E8 variants.
+pub fn run_e8(seed: u64) -> Vec<E8Row> {
+    let interval = SimDuration::from_secs(200);
+    let rounds = 24usize;
+    E8Variant::all()
+        .into_iter()
+        .map(|variant| {
+            let mut chronos_cfg = compressed_chronos(rounds, interval);
+            match variant {
+                E8Variant::RecordCap => {
+                    chronos_cfg.pool.max_records_per_response = Some(4);
+                }
+                E8Variant::TtlReject => {
+                    chronos_cfg.pool.reject_ttl_above = Some(3600);
+                }
+                E8Variant::Both | E8Variant::BothPlusBgp24h => {
+                    chronos_cfg.pool.max_records_per_response = Some(4);
+                    chronos_cfg.pool.reject_ttl_above = Some(3600);
+                }
+                _ => {}
+            }
+            let attack = match variant {
+                E8Variant::NoAttack => None,
+                E8Variant::BothPlusBgp24h => Some(AttackPlan {
+                    strategy: PoisonStrategy::BgpHijack {
+                        from: SimTime::ZERO,
+                        until: SimTime::ZERO + interval * (rounds as u64 + 1),
+                    },
+                    ..AttackPlan::paper_default(SimDuration::from_millis(500))
+                }),
+                _ => Some(AttackPlan {
+                    strategy: PoisonStrategy::Oracle { round: 12 },
+                    ..AttackPlan::paper_default(SimDuration::from_millis(500))
+                }),
+            };
+            let low_profile_bgp = matches!(variant, E8Variant::BothPlusBgp24h);
+            let mut scenario = Scenario::build(ScenarioConfig {
+                seed,
+                benign_universe: 120,
+                chronos: chronos_cfg,
+                attack,
+                ..ScenarioConfig::default()
+            });
+            if low_profile_bgp {
+                // Reconfigure the MitM for inconspicuous rotating answers.
+                reconfigure_bgp_low_profile(&mut scenario);
+            }
+            scenario.run_pool_generation(interval * (rounds as u64 + 4));
+            let (benign, malicious) = scenario.chronos_pool_composition();
+            let total = benign + malicious;
+            E8Row {
+                variant,
+                benign,
+                malicious,
+                fraction: if total == 0 {
+                    0.0
+                } else {
+                    malicious as f64 / total as f64
+                },
+                attack_succeeds: chronos::analysis::panic_controlled(total, malicious),
+            }
+        })
+        .collect()
+}
+
+fn reconfigure_bgp_low_profile(scenario: &mut Scenario) {
+    use attacklab::bgp::{BgpHijackAttacker, BgpHijackConfig};
+    // The BGP attacker node was registered under this label by the builder.
+    for i in 0..scenario.world.node_count() {
+        let id = netsim::node::NodeId::new(i);
+        if scenario.world.label(id) == "bgp-attacker" {
+            let attacker = scenario.world.node_mut::<BgpHijackAttacker>(id);
+            *attacker = BgpHijackAttacker::new(
+                crate::scenario::addrs::BGP_ATTACKER,
+                BgpHijackConfig {
+                    qname: "pool.ntp.org".parse().expect("static name"),
+                    records: 4,
+                    ttl: 150,
+                    rotate: true,
+                    farm_size: 120,
+                },
+            );
+        }
+    }
+}
+
+/// Renders the E8 rows.
+pub fn e8_table(rows: &[E8Row]) -> Table {
+    let mut t = Table::new(
+        "E8 — §V mitigations vs the attack (and the 24h-hijack residual)",
+        &["variant", "benign", "malicious", "attacker %", "attack wins"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.variant.name().to_string(),
+            r.benign.to_string(),
+            r.malicious.to_string(),
+            format!("{:.1}", 100.0 * r.fraction),
+            if r.attack_succeeds { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E9 — packet-level fragmentation poisoning sweep.
+// ---------------------------------------------------------------------
+
+/// One E9 configuration and its outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E9Row {
+    /// The nameserver's IP-ID allocation policy.
+    pub ip_id_policy: IpIdPolicy,
+    /// Cross-traffic mean interval (None = quiet network).
+    pub noise_interval_secs: Option<u64>,
+    /// First pool round that received malicious records.
+    pub captured_at_round: Option<usize>,
+    /// Final attacker fraction of the pool.
+    pub final_fraction: f64,
+    /// Whether the attack reached 2/3.
+    pub attack_succeeds: bool,
+    /// Attacker activity counters.
+    pub frag_stats: FragPoisonStats,
+}
+
+/// Runs the E9 sweep over IP-ID policies and cross-traffic rates.
+pub fn run_e9(seed: u64, rounds: usize) -> Vec<E9Row> {
+    let interval = SimDuration::from_secs(200);
+    let mut rows = Vec::new();
+    let configs: [(IpIdPolicy, Option<u64>); 5] = [
+        (IpIdPolicy::GlobalSequential, None),
+        (IpIdPolicy::GlobalSequential, Some(30)),
+        (IpIdPolicy::GlobalSequential, Some(3)),
+        (IpIdPolicy::PerDestSequential, None),
+        (IpIdPolicy::Random, None),
+    ];
+    for (policy, noise) in configs {
+        let mut scenario = Scenario::build(ScenarioConfig {
+            seed: seed ^ (policy_tag(policy) << 4) ^ noise.unwrap_or(0),
+            benign_universe: 120,
+            chronos: compressed_chronos(rounds, interval),
+            auth_ip_id: policy,
+            noise_query_interval: noise.map(SimDuration::from_secs),
+            attack: Some(AttackPlan {
+                strategy: PoisonStrategy::Fragmentation {
+                    start: SimTime::ZERO,
+                },
+                ..AttackPlan::paper_default(SimDuration::from_millis(500))
+            }),
+            ..ScenarioConfig::default()
+        });
+        scenario.run_pool_generation(interval * (rounds as u64 + 4));
+        let captured_at_round = scenario
+            .chronos()
+            .pool()
+            .rounds()
+            .iter()
+            .find(|r| r.added.iter().any(|&a| is_farm_addr(a)))
+            .map(|r| r.round);
+        let (benign, malicious) = scenario.chronos_pool_composition();
+        let total = benign + malicious;
+        let frag_stats = scenario
+            .nodes
+            .frag_attacker
+            .map(|id| {
+                scenario
+                    .world
+                    .node::<attacklab::fragpoison::FragPoisoner>(id)
+                    .stats()
+            })
+            .unwrap_or_default();
+        rows.push(E9Row {
+            ip_id_policy: policy,
+            noise_interval_secs: noise,
+            captured_at_round,
+            final_fraction: if total == 0 {
+                0.0
+            } else {
+                malicious as f64 / total as f64
+            },
+            attack_succeeds: chronos::analysis::panic_controlled(total, malicious),
+            frag_stats,
+        });
+    }
+    rows
+}
+
+fn policy_tag(p: IpIdPolicy) -> u64 {
+    match p {
+        IpIdPolicy::GlobalSequential => 1,
+        IpIdPolicy::PerDestSequential => 2,
+        IpIdPolicy::Random => 3,
+    }
+}
+
+/// One forced-MTU ablation row (E9b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E9MtuRow {
+    /// The PMTU the attacker forces onto the nameserver.
+    pub forced_mtu: u16,
+    /// First pool round that received malicious records.
+    pub captured_at_round: Option<usize>,
+    /// Final attacker fraction.
+    pub final_fraction: f64,
+    /// Probe responses the attacker failed to forge (e.g. nothing
+    /// fragments, or no glue reachable in the tail).
+    pub forge_failures: u64,
+}
+
+/// E9b: ablation over the forced MTU. At 296 every glue record lands in
+/// the forged tail (deterministic redirect); at 548 — the paper's measured
+/// bound for real nameservers — only the trailing glue records are
+/// reachable, so the resolver only sometimes picks a poisoned nameserver
+/// and capture arrives later (or not within the window).
+pub fn run_e9_mtu(seed: u64, rounds: usize) -> Vec<E9MtuRow> {
+    let interval = SimDuration::from_secs(200);
+    [296u16, 380, 460, 548]
+        .into_iter()
+        .map(|mtu| {
+            let mut scenario = Scenario::build(ScenarioConfig {
+                seed: seed ^ u64::from(mtu),
+                benign_universe: 120,
+                chronos: compressed_chronos(rounds, interval),
+                frag_forced_mtu: Some(mtu),
+                attack: Some(AttackPlan {
+                    strategy: PoisonStrategy::Fragmentation {
+                        start: SimTime::ZERO,
+                    },
+                    ..AttackPlan::paper_default(SimDuration::from_millis(500))
+                }),
+                ..ScenarioConfig::default()
+            });
+            scenario.run_pool_generation(interval * (rounds as u64 + 4));
+            let captured_at_round = scenario
+                .chronos()
+                .pool()
+                .rounds()
+                .iter()
+                .find(|r| r.added.iter().any(|&a| is_farm_addr(a)))
+                .map(|r| r.round);
+            let forge_failures = scenario
+                .nodes
+                .frag_attacker
+                .map(|id| {
+                    scenario
+                        .world
+                        .node::<attacklab::fragpoison::FragPoisoner>(id)
+                        .stats()
+                        .forge_failures
+                })
+                .unwrap_or(0);
+            E9MtuRow {
+                forced_mtu: mtu,
+                captured_at_round,
+                final_fraction: scenario.attacker_fraction(),
+                forge_failures,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E9b rows.
+pub fn e9_mtu_table(rows: &[E9MtuRow]) -> Table {
+    let mut t = Table::new(
+        "E9b — forced-MTU ablation (glue reachability in the forged tail)",
+        &["forced mtu", "captured @", "attacker %", "forge failures"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.forced_mtu.to_string(),
+            r.captured_at_round
+                .map(|x| format!("round {x}"))
+                .unwrap_or_else(|| "never".to_string()),
+            format!("{:.1}", 100.0 * r.final_fraction),
+            r.forge_failures.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E10 — consensus pool generation (the paper's recommended fix, [12]).
+// ---------------------------------------------------------------------
+
+/// One E10 configuration and outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E10Row {
+    /// Consensus rule in force.
+    pub rule: chronos::consensus::ConsensusRule,
+    /// Total resolvers queried per round.
+    pub resolvers: usize,
+    /// Resolvers the attacker poisoned.
+    pub poisoned: usize,
+    /// Whether the zone serves a stable (consensus-friendly) answer set.
+    pub stable_zone: bool,
+    /// Final benign pool size.
+    pub benign: usize,
+    /// Final malicious pool size.
+    pub malicious: usize,
+    /// Attack success (any malicious record admitted).
+    pub attack_succeeds: bool,
+}
+
+/// Runs the consensus-mitigation sweep: for each rule, how many poisoned
+/// resolvers does the attacker need — and what does consensus cost over a
+/// rotating zone?
+pub fn run_e10(seed: u64) -> Vec<E10Row> {
+    use chronos::consensus::ConsensusRule;
+    use chronos::multipath::ConsensusPoolClient;
+    use dnslab::resolver::{RecursiveResolver, Upstream};
+    use dnslab::server::AuthServer;
+    use dnslab::zone::{pool_ntp_zone, Rotation, Zone};
+    use netsim::world::World;
+    use std::net::Ipv4Addr;
+
+    let mut rows = Vec::new();
+    let resolvers = 3usize;
+    let cases: Vec<(ConsensusRule, usize, bool)> = vec![
+        (ConsensusRule::Union, 1, true),
+        (ConsensusRule::Majority, 1, true),
+        (ConsensusRule::Majority, 2, true),
+        (ConsensusRule::Intersection, 2, true),
+        (ConsensusRule::Majority, 1, false),
+    ];
+    for (case_idx, (rule, poisoned, stable)) in cases.into_iter().enumerate() {
+        let ns_addr = Ipv4Addr::new(203, 0, 113, 1);
+        let client_addr = Ipv4Addr::new(198, 51, 100, 10);
+        let mut world = World::new(seed ^ case_idx as u64);
+        world.trace_mut().set_enabled(false);
+        let zone = if stable {
+            let addrs: Vec<Ipv4Addr> =
+                (1..=4u8).map(|i| Ipv4Addr::new(10, 32, 0, i)).collect();
+            Zone::new("pool.ntp.org".parse().expect("static name"))
+                .with_synthetic_ns(2, Ipv4Addr::new(203, 0, 113, 101))
+                .with_rotation(Rotation::new(addrs, 4, 150))
+        } else {
+            pool_ntp_zone(96, 2)
+        };
+        world.add_node("auth", Box::new(AuthServer::new(ns_addr, vec![zone])), &[ns_addr]);
+        let mut resolver_addrs = Vec::new();
+        let mut resolver_ids = Vec::new();
+        for i in 0..resolvers {
+            let addr = Ipv4Addr::new(198, 51, 100, 60 + i as u8);
+            let mut res = RecursiveResolver::new(
+                addr,
+                vec![Upstream {
+                    zone: "pool.ntp.org".parse().expect("static name"),
+                    ns_names: vec![],
+                    bootstrap: vec![ns_addr],
+                }],
+            );
+            res.allow_client(client_addr);
+            resolver_ids.push(world.add_node(format!("res{i}"), Box::new(res), &[addr]));
+            resolver_addrs.push(addr);
+        }
+        let client = world.add_node(
+            "consensus-client",
+            Box::new(ConsensusPoolClient::new(
+                client_addr,
+                resolver_addrs,
+                rule,
+                PoolGenConfig {
+                    queries: 12,
+                    query_interval: SimDuration::from_secs(200),
+                    ..PoolGenConfig::default()
+                },
+            )),
+            &[client_addr],
+        );
+        // Poison the first `poisoned` resolvers' caches directly (the
+        // poisoning mechanics are E1/E9's subject; E10 is about quorums).
+        for &id in resolver_ids.iter().take(poisoned) {
+            let name: Name = "pool.ntp.org".parse().expect("static name");
+            let records: Vec<dnslab::wire::Record> = attacklab::payload::farm_addrs(89)
+                .into_iter()
+                .map(|a| dnslab::wire::Record::a(name.clone(), a, 86_401))
+                .collect();
+            let now = world.now();
+            world
+                .node_mut::<RecursiveResolver>(id)
+                .cache_mut()
+                .insert(now, dnslab::cache::CacheKey::a(name), &records);
+        }
+        world.run_for(SimDuration::from_secs(200 * 13));
+        let c = world.node::<ConsensusPoolClient>(client);
+        let (benign, malicious) = c.composition(is_farm_addr);
+        rows.push(E10Row {
+            rule,
+            resolvers,
+            poisoned,
+            stable_zone: stable,
+            benign,
+            malicious,
+            attack_succeeds: malicious > 0,
+        });
+    }
+    rows
+}
+
+/// Renders the E10 rows.
+pub fn e10_table(rows: &[E10Row]) -> Table {
+    let mut t = Table::new(
+        "E10 — consensus pool generation (the paper's recommended fix)",
+        &["rule", "poisoned/of", "zone", "benign", "malicious", "attack wins"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:?}", r.rule),
+            format!("{}/{}", r.poisoned, r.resolvers),
+            if r.stable_zone { "stable" } else { "rotating" }.to_string(),
+            r.benign.to_string(),
+            r.malicious.to_string(),
+            if r.attack_succeeds { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E11 — the blind-spoofing baseline (how hard poisoning is without
+// fragments or BGP).
+// ---------------------------------------------------------------------
+
+/// One E11 configuration and outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E11Row {
+    /// Human-readable resolver hardening level.
+    pub resolver_profile: String,
+    /// Attacker bursts fired.
+    pub attempts: u64,
+    /// Whether the cache ended up poisoned.
+    pub poisoned: bool,
+    /// Analytic per-attempt success probability (entropy argument).
+    pub analytic_per_attempt: f64,
+    /// Forged responses the resolver rejected on TXID grounds.
+    pub rejected_txid: u64,
+}
+
+/// Runs the blind-spoofing baseline against a weak and a hardened resolver.
+pub fn run_e11(seed: u64) -> Vec<E11Row> {
+    use attacklab::kaminsky::{
+        per_attempt_success_probability, BlindSpoofAttacker, BlindSpoofConfig, PortGuess,
+    };
+    use dnslab::resolver::{
+        RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream,
+    };
+    use dnslab::server::AuthServer;
+    use dnslab::zone::pool_ntp_zone;
+    use netsim::world::World;
+    use std::net::Ipv4Addr;
+
+    let mut rows = Vec::new();
+    let profiles: [(&str, ResolverConfig, PortGuess, bool, u32); 2] = [
+        (
+            "fixed port + sequential TXID",
+            ResolverConfig {
+                source_ports: SourcePortPolicy::Fixed(3333),
+                random_txid: false,
+                open: true,
+                ..ResolverConfig::default()
+            },
+            PortGuess::Known(3333),
+            true,
+            1,
+        ),
+        (
+            "random port + random TXID",
+            ResolverConfig {
+                open: true,
+                ..ResolverConfig::default()
+            },
+            PortGuess::Range { lo: 1024, hi: 65535 },
+            false,
+            64_512,
+        ),
+    ];
+    for (label, resolver_cfg, guess, sequential, port_space) in profiles {
+        let ns_addr = Ipv4Addr::new(203, 0, 113, 1);
+        let resolver_addr = Ipv4Addr::new(198, 51, 100, 53);
+        let attacker_addr = Ipv4Addr::new(198, 19, 0, 68);
+        let mut world = World::new(seed);
+        world.trace_mut().set_enabled(false);
+        world.add_node(
+            "auth",
+            Box::new(AuthServer::new(ns_addr, vec![pool_ntp_zone(96, 2)])),
+            &[ns_addr],
+        );
+        let res = RecursiveResolver::new(
+            resolver_addr,
+            vec![Upstream {
+                zone: "pool.ntp.org".parse().expect("static name"),
+                ns_names: vec![],
+                bootstrap: vec![ns_addr],
+            }],
+        )
+        .with_config(resolver_cfg);
+        let resolver = world.add_node("resolver", Box::new(res), &[resolver_addr]);
+        let burst = 64usize;
+        let attacker = world.add_node(
+            "spoofer",
+            Box::new(BlindSpoofAttacker::new(
+                attacker_addr,
+                BlindSpoofConfig {
+                    resolver: resolver_addr,
+                    nameserver: ns_addr,
+                    qname: "pool.ntp.org".parse().expect("static name"),
+                    records: 89,
+                    ttl: 86_401,
+                    burst,
+                    port_guess: guess,
+                    sequential_txid_guess: sequential,
+                    attempt_interval: SimDuration::from_secs(200),
+                },
+            )),
+            &[attacker_addr],
+        );
+        world.run_for(SimDuration::from_secs(2400));
+        let attempts = world
+            .node::<BlindSpoofAttacker>(attacker)
+            .stats()
+            .attempts;
+        let now = world.now();
+        let resolver_node = world.node_mut::<RecursiveResolver>(resolver);
+        let poisoned = resolver_node
+            .cache_mut()
+            .get(
+                now,
+                &dnslab::cache::CacheKey::a("pool.ntp.org".parse().expect("static name")),
+            )
+            .map(|records| {
+                records
+                    .iter()
+                    .filter_map(|r| r.as_a())
+                    .any(is_farm_addr)
+            })
+            .unwrap_or(false);
+        let rejected_txid = world.node::<RecursiveResolver>(resolver).stats().rejected_txid;
+        rows.push(E11Row {
+            resolver_profile: label.to_string(),
+            attempts,
+            poisoned,
+            analytic_per_attempt: per_attempt_success_probability(burst, port_space),
+            rejected_txid,
+        });
+    }
+    rows
+}
+
+/// Renders the E11 rows.
+pub fn e11_table(rows: &[E11Row]) -> Table {
+    let mut t = Table::new(
+        "E11 — blind (Kaminsky) spoofing baseline",
+        &["resolver", "attempts", "poisoned", "p/attempt (analytic)", "txid rejects"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.resolver_profile.clone(),
+            r.attempts.to_string(),
+            if r.poisoned { "yes" } else { "no" }.to_string(),
+            fmt_prob(r.analytic_per_attempt),
+            r.rejected_txid.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the E9 rows.
+pub fn e9_table(rows: &[E9Row]) -> Table {
+    let mut t = Table::new(
+        "E9 — defragmentation poisoning vs IP-ID policy and cross-traffic",
+        &["ip-id policy", "noise", "captured @", "attacker %", "wins", "plants"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            format!("{:?}", r.ip_id_policy),
+            r.noise_interval_secs
+                .map(|s| format!("1/{s}s"))
+                .unwrap_or_else(|| "none".to_string()),
+            r.captured_at_round
+                .map(|x| format!("round {x}"))
+                .unwrap_or_else(|| "never".to_string()),
+            format!("{:.1}", 100.0 * r.final_fraction),
+            if r.attack_succeeds { "yes" } else { "no" }.to_string(),
+            r.frag_stats.plants.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_reproduces_round_12_deadline() {
+        let r = run_e2(PoolModelParams::default());
+        assert_eq!(r.latest_winning_round, Some(12));
+        assert_eq!(r.rows.len(), 24);
+        let round12 = &r.rows[11];
+        assert_eq!((round12.benign, round12.malicious), (44, 89));
+        assert!(r.table().to_string().contains("44"));
+    }
+
+    #[test]
+    fn e3_reproduces_89() {
+        let rows = run_e3();
+        let ethernet = rows
+            .iter()
+            .find(|r| r.mtu == 1500 && r.edns)
+            .expect("row present");
+        assert_eq!(ethernet.max_records, 89);
+        assert!(ethernet.wire_bytes <= ethernet.budget);
+        assert!(e3_table(&rows).to_string().contains("89"));
+    }
+
+    #[test]
+    fn e4_closed_form_and_mc_agree() {
+        let rows = run_e4(1, &[0.05, 0.2], 4000);
+        for r in &rows {
+            assert!((r.analytic.p_chronos - r.mc_chronos).abs() < 0.03);
+            assert!(r.analytic.p_chronos > r.analytic.p_plain);
+        }
+        assert_eq!(e4_table(&rows).len(), 2);
+    }
+
+    #[test]
+    fn e5_shows_collapse_at_two_thirds() {
+        let rows = run_e5(133, 15, 5, &[0.1, 0.25, 0.5, 0.67, 0.7]);
+        let low = &rows[0];
+        let at_threshold = &rows[3];
+        assert!(low.bound.expected_years > 1.0);
+        assert!(at_threshold.bound.panic_is_controlled);
+        assert!(at_threshold.bound.expected_years < 1e-3);
+        let table = e5_table(133, &rows).to_string();
+        assert!(table.contains("yes"));
+    }
+
+    #[test]
+    fn e1_oracle_timeline_matches_paper() {
+        let r = run_e1(7, E1Strategy::Oracle { round: 12 }, 24);
+        assert_eq!(r.rows.len(), 24);
+        assert_eq!(r.first_malicious_round, Some(12));
+        assert!(r.attack_succeeds);
+        let last = r.rows.last().unwrap();
+        assert_eq!((last.pool_benign, last.pool_malicious), (44, 89));
+        // Rounds 13.. added nothing: the poisoned entry is cached.
+        for row in &r.rows[12..] {
+            assert_eq!(row.added_benign + row.added_malicious, 0);
+        }
+    }
+
+    #[test]
+    fn e7_recovers_study_numbers() {
+        let r = run_e7(3, 400);
+        assert_eq!(r.measured.nameservers_frag_vulnerable, 16);
+        assert!((r.measured.resolvers_accept_any_pct - 90.0).abs() < 2.0);
+        assert!((r.measured.resolvers_accept_tiny_pct - 64.0).abs() < 2.0);
+        assert!((r.measured.resolvers_triggerable_pct - 14.0).abs() < 2.0);
+        assert_eq!(r.table().len(), 4);
+    }
+}

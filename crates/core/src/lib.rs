@@ -1,0 +1,44 @@
+//! # chronos-pitfalls — the paper's contribution as a library
+//!
+//! Reproduction of *"Pitfalls of Provably Secure Systems in the Internet:
+//! The Case of Chronos-NTP"* (Jeitner, Shulman, Waidner; DSN-S 2020):
+//! off-path DNS cache poisoning turns Chronos' pool-generation mechanism —
+//! 24 hourly `pool.ntp.org` lookups — into an amplifier, letting one
+//! successful poisoning among the first 12 queries pack the pool with a
+//! 2/3 attacker majority (44 benign vs 89 malicious servers) and defeat
+//! the provably secure selection by assumption violation.
+//!
+//! * [`scenario`] — fully wired attack/defence worlds over the substrates;
+//! * [`poolmodel`] — the analytic pool-capture model (round-12 deadline);
+//! * [`successmodel`] — the 1-vs-12-opportunities amplification;
+//! * [`study`] — the §II fragmentation measurement study, re-created;
+//! * [`shift`] — plain-vs-Chronos clock-error traces under attack;
+//! * [`experiments`] — runners E1–E9, one per reproduced table/figure;
+//! * [`report`] — table/series rendering shared by benches and examples.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod montecarlo;
+pub mod poolmodel;
+pub mod report;
+pub mod scenario;
+pub mod shift;
+pub mod study;
+pub mod successmodel;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::experiments::{
+        run_e1, run_e10, run_e11, run_e2, run_e3, run_e4, run_e5, run_e7, run_e8,
+        run_e9, run_e9_mtu, E1Strategy,
+    };
+    pub use crate::montecarlo::{run_trials, success_rate, SuccessRate};
+    pub use crate::poolmodel::{composition_after_poison, latest_winning_round, PoolModelParams};
+    pub use crate::report::{Series, Table};
+    pub use crate::scenario::{Scenario, ScenarioConfig};
+    pub use crate::shift::{run_time_shift, TimeShiftConfig, TimeShiftResult};
+    pub use crate::study::{scan, synthesize_population, StudyFindings};
+    pub use crate::successmodel::p_any_success;
+}

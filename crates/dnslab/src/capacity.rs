@@ -1,0 +1,144 @@
+//! Response-capacity computations (paper §IV, claim C2).
+//!
+//! The attack hinges on how many A records an attacker can deliver in a
+//! *single, non-fragmented* DNS response. These helpers measure that against
+//! the real encoder rather than asserting folklore numbers. For the paper's
+//! setting — `pool.ntp.org`, Ethernet MTU 1500, an EDNS OPT record present —
+//! the answer is **89**.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnslab::capacity::max_a_records;
+//! use dnslab::name::Name;
+//!
+//! let pool: Name = "pool.ntp.org".parse()?;
+//! assert_eq!(max_a_records(&pool, 1500, true), 89);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::name::Name;
+use crate::wire::{Message, Question, Record, DNS_HEADER_LEN};
+use std::net::Ipv4Addr;
+
+/// IP (20) + UDP (8) header overhead subtracted from the MTU.
+pub const IP_UDP_OVERHEAD: usize = 28;
+
+/// Size in bytes of one compressed A record (name pointer + fixed fields).
+pub const COMPRESSED_A_RECORD_LEN: usize = 16;
+
+/// Size in bytes of the EDNS0 OPT record.
+pub const OPT_RECORD_LEN: usize = 11;
+
+/// Builds a response to an A query for `qname` carrying `count` distinct
+/// answer addresses (and an OPT record when `edns` is set).
+pub fn response_with_answers(qname: &Name, count: usize, ttl: u32, edns: bool) -> Message {
+    let query = Message::query(0, Question::a(qname.clone()));
+    let mut msg = Message::response_to(&query);
+    msg.flags.authoritative = true;
+    for i in 0..count {
+        let addr = Ipv4Addr::new(198, 18, (i / 256) as u8, (i % 256) as u8);
+        msg.answers.push(Record::a(qname.clone(), addr, ttl));
+    }
+    if edns {
+        msg = msg.with_edns(4096);
+    }
+    msg
+}
+
+/// Wire size of a response with `count` answers for `qname`.
+pub fn response_size(qname: &Name, count: usize, edns: bool) -> usize {
+    response_with_answers(qname, count, 300, edns).encoded_len()
+}
+
+/// The DNS payload budget for a non-fragmented response at `mtu`.
+pub fn dns_budget(mtu: u16) -> usize {
+    (mtu as usize).saturating_sub(IP_UDP_OVERHEAD)
+}
+
+/// Maximum number of A records for `qname` that fit in one non-fragmented
+/// response at `mtu` (measured against the actual encoder).
+pub fn max_a_records(qname: &Name, mtu: u16, edns: bool) -> usize {
+    let budget = dns_budget(mtu);
+    let fixed = DNS_HEADER_LEN + qname.encoded_len() + 4 + if edns { OPT_RECORD_LEN } else { 0 };
+    if budget < fixed {
+        return 0;
+    }
+    // Closed form first, then verify against the encoder (compression makes
+    // every answer record exactly COMPRESSED_A_RECORD_LEN bytes).
+    let estimate = (budget - fixed) / COMPRESSED_A_RECORD_LEN;
+    let mut k = estimate;
+    while response_size(qname, k + 1, edns) <= budget {
+        k += 1;
+    }
+    while k > 0 && response_size(qname, k, edns) > budget {
+        k -= 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Message as Msg;
+
+    fn pool() -> Name {
+        "pool.ntp.org".parse().unwrap()
+    }
+
+    /// Paper claim C2: 89 A records fit in one non-fragmented response.
+    #[test]
+    fn eighty_nine_records_at_ethernet_mtu_with_edns() {
+        assert_eq!(max_a_records(&pool(), 1500, true), 89);
+    }
+
+    #[test]
+    fn ninety_without_edns() {
+        // Dropping the 11-byte OPT record buys nothing... except it does:
+        // (1472 - 30) / 16 = 90.1 → 90.
+        assert_eq!(max_a_records(&pool(), 1500, false), 90);
+    }
+
+    #[test]
+    fn capacity_shrinks_with_mtu() {
+        let at_1500 = max_a_records(&pool(), 1500, true);
+        let at_1280 = max_a_records(&pool(), 1280, true);
+        let at_576 = max_a_records(&pool(), 576, true);
+        let at_548 = max_a_records(&pool(), 548, true);
+        assert!(at_1500 > at_1280 && at_1280 > at_576 && at_576 >= at_548);
+        assert_eq!(at_1280, (1280 - 28 - 30 - 11) / 16);
+        assert_eq!(at_548, (548 - 28 - 30 - 11) / 16);
+    }
+
+    #[test]
+    fn reported_maximum_actually_fits_and_next_does_not() {
+        for mtu in [548u16, 576, 1280, 1500] {
+            let k = max_a_records(&pool(), mtu, true);
+            assert!(response_size(&pool(), k, true) <= dns_budget(mtu));
+            assert!(response_size(&pool(), k + 1, true) > dns_budget(mtu));
+        }
+    }
+
+    #[test]
+    fn maximum_response_decodes_cleanly() {
+        let msg = response_with_answers(&pool(), 89, 86_401, true);
+        let wire = msg.encode();
+        assert!(wire.len() <= dns_budget(1500));
+        let back = Msg::decode(&wire).unwrap();
+        assert_eq!(back.answer_addrs().len(), 89);
+        assert!(back.answers.iter().all(|r| r.ttl == 86_401));
+    }
+
+    #[test]
+    fn tiny_mtu_capacity_is_zero_or_small() {
+        assert_eq!(max_a_records(&pool(), 68, true), 0);
+        // budget 72 - fixed 30 = 42 bytes -> two 16-byte records.
+        assert_eq!(max_a_records(&pool(), 100, false), 2);
+    }
+
+    #[test]
+    fn longer_qnames_reduce_capacity() {
+        let long: Name = "a-rather-long-label.pool.ntp.org".parse().unwrap();
+        assert!(max_a_records(&long, 1500, true) <= max_a_records(&pool(), 1500, true));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: DNS wire format and cache invariants.
+
+use dnslab::cache::{CacheKey, DnsCache};
+use dnslab::name::Name;
+use dnslab::wire::{Flags, Message, Question, RData, RcodeField, Record, RecordType};
+use netsim::time::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9-]{0,14}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| Name::from_labels(labels).expect("labels are valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<u32>().prop_map(|bits| RData::A(Ipv4Addr::from(bits))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec("[ -~]{0,40}", 1..3).prop_map(RData::Txt),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        ttl,
+        rdata,
+    })
+}
+
+proptest! {
+    /// encode ∘ decode = identity for arbitrary well-formed messages.
+    #[test]
+    fn message_round_trip(
+        id in any::<u16>(),
+        qname in arb_name(),
+        answers in proptest::collection::vec(arb_record(), 0..12),
+        authorities in proptest::collection::vec(arb_record(), 0..4),
+        additionals in proptest::collection::vec(arb_record(), 0..4),
+        rd in any::<bool>(),
+        aa in any::<bool>(),
+    ) {
+        let msg = Message {
+            id,
+            flags: Flags {
+                response: true,
+                authoritative: aa,
+                recursion_desired: rd,
+                rcode: RcodeField(dnslab::wire::Rcode::NoError),
+                ..Flags::default()
+            },
+            question: vec![Question { name: qname, qtype: RecordType::A }],
+            answers,
+            authorities,
+            additionals,
+        };
+        let wire = msg.encode();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Tracked encoding is byte-identical to plain encoding and its spans
+    /// index real field positions.
+    #[test]
+    fn tracked_encoding_consistent(
+        qname in arb_name(),
+        answers in proptest::collection::vec(arb_record(), 1..10),
+    ) {
+        let mut msg = Message::response_to(&Message::query(1, Question::a(qname)));
+        msg.answers = answers;
+        let (wire, spans) = msg.encode_tracked();
+        prop_assert_eq!(&wire, &msg.encode());
+        for span in &spans {
+            let f = span.fields;
+            prop_assert!(f.start < f.end);
+            prop_assert!(f.end <= wire.len());
+            prop_assert!(f.rdata_offset + f.rdata_len <= f.end);
+            if let RData::A(addr) = span.record.rdata {
+                prop_assert_eq!(&wire[f.rdata_offset..f.rdata_offset + 4], &addr.octets()[..]);
+            }
+        }
+    }
+
+    /// The cache never serves expired records, and remaining TTLs are
+    /// bounded by the originals.
+    #[test]
+    fn cache_never_serves_expired(
+        ttl in 1u32..5000,
+        insert_at in 0u64..1000,
+        query_delta in 0u64..10_000,
+        count in 1usize..10,
+    ) {
+        let mut cache = DnsCache::new(64);
+        let name: Name = "pool.ntp.org".parse().unwrap();
+        let records: Vec<Record> = (0..count)
+            .map(|i| Record::a(name.clone(), Ipv4Addr::new(10, 0, 0, i as u8 + 1), ttl))
+            .collect();
+        let t0 = SimTime::from_secs(insert_at);
+        let t1 = SimTime::from_secs(insert_at + query_delta);
+        cache.insert(t0, CacheKey::a(name.clone()), &records);
+        match cache.get(t1, &CacheKey::a(name)) {
+            Some(out) => {
+                prop_assert!(query_delta < u64::from(ttl));
+                for r in out {
+                    prop_assert!(r.ttl <= ttl);
+                    prop_assert!(u64::from(r.ttl) <= u64::from(ttl) - query_delta);
+                }
+            }
+            None => prop_assert!(query_delta >= u64::from(ttl)),
+        }
+    }
+
+    /// The TTL cap bounds every stored TTL.
+    #[test]
+    fn ttl_cap_is_respected(ttl in 1u32..200_000, cap in 1u32..100_000) {
+        let mut cache = DnsCache::new(8);
+        cache.set_ttl_cap(Some(cap));
+        let name: Name = "pool.ntp.org".parse().unwrap();
+        cache.insert(
+            SimTime::ZERO,
+            CacheKey::a(name.clone()),
+            &[Record::a(name.clone(), Ipv4Addr::new(1, 2, 3, 4), ttl)],
+        );
+        if let Some(records) = cache.get(SimTime::ZERO, &CacheKey::a(name)) {
+            for r in records {
+                prop_assert!(r.ttl <= cap.min(ttl));
+            }
+        }
+    }
+}

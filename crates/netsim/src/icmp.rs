@@ -1,0 +1,310 @@
+//! Minimal ICMP: destination-unreachable with "fragmentation needed".
+//!
+//! Spoofed ICMP type-3/code-4 messages are how an off-path attacker forces a
+//! nameserver to *fragment* its DNS responses (path-MTU poisoning): the
+//! attacker sends `frag needed, mtu=548` pretending to be a router on the
+//! path to the resolver, and the server's PMTU cache obliges.
+//!
+//! Messages are encoded to real bytes (type, code, checksum, rest-of-header,
+//! plus the leading bytes of the offending packet) so parsing and checksum
+//! validation behave like a real stack.
+
+use crate::ip::{IpProto, Ipv4Packet, IPV4_HEADER_LEN};
+use crate::udp::{fold_checksum, ones_complement_sum};
+use bytes::Bytes;
+use core::fmt;
+use std::error::Error;
+use std::net::Ipv4Addr;
+
+/// ICMP messages understood by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Destination unreachable / fragmentation needed (type 3, code 4).
+    FragmentationNeeded {
+        /// Next-hop MTU advertised by the (alleged) router.
+        mtu: u16,
+        /// Quoted header of the packet that allegedly did not fit.
+        original: QuotedPacket,
+    },
+    /// Destination unreachable / port unreachable (type 3, code 3).
+    PortUnreachable {
+        /// Quoted header of the offending packet.
+        original: QuotedPacket,
+    },
+    /// Echo request (type 8), used by probe tooling.
+    EchoRequest {
+        /// Identifier.
+        id: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier.
+        id: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+}
+
+/// The quoted IP header + first 8 payload bytes carried inside ICMP errors.
+///
+/// Receivers use it to attribute the error to a flow; in particular the PMTU
+/// cache entry is keyed by `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotedPacket {
+    /// Source of the offending packet (the host receiving the ICMP error).
+    pub src: Ipv4Addr,
+    /// Destination of the offending packet.
+    pub dst: Ipv4Addr,
+    /// Transport protocol of the offending packet.
+    pub proto: IpProto,
+    /// First eight payload bytes (ports for UDP).
+    pub head: [u8; 8],
+}
+
+impl QuotedPacket {
+    /// Builds a quote from an actual packet.
+    pub fn of(pkt: &Ipv4Packet) -> Self {
+        let mut head = [0u8; 8];
+        let n = pkt.payload.len().min(8);
+        head[..n].copy_from_slice(&pkt.payload[..n]);
+        QuotedPacket {
+            src: pkt.src,
+            dst: pkt.dst,
+            proto: pkt.proto,
+            head,
+        }
+    }
+}
+
+/// Errors from [`IcmpMessage::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpError {
+    /// Input shorter than the fixed ICMP header.
+    Truncated,
+    /// Checksum over the ICMP message failed.
+    BadChecksum,
+    /// Type/code combination the simulator does not model.
+    Unsupported {
+        /// ICMP type octet.
+        icmp_type: u8,
+        /// ICMP code octet.
+        code: u8,
+    },
+}
+
+impl fmt::Display for IcmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcmpError::Truncated => write!(f, "icmp message truncated"),
+            IcmpError::BadChecksum => write!(f, "icmp checksum validation failed"),
+            IcmpError::Unsupported { icmp_type, code } => {
+                write!(f, "unsupported icmp type {icmp_type} code {code}")
+            }
+        }
+    }
+}
+
+impl Error for IcmpError {}
+
+impl IcmpMessage {
+    /// Serialises the message (checksum included).
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(36);
+        match self {
+            IcmpMessage::FragmentationNeeded { mtu, original } => {
+                out.push(3);
+                out.push(4);
+                out.extend_from_slice(&[0, 0]); // checksum placeholder
+                out.extend_from_slice(&[0, 0]); // unused
+                out.extend_from_slice(&mtu.to_be_bytes());
+                encode_quote(&mut out, original);
+            }
+            IcmpMessage::PortUnreachable { original } => {
+                out.push(3);
+                out.push(3);
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&[0, 0, 0, 0]);
+                encode_quote(&mut out, original);
+            }
+            IcmpMessage::EchoRequest { id, seq } => {
+                out.push(8);
+                out.push(0);
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+            }
+            IcmpMessage::EchoReply { id, seq } => {
+                out.push(0);
+                out.push(0);
+                out.extend_from_slice(&[0, 0]);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+            }
+        }
+        let sum = !fold_checksum(ones_complement_sum(&out));
+        out[2..4].copy_from_slice(&sum.to_be_bytes());
+        Bytes::from(out)
+    }
+
+    /// Parses an ICMP message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcmpError`] for truncated input, a bad checksum, or an
+    /// unmodelled type/code.
+    pub fn decode(bytes: &[u8]) -> Result<IcmpMessage, IcmpError> {
+        if bytes.len() < 8 {
+            return Err(IcmpError::Truncated);
+        }
+        if fold_checksum(ones_complement_sum(bytes)) != 0xffff {
+            return Err(IcmpError::BadChecksum);
+        }
+        match (bytes[0], bytes[1]) {
+            (3, 4) => {
+                let mtu = u16::from_be_bytes([bytes[6], bytes[7]]);
+                let original = decode_quote(&bytes[8..])?;
+                Ok(IcmpMessage::FragmentationNeeded { mtu, original })
+            }
+            (3, 3) => {
+                let original = decode_quote(&bytes[8..])?;
+                Ok(IcmpMessage::PortUnreachable { original })
+            }
+            (8, 0) => Ok(IcmpMessage::EchoRequest {
+                id: u16::from_be_bytes([bytes[4], bytes[5]]),
+                seq: u16::from_be_bytes([bytes[6], bytes[7]]),
+            }),
+            (0, 0) => Ok(IcmpMessage::EchoReply {
+                id: u16::from_be_bytes([bytes[4], bytes[5]]),
+                seq: u16::from_be_bytes([bytes[6], bytes[7]]),
+            }),
+            (icmp_type, code) => Err(IcmpError::Unsupported { icmp_type, code }),
+        }
+    }
+
+    /// Wraps the message in an IPv4 packet from `src` to `dst`.
+    pub fn into_packet(self, src: Ipv4Addr, dst: Ipv4Addr) -> Ipv4Packet {
+        Ipv4Packet::new(src, dst, IpProto::Icmp, self.encode())
+    }
+}
+
+fn encode_quote(out: &mut Vec<u8>, q: &QuotedPacket) {
+    // A plausible 20-byte IPv4 header for the quoted packet.
+    let mut hdr = [0u8; IPV4_HEADER_LEN];
+    hdr[0] = 0x45;
+    hdr[8] = 64; // ttl
+    hdr[9] = q.proto.number();
+    hdr[12..16].copy_from_slice(&q.src.octets());
+    hdr[16..20].copy_from_slice(&q.dst.octets());
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(&q.head);
+}
+
+fn decode_quote(bytes: &[u8]) -> Result<QuotedPacket, IcmpError> {
+    if bytes.len() < IPV4_HEADER_LEN + 8 {
+        return Err(IcmpError::Truncated);
+    }
+    let src = Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]);
+    let dst = Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]);
+    let proto = IpProto::from(bytes[9]);
+    let mut head = [0u8; 8];
+    head.copy_from_slice(&bytes[IPV4_HEADER_LEN..IPV4_HEADER_LEN + 8]);
+    Ok(QuotedPacket {
+        src,
+        dst,
+        proto,
+        head,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quote() -> QuotedPacket {
+        QuotedPacket {
+            src: Ipv4Addr::new(203, 0, 113, 53),
+            dst: Ipv4Addr::new(198, 51, 100, 2),
+            proto: IpProto::Udp,
+            head: [0, 53, 0x30, 0x39, 0, 32, 0xab, 0xcd],
+        }
+    }
+
+    #[test]
+    fn frag_needed_round_trip() {
+        let msg = IcmpMessage::FragmentationNeeded {
+            mtu: 548,
+            original: quote(),
+        };
+        let wire = msg.encode();
+        assert_eq!(IcmpMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn port_unreachable_round_trip() {
+        let msg = IcmpMessage::PortUnreachable { original: quote() };
+        let wire = msg.encode();
+        assert_eq!(IcmpMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        for msg in [
+            IcmpMessage::EchoRequest { id: 7, seq: 42 },
+            IcmpMessage::EchoReply { id: 7, seq: 42 },
+        ] {
+            let wire = msg.encode();
+            assert_eq!(IcmpMessage::decode(&wire).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrupted_message_fails_checksum() {
+        let wire = IcmpMessage::EchoRequest { id: 1, seq: 2 }.encode();
+        let mut bad = wire.to_vec();
+        bad[5] ^= 0xff;
+        assert_eq!(IcmpMessage::decode(&bad), Err(IcmpError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        assert_eq!(IcmpMessage::decode(&[3, 4, 0]), Err(IcmpError::Truncated));
+    }
+
+    #[test]
+    fn unsupported_type_reported() {
+        let mut raw = vec![13u8, 0, 0, 0, 0, 0, 0, 0];
+        let sum = !fold_checksum(ones_complement_sum(&raw));
+        raw[2..4].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(
+            IcmpMessage::decode(&raw),
+            Err(IcmpError::Unsupported {
+                icmp_type: 13,
+                code: 0
+            })
+        );
+    }
+
+    #[test]
+    fn quote_of_packet_captures_ports() {
+        let pkt = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            IpProto::Udp,
+            Bytes::from(vec![0x12, 0x34, 0x00, 0x35, 0, 0, 0, 0, 99, 99]),
+        );
+        let q = QuotedPacket::of(&pkt);
+        assert_eq!(q.src, pkt.src);
+        assert_eq!(q.dst, pkt.dst);
+        assert_eq!(&q.head[..4], &[0x12, 0x34, 0x00, 0x35]);
+    }
+
+    #[test]
+    fn into_packet_sets_proto() {
+        let pkt = IcmpMessage::EchoRequest { id: 1, seq: 1 }
+            .into_packet(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(8, 8, 8, 8));
+        assert_eq!(pkt.proto, IpProto::Icmp);
+        assert!(IcmpMessage::decode(&pkt.payload).is_ok());
+    }
+}

@@ -1,0 +1,238 @@
+//! Deterministic simulation randomness.
+//!
+//! Every run of a simulation with the same seed must produce the same event
+//! trace. [`SimRng`] wraps a seedable PRNG and adds [`SimRng::fork`] so that
+//! independent components (each node, each Monte-Carlo trial) can draw from
+//! decorrelated streams without sharing mutable state.
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::rng::SimRng;
+//! use rand::Rng;
+//!
+//! let mut a = SimRng::seed_from(42);
+//! let mut b = SimRng::seed_from(42);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable random number generator for simulations.
+///
+/// Implements [`RngCore`], so all of [`rand`]'s extension traits
+/// (`gen_range`, `shuffle` via `SliceRandom`, ...) are available.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Number of forks taken from this generator, mixed into child seeds.
+    forks: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            forks: 0,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Successive forks from the same parent produce different streams, and
+    /// forking does not perturb the parent's own stream beyond the draw used
+    /// to seed the child.
+    pub fn fork(&mut self) -> SimRng {
+        self.forks += 1;
+        let seed = self.inner.gen::<u64>() ^ self.forks.rotate_left(17);
+        SimRng::seed_from(seed)
+    }
+
+    /// Derives a child generator for a named component.
+    ///
+    /// Unlike [`SimRng::fork`], this does not advance the parent stream, so
+    /// adding a new labelled consumer does not shift randomness seen by
+    /// existing consumers. The label is hashed with FNV-1a.
+    pub fn fork_labeled(&self, label: &str) -> SimRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Mix with a snapshot of the parent's next output without consuming it:
+        // clone the inner generator so the parent stream is untouched.
+        let mut probe = self.inner.clone();
+        SimRng::seed_from(hash ^ probe.gen::<u64>())
+    }
+
+    /// Draws a uniformly random boolean that is `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Samples a standard normal variate via Box-Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box-Muller transform; u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Chooses `k` distinct indices uniformly from `0..n` (partial
+    /// Fisher-Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from a population of {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.inner.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(8);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_decorrelated_and_deterministic() {
+        let mut parent1 = SimRng::seed_from(99);
+        let mut parent2 = SimRng::seed_from(99);
+        let mut c1a = parent1.fork();
+        let mut c1b = parent1.fork();
+        let mut c2a = parent2.fork();
+        assert_eq!(c1a.gen::<u64>(), c2a.gen::<u64>(), "fork is deterministic");
+        assert_ne!(
+            c1a.gen::<u64>(),
+            c1b.gen::<u64>(),
+            "sibling forks are distinct streams"
+        );
+    }
+
+    #[test]
+    fn labeled_fork_does_not_advance_parent() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
+        let _child = a.fork_labeled("dns");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn labeled_forks_differ_by_label() {
+        let a = SimRng::seed_from(1);
+        let mut x = a.fork_labeled("x");
+        let mut y = a.fork_labeled("y");
+        assert_ne!(x.gen::<u64>(), y.gen::<u64>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn chance_rejects_invalid() {
+        SimRng::seed_from(0).chance(1.5);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SimRng::seed_from(5);
+        let picked = rng.sample_indices(100, 15);
+        assert_eq!(picked.len(), 15);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15, "indices must be distinct");
+        assert!(picked.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_full_population_is_permutation() {
+        let mut rng = SimRng::seed_from(5);
+        let mut picked = rng.sample_indices(10, 10);
+        picked.sort_unstable();
+        assert_eq!(picked, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversample() {
+        SimRng::seed_from(0).sample_indices(3, 4);
+    }
+}

@@ -1,0 +1,863 @@
+//! The simulation container: nodes, routing, the event loop.
+//!
+//! A [`World`] owns every node, a deterministic event queue, the topology,
+//! and the packet trace. Packets are routed by destination address; an
+//! active *hijack* (the BGP prefix-hijack model) overrides legitimate
+//! ownership for the addresses it covers. Core routers fragment oversized
+//! packets (or drop them with ICMP "fragmentation needed" when DF is set).
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::world::World;
+//! use netsim::time::{SimTime, SimDuration};
+//!
+//! let mut world = World::new(42);
+//! world.run_until(SimTime::from_secs(10));
+//! assert_eq!(world.now(), SimTime::from_secs(10));
+//! ```
+
+use crate::icmp::{IcmpMessage, QuotedPacket};
+use crate::ip::{FragmentError, Ipv4Net, Ipv4Packet};
+use crate::link::{AccessLink, Topology};
+use crate::node::{Action, Context, Node, NodeId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceOutcome};
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Address used as the source of router-originated ICMP errors.
+pub const ROUTER_ADDR: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 254);
+
+/// An active prefix hijack: traffic to `prefix` is delivered to `to`
+/// while the hijack is active, regardless of legitimate ownership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hijack {
+    /// The hijacked prefix.
+    pub prefix: Ipv4Net,
+    /// The node receiving hijacked traffic.
+    pub to: NodeId,
+    /// Activation time (inclusive).
+    pub from: SimTime,
+    /// Deactivation time (exclusive).
+    pub until: SimTime,
+}
+
+/// Counters describing world activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorldStats {
+    /// Events processed.
+    pub events: u64,
+    /// Packets delivered to their legitimate owner.
+    pub delivered: u64,
+    /// Packets delivered to a hijacker.
+    pub hijack_delivered: u64,
+    /// Packets lost to random loss.
+    pub lost: u64,
+    /// Packets with unroutable destinations.
+    pub no_route: u64,
+    /// Packets fragmented by core routers.
+    pub transit_fragmented: u64,
+    /// DF packets dropped for exceeding the path MTU.
+    pub df_dropped: u64,
+    /// Timer events fired.
+    pub timers: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start(NodeId),
+    Arrival { node: NodeId, pkt: Ipv4Packet },
+    Timer { node: NodeId, tag: u64 },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed for a min-heap on (at, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulation world.
+pub struct World {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    labels: Vec<String>,
+    addr_owner: HashMap<Ipv4Addr, NodeId>,
+    hijacks: Vec<Hijack>,
+    topology: Topology,
+    rng: SimRng,
+    trace: Trace,
+    stats: WorldStats,
+    started: bool,
+}
+
+impl core::fmt::Debug for World {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.labels)
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            labels: Vec::new(),
+            addr_owner: HashMap::new(),
+            hijacks: Vec::new(),
+            topology: Topology::default(),
+            rng: SimRng::seed_from(seed),
+            trace: Trace::default(),
+            stats: WorldStats::default(),
+            started: false,
+        }
+    }
+
+    /// Adds a node owning `addrs` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is already owned by another node.
+    pub fn add_node(
+        &mut self,
+        label: impl Into<String>,
+        node: Box<dyn Node>,
+        addrs: &[Ipv4Addr],
+    ) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        for &a in addrs {
+            let prev = self.addr_owner.insert(a, id);
+            assert!(prev.is_none(), "address {a} already owned by {prev:?}");
+        }
+        self.nodes.push(Some(node));
+        self.labels.push(label.into());
+        self.topology.register_node(AccessLink::default());
+        if self.started {
+            self.push(self.now, EventKind::Start(id));
+        }
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The label a node was registered with.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Mutable access to the topology (MTUs, latencies).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Read access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The packet trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the packet trace (enable/disable/clear).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// The world RNG (deterministic under the construction seed).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Declares a prefix hijack active during `[from, until)`.
+    pub fn add_hijack(&mut self, prefix: Ipv4Net, to: NodeId, from: SimTime, until: SimTime) {
+        self.hijacks.push(Hijack {
+            prefix,
+            to,
+            from,
+            until,
+        });
+    }
+
+    /// Removes all hijacks.
+    pub fn clear_hijacks(&mut self) {
+        self.hijacks.clear();
+    }
+
+    /// The node that currently receives traffic for `dst`, with a flag
+    /// indicating whether a hijack is responsible.
+    pub fn route(&self, dst: Ipv4Addr, at: SimTime) -> Option<(NodeId, bool)> {
+        // Most specific active hijack wins; ties go to the earliest added.
+        let hijacked = self
+            .hijacks
+            .iter()
+            .filter(|h| h.from <= at && at < h.until && h.prefix.contains(dst))
+            .max_by_key(|h| h.prefix.prefix_len());
+        if let Some(h) = hijacked {
+            return Some((h.to, true));
+        }
+        self.addr_owner.get(&dst).map(|&id| (id, false))
+    }
+
+    /// Legitimate owner of an address, ignoring hijacks.
+    pub fn owner_of(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        self.addr_owner.get(&addr).copied()
+    }
+
+    /// Borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different type.
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", core::any::type_name::<T>()))
+    }
+
+    /// Mutably borrows a node downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different type.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", core::any::type_name::<T>()))
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Injects a packet into the network as if `from` had sent it now.
+    /// Useful for scripted probes in tests and experiments.
+    pub fn inject(&mut self, from: NodeId, pkt: Ipv4Packet) {
+        self.transmit(from, pkt);
+    }
+
+    /// Schedules a timer for a node from outside the event loop.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        self.push(self.now + delay, EventKind::Timer { node, tag });
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.push(self.now, EventKind::Start(NodeId::new(i)));
+            }
+        }
+    }
+
+    /// Runs the event loop until `deadline`, leaving `now == deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        self.now = deadline;
+    }
+
+    /// Runs for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Runs until no events remain (careful with self-rearming timers).
+    pub fn run_until_idle(&mut self) {
+        self.ensure_started();
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Processes a single event; returns its timestamp, or `None` if the
+    /// queue was empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        let ev = self.queue.pop()?;
+        self.now = ev.at;
+        let at = ev.at;
+        self.dispatch(ev.kind);
+        Some(at)
+    }
+
+    #[allow(clippy::type_complexity)] // one-shot dispatch closure, not worth a named type
+    fn dispatch(&mut self, kind: EventKind) {
+        self.stats.events += 1;
+        let (node_id, call): (NodeId, Box<dyn FnOnce(&mut dyn Node, &mut Context<'_>)>) =
+            match kind {
+                EventKind::Start(id) => (id, Box::new(|n, ctx| n.on_start(ctx))),
+                EventKind::Arrival { node, pkt } => {
+                    (node, Box::new(move |n, ctx| n.on_packet(ctx, pkt)))
+                }
+                EventKind::Timer { node, tag } => {
+                    self.stats.timers += 1;
+                    (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
+                }
+            };
+        let Some(mut node) = self.nodes[node_id.index()].take() else {
+            return;
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(self.now, node_id, &mut self.rng, &mut actions);
+            call(node.as_mut(), &mut ctx);
+        }
+        self.nodes[node_id.index()] = Some(node);
+        for action in actions {
+            match action {
+                Action::Send(pkt) => self.transmit(node_id, pkt),
+                Action::Timer { delay, tag } => {
+                    self.push(
+                        self.now + delay,
+                        EventKind::Timer {
+                            node: node_id,
+                            tag,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, pkt: Ipv4Packet) {
+        let Some((to, hijacked)) = self.route(pkt.dst, self.now) else {
+            self.stats.no_route += 1;
+            self.trace
+                .record(self.now, from, None, TraceOutcome::NoRoute, &pkt);
+            return;
+        };
+        let profile = self.topology.path(from, to);
+        if profile.loss > 0.0 && self.rng.chance(profile.loss) {
+            self.stats.lost += 1;
+            self.trace
+                .record(self.now, from, Some(to), TraceOutcome::Lost, &pkt);
+            return;
+        }
+        let mtu = self.topology.path_mtu(from, to);
+        let pieces = if pkt.total_len() > mtu as usize {
+            match pkt.fragment(mtu) {
+                Ok(frags) => {
+                    self.stats.transit_fragmented += 1;
+                    self.trace.record(
+                        self.now,
+                        from,
+                        Some(to),
+                        TraceOutcome::FragmentedInTransit,
+                        &pkt,
+                    );
+                    frags
+                }
+                Err(FragmentError::DontFragment { .. }) => {
+                    self.stats.df_dropped += 1;
+                    self.trace
+                        .record(self.now, from, Some(to), TraceOutcome::DfDropped, &pkt);
+                    self.send_frag_needed(from, &pkt, mtu);
+                    return;
+                }
+                Err(_) => {
+                    self.stats.no_route += 1;
+                    return;
+                }
+            }
+        } else {
+            vec![pkt]
+        };
+        let latency = profile.latency.sample(&mut self.rng);
+        for (i, piece) in pieces.into_iter().enumerate() {
+            let outcome = if hijacked {
+                self.stats.hijack_delivered += 1;
+                TraceOutcome::Hijacked
+            } else {
+                self.stats.delivered += 1;
+                TraceOutcome::Delivered
+            };
+            self.trace
+                .record(self.now, from, Some(to), outcome, &piece);
+            // Fragments of one datagram keep their relative order.
+            let at = self.now + latency + SimDuration::from_micros(i as u64);
+            self.push(
+                at,
+                EventKind::Arrival {
+                    node: to,
+                    pkt: piece,
+                },
+            );
+        }
+    }
+
+    fn send_frag_needed(&mut self, offender: NodeId, pkt: &Ipv4Packet, mtu: u16) {
+        let icmp = IcmpMessage::FragmentationNeeded {
+            mtu,
+            original: QuotedPacket::of(pkt),
+        }
+        .into_packet(ROUTER_ADDR, pkt.src);
+        // Deliver straight back to the sending node (the router is adjacent).
+        let latency = self
+            .topology
+            .path(offender, offender)
+            .latency
+            .sample(&mut self.rng);
+        self.push(
+            self.now + latency,
+            EventKind::Arrival {
+                node: offender,
+                pkt: icmp,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::IpProto;
+    use crate::stack::{IpStack, StackEvent};
+    use bytes::Bytes;
+    use std::any::Any;
+
+    /// Echoes every UDP payload back to its sender and counts deliveries.
+    struct Echo {
+        stack: IpStack,
+        received: Vec<(Ipv4Addr, Bytes)>,
+        timer_fired: u64,
+    }
+
+    impl Echo {
+        fn new(addr: Ipv4Addr) -> Self {
+            Echo {
+                stack: IpStack::new(addr),
+                received: Vec::new(),
+                timer_fired: 0,
+            }
+        }
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
+            if let Some(StackEvent::Udp { src, dst, datagram }) = self.stack.handle(ctx, pkt) {
+                self.received.push((src, datagram.payload.clone()));
+                self.stack.send_udp(
+                    ctx,
+                    dst,
+                    datagram.dst_port,
+                    src,
+                    datagram.src_port,
+                    datagram.payload,
+                );
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {
+            self.timer_fired += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Absorbs packets without replying (hijackers cannot reply from the
+    /// victim's address without spoofing, which `Echo` does not do).
+    struct Sink {
+        stack: IpStack,
+        received: usize,
+    }
+
+    impl Sink {
+        fn new(addr: Ipv4Addr) -> Self {
+            Sink {
+                stack: IpStack::new(addr),
+                received: 0,
+            }
+        }
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
+            // A hijacker receives packets for addresses it does not own, so
+            // feed the raw packet in regardless of the stack's address list.
+            if self.stack.handle(ctx, pkt).is_some() {
+                self.received += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends one datagram at start and records replies.
+    struct Pinger {
+        stack: IpStack,
+        target: Ipv4Addr,
+        size: usize,
+        replies: usize,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let addr = self.stack.addr();
+            self.stack.send_udp(
+                ctx,
+                addr,
+                4000,
+                self.target,
+                7,
+                Bytes::from(vec![0x55; self.size]),
+            );
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
+            if let Some(StackEvent::Udp { .. }) = self.stack.handle(ctx, pkt) {
+                self.replies += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn addr(o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 1, 1, o)
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let mut world = World::new(1);
+        let echo = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let ping = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                size: 32,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        world.run_for(SimDuration::from_secs(2));
+        assert_eq!(world.node::<Echo>(echo).received.len(), 1);
+        assert_eq!(world.node::<Pinger>(ping).replies, 1);
+        assert!(world.stats().delivered >= 2);
+    }
+
+    #[test]
+    fn transit_fragmentation_and_reassembly() {
+        let mut world = World::new(2);
+        let echo = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let ping = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                size: 1400,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        // Receiver sits behind a 576-byte access link: the core fragments.
+        world.topology_mut().set_access_mtu(echo, 576);
+        world.run_for(SimDuration::from_secs(2));
+        assert_eq!(world.node::<Echo>(echo).received.len(), 1);
+        assert!(world.stats().transit_fragmented >= 1);
+        // Reply also fragments on the way back.
+        assert_eq!(world.node::<Pinger>(ping).replies, 1);
+    }
+
+    #[test]
+    fn unroutable_destination_is_counted() {
+        let mut world = World::new(3);
+        let _ = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(99),
+                size: 10,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(world.stats().no_route, 1);
+        assert_eq!(
+            world
+                .trace()
+                .count(|e| e.outcome == TraceOutcome::NoRoute),
+            1
+        );
+    }
+
+    #[test]
+    fn full_loss_kills_all_packets() {
+        let mut world = World::new(4);
+        let echo = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let _ = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                size: 10,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        let mut lossy = crate::link::PathProfile::constant(SimDuration::from_millis(10));
+        lossy.loss = 1.0;
+        world.topology_mut().set_default_path(lossy);
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(world.node::<Echo>(echo).received.len(), 0);
+        assert_eq!(world.stats().lost, 1);
+    }
+
+    #[test]
+    fn hijack_redirects_traffic_within_window() {
+        let mut world = World::new(5);
+        let victim = world.add_node("victim", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let hijacker = world.add_node("hijacker", Box::new(Sink::new(addr(66))), &[addr(66)]);
+        let _ = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                size: 10,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        world.add_hijack(
+            Ipv4Net::host(addr(2)),
+            hijacker,
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+        );
+        world.run_for(SimDuration::from_secs(1));
+        assert_eq!(world.node::<Echo>(victim).received.len(), 0);
+        assert_eq!(world.node::<Sink>(hijacker).received, 1);
+        assert!(world.stats().hijack_delivered >= 1);
+    }
+
+    #[test]
+    fn hijack_expires_after_window() {
+        let mut world = World::new(6);
+        let victim = world.add_node("victim", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let hijacker = world.add_node("hijacker", Box::new(Sink::new(addr(66))), &[addr(66)]);
+        world.add_hijack(
+            Ipv4Net::host(addr(2)),
+            hijacker,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+        );
+        // Advance past the hijack window, then send.
+        world.run_until(SimTime::from_secs(10));
+        let ping = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                size: 10,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        world.run_for(SimDuration::from_secs(2));
+        assert_eq!(world.node::<Echo>(victim).received.len(), 1);
+        assert_eq!(world.node::<Sink>(hijacker).received, 0);
+        assert_eq!(world.node::<Pinger>(ping).replies, 1);
+    }
+
+    #[test]
+    fn more_specific_hijack_wins() {
+        let mut world = World::new(7);
+        let _victim = world.add_node("victim", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let wide = world.add_node("wide", Box::new(Sink::new(addr(60))), &[addr(60)]);
+        let narrow = world.add_node("narrow", Box::new(Sink::new(addr(61))), &[addr(61)]);
+        world.add_hijack(
+            Ipv4Net::new(addr(0), 24),
+            wide,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        world.add_hijack(Ipv4Net::host(addr(2)), narrow, SimTime::ZERO, SimTime::MAX);
+        let (to, hijacked) = world.route(addr(2), SimTime::from_secs(1)).unwrap();
+        assert!(hijacked);
+        assert_eq!(to, narrow);
+    }
+
+    #[test]
+    fn df_oversize_generates_icmp_frag_needed() {
+        struct DfSender {
+            stack: IpStack,
+            target: Ipv4Addr,
+            got_frag_needed: Option<u16>,
+        }
+        impl Node for DfSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let src = self.stack.addr();
+                let dgram = crate::udp::UdpDatagram::new(1, 2, Bytes::from(vec![0u8; 1000]));
+                let mut pkt =
+                    Ipv4Packet::new(src, self.target, IpProto::Udp, dgram.encode(src, self.target));
+                pkt.dont_fragment = true;
+                pkt.id = 9;
+                ctx.send(pkt);
+            }
+            fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
+                if let Some(StackEvent::Icmp {
+                    message: IcmpMessage::FragmentationNeeded { mtu, .. },
+                    ..
+                }) = self.stack.handle(ctx, pkt)
+                {
+                    self.got_frag_needed = Some(mtu);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut world = World::new(8);
+        let echo = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let sender = world.add_node(
+            "df",
+            Box::new(DfSender {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                got_frag_needed: None,
+            }),
+            &[addr(1)],
+        );
+        world.topology_mut().set_access_mtu(echo, 576);
+        world.run_for(SimDuration::from_secs(2));
+        assert_eq!(world.stats().df_dropped, 1);
+        assert_eq!(
+            world.node::<DfSender>(sender).got_frag_needed,
+            Some(576),
+            "sender learns the path MTU from the ICMP error"
+        );
+        // And its stack recorded the new PMTU toward the target.
+        assert_eq!(world.node::<DfSender>(sender).stack.pmtu(addr(2)), 576);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut world = World::new(seed);
+            let _ = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+            let _ = world.add_node(
+                "ping",
+                Box::new(Pinger {
+                    stack: IpStack::new(addr(1)),
+                    target: addr(2),
+                    size: 600,
+                    replies: 0,
+                }),
+                &[addr(1)],
+            );
+            world.run_for(SimDuration::from_secs(5));
+            (world.stats().events, world.trace().total_recorded())
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, 0);
+    }
+
+    #[test]
+    fn scheduled_timer_fires() {
+        let mut world = World::new(9);
+        let echo = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        world.schedule_timer(echo, SimDuration::from_secs(5), 77);
+        world.run_until(SimTime::from_secs(4));
+        assert_eq!(world.node::<Echo>(echo).timer_fired, 0);
+        world.run_until(SimTime::from_secs(6));
+        assert_eq!(world.node::<Echo>(echo).timer_fired, 1);
+        assert_eq!(world.stats().timers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn duplicate_address_panics() {
+        let mut world = World::new(0);
+        world.add_node("a", Box::new(Echo::new(addr(1))), &[addr(1)]);
+        world.add_node("b", Box::new(Echo::new(addr(1))), &[addr(1)]);
+    }
+
+    #[test]
+    fn downcast_accessors_work() {
+        let mut world = World::new(0);
+        let id = world.add_node("echo", Box::new(Echo::new(addr(1))), &[addr(1)]);
+        assert_eq!(world.node::<Echo>(id).received.len(), 0);
+        world.node_mut::<Echo>(id).timer_fired = 5;
+        assert_eq!(world.node::<Echo>(id).timer_fired, 5);
+        assert_eq!(world.label(id), "echo");
+        assert_eq!(world.owner_of(addr(1)), Some(id));
+    }
+}

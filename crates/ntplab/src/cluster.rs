@@ -1,0 +1,141 @@
+//! The ntpd cluster algorithm (RFC 5905 §11.2.2, simplified).
+//!
+//! After the intersection algorithm picks the truechimers, clustering prunes
+//! statistical outliers: repeatedly discard the survivor whose offset is
+//! most distant from the others (largest "selection jitter") until either
+//! the minimum survivor count is reached or the worst selection jitter is
+//! no longer larger than the best peer jitter.
+
+use crate::select::PeerSample;
+
+/// ntpd's default minimum cluster survivors (NMIN).
+pub const MIN_CLUSTER_SURVIVORS: usize = 3;
+
+/// Selection jitter of survivor `i`: RMS distance of its offset from the
+/// offsets of all other survivors.
+pub fn selection_jitter(samples: &[PeerSample], i: usize) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let xi = samples[i].offset_ns as f64;
+    let sum: f64 = samples
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, s)| {
+            let d = xi - s.offset_ns as f64;
+            d * d
+        })
+        .sum();
+    (sum / (samples.len() - 1) as f64).sqrt()
+}
+
+/// Peer jitter proxy: the sample's own uncertainty (root distance).
+fn peer_jitter(s: &PeerSample) -> f64 {
+    s.root_distance() as f64
+}
+
+/// Runs the cluster algorithm, returning the surviving samples in input
+/// order.
+pub fn cluster(mut samples: Vec<PeerSample>, min_survivors: usize) -> Vec<PeerSample> {
+    while samples.len() > min_survivors.max(1) {
+        let (worst_idx, worst_jitter) = match (0..samples.len())
+            .map(|i| (i, selection_jitter(&samples, i)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        {
+            Some(x) => x,
+            None => break,
+        };
+        let best_peer_jitter = samples
+            .iter()
+            .map(peer_jitter)
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        // Stop when pruning no longer helps: the spread between survivors
+        // is already within measurement noise.
+        if worst_jitter <= best_peer_jitter {
+            break;
+        }
+        samples.remove(worst_idx);
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample(offset_ms: i64, delay_ms: i64) -> PeerSample {
+        PeerSample {
+            server: Ipv4Addr::new(10, 0, 0, 1),
+            offset_ns: offset_ms * 1_000_000,
+            delay_ns: delay_ms * 1_000_000,
+            dispersion_ns: 0,
+        }
+    }
+
+    #[test]
+    fn tight_cluster_is_untouched() {
+        let samples = vec![sample(0, 20), sample(1, 20), sample(-1, 20), sample(2, 20)];
+        let out = cluster(samples.clone(), MIN_CLUSTER_SURVIVORS);
+        assert_eq!(out.len(), 4, "spread ~1ms << peer jitter 10ms");
+    }
+
+    #[test]
+    fn outlier_is_pruned() {
+        let samples = vec![
+            sample(0, 20),
+            sample(1, 20),
+            sample(-1, 20),
+            sample(80, 20), // way outside measurement noise
+        ];
+        let out = cluster(samples, MIN_CLUSTER_SURVIVORS);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|s| s.offset_ns.abs() < 10_000_000));
+    }
+
+    #[test]
+    fn never_prunes_below_minimum() {
+        let samples = vec![sample(0, 1), sample(100, 1), sample(500, 1)];
+        let out = cluster(samples, 3);
+        assert_eq!(out.len(), 3, "already at NMIN");
+    }
+
+    #[test]
+    fn min_of_one_keeps_something() {
+        let samples = vec![sample(0, 1), sample(1000, 1)];
+        let out = cluster(samples, 1);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(cluster(Vec::new(), 3).is_empty());
+        let one = vec![sample(5, 10)];
+        assert_eq!(cluster(one.clone(), 3), one);
+    }
+
+    #[test]
+    fn selection_jitter_of_centre_is_lowest() {
+        let samples = vec![sample(-10, 1), sample(0, 1), sample(10, 1)];
+        let j_centre = selection_jitter(&samples, 1);
+        let j_edge = selection_jitter(&samples, 0);
+        assert!(j_centre < j_edge);
+    }
+
+    #[test]
+    fn repeated_pruning_handles_two_outliers() {
+        let samples = vec![
+            sample(0, 20),
+            sample(1, 20),
+            sample(-2, 20),
+            sample(2, 20),
+            sample(90, 20),
+            sample(-95, 20),
+        ];
+        let out = cluster(samples, MIN_CLUSTER_SURVIVORS);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|s| s.offset_ns.abs() < 10_000_000));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: NTP timestamps and the selection pipeline's safety
+//! properties.
+
+use ntplab::packet::NtpPacket;
+use ntplab::select::{intersect, PeerSample};
+use ntplab::timestamp::{NtpShort, NtpTimestamp};
+use netsim::time::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn sample(offset_ms: i64, half_width_ms: i64) -> PeerSample {
+    PeerSample {
+        server: Ipv4Addr::new(10, 0, 0, 1),
+        offset_ns: offset_ms * 1_000_000,
+        delay_ns: half_width_ms.max(1) * 2 * 1_000_000,
+        dispersion_ns: 0,
+    }
+}
+
+proptest! {
+    /// NTP timestamp conversion is nanosecond-accurate within the era
+    /// (the 32-bit seconds field rolls over in 2036, 16.1 years past the
+    /// 2020 simulation epoch).
+    #[test]
+    fn timestamp_round_trip(
+        nanos in 0u64..(ntplab::timestamp::MAX_ERA_SIM_SECS * 1_000_000_000),
+    ) {
+        let t = SimTime::from_nanos(nanos);
+        let back = NtpTimestamp::from_sim(t).to_sim();
+        prop_assert!(back.signed_nanos_since(t).abs() <= 1);
+    }
+
+    /// Signed differences are antisymmetric and consistent with ordering.
+    #[test]
+    fn timestamp_diff_antisymmetric(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let ta = NtpTimestamp::from_sim(SimTime::from_millis(a));
+        let tb = NtpTimestamp::from_sim(SimTime::from_millis(b));
+        prop_assert_eq!(ta.diff_nanos(tb), -tb.diff_nanos(ta));
+        if a > b {
+            prop_assert!(ta.diff_nanos(tb) > 0);
+        }
+    }
+
+    /// Short-format conversion error stays below one unit (2^-16 s).
+    #[test]
+    fn short_conversion_bounded_error(micros in 0u64..60_000_000) {
+        let secs = micros as f64 / 1e6;
+        let s = NtpShort::from_secs_f64(secs);
+        prop_assert!((s.as_secs_f64() - secs).abs() < 1.0 / 65_536.0);
+    }
+
+    /// Packet round-trip for arbitrary field values.
+    #[test]
+    fn packet_round_trip(
+        stratum in any::<u8>(),
+        poll in any::<i8>(),
+        precision in any::<i8>(),
+        refid in any::<u32>(),
+        bits in any::<[u64; 4]>(),
+    ) {
+        let pkt = NtpPacket {
+            stratum,
+            poll,
+            precision,
+            reference_id: refid,
+            reference_ts: NtpTimestamp::from_bits(bits[0]),
+            originate_ts: NtpTimestamp::from_bits(bits[1]),
+            receive_ts: NtpTimestamp::from_bits(bits[2]),
+            transmit_ts: NtpTimestamp::from_bits(bits[3]),
+            ..NtpPacket::client_request(NtpTimestamp::ZERO)
+        };
+        prop_assert_eq!(NtpPacket::decode(&pkt.encode()).unwrap(), pkt);
+    }
+
+    /// Intersection safety: with every interval containing the true offset
+    /// (honest majority of honest-only inputs), the result interval
+    /// contains it too.
+    #[test]
+    fn intersection_contains_truth_for_honest_inputs(
+        offsets in proptest::collection::vec(-5i64..5, 3..12),
+        widths in proptest::collection::vec(6i64..40, 3..12),
+    ) {
+        let n = offsets.len().min(widths.len());
+        let samples: Vec<PeerSample> = (0..n)
+            .map(|i| sample(offsets[i], widths[i]))
+            .collect();
+        // every interval [off-w, off+w] contains 0 since |off| < 5 < 6 <= w
+        let r = intersect(&samples).expect("honest inputs must intersect");
+        prop_assert!(r.low <= 0 && 0 <= r.high, "[{}, {}]", r.low, r.high);
+        prop_assert_eq!(r.survivors.len(), n);
+    }
+
+    /// Byzantine safety: fewer than n/2 liars, however placed, cannot pull
+    /// the agreed interval away from zero by more than an honest width.
+    #[test]
+    fn intersection_bounded_by_honest_width(
+        liar_offset in 200i64..100_000,
+        liar_count in 1usize..3,
+        honest_count in 4usize..8,
+    ) {
+        let mut samples: Vec<PeerSample> = (0..honest_count)
+            .map(|i| sample((i as i64 % 5) - 2, 10))
+            .collect();
+        for _ in 0..liar_count.min((honest_count - 1) / 2) {
+            samples.push(sample(liar_offset, 10));
+        }
+        if let Some(r) = intersect(&samples) {
+            // The interval must stay anchored to the honest cluster.
+            prop_assert!(r.low.abs() <= 13_000_000, "low {}", r.low);
+        }
+    }
+}

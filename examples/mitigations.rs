@@ -1,0 +1,23 @@
+//! The §V mitigations, evaluated (experiment E8).
+//!
+//! The paper proposes two pool-generation fixes — accept at most 4
+//! addresses per DNS response, and discard responses with suspiciously high
+//! TTLs — and then immediately notes their limit: an attacker who hijacks
+//! the victim's DNS path for the whole 24-hour generation window (BGP) can
+//! serve perfectly inconspicuous responses that are nevertheless 100%
+//! malicious.
+//!
+//! Run with: `cargo run --example mitigations`
+
+use chronos_pitfalls::experiments::{e8_table, run_e8};
+
+fn main() {
+    let rows = run_e8(11);
+    println!("{}", e8_table(&rows));
+    println!("reading:");
+    println!("  - unmitigated: poisoning at round 12 yields the paper's 44 vs 89 capture;");
+    println!("  - either mitigation alone stops the single-shot 89-record injection;");
+    println!("  - a 24h BGP hijack serving 4 ordinary-looking records per response");
+    println!("    defeats both: every pool member is the attacker's. The dependency");
+    println!("    on insecure DNS remains — the paper's concluding point.");
+}

@@ -1,0 +1,37 @@
+//! # chronos-ntp-repro
+//!
+//! Reproduction of *"Pitfalls of Provably Secure Systems in the Internet:
+//! The Case of Chronos-NTP"* (Jeitner, Shulman, Waidner; DSN-S 2020,
+//! arXiv:2010.08460), as a Rust workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`netsim`] | deterministic discrete-event IPv4/UDP/ICMP simulator with fragmentation |
+//! | [`dnslab`] | DNS wire format, authoritative servers, caching resolvers |
+//! | [`ntplab`] | NTPv4, the ntpd selection pipeline, the plain-NTP baseline client |
+//! | [`chronos`] | the Chronos client (NDSS'18), its security analysis and §V mitigations |
+//! | [`attacklab`] | defragmentation poisoning, BGP MitM, blind spoofing, triggering, farms |
+//! | [`chronos_pitfalls`] | scenarios, analytic models and the E1–E9 experiment runners |
+//!
+//! This facade re-exports all member crates; the runnable entry points are
+//! the examples (`cargo run --example quickstart`) and the benches
+//! (`cargo bench`), each regenerating one of the paper's tables or figures.
+//!
+//! ```
+//! use chronos_ntp_repro::chronos_pitfalls::poolmodel::{
+//!     composition_after_poison, PoolModelParams,
+//! };
+//!
+//! // The paper's §IV arithmetic: poisoning at round 12 leaves 44 benign
+//! // servers against 89 malicious ones — a 2/3 attacker majority.
+//! let row = composition_after_poison(PoolModelParams::default(), 12);
+//! assert_eq!((row.benign, row.malicious), (44, 89));
+//! assert!(row.controls_panic);
+//! ```
+
+pub use attacklab;
+pub use chronos;
+pub use chronos_pitfalls;
+pub use dnslab;
+pub use netsim;
+pub use ntplab;

@@ -1,0 +1,220 @@
+//! Failure injection: the system (and the attack) under packet loss, dead
+//! infrastructure, cache pressure and filtering middleboxes.
+
+use attacklab::plan::{AttackPlan, PoisonStrategy};
+use chronos::client::{ChronosClient, Phase};
+use chronos_pitfalls::experiments::compressed_chronos;
+use chronos_pitfalls::scenario::{addrs, Scenario, ScenarioConfig};
+use dnslab::resolver::RecursiveResolver;
+use netsim::link::{LatencyModel, PathProfile};
+use netsim::stack::{FragFilter, StackConfig};
+use netsim::time::{SimDuration, SimTime};
+
+/// Pool generation completes despite 20 % packet loss — rounds that lose
+/// their DNS exchange are recorded as failures and the pool is simply
+/// smaller, never corrupted.
+#[test]
+fn pool_generation_survives_packet_loss() {
+    let mut s = Scenario::build(ScenarioConfig {
+        seed: 201,
+        benign_universe: 150,
+        chronos: compressed_chronos(24, SimDuration::from_secs(200)),
+        ..ScenarioConfig::default()
+    });
+    s.world.topology_mut().set_default_path(PathProfile {
+        latency: LatencyModel::internet_default(),
+        loss: 0.20,
+    });
+    s.run_pool_generation(SimDuration::from_hours(4));
+    let c = s.chronos();
+    assert_eq!(c.phase(), Phase::Syncing);
+    assert_eq!(c.pool().rounds().len(), 24, "every round accounted for");
+    let got = c.pool().len();
+    assert!(
+        (40..=96).contains(&got),
+        "pool has {got} servers under 20% loss"
+    );
+    // Resolver retries absorbed some of the loss.
+    assert!(s.resolver().stats().retries > 0);
+}
+
+/// Chronos still syncs (fewer samples, more rejects) under heavy loss.
+#[test]
+fn chronos_sync_survives_loss() {
+    let mut s = Scenario::build(ScenarioConfig {
+        seed: 202,
+        benign_universe: 96,
+        chronos: compressed_chronos(6, SimDuration::from_secs(200)),
+        ..ScenarioConfig::default()
+    });
+    s.world.topology_mut().set_default_path(PathProfile {
+        latency: LatencyModel::internet_default(),
+        loss: 0.30,
+    });
+    s.run_pool_generation(SimDuration::from_hours(2));
+    s.run_for(SimDuration::from_secs(600));
+    let c = s.chronos();
+    assert!(c.stats().accepts + c.stats().panics >= 1, "{:?}", c.stats());
+    assert!(
+        c.offset_from_true(s.world.now()).abs() < 20_000_000,
+        "clock still bounded"
+    );
+}
+
+/// A dead nameserver (all queries black-holed) leaves the pool empty but
+/// the client keeps functioning and reports failures.
+#[test]
+fn dead_nameserver_is_survivable() {
+    let mut s = Scenario::build(ScenarioConfig {
+        seed: 203,
+        benign_universe: 48,
+        chronos: compressed_chronos(4, SimDuration::from_secs(200)),
+        ..ScenarioConfig::default()
+    });
+    // Sever the resolver -> nameserver path entirely.
+    let resolver = s.nodes.resolver;
+    let auth = s.nodes.auth;
+    s.world.topology_mut().set_path_bidirectional(
+        resolver,
+        auth,
+        PathProfile {
+            latency: LatencyModel::Constant(SimDuration::from_millis(10)),
+            loss: 1.0,
+        },
+    );
+    s.run_pool_generation(SimDuration::from_hours(2));
+    let c = s.chronos();
+    assert!(c.pool().is_empty());
+    assert_eq!(c.stats().pool_failures, 4, "all four rounds SERVFAILed");
+    assert!(s.resolver().stats().servfails >= 1);
+}
+
+/// The fragmentation attack fails cleanly against a resolver that drops
+/// all fragments (the 10 % population in the study) — and the benign
+/// service keeps working because unfragmented responses still flow.
+#[test]
+fn frag_filtering_resolver_blocks_the_attack() {
+    let mut cfg = ScenarioConfig {
+        seed: 204,
+        benign_universe: 96,
+        chronos: compressed_chronos(8, SimDuration::from_secs(200)),
+        attack: Some(AttackPlan {
+            strategy: PoisonStrategy::Fragmentation {
+                start: SimTime::ZERO,
+            },
+            ..AttackPlan::paper_default(SimDuration::from_millis(500))
+        }),
+        ..ScenarioConfig::default()
+    };
+    cfg.resolver = dnslab::resolver::ResolverConfig::default();
+    let mut s = Scenario::build(cfg);
+    // Swap the resolver's stack policy: reject all fragments.
+    {
+        let resolver = s.world.node_mut::<RecursiveResolver>(s.nodes.resolver);
+        let mut replacement = RecursiveResolver::with_stack_config(
+            addrs::RESOLVER,
+            vec![dnslab::resolver::Upstream {
+                zone: "pool.ntp.org".parse().unwrap(),
+                ns_names: (1..=14)
+                    .map(|i| format!("ns{i}.pool.ntp.org").parse().unwrap())
+                    .collect(),
+                bootstrap: (0..14u32)
+                    .map(|i| std::net::Ipv4Addr::from(u32::from(addrs::NS_BASE) + i))
+                    .collect(),
+            }],
+            StackConfig {
+                frag_filter: FragFilter::RejectFragments,
+                ..StackConfig::default()
+            },
+        );
+        replacement.allow_client(addrs::CHRONOS);
+        replacement.allow_client(addrs::PLAIN);
+        *resolver = replacement;
+    }
+    s.run_pool_generation(SimDuration::from_hours(2));
+    let (benign, malicious) = s.chronos_pool_composition();
+    assert_eq!(malicious, 0, "no forged fragment ever reassembled");
+    // The genuine responses fragment too (the attacker forced the PMTU),
+    // so rounds after the first ICMP yield nothing — a DoS, not a capture.
+    assert!(benign <= 8, "at most the pre-ICMP rounds landed: {benign}");
+}
+
+/// Reassembly-cache pressure: a flood of junk fragments evicts planted
+/// ones, degrading (not crashing) the attack.
+#[test]
+fn reassembly_cache_pressure_is_handled() {
+    use bytes::Bytes;
+    use netsim::frag::{OverlapPolicy, ReassemblyCache, ReassemblyOutcome};
+    use netsim::ip::{IpProto, Ipv4Packet};
+
+    let mut cache = ReassemblyCache::with_limits(
+        OverlapPolicy::First,
+        SimDuration::from_secs(30),
+        64,
+    );
+    // Plant one "attack" fragment...
+    let mut plant = Ipv4Packet::new(
+        "203.0.113.1".parse().unwrap(),
+        "198.51.100.53".parse().unwrap(),
+        IpProto::Udp,
+        Bytes::from(vec![0xAA; 64]),
+    );
+    plant.id = 7;
+    plant.frag_offset_units = 66;
+    cache.insert(SimTime::ZERO, plant);
+    // ...then flood with 200 unrelated junk queues.
+    for i in 0..200u16 {
+        let mut junk = Ipv4Packet::new(
+            "10.9.9.9".parse().unwrap(),
+            "198.51.100.53".parse().unwrap(),
+            IpProto::Udp,
+            Bytes::from(vec![0u8; 32]),
+        );
+        junk.id = 1000 + i;
+        junk.more_fragments = true;
+        cache.insert(SimTime::from_millis(u64::from(i)), junk);
+    }
+    assert!(cache.pending() <= 64, "capacity bound holds");
+    assert!(cache.stats().evictions >= 137);
+    // The planted fragment (oldest) was evicted: completing it fails.
+    let mut head = Ipv4Packet::new(
+        "203.0.113.1".parse().unwrap(),
+        "198.51.100.53".parse().unwrap(),
+        IpProto::Udp,
+        Bytes::from(vec![0xBB; 528]),
+    );
+    head.id = 7;
+    head.more_fragments = true;
+    assert!(matches!(
+        cache.insert(SimTime::from_secs(1), head),
+        ReassemblyOutcome::Pending
+    ));
+}
+
+/// Determinism under failure: the same seeded lossy scenario reproduces
+/// byte-identical outcomes.
+#[test]
+fn lossy_runs_are_deterministic() {
+    fn run(seed: u64) -> (usize, u64, i64) {
+        let mut s = Scenario::build(ScenarioConfig {
+            seed,
+            benign_universe: 64,
+            chronos: compressed_chronos(6, SimDuration::from_secs(200)),
+            ..ScenarioConfig::default()
+        });
+        s.world.topology_mut().set_default_path(PathProfile {
+            latency: LatencyModel::internet_default(),
+            loss: 0.25,
+        });
+        s.run_pool_generation(SimDuration::from_hours(1));
+        s.run_for(SimDuration::from_secs(300));
+        let c: &ChronosClient = s.chronos();
+        (
+            c.pool().len(),
+            s.world.stats().lost,
+            c.offset_from_true(s.world.now()),
+        )
+    }
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43));
+}
