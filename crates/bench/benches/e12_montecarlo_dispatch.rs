@@ -1,0 +1,109 @@
+//! E12 — Monte-Carlo trial-dispatch throughput: the lock-free batched
+//! runner vs the retained mutex-per-result baseline, on a 10 000-trial
+//! cheap-closure workload (the regime where dispatch overhead dominates),
+//! plus the allocation-free Chronos selection hot path vs its sort-based
+//! reference.
+
+use bench::banner;
+use chronos::select::{chronos_select_with, reference, SelectScratch};
+use chronos_pitfalls::montecarlo::{baseline_run_trials, run_trials, TrialBudget};
+use criterion::{criterion_group, criterion_main, black_box, Criterion, Throughput};
+
+const TRIALS: u32 = 10_000;
+const THREADS: usize = 4;
+
+/// A cheap trial: a few dozen arithmetic ops, so the measurement is
+/// dominated by dispatch (claiming work, writing the result) rather than
+/// the trial body.
+fn cheap_trial(i: u32) -> u64 {
+    let mut x = u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for _ in 0..4 {
+        x ^= x >> 7;
+        x = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    x
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    banner("E12 — trial-dispatch throughput (lock-free vs mutex baseline)");
+
+    // Correctness cross-check before timing anything.
+    let a = run_trials(TRIALS, THREADS, cheap_trial);
+    let b = baseline_run_trials(TRIALS, THREADS, cheap_trial);
+    assert_eq!(a, b, "lock-free runner must match the baseline");
+
+    let mut group = c.benchmark_group("e12_montecarlo_dispatch");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(u64::from(TRIALS)));
+    group.bench_function("lockfree_10k_cheap", |bch| {
+        bch.iter(|| run_trials(black_box(TRIALS), THREADS, cheap_trial))
+    });
+    group.bench_function("lockfree_batch1_10k_cheap", |bch| {
+        bch.iter(|| {
+            chronos_pitfalls::montecarlo::run_trials_with_budget(
+                black_box(TRIALS),
+                THREADS,
+                TrialBudget::fixed(1),
+                cheap_trial,
+            )
+        })
+    });
+    group.bench_function("baseline_mutex_10k_cheap", |bch| {
+        bch.iter(|| baseline_run_trials(black_box(TRIALS), THREADS, cheap_trial))
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    banner("E12b — Chronos selection hot path (scratch+partial vs sort reference)");
+    const MS: i64 = 1_000_000;
+    // A plausible panic-mode-sized round: 133 samples, 1/3 shifted.
+    let offsets: Vec<i64> = (0..133)
+        .map(|i| {
+            if i % 3 == 0 {
+                80 * MS + i64::from(i) * MS / 97
+            } else {
+                (i64::from(i % 7) - 3) * MS / 4
+            }
+        })
+        .collect();
+    let mut scratch = SelectScratch::with_capacity(offsets.len());
+    assert_eq!(
+        chronos_select_with(&mut scratch, &offsets, 5, 25 * MS, 100 * MS),
+        reference::chronos_select_sorted(&offsets, 5, 25 * MS, 100 * MS),
+    );
+
+    let mut group = c.benchmark_group("e12_chronos_select");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("scratch_partial_133x10k", |bch| {
+        bch.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..10_000 {
+                if let chronos::select::ChronosDecision::Accept { correction_ns, .. } =
+                    chronos_select_with(&mut scratch, black_box(&offsets), 5, 25 * MS, 500 * MS)
+                {
+                    acc = acc.wrapping_add(correction_ns);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("reference_sort_133x10k", |bch| {
+        bch.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..10_000 {
+                if let chronos::select::ChronosDecision::Accept { correction_ns, .. } =
+                    reference::chronos_select_sorted(black_box(&offsets), 5, 25 * MS, 500 * MS)
+                {
+                    acc = acc.wrapping_add(correction_ns);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_selection);
+criterion_main!(benches);

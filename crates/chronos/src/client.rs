@@ -4,7 +4,7 @@
 
 use crate::config::ChronosConfig;
 use crate::pool::PoolGenerator;
-use crate::select::{chronos_select, panic_select, ChronosDecision};
+use crate::select::{chronos_select_with, panic_select_with, ChronosDecision, SelectScratch};
 use dnslab::client::StubResolver;
 use dnslab::wire::{Question, Rcode};
 use netsim::ip::Ipv4Packet;
@@ -65,6 +65,11 @@ pub struct ChronosClient {
     last_update: Option<SimTime>,
     dns_outstanding: bool,
     round_samples: Vec<PeerSample>,
+    // Reused across rounds so the selection hot path never allocates in
+    // steady state: `offsets_buf` collects the round's raw offsets,
+    // `scratch` is the selection partition buffer.
+    offsets_buf: Vec<i64>,
+    scratch: SelectScratch,
     offset_trace: Vec<(SimTime, i64)>,
     stats: ChronosStats,
 }
@@ -89,6 +94,7 @@ impl ChronosClient {
     ) -> Self {
         config.validate();
         let pool_gen = PoolGenerator::new(config.pool.clone());
+        let sample_size = config.sample_size;
         ChronosClient {
             stack: IpStack::new(addr),
             stub: StubResolver::new(resolver),
@@ -101,6 +107,8 @@ impl ChronosClient {
             last_update: None,
             dns_outstanding: false,
             round_samples: Vec::new(),
+            offsets_buf: Vec::with_capacity(sample_size),
+            scratch: SelectScratch::with_capacity(sample_size),
             offset_trace: Vec::new(),
             stats: ChronosStats::default(),
         }
@@ -219,12 +227,16 @@ impl ChronosClient {
     }
 
     fn collect_sample_round(&mut self, ctx: &mut Context<'_>) {
-        let offsets: Vec<i64> = self.round_samples.iter().map(|s| s.offset_ns).collect();
-        let decision = chronos_select(
-            &offsets,
+        self.offsets_buf.clear();
+        self.offsets_buf
+            .extend(self.round_samples.iter().map(|s| s.offset_ns));
+        let envelope = self.envelope_ns(ctx.now());
+        let decision = chronos_select_with(
+            &mut self.scratch,
+            &self.offsets_buf,
             self.config.trim,
             self.config.omega.as_nanos() as i64,
-            self.envelope_ns(ctx.now()),
+            envelope,
         );
         match decision {
             ChronosDecision::Accept { correction_ns, .. } => {
@@ -250,8 +262,10 @@ impl ChronosClient {
     }
 
     fn collect_panic_round(&mut self, ctx: &mut Context<'_>) {
-        let offsets: Vec<i64> = self.round_samples.iter().map(|s| s.offset_ns).collect();
-        if let Some(correction) = panic_select(&offsets) {
+        self.offsets_buf.clear();
+        self.offsets_buf
+            .extend(self.round_samples.iter().map(|s| s.offset_ns));
+        if let Some(correction) = panic_select_with(&mut self.scratch, &self.offsets_buf) {
             self.clock.apply_correction(ctx.now(), correction);
             self.last_update = Some(ctx.now());
         }

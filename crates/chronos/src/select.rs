@@ -10,6 +10,22 @@
 //! a lying server's sample must either be trimmed or agree with honest ones.
 //! The DSN paper's attack does not break this logic — it breaks the
 //! assumption, by packing the pool with 2/3 attacker servers via DNS.
+//!
+//! # Hot path
+//!
+//! Selection runs once per poll round per simulated client, which makes it
+//! (with the trial dispatcher) the inner loop of every Monte-Carlo sweep.
+//! [`chronos_select_with`] / [`panic_select_with`] therefore:
+//!
+//! * take a caller-owned [`SelectScratch`] reused across rounds, so the
+//!   steady state performs **zero heap allocations**;
+//! * replace the full `sort_unstable` with two `select_nth_unstable`
+//!   partitions (O(n) instead of O(n log n)) — the decision only needs the
+//!   trimmed set's min, max and sum, all of which are order-free;
+//! * accumulate the survivor sum in one pass interleaved with min/max.
+//!
+//! The original sort-based implementation is retained in [`reference`] and
+//! property-tested to produce byte-identical decisions.
 
 use serde::{Deserialize, Serialize};
 
@@ -49,14 +65,70 @@ pub enum ChronosDecision {
     Reject(RejectReason),
 }
 
-/// Runs Chronos selection over raw offset samples (nanoseconds, relative to
-/// the local clock).
+/// Reusable working memory for the selection hot path.
 ///
-/// * `trim` — d, removed from each end after sorting.
+/// Holds the partition buffer that [`chronos_select_with`] and
+/// [`panic_select_with`] scramble; reuse one scratch across rounds and the
+/// hot path stops allocating once the buffer has grown to the largest round
+/// seen (it only ever grows — `clear` keeps capacity).
+#[derive(Debug, Default, Clone)]
+pub struct SelectScratch {
+    buf: Vec<i64>,
+}
+
+impl SelectScratch {
+    /// An empty scratch (first use allocates).
+    pub fn new() -> Self {
+        SelectScratch::default()
+    }
+
+    /// A scratch pre-sized for rounds of up to `n` samples, so even the
+    /// first selection allocates nothing.
+    pub fn with_capacity(n: usize) -> Self {
+        SelectScratch {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Current capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Copies `samples` into the buffer, reusing existing capacity.
+    fn load(&mut self, samples: &[i64]) -> &mut [i64] {
+        self.buf.clear();
+        self.buf.extend_from_slice(samples);
+        &mut self.buf
+    }
+}
+
+/// Runs Chronos selection over raw offset samples (nanoseconds, relative to
+/// the local clock), without requiring a caller-provided scratch.
+///
+/// Allocates a fresh scratch per call; loops should hold a
+/// [`SelectScratch`] and call [`chronos_select_with`] instead.
+///
+/// * `trim` — d, removed from each end after ordering.
 /// * `omega_ns` — agreement bound for the survivors.
 /// * `envelope_ns` — `ERR + drift·Δt`, the acceptable distance from the
 ///   local clock.
 pub fn chronos_select(
+    offsets_ns: &[i64],
+    trim: usize,
+    omega_ns: i64,
+    envelope_ns: i64,
+) -> ChronosDecision {
+    let mut scratch = SelectScratch::with_capacity(offsets_ns.len());
+    chronos_select_with(&mut scratch, offsets_ns, trim, omega_ns, envelope_ns)
+}
+
+/// [`chronos_select`] reusing caller-owned scratch memory: the hot path.
+///
+/// Performs zero heap allocations when `scratch` already has capacity for
+/// `offsets_ns.len()` samples.
+pub fn chronos_select_with(
+    scratch: &mut SelectScratch,
     offsets_ns: &[i64],
     trim: usize,
     omega_ns: i64,
@@ -69,43 +141,213 @@ pub fn chronos_select(
             needed,
         });
     }
-    let mut sorted = offsets_ns.to_vec();
-    sorted.sort_unstable();
-    let survivors = &sorted[trim..sorted.len() - trim];
-    let spread = survivors[survivors.len() - 1] - survivors[0];
+    let survivors = offsets_ns.len() - 2 * trim;
+    let (min, max, sum) = if trim <= TRIM_SCAN_MAX {
+        // Small trim (the Chronos configuration, d ≈ m/3 of a 15-sample
+        // round): one pass tracking the d+1 smallest and largest in stack
+        // arrays — no copy, no permutation, no allocation ever.
+        trim_scan(offsets_ns, trim)
+    } else {
+        let buf = scratch.load(offsets_ns);
+        let middle = trim_partition(buf, trim, trim);
+        scan(middle)
+    };
+    let spread = max - min;
     if spread > omega_ns {
         return ChronosDecision::Reject(RejectReason::Disagreement { spread_ns: spread });
     }
-    let avg = mean_i64(survivors);
+    let avg = mean_i64_parts(sum, survivors);
     if avg.abs() > envelope_ns {
         return ChronosDecision::Reject(RejectReason::OutsideEnvelope { avg_ns: avg });
     }
     ChronosDecision::Accept {
         correction_ns: avg,
-        survivors: survivors.len(),
+        survivors,
     }
+}
+
+/// Largest trim handled by the single-pass [`trim_scan`] tracker; beyond
+/// it (e.g. panic mode's n/3) the partial-selection path is cheaper.
+const TRIM_SCAN_MAX: usize = 16;
+
+/// Single-pass trimmed scan: returns the min, max and sum of the multiset
+/// that remains after discarding the `d` smallest and `d` largest of `xs`,
+/// without reordering or copying anything.
+///
+/// Tracks the `d+1` smallest (sorted ascending) and `d+1` largest values in
+/// bounded stack arrays: the largest of the low tracker is the surviving
+/// minimum, the smallest of the high tracker the surviving maximum, and the
+/// survivor sum is the total minus both trimmed tails.
+fn trim_scan(xs: &[i64], d: usize) -> (i64, i64, i128) {
+    let m = d + 1;
+    debug_assert!(m <= TRIM_SCAN_MAX + 1 && xs.len() > 2 * d);
+    let mut low = [i64::MAX; TRIM_SCAN_MAX + 1];
+    let mut high = [i64::MIN; TRIM_SCAN_MAX + 1];
+    let mut sum: i128 = 0;
+    for &x in xs {
+        sum += i128::from(x);
+        if x < low[m - 1] {
+            // Insert into the ascending low tracker, dropping its largest.
+            let mut i = m - 1;
+            while i > 0 && low[i - 1] > x {
+                low[i] = low[i - 1];
+                i -= 1;
+            }
+            low[i] = x;
+        }
+        if x > high[0] {
+            // Insert into the ascending high tracker, dropping its smallest.
+            let mut i = 0;
+            while i + 1 < m && high[i + 1] < x {
+                high[i] = high[i + 1];
+                i += 1;
+            }
+            high[i] = x;
+        }
+    }
+    let trimmed_low: i128 = low[..d].iter().map(|&v| i128::from(v)).sum();
+    let trimmed_high: i128 = high[1..m].iter().map(|&v| i128::from(v)).sum();
+    (low[m - 1], high[0], sum - trimmed_low - trimmed_high)
 }
 
 /// Panic-mode selection (NDSS'18 §4.2): over *all* pool samples, discard the
 /// bottom and top third and average the middle. No ω or envelope check —
 /// panic mode is the last resort.
 ///
-/// Returns `None` when no samples are available.
+/// Returns `None` when no samples are available. Allocating convenience
+/// wrapper over [`panic_select_with`].
 pub fn panic_select(offsets_ns: &[i64]) -> Option<i64> {
+    let mut scratch = SelectScratch::with_capacity(offsets_ns.len());
+    panic_select_with(&mut scratch, offsets_ns)
+}
+
+/// [`panic_select`] reusing caller-owned scratch memory: the hot path.
+pub fn panic_select_with(scratch: &mut SelectScratch, offsets_ns: &[i64]) -> Option<i64> {
     if offsets_ns.is_empty() {
         return None;
     }
-    let mut sorted = offsets_ns.to_vec();
-    sorted.sort_unstable();
-    let third = sorted.len() / 3;
-    let survivors = &sorted[third..sorted.len() - third];
-    Some(mean_i64(survivors))
+    let third = offsets_ns.len() / 3;
+    let buf = scratch.load(offsets_ns);
+    let survivors = trim_partition(buf, third, third);
+    let (_, _, sum) = scan(survivors);
+    Some(mean_i64_parts(sum, survivors.len()))
+}
+
+/// Partitions `buf` so that the `low` smallest elements occupy the front,
+/// the `high` largest the back, and returns the middle — the multiset a
+/// full sort would leave in `buf[low..len - high]`, without ordering it.
+///
+/// Two O(n) `select_nth_unstable` passes instead of an O(n log n) sort.
+fn trim_partition(buf: &mut [i64], low: usize, high: usize) -> &[i64] {
+    let len = buf.len();
+    debug_assert!(low + high < len, "trim would consume every sample");
+    if low > 0 {
+        // Element `low` lands in sorted position; everything below it moves
+        // in front.
+        buf.select_nth_unstable(low);
+    }
+    let tail = &mut buf[low..];
+    if high > 0 {
+        // Largest survivor lands at the end of the survivor range; the top
+        // `high` elements move behind it.
+        let k = tail.len() - high - 1;
+        tail.select_nth_unstable(k);
+    }
+    &buf[low..len - high]
+}
+
+/// Single-pass min / max / running sum over the survivors.
+fn scan(xs: &[i64]) -> (i64, i64, i128) {
+    debug_assert!(!xs.is_empty());
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut sum: i128 = 0;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+        sum += i128::from(x);
+    }
+    (min, max, sum)
+}
+
+/// Mean of `n` samples summing to `sum`, rounded half away from zero.
+///
+/// The seed implementation divided with truncation toward zero, which
+/// systematically biased negative-offset averages upward (e.g. the mean of
+/// `[-3, -4]` became `-3` while `[3, 4]` became `3` — an asymmetric ½ ns).
+/// Rounding half away from zero keeps positive and negative offsets
+/// symmetric.
+fn mean_i64_parts(sum: i128, n: usize) -> i64 {
+    debug_assert!(n > 0);
+    let n = n as i128;
+    let q = sum / n;
+    let r = sum % n;
+    let adjust = if 2 * r.abs() >= n {
+        if sum < 0 {
+            -1
+        } else {
+            1
+        }
+    } else {
+        0
+    };
+    (q + adjust) as i64
 }
 
 fn mean_i64(xs: &[i64]) -> i64 {
     debug_assert!(!xs.is_empty());
     let sum: i128 = xs.iter().map(|&x| i128::from(x)).sum();
-    (sum / xs.len() as i128) as i64
+    mean_i64_parts(sum, xs.len())
+}
+
+/// The retained sort-based implementation, kept as the correctness oracle
+/// for the optimized hot path (property-tested to be decision-identical)
+/// and as the comparison baseline in `e12_montecarlo_dispatch`.
+pub mod reference {
+    use super::{mean_i64, ChronosDecision, RejectReason};
+
+    /// Sort-based [`super::chronos_select`]: allocates and fully sorts.
+    pub fn chronos_select_sorted(
+        offsets_ns: &[i64],
+        trim: usize,
+        omega_ns: i64,
+        envelope_ns: i64,
+    ) -> ChronosDecision {
+        let needed = 2 * trim + 1;
+        if offsets_ns.len() < needed {
+            return ChronosDecision::Reject(RejectReason::TooFewSamples {
+                got: offsets_ns.len(),
+                needed,
+            });
+        }
+        let mut sorted = offsets_ns.to_vec();
+        sorted.sort_unstable();
+        let survivors = &sorted[trim..sorted.len() - trim];
+        let spread = survivors[survivors.len() - 1] - survivors[0];
+        if spread > omega_ns {
+            return ChronosDecision::Reject(RejectReason::Disagreement { spread_ns: spread });
+        }
+        let avg = mean_i64(survivors);
+        if avg.abs() > envelope_ns {
+            return ChronosDecision::Reject(RejectReason::OutsideEnvelope { avg_ns: avg });
+        }
+        ChronosDecision::Accept {
+            correction_ns: avg,
+            survivors: survivors.len(),
+        }
+    }
+
+    /// Sort-based [`super::panic_select`].
+    pub fn panic_select_sorted(offsets_ns: &[i64]) -> Option<i64> {
+        if offsets_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = offsets_ns.to_vec();
+        sorted.sort_unstable();
+        let third = sorted.len() / 3;
+        let survivors = &sorted[third..sorted.len() - third];
+        Some(mean_i64(survivors))
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +475,54 @@ mod tests {
     }
 
     #[test]
+    fn scratch_is_reusable_and_input_is_untouched() {
+        let samples = honest_samples();
+        let before = samples.clone();
+        let mut scratch = SelectScratch::new();
+        let a = chronos_select_with(&mut scratch, &samples, 5, 25 * MS, 100 * MS);
+        let b = chronos_select_with(&mut scratch, &samples, 5, 25 * MS, 100 * MS);
+        assert_eq!(a, b, "scratch reuse must not change decisions");
+        assert_eq!(samples, before, "input samples are not scrambled");
+        assert_eq!(
+            panic_select_with(&mut scratch, &samples),
+            panic_select(&samples),
+        );
+    }
+
+    #[test]
+    fn mean_rounds_half_away_from_zero() {
+        // Regression for the truncation bias: negative averages used to be
+        // pulled toward zero.
+        assert_eq!(mean_i64(&[-3, -4]), -4);
+        assert_eq!(mean_i64(&[3, 4]), 4);
+        assert_eq!(mean_i64(&[-1, -2, -3]), -2);
+        assert_eq!(mean_i64(&[-1, 0]), -1, "-0.5 rounds away from zero");
+        assert_eq!(mean_i64(&[1, 0]), 1);
+        assert_eq!(mean_i64(&[-10, -11, -13]), -11, "-11.33 rounds to -11");
+        assert_eq!(mean_i64(&[7]), 7);
+    }
+
+    #[test]
+    fn negative_offsets_average_symmetrically() {
+        // End-to-end: mirrored inputs yield mirrored corrections.
+        let pos = vec![3 * MS, 3 * MS, 3 * MS + 1, 4 * MS, 2 * MS];
+        let neg: Vec<i64> = pos.iter().map(|x| -x).collect();
+        let a = chronos_select(&pos, 1, 25 * MS, 100 * MS);
+        let b = chronos_select(&neg, 1, 25 * MS, 100 * MS);
+        match (a, b) {
+            (
+                ChronosDecision::Accept {
+                    correction_ns: ca, ..
+                },
+                ChronosDecision::Accept {
+                    correction_ns: cb, ..
+                },
+            ) => assert_eq!(ca, -cb, "asymmetric rounding: {ca} vs {cb}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn panic_trims_thirds_and_averages() {
         // 44 honest (0) + 89 liars (+500 ms): panic over 133 samples trims
         // 44 from each side, leaving 45 all-malicious survivors.
@@ -280,5 +570,28 @@ mod tests {
             chronos_select(&shifted, 5, 25 * MS, 0),
             ChronosDecision::Reject(RejectReason::OutsideEnvelope { .. })
         ));
+    }
+
+    #[test]
+    fn matches_reference_on_assorted_inputs() {
+        let cases: Vec<(Vec<i64>, usize)> = vec![
+            (honest_samples(), 5),
+            (honest_samples(), 1),
+            ((0..40).map(|i| ((i * 37) % 41 - 20) * MS).collect(), 13),
+            (vec![-MS; 11], 5),
+            (vec![i64::MIN / 4, 0, i64::MAX / 4, 1, -1, 2, -2], 2),
+        ];
+        for (samples, trim) in cases {
+            let mut scratch = SelectScratch::new();
+            assert_eq!(
+                chronos_select_with(&mut scratch, &samples, trim, 25 * MS, 100 * MS),
+                reference::chronos_select_sorted(&samples, trim, 25 * MS, 100 * MS),
+                "diverged on {samples:?} trim {trim}"
+            );
+            assert_eq!(
+                panic_select_with(&mut scratch, &samples),
+                reference::panic_select_sorted(&samples),
+            );
+        }
     }
 }

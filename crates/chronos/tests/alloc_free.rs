@@ -1,0 +1,90 @@
+//! Verifies the selection hot path performs **zero heap allocations** when
+//! given a warm [`SelectScratch`], via a counting global allocator.
+//!
+//! Lives in its own integration-test binary because a `#[global_allocator]`
+//! is process-wide, and everything runs inside ONE `#[test]` function:
+//! libtest executes sibling tests on parallel threads, which would let a
+//! neighbour's allocations land between a counting window's before/after
+//! reads and fail the zero-allocation assertion spuriously.
+
+use chronos::select::{
+    chronos_select, chronos_select_with, panic_select_with, ChronosDecision, SelectScratch,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (after - before, result)
+}
+
+#[test]
+fn selection_hot_path_is_allocation_free_with_scratch() {
+    const MS: i64 = 1_000_000;
+
+    // --- harness sanity: the counter must see the allocating wrapper
+    //     (which builds a scratch per call) or a zero below proves nothing.
+    let offsets = vec![0i64; 15];
+    let (allocs, _) = count_allocations(|| chronos_select(&offsets, 5, 25 * MS, 100 * MS));
+    assert!(allocs >= 1, "wrapper should allocate its scratch");
+
+    // --- warm scratch: zero allocations across trims and both selectors.
+    let offsets: Vec<i64> = (0..133).map(|i| ((i * 37) % 41 - 20) * MS / 10).collect();
+    let mut scratch = SelectScratch::with_capacity(offsets.len());
+    let (allocs, decisions) = count_allocations(|| {
+        let mut accepts = 0u32;
+        for round in 0..1000 {
+            let trim = (round % 8) + 1;
+            if let ChronosDecision::Accept { .. } =
+                chronos_select_with(&mut scratch, &offsets, trim, 500 * MS, 1000 * MS)
+            {
+                accepts += 1;
+            }
+            let _ = panic_select_with(&mut scratch, &offsets);
+        }
+        accepts
+    });
+    assert!(decisions > 0, "sanity: rounds were actually accepted");
+    assert_eq!(
+        allocs, 0,
+        "warm-scratch selection must not allocate (got {allocs} allocations over 2000 calls)"
+    );
+
+    // --- cold scratch: at most one growth allocation, then silence.
+    let offsets = vec![3 * MS; 31];
+    let mut scratch = SelectScratch::new();
+    let (first, _) =
+        count_allocations(|| chronos_select_with(&mut scratch, &offsets, 5, 25 * MS, 100 * MS));
+    assert!(first <= 1, "cold scratch allocates at most once, got {first}");
+    let (later, _) = count_allocations(|| {
+        for _ in 0..100 {
+            chronos_select_with(&mut scratch, &offsets, 5, 25 * MS, 100 * MS);
+        }
+    });
+    assert_eq!(later, 0);
+}

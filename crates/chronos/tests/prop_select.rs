@@ -129,3 +129,75 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Equivalence of the optimized hot path (caller-provided SelectScratch +
+// select_nth_unstable partial selection) with the retained sort-based
+// reference implementation: decisions must be byte-identical for every
+// input, trim, and bound — including scratch reuse across rounds.
+// ---------------------------------------------------------------------
+
+use chronos::select::{chronos_select_with, panic_select_with, reference, SelectScratch};
+
+proptest! {
+    /// `chronos_select_with` ≡ the naive sort-based reference, across
+    /// random sample vectors, trims, and bounds.
+    #[test]
+    fn scratch_select_matches_sorted_reference(
+        offsets in proptest::collection::vec(-2_000_000_000i64..2_000_000_000, 1..120),
+        // Crosses TRIM_SCAN_MAX (16): exercises both the single-pass tracker
+        // and the select_nth_unstable partial-selection path.
+        trim in 0usize..40,
+        omega_ms in 0i64..2000,
+        envelope_ms in 0i64..3000,
+    ) {
+        let mut scratch = SelectScratch::new();
+        let fast = chronos_select_with(
+            &mut scratch,
+            &offsets,
+            trim,
+            omega_ms * 1_000_000,
+            envelope_ms * 1_000_000,
+        );
+        let slow = reference::chronos_select_sorted(
+            &offsets,
+            trim,
+            omega_ms * 1_000_000,
+            envelope_ms * 1_000_000,
+        );
+        prop_assert_eq!(fast, slow, "diverged on {:?} trim {}", offsets, trim);
+    }
+
+    /// `panic_select_with` ≡ the sort-based reference.
+    #[test]
+    fn scratch_panic_matches_sorted_reference(
+        offsets in proptest::collection::vec(-2_000_000_000i64..2_000_000_000, 0..200),
+    ) {
+        let mut scratch = SelectScratch::new();
+        prop_assert_eq!(
+            panic_select_with(&mut scratch, &offsets),
+            reference::panic_select_sorted(&offsets),
+            "diverged on {:?}", offsets
+        );
+    }
+
+    /// A dirty scratch (reused across rounds of different sizes and
+    /// contents) never leaks state between calls.
+    #[test]
+    fn scratch_reuse_is_stateless(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 1..40),
+            1..8,
+        ),
+        trim in 0usize..4,
+    ) {
+        let mut scratch = SelectScratch::new();
+        for offsets in &rounds {
+            let fast = chronos_select_with(&mut scratch, offsets, trim, 25_000_000, 100_000_000);
+            let slow = reference::chronos_select_sorted(offsets, trim, 25_000_000, 100_000_000);
+            prop_assert_eq!(fast, slow);
+            let fast_panic = panic_select_with(&mut scratch, offsets);
+            prop_assert_eq!(fast_panic, reference::panic_select_sorted(offsets));
+        }
+    }
+}

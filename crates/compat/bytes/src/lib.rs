@@ -1,0 +1,273 @@
+//! Offline stand-in for the `bytes` crate's [`Bytes`] type.
+//!
+//! Semantics match what the simulator relies on: a `Bytes` is an immutable
+//! byte buffer; [`Bytes::clone`] is a reference-count bump and
+//! [`Bytes::slice`] is a zero-copy sub-view of the same allocation. This is
+//! the property the netsim hot path depends on — fragmenting a datagram or
+//! fanning a payload out to the event queue shares one `Arc<[u8]>`
+//! allocation instead of memcpy-ing `Vec<u8>`s per packet.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, zero-copy-sliceable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Option<Arc<[u8]>>,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes {
+            data: None,
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps a static slice without copying or allocating.
+    ///
+    /// (The stub stores an `Arc` either way, so unlike upstream this
+    /// allocates the shared header once; the payload itself is not copied
+    /// on subsequent clones/slices, which is what matters here.)
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: self.data.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.data {
+            Some(arc) => &arc[self.offset..self.offset + self.len],
+            None => &[],
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Some(Arc::from(v)),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        // Same backing allocation: Arc pointer equality.
+        let pa = b.data.as_ref().unwrap().as_ptr();
+        assert_eq!(pa, c.data.as_ref().unwrap().as_ptr());
+        assert_eq!(pa, s.data.as_ref().unwrap().as_ptr());
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let b = Bytes::from((0u8..100).collect::<Vec<_>>());
+        let s = b.slice(10..90).slice(5..10);
+        assert_eq!(&s[..], &[15, 16, 17, 18, 19]);
+        assert_eq!(s.slice(..).len(), 5);
+    }
+
+    #[test]
+    fn empty_and_equality() {
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::new(), Bytes::from(Vec::new()));
+        let b = Bytes::from(vec![9u8, 8]);
+        assert_eq!(b, vec![9u8, 8]);
+        assert_eq!(b, [9u8, 8][..]);
+        assert_eq!(b.to_vec(), vec![9u8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_slice_panics() {
+        Bytes::from(vec![1u8]).slice(0..2);
+    }
+}

@@ -1,0 +1,615 @@
+//! Offline mini property-testing harness, API-compatible with the subset of
+//! `proptest` this workspace uses.
+//!
+//! Supported: the `proptest!` macro (with `pat in strategy` arguments),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, `prop_oneof!`,
+//! `any::<T>()`, integer-range strategies, tuple strategies,
+//! [`collection::vec`], [`string::string_regex`] (a generative regex
+//! subset: literals, `[...]` classes with ranges, `{m,n}`/`{n}`/`?`/`*`/`+`
+//! quantifiers), `Just`, and `Strategy::prop_map`.
+//!
+//! Not supported: shrinking (a failing case reports its seed and values
+//! instead), `prop_flat_map`, recursive strategies. Cases are generated from
+//! a deterministic per-test seed so failures reproduce; set
+//! `PROPTEST_CASES` to override the default of 64 cases per property.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic case generator handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for `test_name`'s `case`-th input.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` filtered this case out; try another.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// A `&str` is a strategy generating strings matching it as a regex
+/// (the generative subset documented on [`string::string_regex`]).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid inline regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union; used by the `prop_oneof!` macro.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length ranges accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.usize_below(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.usize_below(hi - lo + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// A parsed generative regex (see [`string_regex`]).
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<(Atom, u32, u32)>,
+    }
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, lo, hi) in &self.atoms {
+                let n = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                for _ in 0..n {
+                    match atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let total: u32 =
+                                ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                            let mut pick = (rng.next_u64() % u64::from(total)) as u32;
+                            for (a, b) in ranges {
+                                let span = *b as u32 - *a as u32 + 1;
+                                if pick < span {
+                                    out.push(char::from_u32(*a as u32 + pick).expect("in range"));
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Builds a string strategy from a *generative* regex subset: literal
+    /// characters, `[...]` classes (with `a-z` ranges and literal leading /
+    /// trailing `-`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+    /// (unbounded quantifiers are capped at 16 repetitions).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut members: Vec<char> = Vec::new();
+                    let mut ranges: Vec<(char, char)> = Vec::new();
+                    loop {
+                        let m = chars.next().ok_or("unterminated class")?;
+                        if m == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            // Lookahead: range only if something other than
+                            // ']' follows the dash.
+                            let mut ahead = chars.clone();
+                            ahead.next(); // the dash
+                            match ahead.peek() {
+                                Some(&end) if end != ']' => {
+                                    chars.next(); // consume '-'
+                                    let end = chars.next().expect("peeked");
+                                    if end < m {
+                                        return Err(format!("inverted range {m}-{end}"));
+                                    }
+                                    ranges.push((m, end));
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                        members.push(m);
+                    }
+                    for m in members {
+                        ranges.push((m, m));
+                    }
+                    if ranges.is_empty() {
+                        return Err("empty character class".to_string());
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Literal(chars.next().ok_or("dangling escape")?),
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(format!("unsupported regex construct {c:?}"));
+                }
+                other => Atom::Literal(other),
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('}') => break,
+                            Some(d) => spec.push(d),
+                            None => return Err("unterminated quantifier".to_string()),
+                        }
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => {
+                            let lo = a.trim().parse::<u32>().map_err(|e| e.to_string())?;
+                            let hi = if b.trim().is_empty() {
+                                lo + 16
+                            } else {
+                                b.trim().parse::<u32>().map_err(|e| e.to_string())?
+                            };
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = spec.trim().parse::<u32>().map_err(|e| e.to_string())?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 16)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 16)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, lo, hi));
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` env override).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`case_count`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::case_count();
+            let mut rejected: u32 = 0;
+            for case in 0..cases {
+                let mut __proptest_rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    u64::from(case),
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let mut __proptest_case =
+                    || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                match __proptest_case() {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} falsified at case {case}/{cases}: {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+            assert!(
+                rejected < cases,
+                "prop_assume! rejected every generated case"
+            );
+        }
+    )*};
+}
+
+/// Asserts inside a property body; failure falsifies the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}: {:?} != {:?}",
+                format!($($fmt)*), left, right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Filters the current case out when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Boxes a strategy for [`OneOf`], preserving its value type for inference.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        // proptest's own syntax wraps alternatives in parentheses; keep
+        // that convention lint-clean here.
+        #[allow(unused_parens)]
+        let options = vec![$($crate::boxed($strat)),+];
+        $crate::OneOf::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vec(
+            x in 3usize..7,
+            v in crate::collection::vec(0i64..10, 2..5),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map(
+            y in prop_oneof![(-10i64..-5), (5i64..10)].prop_map(|v| v * 2),
+        ) {
+            prop_assert!(y.abs() >= 10 && y.abs() <= 20, "y = {y}");
+        }
+
+        #[test]
+        fn regex_subset(s in "[a-z][a-z0-9-]{0,14}") {
+            prop_assert!(!s.is_empty() && s.len() <= 15);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '-'));
+        }
+
+        #[test]
+        fn assume_rejects_some(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::deterministic("t", 3);
+        let mut b = crate::TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("[").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository's simulation code derives `Serialize`/`Deserialize` on
+//! its result types so downstream consumers *could* persist them, but
+//! nothing in-tree performs actual serde serialization (report/bench JSON is
+//! emitted by hand). Since the build container has no crates.io access, this
+//! stub provides the two traits as blanket-implemented markers and re-exports
+//! no-op derive macros, keeping every `#[derive(Serialize, Deserialize)]`
+//! and `T: Serialize` bound compiling unchanged.
+//!
+//! If real serialization is ever needed, replace this stub with the genuine
+//! crate in `[workspace.dependencies]` — no call-site changes required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; implemented for every type.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+/// Subset of `serde::de` used in bounds.
+pub mod de {
+    /// Marker counterpart of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

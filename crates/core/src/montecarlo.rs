@@ -4,17 +4,85 @@
 //! parallel: each gets its own seed-derived world. [`run_trials`] fans them
 //! out over scoped threads and returns results in trial order, so outcomes
 //! are independent of thread scheduling.
+//!
+//! # Design: lock-free result collection
+//!
+//! Results land in pre-allocated output slots. The slots are split into
+//! contiguous batches handed to workers through disjoint `&mut` chunks, so
+//! no worker ever touches another worker's slots — there is **no lock on
+//! the per-trial result path**. Load balancing is work-stealing-style: a
+//! single atomic batch cursor hands out the next unclaimed batch, so a
+//! worker stuck on an expensive trial doesn't strand the rest of its
+//! statically assigned range. [`TrialBudget`] controls the batch size:
+//! larger batches amortize the (already tiny) dispatch cost for cheap
+//! closures, smaller batches balance heavy packet-level scenarios.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Batching policy for [`run_trials_with_budget`].
+///
+/// A batch is the unit of work a worker claims from the shared cursor: all
+/// trials in a batch run on one thread, back to back, with a single atomic
+/// operation for the whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialBudget {
+    /// Trials claimed per atomic dispatch. `None` picks a size that yields
+    /// roughly [`TrialBudget::AUTO_BATCHES_PER_THREAD`] batches per worker —
+    /// enough slack for stealing, few enough that dispatch stays amortized.
+    pub batch_size: Option<usize>,
+}
+
+impl TrialBudget {
+    /// Batches each worker gets on average under the automatic policy.
+    pub const AUTO_BATCHES_PER_THREAD: usize = 8;
+
+    /// The automatic policy (recommended).
+    pub const fn auto() -> Self {
+        TrialBudget { batch_size: None }
+    }
+
+    /// A fixed batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn fixed(size: usize) -> Self {
+        assert!(size > 0, "batch size must be positive");
+        TrialBudget {
+            batch_size: Some(size),
+        }
+    }
+
+    /// Resolves the batch size for a workload.
+    pub fn resolve(self, trials: u32, threads: usize) -> usize {
+        match self.batch_size {
+            Some(n) => n.max(1),
+            None => {
+                let target = threads.max(1) * Self::AUTO_BATCHES_PER_THREAD;
+                ((trials as usize).div_ceil(target.max(1))).max(1)
+            }
+        }
+    }
+}
+
+impl Default for TrialBudget {
+    fn default() -> Self {
+        TrialBudget::auto()
+    }
+}
 
 /// Runs `trials` independent evaluations of `f` (called with the trial
 /// index) across `threads` worker threads, returning results in index
-/// order.
+/// order. Batching follows [`TrialBudget::auto`]; use
+/// [`run_trials_with_budget`] to tune it.
 ///
 /// Determinism: `f` must derive all randomness from its trial index (e.g.
-/// `seed ^ index`); the runner guarantees nothing else about ordering.
+/// `seed ^ index`); results are written to slot `index` regardless of which
+/// worker ran the trial, so the output is independent of scheduling.
+///
+/// Guarantee: when `trials == 0` the call returns immediately without
+/// spawning any worker threads.
 ///
 /// # Panics
 ///
@@ -24,25 +92,139 @@ where
     T: Send,
     F: Fn(u32) -> T + Sync,
 {
+    run_trials_with_budget(trials, threads, TrialBudget::auto(), f)
+}
+
+/// [`run_trials`] with an explicit [`TrialBudget`].
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_trials_with_budget<T, F>(
+    trials: u32,
+    threads: usize,
+    budget: TrialBudget,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
     assert!(threads > 0, "need at least one worker thread");
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..trials).map(|_| None).collect());
+    if trials == 0 {
+        return Vec::new();
+    }
+    let batch = budget.resolve(trials, threads);
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+
+    // Serial fast path: one worker needs neither threads nor atomics.
+    if threads == 1 || trials == 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i as u32));
+        }
+        return unwrap_slots(slots);
+    }
+
+    // Disjoint &mut batches behind an atomic claim cursor: each batch index
+    // is handed out exactly once, so every slot has a unique writer and no
+    // result write ever takes a lock.
+    {
+        let cells: Vec<BatchCell<'_, T>> = slots
+            .chunks_mut(batch)
+            .map(BatchCell::new)
+            .collect();
+        let cells = &cells[..];
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.min(cells.len());
+        std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let f = &f;
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= cells.len() {
+                        break;
+                    }
+                    // Safety: the cursor returns each index exactly once, so
+                    // this worker is the sole accessor of batch `b`.
+                    let chunk = unsafe { cells[b].take() };
+                    let base = (b * batch) as u32;
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(f(base + off as u32));
+                    }
+                });
+            }
+        });
+    }
+    unwrap_slots(slots)
+}
+
+/// A batch of output slots claimed by exactly one worker (enforced by the
+/// atomic cursor handing out each index once).
+struct BatchCell<'a, T> {
+    chunk: std::cell::UnsafeCell<*mut [Option<T>]>,
+    _marker: std::marker::PhantomData<&'a mut [Option<T>]>,
+}
+
+// Safety: workers only dereference a cell after uniquely claiming its index
+// from the atomic cursor; the scoped-thread join provides the release/acquire
+// edge back to the collecting thread.
+unsafe impl<T: Send> Sync for BatchCell<'_, T> {}
+
+impl<'a, T> BatchCell<'a, T> {
+    fn new(chunk: &'a mut [Option<T>]) -> Self {
+        BatchCell {
+            chunk: std::cell::UnsafeCell::new(chunk as *mut _),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Must be called at most once per cell (guaranteed by the cursor).
+    #[allow(clippy::mut_from_ref)] // unique access enforced by the claim cursor
+    unsafe fn take(&self) -> &mut [Option<T>] {
+        &mut **self.chunk.get()
+    }
+}
+
+fn unwrap_slots<T>(slots: Vec<Option<T>>) -> Vec<T> {
+    slots
+        .into_iter()
+        .map(|r| r.expect("every trial filled"))
+        .collect()
+}
+
+/// The seed implementation retained as the benchmark baseline: one global
+/// mutex acquisition per trial result. Kept (not re-exported from the crate
+/// root) so `e12_montecarlo_dispatch` can measure the win of the lock-free
+/// path against it; do not use in new code.
+#[doc(hidden)]
+pub fn baseline_run_trials<T, F>(trials: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    use std::sync::atomic::AtomicU32;
+    assert!(threads > 0, "need at least one worker thread");
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..trials).map(|_| None).collect());
     let next = AtomicU32::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(trials.max(1) as usize) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
                 let out = f(i);
-                results.lock()[i as usize] = Some(out);
+                results.lock().expect("not poisoned")[i as usize] = Some(out);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
     results
         .into_inner()
+        .expect("not poisoned")
         .into_iter()
         .map(|r| r.expect("every trial filled"))
         .collect()
@@ -110,8 +292,31 @@ mod tests {
     }
 
     #[test]
-    fn zero_trials_is_fine() {
+    fn parallel_equals_serial_across_budgets() {
+        let f = |i: u32| {
+            let mut rng = SimRng::seed_from(9000 + u64::from(i));
+            rng.gen::<u64>()
+        };
+        let reference = run_trials_with_budget(257, 1, TrialBudget::auto(), f);
+        for batch in [1usize, 2, 7, 64, 300] {
+            let got = run_trials_with_budget(257, 6, TrialBudget::fixed(batch), f);
+            assert_eq!(reference, got, "batch size {batch} changed outcomes");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_implementation() {
+        let f = |i: u32| u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        assert_eq!(run_trials(500, 4, f), baseline_run_trials(500, 4, f));
+    }
+
+    #[test]
+    fn zero_trials_spawns_nothing() {
+        // Would deadlock/panic if a worker were spawned with a waiting
+        // barrier-style closure; mostly documents the no-spawn guarantee.
         let out: Vec<u32> = run_trials(0, 4, |i| i);
+        assert!(out.is_empty());
+        let out: Vec<u32> = run_trials_with_budget(0, 4, TrialBudget::fixed(3), |i| i);
         assert!(out.is_empty());
     }
 
@@ -119,6 +324,25 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         run_trials(1, 0, |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        TrialBudget::fixed(0);
+    }
+
+    #[test]
+    fn auto_budget_scales_with_workload() {
+        assert_eq!(TrialBudget::auto().resolve(10_000, 8), 157);
+        assert_eq!(TrialBudget::auto().resolve(4, 8), 1);
+        assert_eq!(TrialBudget::fixed(32).resolve(10_000, 8), 32);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let out = run_trials(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]

@@ -112,6 +112,9 @@ pub struct World {
     trace: Trace,
     stats: WorldStats,
     started: bool,
+    // Reused per-event action buffer: dispatch drains it back to empty, so
+    // steady-state event processing performs no per-event allocation.
+    actions_scratch: Vec<Action>,
 }
 
 impl core::fmt::Debug for World {
@@ -131,7 +134,7 @@ impl World {
         World {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(256),
             nodes: Vec::new(),
             labels: Vec::new(),
             addr_owner: HashMap::new(),
@@ -141,6 +144,7 @@ impl World {
             trace: Trace::default(),
             stats: WorldStats::default(),
             started: false,
+            actions_scratch: Vec::with_capacity(16),
         }
     }
 
@@ -343,30 +347,33 @@ impl World {
         Some(at)
     }
 
-    #[allow(clippy::type_complexity)] // one-shot dispatch closure, not worth a named type
     fn dispatch(&mut self, kind: EventKind) {
         self.stats.events += 1;
-        let (node_id, call): (NodeId, Box<dyn FnOnce(&mut dyn Node, &mut Context<'_>)>) =
-            match kind {
-                EventKind::Start(id) => (id, Box::new(|n, ctx| n.on_start(ctx))),
-                EventKind::Arrival { node, pkt } => {
-                    (node, Box::new(move |n, ctx| n.on_packet(ctx, pkt)))
-                }
-                EventKind::Timer { node, tag } => {
-                    self.stats.timers += 1;
-                    (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
-                }
-            };
+        let node_id = match &kind {
+            EventKind::Start(id) => *id,
+            EventKind::Arrival { node, .. } => *node,
+            EventKind::Timer { node, .. } => {
+                self.stats.timers += 1;
+                *node
+            }
+        };
         let Some(mut node) = self.nodes[node_id.index()].take() else {
             return;
         };
-        let mut actions = Vec::new();
+        // Reuse the action buffer across events (drained below, capacity
+        // kept); swap it out so `self` stays borrowable by `Context`.
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        debug_assert!(actions.is_empty());
         {
             let mut ctx = Context::new(self.now, node_id, &mut self.rng, &mut actions);
-            call(node.as_mut(), &mut ctx);
+            match kind {
+                EventKind::Start(_) => node.on_start(&mut ctx),
+                EventKind::Arrival { pkt, .. } => node.on_packet(&mut ctx, pkt),
+                EventKind::Timer { tag, .. } => node.on_timer(&mut ctx, tag),
+            }
         }
         self.nodes[node_id.index()] = Some(node);
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send(pkt) => self.transmit(node_id, pkt),
                 Action::Timer { delay, tag } => {
@@ -380,6 +387,7 @@ impl World {
                 }
             }
         }
+        self.actions_scratch = actions;
     }
 
     fn transmit(&mut self, from: NodeId, pkt: Ipv4Packet) {
@@ -397,55 +405,73 @@ impl World {
             return;
         }
         let mtu = self.topology.path_mtu(from, to);
-        let pieces = if pkt.total_len() > mtu as usize {
-            match pkt.fragment(mtu) {
-                Ok(frags) => {
-                    self.stats.transit_fragmented += 1;
-                    self.trace.record(
-                        self.now,
-                        from,
-                        Some(to),
-                        TraceOutcome::FragmentedInTransit,
-                        &pkt,
-                    );
-                    frags
-                }
-                Err(FragmentError::DontFragment { .. }) => {
-                    self.stats.df_dropped += 1;
-                    self.trace
-                        .record(self.now, from, Some(to), TraceOutcome::DfDropped, &pkt);
-                    self.send_frag_needed(from, &pkt, mtu);
-                    return;
-                }
-                Err(_) => {
-                    self.stats.no_route += 1;
-                    return;
-                }
+        if pkt.total_len() <= mtu as usize {
+            // Common case: no transit fragmentation — deliver the packet
+            // itself without building a single-element Vec.
+            let latency = profile.latency.sample(&mut self.rng);
+            self.deliver_piece(from, to, hijacked, pkt, latency, 0);
+            return;
+        }
+        let pieces = match pkt.fragment(mtu) {
+            Ok(frags) => {
+                self.stats.transit_fragmented += 1;
+                self.trace.record(
+                    self.now,
+                    from,
+                    Some(to),
+                    TraceOutcome::FragmentedInTransit,
+                    &pkt,
+                );
+                frags
             }
-        } else {
-            vec![pkt]
+            Err(FragmentError::DontFragment { .. }) => {
+                self.stats.df_dropped += 1;
+                self.trace
+                    .record(self.now, from, Some(to), TraceOutcome::DfDropped, &pkt);
+                self.send_frag_needed(from, &pkt, mtu);
+                return;
+            }
+            Err(_) => {
+                self.stats.no_route += 1;
+                return;
+            }
         };
         let latency = profile.latency.sample(&mut self.rng);
+        self.queue.reserve(pieces.len());
         for (i, piece) in pieces.into_iter().enumerate() {
-            let outcome = if hijacked {
-                self.stats.hijack_delivered += 1;
-                TraceOutcome::Hijacked
-            } else {
-                self.stats.delivered += 1;
-                TraceOutcome::Delivered
-            };
-            self.trace
-                .record(self.now, from, Some(to), outcome, &piece);
-            // Fragments of one datagram keep their relative order.
-            let at = self.now + latency + SimDuration::from_micros(i as u64);
-            self.push(
-                at,
-                EventKind::Arrival {
-                    node: to,
-                    pkt: piece,
-                },
-            );
+            self.deliver_piece(from, to, hijacked, piece, latency, i as u64);
         }
+    }
+
+    /// Records and enqueues one delivered packet (or fragment `index` of a
+    /// transit-fragmented datagram; fragments keep their relative order via
+    /// the per-index micro-offset).
+    fn deliver_piece(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        hijacked: bool,
+        piece: Ipv4Packet,
+        latency: SimDuration,
+        index: u64,
+    ) {
+        let outcome = if hijacked {
+            self.stats.hijack_delivered += 1;
+            TraceOutcome::Hijacked
+        } else {
+            self.stats.delivered += 1;
+            TraceOutcome::Delivered
+        };
+        self.trace
+            .record(self.now, from, Some(to), outcome, &piece);
+        let at = self.now + latency + SimDuration::from_micros(index);
+        self.push(
+            at,
+            EventKind::Arrival {
+                node: to,
+                pkt: piece,
+            },
+        );
     }
 
     fn send_frag_needed(&mut self, offender: NodeId, pkt: &Ipv4Packet, mtu: u16) {
