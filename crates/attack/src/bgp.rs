@@ -94,9 +94,11 @@ impl BgpHijackAttacker {
         for _ in 0..self.config.records {
             let addr = farm[self.cursor % farm.len()];
             self.cursor += 1;
-            response
-                .answers
-                .push(dnslab::wire::Record::a(qname.clone(), addr, self.config.ttl));
+            response.answers.push(dnslab::wire::Record::a(
+                qname.clone(),
+                addr,
+                self.config.ttl,
+            ));
         }
         if query.edns_udp_size().is_some() {
             response = response.with_edns(4096);
@@ -106,6 +108,12 @@ impl BgpHijackAttacker {
 }
 
 impl Node for BgpHijackAttacker {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.cursor = 0;
+        self.stats = BgpHijackStats::default();
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
         self.stats.packets_seen += 1;
         // Hijacked traffic is addressed to the *nameserver*, not to us, so
@@ -258,7 +266,13 @@ mod tests {
         assert_eq!(c.answers.len(), 89);
         assert!(c.answers.iter().all(|&a| is_farm_addr(a)));
         assert_eq!(c.ttl, 86_401);
-        assert_eq!(world.node::<BgpHijackAttacker>(attacker).stats().poisoned_responses, 1);
+        assert_eq!(
+            world
+                .node::<BgpHijackAttacker>(attacker)
+                .stats()
+                .poisoned_responses,
+            1
+        );
         // And the resolver cached the poison.
         let cached = world
             .node_mut::<RecursiveResolver>(resolver)

@@ -23,6 +23,8 @@
 //! fake nameserver, which serves 89 farm addresses with TTL 86 401 — the
 //! §IV pool capture.
 
+use bytes::Bytes;
+use core::fmt;
 use dnslab::name::Name;
 use dnslab::server::DNS_PORT;
 use dnslab::wire::{Message, Question, RData, Section};
@@ -31,8 +33,6 @@ use netsim::node::{Context, Node};
 use netsim::stack::{IpStack, StackEvent};
 use netsim::time::SimDuration;
 use netsim::udp::{fold_checksum, ones_complement_sum, UDP_HEADER_LEN};
-use bytes::Bytes;
-use core::fmt;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -178,9 +178,7 @@ pub fn forge_tail(
         return Err(ForgeError::DoesNotFragment);
     }
     let (encoded, spans) = response.encode_tracked();
-    if encoded.len() + UDP_HEADER_LEN != segment.len()
-        || encoded[..] != segment[UDP_HEADER_LEN..]
-    {
+    if encoded.len() + UDP_HEADER_LEN != segment.len() || encoded[..] != segment[UDP_HEADER_LEN..] {
         return Err(ForgeError::TemplateMismatch);
     }
     let original_tail = &segment[first_len..];
@@ -204,8 +202,7 @@ pub fn forge_tail(
         let rd = tail_off(t.fields.rdata_offset);
         forged[rd..rd + 4].copy_from_slice(&fake_ns_addr.octets());
         let ttl = tail_off(t.fields.ttl_offset);
-        forged[ttl..ttl + 4]
-            .copy_from_slice(&(u32::from(glue_ttl_high) << 16).to_be_bytes());
+        forged[ttl..ttl + 4].copy_from_slice(&(u32::from(glue_ttl_high) << 16).to_be_bytes());
     }
     // Compensation slot: the low 16 TTL bits of the last forged glue record
     // (attacker-controlled, parse-safe — the TTL stays above 24 h because
@@ -299,8 +296,7 @@ impl FragPoisoner {
         let txid: u16 = ctx.rng().gen();
         self.probe_txid = Some(txid);
         self.stats.probes += 1;
-        let query =
-            Message::query(txid, Question::a(self.config.qname.clone())).with_edns(4096);
+        let query = Message::query(txid, Question::a(self.config.qname.clone())).with_edns(4096);
         let me = self.stack.addr();
         self.stack.send_udp(
             ctx,
@@ -333,6 +329,15 @@ impl FragPoisoner {
 }
 
 impl Node for FragPoisoner {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.probe_txid = None;
+        self.stats = FragPoisonStats::default();
+        // Constructor default; staged scenarios re-apply their delayed
+        // start (set_enabled + BEGIN_TAG timer) after a world reset.
+        self.enabled = true;
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         if !self.enabled {
             return;
@@ -347,8 +352,8 @@ impl Node for FragPoisoner {
             return;
         }
         // Observe the raw IP id before the stack swallows the packet.
-        let observed_id = (pkt.src == self.config.nameserver && pkt.proto == IpProto::Udp)
-            .then_some(pkt.id);
+        let observed_id =
+            (pkt.src == self.config.nameserver && pkt.proto == IpProto::Udp).then_some(pkt.id);
         let Some(StackEvent::Udp { src, datagram, .. }) = self.stack.handle(ctx, pkt) else {
             return;
         };
@@ -466,11 +471,12 @@ mod tests {
             .iter()
             .filter(|r| r.as_a().is_some())
             .collect();
-        let fake_count = glue
-            .iter()
-            .filter(|r| r.as_a() == Some(fake_ns()))
-            .count();
-        assert!(fake_count >= 13, "{fake_count} of {} glue forged", glue.len());
+        let fake_count = glue.iter().filter(|r| r.as_a() == Some(fake_ns())).count();
+        assert!(
+            fake_count >= 13,
+            "{fake_count} of {} glue forged",
+            glue.len()
+        );
         for r in glue.iter().filter(|r| r.as_a() == Some(fake_ns())) {
             assert!(r.ttl > 86_400, "forged ttl {} exceeds 24h", r.ttl);
         }

@@ -162,6 +162,12 @@ impl BlindSpoofAttacker {
 }
 
 impl Node for BlindSpoofAttacker {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.txid_cursor = 0;
+        self.stats = BlindSpoofStats::default();
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.attempt(ctx);
         ctx.set_timer(self.config.attempt_interval, TAG_ATTEMPT);
@@ -192,15 +198,17 @@ mod tests {
     use super::*;
     use crate::payload::is_farm_addr;
     use dnslab::cache::CacheKey;
-    use dnslab::resolver::{
-        RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream,
-    };
+    use dnslab::resolver::{RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream};
     use dnslab::server::AuthServer;
     use dnslab::zone::pool_ntp_zone;
     use netsim::prelude::*;
     use netsim::time::SimTime;
 
-    fn setup(resolver_cfg: ResolverConfig, spoof_cfg: BlindSpoofConfig, seed: u64) -> (World, NodeId) {
+    fn setup(
+        resolver_cfg: ResolverConfig,
+        spoof_cfg: BlindSpoofConfig,
+        seed: u64,
+    ) -> (World, NodeId) {
         let ns_addr = Ipv4Addr::new(203, 0, 113, 1);
         let resolver_addr = Ipv4Addr::new(198, 51, 100, 53);
         let attacker_addr = Ipv4Addr::new(198, 19, 0, 66);
@@ -277,7 +285,10 @@ mod tests {
             ..ResolverConfig::default()
         };
         let mut cfg = spoof_config();
-        cfg.port_guess = PortGuess::Range { lo: 1024, hi: 65535 };
+        cfg.port_guess = PortGuess::Range {
+            lo: 1024,
+            hi: 65535,
+        };
         cfg.sequential_txid_guess = false;
         let (mut world, resolver) = setup(strong, cfg, 22);
         world.run_for(SimDuration::from_secs(1000));
@@ -293,8 +304,7 @@ mod tests {
         assert!(!poisoned);
         let stats = world.node::<RecursiveResolver>(resolver).stats();
         assert!(
-            stats.rejected_txid + stats.rejected_question > 0
-                || stats.upstream_responses > 0,
+            stats.rejected_txid + stats.rejected_question > 0 || stats.upstream_responses > 0,
             "forged guesses were examined and rejected"
         );
     }

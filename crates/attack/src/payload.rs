@@ -23,7 +23,9 @@ pub const POISON_TTL: u32 = 86_401;
 /// `count` consecutive farm addresses starting at [`ATTACKER_FARM_BASE`].
 pub fn farm_addrs(count: usize) -> Vec<Ipv4Addr> {
     let base = u32::from(ATTACKER_FARM_BASE);
-    (0..count as u32).map(|i| Ipv4Addr::from(base + i)).collect()
+    (0..count as u32)
+        .map(|i| Ipv4Addr::from(base + i))
+        .collect()
 }
 
 /// `true` if `addr` belongs to the attacker farm range.

@@ -86,7 +86,10 @@ mod tests {
         let plan = AttackPlan::paper_default(SimDuration::from_millis(500));
         assert_eq!(plan.farm_size, 89);
         assert_eq!(plan.poison_ttl, 86_401);
-        assert!(matches!(plan.strategy, PoisonStrategy::Oracle { round: 12 }));
+        assert!(matches!(
+            plan.strategy,
+            PoisonStrategy::Oracle { round: 12 }
+        ));
         assert_eq!(plan.shift_ns(), 500_000_000);
     }
 

@@ -15,6 +15,7 @@
 //! degrading the IP-ID prediction of the fragmentation attack (E9's sweep
 //! variable).
 
+use bytes::Bytes;
 use dnslab::client::StubResolver;
 use dnslab::name::Name;
 use dnslab::server::DNS_PORT;
@@ -23,7 +24,6 @@ use netsim::ip::Ipv4Packet;
 use netsim::node::{Context, Node};
 use netsim::stack::{IpStack, StackEvent};
 use netsim::time::SimDuration;
-use bytes::Bytes;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -82,6 +82,12 @@ impl SmtpServer {
 }
 
 impl Node for SmtpServer {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.stub.reset();
+        self.stats = SmtpStats::default();
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
         let Some(StackEvent::Udp { src, datagram, .. }) = self.stack.handle(ctx, pkt) else {
             return;
@@ -129,12 +135,7 @@ impl Node for SmtpServer {
 
 /// Sends a "mail" for `domain` to an [`SmtpServer`] — the attacker's
 /// trigger primitive.
-pub fn send_mail(
-    ctx: &mut Context<'_>,
-    stack: &mut IpStack,
-    smtp: Ipv4Addr,
-    domain: &Name,
-) {
+pub fn send_mail(ctx: &mut Context<'_>, stack: &mut IpStack, smtp: Ipv4Addr, domain: &Name) {
     let me = stack.addr();
     stack.send_udp(
         ctx,
@@ -191,6 +192,11 @@ impl BackgroundQuerier {
 }
 
 impl Node for BackgroundQuerier {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.sent = 0;
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.fire(ctx);
     }
@@ -268,7 +274,11 @@ mod tests {
             ));
 
         let mut world = World::new(31);
-        world.add_node("auth", Box::new(AuthServer::new(ns_addr, vec![zone])), &[ns_addr]);
+        world.add_node(
+            "auth",
+            Box::new(AuthServer::new(ns_addr, vec![zone])),
+            &[ns_addr],
+        );
         let mut res = RecursiveResolver::new(
             resolver_addr,
             vec![Upstream {

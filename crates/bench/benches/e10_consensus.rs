@@ -1,14 +1,16 @@
 //! E10 — consensus pool generation (the fix the paper points to, [12]):
 //! quorum rules vs poisoned-resolver counts, and the rotation/consensus
-//! tension.
+//! tension, fanned over the sweep engine.
 
 use bench::banner;
 use chronos_pitfalls::experiments::{e10_table, run_e10};
+use chronos_pitfalls::montecarlo::default_threads;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_e10(c: &mut Criterion) {
     banner("E10 — consensus pool generation vs poisoned resolvers");
-    let rows = run_e10(23);
+    let threads = default_threads();
+    let rows = run_e10(23, threads);
     println!("{}", e10_table(&rows));
     println!("note the last row: majority-consensus over the *rotating* pool");
     println!("starves the pool — the fix needs stable answer sets (e.g. DoH");
@@ -16,7 +18,7 @@ fn bench_e10(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e10_consensus");
     group.sample_size(10);
-    group.bench_function("five_cases", |b| b.iter(|| run_e10(23)));
+    group.bench_function("five_cases", |b| b.iter(|| run_e10(23, threads)));
     group.finish();
 }
 

@@ -7,7 +7,7 @@
 use bench::banner;
 use chronos::select::{chronos_select_with, reference, SelectScratch};
 use chronos_pitfalls::montecarlo::{baseline_run_trials, run_trials, TrialBudget};
-use criterion::{criterion_group, criterion_main, black_box, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 const TRIALS: u32 = 10_000;
 const THREADS: usize = 4;

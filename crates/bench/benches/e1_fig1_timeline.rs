@@ -14,7 +14,11 @@ fn bench_e1(c: &mut Criterion) {
         "first malicious round: {:?}; final attacker share {:.1}%; attack {}",
         oracle.first_malicious_round,
         100.0 * oracle.final_fraction,
-        if oracle.attack_succeeds { "succeeds" } else { "fails" }
+        if oracle.attack_succeeds {
+            "succeeds"
+        } else {
+            "fails"
+        }
     );
     banner("E1b — same timeline via packet-level defragmentation poisoning");
     let frag = run_e1(42, E1Strategy::Fragmentation, 24);

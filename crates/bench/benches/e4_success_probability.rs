@@ -3,18 +3,21 @@
 
 use bench::banner;
 use chronos_pitfalls::experiments::{e4_table, run_e4};
-use criterion::{criterion_group, criterion_main, Criterion};
+use chronos_pitfalls::montecarlo::default_threads;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const QS: &[f64] = &[0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
 
 fn bench_e4(c: &mut Criterion) {
     banner("E4 — success-probability amplification (claim C4)");
-    let rows = run_e4(42, QS, 20_000);
+    let threads = default_threads();
+    let rows = run_e4(42, QS, 20_000, threads);
     println!("{}", e4_table(&rows));
 
-    c.bench_function("e4_success_probability/sweep_mc2k", |b| {
-        b.iter(|| run_e4(42, QS, 2_000))
-    });
+    let mut group = c.benchmark_group("e4_success_probability");
+    group.throughput(Throughput::Elements(QS.len() as u64 * 2_000));
+    group.bench_function("sweep_mc2k", |b| b.iter(|| run_e4(42, QS, 2_000, threads)));
+    group.finish();
 }
 
 criterion_group!(benches, bench_e4);

@@ -3,6 +3,7 @@
 
 use bench::banner;
 use chronos_pitfalls::experiments::{e5_table, run_e5};
+use chronos_pitfalls::montecarlo::default_threads;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const FRACTIONS: &[f64] = &[
@@ -11,13 +12,14 @@ const FRACTIONS: &[f64] = &[
 
 fn bench_e5(c: &mut Criterion) {
     banner("E5 — security bound vs attacker pool fraction (claim C6)");
+    let threads = default_threads();
     for n in [96usize, 133, 500] {
-        let rows = run_e5(n, 15, 5, FRACTIONS);
+        let rows = run_e5(n, 15, 5, FRACTIONS, threads);
         println!("{}", e5_table(n, &rows));
     }
 
     c.bench_function("e5_security_bound/sweep_n133", |b| {
-        b.iter(|| run_e5(133, 15, 5, FRACTIONS))
+        b.iter(|| run_e5(133, 15, 5, FRACTIONS, threads))
     });
 }
 

@@ -1,18 +1,20 @@
 //! E8 — the §V mitigations (record cap, TTL rejection) and the 24 h BGP
-//! hijack that defeats them.
+//! hijack that defeats them, run as one pooled scenario sweep.
 
 use bench::banner;
 use chronos_pitfalls::experiments::{e8_table, run_e8};
+use chronos_pitfalls::montecarlo::default_threads;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_e8(c: &mut Criterion) {
     banner("E8 — mitigations vs the attack (claim C10)");
-    let rows = run_e8(11);
+    let threads = default_threads();
+    let rows = run_e8(11, threads);
     println!("{}", e8_table(&rows));
 
     let mut group = c.benchmark_group("e8_mitigations");
     group.sample_size(10);
-    group.bench_function("all_variants", |b| b.iter(|| run_e8(11)));
+    group.bench_function("all_variants", |b| b.iter(|| run_e8(11, threads)));
     group.finish();
 }
 

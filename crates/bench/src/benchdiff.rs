@@ -1,0 +1,543 @@
+//! Perf-regression gate over the `BENCH_*.json` artifacts.
+//!
+//! Compares a fresh `bench-results/` run against the newest committed
+//! `perf/<date>/` snapshot and fails (non-zero exit in the CLI) when a
+//! *guarded* bench target regresses by more than the threshold on
+//! per-iteration mean. Unguarded targets are reported but never fail the
+//! gate — whole-table regeneration benches drift with host load, while the
+//! guarded hot paths are the ones PRs promise not to regress.
+//!
+//! The JSON is the schema written by the vendored criterion stub
+//! (`render_json`); parsing is a purpose-built scanner, so the gate works
+//! without a JSON dependency in the offline container.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Bench names whose per-iter mean is gated. Extend when a PR lands a new
+/// guarded hot path.
+pub const GUARDED: &[&str] = &[
+    // PR 1: lock-free Monte-Carlo dispatch and allocation-free selection.
+    "e12_montecarlo_dispatch/lockfree_10k_cheap",
+    "e12_chronos_select/scratch_partial_133x10k",
+    // PR 2: pooled scenario sweeps.
+    "e13_scenario_sweep/pooled_32x256",
+];
+
+/// Default regression threshold on per-iter mean, in percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// Within-run ratio guards: `(fast, slow, min_ratio)` — in the *fresh* run
+/// alone, `mean(slow) / mean(fast)` must stay at or above `min_ratio`.
+/// Immune to host drift (both sides run on the same machine moments
+/// apart), so these hold even when absolute means move; floors sit below
+/// the recorded baselines to absorb shared-runner noise.
+pub const RATIO_GUARDS: &[(&str, &str, f64)] = &[
+    (
+        "e12_montecarlo_dispatch/lockfree_10k_cheap",
+        "e12_montecarlo_dispatch/baseline_mutex_10k_cheap",
+        2.0, // recorded: 2.75x
+    ),
+    (
+        "e13_scenario_sweep/pooled_32x256",
+        "e13_scenario_sweep/rebuild_32x256",
+        1.5, // recorded: 2.1x
+    ),
+];
+
+/// One within-run ratio check evaluated against a fresh run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioCheck {
+    /// The guarded (fast) target.
+    pub fast: String,
+    /// The reference (slow) target.
+    pub slow: String,
+    /// Observed `mean(slow) / mean(fast)`.
+    pub ratio: f64,
+    /// Required floor.
+    pub min_ratio: f64,
+}
+
+impl RatioCheck {
+    /// `true` when the fresh run violates the floor.
+    pub fn failed(&self) -> bool {
+        self.ratio < self.min_ratio
+    }
+}
+
+impl fmt::Display for RatioCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {:.2}x (floor {:.2}x)",
+            self.fast, self.slow, self.ratio, self.min_ratio
+        )
+    }
+}
+
+/// Evaluates [`RATIO_GUARDS`] against one fresh run's entries. Guards whose
+/// targets are absent (bench not run) are skipped.
+pub fn ratio_checks(fresh: &[BenchEntry]) -> Vec<RatioCheck> {
+    RATIO_GUARDS
+        .iter()
+        .filter_map(|&(fast, slow, min_ratio)| {
+            let f = fresh.iter().find(|e| e.name == fast)?;
+            let s = fresh.iter().find(|e| e.name == slow)?;
+            (f.mean_secs_per_iter > 0.0).then(|| RatioCheck {
+                fast: fast.to_string(),
+                slow: slow.to_string(),
+                ratio: s.mean_secs_per_iter / f.mean_secs_per_iter,
+                min_ratio,
+            })
+        })
+        .collect()
+}
+
+/// One bench entry parsed out of a `BENCH_*.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Fully qualified bench name (`group/function`).
+    pub name: String,
+    /// Mean seconds per iteration.
+    pub mean_secs_per_iter: f64,
+}
+
+/// The comparison of one bench name present in both runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Bench name.
+    pub name: String,
+    /// Baseline per-iter mean (seconds).
+    pub base_mean: f64,
+    /// Fresh per-iter mean (seconds).
+    pub fresh_mean: f64,
+    /// Whether this target is on the [`GUARDED`] list.
+    pub guarded: bool,
+}
+
+impl Comparison {
+    /// Signed change in percent (positive = slower).
+    pub fn delta_pct(&self) -> f64 {
+        if self.base_mean <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.fresh_mean - self.base_mean) / self.base_mean
+    }
+
+    /// `true` when this entry alone fails the gate at `threshold_pct`.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.guarded && self.delta_pct() > threshold_pct
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<48} {:>12.3e}s -> {:>12.3e}s  {:>+7.1}%{}",
+            self.name,
+            self.base_mean,
+            self.fresh_mean,
+            self.delta_pct(),
+            if self.guarded { "  [guarded]" } else { "" },
+        )
+    }
+}
+
+fn scan_string(bytes: &[u8], mut i: usize) -> Option<(String, usize)> {
+    // `i` points at the opening quote.
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(bytes.get(i + 2..i + 6)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    other => out.push(other as char),
+                }
+                i += 2;
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the string value for `key` starting at/after `from`.
+fn field_string(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let bytes = text.as_bytes();
+    let mut i = at;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    scan_string(bytes, i)
+}
+
+/// Extracts the numeric value for `key` starting at/after `from`.
+fn field_number(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let off = at + (text[at..].len() - rest.len());
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().map(|v| (v, off + end))
+}
+
+/// Parses the entries out of one `BENCH_*.json` artifact.
+///
+/// Returns an empty vector for files without a `results` array; malformed
+/// entries are skipped rather than failing the whole gate.
+pub fn parse_artifact(text: &str) -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    let Some(results_at) = text.find("\"results\"") else {
+        return entries;
+    };
+    let mut cursor = results_at;
+    while let Some((name, after_name)) = field_string(text, "name", cursor) {
+        // The bench-level "bench" field also precedes "results"; starting
+        // the scan at the array keeps us inside entry objects only.
+        let next_name = text[after_name..].find("\"name\":").map(|p| after_name + p);
+        match field_number(text, "mean_secs_per_iter", after_name) {
+            // Accept the mean only if it belongs to THIS entry (it must
+            // appear before the next entry's name); otherwise the entry is
+            // malformed — skip it and keep scanning the rest.
+            Some((mean, after_mean)) if next_name.map(|n| after_mean <= n).unwrap_or(true) => {
+                entries.push(BenchEntry {
+                    name,
+                    mean_secs_per_iter: mean,
+                });
+                cursor = after_mean;
+            }
+            _ => match next_name {
+                Some(n) => cursor = n,
+                None => break,
+            },
+        }
+    }
+    entries
+}
+
+/// Pairs up baseline and fresh entries by name.
+pub fn compare(base: &[BenchEntry], fresh: &[BenchEntry]) -> Vec<Comparison> {
+    fresh
+        .iter()
+        .filter_map(|f| {
+            let b = base.iter().find(|b| b.name == f.name)?;
+            Some(Comparison {
+                name: f.name.clone(),
+                base_mean: b.mean_secs_per_iter,
+                fresh_mean: f.mean_secs_per_iter,
+                guarded: GUARDED.contains(&f.name.as_str()),
+            })
+        })
+        .collect()
+}
+
+/// The newest `perf/<YYYY-MM-DD[suffix]>/` snapshot directory under
+/// `perf_root`. Suffixes (`2026-07-27-pr2`) order after the bare date, and
+/// same-day suffixes compare by length before lexicographically, so `-pr10`
+/// correctly beats `-pr2`.
+pub fn newest_snapshot(perf_root: &Path) -> Option<PathBuf> {
+    let mut dates: Vec<String> = std::fs::read_dir(perf_root)
+        .ok()?
+        .flatten()
+        .filter(|e| e.path().is_dir())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| {
+            n.len() >= 10
+                && n.chars().take(10).enumerate().all(|(i, c)| match i {
+                    4 | 7 => c == '-',
+                    _ => c.is_ascii_digit(),
+                })
+        })
+        .collect();
+    dates.sort_by(|a, b| (&a[..10], a.len(), &a[10..]).cmp(&(&b[..10], b.len(), &b[10..])));
+    dates.pop().map(|d| perf_root.join(d))
+}
+
+/// Outcome of a directory-level diff.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Every bench name present in both directories.
+    pub comparisons: Vec<Comparison>,
+    /// `BENCH_*.json` files in the fresh dir with no baseline counterpart.
+    pub unmatched_fresh: Vec<String>,
+    /// Within-run ratio guards evaluated on the fresh run (host-drift
+    /// immune; these apply even to fresh artifacts with no baseline).
+    pub ratios: Vec<RatioCheck>,
+    /// [`GUARDED`] names with no entry in the fresh run at all — a renamed
+    /// or dropped guarded bench, which would otherwise silently un-gate
+    /// that hot path.
+    pub missing_guards: Vec<&'static str>,
+}
+
+impl DiffReport {
+    /// Guarded comparisons over the threshold.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&Comparison> {
+        self.comparisons
+            .iter()
+            .filter(|c| c.regressed(threshold_pct))
+            .collect()
+    }
+
+    /// Ratio guards the fresh run violates.
+    pub fn ratio_failures(&self) -> Vec<&RatioCheck> {
+        self.ratios.iter().filter(|r| r.failed()).collect()
+    }
+}
+
+/// Diffs every `BENCH_*.json` present in `fresh_dir` against `base_dir`.
+///
+/// Files that exist only in the fresh directory (e.g. the CI smoke runs a
+/// subset of benches, or a brand-new bench has no baseline yet) are listed
+/// in `unmatched_fresh` and do not fail the gate.
+///
+/// # Errors
+///
+/// Returns an error when `fresh_dir` cannot be read or contains no bench
+/// artifacts at all — a gate that silently compares nothing would pass
+/// forever.
+pub fn diff_dirs(base_dir: &Path, fresh_dir: &Path) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    let mut seen_any = false;
+    let mut all_fresh: Vec<BenchEntry> = Vec::new();
+    let entries = std::fs::read_dir(fresh_dir)
+        .map_err(|e| format!("cannot read fresh dir {}: {e}", fresh_dir.display()))?;
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    for name in names {
+        seen_any = true;
+        let fresh_text = std::fs::read_to_string(fresh_dir.join(&name))
+            .map_err(|e| format!("cannot read {name}: {e}"))?;
+        let fresh_entries = parse_artifact(&fresh_text);
+        let base_path = base_dir.join(&name);
+        match std::fs::read_to_string(&base_path) {
+            Ok(base_text) => {
+                report
+                    .comparisons
+                    .extend(compare(&parse_artifact(&base_text), &fresh_entries));
+            }
+            Err(_) => report.unmatched_fresh.push(name),
+        }
+        all_fresh.extend(fresh_entries);
+    }
+    if !seen_any {
+        return Err(format!(
+            "no BENCH_*.json artifacts in {} — run `cargo bench -p bench` first",
+            fresh_dir.display()
+        ));
+    }
+    report.ratios = ratio_checks(&all_fresh);
+    report.missing_guards = GUARDED
+        .iter()
+        .filter(|g| !all_fresh.iter().any(|e| e.name == **g))
+        .copied()
+        .collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(entries: &[(&str, f64)]) -> String {
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(n, m)| {
+                format!(
+                    "    {{\"name\": \"{n}\", \"iters\": 5, \"wall_time_secs\": 1.0, \
+                     \"mean_secs_per_iter\": {m:.9}, \"min_secs_per_iter\": {m:.9}, \
+                     \"elements_per_sec\": null, \"bytes_per_sec\": null}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"t\",\n  \"schema\": 1,\n  \"peak_rss_bytes\": null,\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    #[test]
+    fn parses_the_artifact_schema() {
+        let text = artifact(&[("g/a", 0.001), ("g/b", 2.5e-7)]);
+        let entries = parse_artifact(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "g/a");
+        assert!((entries[0].mean_secs_per_iter - 0.001).abs() < 1e-12);
+        assert!((entries[1].mean_secs_per_iter - 2.5e-7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn malformed_entry_is_skipped_not_fatal() {
+        // Entry "g/b" lacks mean_secs_per_iter; its neighbours must still
+        // parse (a vacuous gate is the failure mode this guards against).
+        let text = "{\"results\": [\
+                    {\"name\": \"g/a\", \"mean_secs_per_iter\": 0.25},\
+                    {\"name\": \"g/b\", \"iters\": 3},\
+                    {\"name\": \"g/c\", \"mean_secs_per_iter\": 0.5}]}";
+        let entries = parse_artifact(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "g/a");
+        assert_eq!(entries[1].name, "g/c");
+        assert!((entries[1].mean_secs_per_iter - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_escaped_names_and_ignores_junk() {
+        let text = "{\"results\": [ {\"name\": \"a\\\"b\", \"mean_secs_per_iter\": 1.5} ]}";
+        let entries = parse_artifact(text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "a\"b");
+        assert!(parse_artifact("not json at all").is_empty());
+        assert!(parse_artifact("{}").is_empty());
+    }
+
+    /// The acceptance criterion: a guarded target >25% slower must fail.
+    #[test]
+    fn guarded_regression_over_threshold_fails_the_gate() {
+        let guarded = GUARDED[0];
+        let base = parse_artifact(&artifact(&[(guarded, 0.100), ("other/x", 0.100)]));
+        let fresh = parse_artifact(&artifact(&[(guarded, 0.126), ("other/x", 0.500)]));
+        let cmp = compare(&base, &fresh);
+        let regressions: Vec<&Comparison> = cmp
+            .iter()
+            .filter(|c| c.regressed(DEFAULT_THRESHOLD_PCT))
+            .collect();
+        assert_eq!(regressions.len(), 1, "only the guarded 26% miss fails");
+        assert_eq!(regressions[0].name, guarded);
+        assert!(
+            regressions[0].delta_pct() > 25.0 && regressions[0].delta_pct() < 27.0,
+            "delta {}",
+            regressions[0].delta_pct()
+        );
+    }
+
+    #[test]
+    fn guarded_regression_under_threshold_passes() {
+        let guarded = GUARDED[0];
+        let base = parse_artifact(&artifact(&[(guarded, 0.100)]));
+        let fresh = parse_artifact(&artifact(&[(guarded, 0.124)]));
+        let cmp = compare(&base, &fresh);
+        assert!(cmp.iter().all(|c| !c.regressed(DEFAULT_THRESHOLD_PCT)));
+        // Speedups obviously pass too.
+        let faster = parse_artifact(&artifact(&[(guarded, 0.050)]));
+        assert!(compare(&base, &faster)
+            .iter()
+            .all(|c| !c.regressed(DEFAULT_THRESHOLD_PCT)));
+    }
+
+    #[test]
+    fn unguarded_regressions_never_fail() {
+        let base = parse_artifact(&artifact(&[("whole_table/regen", 0.1)]));
+        let fresh = parse_artifact(&artifact(&[("whole_table/regen", 9.9)]));
+        assert!(compare(&base, &fresh)
+            .iter()
+            .all(|c| !c.regressed(DEFAULT_THRESHOLD_PCT)));
+    }
+
+    #[test]
+    fn ratio_guards_fail_on_collapsed_speedup() {
+        let (fast, slow, floor) = RATIO_GUARDS[0];
+        // Healthy: fast side well under slow/floor.
+        let healthy = parse_artifact(&artifact(&[(fast, 0.010), (slow, 0.050)]));
+        let checks = ratio_checks(&healthy);
+        assert_eq!(checks.len(), 1);
+        assert!(!checks[0].failed(), "5x >= {floor}x floor");
+        // Collapsed: the "fast" path no longer beats the reference.
+        let collapsed = parse_artifact(&artifact(&[(fast, 0.050), (slow, 0.050)]));
+        let checks = ratio_checks(&collapsed);
+        assert!(checks[0].failed(), "1.0x must violate the {floor}x floor");
+        // Guard skipped when its targets were not benched.
+        assert!(ratio_checks(&parse_artifact(&artifact(&[("other/x", 1.0)]))).is_empty());
+    }
+
+    #[test]
+    fn directory_diff_end_to_end() {
+        let root = std::env::temp_dir().join(format!("benchdiff-test-{}", std::process::id()));
+        let base = root.join("perf").join("2026-07-27");
+        let fresh = root.join("bench-results");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        let guarded = GUARDED[0];
+        std::fs::write(base.join("BENCH_a.json"), artifact(&[(guarded, 0.100)])).unwrap();
+        std::fs::write(fresh.join("BENCH_a.json"), artifact(&[(guarded, 0.200)])).unwrap();
+        std::fs::write(
+            fresh.join("BENCH_new.json"),
+            artifact(&[("brand/new", 1.0)]),
+        )
+        .unwrap();
+
+        assert_eq!(
+            newest_snapshot(&root.join("perf")).unwrap(),
+            base,
+            "date-named snapshot found"
+        );
+        let suffixed = root.join("perf").join("2026-07-27-pr2");
+        std::fs::create_dir_all(&suffixed).unwrap();
+        assert_eq!(
+            newest_snapshot(&root.join("perf")).unwrap(),
+            suffixed,
+            "same-day suffixed snapshot wins"
+        );
+        let double_digit = root.join("perf").join("2026-07-27-pr10");
+        std::fs::create_dir_all(&double_digit).unwrap();
+        assert_eq!(
+            newest_snapshot(&root.join("perf")).unwrap(),
+            double_digit,
+            "-pr10 must beat -pr2 despite lexicographic order"
+        );
+        let newer_day = root.join("perf").join("2026-07-28");
+        std::fs::create_dir_all(&newer_day).unwrap();
+        assert_eq!(
+            newest_snapshot(&root.join("perf")).unwrap(),
+            newer_day,
+            "a later date beats any same-day suffix"
+        );
+        std::fs::remove_dir_all(&double_digit).unwrap();
+        std::fs::remove_dir_all(&newer_day).unwrap();
+        let report = diff_dirs(&base, &fresh).unwrap();
+        assert_eq!(report.comparisons.len(), 1);
+        assert_eq!(report.unmatched_fresh, vec!["BENCH_new.json".to_string()]);
+        let regs = report.regressions(DEFAULT_THRESHOLD_PCT);
+        assert_eq!(regs.len(), 1, "a 2x-slower guarded target fails the job");
+        assert_eq!(
+            report.missing_guards,
+            GUARDED[1..].to_vec(),
+            "guards absent from the fresh run are called out"
+        );
+
+        let empty = root.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(
+            diff_dirs(&base, &empty).is_err(),
+            "nothing to compare fails"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! CI perf-regression gate: compares fresh `bench-results/BENCH_*.json`
+//! against the newest committed `perf/<date>/` snapshot and exits non-zero
+//! when a guarded target's per-iter mean regressed beyond the threshold.
+//!
+//! ```text
+//! cargo run -p bench --bin bench-diff -- [--fresh DIR] [--baseline DIR]
+//!                                        [--threshold PCT]
+//! ```
+//!
+//! Defaults: `--fresh <repo>/bench-results`, `--baseline` the newest
+//! `<repo>/perf/<YYYY-MM-DD>/`, `--threshold 25`. Fresh artifacts without a
+//! baseline counterpart (new benches, smoke subsets) are reported and pass.
+
+use bench::benchdiff::{diff_dirs, newest_snapshot, DEFAULT_THRESHOLD_PCT, GUARDED};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut fresh: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut allow_missing_guards = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--fresh" => fresh = Some(PathBuf::from(value("--fresh"))),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .expect("--threshold takes a percentage")
+            }
+            "--allow-missing-guards" => allow_missing_guards = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench-diff: gate fresh bench JSON against the committed perf snapshot\n\
+                     options: --fresh DIR  --baseline DIR  --threshold PCT (default {DEFAULT_THRESHOLD_PCT})\n\
+                     \x20        --allow-missing-guards (partial local runs)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench-diff: unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = repo_root();
+    let fresh = fresh.unwrap_or_else(|| root.join("bench-results"));
+    let baseline = match baseline.or_else(|| newest_snapshot(&root.join("perf"))) {
+        Some(b) => b,
+        None => {
+            eprintln!(
+                "bench-diff: no perf/<date>/ snapshot under {} and no --baseline given",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench-diff: {} (fresh) vs {} (baseline), threshold {threshold}% on guarded targets",
+        fresh.display(),
+        baseline.display()
+    );
+
+    let report = match diff_dirs(&baseline, &fresh) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for c in &report.comparisons {
+        println!("  {c}");
+    }
+    for name in &report.unmatched_fresh {
+        println!("  {name:<48} (no baseline yet — passes)");
+    }
+    for r in &report.ratios {
+        println!("  ratio {r}");
+    }
+    // A gate that checked less than it promises must not pass: schema
+    // drift, a renamed guarded bench, or a smoke step dropping a target
+    // would otherwise leave CI green while a hot path goes un-gated.
+    // (Guarded targets present in fresh but lacking a baseline still pass
+    // — that's a brand-new bench awaiting its first snapshot.)
+    if !report.missing_guards.is_empty() && !allow_missing_guards {
+        eprintln!(
+            "bench-diff: FAIL — guarded target(s) absent from the fresh run: {} \
+             (renamed bench? smoke step dropped? pass --allow-missing-guards for \
+             partial local runs)",
+            report.missing_guards.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let guarded_compared = report.comparisons.iter().filter(|c| c.guarded).count();
+    if guarded_compared == 0 && report.ratios.is_empty() {
+        eprintln!(
+            "bench-diff: FAIL — none of the {} guarded targets or {} ratio guards \
+             could be evaluated (schema drift? missing artifacts?)",
+            GUARDED.len(),
+            bench::benchdiff::RATIO_GUARDS.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let regressions = report.regressions(threshold);
+    let ratio_failures = report.ratio_failures();
+    if regressions.is_empty() && ratio_failures.is_empty() {
+        println!(
+            "bench-diff: OK ({guarded_compared} guarded targets within {threshold}%, \
+             {} ratio guards hold)",
+            report.ratios.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        if !regressions.is_empty() {
+            eprintln!("bench-diff: FAIL — guarded targets regressed > {threshold}%:");
+            for r in regressions {
+                eprintln!("  {r}");
+            }
+        }
+        for r in ratio_failures {
+            eprintln!("bench-diff: FAIL — within-run ratio guard violated: {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -3,7 +3,10 @@
 //! Every bench regenerates one of the paper's tables or figures (printing
 //! it to stdout) and then times the underlying experiment runner. The
 //! printed artifacts are the reproduction deliverable; the timings document
-//! the cost of regenerating them.
+//! the cost of regenerating them. [`benchdiff`] turns the JSON artifacts
+//! into a CI perf-regression gate (see the `bench-diff` binary).
+
+pub mod benchdiff;
 
 /// Prints a banner separating bench output sections.
 pub fn banner(title: &str) {

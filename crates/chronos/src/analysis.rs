@@ -132,6 +132,26 @@ pub fn shift_attack_bound(
     }
 }
 
+/// One Monte-Carlo draw of the sampling lottery: does a random `m`-of-`n`
+/// sample (first `malicious` indices attacker-owned) survive trimming `d`
+/// with an attacker majority? The per-trial unit parallel sweeps fan out
+/// over.
+pub fn sample_is_controlled(
+    n: usize,
+    malicious: usize,
+    m: usize,
+    d: usize,
+    rng: &mut SimRng,
+) -> bool {
+    if n == 0 || m == 0 {
+        return false;
+    }
+    let m = m.min(n);
+    let need = m.saturating_sub(d);
+    let drawn = rng.sample_indices(n, m);
+    drawn.iter().filter(|&&i| i < malicious).count() >= need
+}
+
 /// Monte-Carlo estimate of `prob_sample_controlled` (cross-check for the
 /// closed form and the engine behind the E5 bench).
 pub fn monte_carlo_sample_controlled(
@@ -142,20 +162,13 @@ pub fn monte_carlo_sample_controlled(
     trials: u32,
     rng: &mut SimRng,
 ) -> f64 {
-    if n == 0 || m == 0 || trials == 0 {
+    if trials == 0 {
         return 0.0;
     }
-    let m = m.min(n);
-    let need = m.saturating_sub(d);
-    let mut hits = 0u32;
-    for _ in 0..trials {
-        let drawn = rng.sample_indices(n, m);
-        let c = drawn.iter().filter(|&&i| i < malicious).count();
-        if c >= need {
-            hits += 1;
-        }
-    }
-    f64::from(hits) / f64::from(trials)
+    let hits = (0..trials)
+        .filter(|_| sample_is_controlled(n, malicious, m, d, rng))
+        .count();
+    hits as f64 / f64::from(trials)
 }
 
 #[cfg(test)]

@@ -58,6 +58,8 @@ pub struct ChronosClient {
     stub: StubResolver,
     exchanger: NtpExchanger,
     clock: LocalClock,
+    /// Snapshot restored by [`Node::reset`] (world-reuse support).
+    initial_clock: LocalClock,
     config: ChronosConfig,
     pool_gen: PoolGenerator,
     phase: Phase,
@@ -99,6 +101,7 @@ impl ChronosClient {
             stack: IpStack::new(addr),
             stub: StubResolver::new(resolver),
             exchanger: NtpExchanger::new(),
+            initial_clock: clock.clone(),
             clock,
             config,
             pool_gen,
@@ -164,7 +167,8 @@ impl ChronosClient {
         self.stats.pool_queries += 1;
         self.dns_outstanding = true;
         let q = Question::a(self.config.pool.pool_name.clone());
-        self.stub.query(ctx, &mut self.stack, q, self.pool_gen.rounds_done() as u64);
+        self.stub
+            .query(ctx, &mut self.stack, q, self.pool_gen.rounds_done() as u64);
     }
 
     fn pool_tick(&mut self, ctx: &mut Context<'_>) {
@@ -282,6 +286,22 @@ impl ChronosClient {
 }
 
 impl Node for ChronosClient {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.stub.reset();
+        self.exchanger.clear();
+        self.clock = self.initial_clock.clone();
+        self.pool_gen.reset();
+        self.phase = Phase::PoolGeneration;
+        self.retries = 0;
+        self.last_update = None;
+        self.dns_outstanding = false;
+        self.round_samples.clear();
+        self.offsets_buf.clear();
+        self.offset_trace.clear();
+        self.stats = ChronosStats::default();
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.send_pool_query(ctx);
         ctx.set_timer(self.config.pool.query_interval, TAG_POOL_TICK);
@@ -295,8 +315,7 @@ impl Node for ChronosClient {
         if self.phase == Phase::PoolGeneration {
             if let Some(resp) = self.stub.handle(src, &datagram) {
                 self.dns_outstanding = false;
-                if resp.message.rcode() == Rcode::NoError
-                    && !resp.message.answer_addrs().is_empty()
+                if resp.message.rcode() == Rcode::NoError && !resp.message.answer_addrs().is_empty()
                 {
                     self.pool_gen.record_response(ctx.now(), &resp.message);
                 } else {

@@ -127,11 +127,7 @@ mod tests {
         // Resolver 3 is poisoned; the rest answer honestly. The benign
         // answers disagree (pool rotation!), which is exactly why Union is
         // the only rule plain rotation data can use — and why it is unsafe.
-        let answers = vec![
-            vec![a(1), a(2)],
-            vec![a(3), a(4)],
-            vec![evil(1), evil(2)],
-        ];
+        let answers = vec![vec![a(1), a(2)], vec![a(3), a(4)], vec![evil(1), evil(2)]];
         let union = combine_round(&answers, ConsensusRule::Union);
         assert!(union.accepted.contains(&evil(1)));
         let majority = combine_round(&answers, ConsensusRule::Majority);
@@ -183,10 +179,7 @@ mod tests {
         assert!(!attacker_reaches_pool(ConsensusRule::Majority, 5, 2));
         assert!(attacker_reaches_pool(ConsensusRule::Majority, 5, 3));
         assert!(!attacker_reaches_pool(ConsensusRule::Intersection, 5, 4));
-        assert_eq!(
-            min_poisoned_resolvers(ConsensusRule::Majority, 24),
-            13
-        );
+        assert_eq!(min_poisoned_resolvers(ConsensusRule::Majority, 24), 13);
     }
 
     #[test]

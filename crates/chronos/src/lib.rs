@@ -33,9 +33,9 @@ pub mod prelude {
         panic_controlled, prob_sample_controlled, shift_attack_bound, SecurityBound,
     };
     pub use crate::client::{ChronosClient, ChronosStats, Phase};
+    pub use crate::config::{ChronosConfig, PoolGenConfig};
     pub use crate::consensus::{combine_round, ConsensusRule};
     pub use crate::multipath::ConsensusPoolClient;
-    pub use crate::config::{ChronosConfig, PoolGenConfig};
     pub use crate::pool::{PoolGenerator, PoolRound};
     pub use crate::select::{chronos_select, panic_select, ChronosDecision, RejectReason};
 }

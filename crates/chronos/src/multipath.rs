@@ -152,6 +152,21 @@ impl ConsensusPoolClient {
 }
 
 impl Node for ConsensusPoolClient {
+    fn reset(&mut self) {
+        self.stack.reset();
+        for stub in &mut self.stubs {
+            stub.reset();
+        }
+        for a in &mut self.round_answers {
+            a.clear();
+        }
+        self.round_open = false;
+        self.pool.clear();
+        self.seen.clear();
+        self.round_log.clear();
+        self.stats = ConsensusPoolStats::default();
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.start_round(ctx);
     }
@@ -221,15 +236,18 @@ mod tests {
         let client_addr = Ipv4Addr::new(198, 51, 100, 10);
         let mut world = World::new(seed);
         let zone = if stable {
-            let addrs: Vec<Ipv4Addr> =
-                (1..=4u8).map(|i| Ipv4Addr::new(10, 32, 0, i)).collect();
+            let addrs: Vec<Ipv4Addr> = (1..=4u8).map(|i| Ipv4Addr::new(10, 32, 0, i)).collect();
             Zone::new("pool.ntp.org".parse().unwrap())
                 .with_synthetic_ns(2, Ipv4Addr::new(203, 0, 113, 101))
                 .with_rotation(Rotation::new(addrs, 4, POOL_TTL_SAFE))
         } else {
             pool_ntp_zone(96, 2)
         };
-        world.add_node("auth", Box::new(AuthServer::new(ns_addr, vec![zone])), &[ns_addr]);
+        world.add_node(
+            "auth",
+            Box::new(AuthServer::new(ns_addr, vec![zone])),
+            &[ns_addr],
+        );
         let mut resolver_addrs = Vec::new();
         let mut resolver_ids = Vec::new();
         for i in 0..resolvers {
@@ -281,10 +299,11 @@ mod tests {
             })
             .collect();
         let now = world.now();
-        world
-            .node_mut::<RecursiveResolver>(id)
-            .cache_mut()
-            .insert(now, CacheKey::a(name), &records);
+        world.node_mut::<RecursiveResolver>(id).cache_mut().insert(
+            now,
+            CacheKey::a(name),
+            &records,
+        );
     }
 
     fn is_malicious(a: Ipv4Addr) -> bool {

@@ -63,6 +63,14 @@ impl PoolGenerator {
         &self.config
     }
 
+    /// Forgets every gathered server and round, keeping the configuration
+    /// (world-reuse support).
+    pub fn reset(&mut self) {
+        self.servers.clear();
+        self.seen.clear();
+        self.rounds.clear();
+    }
+
     /// Rounds completed so far.
     pub fn rounds_done(&self) -> usize {
         self.rounds.len()
@@ -189,14 +197,10 @@ mod tests {
 
     /// A benign 4-record response with the given base address and TTL 150.
     fn benign_response(base: u8) -> Message {
-        let mut msg =
-            Message::response_to(&Message::query(1, Question::a(pool_name())));
+        let mut msg = Message::response_to(&Message::query(1, Question::a(pool_name())));
         for i in 0..4u8 {
-            msg.answers.push(Record::a(
-                pool_name(),
-                Ipv4Addr::new(10, 32, base, i),
-                150,
-            ));
+            msg.answers
+                .push(Record::a(pool_name(), Ipv4Addr::new(10, 32, base, i), 150));
         }
         msg
     }

@@ -24,7 +24,7 @@
 //!   trimmed set's min, max and sum, all of which are order-free;
 //! * accumulate the survivor sum in one pass interleaved with min/max.
 //!
-//! The original sort-based implementation is retained in [`reference`] and
+//! The original sort-based implementation is retained in [`mod@reference`] and
 //! property-tested to produce byte-identical decisions.
 
 use serde::{Deserialize, Serialize};
@@ -412,7 +412,11 @@ mod tests {
         // samples and the client accepts the shifted average.
         let mut samples = vec![0i64; 15];
         for (i, s) in samples.iter_mut().enumerate() {
-            *s = if i < 10 { 80 * MS + (i as i64 % 3) * MS / 2 } else { 0 };
+            *s = if i < 10 {
+                80 * MS + (i as i64 % 3) * MS / 2
+            } else {
+                0
+            };
         }
         match chronos_select(&samples, 5, 25 * MS, 100 * MS) {
             ChronosDecision::Accept { correction_ns, .. } => {

@@ -2,8 +2,7 @@
 //! threshold.
 
 use chronos::analysis::{
-    hypergeom_tail_ge, min_attacker_for_panic_control, panic_controlled,
-    prob_sample_controlled,
+    hypergeom_tail_ge, min_attacker_for_panic_control, panic_controlled, prob_sample_controlled,
 };
 use chronos::select::{chronos_select, panic_select, ChronosDecision};
 use proptest::prelude::*;

@@ -245,7 +245,8 @@ pub fn render_json(target: &str, measurements: &[Measurement]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let opt = |r: Option<f64>| {
-            r.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string())
+            r.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "null".to_string())
         };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"iters\": {}, \"wall_time_secs\": {:.9}, \

@@ -235,7 +235,7 @@ impl<T> Strategy for OneOf<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length ranges accepted by [`vec`].
+    /// Length ranges accepted by [`fn@vec`].
     pub trait SizeRange {
         /// Draws a length.
         fn sample(&self, rng: &mut TestRng) -> usize;

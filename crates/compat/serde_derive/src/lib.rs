@@ -1,4 +1,4 @@
-//! No-op derive macros for the vendored [`serde`] stub.
+//! No-op derive macros for the vendored `serde` stub.
 //!
 //! The workspace builds in a network-less container, so `serde` is a local
 //! stub whose `Serialize`/`Deserialize` traits are blanket-implemented for

@@ -5,6 +5,7 @@
 //! [`crate::report::Series`]), so
 //! benches, examples and tests share one implementation.
 
+use crate::montecarlo;
 use crate::poolmodel::{self, PoolCompositionRow, PoolModelParams};
 use crate::report::{fmt_prob, fmt_years, Table};
 use crate::scenario::{Scenario, ScenarioConfig};
@@ -140,15 +141,12 @@ pub fn run_e1(seed: u64, strategy: E1Strategy, rounds: usize) -> E1Result {
         });
     }
     let final_fraction = scenario.attacker_fraction();
-    let frag_stats = scenario
-        .nodes
-        .frag_attacker
-        .map(|id| {
-            scenario
-                .world
-                .node::<attacklab::fragpoison::FragPoisoner>(id)
-                .stats()
-        });
+    let frag_stats = scenario.nodes.frag_attacker.map(|id| {
+        scenario
+            .world
+            .node::<attacklab::fragpoison::FragPoisoner>(id)
+            .stats()
+    });
     E1Result {
         rows,
         first_malicious_round,
@@ -166,7 +164,14 @@ impl E1Result {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E1 / Figure 1 — DNS poisoning attack on Chronos pool generation",
-            &["round", "+benign", "+malicious", "pool benign", "pool malicious", "attacker %"],
+            &[
+                "round",
+                "+benign",
+                "+malicious",
+                "pool benign",
+                "pool malicious",
+                "attacker %",
+            ],
         );
         for r in &self.rows {
             t.push_row(vec![
@@ -208,7 +213,13 @@ impl E2Result {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E2 — pool composition vs poisoning round (analytic, §IV)",
-            &["poison round", "benign", "malicious", "attacker %", ">= 2/3"],
+            &[
+                "poison round",
+                "benign",
+                "malicious",
+                "attacker %",
+                ">= 2/3",
+            ],
         );
         for r in &self.rows {
             t.push_row(vec![
@@ -296,22 +307,23 @@ pub struct E4Row {
     pub mc_chronos: f64,
 }
 
-/// Runs the E4 sweep with `trials` Monte-Carlo trials per point.
-pub fn run_e4(seed: u64, qs: &[f64], trials: u32) -> Vec<E4Row> {
-    let mut rng = SimRng::seed_from(seed);
+/// Runs the E4 sweep with `trials` Monte-Carlo trials per point, fanned
+/// over `threads` workers via the [`crate::montecarlo::run_grid`] engine.
+pub fn run_e4(seed: u64, qs: &[f64], trials: u32, threads: usize) -> Vec<E4Row> {
+    let outcomes = montecarlo::run_grid(qs, threads, trials, |&q, point, trial| {
+        let mut rng = SimRng::seed_from(montecarlo::trial_seed(
+            seed ^ ((point as u64 + 1) << 32),
+            trial,
+        ));
+        successmodel::single_trial(q, successmodel::opportunities::CHRONOS_WINNING, &mut rng)
+    });
+    let rates = montecarlo::success_rates(&outcomes);
     successmodel::sweep(qs)
         .into_iter()
-        .map(|analytic| {
-            let mc_chronos = successmodel::monte_carlo(
-                analytic.q,
-                successmodel::opportunities::CHRONOS_WINNING,
-                trials,
-                &mut rng,
-            );
-            E4Row {
-                analytic,
-                mc_chronos,
-            }
+        .zip(rates)
+        .map(|(analytic, rate)| E4Row {
+            analytic,
+            mc_chronos: rate.rate,
         })
         .collect()
 }
@@ -320,7 +332,13 @@ pub fn run_e4(seed: u64, qs: &[f64], trials: u32) -> Vec<E4Row> {
 pub fn e4_table(rows: &[E4Row]) -> Table {
     let mut t = Table::new(
         "E4 — capture probability: plain NTP (1 try) vs Chronos (12 tries)",
-        &["q per try", "plain", "chronos", "chronos (MC)", "amplification"],
+        &[
+            "q per try",
+            "plain",
+            "chronos",
+            "chronos (MC)",
+            "amplification",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -349,34 +367,42 @@ pub struct E5Row {
     pub bound: SecurityBound,
 }
 
-/// Sweeps attacker fractions for a pool of `n`, sampling `m` with trim `d`.
-pub fn run_e5(n: usize, m: usize, d: usize, fractions: &[f64]) -> Vec<E5Row> {
-    fractions
-        .iter()
-        .map(|&f| {
-            let malicious = ((n as f64) * f).round() as usize;
-            E5Row {
-                fraction: f,
+/// Sweeps attacker fractions for a pool of `n`, sampling `m` with trim `d`,
+/// one grid point per fraction over `threads` workers.
+pub fn run_e5(n: usize, m: usize, d: usize, fractions: &[f64], threads: usize) -> Vec<E5Row> {
+    montecarlo::run_grid(fractions, threads, 1, |&f, _, _| {
+        let malicious = ((n as f64) * f).round() as usize;
+        E5Row {
+            fraction: f,
+            malicious,
+            bound: shift_attack_bound(
+                n,
                 malicious,
-                bound: shift_attack_bound(
-                    n,
-                    malicious,
-                    m,
-                    d,
-                    SimDuration::from_millis(100),
-                    SimDuration::from_millis(100),
-                    SimDuration::from_hours(1),
-                ),
-            }
-        })
-        .collect()
+                m,
+                d,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(100),
+                SimDuration::from_hours(1),
+            ),
+        }
+    })
+    .into_iter()
+    .map(|mut rows| rows.remove(0))
+    .collect()
 }
 
 /// Renders the E5 rows.
 pub fn e5_table(n: usize, rows: &[E5Row]) -> Table {
     let mut t = Table::new(
         format!("E5 — expected effort to shift a Chronos client >100 ms (n = {n})"),
-        &["attacker %", "servers", "p/poll", "E[polls]", "years", "panic owned"],
+        &[
+            "attacker %",
+            "servers",
+            "p/poll",
+            "E[polls]",
+            "years",
+            "panic owned",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -389,7 +415,12 @@ pub fn e5_table(n: usize, rows: &[E5Row]) -> Table {
                 "inf".to_string()
             },
             fmt_years(r.bound.expected_years),
-            if r.bound.panic_is_controlled { "yes" } else { "no" }.to_string(),
+            if r.bound.panic_is_controlled {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -513,97 +544,88 @@ pub struct E8Row {
     pub attack_succeeds: bool,
 }
 
-/// Runs all E8 variants.
-pub fn run_e8(seed: u64) -> Vec<E8Row> {
+/// The [`ScenarioConfig`] for one E8 variant — each variant is a pure
+/// config, so the whole table runs as one [`montecarlo::run_scenarios`]
+/// sweep (and larger grids can Monte-Carlo each variant across seeds).
+pub fn e8_config(variant: E8Variant, seed: u64) -> ScenarioConfig {
     let interval = SimDuration::from_secs(200);
     let rounds = 24usize;
-    E8Variant::all()
-        .into_iter()
-        .map(|variant| {
-            let mut chronos_cfg = compressed_chronos(rounds, interval);
-            match variant {
-                E8Variant::RecordCap => {
-                    chronos_cfg.pool.max_records_per_response = Some(4);
-                }
-                E8Variant::TtlReject => {
-                    chronos_cfg.pool.reject_ttl_above = Some(3600);
-                }
-                E8Variant::Both | E8Variant::BothPlusBgp24h => {
-                    chronos_cfg.pool.max_records_per_response = Some(4);
-                    chronos_cfg.pool.reject_ttl_above = Some(3600);
-                }
-                _ => {}
-            }
-            let attack = match variant {
-                E8Variant::NoAttack => None,
-                E8Variant::BothPlusBgp24h => Some(AttackPlan {
-                    strategy: PoisonStrategy::BgpHijack {
-                        from: SimTime::ZERO,
-                        until: SimTime::ZERO + interval * (rounds as u64 + 1),
-                    },
-                    ..AttackPlan::paper_default(SimDuration::from_millis(500))
-                }),
-                _ => Some(AttackPlan {
-                    strategy: PoisonStrategy::Oracle { round: 12 },
-                    ..AttackPlan::paper_default(SimDuration::from_millis(500))
-                }),
-            };
-            let low_profile_bgp = matches!(variant, E8Variant::BothPlusBgp24h);
-            let mut scenario = Scenario::build(ScenarioConfig {
-                seed,
-                benign_universe: 120,
-                chronos: chronos_cfg,
-                attack,
-                ..ScenarioConfig::default()
-            });
-            if low_profile_bgp {
-                // Reconfigure the MitM for inconspicuous rotating answers.
-                reconfigure_bgp_low_profile(&mut scenario);
-            }
-            scenario.run_pool_generation(interval * (rounds as u64 + 4));
-            let (benign, malicious) = scenario.chronos_pool_composition();
-            let total = benign + malicious;
-            E8Row {
-                variant,
-                benign,
-                malicious,
-                fraction: if total == 0 {
-                    0.0
-                } else {
-                    malicious as f64 / total as f64
-                },
-                attack_succeeds: chronos::analysis::panic_controlled(total, malicious),
-            }
-        })
-        .collect()
+    let mut chronos_cfg = compressed_chronos(rounds, interval);
+    match variant {
+        E8Variant::RecordCap => {
+            chronos_cfg.pool.max_records_per_response = Some(4);
+        }
+        E8Variant::TtlReject => {
+            chronos_cfg.pool.reject_ttl_above = Some(3600);
+        }
+        E8Variant::Both | E8Variant::BothPlusBgp24h => {
+            chronos_cfg.pool.max_records_per_response = Some(4);
+            chronos_cfg.pool.reject_ttl_above = Some(3600);
+        }
+        _ => {}
+    }
+    let attack = match variant {
+        E8Variant::NoAttack => None,
+        E8Variant::BothPlusBgp24h => Some(AttackPlan {
+            strategy: PoisonStrategy::BgpHijack {
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + interval * (rounds as u64 + 1),
+            },
+            ..AttackPlan::paper_default(SimDuration::from_millis(500))
+        }),
+        _ => Some(AttackPlan {
+            strategy: PoisonStrategy::Oracle { round: 12 },
+            ..AttackPlan::paper_default(SimDuration::from_millis(500))
+        }),
+    };
+    ScenarioConfig {
+        seed,
+        benign_universe: 120,
+        chronos: chronos_cfg,
+        attack,
+        bgp_low_profile: matches!(variant, E8Variant::BothPlusBgp24h)
+            .then(crate::scenario::LowProfileBgp::default),
+        ..ScenarioConfig::default()
+    }
 }
 
-fn reconfigure_bgp_low_profile(scenario: &mut Scenario) {
-    use attacklab::bgp::{BgpHijackAttacker, BgpHijackConfig};
-    // The BGP attacker node was registered under this label by the builder.
-    for i in 0..scenario.world.node_count() {
-        let id = netsim::node::NodeId::new(i);
-        if scenario.world.label(id) == "bgp-attacker" {
-            let attacker = scenario.world.node_mut::<BgpHijackAttacker>(id);
-            *attacker = BgpHijackAttacker::new(
-                crate::scenario::addrs::BGP_ATTACKER,
-                BgpHijackConfig {
-                    qname: "pool.ntp.org".parse().expect("static name"),
-                    records: 4,
-                    ttl: 150,
-                    rotate: true,
-                    farm_size: 120,
-                },
-            );
+/// Runs all E8 variants as one pooled scenario sweep over `threads`
+/// workers.
+pub fn run_e8(seed: u64, threads: usize) -> Vec<E8Row> {
+    let interval = SimDuration::from_secs(200);
+    let rounds = 24usize;
+    let variants = E8Variant::all();
+    let configs: Vec<ScenarioConfig> = variants.iter().map(|&v| e8_config(v, seed)).collect();
+    let rows = montecarlo::run_scenarios(&configs, threads, 1, |scenario, ci, _| {
+        scenario.run_pool_generation(interval * (rounds as u64 + 4));
+        let (benign, malicious) = scenario.chronos_pool_composition();
+        let total = benign + malicious;
+        E8Row {
+            variant: variants[ci],
+            benign,
+            malicious,
+            fraction: if total == 0 {
+                0.0
+            } else {
+                malicious as f64 / total as f64
+            },
+            attack_succeeds: chronos::analysis::panic_controlled(total, malicious),
         }
-    }
+    });
+    rows.into_iter().map(|mut r| r.remove(0)).collect()
 }
 
 /// Renders the E8 rows.
 pub fn e8_table(rows: &[E8Row]) -> Table {
     let mut t = Table::new(
         "E8 — §V mitigations vs the attack (and the 24h-hijack residual)",
-        &["variant", "benign", "malicious", "attacker %", "attack wins"],
+        &[
+            "variant",
+            "benign",
+            "malicious",
+            "attacker %",
+            "attack wins",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -818,18 +840,11 @@ pub struct E10Row {
 
 /// Runs the consensus-mitigation sweep: for each rule, how many poisoned
 /// resolvers does the attacker need — and what does consensus cost over a
-/// rotating zone?
-pub fn run_e10(seed: u64) -> Vec<E10Row> {
+/// rotating zone? The five cases fan out over `threads` workers via
+/// [`montecarlo::run_grid`].
+pub fn run_e10(seed: u64, threads: usize) -> Vec<E10Row> {
     use chronos::consensus::ConsensusRule;
-    use chronos::multipath::ConsensusPoolClient;
-    use dnslab::resolver::{RecursiveResolver, Upstream};
-    use dnslab::server::AuthServer;
-    use dnslab::zone::{pool_ntp_zone, Rotation, Zone};
-    use netsim::world::World;
-    use std::net::Ipv4Addr;
 
-    let mut rows = Vec::new();
-    let resolvers = 3usize;
     let cases: Vec<(ConsensusRule, usize, bool)> = vec![
         (ConsensusRule::Union, 1, true),
         (ConsensusRule::Majority, 1, true),
@@ -837,21 +852,50 @@ pub fn run_e10(seed: u64) -> Vec<E10Row> {
         (ConsensusRule::Intersection, 2, true),
         (ConsensusRule::Majority, 1, false),
     ];
-    for (case_idx, (rule, poisoned, stable)) in cases.into_iter().enumerate() {
+    montecarlo::run_grid(
+        &cases,
+        threads,
+        1,
+        |&(rule, poisoned, stable), case_idx, _| e10_case(seed, case_idx, rule, poisoned, stable),
+    )
+    .into_iter()
+    .map(|mut r| r.remove(0))
+    .collect()
+}
+
+fn e10_case(
+    seed: u64,
+    case_idx: usize,
+    rule: chronos::consensus::ConsensusRule,
+    poisoned: usize,
+    stable: bool,
+) -> E10Row {
+    use chronos::multipath::ConsensusPoolClient;
+    use dnslab::resolver::{RecursiveResolver, Upstream};
+    use dnslab::server::AuthServer;
+    use dnslab::zone::{pool_ntp_zone, Rotation, Zone};
+    use netsim::world::World;
+    use std::net::Ipv4Addr;
+
+    let resolvers = 3usize;
+    {
         let ns_addr = Ipv4Addr::new(203, 0, 113, 1);
         let client_addr = Ipv4Addr::new(198, 51, 100, 10);
         let mut world = World::new(seed ^ case_idx as u64);
         world.trace_mut().set_enabled(false);
         let zone = if stable {
-            let addrs: Vec<Ipv4Addr> =
-                (1..=4u8).map(|i| Ipv4Addr::new(10, 32, 0, i)).collect();
+            let addrs: Vec<Ipv4Addr> = (1..=4u8).map(|i| Ipv4Addr::new(10, 32, 0, i)).collect();
             Zone::new("pool.ntp.org".parse().expect("static name"))
                 .with_synthetic_ns(2, Ipv4Addr::new(203, 0, 113, 101))
                 .with_rotation(Rotation::new(addrs, 4, 150))
         } else {
             pool_ntp_zone(96, 2)
         };
-        world.add_node("auth", Box::new(AuthServer::new(ns_addr, vec![zone])), &[ns_addr]);
+        world.add_node(
+            "auth",
+            Box::new(AuthServer::new(ns_addr, vec![zone])),
+            &[ns_addr],
+        );
         let mut resolver_addrs = Vec::new();
         let mut resolver_ids = Vec::new();
         for i in 0..resolvers {
@@ -891,15 +935,16 @@ pub fn run_e10(seed: u64) -> Vec<E10Row> {
                 .map(|a| dnslab::wire::Record::a(name.clone(), a, 86_401))
                 .collect();
             let now = world.now();
-            world
-                .node_mut::<RecursiveResolver>(id)
-                .cache_mut()
-                .insert(now, dnslab::cache::CacheKey::a(name), &records);
+            world.node_mut::<RecursiveResolver>(id).cache_mut().insert(
+                now,
+                dnslab::cache::CacheKey::a(name),
+                &records,
+            );
         }
         world.run_for(SimDuration::from_secs(200 * 13));
         let c = world.node::<ConsensusPoolClient>(client);
         let (benign, malicious) = c.composition(is_farm_addr);
-        rows.push(E10Row {
+        E10Row {
             rule,
             resolvers,
             poisoned,
@@ -907,16 +952,22 @@ pub fn run_e10(seed: u64) -> Vec<E10Row> {
             benign,
             malicious,
             attack_succeeds: malicious > 0,
-        });
+        }
     }
-    rows
 }
 
 /// Renders the E10 rows.
 pub fn e10_table(rows: &[E10Row]) -> Table {
     let mut t = Table::new(
         "E10 — consensus pool generation (the paper's recommended fix)",
-        &["rule", "poisoned/of", "zone", "benign", "malicious", "attack wins"],
+        &[
+            "rule",
+            "poisoned/of",
+            "zone",
+            "benign",
+            "malicious",
+            "attack wins",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -956,9 +1007,7 @@ pub fn run_e11(seed: u64) -> Vec<E11Row> {
     use attacklab::kaminsky::{
         per_attempt_success_probability, BlindSpoofAttacker, BlindSpoofConfig, PortGuess,
     };
-    use dnslab::resolver::{
-        RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream,
-    };
+    use dnslab::resolver::{RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream};
     use dnslab::server::AuthServer;
     use dnslab::zone::pool_ntp_zone;
     use netsim::world::World;
@@ -984,7 +1033,10 @@ pub fn run_e11(seed: u64) -> Vec<E11Row> {
                 open: true,
                 ..ResolverConfig::default()
             },
-            PortGuess::Range { lo: 1024, hi: 65535 },
+            PortGuess::Range {
+                lo: 1024,
+                hi: 65535,
+            },
             false,
             64_512,
         ),
@@ -1030,10 +1082,7 @@ pub fn run_e11(seed: u64) -> Vec<E11Row> {
             &[attacker_addr],
         );
         world.run_for(SimDuration::from_secs(2400));
-        let attempts = world
-            .node::<BlindSpoofAttacker>(attacker)
-            .stats()
-            .attempts;
+        let attempts = world.node::<BlindSpoofAttacker>(attacker).stats().attempts;
         let now = world.now();
         let resolver_node = world.node_mut::<RecursiveResolver>(resolver);
         let poisoned = resolver_node
@@ -1042,14 +1091,12 @@ pub fn run_e11(seed: u64) -> Vec<E11Row> {
                 now,
                 &dnslab::cache::CacheKey::a("pool.ntp.org".parse().expect("static name")),
             )
-            .map(|records| {
-                records
-                    .iter()
-                    .filter_map(|r| r.as_a())
-                    .any(is_farm_addr)
-            })
+            .map(|records| records.iter().filter_map(|r| r.as_a()).any(is_farm_addr))
             .unwrap_or(false);
-        let rejected_txid = world.node::<RecursiveResolver>(resolver).stats().rejected_txid;
+        let rejected_txid = world
+            .node::<RecursiveResolver>(resolver)
+            .stats()
+            .rejected_txid;
         rows.push(E11Row {
             resolver_profile: label.to_string(),
             attempts,
@@ -1065,7 +1112,13 @@ pub fn run_e11(seed: u64) -> Vec<E11Row> {
 pub fn e11_table(rows: &[E11Row]) -> Table {
     let mut t = Table::new(
         "E11 — blind (Kaminsky) spoofing baseline",
-        &["resolver", "attempts", "poisoned", "p/attempt (analytic)", "txid rejects"],
+        &[
+            "resolver",
+            "attempts",
+            "poisoned",
+            "p/attempt (analytic)",
+            "txid rejects",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -1083,7 +1136,14 @@ pub fn e11_table(rows: &[E11Row]) -> Table {
 pub fn e9_table(rows: &[E9Row]) -> Table {
     let mut t = Table::new(
         "E9 — defragmentation poisoning vs IP-ID policy and cross-traffic",
-        &["ip-id policy", "noise", "captured @", "attacker %", "wins", "plants"],
+        &[
+            "ip-id policy",
+            "noise",
+            "captured @",
+            "attacker %",
+            "wins",
+            "plants",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -1130,7 +1190,7 @@ mod tests {
 
     #[test]
     fn e4_closed_form_and_mc_agree() {
-        let rows = run_e4(1, &[0.05, 0.2], 4000);
+        let rows = run_e4(1, &[0.05, 0.2], 4000, 4);
         for r in &rows {
             assert!((r.analytic.p_chronos - r.mc_chronos).abs() < 0.03);
             assert!(r.analytic.p_chronos > r.analytic.p_plain);
@@ -1140,7 +1200,7 @@ mod tests {
 
     #[test]
     fn e5_shows_collapse_at_two_thirds() {
-        let rows = run_e5(133, 15, 5, &[0.1, 0.25, 0.5, 0.67, 0.7]);
+        let rows = run_e5(133, 15, 5, &[0.1, 0.25, 0.5, 0.67, 0.7], 2);
         let low = &rows[0];
         let at_threshold = &rows[3];
         assert!(low.bound.expected_years > 1.0);

@@ -31,10 +31,13 @@ pub mod successmodel;
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::experiments::{
-        run_e1, run_e10, run_e11, run_e2, run_e3, run_e4, run_e5, run_e7, run_e8,
-        run_e9, run_e9_mtu, E1Strategy,
+        run_e1, run_e10, run_e11, run_e2, run_e3, run_e4, run_e5, run_e7, run_e8, run_e9,
+        run_e9_mtu, E1Strategy,
     };
-    pub use crate::montecarlo::{run_trials, success_rate, SuccessRate};
+    pub use crate::montecarlo::{
+        run_grid, run_scenarios, run_scenarios_detailed, run_trials, success_rate, success_rates,
+        trial_seed, SuccessRate, SweepStats,
+    };
     pub use crate::poolmodel::{composition_after_poison, latest_winning_round, PoolModelParams};
     pub use crate::report::{Series, Table};
     pub use crate::scenario::{Scenario, ScenarioConfig};

@@ -17,6 +17,8 @@
 //! larger batches amortize the (already tiny) dispatch cost for cheap
 //! closures, smaller batches balance heavy packet-level scenarios.
 
+use crate::scenario::{Scenario, ScenarioConfig};
+use netsim::pool::WorldPool;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -110,6 +112,37 @@ where
     T: Send,
     F: Fn(u32) -> T + Sync,
 {
+    run_trials_stateful(trials, threads, budget, || (), |(), i| f(i))
+}
+
+/// The dispatcher underneath [`run_trials`] and [`run_scenarios`]: like
+/// [`run_trials_with_budget`], but each worker thread carries private state
+/// created by `init` and threaded through every trial it claims.
+///
+/// This is what makes world pooling possible: the state holds the worker's
+/// current scenario, so consecutive trials of one configuration reuse a
+/// constructed world instead of rebuilding it. The state never crosses
+/// threads and is dropped when the worker runs out of batches.
+///
+/// Determinism contract: `f`'s *result* must depend only on the trial
+/// index, never on the worker state's history — state may only be used as a
+/// cache whose observable behaviour is reset per trial.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_trials_stateful<T, S, I, F>(
+    trials: u32,
+    threads: usize,
+    budget: TrialBudget,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u32) -> T + Sync,
+{
     assert!(threads > 0, "need at least one worker thread");
     if trials == 0 {
         return Vec::new();
@@ -119,8 +152,9 @@ where
 
     // Serial fast path: one worker needs neither threads nor atomics.
     if threads == 1 || trials == 1 {
+        let mut state = init();
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i as u32));
+            *slot = Some(f(&mut state, i as u32));
         }
         return unwrap_slots(slots);
     }
@@ -129,28 +163,30 @@ where
     // is handed out exactly once, so every slot has a unique writer and no
     // result write ever takes a lock.
     {
-        let cells: Vec<BatchCell<'_, T>> = slots
-            .chunks_mut(batch)
-            .map(BatchCell::new)
-            .collect();
+        let cells: Vec<BatchCell<'_, T>> = slots.chunks_mut(batch).map(BatchCell::new).collect();
         let cells = &cells[..];
         let cursor = AtomicUsize::new(0);
         let workers = threads.min(cells.len());
         std::thread::scope(|scope| {
             let cursor = &cursor;
+            let init = &init;
             let f = &f;
             for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let b = cursor.fetch_add(1, Ordering::Relaxed);
-                    if b >= cells.len() {
-                        break;
-                    }
-                    // Safety: the cursor returns each index exactly once, so
-                    // this worker is the sole accessor of batch `b`.
-                    let chunk = unsafe { cells[b].take() };
-                    let base = (b * batch) as u32;
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(f(base + off as u32));
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= cells.len() {
+                            break;
+                        }
+                        // Safety: the cursor returns each index exactly
+                        // once, so this worker is the sole accessor of
+                        // batch `b`.
+                        let chunk = unsafe { cells[b].take() };
+                        let base = (b * batch) as u32;
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(f(&mut state, base + off as u32));
+                        }
                     }
                 });
             }
@@ -228,6 +264,217 @@ where
         .into_iter()
         .map(|r| r.expect("every trial filled"))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Scenario sweeps: a flattened (config × trial) index space over the
+// batch dispatcher, with netsim worlds pooled and reset across trials.
+// ---------------------------------------------------------------------
+
+/// Derives the world seed for one trial of a sweep point from the config's
+/// base seed. Trial 0 runs the base seed itself — so a 1-trial sweep
+/// reproduces a plain `Scenario::build(config)` run exactly — and later
+/// trials get SplitMix64-mixed decorrelated seeds. Exposed so a single
+/// trial of a sweep can be reproduced in isolation.
+pub fn trial_seed(base: u64, trial: u32) -> u64 {
+    if trial == 0 {
+        return base;
+    }
+    let mut z = base
+        ^ u64::from(trial)
+            .wrapping_add(1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sensible worker count for sweeps: the machine's available parallelism
+/// (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn flat_len(configs: usize, per_config_trials: u32) -> u32 {
+    let total = configs as u64 * u64::from(per_config_trials);
+    u32::try_from(total).expect("sweep too large: configs x trials overflows u32")
+}
+
+fn unflatten<T>(flat: Vec<T>, per_config_trials: u32) -> Vec<Vec<T>> {
+    let mut per_config = Vec::new();
+    let mut flat = flat.into_iter();
+    loop {
+        let chunk: Vec<T> = flat.by_ref().take(per_config_trials as usize).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        per_config.push(chunk);
+    }
+    per_config
+}
+
+/// Sweeps an arbitrary config grid: runs `per_config_trials` evaluations of
+/// `f` for every element of `configs`, fanning the flattened
+/// (config × trial) index space over the batch dispatcher. Returns one
+/// result vector per config, trials in index order (deterministic under
+/// thread scheduling, like [`run_trials`]).
+///
+/// `f` receives `(config, config_index, trial_index)` and must derive all
+/// randomness from those (e.g. via [`trial_seed`]).
+///
+/// This is the engine for *analytic* sweeps (no simulation world). For
+/// packet-level scenario grids use [`run_scenarios`], which additionally
+/// pools worlds.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_grid<C, T, F>(configs: &[C], threads: usize, per_config_trials: u32, f: F) -> Vec<Vec<T>>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C, usize, u32) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if configs.is_empty() || per_config_trials == 0 {
+        return configs.iter().map(|_| Vec::new()).collect();
+    }
+    let total = flat_len(configs.len(), per_config_trials);
+    let flat = run_trials_stateful(
+        total,
+        threads,
+        TrialBudget::auto(),
+        || (),
+        |(), i| {
+            let cfg = (i / per_config_trials) as usize;
+            let trial = i % per_config_trials;
+            f(&configs[cfg], cfg, trial)
+        },
+    );
+    unflatten(flat, per_config_trials)
+}
+
+/// Counters describing how much construction a scenario sweep avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Scenario trials executed.
+    pub trials: u64,
+    /// Worlds constructed from scratch (`Scenario::build`).
+    pub worlds_built: u64,
+    /// Worlds adopted from the pool after a worker crossed configs.
+    pub worlds_adopted: u64,
+}
+
+/// Sweeps a grid of packet-level scenarios: `per_config_trials` trials per
+/// [`ScenarioConfig`], flattened over the batch dispatcher, with netsim
+/// worlds **pooled and reset** across trials instead of rebuilt.
+///
+/// Each worker thread keeps the scenario for the config it is currently
+/// inside; per trial it is rewound with [`Scenario::reset`] under
+/// [`trial_seed`]`(config.seed, trial)` — byte-identical to a fresh
+/// [`Scenario::build`] at that seed, at a fraction of the cost. When a
+/// worker crosses a config boundary its world goes back to a shared
+/// [`WorldPool`] shelf for later workers of that config. Construction cost
+/// is therefore O(configs + threads), not O(configs × trials).
+///
+/// `f` receives the reset scenario plus `(config_index, trial_index)`;
+/// results come back per config, in trial order, independent of scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_scenarios<T, F>(
+    configs: &[ScenarioConfig],
+    threads: usize,
+    per_config_trials: u32,
+    f: F,
+) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut Scenario, usize, u32) -> T + Sync,
+{
+    run_scenarios_detailed(configs, threads, per_config_trials, f).0
+}
+
+/// [`run_scenarios`], also reporting pool-effectiveness counters.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_scenarios_detailed<T, F>(
+    configs: &[ScenarioConfig],
+    threads: usize,
+    per_config_trials: u32,
+    f: F,
+) -> (Vec<Vec<T>>, SweepStats)
+where
+    T: Send,
+    F: Fn(&mut Scenario, usize, u32) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if configs.is_empty() || per_config_trials == 0 {
+        return (
+            configs.iter().map(|_| Vec::new()).collect(),
+            SweepStats::default(),
+        );
+    }
+    let total = flat_len(configs.len(), per_config_trials);
+    let pool = WorldPool::new(configs.len());
+
+    // A worker's cache: the scenario for the config it is currently inside.
+    // Returned to the pool when the worker crosses into another config;
+    // whatever is still cached when workers finish is simply dropped.
+    let flat = run_trials_stateful(
+        total,
+        threads,
+        TrialBudget::auto(),
+        || None::<(usize, Scenario)>,
+        |cache, i| {
+            let cfg_idx = (i / per_config_trials) as usize;
+            let trial = i % per_config_trials;
+            let config = &configs[cfg_idx];
+            let seed = trial_seed(config.seed, trial);
+            if cache.as_ref().map(|(k, _)| *k) == Some(cfg_idx) {
+                let (_, scenario) = cache.as_mut().expect("checked above");
+                scenario.reset(seed);
+            } else {
+                if let Some((old_idx, s)) = cache.take() {
+                    pool.checkin(old_idx, s.into_world());
+                }
+                // Build/adopt directly at the trial seed — both leave the
+                // scenario reset and ready, so no second reset is needed.
+                let trial_config = ScenarioConfig {
+                    seed,
+                    ..config.clone()
+                };
+                let scenario = match pool.checkout(cfg_idx) {
+                    Some(world) => Scenario::adopt(world, trial_config),
+                    None => Scenario::build(trial_config),
+                };
+                *cache = Some((cfg_idx, scenario));
+            }
+            let (_, scenario) = cache.as_mut().expect("cache populated above");
+            f(scenario, cfg_idx, trial)
+        },
+    );
+    // The pool's own counters are the single source of truth: a checkout
+    // miss is exactly a build, a hit exactly an adoption.
+    let pool_stats = pool.stats();
+    let stats = SweepStats {
+        trials: u64::from(total),
+        worlds_built: pool_stats.misses,
+        worlds_adopted: pool_stats.reused,
+    };
+    (unflatten(flat, per_config_trials), stats)
+}
+
+/// Aggregates a boolean sweep result (one inner vector per config, as
+/// returned by [`run_scenarios`]/[`run_grid`]) into per-config
+/// [`SuccessRate`]s.
+pub fn success_rates(outcomes: &[Vec<bool>]) -> Vec<SuccessRate> {
+    outcomes.iter().map(|o| success_rate(o)).collect()
 }
 
 /// Summary statistics over boolean trial outcomes.
@@ -355,6 +602,107 @@ mod tests {
         assert!(s.ci95_half_width > 0.0);
         let empty = success_rate(&[]);
         assert_eq!(empty.rate, 0.0);
+    }
+
+    #[test]
+    fn stateful_state_is_per_worker_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = run_trials_stateful(
+            100,
+            4,
+            TrialBudget::fixed(5),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u32
+            },
+            |calls, i| {
+                *calls += 1;
+                i * 3
+            },
+        );
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 3);
+        }
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "at most one state per worker"
+        );
+    }
+
+    #[test]
+    fn trial_seed_is_deterministic_and_spreads() {
+        assert_eq!(trial_seed(7, 0), trial_seed(7, 0));
+        let mut seeds: Vec<u64> = (0..64).map(|t| trial_seed(42, t)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "consecutive trials get distinct seeds");
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0));
+    }
+
+    #[test]
+    fn run_grid_shapes_and_orders_results() {
+        let grid = run_grid(&[10u32, 20, 30], 4, 5, |cfg, ci, t| (*cfg, ci, t));
+        assert_eq!(grid.len(), 3);
+        for (ci, rows) in grid.iter().enumerate() {
+            assert_eq!(rows.len(), 5);
+            for (t, row) in rows.iter().enumerate() {
+                assert_eq!(*row, ((ci as u32 + 1) * 10, ci, t as u32));
+            }
+        }
+        // Degenerate shapes.
+        let empty: Vec<Vec<u32>> = run_grid(&[] as &[u32], 2, 5, |_, _, _| 0);
+        assert!(empty.is_empty());
+        let zero_trials = run_grid(&[1u32], 2, 0, |_, _, _| 0);
+        assert_eq!(zero_trials, vec![Vec::<u32>::new()]);
+    }
+
+    fn sweep_config(seed: u64) -> crate::scenario::ScenarioConfig {
+        use crate::experiments::compressed_chronos;
+        use netsim::time::SimDuration;
+        crate::scenario::ScenarioConfig {
+            seed,
+            benign_universe: 24,
+            ns_count: 4,
+            chronos: compressed_chronos(2, SimDuration::from_secs(200)),
+            ..crate::scenario::ScenarioConfig::default()
+        }
+    }
+
+    /// The heart of the sweep engine's correctness: pooled/reset worlds must
+    /// be indistinguishable from per-trial rebuilds.
+    #[test]
+    fn run_scenarios_matches_per_trial_rebuild() {
+        use netsim::time::SimDuration;
+        let configs = vec![sweep_config(100), sweep_config(900)];
+        let probe = |s: &mut Scenario| {
+            s.run_pool_generation(SimDuration::from_secs(600));
+            (
+                s.chronos().pool().servers().to_vec(),
+                s.world.stats(),
+                s.chronos().stats(),
+            )
+        };
+        let (pooled, stats) = run_scenarios_detailed(&configs, 3, 6, |s, _, _| probe(s));
+        assert_eq!(stats.trials, 12);
+        assert!(
+            stats.worlds_built < 12,
+            "pooling must beat one build per trial: {stats:?}"
+        );
+        for (ci, config) in configs.iter().enumerate() {
+            for t in 0..6u32 {
+                let mut fresh = Scenario::build(ScenarioConfig {
+                    seed: trial_seed(config.seed, t),
+                    ..config.clone()
+                });
+                assert_eq!(
+                    pooled[ci][t as usize],
+                    probe(&mut fresh),
+                    "config {ci} trial {t} diverged from a fresh build"
+                );
+            }
+        }
     }
 
     /// A real (small) use: frag-attack capture probability across seeds.

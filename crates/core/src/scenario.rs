@@ -87,8 +87,33 @@ pub struct ScenarioConfig {
     /// which puts every glue record in the forged tail; 548 — the paper's
     /// measured nameserver bound — only reaches the trailing ones).
     pub frag_forced_mtu: Option<u16>,
+    /// §V residual: makes a BGP-hijack attacker serve inconspicuous
+    /// rotating responses (like the benign pool) instead of the full farm
+    /// blast. Ignored for other strategies.
+    pub bgp_low_profile: Option<LowProfileBgp>,
     /// The attack, if any.
     pub attack: Option<AttackPlan>,
+}
+
+/// Knobs of the low-profile (mitigation-evading) BGP hijacker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LowProfileBgp {
+    /// Records per response (the benign pool serves 4).
+    pub records: usize,
+    /// TTL on served records (the benign pool uses 150).
+    pub ttl: u32,
+    /// Size of the farm address space rotated over.
+    pub rotate_over: usize,
+}
+
+impl Default for LowProfileBgp {
+    fn default() -> Self {
+        LowProfileBgp {
+            records: 4,
+            ttl: 150,
+            rotate_over: 120,
+        }
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -106,9 +131,23 @@ impl Default for ScenarioConfig {
             auth_ip_id: netsim::stack::IpIdPolicy::GlobalSequential,
             noise_query_interval: None,
             frag_forced_mtu: None,
+            bgp_low_profile: None,
             attack: None,
         }
     }
+}
+
+/// Draws one benign server's clock imperfection. Shared by `build` and
+/// `reset` so both consume the labelled RNG stream identically.
+fn benign_clock(rng: &mut netsim::rng::SimRng, config: &ScenarioConfig) -> LocalClock {
+    let offset_bound = config.benign_offset_ms as i64 * 1_000_000;
+    let offset = if offset_bound > 0 {
+        rng.gen_range(-offset_bound..=offset_bound)
+    } else {
+        0
+    };
+    let drift = rng.gen_range(-config.benign_drift_ppm..=config.benign_drift_ppm);
+    LocalClock::new(offset, drift)
 }
 
 /// Node handles of a built scenario.
@@ -137,6 +176,9 @@ pub struct Scenario {
     pub world: World,
     /// Handles to the principal nodes.
     pub nodes: ScenarioNodes,
+    /// Benign NTP server nodes, in creation order (needed to re-derive
+    /// their per-seed clock imperfections on reset).
+    benign: Vec<NodeId>,
     config: ScenarioConfig,
     oracle_done: bool,
 }
@@ -156,11 +198,7 @@ impl Scenario {
             .map(|i| Ipv4Addr::from(u32::from(addrs::NS_BASE) + i))
             .collect();
         let zone = pool_ntp_zone(config.benign_universe, config.ns_count);
-        let ns_names: Vec<Name> = zone
-            .nameservers()
-            .iter()
-            .map(|(n, _)| n.clone())
-            .collect();
+        let ns_names: Vec<Name> = zone.nameservers().iter().map(|(n, _)| n.clone()).collect();
         let auth = world.add_node(
             "pool-auth",
             Box::new(AuthServer::with_addrs_and_stack(
@@ -197,27 +235,24 @@ impl Scenario {
             }],
         )
         .with_config(config.resolver);
-        resolver_node.cache_mut().set_ttl_cap(config.resolver_ttl_cap);
+        resolver_node
+            .cache_mut()
+            .set_ttl_cap(config.resolver_ttl_cap);
         resolver_node.allow_client(addrs::CHRONOS);
         resolver_node.allow_client(addrs::PLAIN);
         let resolver = world.add_node("resolver", Box::new(resolver_node), &[addrs::RESOLVER]);
 
         // --- benign NTP universe with slightly imperfect clocks ---
         let mut clock_rng = world.rng_mut().fork_labeled("benign-clocks");
+        let mut benign = Vec::with_capacity(config.benign_universe);
         for i in 0..config.benign_universe as u32 {
             let addr = Ipv4Addr::from(u32::from(addrs::NTP_BASE) + i);
-            let offset_bound = config.benign_offset_ms as i64 * 1_000_000;
-            let offset = if offset_bound > 0 {
-                clock_rng.gen_range(-offset_bound..=offset_bound)
-            } else {
-                0
-            };
-            let drift = clock_rng.gen_range(-config.benign_drift_ppm..=config.benign_drift_ppm);
-            world.add_node(
+            let clock = benign_clock(&mut clock_rng, &config);
+            benign.push(world.add_node(
                 format!("ntp{i}"),
-                Box::new(NtpServer::new(addr, LocalClock::new(offset, drift))),
+                Box::new(NtpServer::new(addr, clock)),
                 &[addr],
-            );
+            ));
         }
 
         // --- victims ---
@@ -291,26 +326,28 @@ impl Scenario {
                     frag_attacker = Some(id);
                 }
                 PoisonStrategy::BgpHijack { from, until } => {
+                    let bgp_config = match config.bgp_low_profile {
+                        Some(lp) => BgpHijackConfig {
+                            qname: "pool.ntp.org".parse().expect("static name"),
+                            records: lp.records,
+                            ttl: lp.ttl,
+                            rotate: true,
+                            farm_size: lp.rotate_over,
+                        },
+                        None => BgpHijackConfig {
+                            qname: "pool.ntp.org".parse().expect("static name"),
+                            records: plan.farm_size,
+                            ttl: plan.poison_ttl,
+                            rotate: false,
+                            farm_size: plan.farm_size,
+                        },
+                    };
                     let attacker = world.add_node(
                         "bgp-attacker",
-                        Box::new(BgpHijackAttacker::new(
-                            addrs::BGP_ATTACKER,
-                            BgpHijackConfig {
-                                qname: "pool.ntp.org".parse().expect("static name"),
-                                records: plan.farm_size,
-                                ttl: plan.poison_ttl,
-                                rotate: false,
-                                farm_size: plan.farm_size,
-                            },
-                        )),
+                        Box::new(BgpHijackAttacker::new(addrs::BGP_ATTACKER, bgp_config)),
                         &[addrs::BGP_ATTACKER],
                     );
-                    world.add_hijack(
-                        Ipv4Net::new(addrs::NS_BASE, 24),
-                        attacker,
-                        *from,
-                        *until,
-                    );
+                    world.add_hijack(Ipv4Net::new(addrs::NS_BASE, 24), attacker, *from, *until);
                 }
                 PoisonStrategy::BlindSpoof { start, burst } => {
                     let _ = start;
@@ -353,9 +390,119 @@ impl Scenario {
                 fake_auth,
                 farm,
             },
+            benign,
             config,
             oracle_done: false,
         }
+    }
+
+    /// Rewinds a built scenario to time zero under a new seed, reusing the
+    /// world (topology, zones, nodes, allocations) instead of rebuilding it.
+    ///
+    /// After `reset`, running the scenario is byte-identical to running
+    /// `Scenario::build` with the same config and seed: the world is
+    /// drained and reseeded, every node's run state is cleared, the benign
+    /// servers' clock imperfections are re-derived from the new seed (same
+    /// labelled RNG stream the builder uses), and the attack wiring that
+    /// lives outside nodes — the delayed-start fragmentation timer and the
+    /// BGP hijack window — is re-applied.
+    pub fn reset(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.world.reset(seed);
+        // `World::reset` keeps the trace's enabled flag; `build` starts
+        // disabled, so mirror it — otherwise a trial that enabled tracing
+        // would leak recording into every later trial on this world.
+        self.world.trace_mut().set_enabled(false);
+        self.oracle_done = false;
+
+        // Re-derive the benign clock lottery exactly as `build` does: the
+        // labelled fork does not advance the parent stream, and nothing
+        // else draws from the world RNG before this point in `build`.
+        let mut clock_rng = self.world.rng_mut().fork_labeled("benign-clocks");
+        for &id in &self.benign {
+            let clock = benign_clock(&mut clock_rng, &self.config);
+            self.world.node_mut::<NtpServer>(id).set_clock(clock);
+        }
+
+        // Re-apply attack wiring cleared by the world reset.
+        if let Some(plan) = &self.config.attack {
+            match &plan.strategy {
+                PoisonStrategy::Fragmentation { start } => {
+                    let id = self
+                        .nodes
+                        .frag_attacker
+                        .expect("fragmentation plan built a frag attacker");
+                    let delayed = start.as_nanos() > 0;
+                    self.world
+                        .node_mut::<FragPoisoner>(id)
+                        .set_enabled(!delayed);
+                    if delayed {
+                        self.world.schedule_timer(
+                            id,
+                            start.duration_since(SimTime::ZERO),
+                            attacklab::fragpoison::BEGIN_TAG,
+                        );
+                    }
+                }
+                PoisonStrategy::BgpHijack { from, until } => {
+                    let attacker = self
+                        .world
+                        .find_node("bgp-attacker")
+                        .expect("bgp plan built a bgp attacker");
+                    self.world.add_hijack(
+                        Ipv4Net::new(addrs::NS_BASE, 24),
+                        attacker,
+                        *from,
+                        *until,
+                    );
+                }
+                PoisonStrategy::BlindSpoof { .. } | PoisonStrategy::Oracle { .. } => {}
+            }
+        }
+    }
+
+    /// Consumes the scenario, releasing its world for pooling (see
+    /// [`netsim::pool::WorldPool`]); re-attach it with [`Scenario::adopt`].
+    pub fn into_world(self) -> World {
+        self.world
+    }
+
+    /// Re-attaches a world previously detached with [`Scenario::into_world`]
+    /// and resets it for `config.seed`.
+    ///
+    /// The world must have been built by [`Scenario::build`] from a config
+    /// identical to `config` except for the seed — node handles are
+    /// re-bound by label, and structural differences would make the reused
+    /// world diverge from a fresh build (debug assertions catch label
+    /// mismatches; semantic mismatches are the caller's responsibility).
+    pub fn adopt(world: World, config: ScenarioConfig) -> Scenario {
+        let find = |label: &str| {
+            world
+                .find_node(label)
+                .unwrap_or_else(|| panic!("adopted world has no {label:?} node"))
+        };
+        let nodes = ScenarioNodes {
+            auth: find("pool-auth"),
+            resolver: find("resolver"),
+            chronos: find("chronos"),
+            plain: world.find_node("plain-ntp"),
+            frag_attacker: world.find_node("frag-attacker"),
+            fake_auth: world.find_node("fake-auth"),
+            farm: world.find_node("malicious-farm"),
+        };
+        let benign: Vec<NodeId> = (0..config.benign_universe)
+            .map(|i| find(&format!("ntp{i}")))
+            .collect();
+        let seed = config.seed;
+        let mut scenario = Scenario {
+            world,
+            nodes,
+            benign,
+            config,
+            oracle_done: false,
+        };
+        scenario.reset(seed);
+        scenario
     }
 
     /// The scenario configuration.
@@ -519,6 +666,26 @@ mod tests {
         assert_eq!(malicious, 89);
         assert_eq!(benign, 8, "2 benign rounds before the poison");
         assert!(s.attacker_fraction() > 2.0 / 3.0);
+    }
+
+    /// Regression: a trial that turns tracing on must not leak recording
+    /// into later trials on the same pooled world (`build` starts with the
+    /// trace disabled; `reset` must restore that).
+    #[test]
+    fn reset_restores_the_disabled_trace() {
+        let mut s = Scenario::build(ScenarioConfig {
+            seed: 9,
+            benign_universe: 16,
+            chronos: fast_chronos(),
+            ..ScenarioConfig::default()
+        });
+        s.world.trace_mut().set_enabled(true);
+        s.run_for(SimDuration::from_secs(10));
+        assert!(s.world.trace().entries().count() > 0);
+        s.reset(9);
+        assert!(!s.world.trace().is_enabled(), "reset must mirror build");
+        s.run_for(SimDuration::from_secs(10));
+        assert_eq!(s.world.trace().entries().count(), 0);
     }
 
     #[test]

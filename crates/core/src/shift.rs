@@ -124,7 +124,10 @@ pub fn run_time_shift(config: &TimeShiftConfig) -> TimeShiftResult {
         ..ScenarioConfig::default()
     });
     benign.run_pool_generation(config.horizon);
-    let elapsed = benign.world.now().duration_since(netsim::time::SimTime::ZERO);
+    let elapsed = benign
+        .world
+        .now()
+        .duration_since(netsim::time::SimTime::ZERO);
     benign.run_for(config.horizon.saturating_sub(elapsed));
     let plain_benign = trace_to_series("plain/benign", benign.plain().offset_trace());
     let chronos_benign = trace_to_series("chronos/benign", benign.chronos().offset_trace());
@@ -145,13 +148,15 @@ pub fn run_time_shift(config: &TimeShiftConfig) -> TimeShiftResult {
         ..ScenarioConfig::default()
     });
     run_a.run_pool_generation(config.horizon);
-    let elapsed = run_a.world.now().duration_since(netsim::time::SimTime::ZERO);
+    let elapsed = run_a
+        .world
+        .now()
+        .duration_since(netsim::time::SimTime::ZERO);
     run_a.run_for(config.horizon.saturating_sub(elapsed));
     let chronos_attacked = trace_to_series("chronos/attacked", run_a.chronos().offset_trace());
     let attacked_pool = run_a.chronos_pool_composition();
     let now_a = run_a.world.now();
-    let chronos_final_error_ms =
-        run_a.chronos().offset_from_true(now_a).abs() as f64 / 1e6;
+    let chronos_final_error_ms = run_a.chronos().offset_from_true(now_a).abs() as f64 / 1e6;
 
     // --- attacked run B: poison active at t = 0, hitting the plain
     //     client's one-and-only resolution. ---

@@ -342,8 +342,16 @@ mod tests {
 
     #[test]
     fn resolver_probe_distinguishes_filters() {
-        assert!(probe_resolver_accepts_fragments(FragFilter::AcceptAll, 548, 1));
-        assert!(probe_resolver_accepts_fragments(FragFilter::AcceptAll, 68, 1));
+        assert!(probe_resolver_accepts_fragments(
+            FragFilter::AcceptAll,
+            548,
+            1
+        ));
+        assert!(probe_resolver_accepts_fragments(
+            FragFilter::AcceptAll,
+            68,
+            1
+        ));
         assert!(probe_resolver_accepts_fragments(
             FragFilter::MinFirstFragment(256),
             548,

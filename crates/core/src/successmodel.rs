@@ -65,19 +65,19 @@ pub fn sweep(qs: &[f64]) -> Vec<SuccessRow> {
         .collect()
 }
 
+/// One Monte-Carlo trial of the opportunity model: does any of `tries`
+/// attempts land? The unit the parallel sweeps fan out over.
+pub fn single_trial(q: f64, tries: u32, rng: &mut SimRng) -> bool {
+    (0..tries).any(|_| rng.chance(q))
+}
+
 /// Monte-Carlo estimate of [`p_any_success`] (cross-check).
 pub fn monte_carlo(q: f64, tries: u32, trials: u32, rng: &mut SimRng) -> f64 {
     if trials == 0 {
         return 0.0;
     }
-    let mut hits = 0u32;
-    for _ in 0..trials {
-        let captured = (0..tries).any(|_| rng.chance(q));
-        if captured {
-            hits += 1;
-        }
-    }
-    f64::from(hits) / f64::from(trials)
+    let hits = (0..trials).filter(|_| single_trial(q, tries, rng)).count();
+    hits as f64 / f64::from(trials)
 }
 
 #[cfg(test)]

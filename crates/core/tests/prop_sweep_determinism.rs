@@ -1,0 +1,119 @@
+//! Property tests for the pooled scenario-sweep engine: a world reused via
+//! `World::reset` must be observationally indistinguishable from a freshly
+//! built one — byte-identical `WorldStats`, pool contents, selection
+//! decisions and clock trajectories — for any small config grid.
+
+use chronos_pitfalls::experiments::compressed_chronos;
+use chronos_pitfalls::montecarlo::{run_scenarios_detailed, trial_seed};
+use chronos_pitfalls::scenario::{Scenario, ScenarioConfig};
+use netsim::time::{SimDuration, SimTime};
+use netsim::world::WorldStats;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Everything observable a trial produces: world activity counters, the
+/// generated pool (selection input), the client's decision counters, and
+/// the final clock offset.
+#[derive(Debug, Clone, PartialEq)]
+struct TrialFingerprint {
+    world: WorldStats,
+    trace_recorded: u64,
+    pool: Vec<Ipv4Addr>,
+    accepts: u64,
+    rejects: u64,
+    clock_offset_ns: i64,
+}
+
+fn fingerprint(s: &mut Scenario) -> TrialFingerprint {
+    s.run_pool_generation(SimDuration::from_secs(500));
+    // A slice of the syncing phase too, so selection decisions are covered.
+    s.run_for(SimDuration::from_secs(100));
+    TrialFingerprint {
+        world: s.world.stats(),
+        trace_recorded: s.world.trace().total_recorded(),
+        pool: s.chronos().pool().servers().to_vec(),
+        accepts: s.chronos().stats().accepts,
+        rejects: s.chronos().stats().rejects,
+        clock_offset_ns: s.chronos().offset_from_true(s.world.now()),
+    }
+}
+
+fn config(seed: u64, universe: usize, rounds: usize, with_attack: bool) -> ScenarioConfig {
+    use attacklab::plan::{AttackPlan, PoisonStrategy};
+    let mut chronos = compressed_chronos(rounds, SimDuration::from_secs(200));
+    chronos.sample_size = 6;
+    chronos.trim = 2;
+    ScenarioConfig {
+        seed,
+        benign_universe: universe,
+        ns_count: 2,
+        chronos,
+        attack: with_attack.then(|| AttackPlan {
+            strategy: PoisonStrategy::Fragmentation {
+                start: SimTime::ZERO,
+            },
+            ..AttackPlan::paper_default(SimDuration::from_millis(500))
+        }),
+        ..ScenarioConfig::default()
+    }
+}
+
+proptest! {
+    /// For random small grids, the pooled sweep's per-trial fingerprints
+    /// equal those of per-trial `Scenario::build` — and the pool really
+    /// avoided rebuilding.
+    #[test]
+    fn pooled_sweep_is_byte_identical_to_fresh_builds(
+        base_seed in 0u64..1_000_000,
+        universe in 16usize..48,
+        rounds in 1usize..3,
+        configs in 1usize..4,
+        trials in 1u32..4,
+        with_attack in any::<bool>(),
+    ) {
+        let grid: Vec<ScenarioConfig> = (0..configs as u64)
+            .map(|i| config(base_seed + 17 * i, universe, rounds, with_attack))
+            .collect();
+        let (pooled, stats) =
+            run_scenarios_detailed(&grid, 2, trials, |s, _, _| fingerprint(s));
+        prop_assert_eq!(stats.trials, configs as u64 * u64::from(trials));
+        prop_assert!(
+            stats.worlds_built <= (configs * 2) as u64,
+            "built {} worlds for {} configs on 2 threads",
+            stats.worlds_built,
+            configs
+        );
+        for (ci, cfg) in grid.iter().enumerate() {
+            for t in 0..trials {
+                let mut fresh = Scenario::build(ScenarioConfig {
+                    seed: trial_seed(cfg.seed, t),
+                    ..cfg.clone()
+                });
+                prop_assert_eq!(
+                    &pooled[ci][t as usize],
+                    &fingerprint(&mut fresh),
+                    "config {} trial {} diverged from a fresh world",
+                    ci,
+                    t
+                );
+            }
+        }
+    }
+
+    /// Resetting one scenario through a random seed sequence always matches
+    /// building fresh at each seed (order independence of reuse).
+    #[test]
+    fn reset_chain_matches_fresh_builds(
+        seeds in proptest::collection::vec(0u64..1_000_000, 2..5),
+        with_attack in any::<bool>(),
+    ) {
+        let cfg = config(seeds[0], 20, 1, with_attack);
+        let mut reused = Scenario::build(cfg.clone());
+        for &seed in &seeds {
+            reused.reset(seed);
+            let got = fingerprint(&mut reused);
+            let mut fresh = Scenario::build(ScenarioConfig { seed, ..cfg.clone() });
+            prop_assert_eq!(got, fingerprint(&mut fresh), "seed {} diverged", seed);
+        }
+    }
+}

@@ -205,6 +205,13 @@ impl DnsCache {
         self.entries.clear();
     }
 
+    /// Clears all entries and zeroes the counters, keeping the capacity and
+    /// TTL-cap configuration (world-reuse support).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats = CacheStats::default();
+    }
+
     fn evict_soonest_expiring(&mut self) {
         if let Some(key) = self
             .entries

@@ -71,6 +71,11 @@ impl StubResolver {
         self.pending.len()
     }
 
+    /// Forgets all outstanding queries (world-reuse support).
+    pub fn reset(&mut self) {
+        self.pending.clear();
+    }
+
     /// Sends `question` through `stack`, remembering `tag` for the match.
     /// Returns the TXID used.
     pub fn query(
@@ -104,10 +109,7 @@ impl StubResolver {
     /// Validates source address (must be the resolver), destination port,
     /// TXID and question — a client-side mirror of resolver validation.
     pub fn handle(&mut self, src: Ipv4Addr, datagram: &UdpDatagram) -> Option<StubResponse> {
-        if src != self.resolver
-            || datagram.src_port != DNS_PORT
-            || datagram.dst_port != self.port
-        {
+        if src != self.resolver || datagram.src_port != DNS_PORT || datagram.dst_port != self.port {
             return None;
         }
         let message = Message::decode(&datagram.payload).ok()?;
@@ -168,11 +170,8 @@ mod tests {
 
     fn respond(txid: u16, q: &Question) -> UdpDatagram {
         let mut msg = Message::response_to(&Message::query(txid, q.clone()));
-        msg.answers.push(Record::a(
-            q.name.clone(),
-            Ipv4Addr::new(10, 32, 0, 1),
-            150,
-        ));
+        msg.answers
+            .push(Record::a(q.name.clone(), Ipv4Addr::new(10, 32, 0, 1), 150));
         UdpDatagram::new(DNS_PORT, STUB_PORT, msg.encode())
     }
 

@@ -36,9 +36,7 @@ pub mod prelude {
     pub use crate::cache::{CacheKey, DnsCache};
     pub use crate::client::{StubResolver, StubResponse};
     pub use crate::name::Name;
-    pub use crate::resolver::{
-        RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream,
-    };
+    pub use crate::resolver::{RecursiveResolver, ResolverConfig, SourcePortPolicy, Upstream};
     pub use crate::server::{AuthServer, AuthServerConfig, DNS_PORT};
     pub use crate::wire::{
         FieldSpan, Message, Question, RData, Rcode, Record, RecordSpan, RecordType, Section,

@@ -165,11 +165,7 @@ impl RecursiveResolver {
 
     /// Creates a resolver with an explicit IP-stack configuration (overlap
     /// policy, fragment filtering — the study/attack knobs).
-    pub fn with_stack_config(
-        addr: Ipv4Addr,
-        upstreams: Vec<Upstream>,
-        stack: StackConfig,
-    ) -> Self {
+    pub fn with_stack_config(addr: Ipv4Addr, upstreams: Vec<Upstream>, stack: StackConfig) -> Self {
         RecursiveResolver {
             stack: IpStack::with_config(vec![addr], stack),
             config: ResolverConfig::default(),
@@ -290,8 +286,7 @@ impl RecursiveResolver {
         let Some(p) = self.pending.get(&key) else {
             return;
         };
-        let (txid, sport, ns_addr, question) =
-            (p.txid, p.sport, p.ns_addr, p.question.clone());
+        let (txid, sport, ns_addr, question) = (p.txid, p.sport, p.ns_addr, p.question.clone());
         let mut query = Message::query(txid, question);
         if let Some(size) = self.config.edns_advertise {
             query = query.with_edns(size);
@@ -482,6 +477,16 @@ impl RecursiveResolver {
 }
 
 impl Node for RecursiveResolver {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.cache.reset(); // keeps the TTL cap; drops learned glue
+        self.pending.clear();
+        self.next_key = 1;
+        self.txid_seq = 1;
+        self.rr_counter = 0;
+        self.stats = ResolverStats::default();
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
         let Some(event) = self.stack.handle(ctx, pkt) else {
             return;
@@ -675,9 +680,7 @@ mod tests {
     #[test]
     fn second_query_within_ttl_is_cache_hit() {
         let mut s = setup(2);
-        s.world
-            .node_mut::<TestClient>(s.client)
-            .repeat_every = Some(SimDuration::from_secs(30));
+        s.world.node_mut::<TestClient>(s.client).repeat_every = Some(SimDuration::from_secs(30));
         s.world.run_until(SimTime::from_secs(70));
         let stats = s.world.node::<RecursiveResolver>(s.resolver).stats();
         assert!(stats.cache_hits >= 1, "30s < 150s TTL means cache hits");
@@ -691,9 +694,7 @@ mod tests {
     #[test]
     fn query_after_ttl_expiry_goes_upstream_again() {
         let mut s = setup(3);
-        s.world
-            .node_mut::<TestClient>(s.client)
-            .repeat_every = Some(SimDuration::from_secs(3600));
+        s.world.node_mut::<TestClient>(s.client).repeat_every = Some(SimDuration::from_secs(3600));
         s.world.run_until(SimTime::from_secs(3 * 3600 + 10));
         let stats = s.world.node::<RecursiveResolver>(s.resolver).stats();
         assert_eq!(stats.upstream_queries, 4, "every hourly query misses");
@@ -729,7 +730,13 @@ mod tests {
         let responses = &s.world.node::<TestClient>(stranger).responses;
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].rcode(), Rcode::Refused);
-        assert!(s.world.node::<RecursiveResolver>(s.resolver).stats().refused_acl >= 1);
+        assert!(
+            s.world
+                .node::<RecursiveResolver>(s.resolver)
+                .stats()
+                .refused_acl
+                >= 1
+        );
     }
 
     #[test]
@@ -743,11 +750,12 @@ mod tests {
             Box::new(AuthServer::new(ns_addr, vec![pool_ntp_zone(16, 2)])),
             &[ns_addr],
         );
-        let res = RecursiveResolver::new(resolver_addr, vec![pool_upstream(ns_addr)])
-            .with_config(ResolverConfig {
+        let res = RecursiveResolver::new(resolver_addr, vec![pool_upstream(ns_addr)]).with_config(
+            ResolverConfig {
                 open: true,
                 ..ResolverConfig::default()
-            });
+            },
+        );
         world.add_node("resolver", Box::new(res), &[resolver_addr]);
         let stranger = world.add_node(
             "stranger",
@@ -825,7 +833,10 @@ mod tests {
         let glue = resolver
             .cache_mut()
             .get(now, &CacheKey::a("ns1.pool.ntp.org".parse().unwrap()));
-        assert!(glue.is_some(), "glue was cached from the additional section");
+        assert!(
+            glue.is_some(),
+            "glue was cached from the additional section"
+        );
         // Poison the glue by hand and observe the next upstream target.
         let evil = Ipv4Addr::new(66, 66, 66, 66);
         let record = Record::a("ns1.pool.ntp.org".parse().unwrap(), evil, 86_401);
@@ -845,7 +856,8 @@ mod tests {
             .remove(&CacheKey::a("pool.ntp.org".parse().unwrap()));
         s.world.node_mut::<TestClient>(s.client).repeat_every = None;
         // Fire another client query via a timer.
-        s.world.schedule_timer(s.client, SimDuration::from_secs(1), 1);
+        s.world
+            .schedule_timer(s.client, SimDuration::from_secs(1), 1);
         s.world.run_for(SimDuration::from_secs(10));
         // The upstream query went to the attacker address (and timed out,
         // since nothing answers there).
@@ -853,7 +865,10 @@ mod tests {
             .world
             .trace()
             .count(|e| e.dst == evil && e.proto == IpProto::Udp);
-        assert!(went_to_evil >= 1, "poisoned glue redirects upstream queries");
+        assert!(
+            went_to_evil >= 1,
+            "poisoned glue redirects upstream queries"
+        );
     }
 
     #[test]
@@ -883,9 +898,9 @@ mod tests {
         world.run_for(SimDuration::from_secs(5));
         assert_eq!(world.node::<TestClient>(client).responses.len(), 1);
         // The upstream query used the fixed port.
-        let used_fixed_port = world.trace().count(|e| {
-            e.src == resolver_addr && e.dst == ns_addr && e.proto == IpProto::Udp
-        });
+        let used_fixed_port = world
+            .trace()
+            .count(|e| e.src == resolver_addr && e.dst == ns_addr && e.proto == IpProto::Udp);
         assert!(used_fixed_port >= 1);
     }
 }

@@ -211,6 +211,14 @@ impl AuthServer {
 }
 
 impl Node for AuthServer {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.stats = AuthServerStats::default();
+        for zone in &mut self.zones {
+            zone.reset();
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
         let Some(StackEvent::Udp { src, dst, datagram }) = self.stack.handle(ctx, pkt) else {
             return;
@@ -277,14 +285,8 @@ mod tests {
     impl Node for Probe {
         fn on_start(&mut self, ctx: &mut Context<'_>) {
             let me = self.stack.addr();
-            self.stack.send_udp(
-                ctx,
-                me,
-                5301,
-                self.server,
-                DNS_PORT,
-                self.query.encode(),
-            );
+            self.stack
+                .send_udp(ctx, me, 5301, self.server, DNS_PORT, self.query.encode());
         }
         fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
             if let Some(StackEvent::Udp { datagram, .. }) = self.stack.handle(ctx, pkt) {
@@ -409,7 +411,10 @@ mod tests {
             &[probe_addr],
         );
         world.run_for(SimDuration::from_secs(2));
-        assert_eq!(world.node::<AuthServer>(server).stack().pmtu(probe_addr), 548);
+        assert_eq!(
+            world.node::<AuthServer>(server).stack().pmtu(probe_addr),
+            548
+        );
         let fragments = world
             .trace()
             .count(|e| e.src == server_addr && e.more_fragments);
@@ -441,8 +446,8 @@ mod tests {
         assert_eq!(world.node::<AuthServer>(server).stats().queries, 0);
         assert!(world.node::<Probe>(probe).response.is_none());
         // Garbage to a non-DNS port is ignored too.
-        let garbage = UdpDatagram::new(1, 9999, Bytes::from_static(b"junk"))
-            .encode(probe_addr, server_addr);
+        let garbage =
+            UdpDatagram::new(1, 9999, Bytes::from_static(b"junk")).encode(probe_addr, server_addr);
         let pkt = Ipv4Packet::new(probe_addr, server_addr, IpProto::Udp, garbage);
         world.inject(probe, pkt);
         world.run_for(SimDuration::from_secs(1));

@@ -1021,9 +1021,8 @@ mod tests {
             assert!(f.start < f.end && f.end <= wire.len());
             if let RData::A(addr) = span.record.rdata {
                 assert_eq!(&wire[f.rdata_offset..f.rdata_offset + 4], &addr.octets());
-                let ttl = u32::from_be_bytes(
-                    wire[f.ttl_offset..f.ttl_offset + 4].try_into().unwrap(),
-                );
+                let ttl =
+                    u32::from_be_bytes(wire[f.ttl_offset..f.ttl_offset + 4].try_into().unwrap());
                 assert_eq!(ttl, span.record.ttl);
                 assert_eq!(f.rdata_len, 4);
             }

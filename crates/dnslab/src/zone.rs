@@ -44,6 +44,11 @@ impl Rotation {
         }
     }
 
+    /// Rewinds the rotation to its starting position (world-reuse support).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
     /// The next batch of addresses (advances the cursor).
     pub fn next_batch(&mut self) -> Vec<Ipv4Addr> {
         let n = self.per_response.min(self.addrs.len());
@@ -162,6 +167,14 @@ impl Zone {
         name.is_subdomain_of(&self.origin)
     }
 
+    /// Rewinds run state (the rotation cursor) to the freshly-built zone
+    /// (world-reuse support); records and delegations are untouched.
+    pub fn reset(&mut self) {
+        if let Some(rot) = &mut self.rotation {
+            rot.reset();
+        }
+    }
+
     /// Answers a question. Advances the rotation cursor on rotating hits.
     pub fn answer(&mut self, q: &Question) -> ZoneAnswer {
         let mut out = ZoneAnswer::default();
@@ -192,7 +205,8 @@ impl Zone {
         if q.qtype == RecordType::A {
             for (ns_name, glue) in &self.ns {
                 if *ns_name == q.name {
-                    out.answers.push(Record::a(q.name.clone(), *glue, self.ns_ttl));
+                    out.answers
+                        .push(Record::a(q.name.clone(), *glue, self.ns_ttl));
                 }
             }
         }
@@ -338,10 +352,7 @@ mod tests {
         let mut zone = pool_ntp_zone(96, 4);
         let ans = zone.answer(&q("ns1.pool.ntp.org", RecordType::A));
         assert_eq!(ans.answers.len(), 1);
-        assert_eq!(
-            ans.answers[0].as_a(),
-            Some(Ipv4Addr::new(203, 0, 113, 1))
-        );
+        assert_eq!(ans.answers[0].as_a(), Some(Ipv4Addr::new(203, 0, 113, 1)));
     }
 
     #[test]
@@ -368,7 +379,10 @@ mod tests {
     fn static_records_and_mx() {
         let origin: Name = "victim.example".parse().unwrap();
         let mut zone = Zone::new(origin.clone())
-            .with_ns("ns1.victim.example".parse().unwrap(), Ipv4Addr::new(9, 9, 9, 9))
+            .with_ns(
+                "ns1.victim.example".parse().unwrap(),
+                Ipv4Addr::new(9, 9, 9, 9),
+            )
             .with_record(Record {
                 name: origin.clone(),
                 ttl: 300,

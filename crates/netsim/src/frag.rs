@@ -177,8 +177,7 @@ impl Buffer {
                 let mut cursor = start;
                 for r in covered_within(&self.filled, start, end) {
                     if cursor < r.0 {
-                        self.data[cursor..r.0]
-                            .copy_from_slice(&bytes[cursor - start..r.0 - start]);
+                        self.data[cursor..r.0].copy_from_slice(&bytes[cursor - start..r.0 - start]);
                     }
                     cursor = cursor.max(r.1);
                 }
@@ -200,8 +199,7 @@ impl Buffer {
                 let mut cursor = first_existing;
                 for r in covered_within(&self.filled, first_existing, end) {
                     if cursor < r.0 {
-                        self.data[cursor..r.0]
-                            .copy_from_slice(&bytes[cursor - start..r.0 - start]);
+                        self.data[cursor..r.0].copy_from_slice(&bytes[cursor - start..r.0 - start]);
                     }
                     cursor = cursor.max(r.1);
                 }
@@ -391,6 +389,13 @@ impl ReassemblyCache {
     /// Removes the queue for `key`, if present (used by failure injection).
     pub fn purge(&mut self, key: &FragKey) -> bool {
         self.buffers.remove(key).is_some()
+    }
+
+    /// Drops every in-progress queue and zeroes the statistics, keeping the
+    /// policy/timeout/capacity configuration (world-reuse support).
+    pub fn reset(&mut self) {
+        self.buffers.clear();
+        self.stats = ReassemblyStats::default();
     }
 
     fn evict_oldest(&mut self) -> bool {
@@ -590,11 +595,8 @@ mod tests {
     fn timeout_expires_stale_queues() {
         let pkt = base_packet(1000);
         let frags = pkt.fragment(576).unwrap();
-        let mut cache = ReassemblyCache::with_limits(
-            OverlapPolicy::First,
-            SimDuration::from_secs(30),
-            16,
-        );
+        let mut cache =
+            ReassemblyCache::with_limits(OverlapPolicy::First, SimDuration::from_secs(30), 16);
         cache.insert(t(0), frags[0].clone());
         assert_eq!(cache.expire(t(10)), 0);
         assert_eq!(cache.expire(t(31)), 1);

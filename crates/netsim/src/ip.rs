@@ -377,10 +377,7 @@ mod tests {
     #[test]
     fn mtu_below_minimum_is_rejected() {
         let p = packet(500);
-        assert_eq!(
-            p.fragment(67),
-            Err(FragmentError::MtuTooSmall { mtu: 67 })
-        );
+        assert_eq!(p.fragment(67), Err(FragmentError::MtuTooSmall { mtu: 67 }));
     }
 
     #[test]

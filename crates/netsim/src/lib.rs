@@ -64,6 +64,7 @@ pub mod icmp;
 pub mod ip;
 pub mod link;
 pub mod node;
+pub mod pool;
 pub mod rng;
 pub mod stack;
 pub mod time;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::ip::{IpProto, Ipv4Net, Ipv4Packet};
     pub use crate::link::{LatencyModel, PathProfile};
     pub use crate::node::{Context, Node, NodeId};
+    pub use crate::pool::{WorldPool, WorldPoolStats};
     pub use crate::rng::SimRng;
     pub use crate::stack::{FragFilter, IpIdPolicy, IpStack, StackConfig, StackEvent};
     pub use crate::time::{SimDuration, SimTime};

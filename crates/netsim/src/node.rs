@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Identifies a node within a [`crate::world::World`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(usize);
 
 impl NodeId {
@@ -104,7 +102,10 @@ impl<'a> Context<'a> {
 ///
 /// Implementors also provide [`Node::as_any`] / [`Node::as_any_mut`] so
 /// experiment code can downcast back to the concrete type after the run.
-pub trait Node: Any {
+///
+/// Nodes are `Send` so whole worlds can migrate between Monte-Carlo worker
+/// threads (see [`crate::pool::WorldPool`]).
+pub trait Node: Any + Send {
     /// Invoked once when the simulation starts (time 0 of the run).
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let _ = ctx;
@@ -118,6 +119,19 @@ pub trait Node: Any {
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Restores the node to its freshly-constructed state, retaining
+    /// configuration and allocations, so a world can be reused across
+    /// Monte-Carlo trials via [`crate::world::World::reset`] instead of
+    /// being rebuilt.
+    ///
+    /// Implementations must clear every piece of *run* state (caches,
+    /// pending exchanges, counters, learned PMTUs) while keeping *config*
+    /// state (addresses, policies, zones) — after `reset`, driving the node
+    /// with the same event sequence must reproduce the same behaviour as a
+    /// newly constructed node. The default is a no-op, which is only correct
+    /// for stateless nodes.
+    fn reset(&mut self) {}
 
     /// Upcast for downcasting in experiment code.
     fn as_any(&self) -> &dyn Any;
@@ -229,7 +243,12 @@ mod tests {
     fn context_collects_actions() {
         let mut rng = SimRng::seed_from(0);
         let mut actions = Vec::new();
-        let mut ctx = Context::new(SimTime::from_secs(5), NodeId::new(1), &mut rng, &mut actions);
+        let mut ctx = Context::new(
+            SimTime::from_secs(5),
+            NodeId::new(1),
+            &mut rng,
+            &mut actions,
+        );
         assert_eq!(ctx.now(), SimTime::from_secs(5));
         assert_eq!(ctx.self_id(), NodeId::new(1));
         ctx.set_timer(SimDuration::from_secs(1), 42);

@@ -1,0 +1,156 @@
+//! World pooling for Monte-Carlo sweeps.
+//!
+//! Building a [`World`] — zones, nodes, address maps, topology — dominates
+//! the cost of cheap packet-level trials. A [`WorldPool`] lets sweep engines
+//! keep one constructed world per *configuration key* and hand it from
+//! worker to worker: a worker checks a world out, [`World::reset`]s it for
+//! its trial seed, runs the trial, and checks it back in. Construction then
+//! happens O(keys + threads) times instead of O(keys × trials).
+//!
+//! The pool is deliberately dumb about what a "configuration" is: keys are
+//! plain indices assigned by the caller (e.g. positions in a slice of
+//! scenario configs). Worlds checked in under key `k` must all have been
+//! built from the same configuration — the pool never validates this.
+//!
+//! Locking: one mutex per key shelf, taken once per *batch* of trials (the
+//! sweep engines claim batches, not single trials), so contention is
+//! amortized to noise and the per-trial hot path stays lock-free.
+
+use crate::world::World;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing pool effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldPoolStats {
+    /// Checkouts that found a reusable world.
+    pub reused: u64,
+    /// Checkouts that came back empty (the caller had to build).
+    pub misses: u64,
+}
+
+/// A keyed stash of reusable [`World`]s shared between worker threads.
+#[derive(Debug)]
+pub struct WorldPool {
+    shelves: Vec<Mutex<Vec<World>>>,
+    reused: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorldPool {
+    /// Creates a pool with `keys` empty shelves (one per configuration).
+    pub fn new(keys: usize) -> Self {
+        WorldPool {
+            shelves: (0..keys).map(|_| Mutex::new(Vec::new())).collect(),
+            reused: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of configuration shelves.
+    pub fn keys(&self) -> usize {
+        self.shelves.len()
+    }
+
+    /// Takes a world previously checked in under `key`, if any. The caller
+    /// is expected to [`World::reset`] it before use and to build a fresh
+    /// world on `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn checkout(&self, key: usize) -> Option<World> {
+        let world = self.shelves[key].lock().expect("pool not poisoned").pop();
+        match world {
+            Some(w) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                Some(w)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns a world to the shelf for `key` for another worker to reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn checkin(&self, key: usize, world: World) {
+        self.shelves[key]
+            .lock()
+            .expect("pool not poisoned")
+            .push(world);
+    }
+
+    /// Reuse counters accumulated so far.
+    pub fn stats(&self) -> WorldPoolStats {
+        WorldPoolStats {
+            reused: self.reused.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_of_empty_shelf_is_a_miss() {
+        let pool = WorldPool::new(2);
+        assert!(pool.checkout(0).is_none());
+        assert_eq!(
+            pool.stats(),
+            WorldPoolStats {
+                reused: 0,
+                misses: 1
+            }
+        );
+    }
+
+    #[test]
+    fn checkin_then_checkout_reuses() {
+        let pool = WorldPool::new(1);
+        pool.checkin(0, World::new(7));
+        let w = pool.checkout(0).expect("shelved world comes back");
+        assert_eq!(w.node_count(), 0);
+        assert_eq!(
+            pool.stats(),
+            WorldPoolStats {
+                reused: 1,
+                misses: 0
+            }
+        );
+        assert!(pool.checkout(0).is_none(), "shelf is empty again");
+    }
+
+    #[test]
+    fn shelves_are_independent() {
+        let pool = WorldPool::new(3);
+        pool.checkin(2, World::new(1));
+        assert!(pool.checkout(0).is_none());
+        assert!(pool.checkout(2).is_some());
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = WorldPool::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let w = pool.checkout(t).unwrap_or_else(|| World::new(t as u64));
+                        pool.checkin(t, w);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.reused + stats.misses, 32);
+        assert!(stats.misses >= 4, "each shelf missed at least once");
+    }
+}

@@ -189,6 +189,20 @@ impl IpStack {
         self.dropped_checksum
     }
 
+    /// Restores the stack to its freshly-constructed state: empties the
+    /// reassembly cache, forgets learned PMTUs, rewinds IP-ID counters and
+    /// zeroes drop counters. Configuration (addresses, policies, default
+    /// MTU) is retained, so a reset stack behaves byte-identically to a new
+    /// one under the same packet sequence.
+    pub fn reset(&mut self) {
+        self.reassembly.reset();
+        self.global_id = 1;
+        self.per_dest_id.clear();
+        self.pmtu.clear();
+        self.dropped_fragments = 0;
+        self.dropped_checksum = 0;
+    }
+
     /// Predicts the next IP id that would be allocated toward `dst`
     /// without consuming it (used by attacker models with server access).
     pub fn peek_next_id(&self, dst: Ipv4Addr) -> u16 {
@@ -442,7 +456,14 @@ mod tests {
         assert_eq!(server.pmtu(a(3)), ETHERNET_MTU, "other peers unaffected");
 
         let (_, sent) = with_ctx(|ctx| {
-            server.send_udp(ctx, a(1), 53, resolver_addr, 5300, Bytes::from(vec![0u8; 900]));
+            server.send_udp(
+                ctx,
+                a(1),
+                53,
+                resolver_addr,
+                5300,
+                Bytes::from(vec![0u8; 900]),
+            );
         });
         assert!(sent.len() > 1, "response must now fragment");
         assert!(sent.iter().all(|p| p.total_len() <= 548));

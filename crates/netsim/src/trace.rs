@@ -151,6 +151,13 @@ impl Trace {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Drops all entries *and* zeroes the lifetime counter, keeping the
+    /// enabled flag and capacity (world-reuse support).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.total_recorded = 0;
+    }
 }
 
 #[cfg(test)]
@@ -185,10 +192,7 @@ mod tests {
             &pkt(),
         );
         assert_eq!(trace.entries().count(), 2);
-        assert_eq!(
-            trace.count(|e| e.outcome == TraceOutcome::Delivered),
-            1
-        );
+        assert_eq!(trace.count(|e| e.outcome == TraceOutcome::Delivered), 1);
         assert_eq!(trace.total_recorded(), 2);
     }
 

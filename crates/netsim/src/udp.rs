@@ -203,7 +203,10 @@ mod tests {
     use super::*;
 
     fn addrs() -> (Ipv4Addr, Ipv4Addr) {
-        (Ipv4Addr::new(198, 51, 100, 7), Ipv4Addr::new(203, 0, 113, 9))
+        (
+            Ipv4Addr::new(198, 51, 100, 7),
+            Ipv4Addr::new(203, 0, 113, 9),
+        )
     }
 
     #[test]
@@ -306,7 +309,9 @@ mod tests {
         // compensation word at the very end.
         let split = 100;
         let original_tail = &wire[split..];
-        let forged: Vec<u8> = (0..original_tail.len() - 2).map(|i| (i * 7) as u8).collect();
+        let forged: Vec<u8> = (0..original_tail.len() - 2)
+            .map(|i| (i * 7) as u8)
+            .collect();
         let comp = checksum_compensation(original_tail, &forged);
 
         let mut spliced = wire[..split].to_vec();
@@ -314,7 +319,10 @@ mod tests {
         spliced.extend_from_slice(&comp);
         assert_eq!(spliced.len(), wire.len());
         let back = UdpDatagram::decode(s, d, &spliced, true).expect("checksum must hold");
-        assert_eq!(&back.payload[split - UDP_HEADER_LEN..][..forged.len()], &forged[..]);
+        assert_eq!(
+            &back.payload[split - UDP_HEADER_LEN..][..forged.len()],
+            &forged[..]
+        );
     }
 
     #[test]

@@ -173,6 +173,32 @@ impl World {
         id
     }
 
+    /// Rewinds the world to time zero under a (possibly new) RNG seed,
+    /// retaining its nodes, topology and allocations, so one constructed
+    /// world can serve many Monte-Carlo trials without being rebuilt.
+    ///
+    /// Everything scheduled or accumulated during the previous run is
+    /// discarded: the event queue is **drained** (in-flight packet arrivals
+    /// and pending timers never fire after a reset), hijacks are removed,
+    /// stats are zeroed, the trace is emptied (its enabled flag is kept),
+    /// and every node's [`Node::reset`] hook runs. Start events fire again
+    /// on the next `run_*` call, exactly as for a fresh world.
+    pub fn reset(&mut self, seed: u64) {
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        // Drain, don't leak: a stale Arrival or Timer surviving into the
+        // next trial would be observable (and seed-dependent).
+        self.queue.clear();
+        self.hijacks.clear();
+        self.rng = SimRng::seed_from(seed);
+        self.trace.reset();
+        self.stats = WorldStats::default();
+        self.started = false;
+        for node in self.nodes.iter_mut().flatten() {
+            node.reset();
+        }
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -186,6 +212,12 @@ impl World {
     /// The label a node was registered with.
     pub fn label(&self, id: NodeId) -> &str {
         &self.labels[id.index()]
+    }
+
+    /// The first node registered under `label`, if any (labels are not
+    /// required to be unique; builders that rely on lookup use unique ones).
+    pub fn find_node(&self, label: &str) -> Option<NodeId> {
+        self.labels.iter().position(|l| l == label).map(NodeId::new)
     }
 
     /// Mutable access to the topology (MTUs, latencies).
@@ -377,13 +409,7 @@ impl World {
             match action {
                 Action::Send(pkt) => self.transmit(node_id, pkt),
                 Action::Timer { delay, tag } => {
-                    self.push(
-                        self.now + delay,
-                        EventKind::Timer {
-                            node: node_id,
-                            tag,
-                        },
-                    );
+                    self.push(self.now + delay, EventKind::Timer { node: node_id, tag });
                 }
             }
         }
@@ -462,8 +488,7 @@ impl World {
             self.stats.delivered += 1;
             TraceOutcome::Delivered
         };
-        self.trace
-            .record(self.now, from, Some(to), outcome, &piece);
+        self.trace.record(self.now, from, Some(to), outcome, &piece);
         let at = self.now + latency + SimDuration::from_micros(index);
         self.push(
             at,
@@ -674,9 +699,7 @@ mod tests {
         world.run_for(SimDuration::from_secs(1));
         assert_eq!(world.stats().no_route, 1);
         assert_eq!(
-            world
-                .trace()
-                .count(|e| e.outcome == TraceOutcome::NoRoute),
+            world.trace().count(|e| e.outcome == TraceOutcome::NoRoute),
             1
         );
     }
@@ -765,12 +788,7 @@ mod tests {
         let _victim = world.add_node("victim", Box::new(Echo::new(addr(2))), &[addr(2)]);
         let wide = world.add_node("wide", Box::new(Sink::new(addr(60))), &[addr(60)]);
         let narrow = world.add_node("narrow", Box::new(Sink::new(addr(61))), &[addr(61)]);
-        world.add_hijack(
-            Ipv4Net::new(addr(0), 24),
-            wide,
-            SimTime::ZERO,
-            SimTime::MAX,
-        );
+        world.add_hijack(Ipv4Net::new(addr(0), 24), wide, SimTime::ZERO, SimTime::MAX);
         world.add_hijack(Ipv4Net::host(addr(2)), narrow, SimTime::ZERO, SimTime::MAX);
         let (to, hijacked) = world.route(addr(2), SimTime::from_secs(1)).unwrap();
         assert!(hijacked);
@@ -788,8 +806,12 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 let src = self.stack.addr();
                 let dgram = crate::udp::UdpDatagram::new(1, 2, Bytes::from(vec![0u8; 1000]));
-                let mut pkt =
-                    Ipv4Packet::new(src, self.target, IpProto::Udp, dgram.encode(src, self.target));
+                let mut pkt = Ipv4Packet::new(
+                    src,
+                    self.target,
+                    IpProto::Udp,
+                    dgram.encode(src, self.target),
+                );
                 pkt.dont_fragment = true;
                 pkt.id = 9;
                 ctx.send(pkt);
@@ -866,6 +888,90 @@ mod tests {
         world.run_until(SimTime::from_secs(6));
         assert_eq!(world.node::<Echo>(echo).timer_fired, 1);
         assert_eq!(world.stats().timers, 1);
+    }
+
+    /// Regression: a reset must drain *everything* the previous run
+    /// scheduled — a pending timer, an in-flight packet arrival, or an
+    /// active hijack surviving into the next trial would make pooled worlds
+    /// diverge from freshly built ones.
+    #[test]
+    fn reset_drains_stale_timers_arrivals_and_hijacks() {
+        let mut world = World::new(20);
+        let echo = world.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+        let hijacker = world.add_node("hijacker", Box::new(Sink::new(addr(66))), &[addr(66)]);
+        let ping = world.add_node(
+            "ping",
+            Box::new(Pinger {
+                stack: IpStack::new(addr(1)),
+                target: addr(2),
+                size: 32,
+                replies: 0,
+            }),
+            &[addr(1)],
+        );
+        // A timer well in the future, a hijack, and (by stopping mid-flight)
+        // an undelivered packet arrival all sit in the queue.
+        world.schedule_timer(echo, SimDuration::from_secs(5), 99);
+        world.add_hijack(
+            Ipv4Net::host(addr(2)),
+            hijacker,
+            SimTime::from_secs(2),
+            SimTime::from_secs(3600),
+        );
+        world.run_until(SimTime::from_nanos(1)); // ping sent, not yet delivered
+        assert!(!world.queue.is_empty(), "arrival + timer still queued");
+
+        world.reset(20);
+        assert_eq!(world.queue.len(), 0, "reset must drain the event queue");
+        assert_eq!(world.now(), SimTime::ZERO);
+        world.run_until(SimTime::from_secs(10));
+        // The pre-reset timer never fires; the pre-reset hijack is gone, so
+        // the fresh run's traffic reaches the echo node normally.
+        assert_eq!(world.stats().timers, 0, "stale timer leaked through reset");
+        assert_eq!(
+            world.node::<Sink>(hijacker).received,
+            0,
+            "stale hijack leaked through reset"
+        );
+        assert_eq!(world.node::<Echo>(echo).received.len(), 1);
+        assert_eq!(world.node::<Pinger>(ping).replies, 1);
+    }
+
+    #[test]
+    fn reset_world_reproduces_fresh_run_byte_identically() {
+        fn drive(world: &mut World) -> (WorldStats, u64) {
+            world.run_until(SimTime::from_secs(5));
+            (world.stats(), world.trace().total_recorded())
+        }
+        let build = |seed: u64| {
+            let mut w = World::new(seed);
+            w.add_node("echo", Box::new(Echo::new(addr(2))), &[addr(2)]);
+            w.add_node(
+                "ping",
+                Box::new(Pinger {
+                    stack: IpStack::new(addr(1)),
+                    target: addr(2),
+                    size: 600,
+                    replies: 0,
+                }),
+                &[addr(1)],
+            );
+            w
+        };
+        let mut fresh_a = build(31);
+        let fresh_a_out = drive(&mut fresh_a);
+        let mut fresh_b = build(32);
+        let fresh_b_out = drive(&mut fresh_b);
+
+        // One world, reset across both seeds, must match both fresh runs.
+        let mut pooled = build(31);
+        let pooled_a = drive(&mut pooled);
+        assert_eq!(pooled_a, fresh_a_out);
+        pooled.reset(32);
+        let pooled_b = drive(&mut pooled);
+        assert_eq!(pooled_b, fresh_b_out, "reset diverged from fresh build");
+        pooled.reset(31);
+        assert_eq!(drive(&mut pooled), fresh_a_out, "second reset diverged");
     }
 
     #[test]

@@ -4,9 +4,7 @@ use bytes::Bytes;
 use netsim::frag::{OverlapPolicy, ReassemblyCache, ReassemblyOutcome};
 use netsim::ip::{IpProto, Ipv4Packet};
 use netsim::time::SimTime;
-use netsim::udp::{
-    checksum_compensation, fold_checksum, ones_complement_sum, UdpDatagram,
-};
+use netsim::udp::{checksum_compensation, fold_checksum, ones_complement_sum, UdpDatagram};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 

@@ -225,7 +225,11 @@ mod tests {
         // Forged reply with a guessed (wrong) originate timestamp.
         let mut forged = NtpPacket::client_request(NtpTimestamp::from_bits(12345));
         forged.mode = Mode::Server;
-        let dgram = UdpDatagram::new(NTP_PORT, NTP_CLIENT_PORT, Bytes::from(forged.encode().to_vec()));
+        let dgram = UdpDatagram::new(
+            NTP_PORT,
+            NTP_CLIENT_PORT,
+            Bytes::from(forged.encode().to_vec()),
+        );
         assert!(exchanger
             .handle(SimTime::from_secs(6), &clock, a(1), &dgram)
             .is_none());
@@ -238,7 +242,11 @@ mod tests {
         let mut exchanger = NtpExchanger::new();
         let mut pkt = NtpPacket::client_request(NtpTimestamp::ZERO);
         pkt.mode = Mode::Server;
-        let dgram = UdpDatagram::new(NTP_PORT, NTP_CLIENT_PORT, Bytes::from(pkt.encode().to_vec()));
+        let dgram = UdpDatagram::new(
+            NTP_PORT,
+            NTP_CLIENT_PORT,
+            Bytes::from(pkt.encode().to_vec()),
+        );
         assert!(exchanger
             .handle(SimTime::from_secs(1), &clock, a(7), &dgram)
             .is_none());

@@ -175,7 +175,10 @@ mod tests {
     fn set_drift_preserves_accrued_offset() {
         let mut clock = LocalClock::new(0, 10.0);
         // Manually advance the rebase point.
-        clock.set_offset_ns(SimTime::from_secs(3600), clock.offset_from_true(SimTime::from_secs(3600)));
+        clock.set_offset_ns(
+            SimTime::from_secs(3600),
+            clock.offset_from_true(SimTime::from_secs(3600)),
+        );
         clock.set_drift_ppm(0.0);
         assert_eq!(
             clock.offset_from_true(SimTime::from_secs(7200)),

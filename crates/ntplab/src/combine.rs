@@ -68,11 +68,7 @@ pub fn ntpd_pipeline(samples: &[PeerSample]) -> PipelineOutcome {
     let Some(intersection) = intersect(samples) else {
         return PipelineOutcome::NoMajority;
     };
-    let survivors: Vec<PeerSample> = intersection
-        .survivors
-        .iter()
-        .map(|&i| samples[i])
-        .collect();
+    let survivors: Vec<PeerSample> = intersection.survivors.iter().map(|&i| samples[i]).collect();
     let clustered = cluster(survivors, MIN_CLUSTER_SURVIVORS);
     match combine(&clustered) {
         Some(c) => PipelineOutcome::Correction(c),
@@ -129,7 +125,12 @@ mod tests {
 
     #[test]
     fn pipeline_excludes_minority_liar() {
-        let samples = vec![sample(0, 20), sample(1, 20), sample(-1, 20), sample(400, 20)];
+        let samples = vec![
+            sample(0, 20),
+            sample(1, 20),
+            sample(-1, 20),
+            sample(400, 20),
+        ];
         match ntpd_pipeline(&samples) {
             PipelineOutcome::Correction(c) => {
                 assert!(c.offset_ns.abs() < 2_000_000, "liar ignored");
@@ -158,7 +159,12 @@ mod tests {
 
     #[test]
     fn pipeline_refuses_split_brain() {
-        let samples = vec![sample(0, 10), sample(1, 10), sample(500, 10), sample(501, 10)];
+        let samples = vec![
+            sample(0, 10),
+            sample(1, 10),
+            sample(500, 10),
+            sample(501, 10),
+        ];
         assert_eq!(ntpd_pipeline(&samples), PipelineOutcome::NoMajority);
     }
 

@@ -72,6 +72,8 @@ pub struct PlainNtpClient {
     stub: StubResolver,
     exchanger: NtpExchanger,
     clock: LocalClock,
+    /// Snapshot restored by [`Node::reset`] (world-reuse support).
+    initial_clock: LocalClock,
     config: PlainNtpConfig,
     servers: Vec<Ipv4Addr>,
     round_samples: Vec<PeerSample>,
@@ -96,6 +98,7 @@ impl PlainNtpClient {
             stack: IpStack::new(addr),
             stub: StubResolver::new(resolver),
             exchanger: NtpExchanger::new(),
+            initial_clock: clock.clone(),
             clock,
             config,
             servers: Vec::new(),
@@ -173,6 +176,17 @@ impl PlainNtpClient {
 }
 
 impl Node for PlainNtpClient {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.stub.reset();
+        self.exchanger.clear();
+        self.clock = self.initial_clock.clone();
+        self.servers.clear();
+        self.round_samples.clear();
+        self.offset_trace.clear();
+        self.stats = PlainNtpStats::default();
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.resolve(ctx);
     }
@@ -186,10 +200,7 @@ impl Node for PlainNtpClient {
             if let Some(resp) = self.stub.handle(src, &datagram) {
                 let addrs = resp.message.answer_addrs();
                 if !addrs.is_empty() {
-                    self.servers = addrs
-                        .into_iter()
-                        .take(self.config.num_servers)
-                        .collect();
+                    self.servers = addrs.into_iter().take(self.config.num_servers).collect();
                     self.start_poll(ctx);
                 }
                 return;
@@ -206,14 +217,12 @@ impl Node for PlainNtpClient {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
         match tag {
-            TAG_DNS_RETRY
-                if self.servers.is_empty() => {
-                    self.resolve(ctx);
-                }
-            TAG_POLL
-                if !self.servers.is_empty() => {
-                    self.start_poll(ctx);
-                }
+            TAG_DNS_RETRY if self.servers.is_empty() => {
+                self.resolve(ctx);
+            }
+            TAG_POLL if !self.servers.is_empty() => {
+                self.start_poll(ctx);
+            }
             TAG_COLLECT => self.finish_poll(ctx),
             _ => {}
         }
@@ -275,7 +284,11 @@ mod tests {
         }
         let client = world.add_node(
             "client",
-            Box::new(PlainNtpClient::new(client_addr, resolver_addr, client_clock)),
+            Box::new(PlainNtpClient::new(
+                client_addr,
+                resolver_addr,
+                client_clock,
+            )),
             &[client_addr],
         );
         (world, client)
@@ -327,10 +340,7 @@ mod tests {
         world.run_for(SimDuration::from_secs(100));
         let c = world.node::<PlainNtpClient>(client);
         let err = c.offset_from_true(world.now());
-        assert!(
-            err > 490_000_000,
-            "client dragged to the lie: {err}ns"
-        );
+        assert!(err > 490_000_000, "client dragged to the lie: {err}ns");
     }
 
     #[test]

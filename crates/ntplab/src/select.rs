@@ -221,7 +221,12 @@ mod tests {
     #[test]
     fn split_brain_half_and_half_fails() {
         // Two at 0, two at 500ms, disjoint: no majority clique of 3.
-        let samples = vec![sample(0, 10), sample(1, 10), sample(500, 10), sample(501, 10)];
+        let samples = vec![
+            sample(0, 10),
+            sample(1, 10),
+            sample(500, 10),
+            sample(501, 10),
+        ];
         let r = intersect(&samples);
         // With allow=1, needed=3: neither side reaches 3 overlaps.
         assert!(r.is_none(), "got {r:?}");
@@ -232,8 +237,8 @@ mod tests {
         // The plain-NTP failure mode the paper exploits: when the attacker
         // controls a majority (3 of 4), selection happily follows the lie.
         let samples = vec![
-            sample(0, 10),    // honest
-            sample(500, 10),  // liars agreeing with each other
+            sample(0, 10),   // honest
+            sample(500, 10), // liars agreeing with each other
             sample(501, 10),
             sample(499, 10),
         ];

@@ -32,6 +32,8 @@ pub struct NtpServerStats {
 pub struct NtpServer {
     stack: IpStack,
     clock: LocalClock,
+    /// Snapshot restored by [`Node::reset`] (world-reuse support).
+    initial_clock: LocalClock,
     stratum: u8,
     reference_id: u32,
     stats: NtpServerStats,
@@ -52,6 +54,7 @@ impl NtpServer {
         let reference_id = u32::from(addrs[0]);
         NtpServer {
             stack: IpStack::with_config(addrs, netsim::stack::StackConfig::default()),
+            initial_clock: clock.clone(),
             clock,
             stratum: 2,
             reference_id,
@@ -80,6 +83,14 @@ impl NtpServer {
         &mut self.clock
     }
 
+    /// Replaces the clock (and the snapshot restored by [`Node::reset`]) —
+    /// how scenario builders re-derive per-seed clock imperfections on a
+    /// reused world.
+    pub fn set_clock(&mut self, clock: LocalClock) {
+        self.initial_clock = clock.clone();
+        self.clock = clock;
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> NtpServerStats {
         self.stats
@@ -87,6 +98,12 @@ impl NtpServer {
 }
 
 impl Node for NtpServer {
+    fn reset(&mut self) {
+        self.stack.reset();
+        self.clock = self.initial_clock.clone();
+        self.stats = NtpServerStats::default();
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Ipv4Packet) {
         let Some(StackEvent::Udp { src, dst, datagram }) = self.stack.handle(ctx, pkt) else {
             return;

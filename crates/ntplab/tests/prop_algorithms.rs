@@ -1,10 +1,10 @@
 //! Property tests: NTP timestamps and the selection pipeline's safety
 //! properties.
 
+use netsim::time::SimTime;
 use ntplab::packet::NtpPacket;
 use ntplab::select::{intersect, PeerSample};
 use ntplab::timestamp::{NtpShort, NtpTimestamp};
-use netsim::time::SimTime;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 

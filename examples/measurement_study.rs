@@ -10,11 +10,30 @@
 //! Run with: `cargo run --example measurement_study`
 
 use chronos_pitfalls::experiments::run_e7;
+use chronos_pitfalls::montecarlo::{default_threads, run_grid};
 use chronos_pitfalls::study::{probe_nameserver_fragments, NameserverProfile};
 
 fn main() {
     let result = run_e7(7, 1000);
     println!("{}", result.table());
+
+    // Re-run the whole scan across independent seeds through the sweep
+    // engine: the marginals should be stable properties of the apparatus,
+    // not artefacts of one lucky population draw.
+    let seeds: Vec<u64> = (0..8u64).map(|i| 100 + i).collect();
+    let sweeps = run_grid(&seeds, default_threads(), 1, |&seed, _, _| {
+        let r = run_e7(seed, 1000).measured;
+        (r.resolvers_accept_any_pct, r.resolvers_accept_tiny_pct)
+    });
+    let flat: Vec<(f64, f64)> = sweeps.into_iter().flatten().collect();
+    let mean = |sel: fn(&(f64, f64)) -> f64| flat.iter().map(sel).sum::<f64>() / flat.len() as f64;
+    println!(
+        "stability across {} seeds (sweep engine, {} threads): accept-any {:.1}%, accept-tiny {:.1}%\n",
+        flat.len(),
+        default_threads(),
+        mean(|r| r.0),
+        mean(|r| r.1),
+    );
 
     println!("how the nameserver probe works (three behaviours):\n");
     for (label, profile) in [

@@ -10,9 +10,10 @@
 //! Run with: `cargo run --example mitigations`
 
 use chronos_pitfalls::experiments::{e8_table, run_e8};
+use chronos_pitfalls::montecarlo::default_threads;
 
 fn main() {
-    let rows = run_e8(11);
+    let rows = run_e8(11, default_threads());
     println!("{}", e8_table(&rows));
     println!("reading:");
     println!("  - unmitigated: poisoning at round 12 yields the paper's 44 vs 89 capture;");

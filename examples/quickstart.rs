@@ -38,10 +38,7 @@ fn main() {
 
     println!("\nletting Chronos synchronise against the captured pool...");
     scenario.run_for(SimDuration::from_secs(600));
-    let err_ms = scenario
-        .chronos()
-        .offset_from_true(scenario.world.now()) as f64
-        / 1e6;
+    let err_ms = scenario.chronos().offset_from_true(scenario.world.now()) as f64 / 1e6;
     println!("victim clock error vs true time: {err_ms:+.1} ms");
     println!(
         "(panic-mode episodes: {}, accepted updates: {})",

@@ -7,27 +7,44 @@
 //! the cliff at 2/3, which is precisely where the DNS attack teleports the
 //! adversary: 89 of 133 = 66.9%.
 //!
+//! Both sweeps run through the `core::montecarlo` grid engine: the
+//! analytic table via `run_e5` (a 1-trial-per-point `run_grid`), and the
+//! hypergeometric cross-check as a parallel Monte-Carlo grid with per-seed
+//! determinism via `trial_seed`.
+//!
 //! Run with: `cargo run --example security_bound`
 
-use chronos::analysis::{monte_carlo_sample_controlled, prob_sample_controlled};
+use chronos::analysis::{prob_sample_controlled, sample_is_controlled};
 use chronos_pitfalls::experiments::{e5_table, run_e5};
+use chronos_pitfalls::montecarlo::{default_threads, run_grid, success_rates, trial_seed};
 use netsim::rng::SimRng;
 
 fn main() {
+    let threads = default_threads();
     // Pre-attack pool: n = 96 (the honest 24x4). Post-attack: n = 133.
-    let fractions = [0.05, 0.10, 0.20, 0.25, 0.33, 0.45, 0.55, 0.60, 0.65, 0.669, 0.75];
+    let fractions = [
+        0.05, 0.10, 0.20, 0.25, 0.33, 0.45, 0.55, 0.60, 0.65, 0.669, 0.75,
+    ];
     for n in [96usize, 133] {
-        let rows = run_e5(n, 15, 5, &fractions);
+        let rows = run_e5(n, 15, 5, &fractions, threads);
         println!("{}", e5_table(n, &rows));
     }
 
-    // Cross-check the hypergeometric engine behind the table.
-    let mut rng = SimRng::seed_from(9);
-    let exact = prob_sample_controlled(133, 89, 15, 5);
-    let mc = monte_carlo_sample_controlled(133, 89, 15, 5, 50_000, &mut rng);
-    println!("sample-capture probability at the paper's 89/133:");
-    println!("  closed form  {exact:.4}");
-    println!("  monte carlo  {mc:.4}   (50k trials)");
+    // Cross-check the hypergeometric engine behind the table: one grid
+    // point per malicious count, 50k trials each, over all cores.
+    let points = [(133usize, 85usize), (133, 89), (133, 93)];
+    let outcomes = run_grid(&points, threads, 50_000, |&(n, k), point, t| {
+        let mut rng = SimRng::seed_from(trial_seed(9 ^ ((point as u64) << 32), t));
+        sample_is_controlled(n, k, 15, 5, &mut rng)
+    });
+    println!("sample-capture probability around the paper's 89/133 (50k trials/point):");
+    for (&(n, k), rate) in points.iter().zip(success_rates(&outcomes)) {
+        let exact = prob_sample_controlled(n, k, 15, 5);
+        println!(
+            "  {k:>3}/{n}  closed form {exact:.4}   monte carlo {:.4} ± {:.4}",
+            rate.rate, rate.ci95_half_width
+        );
+    }
     println!("\nat 2/3 the attacker also owns panic mode deterministically —");
     println!("expected time-to-shift collapses from years to one poll.");
 }

@@ -4,15 +4,13 @@
 
 use attacklab::plan::{AttackPlan, PoisonStrategy};
 use chronos::consensus::ConsensusRule;
-use chronos_pitfalls::experiments::{
-    compressed_chronos, run_e10, run_e11, run_e9_mtu,
-};
+use chronos_pitfalls::experiments::{compressed_chronos, run_e10, run_e11, run_e9_mtu};
 use chronos_pitfalls::scenario::{Scenario, ScenarioConfig};
 use netsim::time::{SimDuration, SimTime};
 
 #[test]
 fn e10_consensus_sweep_shape() {
-    let rows = run_e10(23);
+    let rows = run_e10(23, 4);
     assert_eq!(rows.len(), 5);
     let union = &rows[0];
     assert!(matches!(union.rule, ConsensusRule::Union));

@@ -147,11 +147,8 @@ fn reassembly_cache_pressure_is_handled() {
     use netsim::frag::{OverlapPolicy, ReassemblyCache, ReassemblyOutcome};
     use netsim::ip::{IpProto, Ipv4Packet};
 
-    let mut cache = ReassemblyCache::with_limits(
-        OverlapPolicy::First,
-        SimDuration::from_secs(30),
-        64,
-    );
+    let mut cache =
+        ReassemblyCache::with_limits(OverlapPolicy::First, SimDuration::from_secs(30), 64);
     // Plant one "attack" fragment...
     let mut plant = Ipv4Packet::new(
         "203.0.113.1".parse().unwrap(),

@@ -70,9 +70,7 @@ fn fragmentation_attack_then_time_shift() {
     // becomes the victim's clock within a few polls (sample capture or
     // panic-mode trimmed mean — both are attacker-controlled at 2/3).
     scenario.run_for(SimDuration::from_secs(600));
-    let err = scenario
-        .chronos()
-        .offset_from_true(scenario.world.now());
+    let err = scenario.chronos().offset_from_true(scenario.world.now());
     assert!(
         err > 450_000_000,
         "victim clock dragged by {err}ns (want ~+500ms)"
@@ -132,6 +130,10 @@ fn poisoned_glue_is_visible_in_the_resolver_cache() {
         .cache_mut()
         .get(now, &CacheKey::a("pool.ntp.org".parse().unwrap()))
         .expect("pool entry cached");
-    let farm = pool.iter().filter_map(|r| r.as_a()).filter(|&a| is_farm_addr(a)).count();
+    let farm = pool
+        .iter()
+        .filter_map(|r| r.as_a())
+        .filter(|&a| is_farm_addr(a))
+        .count();
     assert_eq!(farm, 89);
 }

@@ -115,7 +115,7 @@ fn c7_c8_c9_study_numbers() {
 /// hijack defeats both.
 #[test]
 fn c10_mitigations_and_residual() {
-    let rows = chronos_pitfalls::experiments::run_e8(13);
+    let rows = chronos_pitfalls::experiments::run_e8(13, 4);
     let by_name = |name: &str| {
         rows.iter()
             .find(|r| r.variant.name() == name)
