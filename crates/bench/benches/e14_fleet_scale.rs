@@ -1,0 +1,128 @@
+//! E14 — population-scale fleet simulation: 10⁵ Chronos clients stepped
+//! through a full shared-cache poisoning scenario (24 pool rounds, cold
+//! sync, panic dynamics) in one process, vs the equivalent per-world
+//! stepping (one pooled netsim world per client — the PR 2 engine).
+//!
+//! Guards PR 3's tentpole two ways:
+//!
+//! * `fleet_100k`'s per-iter mean is on `bench-diff`'s [`GUARDED`] list;
+//! * `RATE_RATIO_GUARDS` holds the clients-stepped/sec ratio of
+//!   `fleet_100k` over `perworld_8` at ≥ 5× (in practice it is orders of
+//!   magnitude — the floor only catches a collapse of the scale
+//!   advantage).
+//!
+//! [`GUARDED`]: bench::benchdiff::GUARDED
+
+use bench::banner;
+use chronos_pitfalls::experiments::{compressed_chronos, e14_config, e14_table, run_e14};
+use chronos_pitfalls::montecarlo::{default_threads, run_scenarios_detailed};
+use chronos_pitfalls::report::Series;
+use chronos_pitfalls::scenario::ScenarioConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fleet::config::FleetAttack;
+use fleet::engine::Fleet;
+use netsim::time::{SimDuration, SimTime};
+
+/// Clients in the guarded fleet target (the acceptance floor is 10⁵).
+const FLEET_CLIENTS: usize = 100_000;
+/// Single-client netsim worlds in the per-world reference.
+const PERWORLD_CLIENTS: usize = 8;
+
+/// The guarded scenario: the paper's early poisoning against the full
+/// 24-round generation, shared resolver cache, 6000 s horizon.
+fn fleet_attack_config(clients: usize) -> fleet::FleetConfig {
+    e14_config(
+        42,
+        clients,
+        Some(FleetAttack::paper_default(
+            SimTime::from_secs(400),
+            SimDuration::from_millis(500),
+        )),
+    )
+}
+
+/// The equivalent per-world workload: one netsim world per client, same
+/// compressed 24-round generation and an in-window Oracle poisoning, run
+/// through the pooled scenario sweep engine (the fairest per-world
+/// baseline this repo has).
+fn perworld_configs() -> Vec<ScenarioConfig> {
+    use attacklab::plan::{AttackPlan, PoisonStrategy};
+    (0..PERWORLD_CLIENTS as u64)
+        .map(|i| ScenarioConfig {
+            seed: 4_200 + i,
+            benign_universe: 240,
+            ns_count: 2,
+            chronos: compressed_chronos(24, SimDuration::from_secs(200)),
+            attack: Some(AttackPlan {
+                strategy: PoisonStrategy::Oracle { round: 2 },
+                ..AttackPlan::paper_default(SimDuration::from_millis(500))
+            }),
+            ..ScenarioConfig::default()
+        })
+        .collect()
+}
+
+fn bench_e14(c: &mut Criterion) {
+    banner("E14 — population-scale fleet vs per-world client stepping");
+    let threads = default_threads();
+
+    // Deliverable preamble: the population figure at 20k clients — four
+    // attack variants from one `run_fleets` sweep.
+    let result = run_e14(42, 20_000, threads);
+    println!("{}", e14_table(&result));
+    println!("fraction of fleet shifted beyond the 100 ms safety bound vs time:");
+    println!("{}", Series::render_columns(&result.series, "t (s)", 16));
+
+    // The guarded fleet run, production-shaped: one pooled fleet reset per
+    // iteration (allocations reused), full poisoning scenario.
+    let config = fleet_attack_config(FLEET_CLIENTS);
+    let horizon = SimTime::ZERO + config.horizon;
+    let mut fleet = Fleet::new(config);
+    let mut group = c.benchmark_group("e14_fleet_scale");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(FLEET_CLIENTS as u64));
+    group.bench_function("fleet_100k", |b| {
+        b.iter(|| {
+            fleet.reset(42);
+            fleet.run_until(horizon);
+            criterion::black_box(fleet.shifted_fraction(horizon))
+        })
+    });
+    let report = {
+        fleet.reset(42);
+        fleet.run_until(horizon);
+        fleet.report()
+    };
+    println!(
+        "fleet_100k: {} clients, {} events, {:.1}% shifted, {} poisoned",
+        report.clients,
+        report.events,
+        100.0 * report.final_shifted_fraction,
+        report.poisoned_clients,
+    );
+    assert!(
+        report.final_shifted_fraction > 0.9,
+        "the guarded scenario must actually capture the fleet"
+    );
+
+    // The per-world reference: same logical scenario, one netsim world per
+    // client, worlds pooled/reset across iterations by the sweep engine.
+    let configs = perworld_configs();
+    group.throughput(Throughput::Elements(PERWORLD_CLIENTS as u64));
+    group.bench_function("perworld_8", |b| {
+        b.iter(|| {
+            let (outcomes, _) = run_scenarios_detailed(&configs, threads, 1, |s, _, _| {
+                // Full generation plus a slice of syncing — the same
+                // phases every fleet client steps through.
+                s.run_pool_generation(SimDuration::from_secs(5_200));
+                s.run_for(SimDuration::from_secs(400));
+                s.attacker_fraction()
+            });
+            criterion::black_box(outcomes)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e14);
+criterion_main!(benches);

@@ -2,8 +2,9 @@
 //! >100 ms vs the attacker's pool fraction, collapsing at 2/3 (89/133).
 
 use bench::banner;
-use chronos_pitfalls::experiments::{e5_table, run_e5};
+use chronos_pitfalls::experiments::{e5_series_from_rows, e5_table, run_e5};
 use chronos_pitfalls::montecarlo::default_threads;
+use chronos_pitfalls::report::Series;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const FRACTIONS: &[f64] = &[
@@ -14,8 +15,13 @@ fn bench_e5(c: &mut Criterion) {
     banner("E5 — security bound vs attacker pool fraction (claim C6)");
     let threads = default_threads();
     for n in [96usize, 133, 500] {
+        // One grid sweep per n: table + figure from the same rows.
         let rows = run_e5(n, 15, 5, FRACTIONS, threads);
         println!("{}", e5_table(n, &rows));
+        println!(
+            "{}",
+            Series::render_columns(&e5_series_from_rows(&rows), "frac", FRACTIONS.len())
+        );
     }
 
     c.bench_function("e5_security_bound/sweep_n133", |b| {

@@ -22,6 +22,8 @@ pub const GUARDED: &[&str] = &[
     "e12_chronos_select/scratch_partial_133x10k",
     // PR 2: pooled scenario sweeps.
     "e13_scenario_sweep/pooled_32x256",
+    // PR 3: the population fleet engine.
+    "e14_fleet_scale/fleet_100k",
 ];
 
 /// Default regression threshold on per-iter mean, in percent.
@@ -44,6 +46,19 @@ pub const RATIO_GUARDS: &[(&str, &str, f64)] = &[
         1.5, // recorded: 2.1x
     ),
 ];
+
+/// Within-run **rate** ratio guards: `(fast, reference, min_ratio)` — in
+/// the fresh run alone, `elements_per_sec(fast) / elements_per_sec(ref)`
+/// must stay at or above `min_ratio`. Unlike [`RATIO_GUARDS`] this
+/// compares *throughput per declared element* rather than per-iteration
+/// wall time, so targets with different workload sizes are comparable
+/// (the fleet steps 10⁵ clients per iteration, the per-world reference a
+/// dozen).
+pub const RATE_RATIO_GUARDS: &[(&str, &str, f64)] = &[(
+    "e14_fleet_scale/fleet_100k",
+    "e14_fleet_scale/perworld_8",
+    5.0, // clients-stepped/sec, fleet vs pooled netsim worlds; recorded: ≫100x
+)];
 
 /// One within-run ratio check evaluated against a fresh run.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +108,48 @@ pub fn ratio_checks(fresh: &[BenchEntry]) -> Vec<RatioCheck> {
         .collect()
 }
 
+/// Evaluates [`RATE_RATIO_GUARDS`] against one fresh run's entries: both
+/// sides must have run *and* declared an element throughput, otherwise the
+/// guard is skipped.
+pub fn rate_ratio_checks(fresh: &[BenchEntry]) -> Vec<RatioCheck> {
+    RATE_RATIO_GUARDS
+        .iter()
+        .filter_map(|&(fast, slow, min_ratio)| {
+            let f = fresh.iter().find(|e| e.name == fast)?.elements_per_sec?;
+            let s = fresh.iter().find(|e| e.name == slow)?.elements_per_sec?;
+            (s > 0.0).then(|| RatioCheck {
+                fast: fast.to_string(),
+                slow: slow.to_string(),
+                ratio: f / s,
+                min_ratio,
+            })
+        })
+        .collect()
+}
+
+/// The sides of [`RATE_RATIO_GUARDS`] that could not be evaluated (absent
+/// from the fresh run, or present without a declared element throughput).
+/// A skipped rate guard must not pass silently — these names feed the
+/// missing-guard backstop, so a renamed or de-throughput-ed reference
+/// bench fails the gate instead of un-gating the floor.
+pub fn rate_guard_gaps(fresh: &[BenchEntry], evaluated: &[RatioCheck]) -> Vec<&'static str> {
+    let mut gaps = Vec::new();
+    for &(fast, slow, _) in RATE_RATIO_GUARDS {
+        if evaluated.iter().any(|c| c.fast == fast && c.slow == slow) {
+            continue;
+        }
+        for side in [fast, slow] {
+            let rated = fresh
+                .iter()
+                .any(|e| e.name == side && e.elements_per_sec.is_some());
+            if !rated && !gaps.contains(&side) {
+                gaps.push(side);
+            }
+        }
+    }
+    gaps
+}
+
 /// One bench entry parsed out of a `BENCH_*.json` artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -100,6 +157,8 @@ pub struct BenchEntry {
     pub name: String,
     /// Mean seconds per iteration.
     pub mean_secs_per_iter: f64,
+    /// Declared elements/sec, when the bench set an element throughput.
+    pub elements_per_sec: Option<f64>,
 }
 
 /// The comparison of one bench name present in both runs.
@@ -223,9 +282,16 @@ pub fn parse_artifact(text: &str) -> Vec<BenchEntry> {
             // appear before the next entry's name); otherwise the entry is
             // malformed — skip it and keep scanning the rest.
             Some((mean, after_mean)) if next_name.map(|n| after_mean <= n).unwrap_or(true) => {
+                // elements_per_sec is optional ("null" fails the numeric
+                // parse, which is exactly the absent case) and must also
+                // belong to this entry.
+                let elements_per_sec = field_number(text, "elements_per_sec", after_mean)
+                    .filter(|&(_, after)| next_name.map(|n| after <= n).unwrap_or(true))
+                    .map(|(eps, _)| eps);
                 entries.push(BenchEntry {
                     name,
                     mean_secs_per_iter: mean,
+                    elements_per_sec,
                 });
                 cursor = after_mean;
             }
@@ -286,6 +352,8 @@ pub struct DiffReport {
     /// Within-run ratio guards evaluated on the fresh run (host-drift
     /// immune; these apply even to fresh artifacts with no baseline).
     pub ratios: Vec<RatioCheck>,
+    /// Within-run *rate* ratio guards (elements/sec, cross-workload-size).
+    pub rate_ratios: Vec<RatioCheck>,
     /// [`GUARDED`] names with no entry in the fresh run at all — a renamed
     /// or dropped guarded bench, which would otherwise silently un-gate
     /// that hot path.
@@ -301,9 +369,13 @@ impl DiffReport {
             .collect()
     }
 
-    /// Ratio guards the fresh run violates.
+    /// Ratio guards (time- and rate-based) the fresh run violates.
     pub fn ratio_failures(&self) -> Vec<&RatioCheck> {
-        self.ratios.iter().filter(|r| r.failed()).collect()
+        self.ratios
+            .iter()
+            .chain(self.rate_ratios.iter())
+            .filter(|r| r.failed())
+            .collect()
     }
 }
 
@@ -353,11 +425,17 @@ pub fn diff_dirs(base_dir: &Path, fresh_dir: &Path) -> Result<DiffReport, String
         ));
     }
     report.ratios = ratio_checks(&all_fresh);
+    report.rate_ratios = rate_ratio_checks(&all_fresh);
     report.missing_guards = GUARDED
         .iter()
         .filter(|g| !all_fresh.iter().any(|e| e.name == **g))
         .copied()
         .collect();
+    for side in rate_guard_gaps(&all_fresh, &report.rate_ratios) {
+        if !report.missing_guards.contains(&side) {
+            report.missing_guards.push(side);
+        }
+    }
     Ok(report)
 }
 
@@ -461,6 +539,96 @@ mod tests {
             .all(|c| !c.regressed(DEFAULT_THRESHOLD_PCT)));
     }
 
+    fn artifact_with_eps(entries: &[(&str, f64, f64)]) -> String {
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(n, m, eps)| {
+                format!(
+                    "    {{\"name\": \"{n}\", \"iters\": 5, \"wall_time_secs\": 1.0, \
+                     \"mean_secs_per_iter\": {m:.9}, \"min_secs_per_iter\": {m:.9}, \
+                     \"elements_per_sec\": {eps:.3}, \"bytes_per_sec\": null}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"t\",\n  \"schema\": 1,\n  \"peak_rss_bytes\": null,\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    #[test]
+    fn elements_per_sec_is_parsed_per_entry() {
+        let text = artifact_with_eps(&[("g/a", 0.5, 1000.0), ("g/b", 0.25, 4000.0)]);
+        let entries = parse_artifact(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].elements_per_sec, Some(1000.0));
+        assert_eq!(entries[1].elements_per_sec, Some(4000.0));
+        // Null rates parse as absent, not as the neighbour's value.
+        let mixed = "{\"results\": [\
+                     {\"name\": \"g/a\", \"mean_secs_per_iter\": 0.25, \"elements_per_sec\": null},\
+                     {\"name\": \"g/b\", \"mean_secs_per_iter\": 0.5, \"elements_per_sec\": 77.0}]}";
+        let entries = parse_artifact(mixed);
+        assert_eq!(entries[0].elements_per_sec, None);
+        assert_eq!(entries[1].elements_per_sec, Some(77.0));
+    }
+
+    #[test]
+    fn rate_ratio_guard_enforces_the_clients_per_sec_floor() {
+        let (fast, slow, floor) = RATE_RATIO_GUARDS[0];
+        // Healthy: the fleet steps clients 100x faster than per-world.
+        let healthy = parse_artifact(&artifact_with_eps(&[
+            (fast, 2.0, 50_000.0),
+            (slow, 1.0, 500.0),
+        ]));
+        let checks = rate_ratio_checks(&healthy);
+        assert_eq!(checks.len(), 1);
+        assert!((checks[0].ratio - 100.0).abs() < 1e-9);
+        assert!(!checks[0].failed(), "100x >= {floor}x floor");
+        // Collapsed: the fleet lost its scale advantage.
+        let collapsed = parse_artifact(&artifact_with_eps(&[
+            (fast, 2.0, 1_000.0),
+            (slow, 1.0, 500.0),
+        ]));
+        assert!(
+            rate_ratio_checks(&collapsed)[0].failed(),
+            "2x < {floor}x floor"
+        );
+        // Skipped when a side is missing or rate-less.
+        assert!(rate_ratio_checks(&parse_artifact(&artifact(&[(fast, 1.0)]))).is_empty());
+        let no_rate = parse_artifact(&artifact(&[(fast, 1.0), (slow, 1.0)]));
+        assert!(
+            rate_ratio_checks(&no_rate).is_empty(),
+            "null rates skip the guard"
+        );
+    }
+
+    #[test]
+    fn skipped_rate_guards_surface_as_missing() {
+        let (fast, slow, _) = RATE_RATIO_GUARDS[0];
+        // Both sides rated: guard evaluates, no gaps.
+        let rated = parse_artifact(&artifact_with_eps(&[(fast, 1.0, 100.0), (slow, 1.0, 10.0)]));
+        let checks = rate_ratio_checks(&rated);
+        assert!(rate_guard_gaps(&rated, &checks).is_empty());
+        // Reference bench dropped its Throughput declaration: the fast
+        // side still rates, but the guard is skipped — the rate-less side
+        // must surface instead of silently un-gating the floor.
+        let half = "{\"results\": [\
+                    {\"name\": \"NAME_FAST\", \"mean_secs_per_iter\": 1.0, \"elements_per_sec\": 5.0},\
+                    {\"name\": \"NAME_SLOW\", \"mean_secs_per_iter\": 1.0, \"elements_per_sec\": null}]}"
+            .replace("NAME_FAST", fast)
+            .replace("NAME_SLOW", slow);
+        let entries = parse_artifact(&half);
+        let checks = rate_ratio_checks(&entries);
+        assert!(
+            checks.is_empty(),
+            "guard cannot evaluate without both rates"
+        );
+        assert_eq!(rate_guard_gaps(&entries, &checks), vec![slow]);
+        // Both sides missing entirely: both surface.
+        assert_eq!(rate_guard_gaps(&[], &[]), vec![fast, slow]);
+    }
+
     #[test]
     fn ratio_guards_fail_on_collapsed_speedup() {
         let (fast, slow, floor) = RATIO_GUARDS[0];
@@ -526,9 +694,18 @@ mod tests {
         assert_eq!(report.unmatched_fresh, vec!["BENCH_new.json".to_string()]);
         let regs = report.regressions(DEFAULT_THRESHOLD_PCT);
         assert_eq!(regs.len(), 1, "a 2x-slower guarded target fails the job");
+        // GUARDED names absent from the fresh run, plus the rate guard's
+        // reference side (absent here), are all called out.
+        let mut expected_missing = GUARDED[1..].to_vec();
+        for &(fast, slow, _) in RATE_RATIO_GUARDS {
+            for side in [fast, slow] {
+                if !expected_missing.contains(&side) && !GUARDED[..1].contains(&side) {
+                    expected_missing.push(side);
+                }
+            }
+        }
         assert_eq!(
-            report.missing_guards,
-            GUARDED[1..].to_vec(),
+            report.missing_guards, expected_missing,
             "guards absent from the fresh run are called out"
         );
 

@@ -92,6 +92,9 @@ fn main() -> ExitCode {
     for r in &report.ratios {
         println!("  ratio {r}");
     }
+    for r in &report.rate_ratios {
+        println!("  rate-ratio {r}");
+    }
     // A gate that checked less than it promises must not pass: schema
     // drift, a renamed guarded bench, or a smoke step dropping a target
     // would otherwise leave CI green while a hot path goes un-gated.
@@ -107,12 +110,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let guarded_compared = report.comparisons.iter().filter(|c| c.guarded).count();
-    if guarded_compared == 0 && report.ratios.is_empty() {
+    if guarded_compared == 0 && report.ratios.is_empty() && report.rate_ratios.is_empty() {
         eprintln!(
-            "bench-diff: FAIL — none of the {} guarded targets or {} ratio guards \
-             could be evaluated (schema drift? missing artifacts?)",
+            "bench-diff: FAIL — none of the {} guarded targets, {} ratio guards or \
+             {} rate-ratio guards could be evaluated (schema drift? missing artifacts?)",
             GUARDED.len(),
-            bench::benchdiff::RATIO_GUARDS.len()
+            bench::benchdiff::RATIO_GUARDS.len(),
+            bench::benchdiff::RATE_RATIO_GUARDS.len()
         );
         return ExitCode::FAILURE;
     }
@@ -123,7 +127,7 @@ fn main() -> ExitCode {
         println!(
             "bench-diff: OK ({guarded_compared} guarded targets within {threshold}%, \
              {} ratio guards hold)",
-            report.ratios.len()
+            report.ratios.len() + report.rate_ratios.len()
         );
         ExitCode::SUCCESS
     } else {

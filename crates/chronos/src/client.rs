@@ -3,8 +3,9 @@
 //! from the NDSS'18 paper, attached to the simulated network.
 
 use crate::config::ChronosConfig;
+use crate::core::{self, CoreState, RoundOutcome};
 use crate::pool::PoolGenerator;
-use crate::select::{chronos_select_with, panic_select_with, ChronosDecision, SelectScratch};
+use crate::select::SelectScratch;
 use dnslab::client::StubResolver;
 use dnslab::wire::{Question, Rcode};
 use netsim::ip::Ipv4Packet;
@@ -14,42 +15,15 @@ use netsim::time::SimTime;
 use ntplab::assoc::NtpExchanger;
 use ntplab::clock::LocalClock;
 use ntplab::select::PeerSample;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::net::Ipv4Addr;
+
+pub use crate::core::{ChronosStats, Phase};
 
 const TAG_POOL_TICK: u64 = 1;
 const TAG_POLL: u64 = 2;
 const TAG_COLLECT: u64 = 3;
 const TAG_PANIC_COLLECT: u64 = 4;
-
-/// Lifecycle phase of a Chronos client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Phase {
-    /// Gathering the server pool via DNS (paper: 24 hourly queries).
-    PoolGeneration,
-    /// Normal operation: sample, select, update.
-    Syncing,
-    /// Querying the entire pool after K rejected samples.
-    Panic,
-}
-
-/// Counters describing client activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ChronosStats {
-    /// Pool-generation DNS queries sent.
-    pub pool_queries: u64,
-    /// Pool rounds that ended in timeout/SERVFAIL.
-    pub pool_failures: u64,
-    /// Sample rounds started.
-    pub polls: u64,
-    /// Accepted updates.
-    pub accepts: u64,
-    /// Rejected sample rounds (disagreement/envelope/too-few).
-    pub rejects: u64,
-    /// Panic-mode episodes.
-    pub panics: u64,
-}
 
 /// A Chronos NTP client attached to the simulated network.
 #[derive(Debug)]
@@ -152,17 +126,6 @@ impl ChronosClient {
         self.clock.offset_from_true(now)
     }
 
-    fn envelope_ns(&self, now: SimTime) -> i64 {
-        match self.last_update {
-            None => i64::MAX, // cold start: first update is unconstrained
-            Some(at) => {
-                let dt = now.duration_since(at);
-                self.config.err.as_nanos() as i64
-                    + (dt.as_nanos() as f64 * self.config.drift_ppm / 1e6) as i64
-            }
-        }
-    }
-
     fn send_pool_query(&mut self, ctx: &mut Context<'_>) {
         self.stats.pool_queries += 1;
         self.dns_outstanding = true;
@@ -218,9 +181,9 @@ impl ChronosClient {
         ctx.set_timer(self.config.response_window, TAG_COLLECT);
     }
 
+    /// Sends the panic-mode queries to the whole pool. The phase change and
+    /// episode accounting already happened in [`core::conclude_sample_round`].
     fn start_panic(&mut self, ctx: &mut Context<'_>) {
-        self.phase = Phase::Panic;
-        self.stats.panics += 1;
         self.round_samples.clear();
         self.exchanger.clear();
         for server in self.pool_gen.servers().to_vec() {
@@ -234,33 +197,32 @@ impl ChronosClient {
         self.offsets_buf.clear();
         self.offsets_buf
             .extend(self.round_samples.iter().map(|s| s.offset_ns));
-        let envelope = self.envelope_ns(ctx.now());
-        let decision = chronos_select_with(
+        let outcome = core::conclude_sample_round(
+            &self.config,
+            &mut CoreState {
+                phase: &mut self.phase,
+                retries: &mut self.retries,
+                last_update: &mut self.last_update,
+                stats: &mut self.stats,
+            },
             &mut self.scratch,
             &self.offsets_buf,
-            self.config.trim,
-            self.config.omega.as_nanos() as i64,
-            envelope,
+            ctx.now(),
         );
-        match decision {
-            ChronosDecision::Accept { correction_ns, .. } => {
+        match outcome {
+            RoundOutcome::Accept { correction_ns, .. } => {
                 self.clock.apply_correction(ctx.now(), correction_ns);
-                self.last_update = Some(ctx.now());
-                self.retries = 0;
-                self.stats.accepts += 1;
                 self.push_trace(ctx.now());
                 ctx.set_timer(self.config.poll_interval, TAG_POLL);
             }
-            ChronosDecision::Reject(_) => {
-                self.stats.rejects += 1;
-                self.retries += 1;
+            RoundOutcome::Resample => {
                 self.push_trace(ctx.now());
-                if self.retries >= self.config.max_retries {
-                    self.start_panic(ctx);
-                } else {
-                    // Resample immediately with fresh randomness.
-                    ctx.set_timer(netsim::time::SimDuration::ZERO, TAG_POLL);
-                }
+                // Resample immediately with fresh randomness.
+                ctx.set_timer(netsim::time::SimDuration::ZERO, TAG_POLL);
+            }
+            RoundOutcome::EnterPanic => {
+                self.push_trace(ctx.now());
+                self.start_panic(ctx);
             }
         }
     }
@@ -269,12 +231,20 @@ impl ChronosClient {
         self.offsets_buf.clear();
         self.offsets_buf
             .extend(self.round_samples.iter().map(|s| s.offset_ns));
-        if let Some(correction) = panic_select_with(&mut self.scratch, &self.offsets_buf) {
+        let correction = core::conclude_panic_round(
+            &mut CoreState {
+                phase: &mut self.phase,
+                retries: &mut self.retries,
+                last_update: &mut self.last_update,
+                stats: &mut self.stats,
+            },
+            &mut self.scratch,
+            &self.offsets_buf,
+            ctx.now(),
+        );
+        if let Some(correction) = correction {
             self.clock.apply_correction(ctx.now(), correction);
-            self.last_update = Some(ctx.now());
         }
-        self.retries = 0;
-        self.phase = Phase::Syncing;
         self.push_trace(ctx.now());
         ctx.set_timer(self.config.poll_interval, TAG_POLL);
     }

@@ -1,0 +1,317 @@
+//! The Chronos stepping state machine, detached from the network.
+//!
+//! [`crate::client::ChronosClient`] couples three things: a netsim `Node`
+//! (packet I/O, timers), the DNS/NTP exchanges, and the *decision state
+//! machine* of the NDSS'18 paper — phases, retry accounting, the drift
+//! envelope, and the accept/reject/panic transitions around
+//! [`crate::select`]. This module is that third piece alone, operating on
+//! **borrowed state** so callers choose the memory layout:
+//!
+//! * the packet-level client keeps one [`Phase`]/[`ChronosStats`]/retry
+//!   counter per node and borrows them per round;
+//! * the population engine (`fleet` crate) keeps struct-of-arrays columns
+//!   for millions of clients and borrows one lane at a time — no `Node`,
+//!   no `IpStack`, no per-client allocation.
+//!
+//! The functions here are the *entire* shared logic: a round concluded via
+//! [`conclude_sample_round`] / [`conclude_panic_round`] updates phase,
+//! retries, stats and the envelope anchor exactly the way the packet-level
+//! client always did (the client now delegates to them), so the two
+//! implementations cannot drift apart.
+
+use crate::config::ChronosConfig;
+use crate::select::{chronos_select_with, panic_select_with, ChronosDecision, SelectScratch};
+use netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle phase of a Chronos client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Gathering the server pool via DNS (paper: 24 hourly queries).
+    PoolGeneration,
+    /// Normal operation: sample, select, update.
+    Syncing,
+    /// Querying the entire pool after K rejected samples.
+    Panic,
+}
+
+/// Counters describing client activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChronosStats {
+    /// Pool-generation DNS queries sent.
+    pub pool_queries: u64,
+    /// Pool rounds that ended in timeout/SERVFAIL.
+    pub pool_failures: u64,
+    /// Sample rounds started.
+    pub polls: u64,
+    /// Accepted updates.
+    pub accepts: u64,
+    /// Rejected sample rounds (disagreement/envelope/too-few).
+    pub rejects: u64,
+    /// Panic-mode episodes.
+    pub panics: u64,
+}
+
+impl ChronosStats {
+    /// Element-wise sum, for fleet-level aggregation.
+    pub fn accumulate(&mut self, other: &ChronosStats) {
+        self.pool_queries += other.pool_queries;
+        self.pool_failures += other.pool_failures;
+        self.polls += other.polls;
+        self.accepts += other.accepts;
+        self.rejects += other.rejects;
+        self.panics += other.panics;
+    }
+}
+
+/// The per-client decision state a stepping call borrows: one lane of a
+/// struct-of-arrays fleet, or the owned fields of a packet-level client.
+#[derive(Debug)]
+pub struct CoreState<'a> {
+    /// Lifecycle phase (mutated on panic entry/exit).
+    pub phase: &'a mut Phase,
+    /// Consecutive rejected rounds (K counter).
+    pub retries: &'a mut u32,
+    /// When the clock last accepted a correction (envelope anchor).
+    pub last_update: &'a mut Option<SimTime>,
+    /// Activity counters.
+    pub stats: &'a mut ChronosStats,
+}
+
+/// What the caller must do after a concluded sample round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundOutcome {
+    /// Apply `correction_ns` to the clock and poll again next interval.
+    Accept {
+        /// The accepted correction (survivors' mean offset, ns).
+        correction_ns: i64,
+        /// Number of surviving samples averaged.
+        survivors: usize,
+    },
+    /// Resample immediately with fresh randomness.
+    Resample,
+    /// K rejections reached: query the whole pool (phase is already
+    /// [`Phase::Panic`] and the episode is counted).
+    EnterPanic,
+}
+
+/// The drift envelope `ERR + drift·Δt` at `now`, in nanoseconds.
+///
+/// A cold client (`last_update == None`) is unconstrained: the first
+/// accepted correction may be arbitrarily large.
+pub fn envelope_ns(config: &ChronosConfig, last_update: Option<SimTime>, now: SimTime) -> i64 {
+    match last_update {
+        None => i64::MAX, // cold start: first update is unconstrained
+        Some(at) => {
+            let dt = now.duration_since(at);
+            config.err.as_nanos() as i64 + (dt.as_nanos() as f64 * config.drift_ppm / 1e6) as i64
+        }
+    }
+}
+
+/// Concludes one sample round over the raw offsets (ns, relative to the
+/// local clock): runs selection, updates retries/stats/phase/envelope
+/// anchor, and tells the caller what to do next.
+///
+/// On [`RoundOutcome::Accept`] the caller applies the correction to its
+/// clock; on [`RoundOutcome::EnterPanic`] the phase has already moved to
+/// [`Phase::Panic`] and the panic episode is counted — the caller queries
+/// the whole pool and later calls [`conclude_panic_round`].
+pub fn conclude_sample_round(
+    config: &ChronosConfig,
+    state: &mut CoreState<'_>,
+    scratch: &mut SelectScratch,
+    offsets_ns: &[i64],
+    now: SimTime,
+) -> RoundOutcome {
+    let envelope = envelope_ns(config, *state.last_update, now);
+    let decision = chronos_select_with(
+        scratch,
+        offsets_ns,
+        config.trim,
+        config.omega.as_nanos() as i64,
+        envelope,
+    );
+    match decision {
+        ChronosDecision::Accept {
+            correction_ns,
+            survivors,
+        } => {
+            *state.last_update = Some(now);
+            *state.retries = 0;
+            state.stats.accepts += 1;
+            RoundOutcome::Accept {
+                correction_ns,
+                survivors,
+            }
+        }
+        ChronosDecision::Reject(_) => {
+            state.stats.rejects += 1;
+            *state.retries += 1;
+            if *state.retries >= config.max_retries {
+                *state.phase = Phase::Panic;
+                state.stats.panics += 1;
+                RoundOutcome::EnterPanic
+            } else {
+                RoundOutcome::Resample
+            }
+        }
+    }
+}
+
+/// Concludes a panic round over the whole pool's offsets: returns the
+/// correction to apply (if any samples arrived), re-anchors the envelope,
+/// clears the retry counter and returns the phase to [`Phase::Syncing`].
+pub fn conclude_panic_round(
+    state: &mut CoreState<'_>,
+    scratch: &mut SelectScratch,
+    offsets_ns: &[i64],
+    now: SimTime,
+) -> Option<i64> {
+    let correction = panic_select_with(scratch, offsets_ns);
+    if correction.is_some() {
+        *state.last_update = Some(now);
+    }
+    *state.retries = 0;
+    *state.phase = Phase::Syncing;
+    correction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimDuration;
+
+    const MS: i64 = 1_000_000;
+
+    fn state_tuple() -> (Phase, u32, Option<SimTime>, ChronosStats) {
+        (Phase::Syncing, 0, None, ChronosStats::default())
+    }
+
+    #[test]
+    fn cold_start_envelope_is_unbounded() {
+        let cfg = ChronosConfig::default();
+        assert_eq!(envelope_ns(&cfg, None, SimTime::from_secs(5)), i64::MAX);
+        let anchored = envelope_ns(
+            &cfg,
+            Some(SimTime::ZERO),
+            SimTime::ZERO + SimDuration::from_hours(1),
+        );
+        // ERR (100 ms) + 30 ppm over an hour (108 ms).
+        assert_eq!(anchored, 100 * MS + 108 * MS);
+    }
+
+    #[test]
+    fn accept_anchors_envelope_and_counts() {
+        let cfg = ChronosConfig::default();
+        let (mut phase, mut retries, mut last, mut stats) = state_tuple();
+        let mut scratch = SelectScratch::new();
+        let offsets = vec![2 * MS; 15];
+        let now = SimTime::from_secs(100);
+        let out = conclude_sample_round(
+            &cfg,
+            &mut CoreState {
+                phase: &mut phase,
+                retries: &mut retries,
+                last_update: &mut last,
+                stats: &mut stats,
+            },
+            &mut scratch,
+            &offsets,
+            now,
+        );
+        assert_eq!(
+            out,
+            RoundOutcome::Accept {
+                correction_ns: 2 * MS,
+                survivors: 5
+            }
+        );
+        assert_eq!(last, Some(now));
+        assert_eq!(stats.accepts, 1);
+        assert_eq!(phase, Phase::Syncing);
+    }
+
+    #[test]
+    fn k_rejections_enter_panic_and_panic_round_recovers() {
+        let cfg = ChronosConfig {
+            max_retries: 2,
+            ..ChronosConfig::default()
+        };
+        let (mut phase, mut retries, _, mut stats) = state_tuple();
+        let mut last = Some(SimTime::ZERO);
+        let mut scratch = SelectScratch::new();
+        // Agreeing but far outside the envelope: rejected every time.
+        let offsets = vec![900 * MS; 15];
+        let now = SimTime::from_secs(64);
+        let mut st = CoreState {
+            phase: &mut phase,
+            retries: &mut retries,
+            last_update: &mut last,
+            stats: &mut stats,
+        };
+        assert_eq!(
+            conclude_sample_round(&cfg, &mut st, &mut scratch, &offsets, now),
+            RoundOutcome::Resample
+        );
+        assert_eq!(
+            conclude_sample_round(&cfg, &mut st, &mut scratch, &offsets, now),
+            RoundOutcome::EnterPanic
+        );
+        assert_eq!(*st.phase, Phase::Panic);
+        assert_eq!(st.stats.panics, 1);
+        assert_eq!(st.stats.rejects, 2);
+        // Panic over a fully shifted pool drags the clock and resyncs.
+        let pool = vec![500 * MS; 90];
+        let correction = conclude_panic_round(&mut st, &mut scratch, &pool, now);
+        assert_eq!(correction, Some(500 * MS));
+        assert_eq!(*st.phase, Phase::Syncing);
+        assert_eq!(*st.retries, 0);
+        assert_eq!(*st.last_update, Some(now));
+    }
+
+    #[test]
+    fn empty_panic_round_still_resyncs_without_anchor() {
+        let (_, _, mut last, mut stats) = state_tuple();
+        let mut phase = Phase::Panic;
+        let mut retries = 3;
+        let mut scratch = SelectScratch::new();
+        let mut st = CoreState {
+            phase: &mut phase,
+            retries: &mut retries,
+            last_update: &mut last,
+            stats: &mut stats,
+        };
+        assert_eq!(
+            conclude_panic_round(&mut st, &mut scratch, &[], SimTime::from_secs(9)),
+            None
+        );
+        assert_eq!(*st.phase, Phase::Syncing);
+        assert_eq!(*st.retries, 0);
+        assert_eq!(*st.last_update, None, "no samples, no envelope anchor");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = ChronosStats {
+            polls: 1,
+            accepts: 1,
+            ..ChronosStats::default()
+        };
+        let b = ChronosStats {
+            polls: 2,
+            rejects: 3,
+            panics: 1,
+            pool_queries: 4,
+            pool_failures: 1,
+            accepts: 0,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.polls, 3);
+        assert_eq!(a.rejects, 3);
+        assert_eq!(a.accepts, 1);
+        assert_eq!(a.pool_queries, 4);
+        assert_eq!(a.pool_failures, 1);
+        assert_eq!(a.panics, 1);
+    }
+}

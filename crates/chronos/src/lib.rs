@@ -23,6 +23,7 @@ pub mod analysis;
 pub mod client;
 pub mod config;
 pub mod consensus;
+pub mod core;
 pub mod multipath;
 pub mod pool;
 pub mod select;
@@ -32,9 +33,10 @@ pub mod prelude {
     pub use crate::analysis::{
         panic_controlled, prob_sample_controlled, shift_attack_bound, SecurityBound,
     };
-    pub use crate::client::{ChronosClient, ChronosStats, Phase};
+    pub use crate::client::ChronosClient;
     pub use crate::config::{ChronosConfig, PoolGenConfig};
     pub use crate::consensus::{combine_round, ConsensusRule};
+    pub use crate::core::{ChronosStats, Phase, RoundOutcome};
     pub use crate::multipath::ConsensusPoolClient;
     pub use crate::pool::{PoolGenerator, PoolRound};
     pub use crate::select::{chronos_select, panic_select, ChronosDecision, RejectReason};

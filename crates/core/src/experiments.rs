@@ -427,6 +427,229 @@ pub fn e5_table(n: usize, rows: &[E5Row]) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// Figure drivers: one sweep invocation → report::Series.
+// ---------------------------------------------------------------------
+
+/// One labelled y-extractor of a figure projection.
+pub type SeriesProjection<'a, R> = (&'a str, &'a dyn Fn(&R) -> f64);
+
+/// Projects one sweep's typed rows into labelled
+/// [`Series`](crate::report::Series) over a shared x-axis — the
+/// Series-emitting driver behind the figure outputs, so every plot
+/// regenerates from a *single* sweep invocation instead of ad-hoc
+/// per-point loops.
+pub fn rows_to_series<R>(
+    rows: &[R],
+    x: impl Fn(&R) -> f64,
+    ys: &[SeriesProjection<'_, R>],
+) -> Vec<crate::report::Series> {
+    ys.iter()
+        .map(|(label, f)| crate::report::Series {
+            label: (*label).to_string(),
+            points: rows.iter().map(|r| (x(r), f(r))).collect(),
+        })
+        .collect()
+}
+
+/// Projects already-computed E4 rows into the figure's series (no second
+/// sweep: table and figure share one grid run).
+pub fn e4_series_from_rows(rows: &[E4Row]) -> Vec<crate::report::Series> {
+    rows_to_series(
+        rows,
+        |r| r.analytic.q,
+        &[
+            ("plain NTP", &|r: &E4Row| r.analytic.p_plain),
+            ("chronos", &|r: &E4Row| r.analytic.p_chronos),
+            ("chronos (MC)", &|r: &E4Row| r.mc_chronos),
+        ],
+    )
+}
+
+/// The E4 figure (capture probability vs per-try q): analytic plain,
+/// analytic Chronos and the Monte-Carlo cross-check, from one
+/// [`montecarlo::run_grid`] sweep.
+pub fn e4_figure(seed: u64, qs: &[f64], trials: u32, threads: usize) -> Vec<crate::report::Series> {
+    e4_series_from_rows(&run_e4(seed, qs, trials, threads))
+}
+
+/// Projects already-computed E5 rows into the figure's series. Years are
+/// log10-scaled (the paper's cliff spans ~10 orders of magnitude);
+/// per-poll probability rides along.
+pub fn e5_series_from_rows(rows: &[E5Row]) -> Vec<crate::report::Series> {
+    rows_to_series(
+        rows,
+        |r| r.fraction,
+        &[
+            ("log10(years)", &|r: &E5Row| {
+                if r.bound.expected_years <= 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    r.bound.expected_years.log10()
+                }
+            }),
+            ("p per poll", &|r: &E5Row| r.bound.p_per_poll),
+        ],
+    )
+}
+
+/// The E5 figure (expected shift effort vs attacker pool fraction) for a
+/// pool of `n`, from one grid sweep.
+pub fn e5_figure(
+    n: usize,
+    m: usize,
+    d: usize,
+    fractions: &[f64],
+    threads: usize,
+) -> Vec<crate::report::Series> {
+    e5_series_from_rows(&run_e5(n, m, d, fractions, threads))
+}
+
+// ---------------------------------------------------------------------
+// E14 — the fleet experiment: fraction of a client population shifted
+// beyond the safety bound, over time, under shared attacks.
+// ---------------------------------------------------------------------
+
+/// One population-attack variant of E14.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E14Row {
+    /// Variant label.
+    pub label: String,
+    /// The fleet's aggregate outcome.
+    pub report: fleet::FleetReport,
+}
+
+/// Result of the E14 population sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E14Result {
+    /// One row per attack variant.
+    pub rows: Vec<E14Row>,
+    /// Fraction-shifted-vs-time, one series per variant (the figure).
+    pub series: Vec<crate::report::Series>,
+    /// Sweep/pooling counters.
+    pub stats: montecarlo::SweepStats,
+}
+
+/// The fleet configuration E14 uses: the paper's full 24-round pool
+/// generation compressed to a 200 s cadence, 64 s polls, a 240-server
+/// rotation universe, clients booting staggered over one round.
+pub fn e14_config(
+    seed: u64,
+    clients: usize,
+    attack: Option<fleet::FleetAttack>,
+) -> fleet::FleetConfig {
+    use netsim::time::SimDuration as D;
+    fleet::FleetConfig {
+        seed,
+        clients,
+        chronos: ChronosConfig {
+            poll_interval: D::from_secs(64),
+            pool: PoolGenConfig {
+                queries: 24,
+                query_interval: D::from_secs(200),
+                ..PoolGenConfig::default()
+            },
+            ..ChronosConfig::default()
+        },
+        universe: 240,
+        stagger: D::from_secs(200),
+        sample_every: D::from_secs(60),
+        horizon: D::from_secs(6_000),
+        attack,
+        ..fleet::FleetConfig::default()
+    }
+}
+
+/// Runs E14: one [`montecarlo::run_fleets`] invocation sweeps the attack
+/// variants — no attack, an early poisoning (inside the paper's round-12
+/// window, so every pool ends ≥ 2/3 malicious), a past-deadline poisoning
+/// (only the final generation round can be hit, leaving a benign
+/// majority), and the early poisoning against the §V-mitigated client —
+/// and emits the fraction-shifted series for each.
+pub fn run_e14(seed: u64, clients: usize, threads: usize) -> E14Result {
+    use netsim::time::SimDuration as D;
+    let shift = D::from_millis(500);
+    let early = fleet::FleetAttack::paper_default(SimTime::from_secs(400), shift);
+    let late = fleet::FleetAttack::paper_default(SimTime::from_secs(4_700), shift);
+    let mut mitigated = e14_config(seed, clients, Some(early));
+    mitigated.chronos.pool = PoolGenConfig {
+        queries: 24,
+        query_interval: D::from_secs(200),
+        ..PoolGenConfig::mitigated()
+    };
+    let labelled: Vec<(&str, fleet::FleetConfig)> = vec![
+        ("no attack", e14_config(seed, clients, None)),
+        (
+            "poison @400s (early)",
+            e14_config(seed, clients, Some(early)),
+        ),
+        (
+            "poison @4700s (late)",
+            e14_config(seed, clients, Some(late)),
+        ),
+        ("poison @400s vs §V mitigations", mitigated),
+    ];
+    let configs: Vec<fleet::FleetConfig> = labelled.iter().map(|(_, c)| c.clone()).collect();
+    let (mut reports, stats) =
+        montecarlo::run_fleets(&configs, threads, 1, |fleet, _, _| fleet.run());
+    let rows: Vec<E14Row> = labelled
+        .iter()
+        .zip(reports.iter_mut())
+        .map(|((label, _), r)| E14Row {
+            label: (*label).to_string(),
+            report: r.remove(0),
+        })
+        .collect();
+    let series = rows
+        .iter()
+        .map(|row| crate::report::Series {
+            label: row.label.clone(),
+            points: row.report.shifted.clone(),
+        })
+        .collect();
+    E14Result {
+        rows,
+        series,
+        stats,
+    }
+}
+
+/// Renders the E14 rows.
+pub fn e14_table(result: &E14Result) -> Table {
+    let mut t = Table::new(
+        "E14 — population under shared DNS attack (fleet engine)",
+        &[
+            "variant",
+            "clients",
+            "poisoned",
+            "shifted %",
+            "p50 |off| ms",
+            "p99 |off| ms",
+            "panics",
+        ],
+    );
+    for row in &result.rows {
+        let r = &row.report;
+        let q = |p: f64| {
+            r.quantiles
+                .iter()
+                .find(|&&(qp, _)| qp == p)
+                .map(|&(_, v)| v / 1e6)
+                .unwrap_or(f64::NAN)
+        };
+        t.push_row(vec![
+            row.label.clone(),
+            r.clients.to_string(),
+            r.poisoned_clients.to_string(),
+            format!("{:.1}", 100.0 * r.final_shifted_fraction),
+            format!("{:.3}", q(0.5)),
+            format!("{:.3}", q(0.99)),
+            r.totals.panics.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // E7 — the measurement study (claims C7–C9).
 // ---------------------------------------------------------------------
 
@@ -1222,6 +1445,84 @@ mod tests {
         for row in &r.rows[12..] {
             assert_eq!(row.added_benign + row.added_malicious, 0);
         }
+    }
+
+    #[test]
+    fn figure_drivers_project_single_sweeps() {
+        let e4 = e4_figure(1, &[0.05, 0.2], 500, 2);
+        assert_eq!(e4.len(), 3);
+        for s in &e4 {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].0, 0.05);
+        }
+        let chronos_series = &e4[1];
+        let plain_series = &e4[0];
+        assert!(
+            chronos_series.points[0].1 > plain_series.points[0].1,
+            "amplification"
+        );
+
+        let e5 = e5_figure(133, 15, 5, &[0.1, 0.67], 2);
+        assert_eq!(e5.len(), 2);
+        let years = &e5[0];
+        assert!(
+            years.points[0].1 > years.points[1].1,
+            "log-years collapse toward 2/3: {:?}",
+            years.points
+        );
+    }
+
+    #[test]
+    fn e14_population_attack_separates_variants() {
+        let r = run_e14(11, 256, 2);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.series.len(), 4);
+        assert_eq!(r.stats.trials, 4);
+        let by_label = |needle: &str| {
+            r.rows
+                .iter()
+                .find(|row| row.label.contains(needle))
+                .expect("variant present")
+        };
+        let none = by_label("no attack");
+        let early = by_label("early");
+        let late = by_label("late");
+        let mitigated = by_label("mitigations");
+        assert_eq!(none.report.final_shifted_fraction, 0.0);
+        assert_eq!(none.report.poisoned_clients, 0);
+        assert!(
+            early.report.final_shifted_fraction > 0.9,
+            "in-window poisoning shifts the whole population: {}",
+            early.report.final_shifted_fraction
+        );
+        assert_eq!(early.report.poisoned_clients, 256);
+        // The late poison lands after most clients froze their pools: only
+        // stragglers still inside generation pick it up, and clients with
+        // untouched pools cannot shift at all.
+        assert!(
+            late.report.poisoned_clients > 0 && late.report.poisoned_clients < 256,
+            "only in-window stragglers are poisoned: {}",
+            late.report.poisoned_clients
+        );
+        assert!(
+            late.report.final_shifted_fraction
+                <= late.report.poisoned_clients as f64 / 256.0 + 1e-9,
+            "unpoisoned pools never shift: {} shifted vs {} poisoned",
+            late.report.final_shifted_fraction,
+            late.report.poisoned_clients
+        );
+        assert!(
+            late.report.final_shifted_fraction < early.report.final_shifted_fraction,
+            "late capture is strictly smaller: {} vs {}",
+            late.report.final_shifted_fraction,
+            early.report.final_shifted_fraction
+        );
+        assert_eq!(
+            mitigated.report.poisoned_clients, 0,
+            "TTL mitigation rejects the day-long poison at fleet scale"
+        );
+        assert_eq!(mitigated.report.final_shifted_fraction, 0.0);
+        assert_eq!(e14_table(&r).len(), 4);
     }
 
     #[test]

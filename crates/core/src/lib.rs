@@ -13,7 +13,8 @@
 //! * [`successmodel`] — the 1-vs-12-opportunities amplification;
 //! * [`study`] — the §II fragmentation measurement study, re-created;
 //! * [`shift`] — plain-vs-Chronos clock-error traces under attack;
-//! * [`experiments`] — runners E1–E9, one per reproduced table/figure;
+//! * [`experiments`] — runners E1–E14, one per reproduced table/figure
+//!   (E14 is the population-scale fleet experiment);
 //! * [`report`] — table/series rendering shared by benches and examples.
 
 #![warn(missing_docs)]
@@ -31,12 +32,13 @@ pub mod successmodel;
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::experiments::{
-        run_e1, run_e10, run_e11, run_e2, run_e3, run_e4, run_e5, run_e7, run_e8, run_e9,
-        run_e9_mtu, E1Strategy,
+        e14_table, e4_figure, e4_series_from_rows, e5_figure, e5_series_from_rows, rows_to_series,
+        run_e1, run_e10, run_e11, run_e14, run_e2, run_e3, run_e4, run_e5, run_e7, run_e8, run_e9,
+        run_e9_mtu, E14Result, E1Strategy,
     };
     pub use crate::montecarlo::{
-        run_grid, run_scenarios, run_scenarios_detailed, run_trials, success_rate, success_rates,
-        trial_seed, SuccessRate, SweepStats,
+        run_fleets, run_grid, run_scenarios, run_scenarios_detailed, run_trials, success_rate,
+        success_rates, trial_seed, SuccessRate, SweepStats,
     };
     pub use crate::poolmodel::{composition_after_poison, latest_winning_round, PoolModelParams};
     pub use crate::report::{Series, Table};
@@ -44,4 +46,5 @@ pub mod prelude {
     pub use crate::shift::{run_time_shift, TimeShiftConfig, TimeShiftResult};
     pub use crate::study::{scan, synthesize_population, StudyFindings};
     pub use crate::successmodel::p_any_success;
+    pub use fleet::prelude::{Fleet, FleetAttack, FleetConfig, FleetReport};
 }

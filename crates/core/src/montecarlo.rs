@@ -18,7 +18,9 @@
 //! closures, smaller batches balance heavy packet-level scenarios.
 
 use crate::scenario::{Scenario, ScenarioConfig};
-use netsim::pool::WorldPool;
+use fleet::config::FleetConfig;
+use fleet::engine::Fleet;
+use netsim::pool::{ObjectPool, WorldPool, WorldPoolStats};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -356,6 +358,27 @@ where
     unflatten(flat, per_config_trials)
 }
 
+/// Assigns each config a pool-shelf group by structural fingerprint, in
+/// first-occurrence order. Returns `(group index per config, group count)`.
+/// Shared by [`run_scenarios_detailed`] and [`run_fleets`] so the two
+/// engines cannot drift in how they key their pools.
+fn fingerprint_groups(fingerprints: impl Iterator<Item = u64>) -> (Vec<usize>, usize) {
+    let mut group_of = Vec::new();
+    let mut seen: Vec<u64> = Vec::new();
+    for fp in fingerprints {
+        let group = match seen.iter().position(|&g| g == fp) {
+            Some(g) => g,
+            None => {
+                seen.push(fp);
+                seen.len() - 1
+            }
+        };
+        group_of.push(group);
+    }
+    let groups = seen.len();
+    (group_of, groups)
+}
+
 /// Counters describing how much construction a scenario sweep avoided.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepStats {
@@ -365,6 +388,25 @@ pub struct SweepStats {
     pub worlds_built: u64,
     /// Worlds adopted from the pool after a worker crossed configs.
     pub worlds_adopted: u64,
+    /// Distinct structural config shapes in the grid (pool shelves).
+    pub config_groups: u64,
+    /// Raw pool counters (hits/misses), for sweep users who want pooling
+    /// effectiveness without a debugger: `pool.hit_rate()` is the share of
+    /// shape-boundary crossings served from the shelf.
+    pub pool: WorldPoolStats,
+}
+
+impl SweepStats {
+    /// Share of trials that ran on a reused world instead of a fresh
+    /// build — the sweep-level hit rate (shelf handoffs *and* worker-local
+    /// rewinds both count as reuse).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            (self.trials - self.worlds_built.min(self.trials)) as f64 / self.trials as f64
+        }
+    }
 }
 
 /// Sweeps a grid of packet-level scenarios: `per_config_trials` trials per
@@ -374,10 +416,13 @@ pub struct SweepStats {
 /// Each worker thread keeps the scenario for the config it is currently
 /// inside; per trial it is rewound with [`Scenario::reset`] under
 /// [`trial_seed`]`(config.seed, trial)` — byte-identical to a fresh
-/// [`Scenario::build`] at that seed, at a fraction of the cost. When a
-/// worker crosses a config boundary its world goes back to a shared
-/// [`WorldPool`] shelf for later workers of that config. Construction cost
-/// is therefore O(configs + threads), not O(configs × trials).
+/// [`Scenario::build`] at that seed, at a fraction of the cost. The
+/// [`WorldPool`] is keyed by [`ScenarioConfig::structural_fingerprint`]
+/// (not config position), so when a worker crosses a config boundary
+/// within one *shape group* — e.g. a seed sweep — it keeps its world and
+/// just rewinds it, and shelved worlds serve every same-shape grid point.
+/// Construction cost is therefore O(shapes + threads), not
+/// O(configs × trials).
 ///
 /// `f` receives the reset scenario plus `(config_index, trial_index)`;
 /// results come back per config, in trial order, independent of scheduling.
@@ -421,11 +466,17 @@ where
         );
     }
     let total = flat_len(configs.len(), per_config_trials);
-    let pool = WorldPool::new(configs.len());
+    // Group configs by structural fingerprint: same-shape grid points
+    // (differing only in seed) share one pool shelf — and a worker that
+    // crosses between them keeps its world and merely rewinds it.
+    let (group_of, groups) =
+        fingerprint_groups(configs.iter().map(ScenarioConfig::structural_fingerprint));
+    let pool = WorldPool::new(groups);
+    let group_of = &group_of[..];
 
-    // A worker's cache: the scenario for the config it is currently inside.
-    // Returned to the pool when the worker crosses into another config;
-    // whatever is still cached when workers finish is simply dropped.
+    // A worker's cache: the scenario for the shape group it is currently
+    // inside. Returned to the pool when the worker crosses into another
+    // group; whatever is still cached when workers finish is dropped.
     let flat = run_trials_stateful(
         total,
         threads,
@@ -434,14 +485,17 @@ where
         |cache, i| {
             let cfg_idx = (i / per_config_trials) as usize;
             let trial = i % per_config_trials;
+            let group = group_of[cfg_idx];
             let config = &configs[cfg_idx];
             let seed = trial_seed(config.seed, trial);
-            if cache.as_ref().map(|(k, _)| *k) == Some(cfg_idx) {
+            if cache.as_ref().map(|(k, _)| *k) == Some(group) {
+                // Same shape (possibly a different config): rewinding under
+                // the trial seed is all a shape-equal world needs.
                 let (_, scenario) = cache.as_mut().expect("checked above");
                 scenario.reset(seed);
             } else {
-                if let Some((old_idx, s)) = cache.take() {
-                    pool.checkin(old_idx, s.into_world());
+                if let Some((old_group, s)) = cache.take() {
+                    pool.checkin(old_group, s.into_world());
                 }
                 // Build/adopt directly at the trial seed — both leave the
                 // scenario reset and ready, so no second reset is needed.
@@ -449,11 +503,11 @@ where
                     seed,
                     ..config.clone()
                 };
-                let scenario = match pool.checkout(cfg_idx) {
+                let scenario = match pool.checkout(group) {
                     Some(world) => Scenario::adopt(world, trial_config),
                     None => Scenario::build(trial_config),
                 };
-                *cache = Some((cfg_idx, scenario));
+                *cache = Some((group, scenario));
             }
             let (_, scenario) = cache.as_mut().expect("cache populated above");
             f(scenario, cfg_idx, trial)
@@ -466,6 +520,101 @@ where
         trials: u64::from(total),
         worlds_built: pool_stats.misses,
         worlds_adopted: pool_stats.reused,
+        config_groups: groups as u64,
+        pool: pool_stats,
+    };
+    (unflatten(flat, per_config_trials), stats)
+}
+
+// ---------------------------------------------------------------------
+// Fleet sweeps: population trials fan out over the same dispatcher, with
+// fleets pooled and reset like worlds.
+// ---------------------------------------------------------------------
+
+/// Sweeps a grid of population simulations: `per_config_trials` trials per
+/// [`FleetConfig`], flattened over the lock-free batch dispatcher, with
+/// [`Fleet`] state **pooled and reset** across trials instead of
+/// reallocated — the population analogue of [`run_scenarios`].
+///
+/// Pool shelves are keyed by [`FleetConfig::structural_fingerprint`], so a
+/// seed sweep reuses one set of state columns per worker; per trial the
+/// fleet is rewound with [`Fleet::reset`] under
+/// [`trial_seed`]`(config.seed, trial)`, byte-identical to a fresh
+/// [`Fleet::new`] at that seed. `f` receives the reset fleet plus
+/// `(config_index, trial_index)` and typically runs it to its horizon;
+/// results come back per config, in trial order, independent of thread
+/// count and scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_fleets<T, F>(
+    configs: &[FleetConfig],
+    threads: usize,
+    per_config_trials: u32,
+    f: F,
+) -> (Vec<Vec<T>>, SweepStats)
+where
+    T: Send,
+    F: Fn(&mut Fleet, usize, u32) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if configs.is_empty() || per_config_trials == 0 {
+        return (
+            configs.iter().map(|_| Vec::new()).collect(),
+            SweepStats::default(),
+        );
+    }
+    let total = flat_len(configs.len(), per_config_trials);
+    let (group_of, groups) =
+        fingerprint_groups(configs.iter().map(FleetConfig::structural_fingerprint));
+    let pool: ObjectPool<Fleet> = ObjectPool::new(groups);
+    let group_of = &group_of[..];
+
+    let flat = run_trials_stateful(
+        total,
+        threads,
+        TrialBudget::auto(),
+        || None::<(usize, Fleet)>,
+        |cache, i| {
+            let cfg_idx = (i / per_config_trials) as usize;
+            let trial = i % per_config_trials;
+            let group = group_of[cfg_idx];
+            let config = &configs[cfg_idx];
+            let seed = trial_seed(config.seed, trial);
+            if cache.as_ref().map(|(k, _)| *k) == Some(group) {
+                let (_, fleet) = cache.as_mut().expect("checked above");
+                fleet.reset(seed);
+            } else {
+                if let Some((old_group, fleet)) = cache.take() {
+                    pool.checkin(old_group, fleet);
+                }
+                let trial_config = FleetConfig {
+                    seed,
+                    ..config.clone()
+                };
+                let fleet = match pool.checkout(group) {
+                    Some(mut fleet) => {
+                        // Same shape ⇒ same client count: reconfigure
+                        // reuses every column allocation.
+                        fleet.reconfigure(trial_config);
+                        fleet
+                    }
+                    None => Fleet::new(trial_config),
+                };
+                *cache = Some((group, fleet));
+            }
+            let (_, fleet) = cache.as_mut().expect("cache populated above");
+            f(fleet, cfg_idx, trial)
+        },
+    );
+    let pool_stats = pool.stats();
+    let stats = SweepStats {
+        trials: u64::from(total),
+        worlds_built: pool_stats.misses,
+        worlds_adopted: pool_stats.reused,
+        config_groups: groups as u64,
+        pool: pool_stats,
     };
     (unflatten(flat, per_config_trials), stats)
 }
@@ -701,6 +850,87 @@ mod tests {
                     probe(&mut fresh),
                     "config {ci} trial {t} diverged from a fresh build"
                 );
+            }
+        }
+    }
+
+    /// Same-shape grid points (a seed sweep) must share pooled worlds: the
+    /// fingerprint keying bounds construction by the worker count, not the
+    /// config count, and the hit rate rises accordingly.
+    #[test]
+    fn same_shape_grid_shares_pooled_worlds() {
+        use netsim::time::SimDuration;
+        let threads = 3usize;
+        // 8 configs differing only in seed: one structural group.
+        let same_shape: Vec<ScenarioConfig> = (0..8).map(|i| sweep_config(5_000 + i)).collect();
+        let (_, same_stats) = run_scenarios_detailed(&same_shape, threads, 2, |s, _, _| {
+            s.run_pool_generation(SimDuration::from_secs(200));
+            s.chronos().pool().len()
+        });
+        assert_eq!(same_stats.config_groups, 1, "one shape, one shelf");
+        assert!(
+            same_stats.worlds_built <= threads as u64,
+            "seed sweep must build at most one world per worker: {same_stats:?}"
+        );
+        // A mixed-shape grid of the same size cannot pool across shapes.
+        let mixed: Vec<ScenarioConfig> = (0..8)
+            .map(|i| {
+                let mut c = sweep_config(5_000 + i);
+                c.benign_universe = 16 + 2 * i as usize; // distinct shapes
+                c
+            })
+            .collect();
+        let (_, mixed_stats) = run_scenarios_detailed(&mixed, threads, 2, |s, _, _| {
+            s.run_pool_generation(SimDuration::from_secs(200));
+            s.chronos().pool().len()
+        });
+        assert_eq!(mixed_stats.config_groups, 8);
+        assert!(
+            same_stats.reuse_rate() > mixed_stats.reuse_rate(),
+            "hit rate must rise on a same-shape grid: {:?} (rate {:.2}) vs {:?} (rate {:.2})",
+            same_stats,
+            same_stats.reuse_rate(),
+            mixed_stats,
+            mixed_stats.reuse_rate()
+        );
+        assert!(same_stats.worlds_built < mixed_stats.worlds_built);
+    }
+
+    #[test]
+    fn fleet_sweep_pools_and_matches_fresh_runs() {
+        use netsim::time::SimDuration;
+        let config = FleetConfig {
+            seed: 40,
+            clients: 24,
+            universe: 96,
+            stagger: SimDuration::from_secs(100),
+            horizon: SimDuration::from_secs(1_200),
+            chronos: crate::experiments::compressed_chronos(4, SimDuration::from_secs(200)),
+            ..FleetConfig::default()
+        };
+        let configs = vec![
+            config.clone(),
+            FleetConfig {
+                seed: 90,
+                ..config.clone()
+            },
+        ];
+        let (reports, stats) = run_fleets(&configs, 3, 4, |fleet, _, _| fleet.run());
+        assert_eq!(stats.trials, 8);
+        assert_eq!(stats.config_groups, 1, "seed-only grid is one shape");
+        assert!(
+            stats.worlds_built <= 3,
+            "fleets pool like worlds: {stats:?}"
+        );
+        // Every pooled trial equals a fresh fleet at the derived seed.
+        for (ci, cfg) in configs.iter().enumerate() {
+            for t in 0..4u32 {
+                let fresh = Fleet::new(FleetConfig {
+                    seed: trial_seed(cfg.seed, t),
+                    ..cfg.clone()
+                })
+                .run();
+                assert_eq!(reports[ci][t as usize], fresh, "config {ci} trial {t}");
             }
         }
     }

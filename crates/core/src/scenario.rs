@@ -137,6 +137,24 @@ impl Default for ScenarioConfig {
     }
 }
 
+impl ScenarioConfig {
+    /// A seed-independent hash of the configuration *shape*: two configs
+    /// with equal fingerprints differ at most in `seed`, which means a
+    /// world built for one can be [`Scenario::adopt`]ed for the other —
+    /// the node set, zones, attack wiring and topology are identical, and
+    /// everything seed-derived re-derives on reset. Sweep engines key
+    /// their [`netsim::pool::WorldPool`] by this, so same-shape grid
+    /// points (e.g. a seed sweep) share pooled worlds.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut shape = self.clone();
+        shape.seed = 0;
+        // Hash of the Debug rendering: every field participates, new
+        // fields participate automatically, and stability is only needed
+        // within one process (pool keys never persist).
+        netsim::pool::fingerprint_str(&format!("{shape:?}"))
+    }
+}
+
 /// Draws one benign server's clock imperfection. Shared by `build` and
 /// `reset` so both consume the labelled RNG stream identically.
 fn benign_clock(rng: &mut netsim::rng::SimRng, config: &ScenarioConfig) -> LocalClock {

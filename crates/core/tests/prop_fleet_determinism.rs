@@ -1,0 +1,80 @@
+//! Property tests for the fleet sweep engine: `run_fleets` must be a pure
+//! function of `(configs, trials)` — independent of worker count and of
+//! whether a trial ran on a fresh fleet or a pooled/reset one.
+
+use chronos_pitfalls::montecarlo::{run_fleets, trial_seed};
+use fleet::config::{FleetAttack, FleetConfig};
+use fleet::engine::Fleet;
+use netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn config(seed: u64, clients: usize, attack: bool) -> FleetConfig {
+    FleetConfig {
+        seed,
+        clients,
+        universe: 96,
+        chronos: chronos::config::ChronosConfig {
+            sample_size: 9,
+            trim: 3,
+            poll_interval: SimDuration::from_secs(64),
+            pool: chronos::config::PoolGenConfig {
+                queries: 5,
+                query_interval: SimDuration::from_secs(200),
+                ..chronos::config::PoolGenConfig::default()
+            },
+            ..chronos::config::ChronosConfig::default()
+        },
+        stagger: SimDuration::from_secs(150),
+        sample_every: SimDuration::from_secs(150),
+        horizon: SimDuration::from_secs(1_200),
+        attack: attack.then(|| {
+            FleetAttack::paper_default(SimTime::from_secs(350), SimDuration::from_millis(500))
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    /// Fleet sweeps are byte-identical across thread counts.
+    #[test]
+    fn fleet_sweeps_reproduce_across_thread_counts(
+        seed in 1u64..300,
+        clients in 4usize..12,
+        trials in 1u32..4,
+        attack in any::<bool>(),
+    ) {
+        let configs = vec![
+            config(seed, clients, attack),
+            config(seed ^ 0x5a5a, clients, attack),
+        ];
+        let (reference, _) = run_fleets(&configs, 1, trials, |f, _, _| f.run());
+        let threads = 2 + (seed as usize % 3); // 2..=4, varied across cases
+        let (got, stats) = run_fleets(&configs, threads, trials, |f, _, _| f.run());
+        prop_assert_eq!(&reference, &got, "threads={} diverged", threads);
+        prop_assert_eq!(stats.trials, 2 * u64::from(trials));
+    }
+
+    /// Every pooled/reset trial equals a fresh `Fleet::new` at the derived
+    /// trial seed.
+    #[test]
+    fn pooled_fleet_trials_match_fresh_builds(
+        seed in 1u64..300,
+        clients in 4usize..10,
+        attack in any::<bool>(),
+    ) {
+        let base = config(seed, clients, attack);
+        let configs = vec![base.clone(), FleetConfig { seed: seed + 7, ..base.clone() }];
+        let (reports, stats) = run_fleets(&configs, 3, 3, |f, _, _| f.run());
+        prop_assert!(stats.worlds_built <= 3, "pooling bounded by workers: {:?}", stats);
+        for (ci, cfg) in configs.iter().enumerate() {
+            for t in 0..3u32 {
+                let fresh = Fleet::new(FleetConfig {
+                    seed: trial_seed(cfg.seed, t),
+                    ..cfg.clone()
+                })
+                .run();
+                prop_assert_eq!(&reports[ci][t as usize], &fresh, "config {} trial {}", ci, t);
+            }
+        }
+    }
+}

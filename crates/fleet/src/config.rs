@@ -1,0 +1,237 @@
+//! Fleet configuration.
+
+use chronos::config::{ChronosConfig, PoolGenConfig};
+use dnslab::zone::{POOL_ADDRS_PER_RESPONSE, POOL_NTP_TTL};
+use netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The shared DNS-poisoning attack against the fleet's resolver.
+///
+/// This is the population view of the paper's E1/E4/E8 attacks: *how* the
+/// record lands in the cache (fragmentation, BGP interception, blind
+/// spoofing) is the packet-level crates' subject; the fleet models the
+/// consequence every mechanism shares — a poisoned `pool.ntp.org` entry
+/// sitting in the resolver cache for its (attacker-chosen, huge) TTL,
+/// served to **every client** whose pool-generation round falls inside
+/// that window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetAttack {
+    /// When the poisoned entry lands in the cache.
+    pub at: SimTime,
+    /// TTL of the poisoned records, seconds (paper: 86 401).
+    pub ttl_secs: u32,
+    /// Malicious A records per poisoned response (paper: 89).
+    pub farm_size: usize,
+    /// The time shift the malicious farm serves, ns (paper: ±500 ms+).
+    pub shift_ns: i64,
+}
+
+impl FleetAttack {
+    /// The paper's default: an 89-server farm, day-long TTL, shifting by
+    /// `shift`.
+    pub fn paper_default(at: SimTime, shift: SimDuration) -> Self {
+        FleetAttack {
+            at,
+            ttl_secs: 86_401,
+            farm_size: 89,
+            shift_ns: shift.as_nanos() as i64,
+        }
+    }
+
+    /// The poison window in nanoseconds: `[at, at + ttl)`.
+    pub fn window_ns(&self) -> (u64, u64) {
+        let from = self.at.as_nanos();
+        (
+            from,
+            from.saturating_add(u64::from(self.ttl_secs) * 1_000_000_000),
+        )
+    }
+}
+
+/// Configuration of a client population run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Fleet RNG seed; every client stream derives from it and the
+    /// client's global id.
+    pub seed: u64,
+    /// Number of clients simulated.
+    pub clients: usize,
+    /// Global id of the first client. A fleet of N clients starting at id
+    /// G steps clients G..G+N identically to any other slicing that covers
+    /// them — the hook the equivalence proptests pin.
+    pub first_client_id: u64,
+    /// The Chronos parameters every client runs (pool cadence, sampling,
+    /// §V mitigation knobs — all honoured).
+    pub chronos: ChronosConfig,
+    /// Size of the benign server universe behind the pool rotation. Must
+    /// be a multiple of `per_response` and at most `64 × per_response`.
+    pub universe: usize,
+    /// Addresses per benign DNS response (pool.ntp.org serves 4).
+    pub per_response: usize,
+    /// TTL of benign pool records (the shared cache holds one batch this
+    /// long; pool.ntp.org uses 150 s).
+    pub benign_ttl: SimDuration,
+    /// Benign server clock imperfection: max |offset| in ms (per-sample
+    /// mean-field draw).
+    pub benign_offset_ms: u64,
+    /// Max |drift| of a client's local clock, ppm (drawn per client).
+    pub client_drift_ppm: f64,
+    /// Standard deviation of per-sample path noise.
+    pub jitter_std: SimDuration,
+    /// Clients start pool generation staggered uniformly over this span
+    /// (real fleets boot at independent times).
+    pub stagger: SimDuration,
+    /// `true`: all clients share one resolver cache (one poisoning hits
+    /// everyone; benign batches are cached across clients). `false`: every
+    /// client resolves independently — the mode where fleet members are
+    /// provably independent of each other.
+    pub shared_cache: bool,
+    /// The attack, if any.
+    pub attack: Option<FleetAttack>,
+    /// A client counts as *shifted* when |clock error| exceeds this bound
+    /// (the paper's 100 ms safety bound).
+    pub safety_bound: SimDuration,
+    /// Cadence of the fraction-shifted time series.
+    pub sample_every: SimDuration,
+    /// Record per-client offset trajectories (small fleets / tests only:
+    /// this is the memory cost the aggregate outputs exist to avoid).
+    pub record_trajectories: bool,
+    /// Default run length for [`crate::engine::Fleet::run`].
+    pub horizon: SimDuration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 1,
+            clients: 10_000,
+            first_client_id: 0,
+            chronos: ChronosConfig {
+                poll_interval: SimDuration::from_secs(64),
+                pool: PoolGenConfig {
+                    queries: 12,
+                    query_interval: SimDuration::from_secs(200),
+                    ..PoolGenConfig::default()
+                },
+                ..ChronosConfig::default()
+            },
+            universe: 240,
+            per_response: POOL_ADDRS_PER_RESPONSE,
+            benign_ttl: SimDuration::from_secs(u64::from(POOL_NTP_TTL)),
+            benign_offset_ms: 2,
+            client_drift_ppm: 10.0,
+            jitter_std: SimDuration::from_micros(500),
+            stagger: SimDuration::from_secs(200),
+            shared_cache: true,
+            attack: None,
+            safety_bound: SimDuration::from_millis(100),
+            sample_every: SimDuration::from_secs(60),
+            record_trajectories: false,
+            horizon: SimDuration::from_secs(4_000),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Rotation batches in the benign universe.
+    pub fn rotation_batches(&self) -> usize {
+        self.universe / self.per_response
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration cannot be simulated: zero clients, a
+    /// universe that is not a whole number of response batches (or more
+    /// than 64 of them — the per-client dedup bitmap's width), or an
+    /// inconsistent Chronos config.
+    pub fn validate(&self) {
+        assert!(self.clients > 0, "a fleet needs at least one client");
+        assert!(self.per_response > 0, "responses must carry addresses");
+        assert!(
+            self.universe.is_multiple_of(self.per_response),
+            "universe {} must be a multiple of per_response {}",
+            self.universe,
+            self.per_response
+        );
+        assert!(
+            self.rotation_batches() >= 1 && self.rotation_batches() <= 64,
+            "rotation batches {} outside the 1..=64 dedup-bitmap range",
+            self.rotation_batches()
+        );
+        assert!(
+            !self.sample_every.is_zero(),
+            "sample cadence must be positive"
+        );
+        self.chronos.validate();
+    }
+
+    /// A seed-independent hash of the configuration *shape*: two configs
+    /// with equal fingerprints differ at most in `seed`, so their fleets
+    /// are interchangeable containers for pooling (same client count, same
+    /// columns — only the streams re-derive on reset).
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut shape = self.clone();
+        shape.seed = 0;
+        netsim::pool::fingerprint_str(&format!("{shape:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        let cfg = FleetConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.rotation_batches(), 60);
+    }
+
+    #[test]
+    fn fingerprint_ignores_seed_only() {
+        let a = FleetConfig::default();
+        let b = FleetConfig {
+            seed: 999,
+            ..FleetConfig::default()
+        };
+        let c = FleetConfig {
+            clients: 11,
+            ..FleetConfig::default()
+        };
+        assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+        assert_ne!(a.structural_fingerprint(), c.structural_fingerprint());
+    }
+
+    #[test]
+    fn attack_window_is_ttl_long() {
+        let attack =
+            FleetAttack::paper_default(SimTime::from_secs(1000), SimDuration::from_millis(500));
+        let (from, until) = attack.window_ns();
+        assert_eq!(from, 1_000_000_000_000);
+        assert_eq!(until - from, 86_401_000_000_000);
+        assert_eq!(attack.farm_size, 89);
+        assert_eq!(attack.shift_ns, 500_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of per_response")]
+    fn ragged_universe_rejected() {
+        FleetConfig {
+            universe: 241,
+            ..FleetConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dedup-bitmap")]
+    fn oversized_universe_rejected() {
+        FleetConfig {
+            universe: 400,
+            ..FleetConfig::default()
+        }
+        .validate();
+    }
+}

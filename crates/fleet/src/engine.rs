@@ -1,0 +1,858 @@
+//! The fleet engine: struct-of-arrays client state stepped through the
+//! timer wheel.
+//!
+//! # Event model
+//!
+//! Every client owns exactly one pending deadline — its next pool-
+//! generation round or its next poll — filed in the [`TimerWheel`]. The
+//! wheel batches deadlines by tick, the engine re-orders each batch by
+//! exact `(nanosecond, client)` and steps clients one lane at a time, so a
+//! run's outcome is a pure function of the configuration: independent of
+//! wheel internals and (because a run is single-threaded while *trials*
+//! parallelize above it) thread count. Per-client state — trajectories,
+//! pools, clocks — and the counting aggregates (histogram, shifted
+//! series) are additionally independent of the tick size, which only
+//! batches; the one tick-shaped edge is that a same-instant follow-up
+//! appended mid-drain (a completed pool's first poll) runs at the end of
+//! its batch, so the *order* of the global observation stream feeding the
+//! order-sensitive P² quantile estimators is defined at the fixed 1 ms
+//! tick grain (`TICK_NS`).
+//!
+//! A poll round is **batched request/response**: instead of exchanging
+//! packets, the engine draws the round's sample composition directly from
+//! the client's pool (malicious vs benign, without replacement), produces
+//! per-sample observed offsets (server offset − client offset + path
+//! jitter), and concludes the round through the *real* Chronos decision
+//! machinery in [`chronos::core`] — the same code the packet-level client
+//! runs. Corrections land on real [`ntplab::clock::LocalClock`]s.
+
+use crate::config::FleetConfig;
+use crate::resolver::{DnsAnswer, ResolverModel};
+use crate::rng::{client_seed, FleetRng};
+use crate::stats::{OffsetHistogram, P2Quantile};
+use crate::wheel::TimerWheel;
+use chronos::core::{self, ChronosStats, CoreState, Phase, RoundOutcome};
+use chronos::select::SelectScratch;
+use netsim::time::{SimDuration, SimTime};
+use ntplab::clock::LocalClock;
+use serde::{Deserialize, Serialize};
+
+/// Per-client pending event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// The next pool-generation DNS round.
+    PoolRound,
+    /// The next sample (poll) round.
+    Poll,
+}
+
+/// Quantiles tracked by the streaming estimators.
+const TRACKED_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Clients simulated.
+    pub clients: usize,
+    /// Simulated end time.
+    pub end: SimTime,
+    /// `(seconds, fraction)` series: share of the fleet whose |clock
+    /// error| exceeds the safety bound, sampled at the configured cadence.
+    pub shifted: Vec<(f64, f64)>,
+    /// The fraction at the end of the run.
+    pub final_shifted_fraction: f64,
+    /// Clients whose pool contains at least one malicious server.
+    pub poisoned_clients: u64,
+    /// Clients that completed pool generation.
+    pub synced_clients: u64,
+    /// Element-wise sum of every client's [`ChronosStats`].
+    pub totals: ChronosStats,
+    /// Online `(p, |offset| ns)` quantile estimates over every concluded
+    /// round's clock error.
+    pub quantiles: Vec<(f64, f64)>,
+    /// Fixed-bin histogram of the same stream.
+    pub histogram: OffsetHistogram,
+    /// Client events stepped (pool rounds + polls), for throughput
+    /// accounting.
+    pub events: u64,
+}
+
+/// A population of lightweight Chronos clients in one shared world.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    // --- struct-of-arrays client state ---
+    clocks: Vec<LocalClock>,
+    phase: Vec<Phase>,
+    retries: Vec<u32>,
+    last_update: Vec<Option<SimTime>>,
+    rng: Vec<u64>,
+    stats: Vec<ChronosStats>,
+    pool_rounds: Vec<u16>,
+    /// Bitmap of benign rotation batches gathered (dedup, ≤ 64 residues).
+    benign_batches: Vec<u64>,
+    /// Malicious servers admitted to the pool (post-mitigation).
+    malicious: Vec<u32>,
+    kind: Vec<EventKind>,
+    deadline_ns: Vec<u64>,
+    traces: Vec<Vec<(SimTime, i64)>>,
+    // --- machinery ---
+    wheel: TimerWheel,
+    resolver: ResolverModel,
+    scratch: SelectScratch,
+    offsets_buf: Vec<i64>,
+    due: Vec<u32>,
+    expired: Vec<u32>,
+    /// Events popped off the wheel but beyond the current run boundary.
+    carry: Vec<u32>,
+    now_ns: u64,
+    boundary_ns: u64,
+    next_sample_ns: u64,
+    shifted_series: Vec<(f64, f64)>,
+    histogram: OffsetHistogram,
+    quantiles: [P2Quantile; 3],
+    events_processed: u64,
+}
+
+/// Wheel tick: 1 ms. A batching grain, not a quantization: events are
+/// re-ordered and timestamped by exact nanosecond (see the module docs
+/// for the one place the grain shows — P² observation order).
+const TICK_NS: u64 = 1_000_000;
+
+impl Fleet {
+    /// Builds a fleet for `config` at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`FleetConfig::validate`]).
+    pub fn new(config: FleetConfig) -> Fleet {
+        config.validate();
+        let n = config.clients;
+        let mut fleet = Fleet {
+            resolver: ResolverModel::new(&config),
+            clocks: vec![LocalClock::perfect(); n],
+            phase: vec![Phase::PoolGeneration; n],
+            retries: vec![0; n],
+            last_update: vec![None; n],
+            rng: vec![0; n],
+            stats: vec![ChronosStats::default(); n],
+            pool_rounds: vec![0; n],
+            benign_batches: vec![0; n],
+            malicious: vec![0; n],
+            kind: vec![EventKind::PoolRound; n],
+            deadline_ns: vec![0; n],
+            traces: Vec::new(),
+            wheel: TimerWheel::new(n, TICK_NS),
+            scratch: SelectScratch::with_capacity(config.chronos.sample_size),
+            offsets_buf: Vec::with_capacity(config.chronos.sample_size),
+            due: Vec::new(),
+            expired: Vec::new(),
+            carry: Vec::new(),
+            now_ns: 0,
+            boundary_ns: 0,
+            next_sample_ns: 0,
+            shifted_series: Vec::new(),
+            histogram: OffsetHistogram::log_scale(8),
+            quantiles: TRACKED_QUANTILES.map(P2Quantile::new),
+            events_processed: 0,
+            config,
+        };
+        fleet.init_clients();
+        fleet
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns)
+    }
+
+    /// Client events stepped so far.
+    pub fn events(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Rewinds the fleet to time zero under a new seed, reusing every
+    /// allocation. After `reset`, running is byte-identical to a fresh
+    /// [`Fleet::new`] with the same config and seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.wheel.reset();
+        self.resolver.reset();
+        self.due.clear();
+        self.expired.clear();
+        self.carry.clear();
+        self.now_ns = 0;
+        self.boundary_ns = 0;
+        self.next_sample_ns = 0;
+        self.shifted_series.clear();
+        self.histogram.reset();
+        for q in &mut self.quantiles {
+            q.reset();
+        }
+        self.events_processed = 0;
+        self.init_clients();
+    }
+
+    /// Swaps in a different configuration, reusing allocations where the
+    /// client count matches (the pooling hook: same-shape configs differ
+    /// only in seed, so columns are always reusable there).
+    pub fn reconfigure(&mut self, config: FleetConfig) {
+        config.validate();
+        let n = config.clients;
+        if n != self.config.clients {
+            self.clocks.resize(n, LocalClock::perfect());
+            self.phase.resize(n, Phase::PoolGeneration);
+            self.retries.resize(n, 0);
+            self.last_update.resize(n, None);
+            self.rng.resize(n, 0);
+            self.stats.resize(n, ChronosStats::default());
+            self.pool_rounds.resize(n, 0);
+            self.benign_batches.resize(n, 0);
+            self.malicious.resize(n, 0);
+            self.kind.resize(n, EventKind::PoolRound);
+            self.deadline_ns.resize(n, 0);
+            self.wheel.resize(n);
+        }
+        let seed = config.seed;
+        self.resolver = ResolverModel::new(&config);
+        self.config = config;
+        self.reset(seed);
+    }
+
+    fn init_clients(&mut self) {
+        self.traces.clear();
+        if self.config.record_trajectories {
+            self.traces.resize(self.config.clients, Vec::new());
+        }
+        let stagger_ns = self.config.stagger.as_nanos();
+        let drift_bound = self.config.client_drift_ppm;
+        for i in 0..self.config.clients {
+            let g = self.config.first_client_id + i as u64;
+            let mut rng = FleetRng::from_seed(client_seed(self.config.seed, g));
+            // Fixed per-client draw order: (1) boot stagger, (2) drift.
+            let start_ns = if stagger_ns > 0 {
+                rng.range_u64(stagger_ns)
+            } else {
+                0
+            };
+            let drift = if drift_bound > 0.0 {
+                drift_bound * (2.0 * rng.next_f64() - 1.0)
+            } else {
+                0.0
+            };
+            self.clocks[i] = LocalClock::new(0, drift);
+            self.phase[i] = Phase::PoolGeneration;
+            self.retries[i] = 0;
+            self.last_update[i] = None;
+            self.rng[i] = rng.state();
+            self.stats[i] = ChronosStats::default();
+            self.pool_rounds[i] = 0;
+            self.benign_batches[i] = 0;
+            self.malicious[i] = 0;
+            self.schedule(i, EventKind::PoolRound, start_ns);
+        }
+    }
+
+    /// Runs the fleet up to and including every event with a deadline at
+    /// or before `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes the current time.
+    pub fn run_until(&mut self, until: SimTime) {
+        let target = until.as_nanos();
+        assert!(target >= self.now_ns, "cannot run backwards");
+        self.boundary_ns = target;
+        // Carried events (popped past an earlier boundary) may be due now.
+        if !self.carry.is_empty() {
+            let carry = std::mem::take(&mut self.carry);
+            for id in carry {
+                if self.deadline_ns[id as usize] <= target {
+                    self.due.push(id);
+                } else {
+                    self.carry.push(id);
+                }
+            }
+        }
+        self.process_due();
+        while self.wheel.now_ns() < target && (self.wheel.armed() > 0 || !self.due.is_empty()) {
+            self.wheel.advance(&mut self.expired);
+            while let Some(id) = self.expired.pop() {
+                if self.deadline_ns[id as usize] <= target {
+                    self.due.push(id);
+                } else {
+                    self.carry.push(id);
+                }
+            }
+            self.process_due();
+        }
+        self.emit_samples_until(target);
+        self.now_ns = target;
+    }
+
+    /// Convenience: runs for a duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run_until(self.now() + d);
+    }
+
+    /// Runs the configured horizon and reports.
+    pub fn run(&mut self) -> FleetReport {
+        self.run_until(SimTime::ZERO + self.config.horizon);
+        self.report()
+    }
+
+    fn process_due(&mut self) {
+        if self.due.is_empty() {
+            return;
+        }
+        // Batches come off the wheel tick-grained; the engine's semantics
+        // are (deadline, client)-ordered. Appended same-instant follow-ups
+        // run at batch end (see the module docs on P² observation order).
+        self.due
+            .sort_unstable_by_key(|&id| (self.deadline_ns[id as usize], id));
+        // Handlers may append same-instant follow-ups (a completed pool
+        // schedules its first poll at the same nanosecond); the index loop
+        // picks them up within this drain.
+        let mut i = 0;
+        while i < self.due.len() {
+            let id = self.due[i] as usize;
+            i += 1;
+            let at_ns = self.deadline_ns[id];
+            self.emit_samples_until(at_ns);
+            self.events_processed += 1;
+            match self.kind[id] {
+                EventKind::PoolRound => self.pool_round(id, at_ns),
+                EventKind::Poll => self.poll_round(id, at_ns),
+            }
+        }
+        self.due.clear();
+    }
+
+    fn schedule(&mut self, i: usize, kind: EventKind, at_ns: u64) {
+        self.kind[i] = kind;
+        self.deadline_ns[i] = at_ns;
+        if !self.wheel.schedule(i as u32, at_ns) {
+            // The wheel clock already passed this tick: run it within the
+            // current window, or carry it into the next one.
+            if at_ns <= self.boundary_ns {
+                self.due.push(i as u32);
+            } else {
+                self.carry.push(i as u32);
+            }
+        }
+    }
+
+    // --- DNS pool generation ---
+
+    fn pool_round(&mut self, i: usize, at_ns: u64) {
+        self.stats[i].pool_queries += 1;
+        let round = u64::from(self.pool_rounds[i]);
+        let answer = if self.config.shared_cache {
+            self.resolver.query_shared(at_ns)
+        } else {
+            self.resolver.query_independent(at_ns, round)
+        };
+        self.absorb_response(i, answer);
+        self.pool_rounds[i] += 1;
+        if usize::from(self.pool_rounds[i]) >= self.config.chronos.pool.queries {
+            self.phase[i] = Phase::Syncing;
+            // Mirrors the packet client's zero-delay first poll.
+            self.schedule(i, EventKind::Poll, at_ns);
+        } else {
+            self.schedule(
+                i,
+                EventKind::PoolRound,
+                at_ns + self.config.chronos.pool.query_interval.as_nanos(),
+            );
+        }
+    }
+
+    /// Applies one DNS response to a client pool, honouring the §V
+    /// mitigations exactly as [`chronos::pool::PoolGenerator`] does: a
+    /// response with any TTL above `reject_ttl_above` is discarded whole,
+    /// and at most `max_records_per_response` addresses are taken (the
+    /// same prefix every time, so a capped poisoned response never grows
+    /// the pool past its first acceptance).
+    fn absorb_response(&mut self, i: usize, answer: DnsAnswer) {
+        let pool_cfg = &self.config.chronos.pool;
+        let record_cap = pool_cfg.max_records_per_response.unwrap_or(usize::MAX);
+        let ttl = match answer {
+            DnsAnswer::Benign { ttl_secs, .. } | DnsAnswer::Poisoned { ttl_secs, .. } => ttl_secs,
+        };
+        if pool_cfg.reject_ttl_above.is_some_and(|cap| ttl > cap) {
+            return; // the round is consumed, nothing is admitted
+        }
+        match answer {
+            DnsAnswer::Benign { batch, .. } => {
+                let residue = batch % self.config.rotation_batches() as u64;
+                self.benign_batches[i] |= 1u64 << residue;
+            }
+            DnsAnswer::Poisoned { farm_size, .. } => {
+                let admitted = farm_size.min(record_cap) as u32;
+                self.malicious[i] = self.malicious[i].max(admitted);
+            }
+        }
+    }
+
+    /// Benign servers in client `i`'s pool (batches × admitted-per-batch).
+    fn benign_count(&self, i: usize) -> usize {
+        let per_batch = self
+            .config
+            .chronos
+            .pool
+            .max_records_per_response
+            .unwrap_or(usize::MAX)
+            .min(self.config.per_response);
+        self.benign_batches[i].count_ones() as usize * per_batch
+    }
+
+    // --- poll rounds ---
+
+    fn draw_benign_offset(rng: &mut FleetRng, bound_ns: i64) -> i64 {
+        if bound_ns > 0 {
+            rng.range_i64(-bound_ns, bound_ns)
+        } else {
+            0
+        }
+    }
+
+    fn poll_round(&mut self, i: usize, at_ns: u64) {
+        let benign = self.benign_count(i);
+        let malicious = self.malicious[i] as usize;
+        let total = benign + malicious;
+        let poll_ns = self.config.chronos.poll_interval.as_nanos();
+        if total == 0 {
+            // Nothing to sample; try again next interval (as the packet
+            // client does, without counting a poll).
+            self.schedule(i, EventKind::Poll, at_ns + poll_ns);
+            return;
+        }
+        self.stats[i].polls += 1;
+        let mut rng = FleetRng::from_seed(self.rng[i]);
+        let m = self.config.chronos.sample_size.min(total);
+        let shift_ns = self.config.attack.map_or(0, |a| a.shift_ns);
+        let benign_bound = self.config.benign_offset_ms as i64 * 1_000_000;
+        let jitter = self.config.jitter_std.as_nanos() as f64;
+        let client_off = self.clocks[i].offset_from_true(SimTime::from_nanos(at_ns));
+        // Sample m of the pool without replacement (malicious block first),
+        // drawing each picked server's observed offset in pick order.
+        let mut mal_rem = malicious as u64;
+        let mut ben_rem = benign as u64;
+        self.offsets_buf.clear();
+        for _ in 0..m {
+            let u = rng.range_u64(mal_rem + ben_rem);
+            let server_off = if u < mal_rem {
+                mal_rem -= 1;
+                shift_ns
+            } else {
+                ben_rem -= 1;
+                Self::draw_benign_offset(&mut rng, benign_bound)
+            };
+            let noise = if jitter > 0.0 {
+                rng.normal(0.0, jitter) as i64
+            } else {
+                0
+            };
+            self.offsets_buf.push(server_off - client_off + noise);
+        }
+        let collect_ns = at_ns + self.config.chronos.response_window.as_nanos();
+        let collect = SimTime::from_nanos(collect_ns);
+        let outcome = core::conclude_sample_round(
+            &self.config.chronos,
+            &mut CoreState {
+                phase: &mut self.phase[i],
+                retries: &mut self.retries[i],
+                last_update: &mut self.last_update[i],
+                stats: &mut self.stats[i],
+            },
+            &mut self.scratch,
+            &self.offsets_buf,
+            collect,
+        );
+        match outcome {
+            RoundOutcome::Accept { correction_ns, .. } => {
+                self.clocks[i].apply_correction(collect, correction_ns);
+                self.observe(i, collect);
+                self.rng[i] = rng.state();
+                self.schedule(i, EventKind::Poll, collect_ns + poll_ns);
+            }
+            RoundOutcome::Resample => {
+                self.observe(i, collect);
+                self.rng[i] = rng.state();
+                self.schedule(i, EventKind::Poll, collect_ns);
+            }
+            RoundOutcome::EnterPanic => {
+                self.observe(i, collect);
+                self.panic_round(i, collect_ns, &mut rng, benign, malicious);
+                self.rng[i] = rng.state();
+            }
+        }
+    }
+
+    /// Panic mode: one batched round over the *whole* pool, concluding a
+    /// response window later (as the packet client's panic collect does).
+    fn panic_round(
+        &mut self,
+        i: usize,
+        collect_ns: u64,
+        rng: &mut FleetRng,
+        benign: usize,
+        malicious: usize,
+    ) {
+        let shift_ns = self.config.attack.map_or(0, |a| a.shift_ns);
+        let benign_bound = self.config.benign_offset_ms as i64 * 1_000_000;
+        let jitter = self.config.jitter_std.as_nanos() as f64;
+        let client_off = self.clocks[i].offset_from_true(SimTime::from_nanos(collect_ns));
+        self.offsets_buf.clear();
+        for _ in 0..malicious {
+            let noise = if jitter > 0.0 {
+                rng.normal(0.0, jitter) as i64
+            } else {
+                0
+            };
+            self.offsets_buf.push(shift_ns - client_off + noise);
+        }
+        for _ in 0..benign {
+            let server_off = Self::draw_benign_offset(rng, benign_bound);
+            let noise = if jitter > 0.0 {
+                rng.normal(0.0, jitter) as i64
+            } else {
+                0
+            };
+            self.offsets_buf.push(server_off - client_off + noise);
+        }
+        let panic_ns = collect_ns + self.config.chronos.response_window.as_nanos();
+        let panic_at = SimTime::from_nanos(panic_ns);
+        let correction = core::conclude_panic_round(
+            &mut CoreState {
+                phase: &mut self.phase[i],
+                retries: &mut self.retries[i],
+                last_update: &mut self.last_update[i],
+                stats: &mut self.stats[i],
+            },
+            &mut self.scratch,
+            &self.offsets_buf,
+            panic_at,
+        );
+        if let Some(correction) = correction {
+            self.clocks[i].apply_correction(panic_at, correction);
+        }
+        self.observe(i, panic_at);
+        self.schedule(
+            i,
+            EventKind::Poll,
+            panic_ns + self.config.chronos.poll_interval.as_nanos(),
+        );
+    }
+
+    /// Streams one concluded round's clock error into the aggregates (and
+    /// the client's trajectory when recording).
+    fn observe(&mut self, i: usize, now: SimTime) {
+        let off = self.clocks[i].offset_from_true(now);
+        if self.config.record_trajectories {
+            self.traces[i].push((now, off));
+        }
+        let abs = off.unsigned_abs();
+        self.histogram.record(abs);
+        for q in &mut self.quantiles {
+            q.observe(abs as f64);
+        }
+    }
+
+    // --- sampling & reporting ---
+
+    fn emit_samples_until(&mut self, up_to_ns: u64) {
+        while self.next_sample_ns <= up_to_ns && self.next_sample_ns <= self.boundary_ns {
+            let at = SimTime::from_nanos(self.next_sample_ns);
+            let frac = self.shifted_fraction(at);
+            self.shifted_series.push((at.as_secs_f64(), frac));
+            self.next_sample_ns += self.config.sample_every.as_nanos();
+        }
+    }
+
+    /// Fraction of the fleet whose |clock error| exceeds the safety bound
+    /// at `now`.
+    pub fn shifted_fraction(&self, now: SimTime) -> f64 {
+        let bound = self.config.safety_bound.as_nanos() as i64;
+        let shifted = self
+            .clocks
+            .iter()
+            .filter(|c| c.offset_from_true(now).abs() > bound)
+            .count();
+        shifted as f64 / self.config.clients as f64
+    }
+
+    /// One client's clock error at `now`, ns.
+    pub fn client_offset_ns(&self, i: usize, now: SimTime) -> i64 {
+        self.clocks[i].offset_from_true(now)
+    }
+
+    /// One client's activity counters.
+    pub fn client_stats(&self, i: usize) -> ChronosStats {
+        self.stats[i]
+    }
+
+    /// One client's pool composition as `(benign, malicious)`.
+    pub fn client_pool(&self, i: usize) -> (usize, usize) {
+        (self.benign_count(i), self.malicious[i] as usize)
+    }
+
+    /// One client's lifecycle phase.
+    pub fn client_phase(&self, i: usize) -> Phase {
+        self.phase[i]
+    }
+
+    /// One client's recorded offset trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was not configured with `record_trajectories`.
+    pub fn trace(&self, i: usize) -> &[(SimTime, i64)] {
+        assert!(
+            self.config.record_trajectories,
+            "fleet was not recording trajectories"
+        );
+        &self.traces[i]
+    }
+
+    /// Builds the aggregate report at the current time.
+    pub fn report(&self) -> FleetReport {
+        let now = self.now();
+        let mut totals = ChronosStats::default();
+        for s in &self.stats {
+            totals.accumulate(s);
+        }
+        FleetReport {
+            clients: self.config.clients,
+            end: now,
+            shifted: self.shifted_series.clone(),
+            final_shifted_fraction: self.shifted_fraction(now),
+            poisoned_clients: self.malicious.iter().filter(|&&m| m > 0).count() as u64,
+            synced_clients: self
+                .phase
+                .iter()
+                .filter(|&&p| p != Phase::PoolGeneration)
+                .count() as u64,
+            totals,
+            quantiles: self
+                .quantiles
+                .iter()
+                .map(|q| (q.p(), q.estimate()))
+                .collect(),
+            histogram: self.histogram.clone(),
+            events: self.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetAttack;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            seed: 7,
+            clients: 64,
+            universe: 96,
+            chronos: chronos::config::ChronosConfig {
+                sample_size: 9,
+                trim: 3,
+                poll_interval: SimDuration::from_secs(64),
+                pool: chronos::config::PoolGenConfig {
+                    queries: 6,
+                    query_interval: SimDuration::from_secs(200),
+                    ..chronos::config::PoolGenConfig::default()
+                },
+                ..chronos::config::ChronosConfig::default()
+            },
+            stagger: SimDuration::from_secs(100),
+            sample_every: SimDuration::from_secs(120),
+            horizon: SimDuration::from_secs(2_400),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn benign_fleet_stays_synced() {
+        let mut fleet = Fleet::new(small_config());
+        let report = fleet.run();
+        assert_eq!(report.clients, 64);
+        assert_eq!(report.synced_clients, 64, "everyone finished pool gen");
+        assert_eq!(report.poisoned_clients, 0);
+        assert_eq!(report.totals.pool_queries, 64 * 6);
+        assert!(
+            report.totals.accepts >= 64,
+            "each client accepted at least once"
+        );
+        assert_eq!(
+            report.final_shifted_fraction, 0.0,
+            "no attack, nobody shifted"
+        );
+        assert!(report.shifted.iter().all(|&(_, f)| f == 0.0));
+        assert!(!report.shifted.is_empty());
+        assert!(report.events > 64 * 6);
+    }
+
+    #[test]
+    fn poisoning_during_generation_shifts_the_fleet() {
+        let mut config = small_config();
+        // Poison lands mid-generation: with 6 rounds x 200 s + 100 s
+        // stagger, t = 300 s catches every client before round 3 of 6 —
+        // >= 2/3 of each pool ends up malicious.
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(300),
+            SimDuration::from_millis(500),
+        ));
+        let mut fleet = Fleet::new(config);
+        let report = fleet.run();
+        assert_eq!(report.poisoned_clients, 64, "shared cache hits everyone");
+        assert!(
+            report.final_shifted_fraction > 0.9,
+            "attacker majority drags (almost) the whole fleet: {}",
+            report.final_shifted_fraction
+        );
+        // Poisoned clients are still *cold* at their first poll (pool
+        // generation precedes syncing), so the unbounded cold-start
+        // envelope accepts the shift directly — the paper's cold-client
+        // path. The reject→panic path is exercised separately below.
+        assert!(report.totals.accepts >= 64);
+        // The series is monotone-ish: starts at 0, ends high.
+        assert_eq!(report.shifted.first().unwrap().1, 0.0);
+        assert!(report.shifted.last().unwrap().1 > 0.9);
+        // Quantiles see the 500 ms shift.
+        let p99 = report.quantiles.iter().find(|q| q.0 == 0.99).unwrap().1;
+        assert!(p99 > 100_000_000.0, "p99 |offset| {p99} reflects the shift");
+        assert!(report.histogram.fraction_at_or_above(100_000_000) > 0.1);
+    }
+
+    #[test]
+    fn late_poisoning_misses_the_deadline() {
+        let mut config = small_config();
+        // After every client's round 4 of 6 (stagger 100 s + 4x200 s):
+        // fewer than the winning share of rounds remain.
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(1_000),
+            SimDuration::from_millis(500),
+        ));
+        let mut fleet = Fleet::new(config);
+        let report = fleet.run();
+        // Every pool still picked up the poisoned rounds...
+        assert_eq!(report.poisoned_clients, 64);
+        // ...but 4 benign rounds of 4 addresses against 89 malicious is
+        // still a 2/3 majority for the attacker with these compressed
+        // numbers; what the deadline protects is pools with >= 45 benign
+        // servers. Check composition arithmetic instead of the shift.
+        let (benign, malicious) = fleet.client_pool(0);
+        assert_eq!(malicious, 89);
+        assert!(benign >= 4 * 4, "4 benign rounds landed before the poison");
+    }
+
+    #[test]
+    fn disagreeing_universe_forces_rejects_and_panics() {
+        // Benign servers scattered over ±200 ms against ω = 25 ms: every
+        // mixed sample disagrees, so clients burn K retries and fall into
+        // panic mode — the reject→panic machinery at fleet scale.
+        let mut config = small_config();
+        config.benign_offset_ms = 200;
+        config.horizon = SimDuration::from_secs(2_000);
+        let mut fleet = Fleet::new(config);
+        let report = fleet.run();
+        assert!(report.totals.rejects > 0, "ω rejected disagreeing rounds");
+        assert!(report.totals.panics > 0, "K rejections forced panics");
+        assert!(
+            report.totals.panics * u64::from(fleet.config().chronos.max_retries)
+                <= report.totals.rejects,
+            "every panic costs K rejects"
+        );
+    }
+
+    #[test]
+    fn ttl_mitigation_blocks_the_poison_at_fleet_scale() {
+        let mut config = small_config();
+        config.chronos.pool.reject_ttl_above = Some(3_600);
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(300),
+            SimDuration::from_millis(500),
+        ));
+        let mut fleet = Fleet::new(config);
+        let report = fleet.run();
+        assert_eq!(
+            report.poisoned_clients, 0,
+            "day-long TTL rejected everywhere"
+        );
+        assert_eq!(report.final_shifted_fraction, 0.0);
+    }
+
+    #[test]
+    fn record_cap_bounds_the_malicious_share() {
+        let mut config = small_config();
+        config.chronos.pool.max_records_per_response = Some(4);
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(300),
+            SimDuration::from_millis(500),
+        ));
+        let mut fleet = Fleet::new(config);
+        fleet.run();
+        let (_, malicious) = fleet.client_pool(0);
+        assert_eq!(malicious, 4, "89-record blast capped to 4");
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_fleet() {
+        let mut config = small_config();
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(300),
+            SimDuration::from_millis(500),
+        ));
+        config.clients = 16;
+        config.record_trajectories = true;
+        let mut fresh = Fleet::new(config.clone());
+        let fresh_report = fresh.run();
+        // Run the same fleet object at another seed, then reset back.
+        let mut reused = Fleet::new(config);
+        reused.run();
+        reused.reset(99);
+        reused.run();
+        reused.reset(7);
+        let reused_report = reused.run();
+        assert_eq!(fresh_report, reused_report, "reset is byte-identical");
+        for i in 0..16 {
+            assert_eq!(fresh.trace(i), reused.trace(i), "client {i} trajectory");
+        }
+    }
+
+    #[test]
+    fn reconfigure_resizes_and_rebuilds() {
+        let mut fleet = Fleet::new(small_config());
+        fleet.run();
+        let mut bigger = small_config();
+        bigger.clients = 128;
+        bigger.seed = 3;
+        fleet.reconfigure(bigger.clone());
+        let a = fleet.run();
+        let b = Fleet::new(bigger).run();
+        assert_eq!(a, b, "reconfigured fleet equals a fresh one");
+    }
+
+    #[test]
+    fn shifted_fraction_counts_against_the_bound() {
+        let config = FleetConfig {
+            clients: 4,
+            stagger: SimDuration::ZERO,
+            client_drift_ppm: 0.0,
+            ..small_config()
+        };
+        let fleet = Fleet::new(config);
+        assert_eq!(fleet.shifted_fraction(SimTime::ZERO), 0.0);
+        assert_eq!(fleet.client_offset_ns(0, SimTime::ZERO), 0);
+        assert_eq!(fleet.client_phase(0), Phase::PoolGeneration);
+        assert_eq!(fleet.client_stats(0), ChronosStats::default());
+    }
+}

@@ -1,0 +1,69 @@
+//! # fleet — population-scale Chronos simulation
+//!
+//! The packet-level [`netsim`] worlds simulate *one* Chronos victim (plus a
+//! plain-NTP control) with full wire fidelity. The paper's headline claim,
+//! however, is a *population* statement: an off-path attacker who poisons
+//! the pool's DNS mapping shifts time on **every client behind the
+//! resolver**, not one client in isolation. This crate is the layer that
+//! makes that claim simulable: 10⁵–10⁶ lightweight Chronos clients inside a
+//! single shared world, against one rotating `pool.ntp.org` zone, one
+//! shared resolver cache, and one attacker.
+//!
+//! ## How it stays cheap
+//!
+//! * **Struct-of-arrays state** ([`Fleet`]): clocks (real
+//!   [`ntplab::clock::LocalClock`]s), phases, retry counters, poll
+//!   deadlines and per-client RNG streams live in parallel columns; one
+//!   client costs ~150 bytes and no allocations after construction.
+//! * **The decision logic is the real one**: every round concludes through
+//!   [`chronos::core`] — the same borrowed-state stepping API the
+//!   packet-level [`chronos::client::ChronosClient`] delegates to — so the
+//!   fleet cannot drift from the reference client's accept/reject/panic
+//!   behaviour.
+//! * **A hierarchical timer wheel** ([`wheel::TimerWheel`]) schedules
+//!   millions of staggered poll deadlines in O(1) per operation, instead of
+//!   pushing every client through netsim's per-node event heap.
+//! * **Batched request/response rounds**: DNS pool generation consults a
+//!   shared resolver-cache model ([`resolver::ResolverModel`]) that mirrors
+//!   `dnslab`'s rotation + TTL caching semantics (150 s pool TTL, 4 records
+//!   per response, a poisoned entry frozen for its high TTL); NTP sample
+//!   rounds draw server offsets directly from the benign/malicious pool
+//!   composition instead of exchanging packets.
+//! * **Streaming aggregates** ([`stats`]): fixed-bin offset histograms and
+//!   online (P²) quantiles, so a million-client run's memory stays bounded
+//!   by the fleet state itself — no per-client trajectories unless
+//!   explicitly requested.
+//!
+//! ## Fidelity contract
+//!
+//! The fleet is a *mean-field* model of the network: per-sample benign
+//! server offsets are drawn i.i.d. from the configured imperfection bound
+//! and path noise is a configurable jitter, where netsim assigns each
+//! server a persistent clock. What is **exact** is the Chronos state
+//! machine (shared code), the pool-composition arithmetic (rotation
+//! batches, dedup, §V record-cap/TTL mitigations) and the shared-cache
+//! poisoning window. With `shared_cache: false` every client is fully
+//! independent, and a fleet of N clients is byte-identical to N
+//! single-client runs with matched global ids — the property test in
+//! `tests/prop_fleet_equivalence.rs` pins this.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod engine;
+pub mod resolver;
+pub mod rng;
+pub mod stats;
+pub mod wheel;
+
+pub use config::{FleetAttack, FleetConfig};
+pub use engine::{Fleet, FleetReport};
+pub use stats::{OffsetHistogram, P2Quantile};
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::config::{FleetAttack, FleetConfig};
+    pub use crate::engine::{Fleet, FleetReport};
+    pub use crate::stats::{OffsetHistogram, P2Quantile};
+}

@@ -1,0 +1,200 @@
+//! The fleet's shared resolver-cache model.
+//!
+//! Mirrors the `dnslab` semantics the packet-level scenarios exercise,
+//! reduced to what pool composition depends on:
+//!
+//! * the benign zone rotates `per_response` addresses per *upstream fetch*
+//!   (cf. [`dnslab::zone::Rotation`]), and the recursive resolver caches
+//!   each fetched batch for the record TTL (150 s for pool.ntp.org) — so
+//!   clients querying inside one TTL window all see the *same* batch;
+//! * a poisoned entry (however it got there) freezes the cache for its
+//!   attacker-chosen TTL: every query in `[at, at + ttl)` returns the
+//!   malicious record set.
+//!
+//! Answers are batch *identities*, not addresses: batch `b` stands for the
+//! rotation slice `addrs[b·k mod U .. b·k+k mod U]`, and since the engine
+//! only needs pool composition (which servers lie) the identity is enough.
+
+use crate::config::FleetConfig;
+use serde::{Deserialize, Serialize};
+
+/// What one DNS query returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsAnswer {
+    /// A benign rotation batch (`per_response` addresses, identified by
+    /// the rotation residue `batch % rotation_batches`).
+    Benign {
+        /// Rotation batch identity.
+        batch: u64,
+        /// Record TTL, seconds.
+        ttl_secs: u32,
+    },
+    /// The attacker's record set.
+    Poisoned {
+        /// Malicious records in the response.
+        farm_size: usize,
+        /// Record TTL, seconds.
+        ttl_secs: u32,
+    },
+}
+
+/// The shared (or per-client, see [`FleetConfig::shared_cache`]) resolver
+/// cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolverModel {
+    ttl_ns: u64,
+    benign_ttl_secs: u32,
+    poison: Option<(u64, u64, usize, u32)>, // (from, until, farm, ttl)
+    /// Upstream fetches performed (== batches served so far).
+    cursor: u64,
+    cached_batch: u64,
+    cached_until: u64,
+    primed: bool,
+}
+
+impl ResolverModel {
+    /// A resolver for `config`'s zone shape and attack.
+    pub fn new(config: &FleetConfig) -> Self {
+        let poison = config.attack.map(|a| {
+            let (from, until) = a.window_ns();
+            (from, until, a.farm_size, a.ttl_secs)
+        });
+        ResolverModel {
+            ttl_ns: config.benign_ttl.as_nanos(),
+            benign_ttl_secs: config.benign_ttl.as_secs() as u32,
+            poison,
+            cursor: 0,
+            cached_batch: 0,
+            cached_until: 0,
+            primed: false,
+        }
+    }
+
+    /// Empties the cache and rewinds the rotation (fleet-reuse support).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.cached_batch = 0;
+        self.cached_until = 0;
+        self.primed = false;
+    }
+
+    /// Upstream fetches performed so far.
+    pub fn fetches(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Answers a query through the shared cache at `now_ns`.
+    pub fn query_shared(&mut self, now_ns: u64) -> DnsAnswer {
+        if let Some((from, until, farm_size, ttl_secs)) = self.poison {
+            if now_ns >= from && now_ns < until {
+                return DnsAnswer::Poisoned {
+                    farm_size,
+                    ttl_secs,
+                };
+            }
+        }
+        if !self.primed || now_ns >= self.cached_until {
+            self.cached_batch = self.cursor;
+            self.cursor += 1;
+            self.cached_until = now_ns.saturating_add(self.ttl_ns);
+            self.primed = true;
+        }
+        DnsAnswer::Benign {
+            batch: self.cached_batch,
+            ttl_secs: self.benign_ttl_secs,
+        }
+    }
+
+    /// Answers a query for an *independent* client (no shared cache): the
+    /// client's `round` index is its private rotation position.
+    pub fn query_independent(&self, now_ns: u64, round: u64) -> DnsAnswer {
+        if let Some((from, until, farm_size, ttl_secs)) = self.poison {
+            if now_ns >= from && now_ns < until {
+                return DnsAnswer::Poisoned {
+                    farm_size,
+                    ttl_secs,
+                };
+            }
+        }
+        DnsAnswer::Benign {
+            batch: round,
+            ttl_secs: self.benign_ttl_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetAttack;
+    use netsim::time::{SimDuration, SimTime};
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn config(attack: Option<FleetAttack>) -> FleetConfig {
+        FleetConfig {
+            attack,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn shared_cache_serves_one_batch_per_ttl_window() {
+        let mut r = ResolverModel::new(&config(None));
+        let a = r.query_shared(0);
+        let b = r.query_shared(100 * SEC); // inside the 150 s TTL
+        assert_eq!(a, b, "cached batch is shared");
+        let c = r.query_shared(151 * SEC);
+        assert!(matches!(c, DnsAnswer::Benign { batch: 1, .. }));
+        assert_eq!(r.fetches(), 2);
+    }
+
+    #[test]
+    fn poison_window_freezes_the_cache_for_everyone() {
+        let attack =
+            FleetAttack::paper_default(SimTime::from_secs(500), SimDuration::from_millis(500));
+        let mut r = ResolverModel::new(&config(Some(attack)));
+        assert!(matches!(r.query_shared(0), DnsAnswer::Benign { .. }));
+        for t in [500u64, 600, 86_000, 86_900] {
+            assert!(
+                matches!(
+                    r.query_shared(t * SEC),
+                    DnsAnswer::Poisoned { farm_size: 89, .. }
+                ),
+                "t={t}s inside the window"
+            );
+        }
+        // 500 + 86 401 s: the poisoned entry finally expires.
+        assert!(matches!(
+            r.query_shared(86_901 * SEC),
+            DnsAnswer::Benign { .. }
+        ));
+    }
+
+    #[test]
+    fn independent_mode_keys_rotation_by_round() {
+        let r = ResolverModel::new(&config(None));
+        assert!(matches!(
+            r.query_independent(0, 0),
+            DnsAnswer::Benign { batch: 0, .. }
+        ));
+        assert!(matches!(
+            r.query_independent(0, 7),
+            DnsAnswer::Benign { batch: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn reset_rewinds_rotation_and_cache() {
+        let mut r = ResolverModel::new(&config(None));
+        r.query_shared(0);
+        r.query_shared(200 * SEC);
+        assert_eq!(r.fetches(), 2);
+        r.reset();
+        assert_eq!(r.fetches(), 0);
+        assert!(matches!(
+            r.query_shared(0),
+            DnsAnswer::Benign { batch: 0, .. }
+        ));
+    }
+}

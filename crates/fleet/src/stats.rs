@@ -1,0 +1,298 @@
+//! Streaming aggregates: fixed-bin histograms and online quantiles.
+//!
+//! A million-client fleet cannot afford per-client trajectories (that is
+//! the whole point of the aggregate outputs): everything here is O(bins)
+//! or O(markers) memory regardless of how many observations stream
+//! through, which keeps a fleet run's peak RSS bounded by the state
+//! columns alone.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin histogram over absolute clock offsets (nanoseconds).
+///
+/// Bins are logarithmic — each decade from 1 µs to 1000 s splits into
+/// `bins_per_decade` — because attack-shifted offsets (hundreds of ms) and
+/// healthy offsets (tens of µs) differ by orders of magnitude. Values
+/// below the first edge land in bin 0; values beyond the last edge land in
+/// the overflow bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffsetHistogram {
+    /// Upper edge of each bin, ns (ascending; the last bin is overflow).
+    edges_ns: Vec<u64>,
+    /// Observation count per bin (`edges_ns.len() + 1` entries).
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl OffsetHistogram {
+    /// A histogram with `bins_per_decade` bins per decade over
+    /// `[1 µs, 1000 s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins_per_decade` is zero.
+    pub fn log_scale(bins_per_decade: usize) -> Self {
+        assert!(bins_per_decade > 0, "need at least one bin per decade");
+        let decades = 9; // 1e3 ns .. 1e12 ns
+        let mut edges_ns = Vec::with_capacity(decades * bins_per_decade);
+        for d in 0..decades {
+            for b in 1..=bins_per_decade {
+                let exp = 3.0 + d as f64 + b as f64 / bins_per_decade as f64;
+                edges_ns.push(10f64.powf(exp).round() as u64);
+            }
+        }
+        let bins = edges_ns.len() + 1;
+        OffsetHistogram {
+            edges_ns,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Zeroes every bin (fleet-reuse support).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    /// Records one absolute offset.
+    pub fn record(&mut self, abs_offset_ns: u64) {
+        let bin = self.edges_ns.partition_point(|&e| e <= abs_offset_ns);
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations at or above `threshold_ns`.
+    pub fn fraction_at_or_above(&self, threshold_ns: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let first = self.edges_ns.partition_point(|&e| e <= threshold_ns);
+        let above: u64 = self.counts[first..].iter().sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Iterates `(upper_edge_ns, count)` over non-empty bins; the overflow
+    /// bin reports `u64::MAX` as its edge.
+    pub fn nonzero_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.edges_ns.get(i).copied().unwrap_or(u64::MAX), c))
+    }
+}
+
+/// Online quantile estimation by the P² algorithm (Jain & Chlamtac 1985):
+/// five markers track one quantile of an unbounded stream in O(1) memory
+/// and O(1) per observation, without storing samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile (`0 < p < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1): {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Forgets every observation (fleet-reuse support).
+    pub fn reset(&mut self) {
+        *self = P2Quantile::new(self.p);
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.q[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Locate the cell and bump the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust the three interior markers toward their desired ranks.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        q + d / (np - nm)
+            * ((n - nm + d) * (qp - q) / (np - n) + (np - n - d) * (q - qm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current estimate (exact below 5 observations).
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            c if c < 5 => {
+                // Small-sample: nearest-rank over what we have.
+                let mut sorted = self.q[..c as usize].to_vec();
+                sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let rank = ((self.p * c as f64).ceil() as usize).clamp(1, c as usize);
+                sorted[rank - 1]
+            }
+            _ => self.q[2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_fractions() {
+        let mut h = OffsetHistogram::log_scale(4);
+        // 70 small offsets (~10 µs), 30 attack-sized (~500 ms).
+        for _ in 0..70 {
+            h.record(10_000);
+        }
+        for _ in 0..30 {
+            h.record(500_000_000);
+        }
+        assert_eq!(h.total(), 100);
+        let f = h.fraction_at_or_above(100_000_000);
+        assert!((f - 0.30).abs() < 1e-9, "fraction {f}");
+        assert_eq!(h.fraction_at_or_above(0), 1.0);
+        assert_eq!(h.fraction_at_or_above(u64::MAX), 0.0);
+        assert!(h.nonzero_bins().count() >= 2);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction_at_or_above(1), 0.0);
+    }
+
+    #[test]
+    fn histogram_overflow_and_underflow() {
+        let mut h = OffsetHistogram::log_scale(2);
+        h.record(0); // below first edge
+        h.record(u64::MAX); // beyond last edge
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.nonzero_bins().count(), 2);
+        assert!((h.fraction_at_or_above(1_000_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantiles() {
+        let mut median = P2Quantile::new(0.5);
+        let mut p90 = P2Quantile::new(0.9);
+        // A deterministic low-discrepancy-ish stream over (0, 1000).
+        let mut state = 1u64;
+        for _ in 0..50_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0;
+            median.observe(x);
+            p90.observe(x);
+        }
+        assert!(
+            (median.estimate() - 500.0).abs() < 15.0,
+            "{}",
+            median.estimate()
+        );
+        assert!((p90.estimate() - 900.0).abs() < 15.0, "{}", p90.estimate());
+        assert_eq!(median.count(), 50_000);
+    }
+
+    #[test]
+    fn p2_small_samples_are_exact_nearest_rank() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), 0.0);
+        q.observe(7.0);
+        assert_eq!(q.estimate(), 7.0);
+        q.observe(1.0);
+        q.observe(9.0);
+        assert_eq!(q.estimate(), 7.0, "median of {{1, 7, 9}}");
+        q.reset();
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn p2_rejects_degenerate_p() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -1,46 +1,78 @@
-//! World pooling for Monte-Carlo sweeps.
+//! Object pooling for Monte-Carlo sweeps.
 //!
 //! Building a [`World`] — zones, nodes, address maps, topology — dominates
-//! the cost of cheap packet-level trials. A [`WorldPool`] lets sweep engines
-//! keep one constructed world per *configuration key* and hand it from
-//! worker to worker: a worker checks a world out, [`World::reset`]s it for
-//! its trial seed, runs the trial, and checks it back in. Construction then
+//! the cost of cheap packet-level trials, and a fleet's state columns are
+//! similarly worth reusing across trials. An [`ObjectPool`] lets sweep
+//! engines keep one constructed object per *configuration key* and hand it
+//! from worker to worker: a worker checks an object out, resets it for its
+//! trial seed, runs the trial, and checks it back in. Construction then
 //! happens O(keys + threads) times instead of O(keys × trials).
 //!
 //! The pool is deliberately dumb about what a "configuration" is: keys are
-//! plain indices assigned by the caller (e.g. positions in a slice of
-//! scenario configs). Worlds checked in under key `k` must all have been
-//! built from the same configuration — the pool never validates this.
+//! plain indices assigned by the caller. Since PR 3 the scenario sweep
+//! engine assigns keys by *structural fingerprint* (seed-independent config
+//! shape) rather than config position, so same-shape grid points share
+//! shelves. Objects checked in under key `k` must all be interchangeable
+//! under that key — the pool never validates this.
 //!
 //! Locking: one mutex per key shelf, taken once per *batch* of trials (the
 //! sweep engines claim batches, not single trials), so contention is
 //! amortized to noise and the per-trial hot path stays lock-free.
 
 use crate::world::World;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Counters describing pool effectiveness.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorldPoolStats {
-    /// Checkouts that found a reusable world.
+    /// Checkouts that found a reusable object (hits).
     pub reused: u64,
     /// Checkouts that came back empty (the caller had to build).
     pub misses: u64,
 }
 
-/// A keyed stash of reusable [`World`]s shared between worker threads.
+impl WorldPoolStats {
+    /// Hit rate over all checkouts (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.reused + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+}
+
+/// FNV-1a over a string — stable within one build, which is all pool keys
+/// need. The structural-fingerprint implementations that key
+/// [`ObjectPool`] shelves (hash of a config's `Debug` rendering with the
+/// seed zeroed) share this so they cannot drift apart.
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A keyed stash of reusable objects shared between worker threads.
 #[derive(Debug)]
-pub struct WorldPool {
-    shelves: Vec<Mutex<Vec<World>>>,
+pub struct ObjectPool<T> {
+    shelves: Vec<Mutex<Vec<T>>>,
     reused: AtomicU64,
     misses: AtomicU64,
 }
 
-impl WorldPool {
+/// The packet-level instantiation: pooled netsim [`World`]s.
+pub type WorldPool = ObjectPool<World>;
+
+impl<T> ObjectPool<T> {
     /// Creates a pool with `keys` empty shelves (one per configuration).
     pub fn new(keys: usize) -> Self {
-        WorldPool {
+        ObjectPool {
             shelves: (0..keys).map(|_| Mutex::new(Vec::new())).collect(),
             reused: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -52,19 +84,19 @@ impl WorldPool {
         self.shelves.len()
     }
 
-    /// Takes a world previously checked in under `key`, if any. The caller
-    /// is expected to [`World::reset`] it before use and to build a fresh
-    /// world on `None`.
+    /// Takes an object previously checked in under `key`, if any. The
+    /// caller is expected to reset it before use and to build a fresh one
+    /// on `None`.
     ///
     /// # Panics
     ///
     /// Panics if `key` is out of range.
-    pub fn checkout(&self, key: usize) -> Option<World> {
-        let world = self.shelves[key].lock().expect("pool not poisoned").pop();
-        match world {
-            Some(w) => {
+    pub fn checkout(&self, key: usize) -> Option<T> {
+        let object = self.shelves[key].lock().expect("pool not poisoned").pop();
+        match object {
+            Some(o) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
-                Some(w)
+                Some(o)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -73,16 +105,17 @@ impl WorldPool {
         }
     }
 
-    /// Returns a world to the shelf for `key` for another worker to reuse.
+    /// Returns an object to the shelf for `key` for another worker to
+    /// reuse.
     ///
     /// # Panics
     ///
     /// Panics if `key` is out of range.
-    pub fn checkin(&self, key: usize, world: World) {
+    pub fn checkin(&self, key: usize, object: T) {
         self.shelves[key]
             .lock()
             .expect("pool not poisoned")
-            .push(world);
+            .push(object);
     }
 
     /// Reuse counters accumulated so far.
@@ -109,6 +142,7 @@ mod tests {
                 misses: 1
             }
         );
+        assert_eq!(pool.stats().hit_rate(), 0.0);
     }
 
     #[test]
@@ -124,6 +158,7 @@ mod tests {
                 misses: 0
             }
         );
+        assert_eq!(pool.stats().hit_rate(), 1.0);
         assert!(pool.checkout(0).is_none(), "shelf is empty again");
     }
 
@@ -133,6 +168,19 @@ mod tests {
         pool.checkin(2, World::new(1));
         assert!(pool.checkout(0).is_none());
         assert!(pool.checkout(2).is_some());
+    }
+
+    #[test]
+    fn pool_is_generic_over_contents() {
+        let pool: ObjectPool<Vec<u8>> = ObjectPool::new(1);
+        pool.checkin(0, vec![1, 2, 3]);
+        assert_eq!(pool.checkout(0), Some(vec![1, 2, 3]));
+        assert_eq!(pool.stats().hit_rate(), 1.0, "the one checkout hit");
+        assert!(pool.checkout(0).is_none());
+        assert!(
+            (pool.stats().hit_rate() - 0.5).abs() < 1e-12,
+            "1 hit, 1 miss"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! The population view of the attack (experiment E14).
+//!
+//! The packet-level examples show one Chronos victim losing its pool to a
+//! poisoned resolver cache. This example runs the same story for a whole
+//! client *population* behind that resolver: 50 000 lightweight Chronos
+//! clients (struct-of-arrays fleet engine, timer-wheel scheduling, the
+//! real `chronos::core` decision machinery) boot staggered, gather their
+//! pools through one shared cache, and the attacker's single poisoning
+//! lands on every one of them.
+//!
+//! Output: the E14 table (per-variant population outcome), the
+//! fraction-of-fleet-shifted-vs-time figure, and the offset histogram of
+//! the early-poisoning variant.
+//!
+//! Run with: `cargo run --release --example fleet_attack`
+
+use chronos_pitfalls::experiments::{e14_table, run_e14};
+use chronos_pitfalls::montecarlo::default_threads;
+use chronos_pitfalls::report::Series;
+
+fn main() {
+    let threads = default_threads();
+    let clients = 50_000;
+    println!("simulating {clients} Chronos clients per variant on {threads} threads...\n");
+    let result = run_e14(7, clients, threads);
+
+    println!("{}", e14_table(&result));
+    println!("fraction of fleet shifted beyond the 100 ms safety bound vs time:");
+    println!("{}", Series::render_columns(&result.series, "t (s)", 20));
+
+    let early = result
+        .rows
+        .iter()
+        .find(|r| r.label.contains("early"))
+        .expect("early variant present");
+    println!(
+        "early-poisoning variant: {} clients poisoned, {} panics, final |offset| histogram:",
+        early.report.poisoned_clients, early.report.totals.panics
+    );
+    for (edge_ns, count) in early.report.histogram.nonzero_bins() {
+        let label = if edge_ns == u64::MAX {
+            "overflow".to_string()
+        } else {
+            format!("< {:.3} ms", edge_ns as f64 / 1e6)
+        };
+        println!("  {label:>14}  {count:>10}");
+    }
+    println!(
+        "\nfleet sweep: {} trials over {} pooled fleet(s); one DNS poisoning,",
+        result.stats.trials, result.stats.config_groups
+    );
+    println!("one resolver cache — and every client behind it inherits the attacker's time.");
+}

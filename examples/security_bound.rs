@@ -15,8 +15,9 @@
 //! Run with: `cargo run --example security_bound`
 
 use chronos::analysis::{prob_sample_controlled, sample_is_controlled};
-use chronos_pitfalls::experiments::{e5_table, run_e5};
+use chronos_pitfalls::experiments::{e5_series_from_rows, e5_table, run_e5};
 use chronos_pitfalls::montecarlo::{default_threads, run_grid, success_rates, trial_seed};
+use chronos_pitfalls::report::Series;
 use netsim::rng::SimRng;
 
 fn main() {
@@ -26,8 +27,13 @@ fn main() {
         0.05, 0.10, 0.20, 0.25, 0.33, 0.45, 0.55, 0.60, 0.65, 0.669, 0.75,
     ];
     for n in [96usize, 133] {
+        // One sweep yields the table and the figure-shaped series.
         let rows = run_e5(n, 15, 5, &fractions, threads);
         println!("{}", e5_table(n, &rows));
+        println!(
+            "{}",
+            Series::render_columns(&e5_series_from_rows(&rows), "frac", fractions.len())
+        );
     }
 
     // Cross-check the hypergeometric engine behind the table: one grid

@@ -11,7 +11,8 @@
 //! | [`ntplab`] | NTPv4, the ntpd selection pipeline, the plain-NTP baseline client |
 //! | [`chronos`] | the Chronos client (NDSS'18), its security analysis and §V mitigations |
 //! | [`attacklab`] | defragmentation poisoning, BGP MitM, blind spoofing, triggering, farms |
-//! | [`chronos_pitfalls`] | scenarios, analytic models and the E1–E9 experiment runners |
+//! | [`fleet`] | population-scale fleets: 10⁵–10⁶ lightweight Chronos clients in one world |
+//! | [`chronos_pitfalls`] | scenarios, analytic models and the E1–E14 experiment runners |
 //!
 //! This facade re-exports all member crates; the runnable entry points are
 //! the examples (`cargo run --example quickstart`) and the benches
@@ -33,5 +34,6 @@ pub use attacklab;
 pub use chronos;
 pub use chronos_pitfalls;
 pub use dnslab;
+pub use fleet;
 pub use netsim;
 pub use ntplab;
