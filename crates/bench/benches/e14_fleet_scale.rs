@@ -3,13 +3,18 @@
 //! sync, panic dynamics) in one process, vs the equivalent per-world
 //! stepping (one pooled netsim world per client — the PR 2 engine).
 //!
-//! Guards PR 3's tentpole two ways:
+//! Guards the fleet engine three ways:
 //!
-//! * `fleet_100k`'s per-iter mean is on `bench-diff`'s [`GUARDED`] list;
+//! * `fleet_100k` (sequential, `threads = 1`) and `fleet_100k_sharded`
+//!   (`threads = 4`) have their per-iter means on `bench-diff`'s
+//!   [`GUARDED`] list;
 //! * `RATE_RATIO_GUARDS` holds the clients-stepped/sec ratio of
-//!   `fleet_100k` over `perworld_8` at ≥ 5× (in practice it is orders of
-//!   magnitude — the floor only catches a collapse of the scale
-//!   advantage).
+//!   `fleet_100k` over `perworld_8` at ≥ 5× (PR 3's scale advantage) and
+//!   of `fleet_100k_sharded` over `fleet_100k` at ≥ 2× (PR 4's intra-fleet
+//!   parallel win, evaluated on the 4-core CI runner — a single-core host
+//!   cannot meet it);
+//! * the sharded run's report is asserted byte-identical to the
+//!   sequential run's, so the speedup can never drift from the semantics.
 //!
 //! [`GUARDED`]: bench::benchdiff::GUARDED
 
@@ -27,6 +32,9 @@ use netsim::time::{SimDuration, SimTime};
 const FLEET_CLIENTS: usize = 100_000;
 /// Single-client netsim worlds in the per-world reference.
 const PERWORLD_CLIENTS: usize = 8;
+/// Workers in the sharded target — the acceptance point on the 4-core CI
+/// runner.
+const SHARDED_THREADS: usize = 4;
 
 /// The guarded scenario: the paper's early poisoning against the full
 /// 24-round generation, shared resolver cache, 6000 s horizon.
@@ -103,6 +111,37 @@ fn bench_e14(c: &mut Criterion) {
     assert!(
         report.final_shifted_fraction > 0.9,
         "the guarded scenario must actually capture the fleet"
+    );
+
+    // The sharded run: same fleet shape, shards stepped on 4 workers. The
+    // rate-ratio guard (sharded/sequential ≥ 2×) is the PR 4 acceptance
+    // criterion on the 4-core CI runner.
+    let sharded_config = fleet::FleetConfig {
+        threads: SHARDED_THREADS,
+        ..fleet_attack_config(FLEET_CLIENTS)
+    };
+    let mut sharded = Fleet::new(sharded_config);
+    group.throughput(Throughput::Elements(FLEET_CLIENTS as u64));
+    group.bench_function("fleet_100k_sharded", |b| {
+        b.iter(|| {
+            sharded.reset(42);
+            sharded.run_until(horizon);
+            criterion::black_box(sharded.shifted_fraction(horizon))
+        })
+    });
+    let sharded_report = {
+        sharded.reset(42);
+        sharded.run_until(horizon);
+        sharded.report()
+    };
+    println!(
+        "fleet_100k_sharded: {} shards on {} threads",
+        sharded.shard_count(),
+        SHARDED_THREADS,
+    );
+    assert_eq!(
+        report, sharded_report,
+        "sharded stepping must be byte-identical to the sequential engine"
     );
 
     // The per-world reference: same logical scenario, one netsim world per

@@ -565,6 +565,15 @@ pub fn e14_config(
 /// (only the final generation round can be hit, leaving a benign
 /// majority), and the early poisoning against the §V-mitigated client —
 /// and emits the fraction-shifted series for each.
+///
+/// `threads` is a total CPU budget split across both parallelism levels:
+/// the four variants dispatch over the trial engine on
+/// `min(threads, variants)` workers, and each fleet steps its shards on
+/// the remaining `threads / outer` workers
+/// ([`fleet::FleetConfig::threads`]) — so a 4-core host runs the variants
+/// concurrently while a 16-core host also gets 4-way intra-fleet
+/// stepping, without oversubscribing either. Results are byte-identical
+/// for any value; the knob is pure wall-clock.
 pub fn run_e14(seed: u64, clients: usize, threads: usize) -> E14Result {
     use netsim::time::SimDuration as D;
     let shift = D::from_millis(500);
@@ -588,9 +597,17 @@ pub fn run_e14(seed: u64, clients: usize, threads: usize) -> E14Result {
         ),
         ("poison @400s vs §V mitigations", mitigated),
     ];
-    let configs: Vec<fleet::FleetConfig> = labelled.iter().map(|(_, c)| c.clone()).collect();
+    let outer = threads.max(1).min(labelled.len());
+    let inner = (threads.max(1) / outer).max(1);
+    let configs: Vec<fleet::FleetConfig> = labelled
+        .iter()
+        .map(|(_, c)| fleet::FleetConfig {
+            threads: inner,
+            ..c.clone()
+        })
+        .collect();
     let (mut reports, stats) =
-        montecarlo::run_fleets(&configs, threads, 1, |fleet, _, _| fleet.run());
+        montecarlo::run_fleets(&configs, outer, 1, |fleet, _, _| fleet.run());
     let rows: Vec<E14Row> = labelled
         .iter()
         .zip(reports.iter_mut())

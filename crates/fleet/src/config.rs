@@ -98,7 +98,26 @@ pub struct FleetConfig {
     pub record_trajectories: bool,
     /// Default run length for [`crate::engine::Fleet::run`].
     pub horizon: SimDuration,
+    /// Worker threads stepping shards inside one
+    /// [`crate::engine::Fleet::run_until`] call: `1` (the default) steps
+    /// shards sequentially on the calling thread, `0` uses every available
+    /// core. A pure wall-clock knob — results are byte-identical for every
+    /// value, which the determinism proptests pin.
+    pub threads: usize,
+    /// Clients per shard, the unit of intra-fleet parallelism. Per-client
+    /// outcomes and the counting aggregates (histogram bins, shifted
+    /// series, totals) are shard-layout-invariant; only the streaming P²
+    /// quantile *estimates* depend on the decomposition (each shard feeds
+    /// its own estimator and the report merges them in shard order), so
+    /// quantiles are comparable across runs at equal `shard_size` only.
+    pub shard_size: usize,
 }
+
+/// Default clients per shard: small enough that a 100k-client fleet yields
+/// ~25 stealable work units for a handful of cores, large enough that the
+/// fixed per-shard machinery (a timer wheel's slot arrays, scratch
+/// buffers) stays well under 1 % of the column footprint.
+pub const DEFAULT_SHARD_SIZE: usize = 4096;
 
 impl Default for FleetConfig {
     fn default() -> Self {
@@ -128,6 +147,8 @@ impl Default for FleetConfig {
             sample_every: SimDuration::from_secs(60),
             record_trajectories: false,
             horizon: SimDuration::from_secs(4_000),
+            threads: 1,
+            shard_size: DEFAULT_SHARD_SIZE,
         }
     }
 }
@@ -164,16 +185,29 @@ impl FleetConfig {
             !self.sample_every.is_zero(),
             "sample cadence must be positive"
         );
+        assert!(self.shard_size > 0, "shards need at least one client");
         self.chronos.validate();
     }
 
+    /// Resolved intra-fleet worker count: `threads`, with `0` mapped to
+    /// the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            netsim::par::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
     /// A seed-independent hash of the configuration *shape*: two configs
-    /// with equal fingerprints differ at most in `seed`, so their fleets
-    /// are interchangeable containers for pooling (same client count, same
-    /// columns — only the streams re-derive on reset).
+    /// with equal fingerprints differ at most in `seed` or `threads`, so
+    /// their fleets are interchangeable containers for pooling (same
+    /// client count, same columns — only the streams re-derive on reset,
+    /// and the thread count never changes results).
     pub fn structural_fingerprint(&self) -> u64 {
         let mut shape = self.clone();
         shape.seed = 0;
+        shape.threads = 0;
         netsim::pool::fingerprint_str(&format!("{shape:?}"))
     }
 }
@@ -190,18 +224,52 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_ignores_seed_only() {
+    fn fingerprint_ignores_seed_and_threads_only() {
         let a = FleetConfig::default();
         let b = FleetConfig {
             seed: 999,
+            threads: 8,
             ..FleetConfig::default()
         };
         let c = FleetConfig {
             clients: 11,
             ..FleetConfig::default()
         };
+        let d = FleetConfig {
+            shard_size: 128,
+            ..FleetConfig::default()
+        };
         assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
         assert_ne!(a.structural_fingerprint(), c.structural_fingerprint());
+        assert_ne!(
+            a.structural_fingerprint(),
+            d.structural_fingerprint(),
+            "shard size shapes the quantile stream, so it is structural"
+        );
+    }
+
+    #[test]
+    fn threads_resolve_and_shard_size_validates() {
+        let auto = FleetConfig {
+            threads: 0,
+            ..FleetConfig::default()
+        };
+        assert!(auto.effective_threads() >= 1);
+        let fixed = FleetConfig {
+            threads: 3,
+            ..FleetConfig::default()
+        };
+        assert_eq!(fixed.effective_threads(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_shard_size_rejected() {
+        FleetConfig {
+            shard_size: 0,
+            ..FleetConfig::default()
+        }
+        .validate();
     }
 
     #[test]

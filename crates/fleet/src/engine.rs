@@ -1,22 +1,42 @@
-//! The fleet engine: struct-of-arrays client state stepped through the
-//! timer wheel.
+//! The fleet engine: struct-of-arrays client state, sharded into
+//! independently-steppable slabs, scheduled by per-shard timer wheels.
 //!
 //! # Event model
 //!
 //! Every client owns exactly one pending deadline — its next pool-
-//! generation round or its next poll — filed in the [`TimerWheel`]. The
-//! wheel batches deadlines by tick, the engine re-orders each batch by
-//! exact `(nanosecond, client)` and steps clients one lane at a time, so a
-//! run's outcome is a pure function of the configuration: independent of
-//! wheel internals and (because a run is single-threaded while *trials*
-//! parallelize above it) thread count. Per-client state — trajectories,
-//! pools, clocks — and the counting aggregates (histogram, shifted
-//! series) are additionally independent of the tick size, which only
-//! batches; the one tick-shaped edge is that a same-instant follow-up
-//! appended mid-drain (a completed pool's first poll) runs at the end of
-//! its batch, so the *order* of the global observation stream feeding the
-//! order-sensitive P² quantile estimators is defined at the fixed 1 ms
-//! tick grain (`TICK_NS`).
+//! generation round or its next poll — filed in its shard's
+//! [`TimerWheel`]. The wheel batches deadlines by tick, the engine
+//! re-orders each batch by exact `(nanosecond, client)` and steps clients
+//! one lane at a time, so a run's outcome is a pure function of the
+//! configuration: independent of wheel internals and thread count.
+//! Per-client state — trajectories, pools, clocks — and the counting
+//! aggregates (histogram, shifted series) are additionally independent of
+//! the tick size, which only batches; the one tick-shaped edge is that a
+//! same-instant follow-up appended mid-drain (a completed pool's first
+//! poll) runs at the end of its batch, so the *order* of the observation
+//! stream feeding the order-sensitive P² quantile estimators is defined
+//! at the fixed 1 ms tick grain (`TICK_NS`).
+//!
+//! # Sharded parallel stepping
+//!
+//! A fleet's clients are partitioned into contiguous shards of
+//! [`FleetConfig::shard_size`] clients. Each shard owns its slice of
+//! every state column *plus* a private timer wheel, selection scratch and
+//! streaming aggregates, so stepping one shard touches no other shard's
+//! memory. The only cross-client coupling — the shared resolver cache —
+//! is resolved before stepping by a deterministic pre-pass
+//! ([`ResolverModel::timeline`]): pool-query times are static
+//! (`boot + k·interval`, independent of the answers), so the cache's full
+//! answer timeline is replayed once and then read immutably by every
+//! shard. After the pre-pass, shards are embarrassingly parallel:
+//! [`Fleet::run_until`] fans them over [`netsim::par::for_each_mut`] (the
+//! same lock-free claim-cursor dispatcher Monte-Carlo trials use) and the
+//! report merges shard aggregates **in shard order** — integer counters
+//! merge exactly, P² estimators merge deterministically — so a run is
+//! byte-identical for every [`FleetConfig::threads`] value, which the
+//! determinism proptests pin.
+//!
+//! # Batched request/response rounds
 //!
 //! A poll round is **batched request/response**: instead of exchanging
 //! packets, the engine draws the round's sample composition directly from
@@ -27,7 +47,7 @@
 //! runs. Corrections land on real [`ntplab::clock::LocalClock`]s.
 
 use crate::config::FleetConfig;
-use crate::resolver::{DnsAnswer, ResolverModel};
+use crate::resolver::{DnsAnswer, ResolverModel, ResolverTimeline};
 use crate::rng::{client_seed, FleetRng};
 use crate::stats::{OffsetHistogram, P2Quantile};
 use crate::wheel::TimerWheel;
@@ -37,17 +57,21 @@ use netsim::time::{SimDuration, SimTime};
 use ntplab::clock::LocalClock;
 use serde::{Deserialize, Serialize};
 
-/// Per-client pending event kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    /// The next pool-generation DNS round.
-    PoolRound,
-    /// The next sample (poll) round.
-    Poll,
-}
-
 /// Quantiles tracked by the streaming estimators.
 const TRACKED_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Histogram resolution (bins per decade of |offset|).
+const HISTOGRAM_BINS_PER_DECADE: usize = 8;
+
+/// Wheel tick: 1 ms. A batching grain, not a quantization: events are
+/// re-ordered and timestamped by exact nanosecond (see the module docs
+/// for the one place the grain shows — P² observation order).
+const TICK_NS: u64 = 1_000_000;
+
+/// Sentinel in the packed `last_update` column meaning "no accepted
+/// correction yet" (a real update at `u64::MAX` ns is unreachable — that
+/// is five centuries of simulated time).
+const NO_UPDATE: u64 = u64::MAX;
 
 /// Aggregate outcome of a fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,7 +92,7 @@ pub struct FleetReport {
     /// Element-wise sum of every client's [`ChronosStats`].
     pub totals: ChronosStats,
     /// Online `(p, |offset| ns)` quantile estimates over every concluded
-    /// round's clock error.
+    /// round's clock error (per-shard estimators merged in shard order).
     pub quantiles: Vec<(f64, f64)>,
     /// Fixed-bin histogram of the same stream.
     pub histogram: OffsetHistogram,
@@ -77,28 +101,81 @@ pub struct FleetReport {
     pub events: u64,
 }
 
-/// A population of lightweight Chronos clients in one shared world.
+/// Per-client activity counters at column width: a single client's per-run
+/// counts are bounded by the horizon (tens of thousands of rounds at the
+/// extreme), so 32 bits per counter suffice; the fleet-wide report widens
+/// into the shared 64-bit [`ChronosStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CompactStats {
+    pool_queries: u32,
+    pool_failures: u32,
+    polls: u32,
+    accepts: u32,
+    rejects: u32,
+    panics: u32,
+}
+
+impl CompactStats {
+    fn widen(self) -> ChronosStats {
+        ChronosStats {
+            pool_queries: u64::from(self.pool_queries),
+            pool_failures: u64::from(self.pool_failures),
+            polls: u64::from(self.polls),
+            accepts: u64::from(self.accepts),
+            rejects: u64::from(self.rejects),
+            panics: u64::from(self.panics),
+        }
+    }
+
+    fn narrow(stats: &ChronosStats) -> CompactStats {
+        let squeeze = |v: u64| u32::try_from(v).expect("per-client counter exceeds u32");
+        CompactStats {
+            pool_queries: squeeze(stats.pool_queries),
+            pool_failures: squeeze(stats.pool_failures),
+            polls: squeeze(stats.polls),
+            accepts: squeeze(stats.accepts),
+            rejects: squeeze(stats.rejects),
+            panics: squeeze(stats.panics),
+        }
+    }
+}
+
+/// The DNS model a shard consults during pool generation: the precomputed
+/// shared-cache timeline, or the read-only independent resolver.
+#[derive(Debug, Clone, Copy)]
+enum DnsView<'a> {
+    Shared(&'a ResolverTimeline),
+    Independent(&'a ResolverModel),
+}
+
+/// One contiguous slab of the fleet: a private copy of every per-client
+/// column plus its own timer wheel, scratch buffers and streaming
+/// aggregates. Shards never touch each other's state, so a fleet run can
+/// step them concurrently and merge the aggregates afterwards.
 #[derive(Debug)]
-pub struct Fleet {
-    config: FleetConfig,
-    // --- struct-of-arrays client state ---
+struct Shard {
+    /// Global id of this shard's first client.
+    first_global: u64,
+    // --- struct-of-arrays client state (one entry per local client) ---
     clocks: Vec<LocalClock>,
     phase: Vec<Phase>,
     retries: Vec<u32>,
-    last_update: Vec<Option<SimTime>>,
+    /// Envelope anchor, packed: ns of the last accepted correction, or
+    /// [`NO_UPDATE`]. (A packed u64 column instead of `Option<SimTime>`
+    /// halves this column's footprint.)
+    last_update_ns: Vec<u64>,
     rng: Vec<u64>,
-    stats: Vec<ChronosStats>,
+    stats: Vec<CompactStats>,
     pool_rounds: Vec<u16>,
     /// Bitmap of benign rotation batches gathered (dedup, ≤ 64 residues).
     benign_batches: Vec<u64>,
     /// Malicious servers admitted to the pool (post-mitigation).
     malicious: Vec<u32>,
-    kind: Vec<EventKind>,
     deadline_ns: Vec<u64>,
+    /// Lazily sized: empty unless trajectory capture is opted in.
     traces: Vec<Vec<(SimTime, i64)>>,
     // --- machinery ---
     wheel: TimerWheel,
-    resolver: ResolverModel,
     scratch: SelectScratch,
     offsets_buf: Vec<i64>,
     due: Vec<u32>,
@@ -108,166 +185,109 @@ pub struct Fleet {
     now_ns: u64,
     boundary_ns: u64,
     next_sample_ns: u64,
-    shifted_series: Vec<(f64, f64)>,
+    /// Clients beyond the safety bound at each emitted sample index (the
+    /// sample schedule is fleet-global, so index k is the sample at
+    /// `k · sample_every` for every shard).
+    shifted_counts: Vec<u64>,
     histogram: OffsetHistogram,
     quantiles: [P2Quantile; 3],
-    events_processed: u64,
+    events: u64,
 }
 
-/// Wheel tick: 1 ms. A batching grain, not a quantization: events are
-/// re-ordered and timestamped by exact nanosecond (see the module docs
-/// for the one place the grain shows — P² observation order).
-const TICK_NS: u64 = 1_000_000;
-
-impl Fleet {
-    /// Builds a fleet for `config` at time zero.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent
-    /// (see [`FleetConfig::validate`]).
-    pub fn new(config: FleetConfig) -> Fleet {
-        config.validate();
-        let n = config.clients;
-        let mut fleet = Fleet {
-            resolver: ResolverModel::new(&config),
-            clocks: vec![LocalClock::perfect(); n],
-            phase: vec![Phase::PoolGeneration; n],
-            retries: vec![0; n],
-            last_update: vec![None; n],
-            rng: vec![0; n],
-            stats: vec![ChronosStats::default(); n],
-            pool_rounds: vec![0; n],
-            benign_batches: vec![0; n],
-            malicious: vec![0; n],
-            kind: vec![EventKind::PoolRound; n],
-            deadline_ns: vec![0; n],
+impl Shard {
+    /// An empty shard awaiting [`Shard::rebuild`].
+    fn empty() -> Shard {
+        Shard {
+            first_global: 0,
+            clocks: Vec::new(),
+            phase: Vec::new(),
+            retries: Vec::new(),
+            last_update_ns: Vec::new(),
+            rng: Vec::new(),
+            stats: Vec::new(),
+            pool_rounds: Vec::new(),
+            benign_batches: Vec::new(),
+            malicious: Vec::new(),
+            deadline_ns: Vec::new(),
             traces: Vec::new(),
-            wheel: TimerWheel::new(n, TICK_NS),
-            scratch: SelectScratch::with_capacity(config.chronos.sample_size),
-            offsets_buf: Vec::with_capacity(config.chronos.sample_size),
+            wheel: TimerWheel::new(0, TICK_NS),
+            scratch: SelectScratch::new(),
+            offsets_buf: Vec::new(),
             due: Vec::new(),
             expired: Vec::new(),
             carry: Vec::new(),
             now_ns: 0,
             boundary_ns: 0,
             next_sample_ns: 0,
-            shifted_series: Vec::new(),
-            histogram: OffsetHistogram::log_scale(8),
+            shifted_counts: Vec::new(),
+            histogram: OffsetHistogram::log_scale(HISTOGRAM_BINS_PER_DECADE),
             quantiles: TRACKED_QUANTILES.map(P2Quantile::new),
-            events_processed: 0,
-            config,
-        };
-        fleet.init_clients();
-        fleet
+            events: 0,
+        }
     }
 
-    /// The configuration in force.
-    pub fn config(&self) -> &FleetConfig {
-        &self.config
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        SimTime::from_nanos(self.now_ns)
-    }
-
-    /// Client events stepped so far.
-    pub fn events(&self) -> u64 {
-        self.events_processed
-    }
-
-    /// Rewinds the fleet to time zero under a new seed, reusing every
-    /// allocation. After `reset`, running is byte-identical to a fresh
-    /// [`Fleet::new`] with the same config and seed.
-    pub fn reset(&mut self, seed: u64) {
-        self.config.seed = seed;
+    /// The single construction path: sizes every column for `len` clients
+    /// starting at global id `first_global` (reusing allocations when the
+    /// layout is unchanged) and reseeds each client at time zero. Used
+    /// identically by `Fleet::new`, `reset` and `reconfigure`, so shard
+    /// construction cannot drift between those paths.
+    fn rebuild(&mut self, config: &FleetConfig, first_global: u64, len: usize) {
+        self.first_global = first_global;
+        // -- resize --
+        self.clocks.resize(len, LocalClock::perfect());
+        self.phase.resize(len, Phase::PoolGeneration);
+        self.retries.resize(len, 0);
+        self.last_update_ns.resize(len, NO_UPDATE);
+        self.rng.resize(len, 0);
+        self.stats.resize(len, CompactStats::default());
+        self.pool_rounds.resize(len, 0);
+        self.benign_batches.resize(len, 0);
+        self.malicious.resize(len, 0);
+        self.deadline_ns.resize(len, 0);
+        if config.record_trajectories {
+            self.traces.resize(len, Vec::new());
+            for trace in &mut self.traces {
+                trace.clear();
+            }
+        } else {
+            self.traces = Vec::new();
+        }
+        if self.wheel.capacity() != len {
+            self.wheel.resize(len);
+        }
+        // -- rewind the machinery --
         self.wheel.reset();
-        self.resolver.reset();
         self.due.clear();
         self.expired.clear();
         self.carry.clear();
         self.now_ns = 0;
         self.boundary_ns = 0;
         self.next_sample_ns = 0;
-        self.shifted_series.clear();
+        self.shifted_counts.clear();
         self.histogram.reset();
         for q in &mut self.quantiles {
             q.reset();
         }
-        self.events_processed = 0;
-        self.init_clients();
-    }
-
-    /// Swaps in a different configuration, reusing allocations where the
-    /// client count matches (the pooling hook: same-shape configs differ
-    /// only in seed, so columns are always reusable there).
-    pub fn reconfigure(&mut self, config: FleetConfig) {
-        config.validate();
-        let n = config.clients;
-        if n != self.config.clients {
-            self.clocks.resize(n, LocalClock::perfect());
-            self.phase.resize(n, Phase::PoolGeneration);
-            self.retries.resize(n, 0);
-            self.last_update.resize(n, None);
-            self.rng.resize(n, 0);
-            self.stats.resize(n, ChronosStats::default());
-            self.pool_rounds.resize(n, 0);
-            self.benign_batches.resize(n, 0);
-            self.malicious.resize(n, 0);
-            self.kind.resize(n, EventKind::PoolRound);
-            self.deadline_ns.resize(n, 0);
-            self.wheel.resize(n);
-        }
-        let seed = config.seed;
-        self.resolver = ResolverModel::new(&config);
-        self.config = config;
-        self.reset(seed);
-    }
-
-    fn init_clients(&mut self) {
-        self.traces.clear();
-        if self.config.record_trajectories {
-            self.traces.resize(self.config.clients, Vec::new());
-        }
-        let stagger_ns = self.config.stagger.as_nanos();
-        let drift_bound = self.config.client_drift_ppm;
-        for i in 0..self.config.clients {
-            let g = self.config.first_client_id + i as u64;
-            let mut rng = FleetRng::from_seed(client_seed(self.config.seed, g));
-            // Fixed per-client draw order: (1) boot stagger, (2) drift.
-            let start_ns = if stagger_ns > 0 {
-                rng.range_u64(stagger_ns)
-            } else {
-                0
-            };
-            let drift = if drift_bound > 0.0 {
-                drift_bound * (2.0 * rng.next_f64() - 1.0)
-            } else {
-                0.0
-            };
+        self.events = 0;
+        // -- reseed every client --
+        for i in 0..len {
+            let (start_ns, drift, rng_state) = client_boot(config, self.first_global + i as u64);
             self.clocks[i] = LocalClock::new(0, drift);
             self.phase[i] = Phase::PoolGeneration;
             self.retries[i] = 0;
-            self.last_update[i] = None;
-            self.rng[i] = rng.state();
-            self.stats[i] = ChronosStats::default();
+            self.last_update_ns[i] = NO_UPDATE;
+            self.rng[i] = rng_state;
+            self.stats[i] = CompactStats::default();
             self.pool_rounds[i] = 0;
             self.benign_batches[i] = 0;
             self.malicious[i] = 0;
-            self.schedule(i, EventKind::PoolRound, start_ns);
+            self.schedule(i, start_ns);
         }
     }
 
-    /// Runs the fleet up to and including every event with a deadline at
-    /// or before `until`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `until` precedes the current time.
-    pub fn run_until(&mut self, until: SimTime) {
-        let target = until.as_nanos();
-        assert!(target >= self.now_ns, "cannot run backwards");
+    /// Runs the shard up to and including every event with a deadline at
+    /// or before `target` ns.
+    fn run_until(&mut self, target: u64, config: &FleetConfig, dns: DnsView<'_>) {
         self.boundary_ns = target;
         // Carried events (popped past an earlier boundary) may be due now.
         if !self.carry.is_empty() {
@@ -280,8 +300,13 @@ impl Fleet {
                 }
             }
         }
-        self.process_due();
+        self.process_due(config, dns);
+        let limit_tick = self.wheel.tick_of(target);
         while self.wheel.now_ns() < target && (self.wheel.armed() > 0 || !self.due.is_empty()) {
+            // Jump over the empty stretch to the next tick that can expire
+            // or cascade anything — per-shard wheels would otherwise walk
+            // the full horizon tick by tick, once per shard.
+            self.wheel.fast_forward(limit_tick);
             self.wheel.advance(&mut self.expired);
             while let Some(id) = self.expired.pop() {
                 if self.deadline_ns[id as usize] <= target {
@@ -290,24 +315,13 @@ impl Fleet {
                     self.carry.push(id);
                 }
             }
-            self.process_due();
+            self.process_due(config, dns);
         }
-        self.emit_samples_until(target);
+        self.emit_samples_until(target, config);
         self.now_ns = target;
     }
 
-    /// Convenience: runs for a duration.
-    pub fn run_for(&mut self, d: SimDuration) {
-        self.run_until(self.now() + d);
-    }
-
-    /// Runs the configured horizon and reports.
-    pub fn run(&mut self) -> FleetReport {
-        self.run_until(SimTime::ZERO + self.config.horizon);
-        self.report()
-    }
-
-    fn process_due(&mut self) {
+    fn process_due(&mut self, config: &FleetConfig, dns: DnsView<'_>) {
         if self.due.is_empty() {
             return;
         }
@@ -324,18 +338,20 @@ impl Fleet {
             let id = self.due[i] as usize;
             i += 1;
             let at_ns = self.deadline_ns[id];
-            self.emit_samples_until(at_ns);
-            self.events_processed += 1;
-            match self.kind[id] {
-                EventKind::PoolRound => self.pool_round(id, at_ns),
-                EventKind::Poll => self.poll_round(id, at_ns),
+            self.emit_samples_until(at_ns, config);
+            self.events += 1;
+            match self.phase[id] {
+                // A client's one pending event is a pool round exactly
+                // while it is generating its pool, a poll afterwards — the
+                // phase column *is* the event kind.
+                Phase::PoolGeneration => self.pool_round(id, at_ns, config, dns),
+                _ => self.poll_round(id, at_ns, config),
             }
         }
         self.due.clear();
     }
 
-    fn schedule(&mut self, i: usize, kind: EventKind, at_ns: u64) {
-        self.kind[i] = kind;
+    fn schedule(&mut self, i: usize, at_ns: u64) {
         self.deadline_ns[i] = at_ns;
         if !self.wheel.schedule(i as u32, at_ns) {
             // The wheel clock already passed this tick: run it within the
@@ -350,26 +366,21 @@ impl Fleet {
 
     // --- DNS pool generation ---
 
-    fn pool_round(&mut self, i: usize, at_ns: u64) {
+    fn pool_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig, dns: DnsView<'_>) {
         self.stats[i].pool_queries += 1;
         let round = u64::from(self.pool_rounds[i]);
-        let answer = if self.config.shared_cache {
-            self.resolver.query_shared(at_ns)
-        } else {
-            self.resolver.query_independent(at_ns, round)
+        let answer = match dns {
+            DnsView::Shared(timeline) => timeline.answer(at_ns),
+            DnsView::Independent(resolver) => resolver.query_independent(at_ns, round),
         };
-        self.absorb_response(i, answer);
+        self.absorb_response(i, answer, config);
         self.pool_rounds[i] += 1;
-        if usize::from(self.pool_rounds[i]) >= self.config.chronos.pool.queries {
+        if usize::from(self.pool_rounds[i]) >= config.chronos.pool.queries {
             self.phase[i] = Phase::Syncing;
             // Mirrors the packet client's zero-delay first poll.
-            self.schedule(i, EventKind::Poll, at_ns);
+            self.schedule(i, at_ns);
         } else {
-            self.schedule(
-                i,
-                EventKind::PoolRound,
-                at_ns + self.config.chronos.pool.query_interval.as_nanos(),
-            );
+            self.schedule(i, at_ns + config.chronos.pool.query_interval.as_nanos());
         }
     }
 
@@ -379,8 +390,8 @@ impl Fleet {
     /// and at most `max_records_per_response` addresses are taken (the
     /// same prefix every time, so a capped poisoned response never grows
     /// the pool past its first acceptance).
-    fn absorb_response(&mut self, i: usize, answer: DnsAnswer) {
-        let pool_cfg = &self.config.chronos.pool;
+    fn absorb_response(&mut self, i: usize, answer: DnsAnswer, config: &FleetConfig) {
+        let pool_cfg = &config.chronos.pool;
         let record_cap = pool_cfg.max_records_per_response.unwrap_or(usize::MAX);
         let ttl = match answer {
             DnsAnswer::Benign { ttl_secs, .. } | DnsAnswer::Poisoned { ttl_secs, .. } => ttl_secs,
@@ -390,7 +401,7 @@ impl Fleet {
         }
         match answer {
             DnsAnswer::Benign { batch, .. } => {
-                let residue = batch % self.config.rotation_batches() as u64;
+                let residue = batch % config.rotation_batches() as u64;
                 self.benign_batches[i] |= 1u64 << residue;
             }
             DnsAnswer::Poisoned { farm_size, .. } => {
@@ -401,14 +412,13 @@ impl Fleet {
     }
 
     /// Benign servers in client `i`'s pool (batches × admitted-per-batch).
-    fn benign_count(&self, i: usize) -> usize {
-        let per_batch = self
-            .config
+    fn benign_count(&self, i: usize, config: &FleetConfig) -> usize {
+        let per_batch = config
             .chronos
             .pool
             .max_records_per_response
             .unwrap_or(usize::MAX)
-            .min(self.config.per_response);
+            .min(config.per_response);
         self.benign_batches[i].count_ones() as usize * per_batch
     }
 
@@ -422,23 +432,23 @@ impl Fleet {
         }
     }
 
-    fn poll_round(&mut self, i: usize, at_ns: u64) {
-        let benign = self.benign_count(i);
+    fn poll_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig) {
+        let benign = self.benign_count(i, config);
         let malicious = self.malicious[i] as usize;
         let total = benign + malicious;
-        let poll_ns = self.config.chronos.poll_interval.as_nanos();
+        let poll_ns = config.chronos.poll_interval.as_nanos();
         if total == 0 {
             // Nothing to sample; try again next interval (as the packet
             // client does, without counting a poll).
-            self.schedule(i, EventKind::Poll, at_ns + poll_ns);
+            self.schedule(i, at_ns + poll_ns);
             return;
         }
         self.stats[i].polls += 1;
         let mut rng = FleetRng::from_seed(self.rng[i]);
-        let m = self.config.chronos.sample_size.min(total);
-        let shift_ns = self.config.attack.map_or(0, |a| a.shift_ns);
-        let benign_bound = self.config.benign_offset_ms as i64 * 1_000_000;
-        let jitter = self.config.jitter_std.as_nanos() as f64;
+        let m = config.chronos.sample_size.min(total);
+        let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
+        let benign_bound = config.benign_offset_ms as i64 * 1_000_000;
+        let jitter = config.jitter_std.as_nanos() as f64;
         let client_off = self.clocks[i].offset_from_true(SimTime::from_nanos(at_ns));
         // Sample m of the pool without replacement (malicious block first),
         // drawing each picked server's observed offset in pick order.
@@ -461,35 +471,39 @@ impl Fleet {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
-        let collect_ns = at_ns + self.config.chronos.response_window.as_nanos();
+        let collect_ns = at_ns + config.chronos.response_window.as_nanos();
         let collect = SimTime::from_nanos(collect_ns);
+        let mut stats = self.stats[i].widen();
+        let mut last_update = unpack_update(self.last_update_ns[i]);
         let outcome = core::conclude_sample_round(
-            &self.config.chronos,
+            &config.chronos,
             &mut CoreState {
                 phase: &mut self.phase[i],
                 retries: &mut self.retries[i],
-                last_update: &mut self.last_update[i],
-                stats: &mut self.stats[i],
+                last_update: &mut last_update,
+                stats: &mut stats,
             },
             &mut self.scratch,
             &self.offsets_buf,
             collect,
         );
+        self.stats[i] = CompactStats::narrow(&stats);
+        self.last_update_ns[i] = pack_update(last_update);
         match outcome {
             RoundOutcome::Accept { correction_ns, .. } => {
                 self.clocks[i].apply_correction(collect, correction_ns);
-                self.observe(i, collect);
+                self.observe(i, collect, config);
                 self.rng[i] = rng.state();
-                self.schedule(i, EventKind::Poll, collect_ns + poll_ns);
+                self.schedule(i, collect_ns + poll_ns);
             }
             RoundOutcome::Resample => {
-                self.observe(i, collect);
+                self.observe(i, collect, config);
                 self.rng[i] = rng.state();
-                self.schedule(i, EventKind::Poll, collect_ns);
+                self.schedule(i, collect_ns);
             }
             RoundOutcome::EnterPanic => {
-                self.observe(i, collect);
-                self.panic_round(i, collect_ns, &mut rng, benign, malicious);
+                self.observe(i, collect, config);
+                self.panic_round(i, collect_ns, &mut rng, benign, malicious, config);
                 self.rng[i] = rng.state();
             }
         }
@@ -504,10 +518,11 @@ impl Fleet {
         rng: &mut FleetRng,
         benign: usize,
         malicious: usize,
+        config: &FleetConfig,
     ) {
-        let shift_ns = self.config.attack.map_or(0, |a| a.shift_ns);
-        let benign_bound = self.config.benign_offset_ms as i64 * 1_000_000;
-        let jitter = self.config.jitter_std.as_nanos() as f64;
+        let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
+        let benign_bound = config.benign_offset_ms as i64 * 1_000_000;
+        let jitter = config.jitter_std.as_nanos() as f64;
         let client_off = self.clocks[i].offset_from_true(SimTime::from_nanos(collect_ns));
         self.offsets_buf.clear();
         for _ in 0..malicious {
@@ -527,35 +542,35 @@ impl Fleet {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
-        let panic_ns = collect_ns + self.config.chronos.response_window.as_nanos();
+        let panic_ns = collect_ns + config.chronos.response_window.as_nanos();
         let panic_at = SimTime::from_nanos(panic_ns);
+        let mut stats = self.stats[i].widen();
+        let mut last_update = unpack_update(self.last_update_ns[i]);
         let correction = core::conclude_panic_round(
             &mut CoreState {
                 phase: &mut self.phase[i],
                 retries: &mut self.retries[i],
-                last_update: &mut self.last_update[i],
-                stats: &mut self.stats[i],
+                last_update: &mut last_update,
+                stats: &mut stats,
             },
             &mut self.scratch,
             &self.offsets_buf,
             panic_at,
         );
+        self.stats[i] = CompactStats::narrow(&stats);
+        self.last_update_ns[i] = pack_update(last_update);
         if let Some(correction) = correction {
             self.clocks[i].apply_correction(panic_at, correction);
         }
-        self.observe(i, panic_at);
-        self.schedule(
-            i,
-            EventKind::Poll,
-            panic_ns + self.config.chronos.poll_interval.as_nanos(),
-        );
+        self.observe(i, panic_at, config);
+        self.schedule(i, panic_ns + config.chronos.poll_interval.as_nanos());
     }
 
     /// Streams one concluded round's clock error into the aggregates (and
     /// the client's trajectory when recording).
-    fn observe(&mut self, i: usize, now: SimTime) {
+    fn observe(&mut self, i: usize, now: SimTime, config: &FleetConfig) {
         let off = self.clocks[i].offset_from_true(now);
-        if self.config.record_trajectories {
+        if config.record_trajectories {
             self.traces[i].push((now, off));
         }
         let abs = off.unsigned_abs();
@@ -565,47 +580,278 @@ impl Fleet {
         }
     }
 
-    // --- sampling & reporting ---
+    // --- sampling ---
 
-    fn emit_samples_until(&mut self, up_to_ns: u64) {
+    fn emit_samples_until(&mut self, up_to_ns: u64, config: &FleetConfig) {
         while self.next_sample_ns <= up_to_ns && self.next_sample_ns <= self.boundary_ns {
             let at = SimTime::from_nanos(self.next_sample_ns);
-            let frac = self.shifted_fraction(at);
-            self.shifted_series.push((at.as_secs_f64(), frac));
-            self.next_sample_ns += self.config.sample_every.as_nanos();
+            let count = self.shifted_count(at, config);
+            self.shifted_counts.push(count);
+            self.next_sample_ns += config.sample_every.as_nanos();
         }
+    }
+
+    /// Clients of this shard whose |clock error| exceeds the safety bound
+    /// at `now`.
+    fn shifted_count(&self, now: SimTime, config: &FleetConfig) -> u64 {
+        let bound = config.safety_bound.as_nanos() as i64;
+        self.clocks
+            .iter()
+            .filter(|c| c.offset_from_true(now).abs() > bound)
+            .count() as u64
+    }
+}
+
+fn pack_update(last_update: Option<SimTime>) -> u64 {
+    last_update.map_or(NO_UPDATE, |t| t.as_nanos())
+}
+
+fn unpack_update(packed: u64) -> Option<SimTime> {
+    (packed != NO_UPDATE).then(|| SimTime::from_nanos(packed))
+}
+
+/// Derives one client's boot state from the fleet seed and its global id:
+/// `(boot stagger ns, clock drift ppm, post-boot RNG state)`. The single
+/// source of truth for the per-client draw order — shard reseeding *and*
+/// the resolver pre-pass (which needs every boot time up front) both call
+/// it, so the two can never disagree about when a client first queries.
+fn client_boot(config: &FleetConfig, global_id: u64) -> (u64, f64, u64) {
+    let mut rng = FleetRng::from_seed(client_seed(config.seed, global_id));
+    // Fixed per-client draw order: (1) boot stagger, (2) drift.
+    let stagger_ns = config.stagger.as_nanos();
+    let start_ns = if stagger_ns > 0 {
+        rng.range_u64(stagger_ns)
+    } else {
+        0
+    };
+    let drift_bound = config.client_drift_ppm;
+    let drift = if drift_bound > 0.0 {
+        drift_bound * (2.0 * rng.next_f64() - 1.0)
+    } else {
+        0.0
+    };
+    (start_ns, drift, rng.state())
+}
+
+/// A population of lightweight Chronos clients in one shared world,
+/// sharded for parallel stepping (see the module docs).
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    resolver: ResolverModel,
+    /// Precomputed shared-cache answers (empty in independent mode).
+    timeline: ResolverTimeline,
+    shards: Vec<Shard>,
+    now_ns: u64,
+}
+
+impl Fleet {
+    /// Builds a fleet for `config` at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`FleetConfig::validate`]).
+    pub fn new(config: FleetConfig) -> Fleet {
+        config.validate();
+        let mut fleet = Fleet {
+            resolver: ResolverModel::new(&config),
+            timeline: ResolverTimeline::empty(),
+            shards: Vec::new(),
+            now_ns: 0,
+            config,
+        };
+        fleet.rebuild();
+        fleet
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns)
+    }
+
+    /// Client events stepped so far.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Shards the fleet is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Changes the intra-fleet worker count without touching simulation
+    /// state — `threads` is a pure wall-clock knob (results are
+    /// byte-identical for every value), so it may change at any time,
+    /// even mid-run. This is the hook pooled reuse needs:
+    /// [`FleetConfig::structural_fingerprint`] deliberately ignores
+    /// `threads`, so a reused fleet may be serving a config whose worker
+    /// count differs from the one it was built with.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
+    /// Rewinds the fleet to time zero under a new seed, reusing every
+    /// allocation. After `reset`, running is byte-identical to a fresh
+    /// [`Fleet::new`] with the same config and seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.rebuild();
+    }
+
+    /// Swaps in a different configuration, reusing allocations where the
+    /// shard layout matches (the pooling hook: same-shape configs differ
+    /// only in seed, so columns are always reusable there).
+    pub fn reconfigure(&mut self, config: FleetConfig) {
+        config.validate();
+        self.resolver = ResolverModel::new(&config);
+        self.config = config;
+        self.rebuild();
+    }
+
+    /// The single sizing-and-reseeding path underneath `new`, `reset` and
+    /// `reconfigure`: lays the clients out into shards, rebuilds each (one
+    /// shared code path, so shard-local construction cannot drift from any
+    /// caller), and precomputes the resolver timeline for shared-cache
+    /// mode.
+    fn rebuild(&mut self) {
+        let n = self.config.clients;
+        let size = self.config.shard_size;
+        let shard_count = n.div_ceil(size);
+        self.shards.truncate(shard_count);
+        while self.shards.len() < shard_count {
+            self.shards.push(Shard::empty());
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let base = s * size;
+            let len = size.min(n - base);
+            shard.rebuild(&self.config, self.config.first_client_id + base as u64, len);
+        }
+        self.now_ns = 0;
+        self.timeline = if self.config.shared_cache {
+            // The deterministic cache pre-pass: every pool-query time is
+            // static, so the shared cache's whole answer timeline resolves
+            // before any client steps.
+            let starts: Vec<u64> = (0..n as u64)
+                .map(|g| client_boot(&self.config, self.config.first_client_id + g).0)
+                .collect();
+            self.resolver.timeline(
+                &starts,
+                self.config.chronos.pool.query_interval.as_nanos(),
+                self.config.chronos.pool.queries as u64,
+            )
+        } else {
+            ResolverTimeline::empty()
+        };
+    }
+
+    /// Runs the fleet up to and including every event with a deadline at
+    /// or before `until`, stepping shards on
+    /// [`FleetConfig::effective_threads`] workers. Byte-identical for
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes the current time.
+    pub fn run_until(&mut self, until: SimTime) {
+        let target = until.as_nanos();
+        assert!(target >= self.now_ns, "cannot run backwards");
+        let config = &self.config;
+        let dns = if config.shared_cache {
+            DnsView::Shared(&self.timeline)
+        } else {
+            DnsView::Independent(&self.resolver)
+        };
+        let threads = config.effective_threads().min(self.shards.len()).max(1);
+        if threads == 1 {
+            for shard in &mut self.shards {
+                shard.run_until(target, config, dns);
+            }
+        } else {
+            netsim::par::for_each_mut(&mut self.shards, threads, |shard, _| {
+                shard.run_until(target, config, dns)
+            });
+        }
+        self.now_ns = target;
+    }
+
+    /// Convenience: runs for a duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run_until(self.now() + d);
+    }
+
+    /// Runs the configured horizon and reports.
+    pub fn run(&mut self) -> FleetReport {
+        self.run_until(SimTime::ZERO + self.config.horizon);
+        self.report()
     }
 
     /// Fraction of the fleet whose |clock error| exceeds the safety bound
     /// at `now`.
     pub fn shifted_fraction(&self, now: SimTime) -> f64 {
-        let bound = self.config.safety_bound.as_nanos() as i64;
-        let shifted = self
-            .clocks
+        let shifted: u64 = self
+            .shards
             .iter()
-            .filter(|c| c.offset_from_true(now).abs() > bound)
-            .count();
+            .map(|s| s.shifted_count(now, &self.config))
+            .sum();
         shifted as f64 / self.config.clients as f64
+    }
+
+    /// Bytes of per-client column state — the struct-of-arrays entries
+    /// across the shard slabs plus the timer wheel's intrusive per-timer
+    /// columns. Excludes opt-in trajectory capture and the fixed per-shard
+    /// machinery (wheel slot arrays, scratch buffers), which amortize to
+    /// under 2 bytes/client at the default shard size.
+    pub const fn per_client_footprint_bytes() -> usize {
+        std::mem::size_of::<LocalClock>()               // clocks
+            + std::mem::size_of::<Phase>()              // phase (also the event kind)
+            + std::mem::size_of::<u32>()                // retries
+            + std::mem::size_of::<u64>()                // last_update_ns (packed)
+            + std::mem::size_of::<u64>()                // rng
+            + std::mem::size_of::<CompactStats>()       // stats
+            + std::mem::size_of::<u16>()                // pool_rounds
+            + std::mem::size_of::<u64>()                // benign_batches
+            + std::mem::size_of::<u32>()                // malicious
+            + std::mem::size_of::<u64>()                // deadline_ns
+            + TimerWheel::PER_TIMER_BYTES // wheel next + deadline_tick
+    }
+
+    fn locate(&self, i: usize) -> (&Shard, usize) {
+        assert!(i < self.config.clients, "client {i} out of range");
+        let s = i / self.config.shard_size;
+        (&self.shards[s], i - s * self.config.shard_size)
     }
 
     /// One client's clock error at `now`, ns.
     pub fn client_offset_ns(&self, i: usize, now: SimTime) -> i64 {
-        self.clocks[i].offset_from_true(now)
+        let (shard, local) = self.locate(i);
+        shard.clocks[local].offset_from_true(now)
     }
 
     /// One client's activity counters.
     pub fn client_stats(&self, i: usize) -> ChronosStats {
-        self.stats[i]
+        let (shard, local) = self.locate(i);
+        shard.stats[local].widen()
     }
 
     /// One client's pool composition as `(benign, malicious)`.
     pub fn client_pool(&self, i: usize) -> (usize, usize) {
-        (self.benign_count(i), self.malicious[i] as usize)
+        let (shard, local) = self.locate(i);
+        (
+            shard.benign_count(local, &self.config),
+            shard.malicious[local] as usize,
+        )
     }
 
     /// One client's lifecycle phase.
     pub fn client_phase(&self, i: usize) -> Phase {
-        self.phase[i]
+        let (shard, local) = self.locate(i);
+        shard.phase[local]
     }
 
     /// One client's recorded offset trajectory.
@@ -618,35 +864,68 @@ impl Fleet {
             self.config.record_trajectories,
             "fleet was not recording trajectories"
         );
-        &self.traces[i]
+        let (shard, local) = self.locate(i);
+        &shard.traces[local]
     }
 
-    /// Builds the aggregate report at the current time.
+    /// Builds the aggregate report at the current time by merging shard
+    /// aggregates in shard order (fixed order keeps the P² merge — the
+    /// one float-sensitive combine — bit-reproducible; everything else is
+    /// integer arithmetic and merge-order-free).
     pub fn report(&self) -> FleetReport {
         let now = self.now();
         let mut totals = ChronosStats::default();
-        for s in &self.stats {
-            totals.accumulate(s);
-        }
-        FleetReport {
-            clients: self.config.clients,
-            end: now,
-            shifted: self.shifted_series.clone(),
-            final_shifted_fraction: self.shifted_fraction(now),
-            poisoned_clients: self.malicious.iter().filter(|&&m| m > 0).count() as u64,
-            synced_clients: self
+        let mut poisoned = 0u64;
+        let mut synced = 0u64;
+        let mut histogram = OffsetHistogram::log_scale(HISTOGRAM_BINS_PER_DECADE);
+        let mut quantiles = TRACKED_QUANTILES.map(P2Quantile::new);
+        let mut shifted_counts: Vec<u64> = Vec::new();
+        for shard in &self.shards {
+            for s in &shard.stats {
+                totals.accumulate(&s.widen());
+            }
+            poisoned += shard.malicious.iter().filter(|&&m| m > 0).count() as u64;
+            synced += shard
                 .phase
                 .iter()
                 .filter(|&&p| p != Phase::PoolGeneration)
-                .count() as u64,
+                .count() as u64;
+            histogram.merge_from(&shard.histogram);
+            for (q, sq) in quantiles.iter_mut().zip(&shard.quantiles) {
+                q.merge_from(sq);
+            }
+            debug_assert!(
+                shifted_counts.is_empty() || shifted_counts.len() == shard.shifted_counts.len(),
+                "shards share one sample schedule"
+            );
+            if shifted_counts.len() < shard.shifted_counts.len() {
+                shifted_counts.resize(shard.shifted_counts.len(), 0);
+            }
+            for (sum, c) in shifted_counts.iter_mut().zip(&shard.shifted_counts) {
+                *sum += c;
+            }
+        }
+        let sample_ns = self.config.sample_every.as_nanos();
+        let clients = self.config.clients as f64;
+        let shifted: Vec<(f64, f64)> = shifted_counts
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let at = SimTime::from_nanos(k as u64 * sample_ns);
+                (at.as_secs_f64(), count as f64 / clients)
+            })
+            .collect();
+        FleetReport {
+            clients: self.config.clients,
+            end: now,
+            shifted,
+            final_shifted_fraction: self.shifted_fraction(now),
+            poisoned_clients: poisoned,
+            synced_clients: synced,
             totals,
-            quantiles: self
-                .quantiles
-                .iter()
-                .map(|q| (q.p(), q.estimate()))
-                .collect(),
-            histogram: self.histogram.clone(),
-            events: self.events_processed,
+            quantiles: quantiles.iter().map(|q| (q.p(), q.estimate())).collect(),
+            histogram,
+            events: self.events(),
         }
     }
 }
@@ -839,6 +1118,15 @@ mod tests {
         let a = fleet.run();
         let b = Fleet::new(bigger).run();
         assert_eq!(a, b, "reconfigured fleet equals a fresh one");
+        // Reconfiguring across shard layouts rebuilds the partition too.
+        let mut sharded = small_config();
+        sharded.clients = 40;
+        sharded.shard_size = 16;
+        fleet.reconfigure(sharded.clone());
+        assert_eq!(fleet.shard_count(), 3, "40 clients / 16 per shard");
+        let c = fleet.run();
+        let d = Fleet::new(sharded).run();
+        assert_eq!(c, d);
     }
 
     #[test]
@@ -854,5 +1142,64 @@ mod tests {
         assert_eq!(fleet.client_offset_ns(0, SimTime::ZERO), 0);
         assert_eq!(fleet.client_phase(0), Phase::PoolGeneration);
         assert_eq!(fleet.client_stats(0), ChronosStats::default());
+    }
+
+    /// The satellite footprint budget: per-client column state must sit
+    /// comfortably below the ~150 B the PR 3 engine spent, so a 10⁶-client
+    /// fleet's columns fit in ~120 MB.
+    #[test]
+    fn per_client_footprint_is_under_budget() {
+        let footprint = Fleet::per_client_footprint_bytes();
+        assert!(
+            footprint < 150,
+            "per-client footprint grew to {footprint} B (budget: < 150 B)"
+        );
+        // Document the breakdown this asserts over: 40 B clock, 24 B
+        // compact stats, 8 B each for last_update/rng/benign-bitmap/
+        // deadline, 12 B wheel columns, and small counters.
+        assert_eq!(footprint, 119, "update the breakdown when columns change");
+        // Trajectory capture is lazy: no per-client Vec headers unless
+        // opted in.
+        let fleet = Fleet::new(small_config());
+        assert!(
+            fleet.shards.iter().all(|s| s.traces.is_empty()),
+            "traces must not be allocated when capture is off"
+        );
+        let mut recording = small_config();
+        recording.record_trajectories = true;
+        let fleet = Fleet::new(recording);
+        assert!(fleet
+            .shards
+            .iter()
+            .all(|s| s.traces.len() == s.clocks.len()));
+    }
+
+    /// Sharding is an internal decomposition: per-client outcomes and the
+    /// counting aggregates must not depend on it (only the P² quantile
+    /// *estimates* may differ across layouts, by construction).
+    #[test]
+    fn shard_layout_does_not_change_outcomes() {
+        let mut config = small_config();
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(300),
+            SimDuration::from_millis(500),
+        ));
+        config.record_trajectories = true;
+        let one_shard = Fleet::new(config.clone());
+        let mut one_shard = one_shard;
+        let coarse = one_shard.run();
+        assert_eq!(one_shard.shard_count(), 1);
+        config.shard_size = 10; // 64 clients -> 7 ragged shards
+        let mut sharded = Fleet::new(config);
+        let fine = sharded.run();
+        assert_eq!(sharded.shard_count(), 7);
+        assert_eq!(coarse.shifted, fine.shifted, "series is layout-free");
+        assert_eq!(coarse.histogram, fine.histogram);
+        assert_eq!(coarse.totals, fine.totals);
+        assert_eq!(coarse.events, fine.events);
+        for i in 0..64 {
+            assert_eq!(one_shard.trace(i), sharded.trace(i), "client {i}");
+            assert_eq!(one_shard.client_pool(i), sharded.client_pool(i));
+        }
     }
 }

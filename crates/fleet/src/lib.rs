@@ -14,7 +14,18 @@
 //! * **Struct-of-arrays state** ([`Fleet`]): clocks (real
 //!   [`ntplab::clock::LocalClock`]s), phases, retry counters, poll
 //!   deadlines and per-client RNG streams live in parallel columns; one
-//!   client costs ~150 bytes and no allocations after construction.
+//!   client costs under 120 bytes
+//!   ([`Fleet::per_client_footprint_bytes`]) and no allocations after
+//!   construction.
+//! * **Sharded parallel stepping**: the columns are partitioned into
+//!   contiguous shards ([`FleetConfig::shard_size`] clients each), every
+//!   shard owning a private timer wheel, scratch buffers and streaming
+//!   aggregates. The only cross-client coupling — the shared resolver
+//!   cache — is resolved by a deterministic pre-pass
+//!   ([`resolver::ResolverTimeline`]; pool-query times are static), after
+//!   which shards step embarrassingly parallel on
+//!   [`FleetConfig::threads`] workers and merge in fixed shard order:
+//!   runs are **byte-identical for every thread count**.
 //! * **The decision logic is the real one**: every round concludes through
 //!   [`chronos::core`] — the same borrowed-state stepping API the
 //!   packet-level [`chronos::client::ChronosClient`] delegates to — so the

@@ -121,6 +121,116 @@ impl ResolverModel {
             ttl_secs: self.benign_ttl_secs,
         }
     }
+
+    /// Precomputes the shared cache's full answer timeline for a fleet
+    /// whose clients boot at `starts` (ns) and each send `rounds` pool
+    /// queries spaced `interval_ns` apart.
+    ///
+    /// This is the deterministic pre-pass that makes intra-fleet
+    /// parallelism possible: the cache is the only cross-client coupling,
+    /// and its state advances *only* at query times — which are static
+    /// (`boot + k·interval`, independent of what the answers contain). The
+    /// replay runs [`ResolverModel::query_shared`] itself on a scratch
+    /// copy, visiting one query per answer-change boundary (a cache expiry
+    /// or a poison-window edge) and skipping the runs of queries in
+    /// between, which provably return the boundary query's answer without
+    /// touching cache state. The result answers any actual query time
+    /// read-only — and therefore concurrently from every shard.
+    pub fn timeline(&self, starts: &[u64], interval_ns: u64, rounds: u64) -> ResolverTimeline {
+        let mut sim = self.clone();
+        sim.reset();
+        let mut segments: Vec<(u64, DnsAnswer)> = Vec::new();
+        let mut t = next_query_at_or_after(starts, interval_ns, rounds, 0);
+        while let Some(tq) = t {
+            let answer = sim.query_shared(tq);
+            if segments.last().map(|&(_, a)| a) != Some(answer) {
+                segments.push((tq, answer));
+            }
+            // The answer — and the cache state — cannot change before the
+            // next boundary: a poisoned window runs to its end; a benign
+            // answer holds until the cached batch expires or the poison
+            // window opens.
+            let boundary = match answer {
+                DnsAnswer::Poisoned { .. } => {
+                    let (_, until, _, _) = sim.poison.expect("poisoned answer implies a window");
+                    until
+                }
+                DnsAnswer::Benign { .. } => {
+                    let mut b = sim.cached_until;
+                    if let Some((from, _, _, _)) = sim.poison {
+                        if from > tq {
+                            b = b.min(from);
+                        }
+                    }
+                    b
+                }
+            };
+            t = next_query_at_or_after(starts, interval_ns, rounds, boundary.max(tq + 1));
+        }
+        ResolverTimeline {
+            segments,
+            fetches: sim.cursor,
+        }
+    }
+}
+
+/// The first pool-query time at or after `from` across a fleet whose
+/// clients boot at `starts` and query `rounds` times, `interval_ns` apart.
+fn next_query_at_or_after(starts: &[u64], interval_ns: u64, rounds: u64, from: u64) -> Option<u64> {
+    starts
+        .iter()
+        .filter_map(|&s| {
+            if from <= s {
+                return Some(s);
+            }
+            if interval_ns == 0 {
+                return None; // all of this client's queries were at `s`
+            }
+            let k = (from - s).div_ceil(interval_ns);
+            (k < rounds).then(|| s + k * interval_ns)
+        })
+        .min()
+}
+
+/// The precomputed answer function of the shared resolver cache over one
+/// run: `(start_ns, answer)` segments, piecewise-constant between actual
+/// query times (see [`ResolverModel::timeline`]). Immutable after
+/// construction, so shards stepping in parallel read it without
+/// synchronization.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResolverTimeline {
+    segments: Vec<(u64, DnsAnswer)>,
+    fetches: u64,
+}
+
+impl ResolverTimeline {
+    /// A timeline with no queries (independent-cache fleets).
+    pub fn empty() -> Self {
+        ResolverTimeline::default()
+    }
+
+    /// The answer every query at `now_ns` receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `now_ns` precedes the first recorded query — a query
+    /// time the pre-pass did not know about, which would mean the static
+    /// query schedule and the engine disagree.
+    pub fn answer(&self, now_ns: u64) -> DnsAnswer {
+        let i = self.segments.partition_point(|&(start, _)| start <= now_ns);
+        assert!(i > 0, "query at {now_ns} ns precedes the resolver timeline");
+        self.segments[i - 1].1
+    }
+
+    /// Upstream fetches the replay performed (== benign batches served).
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Number of answer-change segments recorded.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +292,80 @@ mod tests {
             r.query_independent(0, 7),
             DnsAnswer::Benign { batch: 7, .. }
         ));
+    }
+
+    /// The pre-pass contract: for every actual query time, the timeline
+    /// answers exactly what the incremental shared cache would have.
+    fn assert_timeline_matches_incremental(
+        attack: Option<FleetAttack>,
+        starts: &[u64],
+        interval_ns: u64,
+        rounds: u64,
+    ) {
+        let model = ResolverModel::new(&config(attack));
+        let timeline = model.timeline(starts, interval_ns, rounds);
+        // Replay the exact query multiset in time order, incrementally.
+        let mut times: Vec<u64> = starts
+            .iter()
+            .flat_map(|&s| (0..rounds).map(move |k| s + k * interval_ns))
+            .collect();
+        times.sort_unstable();
+        let mut incremental = model.clone();
+        incremental.reset();
+        for &t in &times {
+            assert_eq!(
+                timeline.answer(t),
+                incremental.query_shared(t),
+                "answer diverged at t={t} ns"
+            );
+        }
+        assert_eq!(timeline.fetches(), incremental.fetches());
+    }
+
+    #[test]
+    fn timeline_matches_incremental_cache_benign() {
+        // Staggered boots, queries denser and sparser than the 150 s TTL.
+        let starts: Vec<u64> = (0..7).map(|i| i * 37 * SEC).collect();
+        assert_timeline_matches_incremental(None, &starts, 200 * SEC, 6);
+        assert_timeline_matches_incremental(None, &starts, 40 * SEC, 9);
+        // A lone sparse client: every query refetches.
+        assert_timeline_matches_incremental(None, &[5 * SEC], 400 * SEC, 8);
+    }
+
+    #[test]
+    fn timeline_matches_incremental_cache_poisoned() {
+        let early =
+            FleetAttack::paper_default(SimTime::from_secs(300), SimDuration::from_millis(500));
+        let starts: Vec<u64> = (0..9).map(|i| i * 53 * SEC).collect();
+        assert_timeline_matches_incremental(Some(early), &starts, 200 * SEC, 24);
+        // Poison opening mid-TTL-window and a short-TTL poison that ends
+        // while the pre-poison benign batch is still fresh.
+        let mid_window = FleetAttack {
+            at: SimTime::from_secs(70),
+            ttl_secs: 60,
+            farm_size: 89,
+            shift_ns: 500_000_000,
+        };
+        assert_timeline_matches_incremental(Some(mid_window), &starts, 25 * SEC, 30);
+    }
+
+    #[test]
+    fn timeline_lookup_shape() {
+        let model = ResolverModel::new(&config(None));
+        let tl = model.timeline(&[0, 10 * SEC], 200 * SEC, 3);
+        // One batch per 150 s window over the span: answers inside a
+        // window are constant.
+        assert_eq!(tl.answer(0), tl.answer(10 * SEC));
+        assert!(tl.segments() >= 2, "rotation advanced across windows");
+        assert_eq!(ResolverTimeline::empty().segments(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the resolver timeline")]
+    fn timeline_rejects_queries_before_the_first() {
+        let model = ResolverModel::new(&config(None));
+        let tl = model.timeline(&[10 * SEC], 200 * SEC, 2);
+        tl.answer(SEC);
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! or O(markers) memory regardless of how many observations stream
 //! through, which keeps a fleet run's peak RSS bounded by the state
 //! columns alone.
+//!
+//! Both aggregates are **mergeable** (`merge_from`), which is what lets
+//! the sharded fleet engine keep one private instance per shard and
+//! combine them after parallel stepping: histograms merge exactly
+//! (integer bin adds, any order), P² estimators merge deterministically
+//! (count-weighted markers) and are folded in fixed shard order so the
+//! merged estimate reproduces bit for bit across thread counts.
 
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +67,25 @@ impl OffsetHistogram {
         let bin = self.edges_ns.partition_point(|&e| e <= abs_offset_ns);
         self.counts[bin] += 1;
         self.total += 1;
+    }
+
+    /// Folds another histogram into this one by bin-wise addition. Counts
+    /// are integers, so merging is exact, commutative and associative —
+    /// sharded fleet runs produce byte-identical histograms in any merge
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms have different bin edges.
+    pub fn merge_from(&mut self, other: &OffsetHistogram) {
+        assert_eq!(
+            self.edges_ns, other.edges_ns,
+            "cannot merge histograms with different bin layouts"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
     }
 
     /// Total observations recorded.
@@ -190,6 +216,81 @@ impl P2Quantile {
         }
     }
 
+    /// Folds another estimator of the same quantile into this one.
+    ///
+    /// When either side is still in its exact small-sample phase (fewer
+    /// than 5 observations) the raw samples are simply replayed, so the
+    /// merge is lossless. Once both sides carry ≥ 5 observations the
+    /// extreme markers take the true min/max (lossless) while the three
+    /// interior marker heights are combined by observation-count-weighted
+    /// average, and the marker positions are re-anchored at their
+    /// canonical desired ranks for the merged count.
+    ///
+    /// The result is a deterministic pure function of `(self, other)`;
+    /// it is associative up to floating-point rounding (the weighted means
+    /// are exact-arithmetic associative), which is why the fleet engine
+    /// always folds shard estimators in ascending shard order — merged
+    /// quantiles then reproduce bit for bit across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two estimators track different quantiles.
+    pub fn merge_from(&mut self, other: &P2Quantile) {
+        assert!(
+            self.p == other.p,
+            "cannot merge estimators of different quantiles: {} vs {}",
+            self.p,
+            other.p
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if other.count < 5 {
+            // The other side still holds raw samples: replay them.
+            for &x in &other.q[..other.count as usize] {
+                self.observe(x);
+            }
+            return;
+        }
+        if self.count < 5 {
+            // Symmetric case: replay our raw samples into the other side.
+            let samples = self.count as usize;
+            let mine = self.q;
+            *self = other.clone();
+            for &x in &mine[..samples] {
+                self.observe(x);
+            }
+            return;
+        }
+        let (a, b) = (self.count as f64, other.count as f64);
+        // The extreme markers track the stream's actual min/max, which
+        // merge losslessly (and exactly associatively); only the three
+        // interior markers need the count-weighted average.
+        self.q[0] = self.q[0].min(other.q[0]);
+        self.q[4] = self.q[4].max(other.q[4]);
+        for j in 1..4 {
+            self.q[j] = (self.q[j] * a + other.q[j] * b) / (a + b);
+        }
+        self.count += other.count;
+        // Re-anchor marker positions at the canonical desired ranks for
+        // the merged count so further observations stay well-formed (the
+        // P² update needs n strictly increasing with n[0] = 1 and
+        // n[4] = count).
+        let n = self.count as f64;
+        for j in 0..5 {
+            self.np[j] = 1.0 + self.dn[j] * (n - 1.0);
+        }
+        self.n[0] = 1.0;
+        self.n[4] = n;
+        self.n[1] = self.np[1].round().clamp(2.0, n - 3.0);
+        self.n[2] = self.np[2].round().clamp(self.n[1] + 1.0, n - 2.0);
+        self.n[3] = self.np[3].round().clamp(self.n[2] + 1.0, n - 1.0);
+    }
+
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (qm, q, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
         let (nm, n, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
@@ -294,5 +395,145 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn p2_rejects_degenerate_p() {
         P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_associative() {
+        let feed = |values: &[u64]| {
+            let mut h = OffsetHistogram::log_scale(4);
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let a = feed(&[5_000, 10_000, 800_000_000]);
+        let b = feed(&[20_000, 500_000_000]);
+        let c = feed(&[1_000, 1_000, 2_000_000]);
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        assert_eq!(left, right, "integer bin adds are associative");
+        // ...and equal to recording the union stream directly.
+        let union = feed(&[
+            5_000,
+            10_000,
+            800_000_000,
+            20_000,
+            500_000_000,
+            1_000,
+            1_000,
+            2_000_000,
+        ]);
+        assert_eq!(left, union, "merge equals the union stream");
+        assert_eq!(left.total(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin layouts")]
+    fn histogram_merge_rejects_mismatched_layouts() {
+        let mut a = OffsetHistogram::log_scale(4);
+        a.merge_from(&OffsetHistogram::log_scale(8));
+    }
+
+    #[test]
+    fn p2_merge_replays_small_sides_exactly() {
+        // Merging a small-sample estimator is lossless: identical to
+        // observing the union stream in (self, then other) order.
+        let mut big = P2Quantile::new(0.5);
+        for i in 0..100 {
+            big.observe(f64::from(i));
+        }
+        let mut small = P2Quantile::new(0.5);
+        small.observe(3.0);
+        small.observe(97.0);
+        let mut merged = big.clone();
+        merged.merge_from(&small);
+        let mut replayed = big.clone();
+        replayed.observe(3.0);
+        replayed.observe(97.0);
+        assert_eq!(merged, replayed, "small side replays bit-for-bit");
+        // Symmetric: small ⊕ big replays small's raw samples into big.
+        let mut other_way = small.clone();
+        other_way.merge_from(&big);
+        assert_eq!(other_way.count(), 102);
+        // Identity cases.
+        let mut empty = P2Quantile::new(0.5);
+        empty.merge_from(&big);
+        assert_eq!(empty, big, "empty ⊕ x = x");
+        let mut unchanged = big.clone();
+        unchanged.merge_from(&P2Quantile::new(0.5));
+        assert_eq!(unchanged, big, "x ⊕ empty = x");
+    }
+
+    #[test]
+    fn p2_merge_is_deterministic_and_associative_up_to_rounding() {
+        // Three shard-sized estimators over disjoint slices of one stream.
+        let shard = |lo: u64, n: u64| {
+            let mut q = P2Quantile::new(0.9);
+            let mut state = lo.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            for _ in 0..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                q.observe((state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0);
+            }
+            q
+        };
+        let (a, b, c) = (shard(1, 4_000), shard(2, 6_000), shard(3, 2_000));
+        // Fixed-order folds are bit-reproducible.
+        let fold = |xs: &[&P2Quantile]| {
+            let mut acc = P2Quantile::new(0.9);
+            for x in xs {
+                acc.merge_from(x);
+            }
+            acc
+        };
+        assert_eq!(fold(&[&a, &b, &c]), fold(&[&a, &b, &c]));
+        // Count-weighted marker means are exact-arithmetic associative;
+        // in f64 the two folds agree to rounding error.
+        let left = fold(&[&a, &b, &c]);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        assert_eq!(left.count(), right.count(), "counts are integers: exact");
+        assert!(
+            (left.estimate() - right.estimate()).abs() <= 1e-9 * left.estimate().abs().max(1.0),
+            "association changed the estimate beyond rounding: {} vs {}",
+            left.estimate(),
+            right.estimate()
+        );
+        // And the merged estimate is statistically sane: each shard saw a
+        // uniform(0, 1000) stream, so p90 sits near 900.
+        assert!(
+            (left.estimate() - 900.0).abs() < 25.0,
+            "merged p90 {}",
+            left.estimate()
+        );
+        // Extreme markers merge losslessly: the merged min/max are the
+        // tightest of the sides', never a weighted blend.
+        let q0 = |q: &P2Quantile| q.q[0];
+        let q4 = |q: &P2Quantile| q.q[4];
+        assert_eq!(q0(&left), q0(&a).min(q0(&b)).min(q0(&c)), "min is exact");
+        assert_eq!(q4(&left), q4(&a).max(q4(&b)).max(q4(&c)), "max is exact");
+        // A merged estimator still accepts observations.
+        let mut live = left.clone();
+        for _ in 0..1000 {
+            live.observe(500.0);
+        }
+        assert_eq!(live.count(), 13_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn p2_merge_rejects_mismatched_quantiles() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge_from(&P2Quantile::new(0.9));
     }
 }

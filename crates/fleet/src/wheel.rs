@@ -44,6 +44,9 @@ pub struct TimerWheel {
     next: Vec<u32>,
     deadline_tick: Vec<u64>,
     armed: usize,
+    /// Level-0 slot occupancy (bit set ⇔ head non-NIL), the index behind
+    /// [`TimerWheel::fast_forward`]'s O(1) empty-run skipping.
+    occupied0: u64,
 }
 
 impl TimerWheel {
@@ -62,8 +65,13 @@ impl TimerWheel {
             next: vec![NIL; capacity],
             deadline_tick: vec![0; capacity],
             armed: 0,
+            occupied0: 0,
         }
     }
+
+    /// Bytes of intrusive per-timer state (`next` + `deadline_tick`
+    /// entries), for per-client footprint accounting.
+    pub const PER_TIMER_BYTES: usize = std::mem::size_of::<u32>() + std::mem::size_of::<u64>();
 
     /// Forgets every pending timer and rewinds to time zero, keeping the
     /// allocations (fleet-reuse support).
@@ -74,6 +82,7 @@ impl TimerWheel {
         }
         self.next.fill(NIL);
         self.armed = 0;
+        self.occupied0 = 0;
     }
 
     /// Grows (or shrinks) the id capacity, dropping all pending timers.
@@ -87,6 +96,7 @@ impl TimerWheel {
         }
         self.now_tick = 0;
         self.armed = 0;
+        self.occupied0 = 0;
     }
 
     /// Number of ids the wheel can hold.
@@ -137,6 +147,45 @@ impl TimerWheel {
         let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
         self.next[id as usize] = self.heads[level][slot];
         self.heads[level][slot] = id;
+        if level == 0 {
+            self.occupied0 |= 1 << slot;
+        }
+    }
+
+    /// Jumps the clock forward to just before the next tick that could do
+    /// any work — the next occupied level-0 slot in the current 64-tick
+    /// rotation, the rotation boundary (where upper levels may cascade),
+    /// or `limit_tick`, whichever comes first — without stepping the empty
+    /// ticks in between. The skipped ticks are provably no-ops: their
+    /// level-0 slot is empty and no cascade boundary lies inside the
+    /// skipped range, so a subsequent [`TimerWheel::advance`] behaves
+    /// exactly as if every intervening tick had been advanced one by one.
+    ///
+    /// This is what makes per-shard wheels affordable: a sharded fleet
+    /// walks S wheels over the same horizon, and without skipping the
+    /// empty-tick cost would multiply by S.
+    pub fn fast_forward(&mut self, limit_tick: u64) {
+        if limit_tick <= self.now_tick + 1 {
+            return;
+        }
+        let slot = self.now_tick & (SLOTS as u64 - 1);
+        let rotation = self.now_tick & !(SLOTS as u64 - 1);
+        // Occupied slots strictly ahead of the current one in this
+        // rotation; slots at or behind belong to the next rotation, whose
+        // boundary stops us first.
+        let ahead = if slot == SLOTS as u64 - 1 {
+            0
+        } else {
+            self.occupied0 & (u64::MAX << (slot + 1))
+        };
+        let next_interesting = if ahead != 0 {
+            rotation + u64::from(ahead.trailing_zeros())
+        } else {
+            rotation + SLOTS as u64 // the cascade boundary
+        };
+        self.now_tick = (next_interesting - 1)
+            .min(limit_tick - 1)
+            .max(self.now_tick);
     }
 
     /// Advances one tick, appending every timer expiring on it to `due`
@@ -160,6 +209,7 @@ impl TimerWheel {
         // Expire level 0's current slot.
         let slot = (self.now_tick & (SLOTS as u64 - 1)) as usize;
         let mut cursor = std::mem::replace(&mut self.heads[0][slot], NIL);
+        self.occupied0 &= !(1 << slot); // re-files below may set it again
         while cursor != NIL {
             let id = cursor;
             cursor = self.next[id as usize];
@@ -267,6 +317,66 @@ mod tests {
         // Re-arming after reset works, and dropped timers never fire.
         assert!(wheel.schedule(2, 2_000));
         assert_eq!(drain(&mut wheel, 100_000), vec![(2_000, 2)]);
+    }
+
+    /// Drains like `drain`, but fast-forwarding over empty stretches the
+    /// way the fleet engine does.
+    fn drain_fast(wheel: &mut TimerWheel, until_ns: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        let mut due = Vec::new();
+        let limit = wheel.tick_of(until_ns);
+        while wheel.now_ns() < until_ns && wheel.armed() > 0 {
+            wheel.fast_forward(limit);
+            let now = wheel.advance(&mut due);
+            due.sort_unstable();
+            for id in due.drain(..) {
+                out.push((now, id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_forward_preserves_the_fire_sequence() {
+        // Dense pseudo-random load across all levels: the skipped drain
+        // must report exactly the same (time, id) sequence as the
+        // tick-by-tick one.
+        let build = || {
+            let mut wheel = TimerWheel::new(512, 1_000_000);
+            let mut state = 0xfeed_beef_u64;
+            for id in 0..512u32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let at = 1 + state % 80_000_000_000;
+                assert!(wheel.schedule(id, at));
+            }
+            wheel
+        };
+        let plain = drain(&mut build(), 81_000_000_000);
+        let skipped = drain_fast(&mut build(), 81_000_000_000);
+        assert_eq!(plain, skipped);
+    }
+
+    #[test]
+    fn fast_forward_respects_the_limit_and_rearms() {
+        let mut wheel = TimerWheel::new(4, 1_000);
+        wheel.schedule(0, 500_000); // far in the future (level > 0)
+                                    // Nothing before the limit: the clock must stop at limit - 1 so
+                                    // the next advance lands exactly on the limit tick.
+        wheel.fast_forward(10);
+        assert_eq!(wheel.now_ns(), 9_000);
+        let mut due = Vec::new();
+        wheel.advance(&mut due);
+        assert!(due.is_empty());
+        assert_eq!(wheel.now_ns(), 10_000);
+        // A no-op when the limit is the next tick anyway.
+        wheel.fast_forward(11);
+        assert_eq!(wheel.now_ns(), 10_000);
+        // Skipping still fires re-armed near timers exactly on time.
+        wheel.schedule(1, 20_500);
+        assert_eq!(
+            drain_fast(&mut wheel, 600_000),
+            vec![(21_000, 1), (500_000, 0)]
+        );
     }
 
     #[test]

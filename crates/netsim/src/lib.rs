@@ -64,6 +64,7 @@ pub mod icmp;
 pub mod ip;
 pub mod link;
 pub mod node;
+pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod stack;

@@ -1,0 +1,466 @@
+//! The lock-free work dispatcher underneath every parallel engine in the
+//! workspace.
+//!
+//! Monte-Carlo trials (`chronos_pitfalls::montecarlo`), scenario sweeps,
+//! and intra-fleet shard stepping (`fleet::engine`) all reduce to the same
+//! problem: hand out independent units of work to a fixed set of worker
+//! threads, with results (or mutations) landing in caller-owned slots.
+//! This module is that engine, index-deterministic by construction:
+//!
+//! * **Pre-allocated slots, disjoint `&mut` batches.** Output cells are
+//!   split into contiguous batches handed to workers through unique
+//!   claims, so no worker ever touches another worker's slots — there is
+//!   no lock on the per-unit result path.
+//! * **Work-stealing-style load balancing.** A single atomic batch cursor
+//!   hands out the next unclaimed batch, so a worker stuck on an expensive
+//!   unit doesn't strand the rest of a statically assigned range.
+//! * **Scheduling-independent outcomes.** Work unit `i` writes slot `i`
+//!   (or mutates element `i`) no matter which worker ran it, so outputs
+//!   are a pure function of the inputs.
+//!
+//! It lives in `netsim` (the bottom of the crate stack) so both the
+//! experiment layer above and the fleet engine beside it can share one
+//! implementation; `chronos_pitfalls::montecarlo` re-exports the trial
+//! API unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Batching policy for [`run_trials_with_budget`].
+///
+/// A batch is the unit of work a worker claims from the shared cursor: all
+/// trials in a batch run on one thread, back to back, with a single atomic
+/// operation for the whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialBudget {
+    /// Trials claimed per atomic dispatch. `None` picks a size that yields
+    /// roughly [`TrialBudget::AUTO_BATCHES_PER_THREAD`] batches per worker —
+    /// enough slack for stealing, few enough that dispatch stays amortized.
+    pub batch_size: Option<usize>,
+}
+
+impl TrialBudget {
+    /// Batches each worker gets on average under the automatic policy.
+    pub const AUTO_BATCHES_PER_THREAD: usize = 8;
+
+    /// The automatic policy (recommended).
+    pub const fn auto() -> Self {
+        TrialBudget { batch_size: None }
+    }
+
+    /// A fixed batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn fixed(size: usize) -> Self {
+        assert!(size > 0, "batch size must be positive");
+        TrialBudget {
+            batch_size: Some(size),
+        }
+    }
+
+    /// Resolves the batch size for a workload.
+    pub fn resolve(self, trials: u32, threads: usize) -> usize {
+        match self.batch_size {
+            Some(n) => n.max(1),
+            None => {
+                let target = threads.max(1) * Self::AUTO_BATCHES_PER_THREAD;
+                ((trials as usize).div_ceil(target.max(1))).max(1)
+            }
+        }
+    }
+}
+
+impl Default for TrialBudget {
+    fn default() -> Self {
+        TrialBudget::auto()
+    }
+}
+
+/// A sensible worker count: the machine's available parallelism (1 when it
+/// cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `trials` independent evaluations of `f` (called with the trial
+/// index) across `threads` worker threads, returning results in index
+/// order. Batching follows [`TrialBudget::auto`]; use
+/// [`run_trials_with_budget`] to tune it.
+///
+/// Determinism: `f` must derive all randomness from its trial index (e.g.
+/// `seed ^ index`); results are written to slot `index` regardless of which
+/// worker ran the trial, so the output is independent of scheduling.
+///
+/// Guarantee: when `trials == 0` the call returns immediately without
+/// spawning any worker threads.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_trials<T, F>(trials: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    run_trials_with_budget(trials, threads, TrialBudget::auto(), f)
+}
+
+/// [`run_trials`] with an explicit [`TrialBudget`].
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_trials_with_budget<T, F>(
+    trials: u32,
+    threads: usize,
+    budget: TrialBudget,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    run_trials_stateful(trials, threads, budget, || (), |(), i| f(i))
+}
+
+/// The dispatcher underneath [`run_trials`] and the sweep engines: like
+/// [`run_trials_with_budget`], but each worker thread carries private state
+/// created by `init` and threaded through every trial it claims.
+///
+/// This is what makes world pooling possible: the state holds the worker's
+/// current scenario, so consecutive trials of one configuration reuse a
+/// constructed world instead of rebuilding it. The state never crosses
+/// threads and is dropped when the worker runs out of batches.
+///
+/// Determinism contract: `f`'s *result* must depend only on the trial
+/// index, never on the worker state's history — state may only be used as a
+/// cache whose observable behaviour is reset per trial.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn run_trials_stateful<T, S, I, F>(
+    trials: u32,
+    threads: usize,
+    budget: TrialBudget,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u32) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if trials == 0 {
+        return Vec::new();
+    }
+    let batch = budget.resolve(trials, threads);
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+
+    // Serial fast path: one worker needs neither threads nor atomics.
+    if threads == 1 || trials == 1 {
+        let mut state = init();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(&mut state, i as u32));
+        }
+        return unwrap_slots(slots);
+    }
+
+    // Disjoint &mut batches behind an atomic claim cursor: each batch index
+    // is handed out exactly once, so every slot has a unique writer and no
+    // result write ever takes a lock.
+    {
+        let cells: Vec<Cell<'_, Option<T>>> = slots.chunks_mut(batch).map(Cell::new).collect();
+        let cells = &cells[..];
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.min(cells.len());
+        std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= cells.len() {
+                            break;
+                        }
+                        // Safety: the cursor returns each index exactly
+                        // once, so this worker is the sole accessor of
+                        // batch `b`.
+                        let chunk = unsafe { cells[b].take() };
+                        let base = (b * batch) as u32;
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(f(&mut state, base + off as u32));
+                        }
+                    }
+                });
+            }
+        });
+    }
+    unwrap_slots(slots)
+}
+
+/// Runs `f` once on every element of `items` (with its index) across
+/// `threads` worker threads — the in-place analogue of [`run_trials`], for
+/// work that lives in caller-owned slabs (fleet shards) rather than in
+/// per-trial return values.
+///
+/// Elements are claimed one at a time off the atomic cursor (an element is
+/// the stealing unit: callers hand in coarse slabs, not fine-grained
+/// items). Outcomes are scheduling-independent as long as each element's
+/// mutation depends only on that element and shared immutable context.
+///
+/// Guarantee: with one thread, one element, or an empty slice, everything
+/// runs on the calling thread and no workers are spawned.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads` is zero.
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T, usize) + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(item, i);
+        }
+        return;
+    }
+    let cells: Vec<Cell<'_, T>> = items.chunks_mut(1).map(Cell::new).collect();
+    let cells = &cells[..];
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(cells.len());
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let f = &f;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                // Safety: the cursor returns each index exactly once, so
+                // this worker is the sole accessor of element `i`.
+                let chunk = unsafe { cells[i].take() };
+                f(&mut chunk[0], i);
+            });
+        }
+    });
+}
+
+/// A chunk of caller-owned slots claimed by exactly one worker (enforced
+/// by the atomic cursor handing out each index once).
+struct Cell<'a, T> {
+    chunk: std::cell::UnsafeCell<*mut [T]>,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// Safety: workers only dereference a cell after uniquely claiming its index
+// from the atomic cursor; the scoped-thread join provides the release/acquire
+// edge back to the owning thread.
+unsafe impl<T: Send> Sync for Cell<'_, T> {}
+
+impl<'a, T> Cell<'a, T> {
+    fn new(chunk: &'a mut [T]) -> Self {
+        Cell {
+            chunk: std::cell::UnsafeCell::new(chunk as *mut _),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Must be called at most once per cell (guaranteed by the cursor).
+    #[allow(clippy::mut_from_ref)] // unique access enforced by the claim cursor
+    unsafe fn take(&self) -> &mut [T] {
+        &mut **self.chunk.get()
+    }
+}
+
+fn unwrap_slots<T>(slots: Vec<Option<T>>) -> Vec<T> {
+    slots
+        .into_iter()
+        .map(|r| r.expect("every trial filled"))
+        .collect()
+}
+
+/// The seed implementation retained as the benchmark baseline: one global
+/// mutex acquisition per trial result. Kept (not re-exported from the crate
+/// root) so `e12_montecarlo_dispatch` can measure the win of the lock-free
+/// path against it; do not use in new code.
+#[doc(hidden)]
+pub fn baseline_run_trials<T, F>(trials: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    use std::sync::atomic::AtomicU32;
+    assert!(threads > 0, "need at least one worker thread");
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..trials).map(|_| None).collect());
+    let next = AtomicU32::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(trials.max(1) as usize) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let out = f(i);
+                results.lock().expect("not poisoned")[i as usize] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("not poisoned")
+        .into_iter()
+        .map(|r| r.expect("every trial filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+    use rand::Rng;
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let out = run_trials(100, 8, |i| i * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let f = |i: u32| {
+            let mut rng = SimRng::seed_from(1000 + u64::from(i));
+            rng.gen::<u64>()
+        };
+        let serial = run_trials(64, 1, f);
+        let parallel = run_trials(64, 8, f);
+        assert_eq!(serial, parallel, "outcomes independent of threading");
+    }
+
+    #[test]
+    fn parallel_equals_serial_across_budgets() {
+        let f = |i: u32| {
+            let mut rng = SimRng::seed_from(9000 + u64::from(i));
+            rng.gen::<u64>()
+        };
+        let reference = run_trials_with_budget(257, 1, TrialBudget::auto(), f);
+        for batch in [1usize, 2, 7, 64, 300] {
+            let got = run_trials_with_budget(257, 6, TrialBudget::fixed(batch), f);
+            assert_eq!(reference, got, "batch size {batch} changed outcomes");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_implementation() {
+        let f = |i: u32| u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        assert_eq!(run_trials(500, 4, f), baseline_run_trials(500, 4, f));
+    }
+
+    #[test]
+    fn zero_trials_spawns_nothing() {
+        // Would deadlock/panic if a worker were spawned with a waiting
+        // barrier-style closure; mostly documents the no-spawn guarantee.
+        let out: Vec<u32> = run_trials(0, 4, |i| i);
+        assert!(out.is_empty());
+        let out: Vec<u32> = run_trials_with_budget(0, 4, TrialBudget::fixed(3), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        run_trials(1, 0, |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn for_each_zero_threads_rejected() {
+        for_each_mut(&mut [1, 2, 3], 0, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        TrialBudget::fixed(0);
+    }
+
+    #[test]
+    fn auto_budget_scales_with_workload() {
+        assert_eq!(TrialBudget::auto().resolve(10_000, 8), 157);
+        assert_eq!(TrialBudget::auto().resolve(4, 8), 1);
+        assert_eq!(TrialBudget::fixed(32).resolve(10_000, 8), 32);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let out = run_trials(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stateful_state_is_per_worker_and_reused() {
+        let inits = AtomicUsize::new(0);
+        let out = run_trials_stateful(
+            100,
+            4,
+            TrialBudget::fixed(5),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u32
+            },
+            |calls, i| {
+                *calls += 1;
+                i * 3
+            },
+        );
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 3);
+        }
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "at most one state per worker"
+        );
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element_exactly_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut items: Vec<u64> = (0..37).collect();
+            for_each_mut(&mut items, threads, |item, i| {
+                assert_eq!(*item, i as u64, "index matches element");
+                *item = item.wrapping_mul(3).wrapping_add(1);
+            });
+            let expected: Vec<u64> = (0..37u64).map(|v| v.wrapping_mul(3) + 1).collect();
+            assert_eq!(items, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_degenerate_shapes() {
+        let mut empty: Vec<u32> = Vec::new();
+        for_each_mut(&mut empty, 4, |_, _| unreachable!("no elements"));
+        let mut one = [7u32];
+        for_each_mut(&mut one, 4, |item, i| {
+            assert_eq!(i, 0);
+            *item += 1;
+        });
+        assert_eq!(one, [8]);
+    }
+}

@@ -6,7 +6,9 @@
 //! clients (struct-of-arrays fleet engine, timer-wheel scheduling, the
 //! real `chronos::core` decision machinery) boot staggered, gather their
 //! pools through one shared cache, and the attacker's single poisoning
-//! lands on every one of them.
+//! lands on every one of them. The fleet steps its shards on every
+//! available core (`FleetConfig::threads`, plumbed through `run_e14`) —
+//! byte-identical to a single-threaded run, just faster.
 //!
 //! Output: the E14 table (per-variant population outcome), the
 //! fraction-of-fleet-shifted-vs-time figure, and the offset histogram of
@@ -21,7 +23,10 @@ use chronos_pitfalls::report::Series;
 fn main() {
     let threads = default_threads();
     let clients = 50_000;
-    println!("simulating {clients} Chronos clients per variant on {threads} threads...\n");
+    println!(
+        "simulating {clients} Chronos clients per variant on {threads} threads \
+         (sharded intra-fleet stepping)...\n"
+    );
     let result = run_e14(7, clients, threads);
 
     println!("{}", e14_table(&result));
