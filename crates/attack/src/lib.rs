@@ -13,6 +13,9 @@
 //!   background cross-traffic;
 //! * [`farm`] — the malicious NTP server farm and fake authoritative zone;
 //! * [`plan`] — strategy-agnostic attack descriptions.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

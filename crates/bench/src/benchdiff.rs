@@ -26,6 +26,9 @@ pub const GUARDED: &[&str] = &[
     "e14_fleet_scale/fleet_100k",
     // PR 4: sharded intra-fleet stepping.
     "e14_fleet_scale/fleet_100k_sharded",
+    // PR 5: the cohort engine — heterogeneous tiers across partially
+    // poisoned resolvers (9-fleet E16 sweep, 90k clients total).
+    "e16_partial_poisoning/mixed_90k_sweep",
 ];
 
 /// Default regression threshold on per-iter mean, in percent.

@@ -5,6 +5,9 @@
 //! printed artifacts are the reproduction deliverable; the timings document
 //! the cost of regenerating them. [`benchdiff`] turns the JSON artifacts
 //! into a CI perf-regression gate (see the `bench-diff` binary).
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 pub mod benchdiff;
 

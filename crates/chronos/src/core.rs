@@ -18,11 +18,60 @@
 //! retries, stats and the envelope anchor exactly the way the packet-level
 //! client always did (the client now delegates to them), so the two
 //! implementations cannot drift apart.
+//!
+//! The same borrowed-state idea covers the *other* client kind the paper
+//! compares against: [`conclude_plain_round`] is the plain-NTP analogue,
+//! delegating to [`ntplab::combine::ntpd_pipeline`] — the exact
+//! intersection → cluster → combine code the packet-level
+//! [`ntplab::plain::PlainNtpClient`] runs — so a heterogeneous fleet's two
+//! client kinds share one decision API (this module) and one
+//! implementation per kind (this crate's selection, `ntplab`'s pipeline).
+//!
+//! # Examples
+//!
+//! Stepping one Chronos sample round over borrowed state — the exact call
+//! both the packet-level client and a fleet's struct-of-arrays lane make:
+//!
+//! ```
+//! use chronos::config::ChronosConfig;
+//! use chronos::core::{conclude_sample_round, ChronosStats, CoreState, Phase, RoundOutcome};
+//! use chronos::select::SelectScratch;
+//! use netsim::time::SimTime;
+//!
+//! let config = ChronosConfig::default();
+//! // The borrowed per-client state: one SoA lane or one client's fields.
+//! let (mut phase, mut retries) = (Phase::Syncing, 0u32);
+//! let (mut last_update, mut stats) = (None, ChronosStats::default());
+//! let mut scratch = SelectScratch::new();
+//!
+//! // Fifteen servers agreeing on a +2 ms offset: the round accepts and
+//! // anchors the drift envelope at `now`.
+//! let offsets_ns = vec![2_000_000i64; 15];
+//! let now = SimTime::from_secs(100);
+//! let outcome = conclude_sample_round(
+//!     &config,
+//!     &mut CoreState {
+//!         phase: &mut phase,
+//!         retries: &mut retries,
+//!         last_update: &mut last_update,
+//!         stats: &mut stats,
+//!     },
+//!     &mut scratch,
+//!     &offsets_ns,
+//!     now,
+//! );
+//! assert!(matches!(outcome, RoundOutcome::Accept { correction_ns: 2_000_000, .. }));
+//! assert_eq!(last_update, Some(now));
+//! assert_eq!(stats.accepts, 1);
+//! ```
 
 use crate::config::ChronosConfig;
 use crate::select::{chronos_select_with, panic_select_with, ChronosDecision, SelectScratch};
 use netsim::time::SimTime;
+use ntplab::combine::{ntpd_pipeline, PipelineOutcome};
+use ntplab::select::PeerSample;
 use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
 
 /// Lifecycle phase of a Chronos client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -177,6 +226,70 @@ pub fn conclude_panic_round(
     correction
 }
 
+/// What a concluded plain-NTP poll round decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlainRoundOutcome {
+    /// The pipeline found a majority clique: apply `correction_ns`.
+    Correction {
+        /// The combined correction (root-distance-weighted survivor mean).
+        correction_ns: i64,
+        /// Samples surviving intersection + clustering.
+        survivors: usize,
+    },
+    /// No majority clique of truechimers: leave the clock alone.
+    NoMajority,
+    /// No samples arrived this round.
+    NoSamples,
+}
+
+/// Concludes one plain-NTP poll round over raw offsets (ns, relative to
+/// the local clock), updating the shared [`ChronosStats`] counters —
+/// the borrowed-state plain analogue of [`conclude_sample_round`].
+///
+/// Delegates to [`ntplab::combine::ntpd_pipeline`] — the same
+/// intersection → cluster → combine implementation the packet-level
+/// [`ntplab::plain::PlainNtpClient`] runs — over synthetic
+/// [`PeerSample`]s whose correctness-interval radius is the caller's
+/// `root_distance_ns` (a mean-field path budget standing in for the
+/// per-exchange δ/2 + ε a packet client measures; all samples share it,
+/// so the combine weights are uniform and the correction is the survivor
+/// mean). `samples_buf` is a caller-owned scratch buffer so a warm fleet
+/// lane builds the sample vector without reallocating.
+///
+/// Counter mapping onto the shared [`ChronosStats`]: a correction counts
+/// as an *accept*, a no-majority round as a *reject* (the plain client's
+/// `updates`/`no_majority` counters respectively); plain clients never
+/// panic.
+pub fn conclude_plain_round(
+    stats: &mut ChronosStats,
+    samples_buf: &mut Vec<PeerSample>,
+    offsets_ns: &[i64],
+    root_distance_ns: i64,
+) -> PlainRoundOutcome {
+    samples_buf.clear();
+    samples_buf.extend(offsets_ns.iter().map(|&offset_ns| PeerSample {
+        server: Ipv4Addr::UNSPECIFIED,
+        offset_ns,
+        // root_distance = delay/2 + dispersion.
+        delay_ns: 2 * root_distance_ns,
+        dispersion_ns: 0,
+    }));
+    match ntpd_pipeline(samples_buf) {
+        PipelineOutcome::Correction(c) => {
+            stats.accepts += 1;
+            PlainRoundOutcome::Correction {
+                correction_ns: c.offset_ns,
+                survivors: c.survivors,
+            }
+        }
+        PipelineOutcome::NoMajority => {
+            stats.rejects += 1;
+            PlainRoundOutcome::NoMajority
+        }
+        PipelineOutcome::NoSamples => PlainRoundOutcome::NoSamples,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +402,49 @@ mod tests {
         assert_eq!(*st.phase, Phase::Syncing);
         assert_eq!(*st.retries, 0);
         assert_eq!(*st.last_update, None, "no samples, no envelope anchor");
+    }
+
+    #[test]
+    fn plain_round_follows_an_agreeing_pool_and_counts_accepts() {
+        let mut stats = ChronosStats::default();
+        let mut buf = Vec::new();
+        // Four servers agreeing on +500 ms (the unanimous-liar case the
+        // packet-level PlainNtpClient test pins): combined correction is
+        // the survivor mean, counted as an accept.
+        let out = conclude_plain_round(&mut stats, &mut buf, &[500 * MS; 4], 3 * MS);
+        assert_eq!(
+            out,
+            PlainRoundOutcome::Correction {
+                correction_ns: 500 * MS,
+                survivors: 4
+            }
+        );
+        assert_eq!(stats.accepts, 1);
+        assert_eq!(stats.rejects, 0);
+    }
+
+    #[test]
+    fn plain_round_with_no_majority_counts_a_reject() {
+        let mut stats = ChronosStats::default();
+        let mut buf = Vec::new();
+        // Four servers scattered far beyond the correctness radius: no
+        // clique of 3 intervals shares a point.
+        let offsets = [-300 * MS, -100 * MS, 100 * MS, 300 * MS];
+        let out = conclude_plain_round(&mut stats, &mut buf, &offsets, MS);
+        assert_eq!(out, PlainRoundOutcome::NoMajority);
+        assert_eq!(stats.rejects, 1);
+        assert_eq!(stats.accepts, 0);
+    }
+
+    #[test]
+    fn plain_round_with_no_samples_is_a_no_op() {
+        let mut stats = ChronosStats::default();
+        let mut buf = Vec::new();
+        assert_eq!(
+            conclude_plain_round(&mut stats, &mut buf, &[], MS),
+            PlainRoundOutcome::NoSamples
+        );
+        assert_eq!(stats, ChronosStats::default());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! by 100 ms") and its collapse at an attacker pool-fraction of 2/3; the §V
 //! mitigations (record cap, TTL rejection) are config switches on
 //! [`config::PoolGenConfig`].
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -6,6 +6,9 @@
 //! the property the netsim hot path depends on — fragmenting a datagram or
 //! fanning a payload out to the event queue shares one `Arc<[u8]>`
 //! allocation instead of memcpy-ing `Vec<u8>`s per packet.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;

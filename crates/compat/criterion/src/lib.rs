@@ -11,6 +11,9 @@
 //! `/proc/self/status` is available) so CI can track the perf trajectory.
 //! Set `BENCH_JSON_DIR` to redirect the artifact directory (default:
 //! `<workspace>/bench-results`).
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 use std::hint;
 use std::time::{Duration, Instant};

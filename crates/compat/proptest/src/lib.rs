@@ -12,6 +12,9 @@
 //! instead), `prop_flat_map`, recursive strategies. Cases are generated from
 //! a deterministic per-test seed so failures reproduce; set
 //! `PROPTEST_CASES` to override the default of 64 cases per property.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};

@@ -10,6 +10,9 @@
 //! Supported surface: [`RngCore`], [`SeedableRng::seed_from_u64`],
 //! [`Rng::gen`], [`Rng::gen_range`] (integer and float ranges, half-open
 //! and inclusive), [`Rng::gen_bool`], and [`Error`].
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 use core::fmt;
 

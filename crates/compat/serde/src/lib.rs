@@ -10,6 +10,9 @@
 //!
 //! If real serialization is ever needed, replace this stub with the genuine
 //! crate in `[workspace.dependencies]` — no call-site changes required.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 pub use serde_derive::{Deserialize, Serialize};
 

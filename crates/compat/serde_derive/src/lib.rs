@@ -5,6 +5,9 @@
 //! every type. These derives therefore only need to *exist* (so
 //! `#[derive(Serialize, Deserialize)]` parses) and expand to nothing.
 //! `#[serde(...)]` helper attributes are accepted and ignored.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 use proc_macro::TokenStream;
 

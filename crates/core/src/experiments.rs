@@ -667,6 +667,198 @@ pub fn e14_table(result: &E14Result) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E16 — heterogeneous fleets under partial resolver poisoning: the
+// fraction-of-population-shifted vs fraction-of-resolvers-poisoned
+// curve, broken down by tier. Neither the paper nor the repo could draw
+// this before the cohort layer (PR 5).
+// ---------------------------------------------------------------------
+
+/// One point of the E16 sweep: the fleet outcome with the attacker in
+/// `poisoned_resolvers` of the resolver caches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E16Row {
+    /// Resolvers the attacker poisoned (`0..=resolvers`).
+    pub poisoned_resolvers: usize,
+    /// The x coordinate: `poisoned_resolvers / resolvers`.
+    pub poisoned_fraction: f64,
+    /// The mixed fleet's aggregate outcome (per-tier breakdown included).
+    pub report: fleet::FleetReport,
+}
+
+/// Result of the E16 partial-poisoning sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E16Result {
+    /// Independent resolver caches in every fleet.
+    pub resolvers: usize,
+    /// One row per poisoned-resolver count, in increasing order.
+    pub rows: Vec<E16Row>,
+    /// Fraction-shifted vs fraction-of-resolvers-poisoned — one series
+    /// per tier plus the fleet-wide `"all clients"` curve (the figure).
+    pub series: Vec<crate::report::Series>,
+    /// Sweep/pooling counters.
+    pub stats: montecarlo::SweepStats,
+}
+
+/// The E16 population mix: half the fleet runs stock Chronos (the paper's
+/// vulnerable 24-round generation), a quarter runs the §V-mitigated
+/// Chronos, and a quarter is the plain-NTP baseline (one resolution, four
+/// servers).
+pub fn e16_tiers() -> Vec<fleet::CohortTier> {
+    use fleet::CohortTier;
+    let mut mitigated = CohortTier::chronos("chronos §V", 1);
+    mitigated.chronos = Some(ChronosConfig {
+        poll_interval: netsim::time::SimDuration::from_secs(64),
+        pool: PoolGenConfig {
+            queries: 24,
+            query_interval: netsim::time::SimDuration::from_secs(200),
+            ..PoolGenConfig::mitigated()
+        },
+        ..ChronosConfig::default()
+    });
+    vec![
+        CohortTier::chronos("chronos", 2),
+        mitigated,
+        CohortTier::plain_ntp("plain ntp", 1),
+    ]
+}
+
+/// The fleet configuration E16 sweeps: the E14 scenario shape (24-round
+/// generation at a 200 s cadence, 64 s polls, 240-server universe) with
+/// the [`e16_tiers`] mix across `resolvers` caches, and the poison
+/// landing at t = 100 s — *inside* the 200 s boot stagger, so roughly
+/// half the plain-NTP tier resolves before the entry exists while every
+/// Chronos client behind a poisoned cache has ≥ 23 rounds left to absorb
+/// it (the paper's 1-vs-24-opportunities contrast, per resolver).
+pub fn e16_config(
+    seed: u64,
+    clients: usize,
+    resolvers: usize,
+    poisoned_resolvers: usize,
+) -> fleet::FleetConfig {
+    let mut config = e14_config(
+        seed,
+        clients,
+        Some(
+            fleet::FleetAttack::paper_default(
+                SimTime::from_secs(100),
+                netsim::time::SimDuration::from_millis(500),
+            )
+            .with_poisoned_resolvers(poisoned_resolvers),
+        ),
+    );
+    config.tiers = e16_tiers();
+    config.resolvers = resolvers;
+    config
+}
+
+/// Runs E16: one [`montecarlo::run_fleets`] invocation sweeps the
+/// poisoned-resolver count `k = 0..=resolvers` over the mixed fleet and
+/// emits fraction-shifted vs fraction-of-resolvers-poisoned, fleet-wide
+/// and per tier, from that single sweep.
+///
+/// The expected shape, which the unit tests pin: the stock-Chronos curve
+/// tracks `k/R` (every client behind a poisoned cache is captured), the
+/// plain-NTP curve rises at roughly half that slope (only clients whose
+/// *single* resolution fell after the poison landed), and the
+/// §V-mitigated curve stays at zero — so the fleet-wide curve's slope
+/// *is* the population's mitigation/legacy mix, which is the
+/// trust-anchor-diversity question partial poisoning asks.
+///
+/// `threads` splits across the two parallelism levels exactly as
+/// [`run_e14`] does: `min(threads, k+1)` sweep workers, the rest stepping
+/// shards inside each fleet. Results are byte-identical for any value.
+pub fn run_e16(seed: u64, clients: usize, resolvers: usize, threads: usize) -> E16Result {
+    assert!(resolvers >= 1, "need at least one resolver");
+    let ks: Vec<usize> = (0..=resolvers).collect();
+    let outer = threads.max(1).min(ks.len());
+    let inner = (threads.max(1) / outer).max(1);
+    let configs: Vec<fleet::FleetConfig> = ks
+        .iter()
+        .map(|&k| fleet::FleetConfig {
+            threads: inner,
+            ..e16_config(seed, clients, resolvers, k)
+        })
+        .collect();
+    let (mut reports, stats) =
+        montecarlo::run_fleets(&configs, outer, 1, |fleet, _, _| fleet.run());
+    let rows: Vec<E16Row> = ks
+        .iter()
+        .zip(reports.iter_mut())
+        .map(|(&k, r)| E16Row {
+            poisoned_resolvers: k,
+            poisoned_fraction: k as f64 / resolvers as f64,
+            report: r.remove(0),
+        })
+        .collect();
+    // One curve per tier, plus the fleet-wide one: x = fraction of
+    // resolvers poisoned, y = fraction shifted at the horizon.
+    let mut series: Vec<crate::report::Series> = rows[0]
+        .report
+        .tiers
+        .iter()
+        .enumerate()
+        .map(|(t, tier)| crate::report::Series {
+            label: tier.label.clone(),
+            points: rows
+                .iter()
+                .map(|row| {
+                    (
+                        row.poisoned_fraction,
+                        row.report.tiers[t].final_shifted_fraction,
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    series.push(crate::report::Series {
+        label: "all clients".to_string(),
+        points: rows
+            .iter()
+            .map(|row| (row.poisoned_fraction, row.report.final_shifted_fraction))
+            .collect(),
+    });
+    E16Result {
+        resolvers,
+        rows,
+        series,
+        stats,
+    }
+}
+
+/// Renders the E16 rows (one line per poisoned-resolver count, shifted
+/// percentage per tier).
+pub fn e16_table(result: &E16Result) -> Table {
+    let tier_labels: Vec<String> = result.rows[0]
+        .report
+        .tiers
+        .iter()
+        .map(|t| format!("{} shifted %", t.label))
+        .collect();
+    let mut columns = vec!["poisoned resolvers".to_string(), "fraction".to_string()];
+    columns.extend(tier_labels);
+    columns.push("all shifted %".to_string());
+    columns.push("poisoned clients".to_string());
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "E16 — heterogeneous fleet under partial resolver poisoning",
+        &column_refs,
+    );
+    for row in &result.rows {
+        let mut cells = vec![
+            format!("{}/{}", row.poisoned_resolvers, result.resolvers),
+            format!("{:.3}", row.poisoned_fraction),
+        ];
+        for tier in &row.report.tiers {
+            cells.push(format!("{:.1}", 100.0 * tier.final_shifted_fraction));
+        }
+        cells.push(format!("{:.1}", 100.0 * row.report.final_shifted_fraction));
+        cells.push(row.report.poisoned_clients.to_string());
+        t.push_row(cells);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // E7 — the measurement study (claims C7–C9).
 // ---------------------------------------------------------------------
 
@@ -1540,6 +1732,67 @@ mod tests {
         );
         assert_eq!(mitigated.report.final_shifted_fraction, 0.0);
         assert_eq!(e14_table(&r).len(), 4);
+    }
+
+    #[test]
+    fn e16_capture_tracks_the_poisoned_resolver_fraction() {
+        let resolvers = 4;
+        let r = run_e16(11, 128, resolvers, 2);
+        assert_eq!(r.rows.len(), resolvers + 1);
+        // One curve per tier plus the fleet-wide one.
+        assert_eq!(r.series.len(), 4);
+        let labels: Vec<&str> = r.series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["chronos", "chronos §V", "plain ntp", "all clients"]
+        );
+        let by_label = |needle: &str| {
+            r.series
+                .iter()
+                .find(|s| s.label == needle)
+                .expect("series present")
+        };
+        // k = 0: nobody is poisoned, nobody shifts.
+        assert_eq!(r.rows[0].report.poisoned_clients, 0);
+        assert_eq!(r.rows[0].report.final_shifted_fraction, 0.0);
+        // The fleet-wide curve is monotone in the poisoned fraction and
+        // strictly grows over the sweep.
+        let all = by_label("all clients");
+        assert!(all.points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9));
+        assert!(all.points.last().unwrap().1 > 0.4);
+        // Stock Chronos tracks the poisoned-resolver fraction: every
+        // client behind a poisoned cache has >= 23 rounds to absorb it.
+        let chronos = by_label("chronos");
+        let full_capture = chronos.points.last().unwrap().1;
+        assert!(
+            full_capture > 0.9,
+            "all resolvers poisoned captures the stock tier: {full_capture}"
+        );
+        for &(x, y) in &chronos.points {
+            assert!(
+                (y - x).abs() < 0.25,
+                "chronos capture {y} tracks poisoned fraction {x}"
+            );
+        }
+        // The §V tier resists at every k (record cap bounds the farm).
+        let mitigated = by_label("chronos §V");
+        assert!(mitigated.points.iter().all(|&(_, y)| y < 0.05));
+        // Plain NTP: one opportunity per client — the t=100 s poison only
+        // catches clients resolving after it, so the slope is strictly
+        // shallower than stock Chronos but nonzero.
+        let plain = by_label("plain ntp");
+        let plain_full = plain.points.last().unwrap().1;
+        assert!(
+            plain_full > 0.1 && plain_full < full_capture,
+            "plain capture {plain_full} sits between zero and chronos {full_capture}"
+        );
+        // Table renders one line per k.
+        assert_eq!(e16_table(&r).len(), resolvers + 1);
+        // And the homogeneous-R=1 anchor: the same seed and population
+        // through run_e14's early variant reproduce E14 exactly (the
+        // cohort layer does not perturb the legacy experiment).
+        let e14 = run_e14(11, 128, 2);
+        assert!(e14.rows[1].report.final_shifted_fraction > 0.9);
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! * [`successmodel`] — the 1-vs-12-opportunities amplification;
 //! * [`study`] — the §II fragmentation measurement study, re-created;
 //! * [`shift`] — plain-vs-Chronos clock-error traces under attack;
-//! * [`experiments`] — runners E1–E14, one per reproduced table/figure
-//!   (E14 is the population-scale fleet experiment);
+//! * [`experiments`] — runners E1–E16, one per reproduced table/figure
+//!   (E14 is the population-scale fleet experiment, E16 the heterogeneous
+//!   fleet under partial resolver poisoning);
 //! * [`report`] — table/series rendering shared by benches and examples.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,9 +36,10 @@ pub mod successmodel;
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::experiments::{
-        e14_table, e4_figure, e4_series_from_rows, e5_figure, e5_series_from_rows, rows_to_series,
-        run_e1, run_e10, run_e11, run_e14, run_e2, run_e3, run_e4, run_e5, run_e7, run_e8, run_e9,
-        run_e9_mtu, E14Result, E1Strategy,
+        e14_table, e16_table, e16_tiers, e4_figure, e4_series_from_rows, e5_figure,
+        e5_series_from_rows, rows_to_series, run_e1, run_e10, run_e11, run_e14, run_e16, run_e2,
+        run_e3, run_e4, run_e5, run_e7, run_e8, run_e9, run_e9_mtu, E14Result, E16Result,
+        E1Strategy,
     };
     pub use crate::montecarlo::{
         run_fleets, run_grid, run_scenarios, run_scenarios_detailed, run_trials, success_rate,

@@ -18,6 +18,9 @@
 //!
 //! See `examples/quickstart.rs` in the workspace root for an end-to-end
 //! scenario; the unit tests in [`resolver`] show the minimal wiring.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

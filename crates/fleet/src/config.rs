@@ -1,22 +1,25 @@
 //! Fleet configuration.
 
+use crate::cohort::{CohortTier, TierParams};
 use chronos::config::{ChronosConfig, PoolGenConfig};
 use dnslab::zone::{POOL_ADDRS_PER_RESPONSE, POOL_NTP_TTL};
 use netsim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// The shared DNS-poisoning attack against the fleet's resolver.
+/// The shared DNS-poisoning attack against the fleet's resolvers.
 ///
 /// This is the population view of the paper's E1/E4/E8 attacks: *how* the
 /// record lands in the cache (fragmentation, BGP interception, blind
 /// spoofing) is the packet-level crates' subject; the fleet models the
 /// consequence every mechanism shares — a poisoned `pool.ntp.org` entry
-/// sitting in the resolver cache for its (attacker-chosen, huge) TTL,
+/// sitting in a resolver cache for its (attacker-chosen, huge) TTL,
 /// served to **every client** whose pool-generation round falls inside
-/// that window.
+/// that window. With [`FleetConfig::resolvers`] > 1,
+/// [`FleetAttack::poisoned_resolvers`] bounds *which* caches the attacker
+/// reached — the knob behind E16's fraction-of-resolvers-poisoned sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetAttack {
-    /// When the poisoned entry lands in the cache.
+    /// When the poisoned entry lands in the cache(s).
     pub at: SimTime,
     /// TTL of the poisoned records, seconds (paper: 86 401).
     pub ttl_secs: u32,
@@ -24,18 +27,36 @@ pub struct FleetAttack {
     pub farm_size: usize,
     /// The time shift the malicious farm serves, ns (paper: ±500 ms+).
     pub shift_ns: i64,
+    /// How many of the fleet's resolvers the attacker poisoned: resolvers
+    /// `0..k` carry the entry, the rest stay clean. `None` poisons every
+    /// resolver (the single-resolver legacy semantics).
+    pub poisoned_resolvers: Option<usize>,
 }
 
 impl FleetAttack {
     /// The paper's default: an 89-server farm, day-long TTL, shifting by
-    /// `shift`.
+    /// `shift`, every resolver poisoned.
     pub fn paper_default(at: SimTime, shift: SimDuration) -> Self {
         FleetAttack {
             at,
             ttl_secs: 86_401,
             farm_size: 89,
             shift_ns: shift.as_nanos() as i64,
+            poisoned_resolvers: None,
         }
+    }
+
+    /// The same attack landing in only the first `k` resolver caches.
+    pub fn with_poisoned_resolvers(self, k: usize) -> Self {
+        FleetAttack {
+            poisoned_resolvers: Some(k),
+            ..self
+        }
+    }
+
+    /// Whether resolver `r` is in the poisoned subset.
+    pub fn poisons_resolver(&self, r: usize) -> bool {
+        self.poisoned_resolvers.is_none_or(|k| r < k)
     }
 
     /// The poison window in nanoseconds: `[at, at + ttl)`.
@@ -61,8 +82,19 @@ pub struct FleetConfig {
     /// them — the hook the equivalence proptests pin.
     pub first_client_id: u64,
     /// The Chronos parameters every client runs (pool cadence, sampling,
-    /// §V mitigation knobs — all honoured).
+    /// §V mitigation knobs — all honoured) unless its tier overrides them.
     pub chronos: ChronosConfig,
+    /// Population tiers (client kind, share, per-tier overrides — see
+    /// [`CohortTier`]). Empty means the homogeneous legacy fleet: one
+    /// implicit all-Chronos tier running the fleet-level `chronos` config.
+    /// Clients map onto tiers by the balanced
+    /// [`crate::cohort::TierAssignment`] pattern over their global ids.
+    pub tiers: Vec<CohortTier>,
+    /// Number of independent resolvers the fleet's clients hash onto
+    /// (each with its own rotation phase, TTL draw and poisoned-or-not
+    /// flag — see [`crate::resolver::ResolverModel::for_resolver`]).
+    /// `1` (the default) reproduces the single-resolver engine exactly.
+    pub resolvers: usize,
     /// Size of the benign server universe behind the pool rotation. Must
     /// be a multiple of `per_response` and at most `64 × per_response`.
     pub universe: usize,
@@ -125,6 +157,8 @@ impl Default for FleetConfig {
             seed: 1,
             clients: 10_000,
             first_client_id: 0,
+            tiers: Vec::new(),
+            resolvers: 1,
             chronos: ChronosConfig {
                 poll_interval: SimDuration::from_secs(64),
                 pool: PoolGenConfig {
@@ -153,10 +187,31 @@ impl Default for FleetConfig {
     }
 }
 
+/// Upper bound on [`FleetConfig::resolvers`]: resolver ids live in a u16
+/// state column.
+pub const MAX_RESOLVERS: usize = u16::MAX as usize + 1;
+
 impl FleetConfig {
     /// Rotation batches in the benign universe.
     pub fn rotation_batches(&self) -> usize {
         self.universe / self.per_response
+    }
+
+    /// The tier list with the empty-tiers default resolved: either the
+    /// configured tiers, or the one implicit all-Chronos tier (labelled
+    /// `"chronos"`, share 1) every pre-cohort fleet ran.
+    pub fn effective_tiers(&self) -> Vec<TierParams> {
+        if self.tiers.is_empty() {
+            vec![TierParams::resolve(
+                &crate::cohort::CohortTier::chronos("chronos", 1),
+                &self.chronos,
+            )]
+        } else {
+            self.tiers
+                .iter()
+                .map(|t| TierParams::resolve(t, &self.chronos))
+                .collect()
+        }
     }
 
     /// Validates internal consistency.
@@ -186,6 +241,25 @@ impl FleetConfig {
             "sample cadence must be positive"
         );
         assert!(self.shard_size > 0, "shards need at least one client");
+        assert!(
+            self.resolvers >= 1 && self.resolvers <= MAX_RESOLVERS,
+            "resolver count {} outside 1..={MAX_RESOLVERS} (u16 column)",
+            self.resolvers
+        );
+        assert!(self.tiers.len() <= 255, "at most 255 tiers (u8 column)");
+        for tier in &self.tiers {
+            assert!(tier.share >= 1, "tier '{}' has zero share", tier.label);
+            if tier.kind == crate::cohort::ClientKind::PlainNtp {
+                assert!(
+                    tier.pool_size.is_none_or(|n| n >= 1),
+                    "plain tier '{}' keeps zero servers",
+                    tier.label
+                );
+            }
+        }
+        for params in self.effective_tiers() {
+            params.chronos.validate();
+        }
         self.chronos.validate();
     }
 
@@ -246,6 +320,56 @@ mod tests {
             d.structural_fingerprint(),
             "shard size shapes the quantile stream, so it is structural"
         );
+        // The cohort knobs are structural too: a different tier mix or
+        // resolver count is a different simulation.
+        let tiered = FleetConfig {
+            tiers: vec![
+                crate::cohort::CohortTier::chronos("chronos", 3),
+                crate::cohort::CohortTier::plain_ntp("plain", 1),
+            ],
+            ..FleetConfig::default()
+        };
+        let multi_resolver = FleetConfig {
+            resolvers: 8,
+            ..FleetConfig::default()
+        };
+        assert_ne!(a.structural_fingerprint(), tiered.structural_fingerprint());
+        assert_ne!(
+            a.structural_fingerprint(),
+            multi_resolver.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn effective_tiers_default_to_one_chronos_tier() {
+        let cfg = FleetConfig::default();
+        let tiers = cfg.effective_tiers();
+        assert_eq!(tiers.len(), 1);
+        assert_eq!(tiers[0].label, "chronos");
+        assert_eq!(tiers[0].kind, crate::cohort::ClientKind::Chronos);
+        assert_eq!(tiers[0].chronos, cfg.chronos, "inherits the fleet config");
+    }
+
+    #[test]
+    #[should_panic(expected = "resolver count")]
+    fn zero_resolvers_rejected() {
+        FleetConfig {
+            resolvers: 0,
+            ..FleetConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero share")]
+    fn zero_tier_share_rejected() {
+        let mut tier = crate::cohort::CohortTier::chronos("t", 1);
+        tier.share = 0;
+        FleetConfig {
+            tiers: vec![tier],
+            ..FleetConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -17,24 +17,41 @@
 //! stream feeding the order-sensitive P² quantile estimators is defined
 //! at the fixed 1 ms tick grain (`TICK_NS`).
 //!
+//! # Cohorts: heterogeneous tiers across multiple resolvers
+//!
+//! A fleet is a set of [`CohortTier`](crate::cohort::CohortTier)s —
+//! client kind (Chronos or plain-NTP), population share, per-tier
+//! configuration overrides — whose clients hash across
+//! [`FleetConfig::resolvers`] independent resolver caches. Both
+//! assignments are pure functions of the global client id
+//! ([`crate::cohort`]), materialized into `tier`/`resolver` state columns
+//! at rebuild time. Chronos lanes conclude rounds through
+//! [`chronos::core::conclude_sample_round`]; plain-NTP lanes through
+//! [`chronos::core::conclude_plain_round`] (which delegates to
+//! `ntplab`'s intersection → cluster → combine pipeline), so each kind
+//! runs the *same* decision code as its packet-level reference client.
+//! An empty tier list with `resolvers = 1` is the homogeneous legacy
+//! fleet, byte-identical to the pre-cohort engine.
+//!
 //! # Sharded parallel stepping
 //!
 //! A fleet's clients are partitioned into contiguous shards of
 //! [`FleetConfig::shard_size`] clients. Each shard owns its slice of
 //! every state column *plus* a private timer wheel, selection scratch and
 //! streaming aggregates, so stepping one shard touches no other shard's
-//! memory. The only cross-client coupling — the shared resolver cache —
+//! memory. The only cross-client coupling — the shared resolver caches —
 //! is resolved before stepping by a deterministic pre-pass
-//! ([`ResolverModel::timeline`]): pool-query times are static
-//! (`boot + k·interval`, independent of the answers), so the cache's full
-//! answer timeline is replayed once and then read immutably by every
-//! shard. After the pre-pass, shards are embarrassingly parallel:
-//! [`Fleet::run_until`] fans them over [`netsim::par::for_each_mut`] (the
-//! same lock-free claim-cursor dispatcher Monte-Carlo trials use) and the
-//! report merges shard aggregates **in shard order** — integer counters
-//! merge exactly, P² estimators merge deterministically — so a run is
-//! byte-identical for every [`FleetConfig::threads`] value, which the
-//! determinism proptests pin.
+//! ([`ResolverModel::timeline`], one per resolver): pool-query times are
+//! static (`boot + k·interval`, independent of the answers), so each
+//! cache's full answer timeline is replayed once and then read immutably
+//! by every shard. After the pre-pass, shards are embarrassingly
+//! parallel: [`Fleet::run_until`] fans them over
+//! [`netsim::par::for_each_mut`] (the same lock-free claim-cursor
+//! dispatcher Monte-Carlo trials use) and the report merges shard
+//! aggregates **in shard order** — integer counters merge exactly, P²
+//! estimators merge deterministically — so a run is byte-identical for
+//! every [`FleetConfig::threads`] value, which the determinism proptests
+//! pin.
 //!
 //! # Batched request/response rounds
 //!
@@ -42,19 +59,51 @@
 //! packets, the engine draws the round's sample composition directly from
 //! the client's pool (malicious vs benign, without replacement), produces
 //! per-sample observed offsets (server offset − client offset + path
-//! jitter), and concludes the round through the *real* Chronos decision
-//! machinery in [`chronos::core`] — the same code the packet-level client
-//! runs. Corrections land on real [`ntplab::clock::LocalClock`]s.
+//! jitter), and concludes the round through the *real* decision machinery
+//! in [`chronos::core`] — the same code the packet-level clients run.
+//! Corrections land on real [`ntplab::clock::LocalClock`]s.
+//!
+//! # Examples
+//!
+//! Build a small mixed fleet and run it to its horizon ([`Fleet::run`]):
+//!
+//! ```
+//! use fleet::cohort::CohortTier;
+//! use fleet::config::FleetConfig;
+//! use fleet::engine::Fleet;
+//!
+//! let config = FleetConfig {
+//!     clients: 64,
+//!     // 3:1 Chronos to plain-NTP, hashed over two resolver caches.
+//!     tiers: vec![
+//!         CohortTier::chronos("chronos", 3),
+//!         CohortTier::plain_ntp("plain ntp", 1),
+//!     ],
+//!     resolvers: 2,
+//!     horizon: netsim::time::SimDuration::from_secs(2_000),
+//!     ..FleetConfig::default()
+//! };
+//! let mut fleet = Fleet::new(config);
+//! let report = fleet.run();
+//! assert_eq!(report.clients, 64);
+//! // No attack: every tier stays synced, nobody drifts past the bound.
+//! assert_eq!(report.final_shifted_fraction, 0.0);
+//! let labels: Vec<&str> = report.tiers.iter().map(|t| t.label.as_str()).collect();
+//! assert_eq!(labels, ["chronos", "plain ntp"]);
+//! assert_eq!(report.tiers.iter().map(|t| t.clients).sum::<usize>(), 64);
+//! ```
 
+use crate::cohort::{resolver_of, ClientKind, TierAssignment, TierParams};
 use crate::config::FleetConfig;
-use crate::resolver::{DnsAnswer, ResolverModel, ResolverTimeline};
+use crate::resolver::{DnsAnswer, QuerySchedule, ResolverModel, ResolverTimeline};
 use crate::rng::{client_seed, FleetRng};
 use crate::stats::{OffsetHistogram, P2Quantile};
 use crate::wheel::TimerWheel;
-use chronos::core::{self, ChronosStats, CoreState, Phase, RoundOutcome};
+use chronos::core::{self, ChronosStats, CoreState, Phase, PlainRoundOutcome, RoundOutcome};
 use chronos::select::SelectScratch;
 use netsim::time::{SimDuration, SimTime};
 use ntplab::clock::LocalClock;
+use ntplab::select::PeerSample;
 use serde::{Deserialize, Serialize};
 
 /// Quantiles tracked by the streaming estimators.
@@ -99,6 +148,32 @@ pub struct FleetReport {
     /// Client events stepped (pool rounds + polls), for throughput
     /// accounting.
     pub events: u64,
+    /// Per-tier breakdown, in tier order (a single implicit `"chronos"`
+    /// tier for homogeneous fleets). Tier sums reproduce the fleet-wide
+    /// fields above.
+    pub tiers: Vec<TierBreakdown>,
+}
+
+/// One tier's slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierBreakdown {
+    /// Tier label (from [`crate::cohort::CohortTier::label`]).
+    pub label: String,
+    /// Which client implementation the tier runs.
+    pub kind: ClientKind,
+    /// Clients assigned to this tier.
+    pub clients: usize,
+    /// `(seconds, fraction-of-tier)` shifted series, same sample schedule
+    /// as the fleet-wide series.
+    pub shifted: Vec<(f64, f64)>,
+    /// Fraction of the tier beyond the safety bound at the end.
+    pub final_shifted_fraction: f64,
+    /// Tier clients with at least one malicious server in their pool.
+    pub poisoned_clients: u64,
+    /// Tier clients past pool generation (plain-NTP: resolved).
+    pub synced_clients: u64,
+    /// Element-wise sum of the tier's client counters.
+    pub totals: ChronosStats,
 }
 
 /// Per-client activity counters at column width: a single client's per-run
@@ -140,12 +215,13 @@ impl CompactStats {
     }
 }
 
-/// The DNS model a shard consults during pool generation: the precomputed
-/// shared-cache timeline, or the read-only independent resolver.
+/// The DNS model a shard consults during pool generation, one entry per
+/// resolver (indexed by the client's `resolver` column): the precomputed
+/// shared-cache timelines, or the read-only independent resolvers.
 #[derive(Debug, Clone, Copy)]
 enum DnsView<'a> {
-    Shared(&'a ResolverTimeline),
-    Independent(&'a ResolverModel),
+    Shared(&'a [ResolverTimeline]),
+    Independent(&'a [ResolverModel]),
 }
 
 /// One contiguous slab of the fleet: a private copy of every per-client
@@ -159,6 +235,10 @@ struct Shard {
     // --- struct-of-arrays client state (one entry per local client) ---
     clocks: Vec<LocalClock>,
     phase: Vec<Phase>,
+    /// Tier index into the fleet's resolved [`TierParams`] list.
+    tier: Vec<u8>,
+    /// Resolver id the client hashes onto ([`resolver_of`]).
+    resolver: Vec<u16>,
     retries: Vec<u32>,
     /// Envelope anchor, packed: ns of the last accepted correction, or
     /// [`NO_UPDATE`]. (A packed u64 column instead of `Option<SimTime>`
@@ -168,6 +248,7 @@ struct Shard {
     stats: Vec<CompactStats>,
     pool_rounds: Vec<u16>,
     /// Bitmap of benign rotation batches gathered (dedup, ≤ 64 residues).
+    /// Plain-NTP lanes use bit 0 as a "resolved benign servers" marker.
     benign_batches: Vec<u64>,
     /// Malicious servers admitted to the pool (post-mitigation).
     malicious: Vec<u32>,
@@ -178,6 +259,8 @@ struct Shard {
     wheel: TimerWheel,
     scratch: SelectScratch,
     offsets_buf: Vec<i64>,
+    /// Scratch for the plain-NTP pipeline's [`PeerSample`]s.
+    plain_samples: Vec<PeerSample>,
     due: Vec<u32>,
     expired: Vec<u32>,
     /// Events popped off the wheel but beyond the current run boundary.
@@ -185,8 +268,9 @@ struct Shard {
     now_ns: u64,
     boundary_ns: u64,
     next_sample_ns: u64,
-    /// Clients beyond the safety bound at each emitted sample index (the
-    /// sample schedule is fleet-global, so index k is the sample at
+    /// Clients beyond the safety bound at each emitted sample, broken
+    /// down by tier: sample-major with stride `tier_count` (the sample
+    /// schedule is fleet-global, so chunk k is the per-tier counts at
     /// `k · sample_every` for every shard).
     shifted_counts: Vec<u64>,
     histogram: OffsetHistogram,
@@ -201,6 +285,8 @@ impl Shard {
             first_global: 0,
             clocks: Vec::new(),
             phase: Vec::new(),
+            tier: Vec::new(),
+            resolver: Vec::new(),
             retries: Vec::new(),
             last_update_ns: Vec::new(),
             rng: Vec::new(),
@@ -213,6 +299,7 @@ impl Shard {
             wheel: TimerWheel::new(0, TICK_NS),
             scratch: SelectScratch::new(),
             offsets_buf: Vec::new(),
+            plain_samples: Vec::new(),
             due: Vec::new(),
             expired: Vec::new(),
             carry: Vec::new(),
@@ -231,11 +318,19 @@ impl Shard {
     /// layout is unchanged) and reseeds each client at time zero. Used
     /// identically by `Fleet::new`, `reset` and `reconfigure`, so shard
     /// construction cannot drift between those paths.
-    fn rebuild(&mut self, config: &FleetConfig, first_global: u64, len: usize) {
+    fn rebuild(
+        &mut self,
+        config: &FleetConfig,
+        assignment: &TierAssignment,
+        first_global: u64,
+        len: usize,
+    ) {
         self.first_global = first_global;
         // -- resize --
         self.clocks.resize(len, LocalClock::perfect());
         self.phase.resize(len, Phase::PoolGeneration);
+        self.tier.resize(len, 0);
+        self.resolver.resize(len, 0);
         self.retries.resize(len, 0);
         self.last_update_ns.resize(len, NO_UPDATE);
         self.rng.resize(len, 0);
@@ -271,9 +366,12 @@ impl Shard {
         self.events = 0;
         // -- reseed every client --
         for i in 0..len {
-            let (start_ns, drift, rng_state) = client_boot(config, self.first_global + i as u64);
+            let global = self.first_global + i as u64;
+            let (start_ns, drift, rng_state) = client_boot(config, global);
             self.clocks[i] = LocalClock::new(0, drift);
             self.phase[i] = Phase::PoolGeneration;
+            self.tier[i] = assignment.tier_of(global);
+            self.resolver[i] = resolver_of(config.seed, global, config.resolvers);
             self.retries[i] = 0;
             self.last_update_ns[i] = NO_UPDATE;
             self.rng[i] = rng_state;
@@ -287,7 +385,13 @@ impl Shard {
 
     /// Runs the shard up to and including every event with a deadline at
     /// or before `target` ns.
-    fn run_until(&mut self, target: u64, config: &FleetConfig, dns: DnsView<'_>) {
+    fn run_until(
+        &mut self,
+        target: u64,
+        config: &FleetConfig,
+        tiers: &[TierParams],
+        dns: DnsView<'_>,
+    ) {
         self.boundary_ns = target;
         // Carried events (popped past an earlier boundary) may be due now.
         if !self.carry.is_empty() {
@@ -300,7 +404,7 @@ impl Shard {
                 }
             }
         }
-        self.process_due(config, dns);
+        self.process_due(config, tiers, dns);
         let limit_tick = self.wheel.tick_of(target);
         while self.wheel.now_ns() < target && (self.wheel.armed() > 0 || !self.due.is_empty()) {
             // Jump over the empty stretch to the next tick that can expire
@@ -315,13 +419,13 @@ impl Shard {
                     self.carry.push(id);
                 }
             }
-            self.process_due(config, dns);
+            self.process_due(config, tiers, dns);
         }
-        self.emit_samples_until(target, config);
+        self.emit_samples_until(target, config, tiers.len());
         self.now_ns = target;
     }
 
-    fn process_due(&mut self, config: &FleetConfig, dns: DnsView<'_>) {
+    fn process_due(&mut self, config: &FleetConfig, tiers: &[TierParams], dns: DnsView<'_>) {
         if self.due.is_empty() {
             return;
         }
@@ -338,14 +442,22 @@ impl Shard {
             let id = self.due[i] as usize;
             i += 1;
             let at_ns = self.deadline_ns[id];
-            self.emit_samples_until(at_ns, config);
+            self.emit_samples_until(at_ns, config, tiers.len());
             self.events += 1;
-            match self.phase[id] {
-                // A client's one pending event is a pool round exactly
-                // while it is generating its pool, a poll afterwards — the
-                // phase column *is* the event kind.
-                Phase::PoolGeneration => self.pool_round(id, at_ns, config, dns),
-                _ => self.poll_round(id, at_ns, config),
+            let tier = &tiers[self.tier[id] as usize];
+            // A client's one pending event is a pool round exactly while
+            // it is generating its pool, a poll afterwards — the phase
+            // column *is* the event kind; the tier column picks the
+            // decision machinery.
+            match (tier.kind, self.phase[id]) {
+                (ClientKind::Chronos, Phase::PoolGeneration) => {
+                    self.pool_round(id, at_ns, config, tier, dns)
+                }
+                (ClientKind::Chronos, _) => self.poll_round(id, at_ns, config, tier),
+                (ClientKind::PlainNtp, Phase::PoolGeneration) => {
+                    self.plain_pool_round(id, at_ns, tier, dns)
+                }
+                (ClientKind::PlainNtp, _) => self.plain_poll_round(id, at_ns, config, tier),
             }
         }
         self.due.clear();
@@ -364,23 +476,37 @@ impl Shard {
         }
     }
 
-    // --- DNS pool generation ---
+    /// The DNS answer client `i`'s resolver serves at `at_ns` (`round` is
+    /// the client's private rotation position in independent mode).
+    fn dns_answer(&self, i: usize, at_ns: u64, round: u64, dns: DnsView<'_>) -> DnsAnswer {
+        let r = self.resolver[i] as usize;
+        match dns {
+            DnsView::Shared(timelines) => timelines[r].answer(at_ns),
+            DnsView::Independent(models) => models[r].query_independent(at_ns, round),
+        }
+    }
 
-    fn pool_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig, dns: DnsView<'_>) {
+    // --- DNS pool generation (Chronos tiers) ---
+
+    fn pool_round(
+        &mut self,
+        i: usize,
+        at_ns: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+        dns: DnsView<'_>,
+    ) {
         self.stats[i].pool_queries += 1;
         let round = u64::from(self.pool_rounds[i]);
-        let answer = match dns {
-            DnsView::Shared(timeline) => timeline.answer(at_ns),
-            DnsView::Independent(resolver) => resolver.query_independent(at_ns, round),
-        };
-        self.absorb_response(i, answer, config);
+        let answer = self.dns_answer(i, at_ns, round, dns);
+        self.absorb_response(i, answer, config, tier);
         self.pool_rounds[i] += 1;
-        if usize::from(self.pool_rounds[i]) >= config.chronos.pool.queries {
+        if usize::from(self.pool_rounds[i]) >= tier.chronos.pool.queries {
             self.phase[i] = Phase::Syncing;
             // Mirrors the packet client's zero-delay first poll.
             self.schedule(i, at_ns);
         } else {
-            self.schedule(i, at_ns + config.chronos.pool.query_interval.as_nanos());
+            self.schedule(i, at_ns + tier.chronos.pool.query_interval.as_nanos());
         }
     }
 
@@ -390,8 +516,14 @@ impl Shard {
     /// and at most `max_records_per_response` addresses are taken (the
     /// same prefix every time, so a capped poisoned response never grows
     /// the pool past its first acceptance).
-    fn absorb_response(&mut self, i: usize, answer: DnsAnswer, config: &FleetConfig) {
-        let pool_cfg = &config.chronos.pool;
+    fn absorb_response(
+        &mut self,
+        i: usize,
+        answer: DnsAnswer,
+        config: &FleetConfig,
+        tier: &TierParams,
+    ) {
+        let pool_cfg = &tier.chronos.pool;
         let record_cap = pool_cfg.max_records_per_response.unwrap_or(usize::MAX);
         let ttl = match answer {
             DnsAnswer::Benign { ttl_secs, .. } | DnsAnswer::Poisoned { ttl_secs, .. } => ttl_secs,
@@ -411,18 +543,113 @@ impl Shard {
         }
     }
 
-    /// Benign servers in client `i`'s pool (batches × admitted-per-batch).
-    fn benign_count(&self, i: usize, config: &FleetConfig) -> usize {
-        let per_batch = config
-            .chronos
-            .pool
-            .max_records_per_response
-            .unwrap_or(usize::MAX)
-            .min(config.per_response);
-        self.benign_batches[i].count_ones() as usize * per_batch
+    /// Benign servers in client `i`'s pool: Chronos pools hold
+    /// batches × admitted-per-batch; a plain-NTP pool is the prefix of its
+    /// single resolution.
+    fn benign_count(&self, i: usize, config: &FleetConfig, tier: &TierParams) -> usize {
+        match tier.kind {
+            ClientKind::Chronos => {
+                let per_batch = tier
+                    .chronos
+                    .pool
+                    .max_records_per_response
+                    .unwrap_or(usize::MAX)
+                    .min(config.per_response);
+                self.benign_batches[i].count_ones() as usize * per_batch
+            }
+            ClientKind::PlainNtp => {
+                if self.benign_batches[i] != 0 {
+                    tier.plain_servers.min(config.per_response)
+                } else {
+                    0
+                }
+            }
+        }
     }
 
-    // --- poll rounds ---
+    // --- plain-NTP lanes ---
+
+    /// A plain-NTP client's single boot-time DNS resolution: whatever the
+    /// resolver serves *is* the pool — the paper's one poisoning
+    /// opportunity, against Chronos' 24. No §V mitigations apply (they
+    /// are Chronos pool-generation knobs).
+    fn plain_pool_round(&mut self, i: usize, at_ns: u64, tier: &TierParams, dns: DnsView<'_>) {
+        self.stats[i].pool_queries += 1;
+        match self.dns_answer(i, at_ns, 0, dns) {
+            DnsAnswer::Benign { .. } => {
+                self.benign_batches[i] = 1; // resolved: servers come from the prefix
+            }
+            DnsAnswer::Poisoned { farm_size, .. } => {
+                self.malicious[i] = farm_size.min(tier.plain_servers) as u32;
+            }
+        }
+        self.pool_rounds[i] = 1;
+        self.phase[i] = Phase::Syncing;
+        // The packet client starts its first poll on resolution.
+        self.schedule(i, at_ns);
+    }
+
+    /// One plain-NTP poll: every server in the (4-entry) pool is sampled
+    /// and the round concludes through
+    /// [`chronos::core::conclude_plain_round`] — `ntplab`'s
+    /// intersection → cluster → combine, the same pipeline the
+    /// packet-level [`ntplab::plain::PlainNtpClient`] runs.
+    fn plain_poll_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig, tier: &TierParams) {
+        let benign = self.benign_count(i, config, tier);
+        let malicious = self.malicious[i] as usize;
+        let total = benign + malicious;
+        let poll_ns = tier.chronos.poll_interval.as_nanos();
+        if total == 0 {
+            self.schedule(i, at_ns + poll_ns);
+            return;
+        }
+        self.stats[i].polls += 1;
+        let mut rng = FleetRng::from_seed(self.rng[i]);
+        let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
+        let benign_bound = config.benign_offset_ms as i64 * 1_000_000;
+        let jitter = config.jitter_std.as_nanos() as f64;
+        let client_off = self.clocks[i].offset_from_true(SimTime::from_nanos(at_ns));
+        // Fixed draw order (malicious block, then benign): the pool *is*
+        // the sample — plain NTP polls all of its servers every round.
+        self.offsets_buf.clear();
+        for _ in 0..malicious {
+            let noise = if jitter > 0.0 {
+                rng.normal(0.0, jitter) as i64
+            } else {
+                0
+            };
+            self.offsets_buf.push(shift_ns - client_off + noise);
+        }
+        for _ in 0..benign {
+            let server_off = Self::draw_benign_offset(&mut rng, benign_bound);
+            let noise = if jitter > 0.0 {
+                rng.normal(0.0, jitter) as i64
+            } else {
+                0
+            };
+            self.offsets_buf.push(server_off - client_off + noise);
+        }
+        let collect_ns = at_ns + tier.chronos.response_window.as_nanos();
+        let collect = SimTime::from_nanos(collect_ns);
+        let mut stats = self.stats[i].widen();
+        let outcome = core::conclude_plain_round(
+            &mut stats,
+            &mut self.plain_samples,
+            &self.offsets_buf,
+            plain_root_distance_ns(config),
+        );
+        self.stats[i] = CompactStats::narrow(&stats);
+        if let PlainRoundOutcome::Correction { correction_ns, .. } = outcome {
+            self.clocks[i].apply_correction(collect, correction_ns);
+        }
+        self.observe(i, collect, config);
+        self.rng[i] = rng.state();
+        // Mirror the packet client's cadence: polls start every
+        // `poll_interval` exactly (collect + interval − window).
+        self.schedule(i, at_ns + poll_ns);
+    }
+
+    // --- Chronos poll rounds ---
 
     fn draw_benign_offset(rng: &mut FleetRng, bound_ns: i64) -> i64 {
         if bound_ns > 0 {
@@ -432,11 +659,11 @@ impl Shard {
         }
     }
 
-    fn poll_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig) {
-        let benign = self.benign_count(i, config);
+    fn poll_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig, tier: &TierParams) {
+        let benign = self.benign_count(i, config, tier);
         let malicious = self.malicious[i] as usize;
         let total = benign + malicious;
-        let poll_ns = config.chronos.poll_interval.as_nanos();
+        let poll_ns = tier.chronos.poll_interval.as_nanos();
         if total == 0 {
             // Nothing to sample; try again next interval (as the packet
             // client does, without counting a poll).
@@ -445,7 +672,7 @@ impl Shard {
         }
         self.stats[i].polls += 1;
         let mut rng = FleetRng::from_seed(self.rng[i]);
-        let m = config.chronos.sample_size.min(total);
+        let m = tier.chronos.sample_size.min(total);
         let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
         let benign_bound = config.benign_offset_ms as i64 * 1_000_000;
         let jitter = config.jitter_std.as_nanos() as f64;
@@ -471,12 +698,12 @@ impl Shard {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
-        let collect_ns = at_ns + config.chronos.response_window.as_nanos();
+        let collect_ns = at_ns + tier.chronos.response_window.as_nanos();
         let collect = SimTime::from_nanos(collect_ns);
         let mut stats = self.stats[i].widen();
         let mut last_update = unpack_update(self.last_update_ns[i]);
         let outcome = core::conclude_sample_round(
-            &config.chronos,
+            &tier.chronos,
             &mut CoreState {
                 phase: &mut self.phase[i],
                 retries: &mut self.retries[i],
@@ -503,7 +730,7 @@ impl Shard {
             }
             RoundOutcome::EnterPanic => {
                 self.observe(i, collect, config);
-                self.panic_round(i, collect_ns, &mut rng, benign, malicious, config);
+                self.panic_round(i, collect_ns, &mut rng, benign, malicious, config, tier);
                 self.rng[i] = rng.state();
             }
         }
@@ -511,6 +738,7 @@ impl Shard {
 
     /// Panic mode: one batched round over the *whole* pool, concluding a
     /// response window later (as the packet client's panic collect does).
+    #[allow(clippy::too_many_arguments)]
     fn panic_round(
         &mut self,
         i: usize,
@@ -519,6 +747,7 @@ impl Shard {
         benign: usize,
         malicious: usize,
         config: &FleetConfig,
+        tier: &TierParams,
     ) {
         let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
         let benign_bound = config.benign_offset_ms as i64 * 1_000_000;
@@ -542,7 +771,7 @@ impl Shard {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
-        let panic_ns = collect_ns + config.chronos.response_window.as_nanos();
+        let panic_ns = collect_ns + tier.chronos.response_window.as_nanos();
         let panic_at = SimTime::from_nanos(panic_ns);
         let mut stats = self.stats[i].widen();
         let mut last_update = unpack_update(self.last_update_ns[i]);
@@ -563,7 +792,7 @@ impl Shard {
             self.clocks[i].apply_correction(panic_at, correction);
         }
         self.observe(i, panic_at, config);
-        self.schedule(i, panic_ns + config.chronos.poll_interval.as_nanos());
+        self.schedule(i, panic_ns + tier.chronos.poll_interval.as_nanos());
     }
 
     /// Streams one concluded round's clock error into the aggregates (and
@@ -582,12 +811,24 @@ impl Shard {
 
     // --- sampling ---
 
-    fn emit_samples_until(&mut self, up_to_ns: u64, config: &FleetConfig) {
+    fn emit_samples_until(&mut self, up_to_ns: u64, config: &FleetConfig, tier_count: usize) {
         while self.next_sample_ns <= up_to_ns && self.next_sample_ns <= self.boundary_ns {
             let at = SimTime::from_nanos(self.next_sample_ns);
-            let count = self.shifted_count(at, config);
-            self.shifted_counts.push(count);
+            self.push_shifted_sample(at, config, tier_count);
             self.next_sample_ns += config.sample_every.as_nanos();
+        }
+    }
+
+    /// Appends one per-tier chunk of shifted-client counts at `now` to
+    /// the sample-major `shifted_counts` column.
+    fn push_shifted_sample(&mut self, now: SimTime, config: &FleetConfig, tier_count: usize) {
+        let bound = config.safety_bound.as_nanos() as i64;
+        let base = self.shifted_counts.len();
+        self.shifted_counts.resize(base + tier_count, 0);
+        for (i, clock) in self.clocks.iter().enumerate() {
+            if clock.offset_from_true(now).abs() > bound {
+                self.shifted_counts[base + self.tier[i] as usize] += 1;
+            }
         }
     }
 
@@ -600,6 +841,17 @@ impl Shard {
             .filter(|c| c.offset_from_true(now).abs() > bound)
             .count() as u64
     }
+
+    /// Per-tier shifted-client counts at `now` (accumulated into `out`,
+    /// which must hold one slot per tier).
+    fn shifted_count_by_tier(&self, now: SimTime, config: &FleetConfig, out: &mut [u64]) {
+        let bound = config.safety_bound.as_nanos() as i64;
+        for (i, clock) in self.clocks.iter().enumerate() {
+            if clock.offset_from_true(now).abs() > bound {
+                out[self.tier[i] as usize] += 1;
+            }
+        }
+    }
 }
 
 fn pack_update(last_update: Option<SimTime>) -> u64 {
@@ -608,6 +860,15 @@ fn pack_update(last_update: Option<SimTime>) -> u64 {
 
 fn unpack_update(packed: u64) -> Option<SimTime> {
     (packed != NO_UPDATE).then(|| SimTime::from_nanos(packed))
+}
+
+/// The plain-NTP mean-field correctness-interval radius: the benign
+/// imperfection bound plus a 4σ jitter budget plus a 1 ms floor. Stands
+/// in for the per-exchange δ/2 + ε a packet client measures, and is wide
+/// enough that honest servers always intersect (their offsets are drawn
+/// inside the bound) while a 500 ms-scale lie never intersects them.
+fn plain_root_distance_ns(config: &FleetConfig) -> i64 {
+    config.benign_offset_ms as i64 * 1_000_000 + 4 * config.jitter_std.as_nanos() as i64 + 1_000_000
 }
 
 /// Derives one client's boot state from the fleet seed and its global id:
@@ -633,14 +894,21 @@ fn client_boot(config: &FleetConfig, global_id: u64) -> (u64, f64, u64) {
     (start_ns, drift, rng.state())
 }
 
-/// A population of lightweight Chronos clients in one shared world,
-/// sharded for parallel stepping (see the module docs).
+/// A population of lightweight time clients in one shared world — mixed
+/// Chronos/plain-NTP tiers hashed across independent resolvers, sharded
+/// for parallel stepping (see the module docs).
 #[derive(Debug)]
 pub struct Fleet {
     config: FleetConfig,
-    resolver: ResolverModel,
-    /// Precomputed shared-cache answers (empty in independent mode).
-    timeline: ResolverTimeline,
+    /// Resolved per-tier parameters, indexed by the `tier` column.
+    tiers: Vec<TierParams>,
+    /// The balanced client→tier pattern.
+    assignment: TierAssignment,
+    /// One model per resolver ([`FleetConfig::resolvers`]).
+    resolvers: Vec<ResolverModel>,
+    /// Precomputed per-resolver answer timelines (empty in independent
+    /// mode).
+    timelines: Vec<ResolverTimeline>,
     shards: Vec<Shard>,
     now_ns: u64,
 }
@@ -655,8 +923,10 @@ impl Fleet {
     pub fn new(config: FleetConfig) -> Fleet {
         config.validate();
         let mut fleet = Fleet {
-            resolver: ResolverModel::new(&config),
-            timeline: ResolverTimeline::empty(),
+            tiers: Vec::new(),
+            assignment: TierAssignment::new(&[]),
+            resolvers: Vec::new(),
+            timelines: Vec::new(),
             shards: Vec::new(),
             now_ns: 0,
             config,
@@ -685,6 +955,12 @@ impl Fleet {
         self.shards.len()
     }
 
+    /// The resolved per-tier parameters, in tier order (one implicit
+    /// Chronos tier for homogeneous fleets).
+    pub fn tier_params(&self) -> &[TierParams] {
+        &self.tiers
+    }
+
     /// Changes the intra-fleet worker count without touching simulation
     /// state — `threads` is a pure wall-clock knob (results are
     /// byte-identical for every value), so it may change at any time,
@@ -709,17 +985,22 @@ impl Fleet {
     /// only in seed, so columns are always reusable there).
     pub fn reconfigure(&mut self, config: FleetConfig) {
         config.validate();
-        self.resolver = ResolverModel::new(&config);
         self.config = config;
         self.rebuild();
     }
 
     /// The single sizing-and-reseeding path underneath `new`, `reset` and
-    /// `reconfigure`: lays the clients out into shards, rebuilds each (one
-    /// shared code path, so shard-local construction cannot drift from any
-    /// caller), and precomputes the resolver timeline for shared-cache
-    /// mode.
+    /// `reconfigure`: resolves tiers and assignment, derives the resolver
+    /// set from the seed, lays the clients out into shards, rebuilds each
+    /// (one shared code path, so shard-local construction cannot drift
+    /// from any caller), and precomputes the per-resolver timelines for
+    /// shared-cache mode.
     fn rebuild(&mut self) {
+        self.tiers = self.config.effective_tiers();
+        self.assignment = TierAssignment::new(&self.config.tiers);
+        self.resolvers = (0..self.config.resolvers)
+            .map(|r| ResolverModel::for_resolver(&self.config, r))
+            .collect();
         let n = self.config.clients;
         let size = self.config.shard_size;
         let shard_count = n.div_ceil(size);
@@ -730,23 +1011,46 @@ impl Fleet {
         for (s, shard) in self.shards.iter_mut().enumerate() {
             let base = s * size;
             let len = size.min(n - base);
-            shard.rebuild(&self.config, self.config.first_client_id + base as u64, len);
+            shard.rebuild(
+                &self.config,
+                &self.assignment,
+                self.config.first_client_id + base as u64,
+                len,
+            );
         }
         self.now_ns = 0;
-        self.timeline = if self.config.shared_cache {
+        self.timelines = if self.config.shared_cache {
             // The deterministic cache pre-pass: every pool-query time is
-            // static, so the shared cache's whole answer timeline resolves
+            // static, so each resolver's whole answer timeline resolves
             // before any client steps.
-            let starts: Vec<u64> = (0..n as u64)
-                .map(|g| client_boot(&self.config, self.config.first_client_id + g).0)
-                .collect();
-            self.resolver.timeline(
-                &starts,
-                self.config.chronos.pool.query_interval.as_nanos(),
-                self.config.chronos.pool.queries as u64,
-            )
+            let mut schedules: Vec<Vec<QuerySchedule>> = vec![Vec::new(); self.config.resolvers];
+            for g in 0..n as u64 {
+                let global = self.config.first_client_id + g;
+                let (start_ns, _, _) = client_boot(&self.config, global);
+                let tier = &self.tiers[self.assignment.tier_of(global) as usize];
+                let schedule = match tier.kind {
+                    ClientKind::Chronos => QuerySchedule {
+                        start_ns,
+                        interval_ns: tier.chronos.pool.query_interval.as_nanos(),
+                        rounds: tier.chronos.pool.queries as u64,
+                    },
+                    // Plain NTP resolves exactly once, at boot.
+                    ClientKind::PlainNtp => QuerySchedule {
+                        start_ns,
+                        interval_ns: 0,
+                        rounds: 1,
+                    },
+                };
+                let r = resolver_of(self.config.seed, global, self.config.resolvers);
+                schedules[r as usize].push(schedule);
+            }
+            self.resolvers
+                .iter()
+                .zip(&schedules)
+                .map(|(model, schedule)| model.timeline(schedule))
+                .collect()
         } else {
-            ResolverTimeline::empty()
+            Vec::new()
         };
     }
 
@@ -762,19 +1066,20 @@ impl Fleet {
         let target = until.as_nanos();
         assert!(target >= self.now_ns, "cannot run backwards");
         let config = &self.config;
+        let tiers = &self.tiers[..];
         let dns = if config.shared_cache {
-            DnsView::Shared(&self.timeline)
+            DnsView::Shared(&self.timelines)
         } else {
-            DnsView::Independent(&self.resolver)
+            DnsView::Independent(&self.resolvers)
         };
         let threads = config.effective_threads().min(self.shards.len()).max(1);
         if threads == 1 {
             for shard in &mut self.shards {
-                shard.run_until(target, config, dns);
+                shard.run_until(target, config, tiers, dns);
             }
         } else {
             netsim::par::for_each_mut(&mut self.shards, threads, |shard, _| {
-                shard.run_until(target, config, dns)
+                shard.run_until(target, config, tiers, dns)
             });
         }
         self.now_ns = target;
@@ -810,6 +1115,8 @@ impl Fleet {
     pub const fn per_client_footprint_bytes() -> usize {
         std::mem::size_of::<LocalClock>()               // clocks
             + std::mem::size_of::<Phase>()              // phase (also the event kind)
+            + std::mem::size_of::<u8>()                 // tier
+            + std::mem::size_of::<u16>()                // resolver
             + std::mem::size_of::<u32>()                // retries
             + std::mem::size_of::<u64>()                // last_update_ns (packed)
             + std::mem::size_of::<u64>()                // rng
@@ -842,8 +1149,9 @@ impl Fleet {
     /// One client's pool composition as `(benign, malicious)`.
     pub fn client_pool(&self, i: usize) -> (usize, usize) {
         let (shard, local) = self.locate(i);
+        let tier = &self.tiers[shard.tier[local] as usize];
         (
-            shard.benign_count(local, &self.config),
+            shard.benign_count(local, &self.config, tier),
             shard.malicious[local] as usize,
         )
     }
@@ -852,6 +1160,23 @@ impl Fleet {
     pub fn client_phase(&self, i: usize) -> Phase {
         let (shard, local) = self.locate(i);
         shard.phase[local]
+    }
+
+    /// One client's tier index (into [`Fleet::tier_params`]).
+    pub fn client_tier(&self, i: usize) -> usize {
+        let (shard, local) = self.locate(i);
+        shard.tier[local] as usize
+    }
+
+    /// One client's kind (from its tier).
+    pub fn client_kind(&self, i: usize) -> ClientKind {
+        self.tiers[self.client_tier(i)].kind
+    }
+
+    /// The resolver id client `i` hashes onto.
+    pub fn client_resolver(&self, i: usize) -> usize {
+        let (shard, local) = self.locate(i);
+        shard.resolver[local] as usize
     }
 
     /// One client's recorded offset trajectory.
@@ -874,22 +1199,29 @@ impl Fleet {
     /// integer arithmetic and merge-order-free).
     pub fn report(&self) -> FleetReport {
         let now = self.now();
-        let mut totals = ChronosStats::default();
-        let mut poisoned = 0u64;
-        let mut synced = 0u64;
+        let t_count = self.tiers.len();
+        let mut tier_clients = vec![0usize; t_count];
+        let mut tier_totals = vec![ChronosStats::default(); t_count];
+        let mut tier_poisoned = vec![0u64; t_count];
+        let mut tier_synced = vec![0u64; t_count];
+        let mut tier_final_shifted = vec![0u64; t_count];
         let mut histogram = OffsetHistogram::log_scale(HISTOGRAM_BINS_PER_DECADE);
         let mut quantiles = TRACKED_QUANTILES.map(P2Quantile::new);
+        // Sample-major per-tier counts, stride `t_count`.
         let mut shifted_counts: Vec<u64> = Vec::new();
         for shard in &self.shards {
-            for s in &shard.stats {
-                totals.accumulate(&s.widen());
+            for (i, s) in shard.stats.iter().enumerate() {
+                let t = shard.tier[i] as usize;
+                tier_clients[t] += 1;
+                tier_totals[t].accumulate(&s.widen());
+                if shard.malicious[i] > 0 {
+                    tier_poisoned[t] += 1;
+                }
+                if shard.phase[i] != Phase::PoolGeneration {
+                    tier_synced[t] += 1;
+                }
             }
-            poisoned += shard.malicious.iter().filter(|&&m| m > 0).count() as u64;
-            synced += shard
-                .phase
-                .iter()
-                .filter(|&&p| p != Phase::PoolGeneration)
-                .count() as u64;
+            shard.shifted_count_by_tier(now, &self.config, &mut tier_final_shifted);
             histogram.merge_from(&shard.histogram);
             for (q, sq) in quantiles.iter_mut().zip(&shard.quantiles) {
                 q.merge_from(sq);
@@ -907,25 +1239,55 @@ impl Fleet {
         }
         let sample_ns = self.config.sample_every.as_nanos();
         let clients = self.config.clients as f64;
-        let shifted: Vec<(f64, f64)> = shifted_counts
-            .iter()
-            .enumerate()
-            .map(|(k, &count)| {
-                let at = SimTime::from_nanos(k as u64 * sample_ns);
-                (at.as_secs_f64(), count as f64 / clients)
+        let samples = shifted_counts.len() / t_count.max(1);
+        let sample_at = |k: usize| SimTime::from_nanos(k as u64 * sample_ns).as_secs_f64();
+        let shifted: Vec<(f64, f64)> = (0..samples)
+            .map(|k| {
+                let count: u64 = shifted_counts[k * t_count..(k + 1) * t_count].iter().sum();
+                (sample_at(k), count as f64 / clients)
             })
             .collect();
+        let tiers: Vec<TierBreakdown> = self
+            .tiers
+            .iter()
+            .enumerate()
+            .map(|(t, params)| {
+                let members = tier_clients[t].max(1) as f64;
+                TierBreakdown {
+                    label: params.label.clone(),
+                    kind: params.kind,
+                    clients: tier_clients[t],
+                    shifted: (0..samples)
+                        .map(|k| {
+                            (
+                                sample_at(k),
+                                shifted_counts[k * t_count + t] as f64 / members,
+                            )
+                        })
+                        .collect(),
+                    final_shifted_fraction: tier_final_shifted[t] as f64 / members,
+                    poisoned_clients: tier_poisoned[t],
+                    synced_clients: tier_synced[t],
+                    totals: tier_totals[t],
+                }
+            })
+            .collect();
+        let mut totals = ChronosStats::default();
+        for t in &tier_totals {
+            totals.accumulate(t);
+        }
         FleetReport {
             clients: self.config.clients,
             end: now,
             shifted,
-            final_shifted_fraction: self.shifted_fraction(now),
-            poisoned_clients: poisoned,
-            synced_clients: synced,
+            final_shifted_fraction: tier_final_shifted.iter().sum::<u64>() as f64 / clients,
+            poisoned_clients: tier_poisoned.iter().sum(),
+            synced_clients: tier_synced.iter().sum(),
             totals,
             quantiles: quantiles.iter().map(|q| (q.p(), q.estimate())).collect(),
             histogram,
             events: self.events(),
+            tiers,
         }
     }
 }
@@ -933,6 +1295,7 @@ impl Fleet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cohort::CohortTier;
     use crate::config::FleetAttack;
 
     fn small_config() -> FleetConfig {
@@ -977,6 +1340,15 @@ mod tests {
         assert!(report.shifted.iter().all(|&(_, f)| f == 0.0));
         assert!(!report.shifted.is_empty());
         assert!(report.events > 64 * 6);
+        // The homogeneous breakdown is one implicit Chronos tier whose
+        // numbers reproduce the fleet-wide fields.
+        assert_eq!(report.tiers.len(), 1);
+        let tier = &report.tiers[0];
+        assert_eq!(tier.label, "chronos");
+        assert_eq!(tier.kind, ClientKind::Chronos);
+        assert_eq!(tier.clients, 64);
+        assert_eq!(tier.totals, report.totals);
+        assert_eq!(tier.shifted, report.shifted);
     }
 
     #[test]
@@ -1142,11 +1514,14 @@ mod tests {
         assert_eq!(fleet.client_offset_ns(0, SimTime::ZERO), 0);
         assert_eq!(fleet.client_phase(0), Phase::PoolGeneration);
         assert_eq!(fleet.client_stats(0), ChronosStats::default());
+        assert_eq!(fleet.client_tier(0), 0);
+        assert_eq!(fleet.client_kind(0), ClientKind::Chronos);
+        assert_eq!(fleet.client_resolver(0), 0, "R = 1: everyone on resolver 0");
     }
 
     /// The satellite footprint budget: per-client column state must sit
     /// comfortably below the ~150 B the PR 3 engine spent, so a 10⁶-client
-    /// fleet's columns fit in ~120 MB.
+    /// fleet's columns fit in ~125 MB.
     #[test]
     fn per_client_footprint_is_under_budget() {
         let footprint = Fleet::per_client_footprint_bytes();
@@ -1156,8 +1531,9 @@ mod tests {
         );
         // Document the breakdown this asserts over: 40 B clock, 24 B
         // compact stats, 8 B each for last_update/rng/benign-bitmap/
-        // deadline, 12 B wheel columns, and small counters.
-        assert_eq!(footprint, 119, "update the breakdown when columns change");
+        // deadline, 12 B wheel columns, 3 B tier + resolver (the cohort
+        // columns PR 5 added), and small counters.
+        assert_eq!(footprint, 122, "update the breakdown when columns change");
         // Trajectory capture is lazy: no per-client Vec headers unless
         // opted in.
         let fleet = Fleet::new(small_config());
@@ -1197,9 +1573,119 @@ mod tests {
         assert_eq!(coarse.histogram, fine.histogram);
         assert_eq!(coarse.totals, fine.totals);
         assert_eq!(coarse.events, fine.events);
+        assert_eq!(coarse.tiers, fine.tiers, "breakdown is layout-free too");
         for i in 0..64 {
             assert_eq!(one_shard.trace(i), sharded.trace(i), "client {i}");
             assert_eq!(one_shard.client_pool(i), sharded.client_pool(i));
         }
+    }
+
+    // --- cohort behaviour ---
+
+    /// A 3:1 Chronos/plain mix under an attack landing *inside* the boot
+    /// stagger: every Chronos pool is poisoned (24 opportunities), but
+    /// only the plain clients that resolved after the poison landed are —
+    /// the paper's 1-vs-24-opportunities contrast at population scale.
+    #[test]
+    fn mixed_fleet_separates_chronos_from_plain_ntp() {
+        let mut config = small_config();
+        config.tiers = vec![
+            CohortTier::chronos("chronos", 3),
+            CohortTier::plain_ntp("plain ntp", 1),
+        ];
+        // Attack at t = 50 s, boots staggered over 100 s: roughly half the
+        // plain clients resolve before the poison lands.
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(50),
+            SimDuration::from_millis(500),
+        ));
+        let mut fleet = Fleet::new(config);
+        let report = fleet.run();
+        assert_eq!(report.tiers.len(), 2);
+        let chronos_tier = &report.tiers[0];
+        let plain_tier = &report.tiers[1];
+        assert_eq!(chronos_tier.clients + plain_tier.clients, 64);
+        assert_eq!(plain_tier.clients, 16, "3:1 split of 64");
+        // Every Chronos client polls a poisoned pool and gets dragged.
+        assert_eq!(chronos_tier.poisoned_clients, 48);
+        assert!(chronos_tier.final_shifted_fraction > 0.9);
+        // Plain clients: one resolution each; some landed pre-poison.
+        assert!(plain_tier.poisoned_clients < 16, "early resolvers escaped");
+        assert!(plain_tier.poisoned_clients > 0, "late resolvers captured");
+        // A poisoned plain client's whole 4-server pool lies in unison —
+        // it follows the lie; a clean one stays within the bound.
+        let shifted = plain_tier.final_shifted_fraction;
+        let poisoned_frac = plain_tier.poisoned_clients as f64 / 16.0;
+        assert!(
+            (shifted - poisoned_frac).abs() < 1e-9,
+            "plain tier shifts exactly its poisoned share ({shifted} vs {poisoned_frac})"
+        );
+        // Per-client accessors agree with the balanced tier pattern
+        // (shares [3, 1] interleave as A A B A, repeating).
+        assert_eq!(fleet.client_kind(0), ClientKind::Chronos);
+        assert_eq!(fleet.client_kind(1), ClientKind::Chronos);
+        assert_eq!(fleet.client_kind(2), ClientKind::PlainNtp);
+        assert_eq!(fleet.client_kind(3), ClientKind::Chronos);
+        // Plain clients resolve once and never panic.
+        assert_eq!(plain_tier.totals.pool_queries, 16);
+        assert_eq!(plain_tier.totals.panics, 0);
+        assert!(plain_tier.totals.polls > 0);
+    }
+
+    /// Partial poisoning across R resolvers: only the clients hashed onto
+    /// the poisoned subset are captured.
+    #[test]
+    fn partial_resolver_poisoning_bounds_the_blast_radius() {
+        let mut config = small_config();
+        config.clients = 128;
+        config.resolvers = 4;
+        config.attack = Some(
+            FleetAttack::paper_default(SimTime::from_secs(300), SimDuration::from_millis(500))
+                .with_poisoned_resolvers(2),
+        );
+        let mut fleet = Fleet::new(config.clone());
+        let report = fleet.run();
+        // Exactly the clients behind resolvers 0-1 are poisoned.
+        let behind_poisoned = (0..128).filter(|&i| fleet.client_resolver(i) < 2).count() as u64;
+        assert_eq!(report.poisoned_clients, behind_poisoned);
+        assert!(
+            behind_poisoned > 0 && behind_poisoned < 128,
+            "the hash split the fleet ({behind_poisoned}/128 behind poisoned resolvers)"
+        );
+        let captured = report.final_shifted_fraction;
+        let poisoned_frac = behind_poisoned as f64 / 128.0;
+        assert!(
+            (captured - poisoned_frac).abs() < 0.1,
+            "captured fraction {captured} tracks the poisoned-resolver share {poisoned_frac}"
+        );
+        // k = 0 poisons nobody; k = R poisons everyone (≡ None).
+        config.attack = Some(config.attack.unwrap().with_poisoned_resolvers(0));
+        assert_eq!(Fleet::new(config.clone()).run().poisoned_clients, 0);
+        config.attack = Some(config.attack.unwrap().with_poisoned_resolvers(4));
+        assert_eq!(Fleet::new(config).run().poisoned_clients, 128);
+    }
+
+    /// Per-tier Chronos overrides take effect: a fast-poll tier polls
+    /// more often than the fleet-level default.
+    #[test]
+    fn tier_overrides_change_the_cadence() {
+        let mut config = small_config();
+        let mut fast = CohortTier::chronos("fast", 1);
+        fast.poll_interval = Some(SimDuration::from_secs(16));
+        fast.pool_size = Some(3);
+        config.tiers = vec![CohortTier::chronos("default", 1), fast];
+        let mut fleet = Fleet::new(config);
+        let report = fleet.run();
+        let default_tier = &report.tiers[0];
+        let fast_tier = &report.tiers[1];
+        // 3 pool rounds instead of 6, 4x the poll rate.
+        assert_eq!(fast_tier.totals.pool_queries, 32 * 3);
+        assert_eq!(default_tier.totals.pool_queries, 32 * 6);
+        assert!(
+            fast_tier.totals.polls > 2 * default_tier.totals.polls,
+            "16 s polls out-poll 64 s polls: {} vs {}",
+            fast_tier.totals.polls,
+            default_tier.totals.polls
+        );
     }
 }

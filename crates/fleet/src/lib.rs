@@ -6,8 +6,15 @@
 //! the pool's DNS mapping shifts time on **every client behind the
 //! resolver**, not one client in isolation. This crate is the layer that
 //! makes that claim simulable: 10⁵–10⁶ lightweight Chronos clients inside a
-//! single shared world, against one rotating `pool.ntp.org` zone, one
-//! shared resolver cache, and one attacker.
+//! single shared world, against one rotating `pool.ntp.org` zone and one
+//! attacker — and, since the cohort layer, across **heterogeneous
+//! populations**: mixed Chronos/plain-NTP tiers with per-tier
+//! configuration overrides ([`cohort`]), hashed over multiple independent
+//! resolver caches of which the attacker may control only a fraction
+//! ([`FleetConfig::resolvers`],
+//! [`config::FleetAttack::poisoned_resolvers`]) — the
+//! fraction-of-population vs fraction-of-resolvers-poisoned question
+//! (E16).
 //!
 //! ## How it stays cheap
 //!
@@ -57,10 +64,14 @@
 //! independent, and a fleet of N clients is byte-identical to N
 //! single-client runs with matched global ids — the property test in
 //! `tests/prop_fleet_equivalence.rs` pins this.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cohort;
 pub mod config;
 pub mod engine;
 pub mod resolver;
@@ -68,13 +79,15 @@ pub mod rng;
 pub mod stats;
 pub mod wheel;
 
+pub use cohort::{ClientKind, CohortTier};
 pub use config::{FleetAttack, FleetConfig};
-pub use engine::{Fleet, FleetReport};
+pub use engine::{Fleet, FleetReport, TierBreakdown};
 pub use stats::{OffsetHistogram, P2Quantile};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
+    pub use crate::cohort::{ClientKind, CohortTier};
     pub use crate::config::{FleetAttack, FleetConfig};
-    pub use crate::engine::{Fleet, FleetReport};
+    pub use crate::engine::{Fleet, FleetReport, TierBreakdown};
     pub use crate::stats::{OffsetHistogram, P2Quantile};
 }

@@ -1,4 +1,4 @@
-//! The fleet's shared resolver-cache model.
+//! The fleet's resolver-cache model — one instance per resolver.
 //!
 //! Mirrors the `dnslab` semantics the packet-level scenarios exercise,
 //! reduced to what pool composition depends on:
@@ -14,9 +14,61 @@
 //! Answers are batch *identities*, not addresses: batch `b` stands for the
 //! rotation slice `addrs[b·k mod U .. b·k+k mod U]`, and since the engine
 //! only needs pool composition (which servers lie) the identity is enough.
+//!
+//! # Multiple resolvers
+//!
+//! A fleet runs `R` **independent** resolvers
+//! ([`crate::config::FleetConfig::resolvers`]); clients hash onto them via
+//! [`crate::cohort::resolver_of`]. Each resolver is its own
+//! [`ResolverModel`] built by [`ResolverModel::for_resolver`]:
+//!
+//! * resolver 0 is the *legacy* resolver — rotation phase 0 and exactly
+//!   the configured benign TTL, so an `R = 1` fleet reproduces the
+//!   single-resolver engine byte for byte;
+//! * resolvers `1..R` draw a rotation phase and a benign-TTL perturbation
+//!   (0.5–1.5× the configured TTL, whole seconds) from a per-resolver RNG
+//!   stream keyed by `(fleet seed, resolver id)` — real resolver caches
+//!   are not in lockstep, and the diversity is what partial poisoning
+//!   experiments measure against;
+//! * a resolver is **poisoned** only when the attack's
+//!   [`poisoned_resolvers`](crate::config::FleetAttack::poisoned_resolvers)
+//!   subset covers its id — the knob behind fraction-of-resolvers-poisoned
+//!   sweeps (E16).
+//!
+//! # Examples
+//!
+//! The deterministic pre-pass that unlocks intra-fleet parallelism:
+//! pool-query times are static, so the cache's full answer timeline
+//! replays up front and is then read immutably — and therefore
+//! concurrently — by every shard:
+//!
+//! ```
+//! use fleet::config::FleetConfig;
+//! use fleet::resolver::{DnsAnswer, QuerySchedule, ResolverModel};
+//!
+//! let model = ResolverModel::new(&FleetConfig::default());
+//! // Two clients: one boots at t=0 and queries 3 times, 200 s apart; a
+//! // plain-NTP straggler boots at t=10 s and queries exactly once.
+//! let schedules = [
+//!     QuerySchedule { start_ns: 0, interval_ns: 200_000_000_000, rounds: 3 },
+//!     QuerySchedule { start_ns: 10_000_000_000, interval_ns: 0, rounds: 1 },
+//! ];
+//! let timeline = model.timeline(&schedules);
+//! // Both early queries fall inside one 150 s TTL window: same batch.
+//! assert_eq!(timeline.answer(0), timeline.answer(10_000_000_000));
+//! // The second Chronos round refetched: the rotation moved on.
+//! assert!(matches!(timeline.answer(200_000_000_000), DnsAnswer::Benign { batch: 1, .. }));
+//! assert_eq!(timeline.fetches(), 3);
+//! ```
 
 use crate::config::FleetConfig;
+use crate::rng::{client_seed, FleetRng};
 use serde::{Deserialize, Serialize};
+
+/// Salt folded into the fleet seed before deriving a resolver's rotation
+/// phase and TTL perturbation, so resolver diversity draws are
+/// decorrelated from client streams and the resolver *assignment* hash.
+const RESOLVER_TRAIT_SALT: u64 = 0x0d1f_f3a5_0f00_dcaf;
 
 /// What one DNS query returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,12 +90,29 @@ pub enum DnsAnswer {
     },
 }
 
-/// The shared (or per-client, see [`FleetConfig::shared_cache`]) resolver
-/// cache.
+/// One client's static pool-query schedule, the input to the timeline
+/// pre-pass: queries fire at `start + k·interval` for `k < rounds`.
+/// A plain-NTP client is `{ start, interval: 0, rounds: 1 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySchedule {
+    /// First query time, ns.
+    pub start_ns: u64,
+    /// Spacing between queries, ns (irrelevant when `rounds == 1`).
+    pub interval_ns: u64,
+    /// Number of queries.
+    pub rounds: u64,
+}
+
+/// One resolver's cache (shared by every client assigned to it, or
+/// consulted read-only per client — see
+/// [`FleetConfig::shared_cache`](crate::config::FleetConfig::shared_cache)).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResolverModel {
     ttl_ns: u64,
     benign_ttl_secs: u32,
+    /// Rotation phase: this resolver's upstream fetches start `phase`
+    /// batches into the rotation (0 for the legacy resolver 0).
+    phase: u64,
     poison: Option<(u64, u64, usize, u32)>, // (from, until, farm, ttl)
     /// Upstream fetches performed (== batches served so far).
     cursor: u64,
@@ -53,15 +122,45 @@ pub struct ResolverModel {
 }
 
 impl ResolverModel {
-    /// A resolver for `config`'s zone shape and attack.
+    /// The legacy single-resolver constructor: resolver 0 of `config`
+    /// (phase 0, configured TTL, poisoned whenever an attack exists).
     pub fn new(config: &FleetConfig) -> Self {
-        let poison = config.attack.map(|a| {
+        ResolverModel::for_resolver(config, 0)
+    }
+
+    /// The resolver with id `r` of `config`'s fleet: per-resolver rotation
+    /// phase, TTL draw, and poisoned-or-not flag (see the module docs).
+    pub fn for_resolver(config: &FleetConfig, r: usize) -> Self {
+        // Resolver 0 keeps the configured TTL at exact nanosecond
+        // resolution — the legacy contract (R = 1 byte-identical to the
+        // pre-cohort engine) must hold for fractional TTLs too. Only the
+        // perturbed resolvers 1..R quantize to whole seconds.
+        let (phase, ttl_ns, ttl_secs) = if r == 0 {
+            (
+                0,
+                config.benign_ttl.as_nanos(),
+                config.benign_ttl.as_secs() as u32,
+            )
+        } else {
+            let mut rng =
+                FleetRng::from_seed(client_seed(config.seed ^ RESOLVER_TRAIT_SALT, r as u64));
+            let phase = rng.range_u64(config.rotation_batches() as u64);
+            // 0.5–1.5× the configured TTL, whole seconds, never zero.
+            let base_secs = config.benign_ttl.as_secs().max(1);
+            let ttl = (base_secs / 2 + rng.range_u64(base_secs)).max(1);
+            (phase, ttl * 1_000_000_000, ttl as u32)
+        };
+        let poison = config.attack.and_then(|a| {
+            if !a.poisons_resolver(r) {
+                return None;
+            }
             let (from, until) = a.window_ns();
-            (from, until, a.farm_size, a.ttl_secs)
+            Some((from, until, a.farm_size, a.ttl_secs))
         });
         ResolverModel {
-            ttl_ns: config.benign_ttl.as_nanos(),
-            benign_ttl_secs: config.benign_ttl.as_secs() as u32,
+            ttl_ns,
+            benign_ttl_secs: ttl_secs,
+            phase,
             poison,
             cursor: 0,
             cached_batch: 0,
@@ -83,6 +182,16 @@ impl ResolverModel {
         self.cursor
     }
 
+    /// This resolver's rotation phase (0 for the legacy resolver 0).
+    pub fn rotation_phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Whether this resolver serves the attacker's records (at any time).
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
     /// Answers a query through the shared cache at `now_ns`.
     pub fn query_shared(&mut self, now_ns: u64) -> DnsAnswer {
         if let Some((from, until, farm_size, ttl_secs)) = self.poison {
@@ -94,7 +203,7 @@ impl ResolverModel {
             }
         }
         if !self.primed || now_ns >= self.cached_until {
-            self.cached_batch = self.cursor;
+            self.cached_batch = self.phase + self.cursor;
             self.cursor += 1;
             self.cached_until = now_ns.saturating_add(self.ttl_ns);
             self.primed = true;
@@ -106,7 +215,8 @@ impl ResolverModel {
     }
 
     /// Answers a query for an *independent* client (no shared cache): the
-    /// client's `round` index is its private rotation position.
+    /// client's `round` index is its private rotation position, offset by
+    /// this resolver's phase.
     pub fn query_independent(&self, now_ns: u64, round: u64) -> DnsAnswer {
         if let Some((from, until, farm_size, ttl_secs)) = self.poison {
             if now_ns >= from && now_ns < until {
@@ -117,30 +227,30 @@ impl ResolverModel {
             }
         }
         DnsAnswer::Benign {
-            batch: round,
+            batch: self.phase + round,
             ttl_secs: self.benign_ttl_secs,
         }
     }
 
-    /// Precomputes the shared cache's full answer timeline for a fleet
-    /// whose clients boot at `starts` (ns) and each send `rounds` pool
-    /// queries spaced `interval_ns` apart.
+    /// Precomputes the shared cache's full answer timeline for the clients
+    /// assigned to this resolver, given their static query `schedules`.
     ///
     /// This is the deterministic pre-pass that makes intra-fleet
     /// parallelism possible: the cache is the only cross-client coupling,
     /// and its state advances *only* at query times — which are static
-    /// (`boot + k·interval`, independent of what the answers contain). The
-    /// replay runs [`ResolverModel::query_shared`] itself on a scratch
+    /// (`start + k·interval`, independent of what the answers contain).
+    /// The replay runs [`ResolverModel::query_shared`] itself on a scratch
     /// copy, visiting one query per answer-change boundary (a cache expiry
     /// or a poison-window edge) and skipping the runs of queries in
     /// between, which provably return the boundary query's answer without
     /// touching cache state. The result answers any actual query time
-    /// read-only — and therefore concurrently from every shard.
-    pub fn timeline(&self, starts: &[u64], interval_ns: u64, rounds: u64) -> ResolverTimeline {
+    /// read-only — and therefore concurrently from every shard. See the
+    /// module-level example.
+    pub fn timeline(&self, schedules: &[QuerySchedule]) -> ResolverTimeline {
         let mut sim = self.clone();
         sim.reset();
         let mut segments: Vec<(u64, DnsAnswer)> = Vec::new();
-        let mut t = next_query_at_or_after(starts, interval_ns, rounds, 0);
+        let mut t = next_query_at_or_after(schedules, 0);
         while let Some(tq) = t {
             let answer = sim.query_shared(tq);
             if segments.last().map(|&(_, a)| a) != Some(answer) {
@@ -165,7 +275,7 @@ impl ResolverModel {
                     b
                 }
             };
-            t = next_query_at_or_after(starts, interval_ns, rounds, boundary.max(tq + 1));
+            t = next_query_at_or_after(schedules, boundary.max(tq + 1));
         }
         ResolverTimeline {
             segments,
@@ -174,25 +284,25 @@ impl ResolverModel {
     }
 }
 
-/// The first pool-query time at or after `from` across a fleet whose
-/// clients boot at `starts` and query `rounds` times, `interval_ns` apart.
-fn next_query_at_or_after(starts: &[u64], interval_ns: u64, rounds: u64, from: u64) -> Option<u64> {
-    starts
+/// The first pool-query time at or after `from` across the given client
+/// query schedules.
+fn next_query_at_or_after(schedules: &[QuerySchedule], from: u64) -> Option<u64> {
+    schedules
         .iter()
-        .filter_map(|&s| {
-            if from <= s {
-                return Some(s);
+        .filter_map(|s| {
+            if from <= s.start_ns {
+                return Some(s.start_ns);
             }
-            if interval_ns == 0 {
-                return None; // all of this client's queries were at `s`
+            if s.interval_ns == 0 {
+                return None; // all of this client's queries were at `start`
             }
-            let k = (from - s).div_ceil(interval_ns);
-            (k < rounds).then(|| s + k * interval_ns)
+            let k = (from - s.start_ns).div_ceil(s.interval_ns);
+            (k < s.rounds).then(|| s.start_ns + k * s.interval_ns)
         })
         .min()
 }
 
-/// The precomputed answer function of the shared resolver cache over one
+/// The precomputed answer function of one shared resolver cache over one
 /// run: `(start_ns, answer)` segments, piecewise-constant between actual
 /// query times (see [`ResolverModel::timeline`]). Immutable after
 /// construction, so shards stepping in parallel read it without
@@ -204,7 +314,8 @@ pub struct ResolverTimeline {
 }
 
 impl ResolverTimeline {
-    /// A timeline with no queries (independent-cache fleets).
+    /// A timeline with no queries (independent-cache fleets, or a
+    /// resolver no client hashed onto).
     pub fn empty() -> Self {
         ResolverTimeline::default()
     }
@@ -246,6 +357,18 @@ mod tests {
             attack,
             ..FleetConfig::default()
         }
+    }
+
+    /// Uniform schedules, the shape every pre-cohort test used.
+    fn uniform(starts: &[u64], interval_ns: u64, rounds: u64) -> Vec<QuerySchedule> {
+        starts
+            .iter()
+            .map(|&start_ns| QuerySchedule {
+                start_ns,
+                interval_ns,
+                rounds,
+            })
+            .collect()
     }
 
     #[test]
@@ -294,20 +417,100 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn resolver_zero_is_the_legacy_resolver() {
+        let cfg = config(None);
+        let r0 = ResolverModel::for_resolver(&cfg, 0);
+        assert_eq!(r0.rotation_phase(), 0);
+        assert_eq!(r0, ResolverModel::new(&cfg));
+        // The legacy contract holds at nanosecond resolution: a
+        // fractional benign TTL must not be quantized on resolver 0
+        // (pre-cohort, ttl_ns was exactly `benign_ttl.as_nanos()`).
+        let fractional = FleetConfig {
+            benign_ttl: SimDuration::from_millis(500),
+            ..config(None)
+        };
+        let mut r0 = ResolverModel::for_resolver(&fractional, 0);
+        assert_eq!(r0.ttl_ns, 500_000_000);
+        let a = r0.query_shared(0);
+        assert_eq!(r0.query_shared(499_000_000), a, "still cached at 499 ms");
+        assert_ne!(r0.query_shared(SEC / 2), a, "expired at exactly 500 ms");
+    }
+
+    #[test]
+    fn additional_resolvers_draw_phase_and_ttl() {
+        let mut cfg = config(None);
+        cfg.resolvers = 16;
+        let batches = cfg.rotation_batches() as u64;
+        let models: Vec<ResolverModel> = (0..16)
+            .map(|r| ResolverModel::for_resolver(&cfg, r))
+            .collect();
+        // Deterministic per (seed, id)…
+        for (r, m) in models.iter().enumerate() {
+            assert_eq!(m, &ResolverModel::for_resolver(&cfg, r));
+            assert!(m.rotation_phase() < batches);
+            // TTL stays within the documented 0.5–1.5× band.
+            let base = cfg.benign_ttl.as_secs();
+            assert!(m.ttl_ns >= base / 2 * SEC && m.ttl_ns < (base + base / 2 + 1) * SEC);
+        }
+        // …but not all in lockstep: phases and TTLs vary across ids.
+        assert!(
+            models.iter().any(|m| m.rotation_phase() != 0),
+            "some non-zero phase among 16 resolvers"
+        );
+        assert!(
+            models.iter().any(|m| m.ttl_ns != models[0].ttl_ns),
+            "some TTL diversity among 16 resolvers"
+        );
+        // A different fleet seed redraws the traits.
+        let reseeded = ResolverModel::for_resolver(
+            &FleetConfig {
+                seed: cfg.seed + 1,
+                ..cfg.clone()
+            },
+            3,
+        );
+        assert_ne!(
+            (reseeded.rotation_phase(), reseeded.ttl_ns),
+            (models[3].rotation_phase(), models[3].ttl_ns),
+        );
+        // The phase offsets rotation identity in both query modes.
+        let phased: Vec<_> = models.iter().filter(|m| m.rotation_phase() > 0).collect();
+        let m = phased[0];
+        assert!(matches!(
+            m.query_independent(0, 0),
+            DnsAnswer::Benign { batch, .. } if batch == m.rotation_phase()
+        ));
+    }
+
+    #[test]
+    fn partial_poisoning_splits_the_resolver_set() {
+        let attack =
+            FleetAttack::paper_default(SimTime::from_secs(100), SimDuration::from_millis(500))
+                .with_poisoned_resolvers(2);
+        let mut cfg = config(Some(attack));
+        cfg.resolvers = 4;
+        for r in 0..4 {
+            let m = ResolverModel::for_resolver(&cfg, r);
+            assert_eq!(m.is_poisoned(), r < 2, "resolver {r}");
+        }
+        // `None` poisons every resolver (the legacy semantics).
+        let all =
+            FleetAttack::paper_default(SimTime::from_secs(100), SimDuration::from_millis(500));
+        assert!(all.poisoned_resolvers.is_none());
+        for r in 0..4 {
+            assert!(ResolverModel::for_resolver(&config(Some(all)), r).is_poisoned());
+        }
+    }
+
     /// The pre-pass contract: for every actual query time, the timeline
     /// answers exactly what the incremental shared cache would have.
-    fn assert_timeline_matches_incremental(
-        attack: Option<FleetAttack>,
-        starts: &[u64],
-        interval_ns: u64,
-        rounds: u64,
-    ) {
-        let model = ResolverModel::new(&config(attack));
-        let timeline = model.timeline(starts, interval_ns, rounds);
+    fn assert_timeline_matches_incremental(model: &ResolverModel, schedules: &[QuerySchedule]) {
+        let timeline = model.timeline(schedules);
         // Replay the exact query multiset in time order, incrementally.
-        let mut times: Vec<u64> = starts
+        let mut times: Vec<u64> = schedules
             .iter()
-            .flat_map(|&s| (0..rounds).map(move |k| s + k * interval_ns))
+            .flat_map(|s| (0..s.rounds).map(move |k| s.start_ns + k * s.interval_ns))
             .collect();
         times.sort_unstable();
         let mut incremental = model.clone();
@@ -324,12 +527,13 @@ mod tests {
 
     #[test]
     fn timeline_matches_incremental_cache_benign() {
+        let model = ResolverModel::new(&config(None));
         // Staggered boots, queries denser and sparser than the 150 s TTL.
         let starts: Vec<u64> = (0..7).map(|i| i * 37 * SEC).collect();
-        assert_timeline_matches_incremental(None, &starts, 200 * SEC, 6);
-        assert_timeline_matches_incremental(None, &starts, 40 * SEC, 9);
+        assert_timeline_matches_incremental(&model, &uniform(&starts, 200 * SEC, 6));
+        assert_timeline_matches_incremental(&model, &uniform(&starts, 40 * SEC, 9));
         // A lone sparse client: every query refetches.
-        assert_timeline_matches_incremental(None, &[5 * SEC], 400 * SEC, 8);
+        assert_timeline_matches_incremental(&model, &uniform(&[5 * SEC], 400 * SEC, 8));
     }
 
     #[test]
@@ -337,7 +541,8 @@ mod tests {
         let early =
             FleetAttack::paper_default(SimTime::from_secs(300), SimDuration::from_millis(500));
         let starts: Vec<u64> = (0..9).map(|i| i * 53 * SEC).collect();
-        assert_timeline_matches_incremental(Some(early), &starts, 200 * SEC, 24);
+        let model = ResolverModel::new(&config(Some(early)));
+        assert_timeline_matches_incremental(&model, &uniform(&starts, 200 * SEC, 24));
         // Poison opening mid-TTL-window and a short-TTL poison that ends
         // while the pre-poison benign batch is still fresh.
         let mid_window = FleetAttack {
@@ -345,14 +550,36 @@ mod tests {
             ttl_secs: 60,
             farm_size: 89,
             shift_ns: 500_000_000,
+            poisoned_resolvers: None,
         };
-        assert_timeline_matches_incremental(Some(mid_window), &starts, 25 * SEC, 30);
+        let model = ResolverModel::new(&config(Some(mid_window)));
+        assert_timeline_matches_incremental(&model, &uniform(&starts, 25 * SEC, 30));
+    }
+
+    #[test]
+    fn timeline_handles_heterogeneous_schedules() {
+        // A Chronos cohort (24 rounds, 200 s apart) sharing the cache with
+        // plain-NTP one-shot resolutions and a fast-cadence tier — the
+        // cohort shapes PR 5 introduces.
+        let mut schedules = uniform(&[0, 40 * SEC, 170 * SEC], 200 * SEC, 24);
+        schedules.extend(uniform(&[15 * SEC, 400 * SEC, 401 * SEC], 0, 1));
+        schedules.extend(uniform(&[90 * SEC], 64 * SEC, 50));
+        let benign = ResolverModel::new(&config(None));
+        assert_timeline_matches_incremental(&benign, &schedules);
+        let attack =
+            FleetAttack::paper_default(SimTime::from_secs(390), SimDuration::from_millis(500));
+        let poisoned = ResolverModel::new(&config(Some(attack)));
+        assert_timeline_matches_incremental(&poisoned, &schedules);
+        // A phased non-zero resolver replays identically too.
+        let mut cfg = config(Some(attack));
+        cfg.resolvers = 8;
+        assert_timeline_matches_incremental(&ResolverModel::for_resolver(&cfg, 5), &schedules);
     }
 
     #[test]
     fn timeline_lookup_shape() {
         let model = ResolverModel::new(&config(None));
-        let tl = model.timeline(&[0, 10 * SEC], 200 * SEC, 3);
+        let tl = model.timeline(&uniform(&[0, 10 * SEC], 200 * SEC, 3));
         // One batch per 150 s window over the span: answers inside a
         // window are constant.
         assert_eq!(tl.answer(0), tl.answer(10 * SEC));
@@ -364,7 +591,7 @@ mod tests {
     #[should_panic(expected = "precedes the resolver timeline")]
     fn timeline_rejects_queries_before_the_first() {
         let model = ResolverModel::new(&config(None));
-        let tl = model.timeline(&[10 * SEC], 200 * SEC, 2);
+        let tl = model.timeline(&uniform(&[10 * SEC], 200 * SEC, 2));
         tl.answer(SEC);
     }
 

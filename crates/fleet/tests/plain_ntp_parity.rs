@@ -1,0 +1,153 @@
+//! Semantic parity between the fleet's plain-NTP lanes and the
+//! packet-level [`ntplab::plain::PlainNtpClient`].
+//!
+//! The two share one decision implementation — `ntplab`'s
+//! intersection → cluster → combine pipeline, reached by the fleet
+//! through [`chronos::core::conclude_plain_round`] — but the fleet is a
+//! mean-field model (drawn offsets, no packets), so parity is asserted on
+//! *outcomes* under matched scenarios, not on bytes: an all-honest pool
+//! keeps both clients inside the safety bound; a unanimously lying pool
+//! drags both to the lie; and the activity counters line up (one DNS
+//! resolution, a poll per interval, corrections applied).
+
+use fleet::cohort::CohortTier;
+use fleet::config::{FleetAttack, FleetConfig};
+use fleet::engine::Fleet;
+use netsim::prelude::*;
+use netsim::time::{SimDuration, SimTime};
+use ntplab::clock::LocalClock;
+use ntplab::plain::PlainNtpClient;
+use ntplab::server::NtpServer;
+use std::net::Ipv4Addr;
+
+const HORIZON_SECS: u64 = 400;
+const SHIFT_NS: i64 = 500_000_000;
+
+/// A packet-level world: auth NS + resolver + 16 NTP servers (all shifted
+/// by `shift_all_ns`) + one plain client, run for the horizon.
+fn run_packet_client(seed: u64, shift_all_ns: i64) -> (i64, ntplab::plain::PlainNtpStats) {
+    use dnslab::resolver::{RecursiveResolver, Upstream};
+    use dnslab::server::AuthServer;
+    use dnslab::zone::pool_ntp_zone;
+    let ns_addr = Ipv4Addr::new(203, 0, 113, 1);
+    let resolver_addr = Ipv4Addr::new(198, 51, 100, 53);
+    let client_addr = Ipv4Addr::new(198, 51, 100, 10);
+    let mut world = World::new(seed);
+    world.add_node(
+        "auth",
+        Box::new(AuthServer::new(ns_addr, vec![pool_ntp_zone(16, 1)])),
+        &[ns_addr],
+    );
+    let mut res = RecursiveResolver::new(
+        resolver_addr,
+        vec![Upstream {
+            zone: "pool.ntp.org".parse().unwrap(),
+            ns_names: vec!["ns1.pool.ntp.org".parse().unwrap()],
+            bootstrap: vec![ns_addr],
+        }],
+    );
+    res.allow_client(client_addr);
+    world.add_node("resolver", Box::new(res), &[resolver_addr]);
+    for i in 0..16u32 {
+        let addr = Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 32, 0, 1)) + i);
+        world.add_node(
+            format!("ntp{i}"),
+            Box::new(NtpServer::new(addr, LocalClock::new(shift_all_ns, 0.0))),
+            &[addr],
+        );
+    }
+    let client = world.add_node(
+        "client",
+        Box::new(PlainNtpClient::new(
+            client_addr,
+            resolver_addr,
+            LocalClock::perfect(),
+        )),
+        &[client_addr],
+    );
+    world.run_for(SimDuration::from_secs(HORIZON_SECS));
+    let c = world.node::<PlainNtpClient>(client);
+    (c.offset_from_true(world.now()), c.stats())
+}
+
+/// A single-plain-client fleet under matched conditions: no stagger, no
+/// drift, no benign imperfection or jitter (the packet servers above are
+/// exact too), the same 64 s poll cadence.
+fn run_fleet_client(seed: u64, lying: bool) -> (i64, chronos::core::ChronosStats, Fleet) {
+    let config = FleetConfig {
+        seed,
+        clients: 1,
+        tiers: vec![CohortTier::plain_ntp("plain ntp", 1)],
+        stagger: SimDuration::ZERO,
+        client_drift_ppm: 0.0,
+        benign_offset_ms: 0,
+        jitter_std: SimDuration::ZERO,
+        horizon: SimDuration::from_secs(HORIZON_SECS),
+        // A unanimous lie is a poisoned resolution at boot: the whole
+        // 4-server pool serves the shift — exactly what the packet world
+        // above models by shifting every server clock.
+        attack: lying.then(|| {
+            FleetAttack::paper_default(SimTime::ZERO, SimDuration::from_nanos(SHIFT_NS as u64))
+        }),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(config);
+    fleet.run();
+    let offset = fleet.client_offset_ns(0, fleet.now());
+    let stats = fleet.client_stats(0);
+    (offset, stats, fleet)
+}
+
+#[test]
+fn honest_pool_keeps_both_clients_synced() {
+    let (packet_offset, packet_stats) = run_packet_client(1, 0);
+    let (fleet_offset, fleet_stats, _) = run_fleet_client(1, false);
+    // Both implementations hold the clock well inside the 100 ms bound
+    // (the packet client sees real path delays; the matched fleet run is
+    // noise-free, so it is exact).
+    assert!(
+        packet_offset.abs() < 5_000_000,
+        "packet: {packet_offset} ns"
+    );
+    assert_eq!(fleet_offset, 0, "noise-free fleet lane corrects to zero");
+    // Matched activity: one resolution, a poll per 64 s interval.
+    assert_eq!(packet_stats.dns_queries, 1);
+    assert_eq!(fleet_stats.pool_queries, 1);
+    assert_eq!(
+        fleet_stats.polls,
+        1 + (HORIZON_SECS - 1) / 64,
+        "a poll at boot, then one per interval"
+    );
+    assert!(
+        packet_stats.polls.abs_diff(fleet_stats.polls) <= 1,
+        "poll cadence matches: packet {} vs fleet {}",
+        packet_stats.polls,
+        fleet_stats.polls
+    );
+    // Every poll produced a correction in both worlds.
+    assert!(packet_stats.updates >= packet_stats.polls - 1);
+    assert_eq!(fleet_stats.accepts, fleet_stats.polls);
+    assert_eq!(fleet_stats.panics, 0, "plain clients never panic");
+}
+
+#[test]
+fn unanimous_liars_drag_both_clients() {
+    let (packet_offset, _) = run_packet_client(2, SHIFT_NS);
+    let (fleet_offset, fleet_stats, fleet) = run_fleet_client(2, true);
+    assert!(
+        packet_offset > 490_000_000,
+        "packet client dragged to the lie: {packet_offset} ns"
+    );
+    assert_eq!(
+        fleet_offset, SHIFT_NS,
+        "noise-free fleet lane lands exactly on the lie"
+    );
+    // The fleet client's pool is all-malicious (poisoned resolution kept
+    // the first 4 of the farm), mirroring the all-liar packet world.
+    assert_eq!(fleet.client_pool(0), (0, 4));
+    assert_eq!(fleet_stats.accepts, fleet_stats.polls, "no clique failure");
+    // And the report's tier breakdown sees the capture.
+    let report = fleet.report();
+    assert_eq!(report.tiers[0].final_shifted_fraction, 1.0);
+    assert_eq!(report.tiers[0].poisoned_clients, 1);
+}

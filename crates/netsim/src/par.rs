@@ -22,6 +22,34 @@
 //! experiment layer above and the fleet engine beside it can share one
 //! implementation; `chronos_pitfalls::montecarlo` re-exports the trial
 //! API unchanged.
+//!
+//! # Examples
+//!
+//! Fan independent trials over worker threads — results come back in
+//! trial order no matter which worker ran what:
+//!
+//! ```
+//! use netsim::par::run_trials;
+//!
+//! let squares = run_trials(100, 4, |i| u64::from(i) * u64::from(i));
+//! assert_eq!(squares.len(), 100);
+//! assert_eq!(squares[7], 49);
+//! // Byte-identical to the single-threaded run: trial i fills slot i.
+//! assert_eq!(squares, run_trials(100, 1, |i| u64::from(i) * u64::from(i)));
+//! ```
+//!
+//! Mutate a slice of independent work units in place (the fleet engine
+//! steps its shards through exactly this call):
+//!
+//! ```
+//! use netsim::par::for_each_mut;
+//!
+//! let mut cells: Vec<u64> = (0..64).collect();
+//! for_each_mut(&mut cells, 4, |cell, index| {
+//!     *cell += index as u64; // each unit sees its own index
+//! });
+//! assert!(cells.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -14,6 +14,9 @@
 //!
 //! Chronos (the hardened client this workspace attacks) lives in the
 //! `chronos` crate and reuses everything here except the selection pipeline.
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -11,12 +11,14 @@
 //! byte-identical to a single-threaded run, just faster.
 //!
 //! Output: the E14 table (per-variant population outcome), the
-//! fraction-of-fleet-shifted-vs-time figure, and the offset histogram of
-//! the early-poisoning variant.
+//! fraction-of-fleet-shifted-vs-time figure, the offset histogram of
+//! the early-poisoning variant — and the E16 cohort sweep: a mixed
+//! Chronos/§V-mitigated/plain-NTP population hashed over 8 resolver
+//! caches, capture per tier as the attacker's resolver coverage grows.
 //!
 //! Run with: `cargo run --release --example fleet_attack`
 
-use chronos_pitfalls::experiments::{e14_table, run_e14};
+use chronos_pitfalls::experiments::{e14_table, e16_table, run_e14, run_e16};
 use chronos_pitfalls::montecarlo::default_threads;
 use chronos_pitfalls::report::Series;
 
@@ -55,4 +57,24 @@ fn main() {
         result.stats.trials, result.stats.config_groups
     );
     println!("one resolver cache — and every client behind it inherits the attacker's time.");
+
+    // E16: the same question with a *heterogeneous* population across
+    // many resolvers, of which the attacker controls only a fraction.
+    let resolvers = 8;
+    println!(
+        "\nsweeping partial poisoning: 20 000 mixed clients (2:1:1 \
+         chronos : §V : plain NTP) over {resolvers} resolvers...\n"
+    );
+    let e16 = run_e16(7, 20_000, resolvers, threads);
+    println!("{}", e16_table(&e16));
+    println!("fraction shifted vs fraction of resolvers poisoned, per tier:");
+    println!(
+        "{}",
+        Series::render_columns(&e16.series, "poisoned", resolvers + 1)
+    );
+    println!(
+        "attack reach is the poisoned-resolver share times each tier's \
+         vulnerability: stock Chronos\ntracks it 1:1, plain NTP at the \
+         fraction that resolved late, the §V tier not at all."
+    );
 }

@@ -29,6 +29,9 @@
 //! assert_eq!((row.benign, row.malicious), (44, 89));
 //! assert!(row.controls_panic);
 //! ```
+//!
+//! *(Workspace map: see `ARCHITECTURE.md` at the repo root — crate-by-crate
+//! architecture, the data-flow diagram, and the determinism contract.)*
 
 pub use attacklab;
 pub use chronos;
