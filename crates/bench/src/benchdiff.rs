@@ -29,6 +29,9 @@ pub const GUARDED: &[&str] = &[
     // PR 5: the cohort engine — heterogeneous tiers across partially
     // poisoned resolvers (9-fleet E16 sweep, 90k clients total).
     "e16_partial_poisoning/mixed_90k_sweep",
+    // PR 6: fault injection — the loss × outage grid over the mixed
+    // fleet (10 faulty fleets, 90k clients total).
+    "e17_degraded_network/faulty_90k",
 ];
 
 /// Default regression threshold on per-iter mean, in percent.

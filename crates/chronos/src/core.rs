@@ -166,6 +166,13 @@ pub fn envelope_ns(config: &ChronosConfig, last_update: Option<SimTime>, now: Si
 /// clock; on [`RoundOutcome::EnterPanic`] the phase has already moved to
 /// [`Phase::Panic`] and the panic episode is counted — the caller queries
 /// the whole pool and later calls [`conclude_panic_round`].
+///
+/// Lossy-round contract: callers that model packet loss (the fleet's
+/// fault-injection lanes) hand in only the *surviving* subset of a
+/// round's samples. A round starved below `2·trim + 1` survivors rejects
+/// (`TooFewSamples` inside selection) like any other bad round — K such
+/// rounds escalate into a genuine panic episode, so availability faults
+/// exercise the exact panic machinery the paper's attack does.
 pub fn conclude_sample_round(
     config: &ChronosConfig,
     state: &mut CoreState<'_>,
@@ -381,6 +388,41 @@ mod tests {
         assert_eq!(*st.phase, Phase::Syncing);
         assert_eq!(*st.retries, 0);
         assert_eq!(*st.last_update, Some(now));
+    }
+
+    /// The lossy-round contract the fleet's fault lanes lean on: a round
+    /// whose surviving sample subset is starved below `2·trim + 1` (here:
+    /// emptied entirely) rejects, and K starved rounds enter panic — loss
+    /// drives the same escalation path as a disagreeing pool.
+    #[test]
+    fn starved_rounds_reject_until_panic() {
+        let cfg = ChronosConfig {
+            max_retries: 2,
+            ..ChronosConfig::default()
+        };
+        let (mut phase, mut retries, mut last, mut stats) = state_tuple();
+        let mut scratch = SelectScratch::new();
+        let now = SimTime::from_secs(64);
+        let mut st = CoreState {
+            phase: &mut phase,
+            retries: &mut retries,
+            last_update: &mut last,
+            stats: &mut stats,
+        };
+        assert_eq!(
+            conclude_sample_round(&cfg, &mut st, &mut scratch, &[], now),
+            RoundOutcome::Resample,
+            "an empty round is a reject, not a no-op"
+        );
+        assert_eq!(
+            conclude_sample_round(&cfg, &mut st, &mut scratch, &[2 * MS], now),
+            RoundOutcome::EnterPanic,
+            "one survivor is still below 2·trim + 1"
+        );
+        assert_eq!(*st.phase, Phase::Panic);
+        assert_eq!(st.stats.rejects, 2);
+        assert_eq!(st.stats.panics, 1);
+        assert_eq!(st.stats.accepts, 0);
     }
 
     #[test]

@@ -859,6 +859,205 @@ pub fn e16_table(result: &E16Result) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E17 — deterministic fault injection: the E16 cohort mix under NTP
+// sample loss, DNS SERVFAILs, a boot-time resolver outage and RFC 8767
+// serve-stale, swept loss × outage coverage. The robustness question the
+// fault layer exists to answer: does a degraded network weaken or
+// *widen* the paper's attack? (Serve-stale re-serves a poisoned entry
+// with a short stale TTL, laundering the attacker's day-long TTL past
+// the §V reject-TTL mitigation; a boot outage pushes plain-NTP retries
+// into the poison window.)
+// ---------------------------------------------------------------------
+
+/// The E17 loss sweep: each value is used as both the per-sample NTP
+/// loss probability and the per-query DNS SERVFAIL probability.
+pub const E17_LOSSES: [f64; 5] = [0.0, 0.001, 0.01, 0.05, 0.15];
+
+/// One point of the E17 grid: the mixed fleet under `loss` with the
+/// first `outage_coverage` resolvers down for the boot window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E17Row {
+    /// NTP sample-loss = DNS SERVFAIL probability for every tier.
+    pub loss: f64,
+    /// Resolvers (of [`E17Result::resolvers`]) under the boot outage.
+    pub outage_coverage: usize,
+    /// The mixed fleet's outcome (per-tier fault counters included).
+    pub report: fleet::FleetReport,
+}
+
+/// Result of the E17 loss × outage-coverage sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E17Result {
+    /// Independent resolver caches in every fleet.
+    pub resolvers: usize,
+    /// One row per grid point, loss-major then coverage.
+    pub rows: Vec<E17Row>,
+    /// Per-tier fraction-shifted, panics-per-client and boot-retries-
+    /// per-client curves over the loss axis, one family per coverage.
+    pub series: Vec<crate::report::Series>,
+    /// Sweep/pooling counters.
+    pub stats: montecarlo::SweepStats,
+}
+
+/// The fleet configuration one E17 grid point runs: [`e16_config`] with
+/// *every* resolver poisoned (the attack is the constant; the faults are
+/// the sweep), `loss` applied to every tier as both NTP sample loss and
+/// DNS SERVFAIL probability, a 300 s outage from t = 0 on the first
+/// `outage_coverage` resolvers (covering the boot stagger and the
+/// poison's landing at t = 100 s), and RFC 8767 serve-stale with a one-
+/// hour budget.
+pub fn e17_config(
+    seed: u64,
+    clients: usize,
+    resolvers: usize,
+    loss: f64,
+    outage_coverage: usize,
+) -> fleet::FleetConfig {
+    const NS: u64 = 1_000_000_000;
+    let mut config = e16_config(seed, clients, resolvers, resolvers);
+    config.faults.all_tiers = fleet::TierFaults {
+        ntp_loss: loss,
+        dns_servfail: loss,
+    };
+    config.faults.serve_stale = Some(fleet::ServeStalePolicy {
+        max_stale_secs: 3600,
+    });
+    config.faults.outages = (0..outage_coverage)
+        .map(|_| {
+            vec![fleet::OutageWindow {
+                start_ns: 0,
+                duration_ns: 300 * NS,
+            }]
+        })
+        .collect();
+    config
+}
+
+/// Runs E17: one [`montecarlo::run_fleets`] invocation sweeps
+/// [`E17_LOSSES`] × outage coverage ∈ {0, all resolvers} over the fully
+/// poisoned E16 mix.
+///
+/// The shape the unit test pins: the zero-loss/no-outage corner *is* the
+/// fault-free E16 run (inert plan, byte-identical); rising loss drives
+/// real rejects and panic episodes through the shared decision core; the
+/// boot outage makes plain-NTP boots retry into the poison window; and
+/// under SERVFAILs serve-stale re-serves the poisoned entry at the short
+/// stale TTL — capturing clients in the §V-mitigated tier that the
+/// fault-free attack cannot touch.
+pub fn run_e17(seed: u64, clients: usize, resolvers: usize, threads: usize) -> E17Result {
+    assert!(resolvers >= 1, "need at least one resolver");
+    let coverages = [0usize, resolvers];
+    let grid: Vec<(f64, usize)> = E17_LOSSES
+        .iter()
+        .flat_map(|&loss| coverages.iter().map(move |&c| (loss, c)))
+        .collect();
+    let outer = threads.max(1).min(grid.len());
+    let inner = (threads.max(1) / outer).max(1);
+    let configs: Vec<fleet::FleetConfig> = grid
+        .iter()
+        .map(|&(loss, c)| fleet::FleetConfig {
+            threads: inner,
+            ..e17_config(seed, clients, resolvers, loss, c)
+        })
+        .collect();
+    let (mut reports, stats) =
+        montecarlo::run_fleets(&configs, outer, 1, |fleet, _, _| fleet.run());
+    let rows: Vec<E17Row> = grid
+        .iter()
+        .zip(reports.iter_mut())
+        .map(|(&(loss, c), r)| E17Row {
+            loss,
+            outage_coverage: c,
+            report: r.remove(0),
+        })
+        .collect();
+    // Per coverage level, one curve family over the loss axis per tier:
+    // fraction shifted, panic episodes per client, boot retries per
+    // client (the latter only ever non-zero for plain-NTP tiers).
+    let mut series: Vec<crate::report::Series> = Vec::new();
+    for &cov in &coverages {
+        let cov_rows: Vec<&E17Row> = rows.iter().filter(|r| r.outage_coverage == cov).collect();
+        let suffix = if cov == 0 {
+            "no outage".to_string()
+        } else {
+            format!("outage {cov}/{resolvers}")
+        };
+        for (t, tier) in cov_rows[0].report.tiers.iter().enumerate() {
+            let per_client =
+                |v: u64, row: &E17Row| v as f64 / row.report.tiers[t].clients.max(1) as f64;
+            series.push(crate::report::Series {
+                label: format!("{} shifted ({suffix})", tier.label),
+                points: cov_rows
+                    .iter()
+                    .map(|r| (r.loss, r.report.tiers[t].final_shifted_fraction))
+                    .collect(),
+            });
+            series.push(crate::report::Series {
+                label: format!("{} panics/client ({suffix})", tier.label),
+                points: cov_rows
+                    .iter()
+                    .map(|r| (r.loss, per_client(r.report.tiers[t].totals.panics, r)))
+                    .collect(),
+            });
+            series.push(crate::report::Series {
+                label: format!("{} boot retries/client ({suffix})", tier.label),
+                points: cov_rows
+                    .iter()
+                    .map(|r| (r.loss, per_client(r.report.tiers[t].faults.boot_retries, r)))
+                    .collect(),
+            });
+        }
+    }
+    E17Result {
+        resolvers,
+        rows,
+        series,
+        stats,
+    }
+}
+
+/// Renders the E17 grid, one line per (loss, coverage, tier) with the
+/// tier's decision and fault counters side by side.
+pub fn e17_table(result: &E17Result) -> Table {
+    let mut t = Table::new(
+        "E17 — fault injection over the mixed fleet (loss × outage coverage)",
+        &[
+            "loss %",
+            "outage",
+            "tier",
+            "shifted %",
+            "panics",
+            "rejects",
+            "pool fails",
+            "servfails",
+            "outage hits",
+            "stale served",
+            "boot retries",
+            "ntp losses",
+        ],
+    );
+    for row in &result.rows {
+        for tier in &row.report.tiers {
+            t.push_row(vec![
+                format!("{:.1}", 100.0 * row.loss),
+                format!("{}/{}", row.outage_coverage, result.resolvers),
+                tier.label.clone(),
+                format!("{:.1}", 100.0 * tier.final_shifted_fraction),
+                tier.totals.panics.to_string(),
+                tier.totals.rejects.to_string(),
+                tier.totals.pool_failures.to_string(),
+                tier.faults.dns_servfails.to_string(),
+                tier.faults.outage_hits.to_string(),
+                tier.faults.stale_served.to_string(),
+                tier.faults.boot_retries.to_string(),
+                tier.faults.ntp_losses.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // E7 — the measurement study (claims C7–C9).
 // ---------------------------------------------------------------------
 
@@ -1793,6 +1992,62 @@ mod tests {
         // cohort layer does not perturb the legacy experiment).
         let e14 = run_e14(11, 128, 2);
         assert!(e14.rows[1].report.final_shifted_fraction > 0.9);
+    }
+
+    #[test]
+    fn e17_faults_degrade_and_widen_the_attack() {
+        let resolvers = 2;
+        let r = run_e17(11, 96, resolvers, 2);
+        assert_eq!(r.rows.len(), 2 * E17_LOSSES.len());
+        let at = |loss: f64, cov: usize| {
+            r.rows
+                .iter()
+                .find(|row| row.loss == loss && row.outage_coverage == cov)
+                .expect("grid point present")
+        };
+        // The zero-loss/no-outage corner is the fault-free run: an inert
+        // plan takes no draws, so every fault counter is zero and the
+        // report is byte-identical to the plain E16 config's.
+        let base = at(0.0, 0);
+        assert_eq!(base.report.faults, fleet::FaultCounters::default());
+        let mut e16_fleet = fleet::Fleet::new(fleet::FleetConfig {
+            threads: 1,
+            ..e16_config(11, 96, resolvers, resolvers)
+        });
+        assert_eq!(base.report, e16_fleet.run(), "inert corner equals E16");
+        // Loss drives real decision-core escalation: more losses, more
+        // rejects than the fault-free corner.
+        let heavy = at(0.15, 0);
+        assert!(heavy.report.faults.ntp_losses > 0);
+        assert!(heavy.report.totals.rejects > base.report.totals.rejects);
+        assert!(heavy.report.faults.dns_servfails > 0);
+        // SERVFAIL + serve-stale launders the poisoned entry's day-long
+        // TTL down to the short stale TTL — capturing §V-mitigated
+        // clients the fault-free attack cannot touch.
+        assert!(heavy.report.faults.stale_served > 0);
+        assert_eq!(base.report.tiers[1].label, "chronos §V");
+        assert_eq!(base.report.tiers[1].poisoned_clients, 0);
+        assert!(
+            heavy.report.tiers[1].poisoned_clients > 0,
+            "serve-stale slips the poison past the TTL mitigation"
+        );
+        // A boot outage alone (zero loss) forces failed queries and
+        // plain-NTP boot retries — which land inside the poison window.
+        let outage = at(0.0, resolvers);
+        assert!(outage.report.faults.outage_hits > 0);
+        let plain = &outage.report.tiers[2];
+        assert_eq!(plain.label, "plain ntp");
+        assert!(plain.faults.boot_retries > 0, "boots retried the outage");
+        assert!(
+            plain.final_shifted_fraction > base.report.tiers[2].final_shifted_fraction,
+            "retries into the poison window widen plain-NTP capture: {} vs {}",
+            plain.final_shifted_fraction,
+            base.report.tiers[2].final_shifted_fraction
+        );
+        // Table: one line per (loss, coverage, tier); series: three
+        // curves per tier per coverage level.
+        assert_eq!(e17_table(&r).len(), r.rows.len() * 3);
+        assert_eq!(r.series.len(), 2 * 3 * 3);
     }
 
     #[test]

@@ -119,6 +119,10 @@ pub struct TierParams {
     pub chronos: ChronosConfig,
     /// Plain-NTP only: servers kept from the single DNS resolution.
     pub plain_servers: usize,
+    /// This tier's fault probabilities, stamped by
+    /// [`crate::config::FleetConfig::effective_tiers`] from the fleet's
+    /// [`crate::config::FaultPlan`] (inert when resolved directly).
+    pub faults: crate::config::TierFaults,
 }
 
 impl TierParams {
@@ -141,6 +145,7 @@ impl TierParams {
             kind: tier.kind,
             chronos,
             plain_servers: tier.pool_size.unwrap_or(PLAIN_DEFAULT_SERVERS),
+            faults: crate::config::TierFaults::default(),
         }
     }
 }

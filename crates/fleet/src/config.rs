@@ -69,6 +69,224 @@ impl FleetAttack {
     }
 }
 
+/// Per-tier fault probabilities: the network-quality knobs of a
+/// [`FaultPlan`], resolved per tier so a "datacenter" tier can run clean
+/// while a "last mile" tier loses packets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TierFaults {
+    /// Probability that any single NTP sample (one server's response in a
+    /// poll or panic round) is lost. Drawn per `(client, round, slot)`
+    /// from the [`crate::rng::FaultLane::NtpSample`] /
+    /// [`crate::rng::FaultLane::PanicSample`] substreams.
+    pub ntp_loss: f64,
+    /// Probability that any single DNS pool query SERVFAILs at the
+    /// resolver (before the cache is consulted). Drawn per
+    /// `(client, query)` from [`crate::rng::FaultLane::DnsQuery`].
+    pub dns_servfail: f64,
+}
+
+impl TierFaults {
+    /// Whether this tier injects any fault at all.
+    pub fn is_inert(&self) -> bool {
+        self.ntp_loss == 0.0 && self.dns_servfail == 0.0
+    }
+}
+
+/// One resolver outage: the resolver answers nothing (neither cached nor
+/// upstream) for `[start_ns, start_ns + duration_ns)` — except stale
+/// serves when the plan's [`ServeStalePolicy`] allows them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Outage start, nanoseconds of sim time.
+    pub start_ns: u64,
+    /// Outage length in nanoseconds (must be positive).
+    pub duration_ns: u64,
+}
+
+impl OutageWindow {
+    /// First nanosecond *after* the outage.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.duration_ns)
+    }
+
+    /// Whether `t_ns` falls inside the outage.
+    pub fn contains(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.end_ns()
+    }
+}
+
+/// RFC 8767 serve-stale: when a resolver cannot refresh (outage) or fails
+/// outright (SERVFAIL), it may answer from an *expired* cache entry for up
+/// to `max_stale_secs` past that entry's expiry, instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStalePolicy {
+    /// Maximum staleness budget: an expired entry is served until
+    /// `expiry + max_stale_secs` (RFC 8767 suggests 1–3 days; resolvers
+    /// commonly configure far less).
+    pub max_stale_secs: u64,
+}
+
+impl Default for ServeStalePolicy {
+    fn default() -> Self {
+        // A conservative hour — long enough to bridge short outages,
+        // short against the paper's day-long poisoned TTLs.
+        ServeStalePolicy {
+            max_stale_secs: 3600,
+        }
+    }
+}
+
+/// Exponential backoff for plain-NTP boot resolution retries: attempt `k`
+/// (0-based) that fails is retried after
+/// `min(base · 2^k, cap) · (1 ± jitter·u)` where `u` is a uniform draw
+/// from the client's [`crate::rng::FaultLane::RetryJitter`] substream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay after the first failure.
+    pub base: SimDuration,
+    /// Ceiling on the un-jittered delay.
+    pub cap: SimDuration,
+    /// Relative jitter amplitude in `[0, 1)`: the delay is scaled by a
+    /// uniform factor in `[1 − jitter, 1 + jitter)`.
+    pub jitter: f64,
+    /// Total resolution attempts (first try included). After the last
+    /// failure the client gives up and runs with an empty pool.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(4),
+            cap: SimDuration::from_secs(256),
+            jitter: 0.25,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retrying after failed attempt `attempt`
+    /// (0-based), with `unit` the uniform `[0, 1)` jitter draw. Always at
+    /// least 1 ns so retries advance sim time.
+    pub fn delay_ns(&self, attempt: u32, unit: f64) -> u64 {
+        let base = self.base.as_nanos() as f64;
+        let cap = self.cap.as_nanos() as f64;
+        let raw = (base * 2f64.powi(attempt.min(63) as i32)).min(cap);
+        let scaled = raw * (1.0 + self.jitter * (2.0 * unit - 1.0));
+        (scaled as u64).max(1)
+    }
+}
+
+/// The fleet's deterministic fault-injection plan. The default plan is
+/// *inert*: no losses, no SERVFAILs, no outages — and, by the stateless
+/// substream construction in [`crate::rng`], an inert plan reproduces a
+/// fault-free fleet byte for byte.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Fault probabilities applied to every tier without a per-tier
+    /// override in `tiers`.
+    pub all_tiers: TierFaults,
+    /// Per-tier overrides, indexed like [`FleetConfig::tiers`] (entries
+    /// beyond this list fall back to `all_tiers`).
+    pub tiers: Vec<TierFaults>,
+    /// Outage windows per resolver id (index `r` lists resolver `r`'s
+    /// outages, sorted and non-overlapping; resolvers beyond the list
+    /// never go down).
+    pub outages: Vec<Vec<OutageWindow>>,
+    /// Serve-stale behaviour during outages and SERVFAILs. `None`: a
+    /// resolver that cannot answer fresh fails the query.
+    pub serve_stale: Option<ServeStalePolicy>,
+    /// Backoff schedule for plain-NTP boot-resolution retries (Chronos
+    /// lanes own their retry machinery via `chronos::core`).
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// The fault probabilities for tier index `t`.
+    pub fn tier_faults(&self, t: usize) -> TierFaults {
+        self.tiers.get(t).copied().unwrap_or(self.all_tiers)
+    }
+
+    /// The outage windows of resolver `r` (empty when none configured).
+    pub fn resolver_outages(&self, r: usize) -> &[OutageWindow] {
+        self.outages.get(r).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the plan injects no fault at all — the byte-identical
+    /// legacy mode.
+    pub fn is_inert(&self) -> bool {
+        self.all_tiers.is_inert()
+            && self.tiers.iter().all(TierFaults::is_inert)
+            && self.outages.iter().all(Vec::is_empty)
+    }
+
+    /// Whether a DNS query by a tier-`t` client against resolver `r` can
+    /// ever fail to produce a fresh answer — the gate deciding whether a
+    /// plain-NTP client gets a retry schedule.
+    pub fn dns_can_fail(&self, t: usize, r: usize) -> bool {
+        self.tier_faults(t).dns_servfail > 0.0 || !self.resolver_outages(r).is_empty()
+    }
+
+    fn validate(&self, resolvers: usize, tier_count: usize) {
+        let check_probs = |f: &TierFaults, what: &str| {
+            assert!(
+                f.ntp_loss.is_finite() && (0.0..=1.0).contains(&f.ntp_loss),
+                "{what} ntp_loss {} outside [0, 1]",
+                f.ntp_loss
+            );
+            assert!(
+                f.dns_servfail.is_finite() && (0.0..=1.0).contains(&f.dns_servfail),
+                "{what} dns_servfail {} outside [0, 1]",
+                f.dns_servfail
+            );
+        };
+        check_probs(&self.all_tiers, "fault plan");
+        assert!(
+            self.tiers.len() <= tier_count,
+            "fault plan overrides {} tiers but the fleet has {tier_count}",
+            self.tiers.len()
+        );
+        for (t, f) in self.tiers.iter().enumerate() {
+            check_probs(f, &format!("tier {t}"));
+        }
+        assert!(
+            self.outages.len() <= resolvers,
+            "outage windows for {} resolvers but the fleet has {resolvers}",
+            self.outages.len()
+        );
+        for (r, windows) in self.outages.iter().enumerate() {
+            let mut prev_end = 0u64;
+            for w in windows {
+                assert!(w.duration_ns > 0, "resolver {r}: zero-length outage");
+                assert!(
+                    w.start_ns >= prev_end,
+                    "resolver {r}: outage windows must be sorted and non-overlapping"
+                );
+                prev_end = w.end_ns();
+            }
+        }
+        if let Some(stale) = &self.serve_stale {
+            assert!(stale.max_stale_secs > 0, "zero serve-stale budget");
+        }
+        assert!(
+            (1..=32).contains(&self.retry.max_attempts),
+            "retry max_attempts {} outside 1..=32",
+            self.retry.max_attempts
+        );
+        assert!(
+            self.retry.jitter.is_finite() && (0.0..1.0).contains(&self.retry.jitter),
+            "retry jitter {} outside [0, 1)",
+            self.retry.jitter
+        );
+        assert!(!self.retry.base.is_zero(), "retry base delay must be > 0");
+        assert!(
+            self.retry.cap >= self.retry.base,
+            "retry cap below base delay"
+        );
+    }
+}
+
 /// Configuration of a client population run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -120,6 +338,11 @@ pub struct FleetConfig {
     pub shared_cache: bool,
     /// The attack, if any.
     pub attack: Option<FleetAttack>,
+    /// Deterministic fault injection: per-tier loss/SERVFAIL
+    /// probabilities, resolver outage windows, serve-stale policy and the
+    /// plain-NTP retry schedule. The default plan is inert and reproduces
+    /// the fault-free engine byte for byte.
+    pub faults: FaultPlan,
     /// A client counts as *shifted* when |clock error| exceeds this bound
     /// (the paper's 100 ms safety bound).
     pub safety_bound: SimDuration,
@@ -177,6 +400,7 @@ impl Default for FleetConfig {
             stagger: SimDuration::from_secs(200),
             shared_cache: true,
             attack: None,
+            faults: FaultPlan::default(),
             safety_bound: SimDuration::from_millis(100),
             sample_every: SimDuration::from_secs(60),
             record_trajectories: false,
@@ -201,7 +425,7 @@ impl FleetConfig {
     /// configured tiers, or the one implicit all-Chronos tier (labelled
     /// `"chronos"`, share 1) every pre-cohort fleet ran.
     pub fn effective_tiers(&self) -> Vec<TierParams> {
-        if self.tiers.is_empty() {
+        let mut tiers = if self.tiers.is_empty() {
             vec![TierParams::resolve(
                 &crate::cohort::CohortTier::chronos("chronos", 1),
                 &self.chronos,
@@ -211,7 +435,11 @@ impl FleetConfig {
                 .iter()
                 .map(|t| TierParams::resolve(t, &self.chronos))
                 .collect()
+        };
+        for (t, params) in tiers.iter_mut().enumerate() {
+            params.faults = self.faults.tier_faults(t);
         }
+        tiers
     }
 
     /// Validates internal consistency.
@@ -261,6 +489,14 @@ impl FleetConfig {
             params.chronos.validate();
         }
         self.chronos.validate();
+        self.faults.validate(
+            self.resolvers,
+            if self.tiers.is_empty() {
+                1
+            } else {
+                self.tiers.len()
+            },
+        );
     }
 
     /// Resolved intra-fleet worker count: `threads`, with `0` mapped to
@@ -405,6 +641,164 @@ mod tests {
         assert_eq!(until - from, 86_401_000_000_000);
         assert_eq!(attack.farm_size, 89);
         assert_eq!(attack.shift_ns, 500_000_000);
+    }
+
+    #[test]
+    fn default_fault_plan_is_inert_and_structural() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        assert!(!plan.dns_can_fail(0, 0));
+        assert_eq!(plan.tier_faults(5), TierFaults::default());
+        assert!(plan.resolver_outages(3).is_empty());
+        // The plan is part of the structural fingerprint: a faulty fleet
+        // is never pooled into a fault-free container.
+        let clean = FleetConfig::default();
+        let faulty = FleetConfig {
+            faults: FaultPlan {
+                all_tiers: TierFaults {
+                    ntp_loss: 0.05,
+                    ..TierFaults::default()
+                },
+                ..FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        };
+        faulty.validate();
+        assert_ne!(
+            clean.structural_fingerprint(),
+            faulty.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn retry_delays_double_to_the_cap_with_bounded_jitter() {
+        let retry = RetryPolicy::default();
+        // Centre draw (u = 0.5): pure exponential, capped.
+        assert_eq!(retry.delay_ns(0, 0.5), 4_000_000_000);
+        assert_eq!(retry.delay_ns(1, 0.5), 8_000_000_000);
+        assert_eq!(retry.delay_ns(6, 0.5), 256_000_000_000, "hits the cap");
+        assert_eq!(retry.delay_ns(30, 0.5), 256_000_000_000, "stays capped");
+        // Jitter spans ±25 % around the centre.
+        assert_eq!(retry.delay_ns(0, 0.0), 3_000_000_000);
+        assert!(retry.delay_ns(0, 0.999) < 5_000_000_000);
+        assert!(retry.delay_ns(0, 0.999) > 4_990_000_000);
+        // Degenerate policies still advance time.
+        let tiny = RetryPolicy {
+            base: SimDuration::from_nanos(1),
+            cap: SimDuration::from_nanos(1),
+            jitter: 0.99,
+            max_attempts: 1,
+        };
+        assert!(tiny.delay_ns(0, 0.0) >= 1);
+    }
+
+    #[test]
+    fn outage_windows_cover_half_open_ranges() {
+        let w = OutageWindow {
+            start_ns: 100,
+            duration_ns: 50,
+        };
+        assert_eq!(w.end_ns(), 150);
+        assert!(!w.contains(99));
+        assert!(w.contains(100));
+        assert!(w.contains(149));
+        assert!(!w.contains(150));
+    }
+
+    #[test]
+    fn effective_tiers_stamp_per_tier_faults() {
+        let cfg = FleetConfig {
+            tiers: vec![
+                crate::cohort::CohortTier::chronos("clean", 1),
+                crate::cohort::CohortTier::plain_ntp("lossy", 1),
+            ],
+            faults: FaultPlan {
+                all_tiers: TierFaults {
+                    ntp_loss: 0.01,
+                    dns_servfail: 0.0,
+                },
+                tiers: vec![
+                    TierFaults::default(),
+                    TierFaults {
+                        ntp_loss: 0.15,
+                        dns_servfail: 0.05,
+                    },
+                ],
+                ..FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        };
+        cfg.validate();
+        let tiers = cfg.effective_tiers();
+        assert!(tiers[0].faults.is_inert(), "explicit per-tier override");
+        assert_eq!(tiers[1].faults.ntp_loss, 0.15);
+        // Without per-tier overrides, every tier inherits `all_tiers`.
+        let blanket = FleetConfig {
+            tiers: cfg.tiers.clone(),
+            faults: FaultPlan {
+                all_tiers: TierFaults {
+                    ntp_loss: 0.01,
+                    dns_servfail: 0.0,
+                },
+                ..FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        };
+        for t in blanket.effective_tiers() {
+            assert_eq!(t.faults.ntp_loss, 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_loss_rejected() {
+        FleetConfig {
+            faults: FaultPlan {
+                all_tiers: TierFaults {
+                    ntp_loss: 1.5,
+                    dns_servfail: 0.0,
+                },
+                ..FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn overlapping_outages_rejected() {
+        FleetConfig {
+            faults: FaultPlan {
+                outages: vec![vec![
+                    OutageWindow {
+                        start_ns: 0,
+                        duration_ns: 100,
+                    },
+                    OutageWindow {
+                        start_ns: 50,
+                        duration_ns: 100,
+                    },
+                ]],
+                ..FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outage windows for")]
+    fn outages_beyond_resolver_count_rejected() {
+        FleetConfig {
+            resolvers: 1,
+            faults: FaultPlan {
+                outages: vec![Vec::new(), Vec::new()],
+                ..FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -95,9 +95,9 @@
 
 use crate::cohort::{resolver_of, ClientKind, TierAssignment, TierParams};
 use crate::config::FleetConfig;
-use crate::resolver::{DnsAnswer, QuerySchedule, ResolverModel, ResolverTimeline};
-use crate::rng::{client_seed, FleetRng};
-use crate::stats::{OffsetHistogram, P2Quantile};
+use crate::resolver::{DnsAnswer, QuerySchedule, ResolverModel, ResolverTimeline, STALE_TTL_SECS};
+use crate::rng::{client_seed, fault_f64, FaultLane, FleetRng};
+use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
 use crate::wheel::TimerWheel;
 use chronos::core::{self, ChronosStats, CoreState, Phase, PlainRoundOutcome, RoundOutcome};
 use chronos::select::SelectScratch;
@@ -148,6 +148,9 @@ pub struct FleetReport {
     /// Client events stepped (pool rounds + polls), for throughput
     /// accounting.
     pub events: u64,
+    /// Fleet-wide fault-injection counters (all zero without a
+    /// [`crate::config::FaultPlan`]).
+    pub faults: FaultCounters,
     /// Per-tier breakdown, in tier order (a single implicit `"chronos"`
     /// tier for homogeneous fleets). Tier sums reproduce the fleet-wide
     /// fields above.
@@ -174,6 +177,8 @@ pub struct TierBreakdown {
     pub synced_clients: u64,
     /// Element-wise sum of the tier's client counters.
     pub totals: ChronosStats,
+    /// Element-wise sum of the tier's fault-injection counters.
+    pub faults: FaultCounters,
 }
 
 /// Per-client activity counters at column width: a single client's per-run
@@ -215,6 +220,30 @@ impl CompactStats {
     }
 }
 
+/// Per-client fault counters at column width (cf. [`CompactStats`]): a
+/// client's per-run fault events are horizon-bounded, so u32 suffices;
+/// the report widens into [`FaultCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CompactFaults {
+    ntp_losses: u32,
+    dns_servfails: u32,
+    outage_hits: u32,
+    stale_served: u32,
+    boot_retries: u32,
+}
+
+impl CompactFaults {
+    fn widen(self) -> FaultCounters {
+        FaultCounters {
+            ntp_losses: u64::from(self.ntp_losses),
+            dns_servfails: u64::from(self.dns_servfails),
+            outage_hits: u64::from(self.outage_hits),
+            stale_served: u64::from(self.stale_served),
+            boot_retries: u64::from(self.boot_retries),
+        }
+    }
+}
+
 /// The DNS model a shard consults during pool generation, one entry per
 /// resolver (indexed by the client's `resolver` column): the precomputed
 /// shared-cache timelines, or the read-only independent resolvers.
@@ -246,6 +275,8 @@ struct Shard {
     last_update_ns: Vec<u64>,
     rng: Vec<u64>,
     stats: Vec<CompactStats>,
+    /// Fault-injection counters (all zero when the plan is inert).
+    faults: Vec<CompactFaults>,
     pool_rounds: Vec<u16>,
     /// Bitmap of benign rotation batches gathered (dedup, ≤ 64 residues).
     /// Plain-NTP lanes use bit 0 as a "resolved benign servers" marker.
@@ -291,6 +322,7 @@ impl Shard {
             last_update_ns: Vec::new(),
             rng: Vec::new(),
             stats: Vec::new(),
+            faults: Vec::new(),
             pool_rounds: Vec::new(),
             benign_batches: Vec::new(),
             malicious: Vec::new(),
@@ -335,6 +367,7 @@ impl Shard {
         self.last_update_ns.resize(len, NO_UPDATE);
         self.rng.resize(len, 0);
         self.stats.resize(len, CompactStats::default());
+        self.faults.resize(len, CompactFaults::default());
         self.pool_rounds.resize(len, 0);
         self.benign_batches.resize(len, 0);
         self.malicious.resize(len, 0);
@@ -376,6 +409,7 @@ impl Shard {
             self.last_update_ns[i] = NO_UPDATE;
             self.rng[i] = rng_state;
             self.stats[i] = CompactStats::default();
+            self.faults[i] = CompactFaults::default();
             self.pool_rounds[i] = 0;
             self.benign_batches[i] = 0;
             self.malicious[i] = 0;
@@ -455,7 +489,7 @@ impl Shard {
                 }
                 (ClientKind::Chronos, _) => self.poll_round(id, at_ns, config, tier),
                 (ClientKind::PlainNtp, Phase::PoolGeneration) => {
-                    self.plain_pool_round(id, at_ns, tier, dns)
+                    self.plain_pool_round(id, at_ns, config, tier, dns)
                 }
                 (ClientKind::PlainNtp, _) => self.plain_poll_round(id, at_ns, config, tier),
             }
@@ -486,6 +520,84 @@ impl Shard {
         }
     }
 
+    /// [`Shard::dns_answer`] with the client tier's fault plan applied: a
+    /// SERVFAIL draw (keyed on the client's query index, so it is
+    /// stepping-order-free) replaces the resolver's answer with whatever
+    /// serve-stale can salvage from the cache, and the fault counters
+    /// record what the client actually experienced. With an inert plan
+    /// this takes no draws and is exactly `dns_answer`.
+    fn resolve_dns(
+        &mut self,
+        i: usize,
+        at_ns: u64,
+        round: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+        dns: DnsView<'_>,
+    ) -> DnsAnswer {
+        let p = tier.faults.dns_servfail;
+        let answer = if p > 0.0
+            && fault_f64(
+                config.seed,
+                self.first_global + i as u64,
+                FaultLane::DnsQuery,
+                round,
+                0,
+            ) < p
+        {
+            self.faults[i].dns_servfails += 1;
+            match dns {
+                // The recursive resolver fails client-side; RFC 8767
+                // serve-stale may still answer from the shared cache.
+                DnsView::Shared(timelines) => {
+                    timelines[self.resolver[i] as usize].stale_answer(at_ns)
+                }
+                DnsView::Independent(_) => DnsAnswer::Fail,
+            }
+        } else {
+            let answer = self.dns_answer(i, at_ns, round, dns);
+            if matches!(
+                answer,
+                DnsAnswer::StaleBenign { .. } | DnsAnswer::StalePoisoned { .. } | DnsAnswer::Fail
+            ) {
+                // The resolver itself was down (outage window) — distinct
+                // from a client-side SERVFAIL draw.
+                self.faults[i].outage_hits += 1;
+            }
+            answer
+        };
+        if matches!(
+            answer,
+            DnsAnswer::StaleBenign { .. } | DnsAnswer::StalePoisoned { .. }
+        ) {
+            self.faults[i].stale_served += 1;
+        }
+        answer
+    }
+
+    /// Drops each gathered NTP sample independently with probability `p`,
+    /// compacting `offsets_buf` in place. Draws come from the client's
+    /// fault substream keyed by `(lane, round, slot)` — the slot is the
+    /// sample's position in the buffer — so loss patterns are
+    /// byte-identical across thread counts and shard sizes. With `p <= 0`
+    /// this takes no draws.
+    fn apply_sample_loss(&mut self, i: usize, p: f64, lane: FaultLane, round: u64, seed: u64) {
+        if p <= 0.0 {
+            return;
+        }
+        let global = self.first_global + i as u64;
+        let mut kept = 0;
+        for slot in 0..self.offsets_buf.len() {
+            if fault_f64(seed, global, lane, round, slot as u64) < p {
+                self.faults[i].ntp_losses += 1;
+            } else {
+                self.offsets_buf[kept] = self.offsets_buf[slot];
+                kept += 1;
+            }
+        }
+        self.offsets_buf.truncate(kept);
+    }
+
     // --- DNS pool generation (Chronos tiers) ---
 
     fn pool_round(
@@ -498,8 +610,14 @@ impl Shard {
     ) {
         self.stats[i].pool_queries += 1;
         let round = u64::from(self.pool_rounds[i]);
-        let answer = self.dns_answer(i, at_ns, round, dns);
-        self.absorb_response(i, answer, config, tier);
+        let answer = self.resolve_dns(i, at_ns, round, config, tier, dns);
+        if matches!(answer, DnsAnswer::Fail) {
+            // The round is consumed — Chronos' pool window does not grow
+            // to compensate for failed queries.
+            self.stats[i].pool_failures += 1;
+        } else {
+            self.absorb_response(i, answer, config, tier);
+        }
         self.pool_rounds[i] += 1;
         if usize::from(self.pool_rounds[i]) >= tier.chronos.pool.queries {
             self.phase[i] = Phase::Syncing;
@@ -525,21 +643,28 @@ impl Shard {
     ) {
         let pool_cfg = &tier.chronos.pool;
         let record_cap = pool_cfg.max_records_per_response.unwrap_or(usize::MAX);
+        // Stale answers are re-served with the resolver's short stale TTL
+        // (RFC 8767 §5), not the record's original TTL — which launders a
+        // poisoned record's day-long TTL past the reject-TTL-above
+        // mitigation. See the fault-model notes in ARCHITECTURE.md.
         let ttl = match answer {
             DnsAnswer::Benign { ttl_secs, .. } | DnsAnswer::Poisoned { ttl_secs, .. } => ttl_secs,
+            DnsAnswer::StaleBenign { .. } | DnsAnswer::StalePoisoned { .. } => STALE_TTL_SECS,
+            DnsAnswer::Fail => return,
         };
         if pool_cfg.reject_ttl_above.is_some_and(|cap| ttl > cap) {
             return; // the round is consumed, nothing is admitted
         }
         match answer {
-            DnsAnswer::Benign { batch, .. } => {
+            DnsAnswer::Benign { batch, .. } | DnsAnswer::StaleBenign { batch } => {
                 let residue = batch % config.rotation_batches() as u64;
                 self.benign_batches[i] |= 1u64 << residue;
             }
-            DnsAnswer::Poisoned { farm_size, .. } => {
+            DnsAnswer::Poisoned { farm_size, .. } | DnsAnswer::StalePoisoned { farm_size } => {
                 let admitted = farm_size.min(record_cap) as u32;
                 self.malicious[i] = self.malicious[i].max(admitted);
             }
+            DnsAnswer::Fail => unreachable!("handled above"),
         }
     }
 
@@ -569,20 +694,51 @@ impl Shard {
 
     // --- plain-NTP lanes ---
 
-    /// A plain-NTP client's single boot-time DNS resolution: whatever the
+    /// A plain-NTP client's boot-time DNS resolution: whatever the
     /// resolver serves *is* the pool — the paper's one poisoning
     /// opportunity, against Chronos' 24. No §V mitigations apply (they
-    /// are Chronos pool-generation knobs).
-    fn plain_pool_round(&mut self, i: usize, at_ns: u64, tier: &TierParams, dns: DnsView<'_>) {
+    /// are Chronos pool-generation knobs). Under a fault plan a failed
+    /// resolution retries with capped exponential backoff (jitter drawn
+    /// from the fault substream) up to `retry.max_attempts` attempts; a
+    /// client that exhausts its attempts boots with an empty pool.
+    fn plain_pool_round(
+        &mut self,
+        i: usize,
+        at_ns: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+        dns: DnsView<'_>,
+    ) {
         self.stats[i].pool_queries += 1;
-        match self.dns_answer(i, at_ns, 0, dns) {
-            DnsAnswer::Benign { .. } => {
+        let attempt = self.retries[i];
+        let answer = self.resolve_dns(i, at_ns, u64::from(attempt), config, tier, dns);
+        match answer {
+            DnsAnswer::Benign { .. } | DnsAnswer::StaleBenign { .. } => {
                 self.benign_batches[i] = 1; // resolved: servers come from the prefix
             }
-            DnsAnswer::Poisoned { farm_size, .. } => {
+            DnsAnswer::Poisoned { farm_size, .. } | DnsAnswer::StalePoisoned { farm_size } => {
                 self.malicious[i] = farm_size.min(tier.plain_servers) as u32;
             }
+            DnsAnswer::Fail => {
+                self.stats[i].pool_failures += 1;
+                if attempt + 1 < config.faults.retry.max_attempts {
+                    self.retries[i] = attempt + 1;
+                    self.faults[i].boot_retries += 1;
+                    let unit = fault_f64(
+                        config.seed,
+                        self.first_global + i as u64,
+                        FaultLane::RetryJitter,
+                        u64::from(attempt),
+                        0,
+                    );
+                    self.schedule(i, at_ns + config.faults.retry.delay_ns(attempt, unit));
+                    return;
+                }
+                // Out of attempts: boot with an empty pool (every poll is
+                // a NoSamples no-op — the client free-runs on its drift).
+            }
         }
+        self.retries[i] = 0;
         self.pool_rounds[i] = 1;
         self.phase[i] = Phase::Syncing;
         // The packet client starts its first poll on resolution.
@@ -603,6 +759,7 @@ impl Shard {
             self.schedule(i, at_ns + poll_ns);
             return;
         }
+        let poll_index = u64::from(self.stats[i].polls);
         self.stats[i].polls += 1;
         let mut rng = FleetRng::from_seed(self.rng[i]);
         let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
@@ -629,6 +786,16 @@ impl Shard {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
+        // Losses apply after the draws: a dropped sample still consumed
+        // its noise draws, so the surviving subset is exactly what a
+        // lossless run would have handed the same slots.
+        self.apply_sample_loss(
+            i,
+            tier.faults.ntp_loss,
+            FaultLane::NtpSample,
+            poll_index,
+            config.seed,
+        );
         let collect_ns = at_ns + tier.chronos.response_window.as_nanos();
         let collect = SimTime::from_nanos(collect_ns);
         let mut stats = self.stats[i].widen();
@@ -670,6 +837,7 @@ impl Shard {
             self.schedule(i, at_ns + poll_ns);
             return;
         }
+        let poll_index = u64::from(self.stats[i].polls);
         self.stats[i].polls += 1;
         let mut rng = FleetRng::from_seed(self.rng[i]);
         let m = tier.chronos.sample_size.min(total);
@@ -698,6 +866,16 @@ impl Shard {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
+        // The surviving subset feeds the real decision core: enough drops
+        // turn the round into a TooFewSamples reject, and K of those into
+        // a genuine panic episode.
+        self.apply_sample_loss(
+            i,
+            tier.faults.ntp_loss,
+            FaultLane::NtpSample,
+            poll_index,
+            config.seed,
+        );
         let collect_ns = at_ns + tier.chronos.response_window.as_nanos();
         let collect = SimTime::from_nanos(collect_ns);
         let mut stats = self.stats[i].widen();
@@ -771,6 +949,17 @@ impl Shard {
             };
             self.offsets_buf.push(server_off - client_off + noise);
         }
+        // Panic rounds ride their own lane keyed by the panic-episode
+        // index (conclude_sample_round already counted this episode), so
+        // panic losses never collide with regular poll losses.
+        let episode = u64::from(self.stats[i].panics);
+        self.apply_sample_loss(
+            i,
+            tier.faults.ntp_loss,
+            FaultLane::PanicSample,
+            episode,
+            config.seed,
+        );
         let panic_ns = collect_ns + tier.chronos.response_window.as_nanos();
         let panic_at = SimTime::from_nanos(panic_ns);
         let mut stats = self.stats[i].widen();
@@ -1027,22 +1216,52 @@ impl Fleet {
             for g in 0..n as u64 {
                 let global = self.config.first_client_id + g;
                 let (start_ns, _, _) = client_boot(&self.config, global);
-                let tier = &self.tiers[self.assignment.tier_of(global) as usize];
-                let schedule = match tier.kind {
-                    ClientKind::Chronos => QuerySchedule {
+                let tier_index = self.assignment.tier_of(global) as usize;
+                let tier = &self.tiers[tier_index];
+                let r = resolver_of(self.config.seed, global, self.config.resolvers);
+                match tier.kind {
+                    ClientKind::Chronos => schedules[r as usize].push(QuerySchedule {
                         start_ns,
                         interval_ns: tier.chronos.pool.query_interval.as_nanos(),
                         rounds: tier.chronos.pool.queries as u64,
-                    },
+                    }),
+                    ClientKind::PlainNtp
+                        if self.config.faults.dns_can_fail(tier_index, r as usize) =>
+                    {
+                        // Boot resolution can fail, so the client *may*
+                        // retry on its backoff schedule. The pre-pass
+                        // cannot know which attempts fail, so the cache
+                        // timeline is defined as the replay of the full
+                        // phantom attempt multiset (computed with the same
+                        // jitter recurrence the engine uses, so every real
+                        // query time is one of these). Phantom attempts
+                        // after a success may advance batch rotation — a
+                        // documented model semantic, not an approximation.
+                        let retry = &self.config.faults.retry;
+                        let mut at = start_ns;
+                        for attempt in 0..retry.max_attempts {
+                            schedules[r as usize].push(QuerySchedule {
+                                start_ns: at,
+                                interval_ns: 0,
+                                rounds: 1,
+                            });
+                            let unit = fault_f64(
+                                self.config.seed,
+                                global,
+                                FaultLane::RetryJitter,
+                                u64::from(attempt),
+                                0,
+                            );
+                            at += retry.delay_ns(attempt, unit);
+                        }
+                    }
                     // Plain NTP resolves exactly once, at boot.
-                    ClientKind::PlainNtp => QuerySchedule {
+                    ClientKind::PlainNtp => schedules[r as usize].push(QuerySchedule {
                         start_ns,
                         interval_ns: 0,
                         rounds: 1,
-                    },
-                };
-                let r = resolver_of(self.config.seed, global, self.config.resolvers);
-                schedules[r as usize].push(schedule);
+                    }),
+                }
             }
             self.resolvers
                 .iter()
@@ -1121,6 +1340,7 @@ impl Fleet {
             + std::mem::size_of::<u64>()                // last_update_ns (packed)
             + std::mem::size_of::<u64>()                // rng
             + std::mem::size_of::<CompactStats>()       // stats
+            + std::mem::size_of::<CompactFaults>()      // faults
             + std::mem::size_of::<u16>()                // pool_rounds
             + std::mem::size_of::<u64>()                // benign_batches
             + std::mem::size_of::<u32>()                // malicious
@@ -1144,6 +1364,13 @@ impl Fleet {
     pub fn client_stats(&self, i: usize) -> ChronosStats {
         let (shard, local) = self.locate(i);
         shard.stats[local].widen()
+    }
+
+    /// One client's fault-injection counters (all zero when the fault
+    /// plan is inert).
+    pub fn client_faults(&self, i: usize) -> FaultCounters {
+        let (shard, local) = self.locate(i);
+        shard.faults[local].widen()
     }
 
     /// One client's pool composition as `(benign, malicious)`.
@@ -1203,6 +1430,7 @@ impl Fleet {
         let mut tier_clients = vec![0usize; t_count];
         let mut tier_totals = vec![ChronosStats::default(); t_count];
         let mut tier_poisoned = vec![0u64; t_count];
+        let mut tier_faults = vec![FaultCounters::default(); t_count];
         let mut tier_synced = vec![0u64; t_count];
         let mut tier_final_shifted = vec![0u64; t_count];
         let mut histogram = OffsetHistogram::log_scale(HISTOGRAM_BINS_PER_DECADE);
@@ -1214,6 +1442,7 @@ impl Fleet {
                 let t = shard.tier[i] as usize;
                 tier_clients[t] += 1;
                 tier_totals[t].accumulate(&s.widen());
+                tier_faults[t].accumulate(&shard.faults[i].widen());
                 if shard.malicious[i] > 0 {
                     tier_poisoned[t] += 1;
                 }
@@ -1269,12 +1498,17 @@ impl Fleet {
                     poisoned_clients: tier_poisoned[t],
                     synced_clients: tier_synced[t],
                     totals: tier_totals[t],
+                    faults: tier_faults[t],
                 }
             })
             .collect();
         let mut totals = ChronosStats::default();
         for t in &tier_totals {
             totals.accumulate(t);
+        }
+        let mut faults = FaultCounters::default();
+        for t in &tier_faults {
+            faults.accumulate(t);
         }
         FleetReport {
             clients: self.config.clients,
@@ -1287,6 +1521,7 @@ impl Fleet {
             quantiles: quantiles.iter().map(|q| (q.p(), q.estimate())).collect(),
             histogram,
             events: self.events(),
+            faults,
             tiers,
         }
     }
@@ -1296,7 +1531,7 @@ impl Fleet {
 mod tests {
     use super::*;
     use crate::cohort::CohortTier;
-    use crate::config::FleetAttack;
+    use crate::config::{FaultPlan, FleetAttack, OutageWindow, ServeStalePolicy, TierFaults};
 
     fn small_config() -> FleetConfig {
         FleetConfig {
@@ -1530,10 +1765,11 @@ mod tests {
             "per-client footprint grew to {footprint} B (budget: < 150 B)"
         );
         // Document the breakdown this asserts over: 40 B clock, 24 B
-        // compact stats, 8 B each for last_update/rng/benign-bitmap/
-        // deadline, 12 B wheel columns, 3 B tier + resolver (the cohort
-        // columns PR 5 added), and small counters.
-        assert_eq!(footprint, 122, "update the breakdown when columns change");
+        // compact stats, 20 B compact fault counters, 8 B each for
+        // last_update/rng/benign-bitmap/deadline, 12 B wheel columns, 3 B
+        // tier + resolver (the cohort columns PR 5 added), and small
+        // counters.
+        assert_eq!(footprint, 142, "update the breakdown when columns change");
         // Trajectory capture is lazy: no per-client Vec headers unless
         // opted in.
         let fleet = Fleet::new(small_config());
@@ -1686,6 +1922,154 @@ mod tests {
             "16 s polls out-poll 64 s polls: {} vs {}",
             fast_tier.totals.polls,
             default_tier.totals.polls
+        );
+    }
+
+    // --- fault injection ---
+
+    /// An explicitly-spelled-out all-zero fault plan is the *same run* as
+    /// the default plan — every fault branch takes zero draws and zero
+    /// side effects, so turning the machinery on without any fault rates
+    /// cannot perturb a single client.
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_legacy() {
+        let mut config = small_config();
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(300),
+            SimDuration::from_millis(500),
+        ));
+        config.record_trajectories = true;
+        let mut legacy = Fleet::new(config.clone());
+        let legacy_report = legacy.run();
+        config.faults = FaultPlan {
+            all_tiers: TierFaults::default(),
+            tiers: vec![TierFaults {
+                ntp_loss: 0.0,
+                dns_servfail: 0.0,
+            }],
+            outages: Vec::new(),
+            // A stale policy alone is inert: stale answers only exist
+            // once something fails.
+            serve_stale: Some(ServeStalePolicy::default()),
+            retry: crate::config::RetryPolicy::default(),
+        };
+        let mut spelled = Fleet::new(config);
+        let spelled_report = spelled.run();
+        assert_eq!(
+            format!("{legacy_report:?}"),
+            format!("{spelled_report:?}"),
+            "inert plan must not perturb the run"
+        );
+        assert_eq!(
+            spelled_report.faults,
+            crate::stats::FaultCounters::default()
+        );
+        for i in 0..64 {
+            assert_eq!(legacy.trace(i), spelled.trace(i), "client {i}");
+        }
+    }
+
+    /// Heavy sample loss starves rounds below `2·trim + 1`, which drives
+    /// the real decision core through TooFewSamples rejects into genuine
+    /// panic episodes.
+    #[test]
+    fn sample_loss_drives_rejects_and_panics() {
+        let mut config = small_config();
+        config.faults.all_tiers.ntp_loss = 0.8;
+        let report = Fleet::new(config).run();
+        assert!(report.faults.ntp_losses > 0, "losses were drawn");
+        assert!(report.totals.rejects > 0, "starved rounds reject");
+        assert!(report.totals.panics > 0, "K rejects escalate to panic");
+        assert_eq!(report.faults.dns_servfails, 0, "DNS was untouched");
+    }
+
+    /// SERVFAIL on every query consumes every Chronos pool round without
+    /// admitting anything: clients finish generation with empty pools and
+    /// free-run (polls never count against an empty pool).
+    #[test]
+    fn servfail_consumes_rounds_and_counts() {
+        let mut config = small_config();
+        config.faults.all_tiers.dns_servfail = 1.0;
+        let report = Fleet::new(config).run();
+        assert_eq!(report.faults.dns_servfails, report.totals.pool_queries);
+        assert_eq!(report.totals.pool_failures, report.totals.pool_queries);
+        assert_eq!(report.faults.stale_served, 0, "nothing was ever cached");
+        assert_eq!(report.poisoned_clients, 0);
+        assert_eq!(report.synced_clients, 64, "rounds are consumed regardless");
+        assert_eq!(report.totals.polls, 0, "empty pools never poll");
+        assert_eq!(report.totals.accepts, 0);
+    }
+
+    /// The robustness/security interaction the retry lane exists to
+    /// capture: without faults every plain-NTP boot resolves *before* the
+    /// attack lands and the tier stays clean; a boot-time resolver outage
+    /// pushes the retries into the poison window and the whole tier is
+    /// captured. Availability faults widen the paper's one-shot plain-NTP
+    /// poisoning opportunity.
+    #[test]
+    fn plain_retry_rides_an_outage_into_the_poison_window() {
+        let mut config = small_config();
+        config.tiers = vec![
+            CohortTier::chronos("chronos", 1),
+            CohortTier::plain_ntp("plain", 1),
+        ];
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(120),
+            SimDuration::from_millis(500),
+        ));
+        let clean = Fleet::new(config.clone()).run();
+        assert_eq!(
+            clean.tiers[1].poisoned_clients, 0,
+            "every boot precedes the attack"
+        );
+        // The single resolver is down for the first 150 s — longer than
+        // the whole boot stagger.
+        config.faults.outages = vec![vec![OutageWindow {
+            start_ns: 0,
+            duration_ns: 150 * 1_000_000_000,
+        }]];
+        let report = Fleet::new(config).run();
+        let plain = &report.tiers[1];
+        assert_eq!(
+            plain.poisoned_clients as usize, plain.clients,
+            "retries landed inside the poison window"
+        );
+        assert!(plain.faults.boot_retries > 0, "boots retried");
+        assert!(plain.faults.outage_hits > 0, "the outage was observed");
+        assert_eq!(
+            report.tiers[0].faults.boot_retries, 0,
+            "chronos lanes never boot-retry"
+        );
+    }
+
+    /// RFC 8767 serve-stale bridges a mid-window outage for Chronos
+    /// pools: expired benign entries are re-served as stale answers, so
+    /// no round fails outright and the fleet stays synced.
+    #[test]
+    fn serve_stale_bridges_an_outage_for_chronos_pools() {
+        let mut config = small_config();
+        // Prime the cache, then take the resolver down across most of the
+        // remaining pool window (benign TTL is 150 s, so the cached batch
+        // expires early in the outage).
+        config.faults.outages = vec![vec![OutageWindow {
+            start_ns: 250 * 1_000_000_000,
+            duration_ns: 900 * 1_000_000_000,
+        }]];
+        config.faults.serve_stale = Some(ServeStalePolicy {
+            max_stale_secs: 3600,
+        });
+        let report = Fleet::new(config).run();
+        assert!(
+            report.faults.stale_served > 0,
+            "stale answers bridged the outage"
+        );
+        assert!(report.faults.outage_hits > 0);
+        assert_eq!(report.totals.pool_failures, 0, "no round failed outright");
+        assert_eq!(report.synced_clients, 64);
+        assert!(
+            report.final_shifted_fraction < 0.1,
+            "benign stale answers keep the fleet synced ({})",
+            report.final_shifted_fraction
         );
     }
 }

@@ -52,6 +52,21 @@
 //!   by the fleet state itself — no per-client trajectories unless
 //!   explicitly requested.
 //!
+//! ## Deterministic fault injection (E17)
+//!
+//! A structural [`config::FaultPlan`] degrades the network without
+//! touching determinism: per-tier NTP sample loss and DNS SERVFAIL
+//! probabilities, per-resolver outage windows, RFC 8767 serve-stale, and
+//! a capped-exponential-backoff retry lane for plain-NTP boot
+//! resolution. Every fault draw comes from a dedicated stateless
+//! substream ([`rng::fault_f64`], keyed by client, lane, round and
+//! sample slot) that consumes nothing from the client's main RNG
+//! sequence — so an all-zero plan reproduces the fault-free run
+//! byte-for-byte, and faulty runs stay byte-identical across thread
+//! counts and shard sizes. Surviving sample subsets feed the *real*
+//! [`chronos::core`] decision logic, so starved rounds reject and panic
+//! exactly as the reference client would.
+//!
 //! ## Fidelity contract
 //!
 //! The fleet is a *mean-field* model of the network: per-sample benign
@@ -80,14 +95,19 @@ pub mod stats;
 pub mod wheel;
 
 pub use cohort::{ClientKind, CohortTier};
-pub use config::{FleetAttack, FleetConfig};
+pub use config::{
+    FaultPlan, FleetAttack, FleetConfig, OutageWindow, RetryPolicy, ServeStalePolicy, TierFaults,
+};
 pub use engine::{Fleet, FleetReport, TierBreakdown};
-pub use stats::{OffsetHistogram, P2Quantile};
+pub use stats::{FaultCounters, OffsetHistogram, P2Quantile};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::cohort::{ClientKind, CohortTier};
-    pub use crate::config::{FleetAttack, FleetConfig};
+    pub use crate::config::{
+        FaultPlan, FleetAttack, FleetConfig, OutageWindow, RetryPolicy, ServeStalePolicy,
+        TierFaults,
+    };
     pub use crate::engine::{Fleet, FleetReport, TierBreakdown};
-    pub use crate::stats::{OffsetHistogram, P2Quantile};
+    pub use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
 }

@@ -70,6 +70,14 @@ use serde::{Deserialize, Serialize};
 /// decorrelated from client streams and the resolver *assignment* hash.
 const RESOLVER_TRAIT_SALT: u64 = 0x0d1f_f3a5_0f00_dcaf;
 
+/// TTL (seconds) attached to answers served stale under RFC 8767: the
+/// RFC recommends re-marking stale data with a short TTL ("on the order
+/// of 30 seconds") rather than the record's original — which also means a
+/// stale serve *launders* an attacker's day-long TTL past the §V
+/// reject-TTL-above mitigation (the mitigated client sees 30 s, not
+/// 86 401 s). Documented attack surface, exercised by E17.
+pub const STALE_TTL_SECS: u32 = 30;
+
 /// What one DNS query returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DnsAnswer {
@@ -88,6 +96,22 @@ pub enum DnsAnswer {
         /// Record TTL, seconds.
         ttl_secs: u32,
     },
+    /// An expired benign batch served under the RFC 8767 serve-stale
+    /// policy (outage or SERVFAIL rescue). Carries [`STALE_TTL_SECS`].
+    StaleBenign {
+        /// Rotation batch identity of the stale entry.
+        batch: u64,
+    },
+    /// The attacker's record set served *past* its TTL under serve-stale
+    /// — the policy extending the poisoning window. Carries
+    /// [`STALE_TTL_SECS`].
+    StalePoisoned {
+        /// Malicious records in the stale entry.
+        farm_size: usize,
+    },
+    /// The query failed: a SERVFAIL, or an outage with nothing serveable
+    /// from the (possibly stale) cache.
+    Fail,
 }
 
 /// One client's static pool-query schedule, the input to the timeline
@@ -114,8 +138,17 @@ pub struct ResolverModel {
     /// batches into the rotation (0 for the legacy resolver 0).
     phase: u64,
     poison: Option<(u64, u64, usize, u32)>, // (from, until, farm, ttl)
-    /// Upstream fetches performed (== batches served so far).
+    /// This resolver's outage windows `(start_ns, end_ns)`, sorted and
+    /// non-overlapping (from [`crate::config::FaultPlan::outages`]).
+    outages: Vec<(u64, u64)>,
+    /// Serve-stale budget in ns (`None`: no RFC 8767, fail instead).
+    max_stale_ns: Option<u64>,
+    /// Upstream fetches that succeeded (== batches served so far).
     cursor: u64,
+    /// Upstream fetch *attempts* that failed: cache misses during an
+    /// outage. A failed fetch is still a fetch ([`Self::fetches`]); a
+    /// stale serve is not (it never contacts upstream).
+    failed_fetches: u64,
     cached_batch: u64,
     cached_until: u64,
     primed: bool,
@@ -162,7 +195,18 @@ impl ResolverModel {
             benign_ttl_secs: ttl_secs,
             phase,
             poison,
+            outages: config
+                .faults
+                .resolver_outages(r)
+                .iter()
+                .map(|w| (w.start_ns, w.end_ns()))
+                .collect(),
+            max_stale_ns: config
+                .faults
+                .serve_stale
+                .map(|s| s.max_stale_secs.saturating_mul(1_000_000_000)),
             cursor: 0,
+            failed_fetches: 0,
             cached_batch: 0,
             cached_until: 0,
             primed: false,
@@ -172,14 +216,64 @@ impl ResolverModel {
     /// Empties the cache and rewinds the rotation (fleet-reuse support).
     pub fn reset(&mut self) {
         self.cursor = 0;
+        self.failed_fetches = 0;
         self.cached_batch = 0;
         self.cached_until = 0;
         self.primed = false;
     }
 
-    /// Upstream fetches performed so far.
+    /// Upstream fetch attempts so far — a failed fetch (cache miss during
+    /// an outage) is still a fetch; a stale serve is not (it is answered
+    /// from cache without contacting upstream). Successful fetches alone
+    /// equal `fetches() - failed_fetches()` (== batches served).
     pub fn fetches(&self) -> u64 {
-        self.cursor
+        self.cursor + self.failed_fetches
+    }
+
+    /// Upstream fetch attempts that failed (cache misses during outages).
+    pub fn failed_fetches(&self) -> u64 {
+        self.failed_fetches
+    }
+
+    /// The end of the outage window containing `now_ns`, if any.
+    fn outage_end_at(&self, now_ns: u64) -> Option<u64> {
+        self.outages
+            .iter()
+            .find(|&&(s, e)| now_ns >= s && now_ns < e)
+            .map(|&(_, e)| e)
+    }
+
+    /// The serve-stale answer at `now_ns`: the cache entry with the
+    /// *latest write time* (a cache holds one entry per name, so the most
+    /// recent write is what is in it), served while `now < expiry +
+    /// max_stale` (RFC 8767), else [`DnsAnswer::Fail`]. The benign entry
+    /// was written when it was fetched; a poison entry is written at the
+    /// window opening (ties are impossible: no upstream fetch happens
+    /// inside the poison window).
+    fn stale_or_fail(&self, now_ns: u64) -> DnsAnswer {
+        let Some(budget) = self.max_stale_ns else {
+            return DnsAnswer::Fail;
+        };
+        let benign = self.primed.then(|| {
+            (
+                self.cached_until.saturating_sub(self.ttl_ns),
+                self.cached_until,
+                DnsAnswer::StaleBenign {
+                    batch: self.cached_batch,
+                },
+            )
+        });
+        let poisoned = self.poison.and_then(|(from, until, farm_size, _)| {
+            (now_ns >= from).then_some((from, until, DnsAnswer::StalePoisoned { farm_size }))
+        });
+        let candidate = match (benign, poisoned) {
+            (Some(b), Some(p)) => Some(if p.0 >= b.0 { p } else { b }),
+            (b, p) => b.or(p),
+        };
+        match candidate {
+            Some((_, expiry, answer)) if now_ns < expiry.saturating_add(budget) => answer,
+            _ => DnsAnswer::Fail,
+        }
     }
 
     /// This resolver's rotation phase (0 for the legacy resolver 0).
@@ -193,6 +287,13 @@ impl ResolverModel {
     }
 
     /// Answers a query through the shared cache at `now_ns`.
+    ///
+    /// Fault semantics: the poison window and a fresh cached batch are
+    /// *cache hits* — they answer even during an outage (the attacker
+    /// injects the cache directly, and hits never contact upstream). A
+    /// cache miss during an outage is a failed upstream fetch; the
+    /// resolver then serves stale (RFC 8767, if configured and within
+    /// budget) or fails the query.
     pub fn query_shared(&mut self, now_ns: u64) -> DnsAnswer {
         if let Some((from, until, farm_size, ttl_secs)) = self.poison {
             if now_ns >= from && now_ns < until {
@@ -202,12 +303,20 @@ impl ResolverModel {
                 };
             }
         }
-        if !self.primed || now_ns >= self.cached_until {
-            self.cached_batch = self.phase + self.cursor;
-            self.cursor += 1;
-            self.cached_until = now_ns.saturating_add(self.ttl_ns);
-            self.primed = true;
+        if self.primed && now_ns < self.cached_until {
+            return DnsAnswer::Benign {
+                batch: self.cached_batch,
+                ttl_secs: self.benign_ttl_secs,
+            };
         }
+        if self.outage_end_at(now_ns).is_some() {
+            self.failed_fetches += 1;
+            return self.stale_or_fail(now_ns);
+        }
+        self.cached_batch = self.phase + self.cursor;
+        self.cursor += 1;
+        self.cached_until = now_ns.saturating_add(self.ttl_ns);
+        self.primed = true;
         DnsAnswer::Benign {
             batch: self.cached_batch,
             ttl_secs: self.benign_ttl_secs,
@@ -216,7 +325,9 @@ impl ResolverModel {
 
     /// Answers a query for an *independent* client (no shared cache): the
     /// client's `round` index is its private rotation position, offset by
-    /// this resolver's phase.
+    /// this resolver's phase. With no shared cache there is nothing to
+    /// serve stale from, so an outage (outside the poison window) simply
+    /// fails the query.
     pub fn query_independent(&self, now_ns: u64, round: u64) -> DnsAnswer {
         if let Some((from, until, farm_size, ttl_secs)) = self.poison {
             if now_ns >= from && now_ns < until {
@@ -225,6 +336,9 @@ impl ResolverModel {
                     ttl_secs,
                 };
             }
+        }
+        if self.outage_end_at(now_ns).is_some() {
+            return DnsAnswer::Fail;
         }
         DnsAnswer::Benign {
             batch: self.phase + round,
@@ -250,16 +364,31 @@ impl ResolverModel {
         let mut sim = self.clone();
         sim.reset();
         let mut segments: Vec<(u64, DnsAnswer)> = Vec::new();
+        let mut writes: Vec<(u64, u64, DnsAnswer)> = Vec::new();
         let mut t = next_query_at_or_after(schedules, 0);
         while let Some(tq) = t {
+            let cursor_before = sim.cursor;
             let answer = sim.query_shared(tq);
+            if sim.cursor > cursor_before {
+                // A successful upstream fetch wrote the cache: record it
+                // for serve-stale lookups ([`ResolverTimeline::stale_answer`]).
+                writes.push((
+                    tq,
+                    sim.cached_until,
+                    DnsAnswer::StaleBenign {
+                        batch: sim.cached_batch,
+                    },
+                ));
+            }
             if segments.last().map(|&(_, a)| a) != Some(answer) {
                 segments.push((tq, answer));
             }
             // The answer — and the cache state — cannot change before the
             // next boundary: a poisoned window runs to its end; a benign
             // answer holds until the cached batch expires or the poison
-            // window opens.
+            // window opens; a stale/failed answer holds until the outage
+            // lifts, the stale budget runs out, or the poison window
+            // opens (nothing writes the cache during an outage).
             let boundary = match answer {
                 DnsAnswer::Poisoned { .. } => {
                     let (_, until, _, _) = sim.poison.expect("poisoned answer implies a window");
@@ -274,14 +403,77 @@ impl ResolverModel {
                     }
                     b
                 }
+                DnsAnswer::StaleBenign { .. }
+                | DnsAnswer::StalePoisoned { .. }
+                | DnsAnswer::Fail => {
+                    let mut b = sim
+                        .outage_end_at(tq)
+                        .expect("stale/failed answers only happen inside outages");
+                    if let Some(budget) = sim.max_stale_ns {
+                        match answer {
+                            DnsAnswer::StaleBenign { .. } => {
+                                b = b.min(sim.cached_until.saturating_add(budget));
+                            }
+                            DnsAnswer::StalePoisoned { .. } => {
+                                let (_, until, _, _) =
+                                    sim.poison.expect("stale poison implies a window");
+                                b = b.min(until.saturating_add(budget));
+                            }
+                            _ => {}
+                        }
+                    }
+                    if let Some((from, _, _, _)) = sim.poison {
+                        if from > tq {
+                            b = b.min(from);
+                        }
+                    }
+                    // Every query this segment skips was one more failed
+                    // upstream attempt (the visited one is already
+                    // counted inside `query_shared`).
+                    sim.failed_fetches +=
+                        count_queries_in(schedules, tq, b.max(tq + 1)).saturating_sub(1);
+                    b
+                }
             };
             t = next_query_at_or_after(schedules, boundary.max(tq + 1));
         }
+        // The poison landing is a cache write too (the attacker injects
+        // the entry directly): merge it into time order for stale lookups.
+        if let Some((from, until, farm_size, _)) = sim.poison {
+            let i = writes.partition_point(|&(w, _, _)| w <= from);
+            writes.insert(i, (from, until, DnsAnswer::StalePoisoned { farm_size }));
+        }
         ResolverTimeline {
             segments,
+            writes,
+            max_stale_ns: sim.max_stale_ns,
             fetches: sim.cursor,
+            failed_fetches: sim.failed_fetches,
         }
     }
+}
+
+/// Number of scheduled queries with time in `[lo, hi)`.
+fn count_queries_in(schedules: &[QuerySchedule], lo: u64, hi: u64) -> u64 {
+    schedules
+        .iter()
+        .map(|s| {
+            if s.rounds == 0 || hi <= s.start_ns {
+                return 0;
+            }
+            if s.interval_ns == 0 {
+                // All of this client's queries fired at `start`.
+                return if s.start_ns >= lo { s.rounds } else { 0 };
+            }
+            let k_lo = if s.start_ns >= lo {
+                0
+            } else {
+                (lo - s.start_ns).div_ceil(s.interval_ns)
+            };
+            let k_hi = ((hi - 1 - s.start_ns) / s.interval_ns + 1).min(s.rounds);
+            k_hi.saturating_sub(k_lo.min(s.rounds))
+        })
+        .sum()
 }
 
 /// The first pool-query time at or after `from` across the given client
@@ -310,7 +502,14 @@ fn next_query_at_or_after(schedules: &[QuerySchedule], from: u64) -> Option<u64>
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ResolverTimeline {
     segments: Vec<(u64, DnsAnswer)>,
+    /// Every cache write of the replay — `(write_ns, expiry_ns, entry)`
+    /// with the entry in its stale form — in time order, for SERVFAIL
+    /// serve-stale lookups.
+    writes: Vec<(u64, u64, DnsAnswer)>,
+    /// The resolver's serve-stale budget, ns (`None`: fail instead).
+    max_stale_ns: Option<u64>,
     fetches: u64,
+    failed_fetches: u64,
 }
 
 impl ResolverTimeline {
@@ -333,14 +532,43 @@ impl ResolverTimeline {
         self.segments[i - 1].1
     }
 
-    /// Upstream fetches the replay performed (== benign batches served).
+    /// Upstream fetch attempts of the replay — failed attempts included,
+    /// stale serves not, matching [`ResolverModel::fetches`].
     pub fn fetches(&self) -> u64 {
-        self.fetches
+        self.fetches + self.failed_fetches
+    }
+
+    /// Upstream fetch attempts that failed (cache misses during outages).
+    pub fn failed_fetches(&self) -> u64 {
+        self.failed_fetches
     }
 
     /// Number of answer-change segments recorded.
     pub fn segments(&self) -> usize {
         self.segments.len()
+    }
+
+    /// The RFC 8767 answer a SERVFAIL-hit query at `now_ns` receives:
+    /// the cache entry with the latest write at or before `now_ns`,
+    /// served (in its stale form) while `now < expiry + max_stale`, else
+    /// [`DnsAnswer::Fail`]. With no serve-stale policy every SERVFAIL
+    /// fails outright — even when the cache still holds a fresh entry,
+    /// because the SERVFAIL models the resolver's recursive lookup
+    /// machinery failing, not a cache miss.
+    pub fn stale_answer(&self, now_ns: u64) -> DnsAnswer {
+        let Some(budget) = self.max_stale_ns else {
+            return DnsAnswer::Fail;
+        };
+        let i = self.writes.partition_point(|&(w, _, _)| w <= now_ns);
+        if i == 0 {
+            return DnsAnswer::Fail;
+        }
+        let (_, expiry, entry) = self.writes[i - 1];
+        if now_ns < expiry.saturating_add(budget) {
+            entry
+        } else {
+            DnsAnswer::Fail
+        }
     }
 }
 
@@ -523,6 +751,7 @@ mod tests {
             );
         }
         assert_eq!(timeline.fetches(), incremental.fetches());
+        assert_eq!(timeline.failed_fetches(), incremental.failed_fetches());
     }
 
     #[test]
@@ -593,6 +822,209 @@ mod tests {
         let model = ResolverModel::new(&config(None));
         let tl = model.timeline(&uniform(&[10 * SEC], 200 * SEC, 2));
         tl.answer(SEC);
+    }
+
+    fn outage(start_s: u64, len_s: u64) -> crate::config::OutageWindow {
+        crate::config::OutageWindow {
+            start_ns: start_s * SEC,
+            duration_ns: len_s * SEC,
+        }
+    }
+
+    fn faulty_config(
+        attack: Option<FleetAttack>,
+        outages: Vec<Vec<crate::config::OutageWindow>>,
+        max_stale_secs: Option<u64>,
+    ) -> FleetConfig {
+        FleetConfig {
+            attack,
+            faults: crate::config::FaultPlan {
+                outages,
+                serve_stale: max_stale_secs
+                    .map(|s| crate::config::ServeStalePolicy { max_stale_secs: s }),
+                ..crate::config::FaultPlan::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn outage_without_serve_stale_fails_cache_misses_only() {
+        // Outage 200–400 s; the 150 s benign TTL expires inside it.
+        let cfg = faulty_config(None, vec![vec![outage(200, 200)]], None);
+        let mut r = ResolverModel::new(&cfg);
+        let a = r.query_shared(0);
+        assert!(matches!(a, DnsAnswer::Benign { batch: 0, .. }));
+        // 210 s: inside the outage but the next query misses (TTL 150 s).
+        assert_eq!(r.query_shared(210 * SEC), DnsAnswer::Fail);
+        assert_eq!(r.query_shared(399 * SEC), DnsAnswer::Fail);
+        // Outage over: a fresh fetch resumes the rotation where it left.
+        assert!(matches!(
+            r.query_shared(400 * SEC),
+            DnsAnswer::Benign { batch: 1, .. }
+        ));
+        // Fetch accounting: 2 successes + 2 failures, no stale serves.
+        assert_eq!(r.fetches(), 4);
+        assert_eq!(r.failed_fetches(), 2);
+    }
+
+    #[test]
+    fn fresh_cache_hits_survive_an_outage() {
+        let cfg = faulty_config(None, vec![vec![outage(100, 40)]], None);
+        let mut r = ResolverModel::new(&cfg);
+        let a = r.query_shared(0);
+        // 120 s: inside the outage but the 150 s entry is still fresh —
+        // a cache hit needs no upstream.
+        assert_eq!(r.query_shared(120 * SEC), a);
+        assert_eq!(r.failed_fetches(), 0);
+    }
+
+    #[test]
+    fn serve_stale_bridges_an_outage_within_budget() {
+        // Outage 200–2000 s, stale budget 600 s, benign TTL 150 s.
+        let cfg = faulty_config(None, vec![vec![outage(200, 1800)]], Some(600));
+        let mut r = ResolverModel::new(&cfg);
+        r.query_shared(100 * SEC); // entry expires at 250 s
+        assert!(matches!(
+            r.query_shared(300 * SEC),
+            DnsAnswer::StaleBenign { batch: 0 }
+        ));
+        // Budget runs out at expiry (250 s) + 600 s = 850 s.
+        assert!(matches!(
+            r.query_shared(849 * SEC),
+            DnsAnswer::StaleBenign { .. }
+        ));
+        assert_eq!(r.query_shared(850 * SEC), DnsAnswer::Fail);
+        // A stale serve is not a fetch; a failed one is.
+        assert_eq!(r.failed_fetches(), 3);
+        assert_eq!(r.fetches(), 1 + 3);
+    }
+
+    #[test]
+    fn serve_stale_extends_the_poison_past_its_ttl() {
+        // Short poison 100–160 s, outage 150–700 s, stale budget 400 s:
+        // the dead poisoned entry keeps being served until 160+400 s.
+        let poison = FleetAttack {
+            at: SimTime::from_secs(100),
+            ttl_secs: 60,
+            farm_size: 89,
+            shift_ns: 500_000_000,
+            poisoned_resolvers: None,
+        };
+        let cfg = faulty_config(Some(poison), vec![vec![outage(150, 550)]], Some(400));
+        let mut r = ResolverModel::new(&cfg);
+        assert!(matches!(
+            r.query_shared(120 * SEC),
+            DnsAnswer::Poisoned { .. }
+        ));
+        // Poison TTL over, outage on: the latest cache write is the
+        // poison landing, so serve-stale re-serves the attacker.
+        assert!(matches!(
+            r.query_shared(200 * SEC),
+            DnsAnswer::StalePoisoned { farm_size: 89 }
+        ));
+        assert!(matches!(
+            r.query_shared(559 * SEC),
+            DnsAnswer::StalePoisoned { .. }
+        ));
+        assert_eq!(r.query_shared(560 * SEC), DnsAnswer::Fail);
+    }
+
+    #[test]
+    fn independent_queries_fail_during_outages() {
+        let poison =
+            FleetAttack::paper_default(SimTime::from_secs(300), SimDuration::from_millis(500));
+        let cfg = faulty_config(Some(poison), vec![vec![outage(100, 100)]], Some(3600));
+        let r = ResolverModel::new(&cfg);
+        assert!(matches!(
+            r.query_independent(50 * SEC, 0),
+            DnsAnswer::Benign { .. }
+        ));
+        assert_eq!(r.query_independent(150 * SEC, 1), DnsAnswer::Fail);
+        // The poison window still answers (cache injection, not upstream).
+        let in_poison_outage = faulty_config(Some(poison), vec![vec![outage(250, 200)]], None);
+        let r = ResolverModel::new(&in_poison_outage);
+        assert!(matches!(
+            r.query_independent(350 * SEC, 2),
+            DnsAnswer::Poisoned { .. }
+        ));
+    }
+
+    #[test]
+    fn timeline_matches_incremental_cache_under_outages() {
+        let starts: Vec<u64> = (0..9).map(|i| i * 53 * SEC).collect();
+        let mut schedules = uniform(&starts, 200 * SEC, 24);
+        schedules.extend(uniform(&[15 * SEC, 400 * SEC, 401 * SEC], 0, 1));
+        schedules.extend(uniform(&[90 * SEC], 64 * SEC, 50));
+        let attack =
+            FleetAttack::paper_default(SimTime::from_secs(390), SimDuration::from_millis(500));
+        let outage_sets = [
+            vec![outage(200, 300)],
+            vec![outage(0, 100), outage(600, 1200)],
+            vec![outage(350, 100), outage(1000, 2500)],
+        ];
+        for attack in [None, Some(attack)] {
+            for outages in &outage_sets {
+                for stale in [None, Some(120), Some(3600)] {
+                    let cfg = faulty_config(attack, vec![outages.clone()], stale);
+                    let model = ResolverModel::new(&cfg);
+                    assert_timeline_matches_incremental(&model, &schedules);
+                    // A phased, perturbed-TTL resolver replays too.
+                    let mut multi = cfg.clone();
+                    multi.resolvers = 8;
+                    multi.faults.outages = vec![outages.clone(); 6];
+                    assert_timeline_matches_incremental(
+                        &ResolverModel::for_resolver(&multi, 5),
+                        &schedules,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_poison_inside_outage_replays_exactly() {
+        // The nasty interleaving: poison opens *during* an outage, expires
+        // before it lifts, and serve-stale bridges the remainder.
+        let poison = FleetAttack {
+            at: SimTime::from_secs(300),
+            ttl_secs: 100,
+            farm_size: 89,
+            shift_ns: 500_000_000,
+            poisoned_resolvers: None,
+        };
+        let cfg = faulty_config(Some(poison), vec![vec![outage(200, 900)]], Some(500));
+        let starts: Vec<u64> = (0..7).map(|i| i * 37 * SEC).collect();
+        let model = ResolverModel::new(&cfg);
+        assert_timeline_matches_incremental(&model, &uniform(&starts, 40 * SEC, 40));
+        let tl = model.timeline(&uniform(&starts, 40 * SEC, 40));
+        assert!(tl.failed_fetches() > 0, "the outage forced failures");
+    }
+
+    #[test]
+    fn stale_answer_serves_the_latest_write_within_budget() {
+        let cfg = faulty_config(None, Vec::new(), Some(600));
+        let model = ResolverModel::new(&cfg);
+        let tl = model.timeline(&uniform(&[0], 200 * SEC, 3));
+        // SERVFAIL rescue at 10 s: the 0 s fetch is the latest write.
+        assert!(matches!(
+            tl.stale_answer(10 * SEC),
+            DnsAnswer::StaleBenign { batch: 0 }
+        ));
+        // At 300 s the latest write is the 200 s refetch (batch 1).
+        assert!(matches!(
+            tl.stale_answer(300 * SEC),
+            DnsAnswer::StaleBenign { batch: 1 }
+        ));
+        // The last fetch (400 s, expiry 550 s) ages out at 550+600 s.
+        assert!(matches!(
+            tl.stale_answer(1149 * SEC),
+            DnsAnswer::StaleBenign { batch: 2 }
+        ));
+        assert_eq!(tl.stale_answer(1150 * SEC), DnsAnswer::Fail);
+        // Without a policy every SERVFAIL fails outright.
+        let strict = ResolverModel::new(&config(None)).timeline(&uniform(&[0], 200 * SEC, 3));
+        assert_eq!(strict.stale_answer(10 * SEC), DnsAnswer::Fail);
     }
 
     #[test]

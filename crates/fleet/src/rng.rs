@@ -6,6 +6,20 @@
 //! of state per client (a [`netsim::rng::SimRng`] carries a full ChaCha
 //! state, far too heavy for 10⁶ columns), passes practical statistical
 //! tests, and seeds decorrelate under the finalizer mix.
+//!
+//! # Fault substreams
+//!
+//! Fault injection ([`crate::config::FaultPlan`]) draws from *stateless*
+//! substreams keyed by `(fleet seed, global id, lane, round, slot)` —
+//! [`fault_f64`] — rather than from the client's sequential stream. Two
+//! properties follow by construction:
+//!
+//! * an all-zero plan consumes **no** draws, so the client's main stream
+//!   advances exactly as in a fault-free fleet (fault layer off = legacy,
+//!   byte for byte);
+//! * every draw is addressable without replaying history, so faulty runs
+//!   stay byte-identical across thread counts, shard sizes and fleet
+//!   slicings (the draw never depends on stepping order).
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +39,53 @@ fn finalize(mut z: u64) -> u64 {
 /// fleet slicing (see `FleetConfig::first_client_id`).
 pub fn client_seed(fleet_seed: u64, global_id: u64) -> u64 {
     finalize(fleet_seed ^ (global_id.wrapping_add(1)).wrapping_mul(GAMMA))
+}
+
+/// Salt folded into the fleet seed before deriving a client's *fault*
+/// substreams, so fault draws are decorrelated from the client's main
+/// boot/drift/sampling stream (which hashes the unsalted seed) and from
+/// the resolver-assignment hash.
+const FAULT_SALT: u64 = 0xfa17_5eed_0bad_ca11;
+
+/// Which fault decision a [`fault_f64`] draw feeds. The lane keeps the
+/// independent fault axes (DNS vs NTP vs backoff jitter) on disjoint
+/// substreams even when they share a round index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u64)]
+pub enum FaultLane {
+    /// One DNS pool query's SERVFAIL draw (`round` = the client's query
+    /// index, `slot` = 0).
+    DnsQuery = 1,
+    /// One NTP sample's loss draw in a poll round (`round` = the client's
+    /// poll index, `slot` = the sample's position in the round).
+    NtpSample = 2,
+    /// One NTP sample's loss draw in a panic round (`round` = the
+    /// client's panic-episode index, `slot` = position).
+    PanicSample = 3,
+    /// The backoff-jitter draw of one plain-NTP boot retry (`round` = the
+    /// failed attempt index, `slot` = 0).
+    RetryJitter = 4,
+}
+
+/// The seed of one fault draw's substream: a pure function of
+/// `(fleet seed, global id, lane, round, slot)`. Stateless by design —
+/// see the module docs.
+pub fn fault_seed(fleet_seed: u64, global_id: u64, lane: FaultLane, round: u64, slot: u64) -> u64 {
+    let base = client_seed(fleet_seed ^ FAULT_SALT, global_id);
+    // Distinct odd multipliers per coordinate (golden-ratio family), then
+    // the finalizer, so adjacent rounds/slots/lanes decorrelate fully.
+    finalize(
+        base ^ (lane as u64).wrapping_mul(0xd1b5_4a32_d192_ed03)
+            ^ round.wrapping_add(1).wrapping_mul(0xaef1_7502_07c2_5f69)
+            ^ slot.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    )
+}
+
+/// One uniform draw in `[0, 1)` from the fault substream keyed by
+/// `(fleet seed, global id, lane, round, slot)`.
+#[inline]
+pub fn fault_f64(fleet_seed: u64, global_id: u64, lane: FaultLane, round: u64, slot: u64) -> f64 {
+    FleetRng::from_seed(fault_seed(fleet_seed, global_id, lane, round, slot)).next_f64()
 }
 
 /// An 8-byte deterministic RNG stream (SplitMix64).
@@ -146,5 +207,47 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn zero_range_rejected() {
         FleetRng::from_seed(0).range_u64(0);
+    }
+
+    #[test]
+    fn fault_draws_are_stateless_and_keyed() {
+        // Stateless: the same key always yields the same draw.
+        let a = fault_f64(7, 3, FaultLane::DnsQuery, 5, 0);
+        assert_eq!(a, fault_f64(7, 3, FaultLane::DnsQuery, 5, 0));
+        assert!((0.0..1.0).contains(&a));
+        // Every key coordinate matters.
+        assert_ne!(a, fault_f64(8, 3, FaultLane::DnsQuery, 5, 0), "seed");
+        assert_ne!(a, fault_f64(7, 4, FaultLane::DnsQuery, 5, 0), "client");
+        assert_ne!(a, fault_f64(7, 3, FaultLane::NtpSample, 5, 0), "lane");
+        assert_ne!(a, fault_f64(7, 3, FaultLane::DnsQuery, 6, 0), "round");
+        assert_ne!(a, fault_f64(7, 3, FaultLane::DnsQuery, 5, 1), "slot");
+        // Decorrelated from the client's main stream: the fault substream
+        // seed never equals the main stream seed for the same client.
+        assert_ne!(
+            fault_seed(7, 3, FaultLane::DnsQuery, 0, 0),
+            client_seed(7, 3)
+        );
+    }
+
+    #[test]
+    fn fault_draws_look_uniform_per_lane() {
+        // A loss probability p must drop ~p of slots: check the empirical
+        // mean of draws across many (round, slot) keys per lane.
+        for lane in [
+            FaultLane::DnsQuery,
+            FaultLane::NtpSample,
+            FaultLane::PanicSample,
+            FaultLane::RetryJitter,
+        ] {
+            let n = 4_000;
+            let mean: f64 = (0..n)
+                .map(|k| fault_f64(42, 17, lane, k / 16, k % 16))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - 0.5).abs() < 0.03,
+                "{lane:?} draw mean {mean} far from uniform"
+            );
+        }
     }
 }

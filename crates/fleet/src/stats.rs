@@ -15,6 +15,47 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Fault-injection activity counters ([`crate::config::FaultPlan`]),
+/// accumulated per client and merged into per-tier and fleet-wide sums in
+/// [`FleetReport`](crate::engine::FleetReport). All-zero in a fault-free
+/// run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// NTP samples dropped by the per-sample loss draw (poll and panic
+    /// rounds).
+    pub ntp_losses: u64,
+    /// DNS queries whose SERVFAIL draw fired.
+    pub dns_servfails: u64,
+    /// DNS queries that hit a resolver outage (a cache miss inside an
+    /// outage window — answered stale or failed).
+    pub outage_hits: u64,
+    /// DNS queries answered from an expired cache entry (RFC 8767
+    /// serve-stale, via outage or SERVFAIL rescue).
+    pub stale_served: u64,
+    /// Plain-NTP boot-resolution retries scheduled after failed attempts.
+    pub boot_retries: u64,
+}
+
+impl FaultCounters {
+    /// Element-wise accumulation (for tier and fleet sums).
+    pub fn accumulate(&mut self, other: &FaultCounters) {
+        self.ntp_losses += other.ntp_losses;
+        self.dns_servfails += other.dns_servfails;
+        self.outage_hits += other.outage_hits;
+        self.stale_served += other.stale_served;
+        self.boot_retries += other.boot_retries;
+    }
+
+    /// Total fault events recorded.
+    pub fn total(&self) -> u64 {
+        self.ntp_losses
+            + self.dns_servfails
+            + self.outage_hits
+            + self.stale_served
+            + self.boot_retries
+    }
+}
+
 /// A fixed-bin histogram over absolute clock offsets (nanoseconds).
 ///
 /// Bins are logarithmic — each decade from 1 µs to 1000 s splits into
@@ -322,6 +363,24 @@ impl P2Quantile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_counters_accumulate_elementwise() {
+        let mut a = FaultCounters::default();
+        assert_eq!(a.total(), 0);
+        let b = FaultCounters {
+            ntp_losses: 1,
+            dns_servfails: 2,
+            outage_hits: 3,
+            stale_served: 4,
+            boot_retries: 5,
+        };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.ntp_losses, 2);
+        assert_eq!(a.boot_retries, 10);
+        assert_eq!(a.total(), 30);
+    }
 
     #[test]
     fn histogram_bins_and_fractions() {
