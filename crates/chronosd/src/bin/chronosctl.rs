@@ -1,0 +1,252 @@
+//! The operator client for `chronosd`.
+//!
+//! ```text
+//! chronosctl <socket> ping
+//! chronosctl <socket> submit <name> <kind> [--seed N] [--clients N] [--resolvers N]
+//!            [--poisoned N] [--loss F] [--outage-coverage N] [--threads N]
+//!            [--slice-s N] [--pause-at-s N]
+//! chronosctl <socket> jobs
+//! chronosctl <socket> status <name>
+//! chronosctl <socket> report <name>          # prints only the report object
+//! chronosctl <socket> watch <name> [count]
+//! chronosctl <socket> checkpoint <name> <file>
+//! chronosctl <socket> resume <name> <file> [--threads N] [--slice-s N] [--pause-at-s N]
+//! chronosctl <socket> unpause <name>
+//! chronosctl <socket> stop <name>
+//! chronosctl <socket> wait <name> <state> [timeout-s]
+//! chronosctl <socket> shutdown
+//! chronosctl batch-e16 [--seed N] [--clients N] [--resolvers N] [--poisoned K] [--threads N]
+//! ```
+//!
+//! `batch-e16` needs no daemon: it runs the E16 sweep in-process via
+//! `chronos_pitfalls::experiments::run_e16` and prints the report of the
+//! `--poisoned K` row through the same canonical renderer the daemon
+//! uses — so `chronosctl <socket> report <job>` for an `e16-fleet` job
+//! with matching parameters is **byte-identical** to it (CI diffs the
+//! two).
+
+use std::time::Duration;
+
+use chronosd::json::Json;
+use chronosd::render::report_json;
+use chronosd::Client;
+
+fn usage() -> ! {
+    eprintln!("usage: chronosctl <socket> <command> [...]  (or: chronosctl batch-e16 [...])");
+    eprintln!("commands: ping, submit, jobs, status, report, watch, checkpoint,");
+    eprintln!("          resume, unpause, stop, wait, shutdown; see docs/OPERATIONS.md");
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("chronosctl: {message}");
+    std::process::exit(1);
+}
+
+/// Collect `--key value` flag pairs into `(key, value)` tuples.
+fn flags(args: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match args[i].strip_prefix("--") {
+            Some(key) => key.to_string(),
+            None => fail(format!("expected a --flag, got {:?}", args[i])),
+        };
+        let Some(value) = args.get(i + 1) else {
+            fail(format!("--{key} needs a value"))
+        };
+        out.push((key, value.clone()));
+        i += 2;
+    }
+    out
+}
+
+fn flag_num(pairs: &[(String, String)], key: &str) -> Option<Json> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| {
+        if v.parse::<f64>().is_err() {
+            fail(format!("--{key}: {v:?} is not a number"));
+        }
+        Json::Num(v.clone())
+    })
+}
+
+fn batch_e16(rest: &[String]) {
+    let pairs = flags(rest);
+    let get = |key: &str, default: u64| -> u64 {
+        flag_num(&pairs, key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or(default)
+    };
+    let seed = get("seed", 7);
+    let clients = get("clients", 1_000) as usize;
+    let resolvers = (get("resolvers", 4) as usize).max(1);
+    let poisoned = get("poisoned", resolvers as u64) as usize;
+    let threads = (get("threads", 1) as usize).max(1);
+    if poisoned > resolvers {
+        fail(format!(
+            "--poisoned {poisoned} exceeds --resolvers {resolvers}"
+        ));
+    }
+    let sweep = chronos_pitfalls::experiments::run_e16(seed, clients, resolvers, threads);
+    let row = sweep
+        .rows
+        .iter()
+        .find(|row| row.poisoned_resolvers == poisoned)
+        .unwrap_or_else(|| fail("sweep produced no row for the requested k"));
+    println!("{}", report_json(&row.report).render());
+}
+
+fn connect(socket: &str) -> Client {
+    Client::connect(socket).unwrap_or_else(|e| fail(format!("connecting {socket}: {e}")))
+}
+
+fn name_field(name: &str) -> Vec<(String, Json)> {
+    vec![("name".into(), Json::str(name))]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch-e16") {
+        batch_e16(&args[1..]);
+        return;
+    }
+    let (socket, cmd, rest) = match args.split_first() {
+        Some((socket, tail)) => match tail.split_first() {
+            Some((cmd, rest)) => (socket.as_str(), cmd.as_str(), rest),
+            None => usage(),
+        },
+        None => usage(),
+    };
+    match cmd {
+        "ping" | "jobs" | "shutdown" => {
+            let response = connect(socket)
+                .request(cmd, Vec::new())
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", response.render());
+        }
+        "status" | "unpause" | "stop" => {
+            let [name] = rest else {
+                fail(format!("{cmd} needs <name>"))
+            };
+            let response = connect(socket)
+                .request(cmd, name_field(name))
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", response.render());
+        }
+        "report" => {
+            let [name] = rest else {
+                fail("report needs <name>")
+            };
+            let response = connect(socket)
+                .request("report", name_field(name))
+                .unwrap_or_else(|e| fail(e));
+            // Print only the payload object so the output is
+            // byte-comparable with `chronosctl batch-e16`.
+            let payload = response
+                .get("report")
+                .or_else(|| response.get("sweep"))
+                .unwrap_or_else(|| fail("response carries no report"));
+            println!("{}", payload.render());
+        }
+        "watch" => {
+            let (name, count) = match rest {
+                [name] => (name, None),
+                [name, count] => (name, Some(count)),
+                _ => fail("watch needs <name> [count]"),
+            };
+            let mut fields = name_field(name);
+            if let Some(count) = count {
+                if count.parse::<u64>().is_err() {
+                    fail(format!("watch count {count:?} is not an integer"));
+                }
+                fields.push(("count".into(), Json::Num(count.clone())));
+            }
+            let mut client = connect(socket);
+            let mut response = client.request("watch", fields).unwrap_or_else(|e| fail(e));
+            loop {
+                println!("{}", response.render());
+                if response.get("event").and_then(Json::as_str) == Some("end") {
+                    break;
+                }
+                response = client.read_response().unwrap_or_else(|e| fail(e));
+            }
+        }
+        "submit" => {
+            let Some(([name, kind], pairs)) = rest.split_first_chunk().map(|(h, t)| (h, flags(t)))
+            else {
+                fail("submit needs <name> <kind> [--flags]")
+            };
+            let mut spec = vec![("kind".to_string(), Json::str(kind.as_str()))];
+            for (key, wire) in [
+                ("seed", "seed"),
+                ("clients", "clients"),
+                ("resolvers", "resolvers"),
+                ("poisoned", "poisoned_resolvers"),
+                ("loss", "loss"),
+                ("outage-coverage", "outage_coverage"),
+                ("threads", "threads"),
+                ("slice-s", "slice_s"),
+                ("pause-at-s", "pause_at_s"),
+            ] {
+                if let Some(value) = flag_num(&pairs, key) {
+                    spec.push((wire.to_string(), value));
+                }
+            }
+            let mut fields = name_field(name);
+            fields.push(("spec".into(), Json::Obj(spec)));
+            let response = connect(socket)
+                .request("submit", fields)
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", response.render());
+        }
+        "checkpoint" => {
+            let [name, path] = rest else {
+                fail("checkpoint needs <name> <file>")
+            };
+            let mut fields = name_field(name);
+            fields.push(("path".into(), Json::str(path.as_str())));
+            let response = connect(socket)
+                .request("checkpoint", fields)
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", response.render());
+        }
+        "resume" => {
+            let Some(([name, path], pairs)) = rest.split_first_chunk().map(|(h, t)| (h, flags(t)))
+            else {
+                fail("resume needs <name> <file> [--flags]")
+            };
+            let mut fields = name_field(name);
+            fields.push(("path".into(), Json::str(path.as_str())));
+            for (key, wire) in [
+                ("threads", "threads"),
+                ("slice-s", "slice_s"),
+                ("pause-at-s", "pause_at_s"),
+            ] {
+                if let Some(value) = flag_num(&pairs, key) {
+                    fields.push((wire.to_string(), value));
+                }
+            }
+            let response = connect(socket)
+                .request("resume", fields)
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", response.render());
+        }
+        "wait" => {
+            let (name, state, timeout_s) = match rest {
+                [name, state] => (name, state, 300),
+                [name, state, t] => (
+                    name,
+                    state,
+                    t.parse::<u64>()
+                        .unwrap_or_else(|_| fail(format!("wait timeout {t:?} is not an integer"))),
+                ),
+                _ => fail("wait needs <name> <state> [timeout-s]"),
+            };
+            let status = connect(socket)
+                .wait_for_state(name, state, Duration::from_secs(timeout_s))
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", status.render());
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,34 @@
+//! The daemon binary: bind the control socket and serve until a
+//! `shutdown` request arrives.
+//!
+//! ```text
+//! chronosd <socket-path>
+//! ```
+
+use chronosd::Daemon;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(path), None) if path != "--help" && path != "-h" => path,
+        _ => {
+            eprintln!("usage: chronosd <socket-path>");
+            eprintln!("serves the job-control protocol on a Unix-domain socket;");
+            eprintln!("see docs/OPERATIONS.md for the protocol and chronosctl for a client");
+            std::process::exit(2);
+        }
+    };
+    let daemon = match Daemon::bind(&path) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("chronosd: cannot bind {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("chronosd: listening on {path}");
+    if let Err(e) = daemon.serve() {
+        eprintln!("chronosd: serve failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("chronosd: shut down");
+}

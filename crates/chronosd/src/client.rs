@@ -1,0 +1,135 @@
+//! A small client for the daemon socket, shared by `chronosctl`, the
+//! service-mode example and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// A connected control-socket client (one request/response at a time).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+/// A client-side failure: transport errors, protocol violations, and
+/// `"ok": false` responses (carrying the daemon's error message).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level I/O failed.
+    Io(std::io::Error),
+    /// The daemon's line was not valid JSON or had no `"ok"` field.
+    Protocol(String),
+    /// The daemon answered `"ok": false` with this message.
+    Daemon(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a daemon socket.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read one raw response line (already
+    /// checked for `"ok": true`). Most callers want [`Client::request`].
+    pub fn request_raw(&mut self, request: &Json) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{}", request.render())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Read and validate the next response line (used after
+    /// [`Client::request_raw`] for streaming commands like `watch`,
+    /// which answer with several lines).
+    pub fn read_response(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("daemon closed the connection".into()));
+        }
+        let response = Json::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            Some(false) => Err(ClientError::Daemon(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified failure")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol("response carries no \"ok\"".into())),
+        }
+    }
+
+    /// Build and send a command with a job name plus extra fields.
+    pub fn request(&mut self, cmd: &str, fields: Vec<(String, Json)>) -> Result<Json, ClientError> {
+        let mut all = vec![("cmd".to_string(), Json::str(cmd))];
+        all.extend(fields);
+        self.request_raw(&Json::Obj(all))
+    }
+
+    /// Poll `status` until the job reaches `state` (wire label, e.g.
+    /// `"paused"`, `"done"`). Errors if the job lands in a different
+    /// terminal state first or `timeout` elapses.
+    pub fn wait_for_state(
+        &mut self,
+        name: &str,
+        state: &str,
+        timeout: Duration,
+    ) -> Result<Json, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.request("status", vec![("name".into(), Json::str(name))])?;
+            let current = status
+                .get("state")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            if current == state {
+                return Ok(status);
+            }
+            if matches!(current.as_str(), "done" | "stopped" | "failed") {
+                let detail = status
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("no error recorded");
+                return Err(ClientError::Daemon(format!(
+                    "job {name:?} reached terminal state {current:?} while waiting for {state:?} ({detail})"
+                )));
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Daemon(format!(
+                    "timed out waiting for job {name:?} to reach {state:?} (currently {current:?})"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}

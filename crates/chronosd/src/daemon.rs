@@ -1,0 +1,378 @@
+//! The Unix-domain-socket server: accepts connections, speaks the
+//! newline-delimited JSON protocol, and drives the [`crate::jobs`] table.
+//!
+//! One request per line, one (or, for `watch`, several) response lines
+//! back; a connection handles any number of requests until the client
+//! closes it. Every response carries `"ok"`; failures carry `"error"`
+//! instead of the payload. The full protocol with annotated examples
+//! lives in `docs/OPERATIONS.md`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::jobs::{Job, JobSnapshot, JobSpec, JobTable};
+use crate::json::Json;
+use crate::render::{progress_json, report_json, sweep_json};
+
+/// Protocol version reported by `ping` (bump on breaking wire changes).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// How long observers wait for a stepping worker to park its fleet
+/// before giving up (`status`/`report`/`checkpoint` on a busy job).
+const PARK_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The daemon: a bound socket plus the job table it serves.
+#[derive(Debug)]
+pub struct Daemon {
+    listener: UnixListener,
+    path: PathBuf,
+    table: Arc<JobTable>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Bind the control socket, replacing a stale socket file if one is
+    /// left over from a dead daemon.
+    pub fn bind(path: impl AsRef<Path>) -> std::io::Result<Daemon> {
+        let path = path.as_ref().to_path_buf();
+        // A leftover socket file makes bind fail with AddrInUse even when
+        // nothing is listening; remove it and let bind decide.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(Daemon {
+            listener,
+            path,
+            table: Arc::new(JobTable::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The socket path this daemon is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The job table (shared with connection handlers; exposed for
+    /// in-process embedding and tests).
+    pub fn table(&self) -> Arc<JobTable> {
+        Arc::clone(&self.table)
+    }
+
+    /// Serve until a `shutdown` request arrives. Each connection gets its
+    /// own thread; the accept loop re-checks the shutdown flag after
+    /// every accepted connection (the `shutdown` handler's own connection
+    /// is what unblocks the final accept).
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut handlers = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let table = Arc::clone(&self.table);
+            let shutdown = Arc::clone(&self.shutdown);
+            let path = self.path.clone();
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &table, &shutdown, &path);
+            }));
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        // Stop jobs first: that turns every job terminal, which ends any
+        // in-flight `watch` stream, so handler threads (which poll the
+        // shutdown flag between reads) can drain and exit.
+        self.table.stop_all_and_join();
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+fn ok(fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields);
+    Json::Obj(all)
+}
+
+fn err(message: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.into())),
+    ])
+}
+
+fn snapshot_fields(job: &Job, snap: &JobSnapshot) -> Vec<(String, Json)> {
+    vec![
+        ("job".into(), Json::str(job.name.clone())),
+        ("kind".into(), Json::str(job.kind)),
+        ("state".into(), Json::str(snap.state.as_str())),
+        ("slices".into(), Json::u64(snap.slices)),
+        (
+            "progress".into(),
+            snap.progress
+                .as_ref()
+                .map(progress_json)
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "error".into(),
+            snap.error
+                .as_ref()
+                .map(|e| Json::str(e.clone()))
+                .unwrap_or(Json::Null),
+        ),
+    ]
+}
+
+fn require_job(table: &JobTable, request: &Json) -> Result<Arc<Job>, Json> {
+    let name = request
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("name: expected a string"))?;
+    table
+        .get(name)
+        .ok_or_else(|| err(format!("no such job {name:?}")))
+}
+
+/// Handle one request; `None` means the response was already streamed
+/// (the `watch` command writes its own lines).
+fn dispatch(
+    request: &Json,
+    table: &JobTable,
+    shutdown: &AtomicBool,
+    out: &mut impl Write,
+) -> std::io::Result<Option<Json>> {
+    let cmd = match request.get("cmd").and_then(Json::as_str) {
+        Some(cmd) => cmd,
+        None => return Ok(Some(err("cmd: expected a string"))),
+    };
+    let response = match cmd {
+        "ping" => ok(vec![
+            ("service".into(), Json::str("chronosd")),
+            ("protocol".into(), Json::u64(PROTOCOL_VERSION)),
+            ("jobs".into(), Json::usize(table.list().len())),
+        ]),
+        "submit" => {
+            let name = request.get("name").and_then(Json::as_str);
+            let spec = request.get("spec");
+            match (name, spec) {
+                (Some(name), Some(spec)) => {
+                    match JobSpec::from_json(spec).and_then(|spec| table.submit(name, spec)) {
+                        Ok(job) => ok(vec![
+                            ("job".into(), Json::str(job.name.clone())),
+                            ("kind".into(), Json::str(job.kind)),
+                            ("state".into(), Json::str(job.snapshot().state.as_str())),
+                        ]),
+                        Err(message) => err(message),
+                    }
+                }
+                _ => err("submit needs \"name\" (string) and \"spec\" (object)"),
+            }
+        }
+        "jobs" => {
+            let rows = table
+                .list()
+                .iter()
+                .map(|job| {
+                    let snap = job.snapshot();
+                    Json::Obj(snapshot_fields(job, &snap))
+                })
+                .collect();
+            ok(vec![("jobs".into(), Json::Arr(rows))])
+        }
+        "status" => match require_job(table, request) {
+            Ok(job) => ok(snapshot_fields(&job, &job.snapshot())),
+            Err(response) => response,
+        },
+        "report" => match require_job(table, request) {
+            Ok(job) => match job.kind {
+                "e16-sweep" => match job.sweep_result() {
+                    Some(result) => ok(vec![("sweep".into(), sweep_json(&result))]),
+                    None => err(format!("sweep job {:?} is not done yet", job.name)),
+                },
+                _ => match job.report(PARK_TIMEOUT) {
+                    Ok(report) => ok(vec![("report".into(), report_json(&report))]),
+                    Err(message) => err(message),
+                },
+            },
+            Err(response) => response,
+        },
+        "watch" => match require_job(table, request) {
+            Ok(job) => {
+                let count = request
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(u64::MAX);
+                let mut cursor: Option<(u64, crate::jobs::JobState)> = None;
+                let mut emitted = 0u64;
+                loop {
+                    let snap = match cursor {
+                        None => job.snapshot(), // emit the current snapshot first
+                        Some((slices, state)) => {
+                            match job.wait_change(slices, state, PARK_TIMEOUT) {
+                                Some(snap) => snap,
+                                None => break,
+                            }
+                        }
+                    };
+                    let mut fields = vec![("event".to_string(), Json::str("snapshot"))];
+                    fields.extend(snapshot_fields(&job, &snap));
+                    writeln!(out, "{}", ok(fields).render())?;
+                    out.flush()?;
+                    emitted += 1;
+                    // A paused job steps no further without operator
+                    // action, so the stream ends there too.
+                    if snap.state.is_terminal()
+                        || snap.state == crate::jobs::JobState::Paused
+                        || emitted >= count
+                    {
+                        break;
+                    }
+                    cursor = Some((snap.slices, snap.state));
+                }
+                let mut end = vec![("event".to_string(), Json::str("end"))];
+                end.extend(snapshot_fields(&job, &job.snapshot()));
+                return Ok(Some(ok(end)));
+            }
+            Err(response) => response,
+        },
+        "checkpoint" => match require_job(table, request) {
+            Ok(job) => match request.get("path").and_then(Json::as_str) {
+                Some(path) => match job.checkpoint(PARK_TIMEOUT) {
+                    Ok(bytes) => match std::fs::write(path, &bytes) {
+                        Ok(()) => ok(vec![
+                            ("job".into(), Json::str(job.name.clone())),
+                            ("path".into(), Json::str(path)),
+                            ("bytes".into(), Json::usize(bytes.len())),
+                        ]),
+                        Err(io) => err(format!("writing {path:?}: {io}")),
+                    },
+                    Err(message) => err(message),
+                },
+                None => err("checkpoint needs \"path\" (string)"),
+            },
+            Err(response) => response,
+        },
+        "resume" => {
+            let name = request.get("name").and_then(Json::as_str);
+            let path = request.get("path").and_then(Json::as_str);
+            match (name, path) {
+                (Some(name), Some(path)) => match std::fs::read(path) {
+                    Ok(bytes) => {
+                        let spec = JobSpec::Resume {
+                            bytes,
+                            threads: request
+                                .get("threads")
+                                .and_then(Json::as_usize)
+                                .unwrap_or(1)
+                                .max(1),
+                            slice_s: request
+                                .get("slice_s")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(crate::jobs::DEFAULT_SLICE_S)
+                                .max(1),
+                            pause_at_s: request.get("pause_at_s").and_then(Json::as_u64),
+                        };
+                        match table.submit(name, spec) {
+                            Ok(job) => ok(vec![
+                                ("job".into(), Json::str(job.name.clone())),
+                                ("kind".into(), Json::str(job.kind)),
+                                ("state".into(), Json::str(job.snapshot().state.as_str())),
+                            ]),
+                            Err(message) => err(message),
+                        }
+                    }
+                    Err(io) => err(format!("reading {path:?}: {io}")),
+                },
+                _ => err("resume needs \"name\" and \"path\" (strings)"),
+            }
+        }
+        "unpause" => match require_job(table, request) {
+            Ok(job) => {
+                job.request_unpause();
+                ok(vec![("job".into(), Json::str(job.name.clone()))])
+            }
+            Err(response) => response,
+        },
+        "stop" => match require_job(table, request) {
+            Ok(job) => {
+                job.request_stop();
+                ok(vec![("job".into(), Json::str(job.name.clone()))])
+            }
+            Err(response) => response,
+        },
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            ok(vec![("service".into(), Json::str("chronosd"))])
+        }
+        other => err(format!("unknown cmd {other:?}")),
+    };
+    Ok(Some(response))
+}
+
+fn handle_connection(stream: UnixStream, table: &JobTable, shutdown: &AtomicBool, path: &Path) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // Bounded reads so an idle connection cannot pin the handler past a
+    // shutdown: on each timeout the loop re-checks the flag. Partial
+    // lines survive timeouts because read_until keeps consumed bytes in
+    // the buffer.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(300)));
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let mut eof = false;
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(_) if buf.ends_with(b"\n") => {}
+            Ok(_) => eof = true, // final unterminated line
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        buf.clear();
+        if line.trim().is_empty() {
+            if eof {
+                break;
+            }
+            continue;
+        }
+        let response = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
+            Ok(request) => match dispatch(&request, table, shutdown, &mut writer) {
+                Ok(Some(response)) => response,
+                Ok(None) => continue,
+                Err(_) => break, // client went away mid-stream
+            },
+            Err(parse) => err(format!("bad request: {parse}")),
+        };
+        if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            // The accept loop may be blocked in accept(2) with no client
+            // in flight; a throwaway connection wakes it so it can see
+            // the flag and exit.
+            let _ = UnixStream::connect(path);
+            break;
+        }
+    }
+}

@@ -1,0 +1,750 @@
+//! Named jobs: persistent fleet runs and pooled sweeps hosted by the
+//! daemon.
+//!
+//! A *job* owns one simulation and steps it on its own worker thread in
+//! `run_until` **slices** (default 60 simulated seconds). Between slices
+//! the [`fleet::Fleet`] is *parked* in a shared slot, which is the whole
+//! concurrency story:
+//!
+//! * the worker takes the fleet out, steps one slice without holding any
+//!   lock, publishes a fresh [`FleetProgress`] snapshot, and puts the
+//!   fleet back;
+//! * server threads that need the live state (`status`, `report`,
+//!   `checkpoint`) wait on the slot condvar until the fleet is parked —
+//!   so every observation and every checkpoint lands exactly on a
+//!   `run_until` boundary, which the engine's property tests prove is
+//!   invisible to the simulation (`piecewise_runs_equal_one_continuous_run`,
+//!   `resume_equals_uninterrupted_run`).
+//!
+//! Determinism follows: a job's final report depends only on its
+//! [`fleet::FleetConfig`] — not on slice length, worker threads, how often
+//! an operator polled, or whether the run was checkpointed into a
+//! different process halfway through.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use chronos_pitfalls::experiments::{e16_config, e17_config, run_e16, E16Result};
+use fleet::engine::{Fleet, FleetProgress, FleetReport};
+use netsim::time::{SimDuration, SimTime};
+
+use crate::json::Json;
+
+/// Default slice length in simulated seconds between observation points.
+pub const DEFAULT_SLICE_S: u64 = 60;
+
+/// What a job runs. Parsed from the `spec` object of a `submit` request
+/// (see `docs/OPERATIONS.md` for the wire format), except for
+/// [`JobSpec::Resume`], which the daemon builds from a checkpoint file.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// One E16 fleet: the mixed 2:1:1 population across `resolvers`
+    /// caches with `poisoned_resolvers` of them poisoned at t = 100 s.
+    E16Fleet {
+        /// Deterministic seed.
+        seed: u64,
+        /// Fleet size.
+        clients: usize,
+        /// Independent resolver caches.
+        resolvers: usize,
+        /// Caches the attacker poisons (`0..=resolvers`).
+        poisoned_resolvers: usize,
+        /// Worker threads for intra-fleet sharded stepping.
+        threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optionally park the job in `paused` state once simulated time
+        /// reaches this point (checkpoint anchor for operators and CI).
+        pause_at_s: Option<u64>,
+    },
+    /// One E17 fleet: the E16 scenario on a degraded network.
+    E17Fleet {
+        /// Deterministic seed.
+        seed: u64,
+        /// Fleet size.
+        clients: usize,
+        /// Independent resolver caches.
+        resolvers: usize,
+        /// Per-sample NTP loss / DNS SERVFAIL probability.
+        loss: f64,
+        /// Resolvers covered by the mid-run outage window.
+        outage_coverage: usize,
+        /// Worker threads for intra-fleet sharded stepping.
+        threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optional pause point (simulated seconds).
+        pause_at_s: Option<u64>,
+    },
+    /// The full E16 partial-poisoning sweep (`k = 0..=resolvers`), run
+    /// through the pooled Monte-Carlo dispatcher. Sweeps are batch
+    /// units: they cannot be paused or checkpointed, only observed and
+    /// awaited.
+    E16Sweep {
+        /// Deterministic seed.
+        seed: u64,
+        /// Fleet size per sweep point.
+        clients: usize,
+        /// Independent resolver caches.
+        resolvers: usize,
+        /// Threads for the sweep dispatcher.
+        threads: usize,
+    },
+    /// Resume a fleet from checkpoint bytes (any fleet kind).
+    Resume {
+        /// Serialized checkpoint (see `fleet::checkpoint`).
+        bytes: Vec<u8>,
+        /// Worker threads for the resumed run.
+        threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optional pause point (simulated seconds).
+        pause_at_s: Option<u64>,
+    },
+}
+
+fn field_u64(spec: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match spec.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("{key}: expected a non-negative integer")),
+    }
+}
+
+fn field_usize(spec: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match spec.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("{key}: expected a non-negative integer")),
+    }
+}
+
+fn field_f64(spec: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match spec.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("{key}: expected a number")),
+    }
+}
+
+impl JobSpec {
+    /// Parse a `submit` spec object. Unknown kinds and malformed fields
+    /// are rejected with a message naming the offending field.
+    pub fn from_json(spec: &Json) -> Result<JobSpec, String> {
+        let kind = spec
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "spec.kind: expected a string".to_string())?;
+        let threads = field_usize(spec, "threads", 1)?.max(1);
+        let slice_s = field_u64(spec, "slice_s", DEFAULT_SLICE_S)?.max(1);
+        let pause_at_s = match spec.get("pause_at_s") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "pause_at_s: expected a non-negative integer".to_string())?,
+            ),
+        };
+        match kind {
+            "e16-fleet" => {
+                let resolvers = field_usize(spec, "resolvers", 4)?.max(1);
+                let poisoned_resolvers = field_usize(spec, "poisoned_resolvers", resolvers)?;
+                if poisoned_resolvers > resolvers {
+                    return Err(format!(
+                        "poisoned_resolvers: {poisoned_resolvers} exceeds resolvers ({resolvers})"
+                    ));
+                }
+                Ok(JobSpec::E16Fleet {
+                    seed: field_u64(spec, "seed", 7)?,
+                    clients: field_usize(spec, "clients", 1_000)?.max(1),
+                    resolvers,
+                    poisoned_resolvers,
+                    threads,
+                    slice_s,
+                    pause_at_s,
+                })
+            }
+            "e17-fleet" => {
+                let resolvers = field_usize(spec, "resolvers", 8)?.max(1);
+                let outage_coverage = field_usize(spec, "outage_coverage", 0)?;
+                if outage_coverage > resolvers {
+                    return Err(format!(
+                        "outage_coverage: {outage_coverage} exceeds resolvers ({resolvers})"
+                    ));
+                }
+                Ok(JobSpec::E17Fleet {
+                    seed: field_u64(spec, "seed", 7)?,
+                    clients: field_usize(spec, "clients", 1_000)?.max(1),
+                    resolvers,
+                    loss: field_f64(spec, "loss", 0.05)?,
+                    outage_coverage,
+                    threads,
+                    slice_s,
+                    pause_at_s,
+                })
+            }
+            "e16-sweep" => Ok(JobSpec::E16Sweep {
+                seed: field_u64(spec, "seed", 7)?,
+                clients: field_usize(spec, "clients", 1_000)?.max(1),
+                resolvers: field_usize(spec, "resolvers", 4)?.max(1),
+                threads,
+            }),
+            other => Err(format!(
+                "spec.kind: unknown kind {other:?} (expected e16-fleet, e17-fleet or e16-sweep)"
+            )),
+        }
+    }
+
+    /// The job-kind label reported in `jobs` / `status` responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::E16Fleet { .. } => "e16-fleet",
+            JobSpec::E17Fleet { .. } => "e17-fleet",
+            JobSpec::E16Sweep { .. } => "e16-sweep",
+            JobSpec::Resume { .. } => "resume",
+        }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted; the worker thread has not yet built the simulation.
+    Queued,
+    /// Actively stepping slices.
+    Running,
+    /// Parked at the requested `pause_at_s` boundary; waits for
+    /// `unpause` (or `stop`). The fleet is observable and checkpointable.
+    Paused,
+    /// Reached the horizon; final state retained for `report`/`checkpoint`.
+    Done,
+    /// Stopped by an operator at a slice boundary; state retained.
+    Stopped,
+    /// The worker failed (e.g. a corrupt checkpoint); see the error.
+    Failed,
+}
+
+impl JobState {
+    /// Wire label (`"running"`, `"paused"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Paused => "paused",
+            JobState::Done => "done",
+            JobState::Stopped => "stopped",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the worker has exited.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Stopped | JobState::Failed)
+    }
+}
+
+/// A point-in-time view of a job, cheap to clone and render.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Latest end-of-slice progress (fleet jobs; `None` before the first
+    /// slice and for sweep jobs).
+    pub progress: Option<FleetProgress>,
+    /// Slices completed so far (monotonic; watch cursors key off it).
+    pub slices: u64,
+    /// Failure message when `state == Failed`.
+    pub error: Option<String>,
+}
+
+/// One hosted job: identity, live status, and the parked simulation.
+pub struct Job {
+    /// Unique job name (operator-chosen at submit time).
+    pub name: String,
+    /// Job-kind label (`"e16-fleet"`, `"e16-sweep"`, `"resume"`, ...).
+    pub kind: &'static str,
+    status: Mutex<JobSnapshot>,
+    status_cv: Condvar,
+    slot: Mutex<Option<Fleet>>,
+    slot_cv: Condvar,
+    stop: AtomicBool,
+    unpause: AtomicBool,
+    sweep_result: Mutex<Option<E16Result>>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("state", &self.snapshot().state)
+            .finish()
+    }
+}
+
+impl Job {
+    fn new(name: String, kind: &'static str) -> Job {
+        Job {
+            name,
+            kind,
+            status: Mutex::new(JobSnapshot {
+                state: JobState::Queued,
+                progress: None,
+                slices: 0,
+                error: None,
+            }),
+            status_cv: Condvar::new(),
+            slot: Mutex::new(None),
+            slot_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            unpause: AtomicBool::new(false),
+            sweep_result: Mutex::new(None),
+        }
+    }
+
+    /// The current status snapshot.
+    pub fn snapshot(&self) -> JobSnapshot {
+        self.status.lock().expect("status lock").clone()
+    }
+
+    /// Ask the worker to stop at the next slice boundary (idempotent).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.status_cv.notify_all();
+        self.slot_cv.notify_all();
+    }
+
+    /// Release a [`JobState::Paused`] job back into stepping.
+    pub fn request_unpause(&self) {
+        self.unpause.store(true, Ordering::SeqCst);
+        self.status_cv.notify_all();
+    }
+
+    /// Block until the job moves past the `(seen_slices, seen_state)`
+    /// cursor — another slice lands, the lifecycle state changes, or a
+    /// terminal state is reached; returns the fresh snapshot. `None` on
+    /// timeout.
+    pub fn wait_change(
+        &self,
+        seen_slices: u64,
+        seen_state: JobState,
+        timeout: Duration,
+    ) -> Option<JobSnapshot> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut status = self.status.lock().expect("status lock");
+        loop {
+            if status.slices != seen_slices
+                || status.state != seen_state
+                || status.state.is_terminal()
+            {
+                return Some(status.clone());
+            }
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, _) = self
+                .status_cv
+                .wait_timeout(status, left)
+                .expect("status lock");
+            status = guard;
+        }
+    }
+
+    /// Run `f` against the parked fleet, waiting (bounded by `timeout`)
+    /// for the worker to finish its current slice. Errors for sweep jobs
+    /// (which own no fleet) and failed jobs.
+    pub fn with_fleet<R>(
+        &self,
+        timeout: Duration,
+        f: impl FnOnce(&Fleet) -> R,
+    ) -> Result<R, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.slot.lock().expect("slot lock");
+        loop {
+            if let Some(fleet) = slot.as_ref() {
+                return Ok(f(fleet));
+            }
+            if self.snapshot().state.is_terminal() {
+                return Err(format!("job {:?} holds no fleet state", self.name));
+            }
+            let left = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or_else(|| format!("timed out waiting for job {:?} to park", self.name))?;
+            let (guard, _) = self.slot_cv.wait_timeout(slot, left).expect("slot lock");
+            slot = guard;
+        }
+    }
+
+    /// Serialize the parked fleet (always at a `run_until` boundary).
+    pub fn checkpoint(&self, timeout: Duration) -> Result<Vec<u8>, String> {
+        self.with_fleet(timeout, |fleet| fleet.checkpoint())
+    }
+
+    /// The live (or final) aggregate report of a fleet job.
+    pub fn report(&self, timeout: Duration) -> Result<FleetReport, String> {
+        self.with_fleet(timeout, |fleet| fleet.report())
+    }
+
+    /// The stored sweep result (`None` until an `e16-sweep` job is done).
+    pub fn sweep_result(&self) -> Option<E16Result> {
+        self.sweep_result.lock().expect("sweep lock").clone()
+    }
+
+    fn set_state(&self, state: JobState, error: Option<String>) {
+        let mut status = self.status.lock().expect("status lock");
+        status.state = state;
+        if error.is_some() {
+            status.error = error;
+        }
+        drop(status);
+        self.status_cv.notify_all();
+        // Terminal transitions also release `with_fleet` waiters.
+        self.slot_cv.notify_all();
+    }
+
+    fn publish_slice(&self, progress: FleetProgress) {
+        let mut status = self.status.lock().expect("status lock");
+        status.progress = Some(progress);
+        status.slices += 1;
+        drop(status);
+        self.status_cv.notify_all();
+    }
+
+    fn park(&self, fleet: Fleet) {
+        *self.slot.lock().expect("slot lock") = Some(fleet);
+        self.slot_cv.notify_all();
+    }
+
+    fn take_parked(&self) -> Fleet {
+        self.slot
+            .lock()
+            .expect("slot lock")
+            .take()
+            .expect("worker owns the only take path")
+    }
+}
+
+fn build_fleet(spec: &JobSpec) -> Result<Fleet, String> {
+    match spec {
+        JobSpec::E16Fleet {
+            seed,
+            clients,
+            resolvers,
+            poisoned_resolvers,
+            threads,
+            ..
+        } => {
+            let mut config = e16_config(*seed, *clients, *resolvers, *poisoned_resolvers);
+            config.threads = *threads;
+            Ok(Fleet::new(config))
+        }
+        JobSpec::E17Fleet {
+            seed,
+            clients,
+            resolvers,
+            loss,
+            outage_coverage,
+            threads,
+            ..
+        } => {
+            let mut config = e17_config(*seed, *clients, *resolvers, *loss, *outage_coverage);
+            config.threads = *threads;
+            Ok(Fleet::new(config))
+        }
+        JobSpec::Resume { bytes, threads, .. } => {
+            let mut fleet =
+                Fleet::restore(bytes).map_err(|e| format!("checkpoint rejected: {e}"))?;
+            fleet.set_threads(*threads);
+            Ok(fleet)
+        }
+        JobSpec::E16Sweep { .. } => unreachable!("sweep jobs run through run_sweep"),
+    }
+}
+
+/// The worker loop for one job. Runs on the job's dedicated thread.
+fn run_job(job: &Job, spec: JobSpec) {
+    if let JobSpec::E16Sweep {
+        seed,
+        clients,
+        resolvers,
+        threads,
+    } = spec
+    {
+        job.set_state(JobState::Running, None);
+        let result = run_e16(seed, clients, resolvers, threads);
+        *job.sweep_result.lock().expect("sweep lock") = Some(result);
+        job.set_state(JobState::Done, None);
+        return;
+    }
+
+    let (slice_s, mut pause_at) = match &spec {
+        JobSpec::E16Fleet {
+            slice_s,
+            pause_at_s,
+            ..
+        }
+        | JobSpec::E17Fleet {
+            slice_s,
+            pause_at_s,
+            ..
+        }
+        | JobSpec::Resume {
+            slice_s,
+            pause_at_s,
+            ..
+        } => (*slice_s, pause_at_s.map(SimTime::from_secs)),
+        JobSpec::E16Sweep { .. } => unreachable!("handled above"),
+    };
+
+    let fleet = match build_fleet(&spec) {
+        Ok(fleet) => fleet,
+        Err(message) => {
+            job.set_state(JobState::Failed, Some(message));
+            return;
+        }
+    };
+    let horizon = SimTime::ZERO + fleet.config().horizon;
+    let slice = SimDuration::from_secs(slice_s);
+    job.publish_slice(fleet.progress());
+    job.park(fleet);
+    job.set_state(JobState::Running, None);
+
+    loop {
+        if job.stop.load(Ordering::SeqCst) {
+            job.set_state(JobState::Stopped, None);
+            return;
+        }
+        let now = job
+            .with_fleet(Duration::from_secs(1), |fleet| fleet.now())
+            .expect("worker parked the fleet");
+        if let Some(p) = pause_at {
+            if now >= p {
+                job.set_state(JobState::Paused, None);
+                let mut status = job.status.lock().expect("status lock");
+                while !job.unpause.load(Ordering::SeqCst) && !job.stop.load(Ordering::SeqCst) {
+                    let (guard, _) = job
+                        .status_cv
+                        .wait_timeout(status, Duration::from_millis(200))
+                        .expect("status lock");
+                    status = guard;
+                }
+                drop(status);
+                job.unpause.store(false, Ordering::SeqCst);
+                pause_at = None;
+                if job.stop.load(Ordering::SeqCst) {
+                    job.set_state(JobState::Stopped, None);
+                    return;
+                }
+                job.set_state(JobState::Running, None);
+            }
+        }
+        if now >= horizon {
+            job.set_state(JobState::Done, None);
+            return;
+        }
+        let mut target = (now + slice).min(horizon);
+        if let Some(p) = pause_at {
+            if p > now {
+                target = target.min(p);
+            }
+        }
+        let mut fleet = job.take_parked();
+        fleet.run_until(target);
+        let progress = fleet.progress();
+        job.park(fleet);
+        job.publish_slice(progress);
+    }
+}
+
+/// The daemon's registry of named jobs.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: Mutex<BTreeMap<String, Arc<Job>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Register a job under `name` and start its worker thread. Fails if
+    /// the name is empty or already taken (stale terminal jobs keep
+    /// their name — pick a new one).
+    pub fn submit(&self, name: &str, spec: JobSpec) -> Result<Arc<Job>, String> {
+        if name.is_empty() {
+            return Err("job name must not be empty".to_string());
+        }
+        let job = Arc::new(Job::new(name.to_string(), spec.kind()));
+        {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            if jobs.contains_key(name) {
+                return Err(format!("job {name:?} already exists"));
+            }
+            jobs.insert(name.to_string(), Arc::clone(&job));
+        }
+        let worker_job = Arc::clone(&job);
+        let handle = std::thread::spawn(move || run_job(&worker_job, spec));
+        self.handles.lock().expect("handles lock").push(handle);
+        Ok(job)
+    }
+
+    /// Look up a job by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Job>> {
+        self.jobs.lock().expect("jobs lock").get(name).cloned()
+    }
+
+    /// All jobs, in name order.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Stop every job and join every worker thread (daemon shutdown).
+    pub fn stop_all_and_join(&self) {
+        for job in self.list() {
+            job.request_stop();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(pause_at_s: Option<u64>) -> JobSpec {
+        JobSpec::E16Fleet {
+            seed: 7,
+            clients: 24,
+            resolvers: 2,
+            poisoned_resolvers: 1,
+            threads: 1,
+            slice_s: 500,
+            pause_at_s,
+        }
+    }
+
+    fn wait_for(job: &Job, state: JobState) -> JobSnapshot {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let mut cursor: Option<(u64, JobState)> = None;
+        loop {
+            let snap = match cursor {
+                None => job.snapshot(),
+                Some((slices, seen_state)) => job
+                    .wait_change(slices, seen_state, Duration::from_secs(5))
+                    .unwrap_or_else(|| job.snapshot()),
+            };
+            if snap.state == state {
+                return snap;
+            }
+            assert!(
+                !snap.state.is_terminal(),
+                "terminal {:?} while waiting for {state:?}",
+                snap.state
+            );
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            cursor = Some((snap.slices, snap.state));
+        }
+    }
+
+    #[test]
+    fn fleet_job_runs_to_done_and_matches_batch() {
+        let table = JobTable::new();
+        let job = table.submit("smoke", small_spec(None)).unwrap();
+        let done = wait_for(&job, JobState::Done);
+        assert!(
+            done.slices > 1,
+            "expected multiple slices, got {}",
+            done.slices
+        );
+        let daemon_report = job.report(Duration::from_secs(5)).unwrap();
+        let batch = Fleet::new(e16_config(7, 24, 2, 1)).run();
+        assert_eq!(daemon_report, batch);
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn pause_checkpoint_resume_is_byte_identical() {
+        let table = JobTable::new();
+        let job = table.submit("first-leg", small_spec(Some(1_500))).unwrap();
+        wait_for(&job, JobState::Paused);
+        let bytes = job.checkpoint(Duration::from_secs(5)).unwrap();
+        let mid = job.report(Duration::from_secs(5)).unwrap();
+        assert!(mid.end < netsim::time::SimTime::from_secs(6_000), "mid-run");
+        job.request_stop();
+
+        let resumed = table
+            .submit(
+                "second-leg",
+                JobSpec::Resume {
+                    bytes,
+                    threads: 2,
+                    slice_s: 500,
+                    pause_at_s: None,
+                },
+            )
+            .unwrap();
+        wait_for(&resumed, JobState::Done);
+        let resumed_report = resumed.report(Duration::from_secs(5)).unwrap();
+        let batch = Fleet::new(e16_config(7, 24, 2, 1)).run();
+        assert_eq!(resumed_report, batch);
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn stop_parks_state_and_names_stay_unique() {
+        let table = JobTable::new();
+        let job = table.submit("victim", small_spec(Some(1_000))).unwrap();
+        assert!(table.submit("victim", small_spec(None)).is_err());
+        wait_for(&job, JobState::Paused);
+        job.request_stop();
+        let snap = wait_for(&job, JobState::Stopped);
+        assert!(snap.progress.is_some());
+        // Stopped jobs still expose their parked state.
+        assert!(job.report(Duration::from_secs(5)).is_ok());
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn bad_specs_and_bad_checkpoints_are_rejected() {
+        assert!(JobSpec::from_json(&Json::parse(r#"{"kind":"nope"}"#).unwrap()).is_err());
+        assert!(JobSpec::from_json(
+            &Json::parse(r#"{"kind":"e16-fleet","resolvers":2,"poisoned_resolvers":3}"#).unwrap()
+        )
+        .is_err());
+        let table = JobTable::new();
+        let job = table
+            .submit(
+                "corrupt",
+                JobSpec::Resume {
+                    bytes: b"junk".to_vec(),
+                    threads: 1,
+                    slice_s: 60,
+                    pause_at_s: None,
+                },
+            )
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = job.snapshot();
+            if snap.state == JobState::Failed {
+                assert!(snap.error.unwrap().contains("checkpoint rejected"));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        table.stop_all_and_join();
+    }
+}

@@ -1,0 +1,41 @@
+//! # chronosd — the simulation daemon
+//!
+//! Batch runs answer one question and exit. This crate turns the fleet
+//! engine into a **service**: `chronosd` hosts persistent [`fleet::Fleet`]
+//! runs and pooled sweeps as *named jobs*, steps them in `run_until`
+//! slices on worker threads, and serves live observability over a
+//! Unix-domain socket speaking newline-delimited JSON — job listings,
+//! per-job progress, and full streaming [`fleet::FleetReport`] snapshots
+//! (per-tier breakdowns and fault counters included) while a job is still
+//! running. `chronosctl` is the operator client: submit, watch, pause,
+//! checkpoint to a file, resume in a *fresh daemon process*, stop.
+//!
+//! The load-bearing guarantee is inherited from the engine and pinned by
+//! its property tests: a job's final report is a pure function of its
+//! [`fleet::FleetConfig`]. Slicing, polling, thread counts, and
+//! checkpoint/resume cuts (`fleet::Fleet::checkpoint` /
+//! `fleet::Fleet::restore`) are all invisible — CI literally diffs the
+//! JSON report of a checkpointed-resumed daemon job against the batch
+//! runner's bytes. The one documented caveat: P² quantile estimates
+//! depend on `shard_size` (they are exact per shard, merged across
+//! shards), so comparisons must hold `shard_size` fixed — see
+//! `docs/OPERATIONS.md`.
+//!
+//! Module map: [`json`] (hand-rolled wire format; the vendored serde is a
+//! no-op), [`render`] (canonical report/progress JSON), [`jobs`] (the job
+//! table and worker loops), [`daemon`] (the socket server), [`client`]
+//! (the client used by `chronosctl`, the `service_mode` example and the
+//! smoke tests).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod jobs;
+pub mod json;
+pub mod render;
+
+pub use client::{Client, ClientError};
+pub use daemon::{Daemon, PROTOCOL_VERSION};
+pub use jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable};
+pub use json::Json;

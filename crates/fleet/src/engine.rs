@@ -93,6 +93,7 @@
 //! assert_eq!(report.tiers.iter().map(|t| t.clients).sum::<usize>(), 64);
 //! ```
 
+use crate::checkpoint::{self, CheckpointError, Reader, Writer};
 use crate::cohort::{resolver_of, ClientKind, TierAssignment, TierParams};
 use crate::config::FleetConfig;
 use crate::resolver::{DnsAnswer, QuerySchedule, ResolverModel, ResolverTimeline, STALE_TTL_SECS};
@@ -179,6 +180,36 @@ pub struct TierBreakdown {
     pub totals: ChronosStats,
     /// Element-wise sum of the tier's fault-injection counters.
     pub faults: FaultCounters,
+}
+
+/// A cheap mid-run snapshot of a fleet's position and health — what a
+/// supervising process (`chronosd`) polls between [`Fleet::run_until`]
+/// slices without paying for a full [`FleetReport`] merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetProgress {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The configured horizon ([`FleetConfig::horizon`]).
+    pub horizon: SimDuration,
+    /// Clients simulated.
+    pub clients: usize,
+    /// Client events stepped so far (pool rounds + polls).
+    pub events: u64,
+    /// Clients past pool generation.
+    pub synced_clients: u64,
+    /// Fraction of the fleet beyond the safety bound right now.
+    pub shifted_fraction: f64,
+}
+
+impl FleetProgress {
+    /// Run completion in `[0, 1]` (now / horizon, clamped).
+    pub fn fraction_done(&self) -> f64 {
+        let h = self.horizon.as_nanos();
+        if h == 0 {
+            return 1.0;
+        }
+        (self.now.as_nanos() as f64 / h as f64).min(1.0)
+    }
 }
 
 /// Per-client activity counters at column width: a single client's per-run
@@ -1041,6 +1072,236 @@ impl Shard {
             }
         }
     }
+
+    // --- checkpoint codec (see crate::checkpoint for the format) ---
+
+    /// Serializes the shard's complete state. The scratch buffers
+    /// (`scratch`, `offsets_buf`, `plain_samples`, `expired`) are
+    /// per-event temporaries and carry nothing across events; `carry`
+    /// membership is re-derivable from the deadlines and the wheel clock,
+    /// so only `due` (the one pending list whose membership is not) is
+    /// written explicitly.
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.first_global);
+        w.len(self.clocks.len());
+        for i in 0..self.clocks.len() {
+            let (offset_ns, drift_bits, rebased_ns, steps, slews) = self.clocks[i].to_raw();
+            w.i64(offset_ns);
+            w.u64(drift_bits);
+            w.u64(rebased_ns);
+            w.u64(steps);
+            w.u64(slews);
+            w.u8(match self.phase[i] {
+                Phase::PoolGeneration => 0,
+                Phase::Syncing => 1,
+                Phase::Panic => 2,
+            });
+            w.u8(self.tier[i]);
+            w.u16(self.resolver[i]);
+            w.u32(self.retries[i]);
+            w.u64(self.last_update_ns[i]);
+            w.u64(self.rng[i]);
+            let s = &self.stats[i];
+            for c in [
+                s.pool_queries,
+                s.pool_failures,
+                s.polls,
+                s.accepts,
+                s.rejects,
+                s.panics,
+            ] {
+                w.u32(c);
+            }
+            let f = &self.faults[i];
+            for c in [
+                f.ntp_losses,
+                f.dns_servfails,
+                f.outage_hits,
+                f.stale_served,
+                f.boot_retries,
+            ] {
+                w.u32(c);
+            }
+            w.u16(self.pool_rounds[i]);
+            w.u64(self.benign_batches[i]);
+            w.u32(self.malicious[i]);
+            w.u64(self.deadline_ns[i]);
+        }
+        w.len(self.traces.len());
+        for trace in &self.traces {
+            w.len(trace.len());
+            for &(t, off) in trace {
+                w.u64(t.as_nanos());
+                w.i64(off);
+            }
+        }
+        // Pending-event bookkeeping. `due` is sorted before writing: its
+        // order is semantically irrelevant (process_due re-sorts every
+        // batch), and a canonical order keeps equal states byte-equal.
+        let mut due = self.due.clone();
+        due.sort_unstable();
+        w.len(due.len());
+        for id in due {
+            w.u32(id);
+        }
+        w.u64(self.now_ns);
+        w.u64(self.boundary_ns);
+        w.u64(self.next_sample_ns);
+        w.u64(self.wheel.now_tick());
+        w.len(self.shifted_counts.len());
+        for &c in &self.shifted_counts {
+            w.u64(c);
+        }
+        let (counts, total) = self.histogram.raw_counts();
+        w.len(counts.len());
+        for &c in counts {
+            w.u64(c);
+        }
+        w.u64(total);
+        for q in &self.quantiles {
+            let (p, qh, n, np, dn, count) = q.to_raw_parts();
+            w.f64(p);
+            for arr in [qh, n, np, dn] {
+                for v in arr {
+                    w.f64(v);
+                }
+            }
+            w.u64(count);
+        }
+        w.u64(self.events);
+    }
+
+    /// Restores the shard from [`Shard::encode`] output. The shard must
+    /// already be [`Shard::rebuild`]-sized for the same config (columns
+    /// allocated, `first_global` set); the timer wheel is reconstructed by
+    /// jumping its clock to the snapshot tick and re-filing every pending
+    /// deadline — clients whose deadline tick the wheel clock already
+    /// passed fall back into `carry`, exactly the partition the running
+    /// shard held (slot-list order inside the wheel may differ, which is
+    /// invisible: batches are re-sorted by `(deadline, client)` on
+    /// expiry).
+    fn decode(&mut self, r: &mut Reader<'_>, config: &FleetConfig) -> Result<(), CheckpointError> {
+        if r.u64()? != self.first_global {
+            return Err(CheckpointError::Corrupt("shard first_global mismatch"));
+        }
+        let len = r.len()?;
+        if len != self.clocks.len() {
+            return Err(CheckpointError::Corrupt("shard length mismatch"));
+        }
+        for i in 0..len {
+            let raw = (r.i64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+            self.clocks[i] = LocalClock::from_raw(raw);
+            self.phase[i] = match r.u8()? {
+                0 => Phase::PoolGeneration,
+                1 => Phase::Syncing,
+                2 => Phase::Panic,
+                _ => return Err(CheckpointError::Corrupt("phase tag out of range")),
+            };
+            self.tier[i] = r.u8()?;
+            self.resolver[i] = r.u16()?;
+            self.retries[i] = r.u32()?;
+            self.last_update_ns[i] = r.u64()?;
+            self.rng[i] = r.u64()?;
+            self.stats[i] = CompactStats {
+                pool_queries: r.u32()?,
+                pool_failures: r.u32()?,
+                polls: r.u32()?,
+                accepts: r.u32()?,
+                rejects: r.u32()?,
+                panics: r.u32()?,
+            };
+            self.faults[i] = CompactFaults {
+                ntp_losses: r.u32()?,
+                dns_servfails: r.u32()?,
+                outage_hits: r.u32()?,
+                stale_served: r.u32()?,
+                boot_retries: r.u32()?,
+            };
+            self.pool_rounds[i] = r.u16()?;
+            self.benign_batches[i] = r.u64()?;
+            self.malicious[i] = r.u32()?;
+            self.deadline_ns[i] = r.u64()?;
+        }
+        let trace_count = r.len()?;
+        let expected_traces = if config.record_trajectories { len } else { 0 };
+        if trace_count != expected_traces {
+            return Err(CheckpointError::Corrupt("trajectory layout mismatch"));
+        }
+        for t in 0..trace_count {
+            let points = r.len()?;
+            self.traces[t].clear();
+            self.traces[t].reserve(points);
+            for _ in 0..points {
+                let at = SimTime::from_nanos(r.u64()?);
+                self.traces[t].push((at, r.i64()?));
+            }
+        }
+        let due_count = r.len()?;
+        let mut due = Vec::with_capacity(due_count);
+        for _ in 0..due_count {
+            let id = r.u32()?;
+            if id as usize >= len {
+                return Err(CheckpointError::Corrupt("due id out of range"));
+            }
+            due.push(id);
+        }
+        due.sort_unstable();
+        self.now_ns = r.u64()?;
+        self.boundary_ns = r.u64()?;
+        self.next_sample_ns = r.u64()?;
+        let wheel_tick = r.u64()?;
+        // Rebuild the wheel: reset, jump to the snapshot tick, re-file
+        // every pending deadline. A client in `due` is about to run and
+        // is not re-armed; a refused schedule (deadline tick at or before
+        // the wheel clock) is a carried event by definition.
+        self.wheel.reset();
+        self.wheel.jump_to_tick(wheel_tick);
+        self.due.clear();
+        self.expired.clear();
+        self.carry.clear();
+        for i in 0..len {
+            if due.binary_search(&(i as u32)).is_ok() {
+                continue;
+            }
+            if !self.wheel.schedule(i as u32, self.deadline_ns[i]) {
+                self.carry.push(i as u32);
+            }
+        }
+        self.due = due;
+        let sc = r.len()?;
+        self.shifted_counts.clear();
+        self.shifted_counts.reserve(sc);
+        for _ in 0..sc {
+            self.shifted_counts.push(r.u64()?);
+        }
+        let bins = r.len()?;
+        let mut counts = Vec::with_capacity(bins);
+        for _ in 0..bins {
+            counts.push(r.u64()?);
+        }
+        let total = r.u64()?;
+        let expected_bins = self.histogram.raw_counts().0.len();
+        if bins != expected_bins {
+            return Err(CheckpointError::Corrupt("histogram bin count mismatch"));
+        }
+        self.histogram.restore_counts(counts, total);
+        for q in &mut self.quantiles {
+            let p = r.f64()?;
+            let mut arrays = [[0.0f64; 5]; 4];
+            for arr in &mut arrays {
+                for v in arr.iter_mut() {
+                    *v = r.f64()?;
+                }
+            }
+            let count = r.u64()?;
+            if p != q.p() {
+                return Err(CheckpointError::Corrupt("quantile p mismatch"));
+            }
+            *q = P2Quantile::from_raw_parts((p, arrays[0], arrays[1], arrays[2], arrays[3], count));
+        }
+        self.events = r.u64()?;
+        Ok(())
+    }
 }
 
 fn pack_update(last_update: Option<SimTime>) -> u64 {
@@ -1524,6 +1785,121 @@ impl Fleet {
             faults,
             tiers,
         }
+    }
+
+    /// A cheap position/health snapshot for live observability: O(clients)
+    /// in the phase and clock columns, no aggregate merging. Valid at any
+    /// [`Fleet::run_until`] boundary.
+    pub fn progress(&self) -> FleetProgress {
+        let now = self.now();
+        let synced_clients = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.phase
+                    .iter()
+                    .filter(|&&p| p != Phase::PoolGeneration)
+                    .count() as u64
+            })
+            .sum();
+        FleetProgress {
+            now,
+            horizon: self.config.horizon,
+            clients: self.config.clients,
+            events: self.events(),
+            synced_clients,
+            shifted_fraction: self.shifted_fraction(now),
+        }
+    }
+
+    /// Serializes the fleet's complete simulation state — configuration,
+    /// every client column, per-shard timer-wheel clocks, streaming
+    /// aggregates and sampling cursors — into the versioned binary format
+    /// of [`crate::checkpoint`]. A fleet restored from this snapshot
+    /// ([`Fleet::restore`]) continues **byte-identically** to one that
+    /// never stopped, for every thread count (the checkpoint/resume
+    /// proptest pins this).
+    ///
+    /// Call at a [`Fleet::run_until`] boundary (any time outside a
+    /// `run_until` call — the engine never exposes mid-step state).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fleet::config::FleetConfig;
+    /// use fleet::engine::Fleet;
+    /// use netsim::time::SimTime;
+    ///
+    /// let config = FleetConfig {
+    ///     clients: 32,
+    ///     horizon: netsim::time::SimDuration::from_secs(2_000),
+    ///     ..FleetConfig::default()
+    /// };
+    /// // Run halfway, snapshot, and finish on the restored copy.
+    /// let mut fleet = Fleet::new(config.clone());
+    /// fleet.run_until(SimTime::from_secs(1_000));
+    /// let snapshot = fleet.checkpoint();
+    ///
+    /// let mut resumed = Fleet::restore(&snapshot).expect("snapshot decodes");
+    /// assert_eq!(resumed.now(), SimTime::from_secs(1_000));
+    /// resumed.run_until(SimTime::from_secs(2_000));
+    ///
+    /// // The uninterrupted run reports byte-identically.
+    /// fleet.run_until(SimTime::from_secs(2_000));
+    /// assert_eq!(resumed.report(), fleet.report());
+    /// ```
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&checkpoint::MAGIC);
+        w.u32(checkpoint::VERSION);
+        checkpoint::put_config(&mut w, &self.config);
+        w.u64(self.now_ns);
+        w.len(self.shards.len());
+        for shard in &self.shards {
+            shard.encode(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a fleet from a [`Fleet::checkpoint`] snapshot. Structural
+    /// state (tier parameters, resolver models, cache timelines) is
+    /// re-derived from the embedded configuration through the same
+    /// `rebuild` path a fresh fleet uses; the client columns, wheel
+    /// clocks and aggregates are then overwritten with the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the bytes are not a checkpoint,
+    /// are from another format version, fail the checksum, or decode to
+    /// an inconsistent structure.
+    pub fn restore(bytes: &[u8]) -> Result<Fleet, CheckpointError> {
+        let mut r = Reader::verified(bytes)?;
+        if r.take(4)? != checkpoint::MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != checkpoint::VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let config = checkpoint::get_config(&mut r)?;
+        let mut fleet = Fleet::new(config);
+        let now_ns = r.u64()?;
+        if r.len()? != fleet.shards.len() {
+            return Err(CheckpointError::Corrupt("shard count mismatch"));
+        }
+        let Fleet {
+            ref mut shards,
+            ref config,
+            ..
+        } = fleet;
+        for shard in shards.iter_mut() {
+            shard.decode(&mut r, config)?;
+        }
+        fleet.now_ns = now_ns;
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt("trailing bytes after shards"));
+        }
+        Ok(fleet)
     }
 }
 

@@ -86,6 +86,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod cohort;
 pub mod config;
 pub mod engine;
@@ -94,20 +95,22 @@ pub mod rng;
 pub mod stats;
 pub mod wheel;
 
+pub use checkpoint::CheckpointError;
 pub use cohort::{ClientKind, CohortTier};
 pub use config::{
     FaultPlan, FleetAttack, FleetConfig, OutageWindow, RetryPolicy, ServeStalePolicy, TierFaults,
 };
-pub use engine::{Fleet, FleetReport, TierBreakdown};
+pub use engine::{Fleet, FleetProgress, FleetReport, TierBreakdown};
 pub use stats::{FaultCounters, OffsetHistogram, P2Quantile};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
+    pub use crate::checkpoint::CheckpointError;
     pub use crate::cohort::{ClientKind, CohortTier};
     pub use crate::config::{
         FaultPlan, FleetAttack, FleetConfig, OutageWindow, RetryPolicy, ServeStalePolicy,
         TierFaults,
     };
-    pub use crate::engine::{Fleet, FleetReport, TierBreakdown};
+    pub use crate::engine::{Fleet, FleetProgress, FleetReport, TierBreakdown};
     pub use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
 }

@@ -144,6 +144,25 @@ impl OffsetHistogram {
         above as f64 / self.total as f64
     }
 
+    /// The raw bin counts and total, for checkpoint serialization (bin
+    /// edges are structural — a restore target rebuilt with the same
+    /// `log_scale` call already carries them).
+    pub(crate) fn raw_counts(&self) -> (&[u64], u64) {
+        (&self.counts, self.total)
+    }
+
+    /// Overwrites the bin counts and total from a checkpoint. The caller
+    /// guarantees `counts` came from a histogram with this bin layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` has the wrong number of bins.
+    pub(crate) fn restore_counts(&mut self, counts: Vec<u64>, total: u64) {
+        assert_eq!(counts.len(), self.counts.len(), "bin layout mismatch");
+        self.counts = counts;
+        self.total = total;
+    }
+
     /// Iterates `(upper_edge_ns, count)` over non-empty bins; the overflow
     /// bin reports `u64::MAX` as its edge.
     pub fn nonzero_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -330,6 +349,27 @@ impl P2Quantile {
         self.n[1] = self.np[1].round().clamp(2.0, n - 3.0);
         self.n[2] = self.np[2].round().clamp(self.n[1] + 1.0, n - 2.0);
         self.n[3] = self.np[3].round().clamp(self.n[2] + 1.0, n - 1.0);
+    }
+
+    /// Dumps the full estimator state for checkpoint serialization:
+    /// `(p, q, n, np, dn, count)`. Bit-exact round-trip through
+    /// [`P2Quantile::from_raw_parts`].
+    pub(crate) fn to_raw_parts(&self) -> (f64, [f64; 5], [f64; 5], [f64; 5], [f64; 5], u64) {
+        (self.p, self.q, self.n, self.np, self.dn, self.count)
+    }
+
+    /// Rebuilds an estimator from [`P2Quantile::to_raw_parts`] output.
+    pub(crate) fn from_raw_parts(
+        (p, q, n, np, dn, count): (f64, [f64; 5], [f64; 5], [f64; 5], [f64; 5], u64),
+    ) -> Self {
+        P2Quantile {
+            p,
+            q,
+            n,
+            np,
+            dn,
+            count,
+        }
     }
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {

@@ -104,6 +104,27 @@ impl TimerWheel {
         self.next.len()
     }
 
+    /// The wheel's current tick (see [`TimerWheel::now_ns`]).
+    pub fn now_tick(&self) -> u64 {
+        self.now_tick
+    }
+
+    /// Moves the clock of an **empty** wheel to an absolute tick, the
+    /// restore half of checkpoint/resume: a snapshot records `now_tick`,
+    /// a restore resets the wheel, jumps here, then re-files every
+    /// pending deadline through [`TimerWheel::schedule`] (which re-hashes
+    /// each timer into the slot it would occupy had the wheel advanced
+    /// tick by tick to this point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any timer is armed (the jump would strand it in a slot
+    /// computed for a different rotation).
+    pub fn jump_to_tick(&mut self, tick: u64) {
+        assert_eq!(self.armed, 0, "jump_to_tick on a non-empty wheel");
+        self.now_tick = tick;
+    }
+
     /// Timers currently pending.
     pub fn armed(&self) -> usize {
         self.armed

@@ -97,6 +97,49 @@ impl LocalClock {
     pub fn slews(&self) -> u64 {
         self.slews
     }
+
+    /// Dumps the complete clock state as plain words, for exact
+    /// serialization: `(offset_ns, drift_ppm bits, rebased_at ns, steps,
+    /// slews)`. The drift is exported via [`f64::to_bits`] so a
+    /// round-trip through [`LocalClock::from_raw`] is bit-exact.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ntplab::clock::LocalClock;
+    /// use netsim::time::SimTime;
+    ///
+    /// let mut clock = LocalClock::new(42_000, 12.5);
+    /// clock.apply_correction(SimTime::from_secs(10), -42_000);
+    /// let restored = LocalClock::from_raw(clock.to_raw());
+    /// assert_eq!(
+    ///     restored.offset_from_true(SimTime::from_secs(20)),
+    ///     clock.offset_from_true(SimTime::from_secs(20)),
+    /// );
+    /// assert_eq!(restored.slews(), clock.slews());
+    /// ```
+    pub fn to_raw(&self) -> (i64, u64, u64, u64, u64) {
+        (
+            self.offset_ns,
+            self.drift_ppm.to_bits(),
+            self.rebased_at.as_nanos(),
+            self.steps,
+            self.slews,
+        )
+    }
+
+    /// Rebuilds a clock from [`LocalClock::to_raw`] output, bit-exact.
+    pub fn from_raw(
+        (offset_ns, drift_bits, rebased_ns, steps, slews): (i64, u64, u64, u64, u64),
+    ) -> Self {
+        LocalClock {
+            offset_ns,
+            drift_ppm: f64::from_bits(drift_bits),
+            rebased_at: SimTime::from_nanos(rebased_ns),
+            steps,
+            slews,
+        }
+    }
 }
 
 impl Default for LocalClock {
