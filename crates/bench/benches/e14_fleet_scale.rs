@@ -3,29 +3,45 @@
 //! sync, panic dynamics) in one process, vs the equivalent per-world
 //! stepping (one pooled netsim world per client — the PR 2 engine).
 //!
-//! Guards the fleet engine three ways:
+//! Guards the fleet engine four ways:
 //!
-//! * `fleet_100k` (sequential, `threads = 1`) and `fleet_100k_sharded`
-//!   (`threads = 4`) have their per-iter means on `bench-diff`'s
-//!   [`GUARDED`] list;
+//! * `fleet_100k` (sequential, `threads = 1`), `fleet_100k_sharded`
+//!   (`threads = 4`) and `fleet_100k_metrics` (sequential with a
+//!   `FleetMetrics` side channel attached) have their per-iter means on
+//!   `bench-diff`'s [`GUARDED`] list;
 //! * `RATE_RATIO_GUARDS` holds the clients-stepped/sec ratio of
 //!   `fleet_100k` over `perworld_8` at ≥ 5× (PR 3's scale advantage) and
 //!   of `fleet_100k_sharded` over `fleet_100k` at ≥ 2× (PR 4's intra-fleet
 //!   parallel win, evaluated on the 4-core CI runner — a single-core host
 //!   cannot meet it);
-//! * the sharded run's report is asserted byte-identical to the
-//!   sequential run's, so the speedup can never drift from the semantics.
+//! * `RATIO_GUARDS` holds `min(fleet_100k) / min(fleet_100k_metrics)`
+//!   at ≥ 0.98 — enabled instrumentation may cost at most ~2% on the
+//!   guarded hot path. Both targets step the *same* fleet object (a
+//!   second 100k-client allocation costs a few percent in placement
+//!   alone), their samples are interleaved A/B via `bench_pair`, and the
+//!   fastest samples are compared — so the floor is immune to host drift
+//!   and scheduler noise;
+//! * the sharded and instrumented runs' reports are asserted
+//!   byte-identical to the sequential run's, so neither the speedup nor
+//!   the observability can ever drift from the semantics.
+//!
+//! The instrumented run's stage summaries are attached to
+//! `BENCH_e14_fleet_scale.json` as the `stage_timings` section, so the
+//! perf trajectory shows *where* iterations spend their time.
 //!
 //! [`GUARDED`]: bench::benchdiff::GUARDED
+
+use std::sync::Arc;
 
 use bench::banner;
 use chronos_pitfalls::experiments::{compressed_chronos, e14_config, e14_table, run_e14};
 use chronos_pitfalls::montecarlo::{default_threads, run_scenarios_detailed};
 use chronos_pitfalls::report::Series;
 use chronos_pitfalls::scenario::ScenarioConfig;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, StageTiming, Throughput};
 use fleet::config::FleetAttack;
 use fleet::engine::Fleet;
+use fleet::metrics::FleetMetrics;
 use netsim::time::{SimDuration, SimTime};
 
 /// Clients in the guarded fleet target (the acceptance floor is 10⁵).
@@ -82,21 +98,28 @@ fn bench_e14(c: &mut Criterion) {
     println!("{}", Series::render_columns(&result.series, "t (s)", 16));
 
     // The guarded fleet run, production-shaped: one pooled fleet reset per
-    // iteration (allocations reused), full poisoning scenario.
+    // iteration (allocations reused), full poisoning scenario. Its
+    // instrumented twin attaches a `FleetMetrics` side channel to the
+    // *same* fleet object (allocator placement of a second 100k-client
+    // column set costs a few percent by itself) and the two targets'
+    // samples are interleaved A/B, so the `bench-diff` ratio floor
+    // min(plain)/min(metrics) ≥ 0.98 measures only the side channel, not
+    // host drift across sequential measurement blocks.
     let config = fleet_attack_config(FLEET_CLIENTS);
     let horizon = SimTime::ZERO + config.horizon;
     let mut fleet = Fleet::new(config);
+    let metrics = Arc::new(FleetMetrics::detached());
     let mut group = c.benchmark_group("e14_fleet_scale");
     group.sample_size(5);
     group.throughput(Throughput::Elements(FLEET_CLIENTS as u64));
-    group.bench_function("fleet_100k", |b| {
-        b.iter(|| {
-            fleet.reset(42);
-            fleet.run_until(horizon);
-            criterion::black_box(fleet.shifted_fraction(horizon))
-        })
+    group.bench_pair("fleet_100k", "fleet_100k_metrics", |metered| {
+        fleet.set_metrics(metered.then(|| Arc::clone(&metrics)));
+        fleet.reset(42);
+        fleet.run_until(horizon);
+        criterion::black_box(fleet.shifted_fraction(horizon))
     });
     let report = {
+        fleet.set_metrics(None);
         fleet.reset(42);
         fleet.run_until(horizon);
         fleet.report()
@@ -111,6 +134,17 @@ fn bench_e14(c: &mut Criterion) {
     assert!(
         report.final_shifted_fraction > 0.9,
         "the guarded scenario must actually capture the fleet"
+    );
+    let metered_report = {
+        fleet.set_metrics(Some(Arc::clone(&metrics)));
+        fleet.reset(42);
+        fleet.run_until(horizon);
+        fleet.report()
+    };
+    fleet.set_metrics(None);
+    assert_eq!(
+        report, metered_report,
+        "the metrics side channel must not perturb the simulation"
     );
 
     // The sharded run: same fleet shape, shards stepped on 4 workers. The
@@ -161,6 +195,15 @@ fn bench_e14(c: &mut Criterion) {
         })
     });
     group.finish();
+    drop(group);
+
+    // Where the instrumented iterations spent their time, attached to
+    // the JSON artifact as the `stage_timings` section.
+    c.record_stage_timings(metrics.stage_summaries().into_iter().map(|s| StageTiming {
+        stage: s.stage.to_string(),
+        count: s.count,
+        total_secs: s.total_secs,
+    }));
 }
 
 criterion_group!(benches, bench_e14);

@@ -14,6 +14,7 @@
 //! chronosctl <socket> unpause <name>
 //! chronosctl <socket> stop <name>
 //! chronosctl <socket> wait <name> <state> [timeout-s]
+//! chronosctl <socket> metrics                # Prometheus text exposition
 //! chronosctl <socket> shutdown
 //! chronosctl batch-e16 [--seed N] [--clients N] [--resolvers N] [--poisoned K] [--threads N]
 //! ```
@@ -34,7 +35,7 @@ use chronosd::Client;
 fn usage() -> ! {
     eprintln!("usage: chronosctl <socket> <command> [...]  (or: chronosctl batch-e16 [...])");
     eprintln!("commands: ping, submit, jobs, status, report, watch, checkpoint,");
-    eprintln!("          resume, unpause, stop, wait, shutdown; see docs/OPERATIONS.md");
+    eprintln!("          resume, unpause, stop, wait, metrics, shutdown; see docs/OPERATIONS.md");
     std::process::exit(2);
 }
 
@@ -123,6 +124,23 @@ fn main() {
                 .request(cmd, Vec::new())
                 .unwrap_or_else(|e| fail(e));
             println!("{}", response.render());
+        }
+        "metrics" => {
+            let response = connect(socket)
+                .request("metrics", Vec::new())
+                .unwrap_or_else(|e| fail(e));
+            let text = response
+                .get("metrics")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail("response carries no metrics payload"));
+            // Refuse to print an exposition our own parser rejects: a
+            // daemon/ctl version skew should fail loudly, not feed a
+            // scraper garbage.
+            if let Err(e) = obs::expo::parse(text) {
+                fail(format!("daemon sent invalid exposition: {e}"));
+            }
+            // The payload already ends with a newline per family block.
+            print!("{text}");
         }
         "status" | "unpause" | "stop" => {
             let [name] = rest else {

@@ -4,6 +4,10 @@
 //! ```text
 //! chronosd <socket-path>
 //! ```
+//!
+//! Structured logs go to stderr; set `CHRONOSD_LOG` to
+//! `error|warn|info|debug` to choose the level (default `info`). The
+//! metric registry is scraped with `chronosctl <socket> metrics`.
 
 use chronosd::Daemon;
 
@@ -14,6 +18,7 @@ fn main() {
         _ => {
             eprintln!("usage: chronosd <socket-path>");
             eprintln!("serves the job-control protocol on a Unix-domain socket;");
+            eprintln!("logs to stderr at the CHRONOSD_LOG level (error|warn|info|debug);");
             eprintln!("see docs/OPERATIONS.md for the protocol and chronosctl for a client");
             std::process::exit(2);
         }
@@ -25,10 +30,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!("chronosd: listening on {path}");
+    // Lifecycle lines ("listening", "shut down") come from the daemon's
+    // structured logger.
     if let Err(e) = daemon.serve() {
         eprintln!("chronosd: serve failed: {e}");
         std::process::exit(1);
     }
-    eprintln!("chronosd: shut down");
 }

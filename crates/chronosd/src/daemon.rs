@@ -6,16 +6,23 @@
 //! closes it. Every response carries `"ok"`; failures carry `"error"`
 //! instead of the payload. The full protocol with annotated examples
 //! lives in `docs/OPERATIONS.md`.
+//!
+//! Every daemon carries a [`DaemonObs`]: the `metrics` command renders
+//! its registry as Prometheus text exposition, every dispatched command
+//! bumps `chronosd_commands_total{cmd=…}`, and I/O failures that this
+//! module used to swallow silently are now logged through the structured
+//! logger (level from `CHRONOSD_LOG`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::jobs::{Job, JobSnapshot, JobSpec, JobTable};
+use crate::jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable};
 use crate::json::Json;
+use crate::metrics::DaemonObs;
 use crate::render::{progress_json, report_json, sweep_json};
 
 /// Protocol version reported by `ping` (bump on breaking wire changes).
@@ -25,6 +32,24 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// before giving up (`status`/`report`/`checkpoint` on a busy job).
 const PARK_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Commands the daemon understands; anything else is dispatched to the
+/// error arm and counted under `chronosd_commands_total{cmd="unknown"}`
+/// so client typos cannot grow the label set.
+const COMMANDS: [&str; 12] = [
+    "ping",
+    "submit",
+    "jobs",
+    "status",
+    "report",
+    "watch",
+    "checkpoint",
+    "resume",
+    "unpause",
+    "stop",
+    "metrics",
+    "shutdown",
+];
+
 /// The daemon: a bound socket plus the job table it serves.
 #[derive(Debug)]
 pub struct Daemon {
@@ -32,22 +57,50 @@ pub struct Daemon {
     path: PathBuf,
     table: Arc<JobTable>,
     shutdown: Arc<AtomicBool>,
+    obs: Arc<DaemonObs>,
+    started: Instant,
+}
+
+/// Everything a connection handler needs, bundled so handler threads
+/// share one `Arc` instead of four.
+struct ServerCtx {
+    table: Arc<JobTable>,
+    shutdown: Arc<AtomicBool>,
+    obs: Arc<DaemonObs>,
+    started: Instant,
+    path: PathBuf,
 }
 
 impl Daemon {
     /// Bind the control socket, replacing a stale socket file if one is
-    /// left over from a dead daemon.
+    /// left over from a dead daemon. Observability defaults to
+    /// [`DaemonObs::from_env`]: a stderr logger at the `CHRONOSD_LOG`
+    /// level and a fresh metric registry.
     pub fn bind(path: impl AsRef<Path>) -> std::io::Result<Daemon> {
+        Daemon::bind_with(path, DaemonObs::from_env())
+    }
+
+    /// [`Daemon::bind`] with explicit observability state (tests and
+    /// embedders can pass a quiet or captured logger).
+    pub fn bind_with(path: impl AsRef<Path>, obs: DaemonObs) -> std::io::Result<Daemon> {
         let path = path.as_ref().to_path_buf();
         // A leftover socket file makes bind fail with AddrInUse even when
         // nothing is listening; remove it and let bind decide.
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
+        let obs = Arc::new(obs);
+        obs.logger.info(
+            "chronosd::daemon",
+            "listening",
+            &[("socket", &path.display())],
+        );
         Ok(Daemon {
             listener,
             path,
-            table: Arc::new(JobTable::new()),
+            table: Arc::new(JobTable::with_observability(Arc::clone(&obs))),
             shutdown: Arc::new(AtomicBool::new(false)),
+            obs,
+            started: Instant::now(),
         })
     }
 
@@ -62,22 +115,33 @@ impl Daemon {
         Arc::clone(&self.table)
     }
 
+    /// The daemon's observability state (registry, counters, logger).
+    pub fn observability(&self) -> Arc<DaemonObs> {
+        Arc::clone(&self.obs)
+    }
+
     /// Serve until a `shutdown` request arrives. Each connection gets its
     /// own thread; the accept loop re-checks the shutdown flag after
     /// every accepted connection (the `shutdown` handler's own connection
     /// is what unblocks the final accept).
     pub fn serve(self) -> std::io::Result<()> {
+        let ctx = Arc::new(ServerCtx {
+            table: Arc::clone(&self.table),
+            shutdown: Arc::clone(&self.shutdown),
+            obs: Arc::clone(&self.obs),
+            started: self.started,
+            path: self.path.clone(),
+        });
         let mut handlers = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let stream = stream?;
-            let table = Arc::clone(&self.table);
-            let shutdown = Arc::clone(&self.shutdown);
-            let path = self.path.clone();
+            self.obs.connections.inc();
+            let ctx = Arc::clone(&ctx);
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, &table, &shutdown, &path);
+                handle_connection(stream, &ctx);
             }));
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -88,10 +152,37 @@ impl Daemon {
         // shutdown flag between reads) can drain and exit.
         self.table.stop_all_and_join();
         for handler in handlers {
-            let _ = handler.join();
+            if handler.join().is_err() {
+                self.obs
+                    .logger
+                    .error("chronosd::daemon", "connection handler panicked", &[]);
+            }
         }
         let _ = std::fs::remove_file(&self.path);
+        self.obs.logger.info("chronosd::daemon", "shut down", &[]);
         Ok(())
+    }
+}
+
+/// Holds a gauge incremented for this guard's lifetime (the live
+/// `watch`-subscriber count). A guard — not paired add calls — because
+/// the stream loop exits through `?` on client disconnect.
+struct GaugeGuard(Option<Arc<obs::Gauge>>);
+
+impl GaugeGuard {
+    fn hold(gauge: Option<Arc<obs::Gauge>>) -> GaugeGuard {
+        if let Some(g) = &gauge {
+            g.add(1.0);
+        }
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        if let Some(g) = &self.0 {
+            g.add(-1.0);
+        }
     }
 }
 
@@ -141,24 +232,73 @@ fn require_job(table: &JobTable, request: &Json) -> Result<Arc<Job>, Json> {
         .ok_or_else(|| err(format!("no such job {name:?}")))
 }
 
+/// The `ping` payload: identity, uptime, and job counts by state.
+fn ping_fields(ctx: &ServerCtx) -> Vec<(String, Json)> {
+    let jobs = ctx.table.list();
+    let mut by_state = [0usize; 6];
+    for job in &jobs {
+        let idx = match job.snapshot().state {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Paused => 2,
+            JobState::Done => 3,
+            JobState::Stopped => 4,
+            JobState::Failed => 5,
+        };
+        by_state[idx] += 1;
+    }
+    let states = ["queued", "running", "paused", "done", "stopped", "failed"];
+    vec![
+        ("service".into(), Json::str("chronosd")),
+        ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+        ("protocol".into(), Json::u64(PROTOCOL_VERSION)),
+        (
+            "uptime_s".into(),
+            Json::u64(ctx.started.elapsed().as_secs()),
+        ),
+        ("jobs".into(), Json::usize(jobs.len())),
+        (
+            "job_states".into(),
+            Json::Obj(
+                states
+                    .iter()
+                    .zip(by_state)
+                    .map(|(state, n)| (state.to_string(), Json::usize(n)))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
 /// Handle one request; `None` means the response was already streamed
 /// (the `watch` command writes its own lines).
 fn dispatch(
     request: &Json,
-    table: &JobTable,
-    shutdown: &AtomicBool,
+    ctx: &ServerCtx,
     out: &mut impl Write,
 ) -> std::io::Result<Option<Json>> {
+    let table: &JobTable = &ctx.table;
+    let shutdown: &AtomicBool = &ctx.shutdown;
     let cmd = match request.get("cmd").and_then(Json::as_str) {
         Some(cmd) => cmd,
-        None => return Ok(Some(err("cmd: expected a string"))),
+        None => {
+            ctx.obs.protocol_errors.inc();
+            ctx.obs
+                .logger
+                .warn("chronosd::daemon", "request without cmd", &[]);
+            return Ok(Some(err("cmd: expected a string")));
+        }
     };
+    // Unrecognized commands share one fixed label so arbitrary client
+    // input cannot grow the registry.
+    ctx.obs.count_command(if COMMANDS.contains(&cmd) {
+        cmd
+    } else {
+        "unknown"
+    });
     let response = match cmd {
-        "ping" => ok(vec![
-            ("service".into(), Json::str("chronosd")),
-            ("protocol".into(), Json::u64(PROTOCOL_VERSION)),
-            ("jobs".into(), Json::usize(table.list().len())),
-        ]),
+        "ping" => ok(ping_fields(ctx)),
+        "metrics" => ok(vec![("metrics".into(), Json::str(ctx.obs.render()))]),
         "submit" => {
             let name = request.get("name").and_then(Json::as_str);
             let spec = request.get("spec");
@@ -210,6 +350,7 @@ fn dispatch(
                     .get("count")
                     .and_then(Json::as_u64)
                     .unwrap_or(u64::MAX);
+                let _subscribed = GaugeGuard::hold(job.watchers_gauge());
                 let mut cursor: Option<(u64, crate::jobs::JobState)> = None;
                 let mut emitted = 0u64;
                 loop {
@@ -309,18 +450,35 @@ fn dispatch(
             Err(response) => response,
         },
         "shutdown" => {
+            ctx.obs
+                .logger
+                .info("chronosd::daemon", "shutdown requested", &[]);
             shutdown.store(true, Ordering::SeqCst);
             ok(vec![("service".into(), Json::str("chronosd"))])
         }
-        other => err(format!("unknown cmd {other:?}")),
+        other => {
+            ctx.obs.protocol_errors.inc();
+            ctx.obs
+                .logger
+                .warn("chronosd::daemon", "unknown command", &[("cmd", &other)]);
+            err(format!("unknown cmd {other:?}"))
+        }
     };
     Ok(Some(response))
 }
 
-fn handle_connection(stream: UnixStream, table: &JobTable, shutdown: &AtomicBool, path: &Path) {
+fn handle_connection(stream: UnixStream, ctx: &ServerCtx) {
+    let shutdown: &AtomicBool = &ctx.shutdown;
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(io) => {
+            ctx.obs.logger.error(
+                "chronosd::daemon",
+                "cannot clone connection stream",
+                &[("error", &io)],
+            );
+            return;
+        }
     };
     // Bounded reads so an idle connection cannot pin the handler past a
     // shutdown: on each timeout the loop re-checks the flag. Partial
@@ -346,7 +504,14 @@ fn handle_connection(stream: UnixStream, table: &JobTable, shutdown: &AtomicBool
                 }
                 continue;
             }
-            Err(_) => break,
+            Err(io) => {
+                ctx.obs.logger.warn(
+                    "chronosd::daemon",
+                    "connection read failed",
+                    &[("error", &io)],
+                );
+                break;
+            }
         }
         let line = String::from_utf8_lossy(&buf).into_owned();
         buf.clear();
@@ -357,21 +522,42 @@ fn handle_connection(stream: UnixStream, table: &JobTable, shutdown: &AtomicBool
             continue;
         }
         let response = match Json::parse(line.trim_end_matches(['\n', '\r'])) {
-            Ok(request) => match dispatch(&request, table, shutdown, &mut writer) {
+            Ok(request) => match dispatch(&request, ctx, &mut writer) {
                 Ok(Some(response)) => response,
                 Ok(None) => continue,
-                Err(_) => break, // client went away mid-stream
+                Err(io) => {
+                    // Client went away mid-stream.
+                    ctx.obs.logger.debug(
+                        "chronosd::daemon",
+                        "watch stream dropped",
+                        &[("error", &io)],
+                    );
+                    break;
+                }
             },
-            Err(parse) => err(format!("bad request: {parse}")),
+            Err(parse) => {
+                ctx.obs.protocol_errors.inc();
+                ctx.obs.logger.warn(
+                    "chronosd::daemon",
+                    "unparseable request",
+                    &[("error", &parse)],
+                );
+                err(format!("bad request: {parse}"))
+            }
         };
         if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
+            ctx.obs.logger.debug(
+                "chronosd::daemon",
+                "response write failed; closing connection",
+                &[],
+            );
             break;
         }
         if shutdown.load(Ordering::SeqCst) {
             // The accept loop may be blocked in accept(2) with no client
             // in flight; a throwaway connection wakes it so it can see
             // the flag and exit.
-            let _ = UnixStream::connect(path);
+            let _ = UnixStream::connect(&ctx.path);
             break;
         }
     }

@@ -28,9 +28,11 @@ use std::time::Duration;
 
 use chronos_pitfalls::experiments::{e16_config, e17_config, run_e16, E16Result};
 use fleet::engine::{Fleet, FleetProgress, FleetReport};
+use fleet::metrics::FleetMetrics;
 use netsim::time::{SimDuration, SimTime};
 
 use crate::json::Json;
+use crate::metrics::{DaemonObs, JobMetrics};
 
 /// Default slice length in simulated seconds between observation points.
 pub const DEFAULT_SLICE_S: u64 = 60;
@@ -274,6 +276,10 @@ pub struct Job {
     stop: AtomicBool,
     unpause: AtomicBool,
     sweep_result: Mutex<Option<E16Result>>,
+    /// Per-job gauges (`None` when the table runs without observability).
+    metrics: Option<JobMetrics>,
+    /// The daemon logger (`None` when embedding without observability).
+    logger: Option<Arc<obs::Logger>>,
 }
 
 impl std::fmt::Debug for Job {
@@ -287,7 +293,12 @@ impl std::fmt::Debug for Job {
 }
 
 impl Job {
-    fn new(name: String, kind: &'static str) -> Job {
+    fn new(
+        name: String,
+        kind: &'static str,
+        metrics: Option<JobMetrics>,
+        logger: Option<Arc<obs::Logger>>,
+    ) -> Job {
         Job {
             name,
             kind,
@@ -303,7 +314,15 @@ impl Job {
             stop: AtomicBool::new(false),
             unpause: AtomicBool::new(false),
             sweep_result: Mutex::new(None),
+            metrics,
+            logger,
         }
+    }
+
+    /// The watch-subscriber gauge, when observability is attached (the
+    /// daemon's `watch` handler holds it up/down around a stream).
+    pub(crate) fn watchers_gauge(&self) -> Option<Arc<obs::Gauge>> {
+        self.metrics.as_ref().map(|m| Arc::clone(&m.watchers))
     }
 
     /// The current status snapshot.
@@ -379,7 +398,20 @@ impl Job {
 
     /// Serialize the parked fleet (always at a `run_until` boundary).
     pub fn checkpoint(&self, timeout: Duration) -> Result<Vec<u8>, String> {
-        self.with_fleet(timeout, |fleet| fleet.checkpoint())
+        let start = std::time::Instant::now();
+        let bytes = self.with_fleet(timeout, |fleet| fleet.checkpoint())?;
+        if let Some(m) = &self.metrics {
+            m.checkpoint_wall.set(start.elapsed().as_secs_f64());
+            m.checkpoint_bytes.set(bytes.len() as f64);
+        }
+        if let Some(logger) = &self.logger {
+            logger.debug(
+                "chronosd::jobs",
+                "checkpoint taken",
+                &[("job", &self.name), ("bytes", &bytes.len())],
+            );
+        }
+        Ok(bytes)
     }
 
     /// The live (or final) aggregate report of a fleet job.
@@ -393,6 +425,20 @@ impl Job {
     }
 
     fn set_state(&self, state: JobState, error: Option<String>) {
+        if let Some(logger) = &self.logger {
+            match &error {
+                Some(message) => logger.error(
+                    "chronosd::jobs",
+                    "job failed",
+                    &[("job", &self.name), ("error", message)],
+                ),
+                None => logger.info(
+                    "chronosd::jobs",
+                    "job state change",
+                    &[("job", &self.name), ("state", &state.as_str())],
+                ),
+            }
+        }
         let mut status = self.status.lock().expect("status lock");
         status.state = state;
         if error.is_some() {
@@ -405,6 +451,11 @@ impl Job {
     }
 
     fn publish_slice(&self, progress: FleetProgress) {
+        if let (Some(m), Some(t)) = (&self.metrics, progress.throughput) {
+            m.slice_wall.set(t.wall_secs);
+            m.sim_per_wall.set(t.sim_per_wall);
+            m.events_per_sec.set(t.events_per_sec);
+        }
         let mut status = self.status.lock().expect("status lock");
         status.progress = Some(progress);
         status.slices += 1;
@@ -426,7 +477,7 @@ impl Job {
     }
 }
 
-fn build_fleet(spec: &JobSpec) -> Result<Fleet, String> {
+fn build_fleet(spec: &JobSpec, metrics: Option<Arc<FleetMetrics>>) -> Result<Fleet, String> {
     match spec {
         JobSpec::E16Fleet {
             seed,
@@ -438,7 +489,9 @@ fn build_fleet(spec: &JobSpec) -> Result<Fleet, String> {
         } => {
             let mut config = e16_config(*seed, *clients, *resolvers, *poisoned_resolvers);
             config.threads = *threads;
-            Ok(Fleet::new(config))
+            let mut fleet = Fleet::new(config);
+            fleet.set_metrics(metrics);
+            Ok(fleet)
         }
         JobSpec::E17Fleet {
             seed,
@@ -451,11 +504,13 @@ fn build_fleet(spec: &JobSpec) -> Result<Fleet, String> {
         } => {
             let mut config = e17_config(*seed, *clients, *resolvers, *loss, *outage_coverage);
             config.threads = *threads;
-            Ok(Fleet::new(config))
+            let mut fleet = Fleet::new(config);
+            fleet.set_metrics(metrics);
+            Ok(fleet)
         }
         JobSpec::Resume { bytes, threads, .. } => {
-            let mut fleet =
-                Fleet::restore(bytes).map_err(|e| format!("checkpoint rejected: {e}"))?;
+            let mut fleet = Fleet::restore_with(bytes, metrics)
+                .map_err(|e| format!("checkpoint rejected: {e}"))?;
             fleet.set_threads(*threads);
             Ok(fleet)
         }
@@ -464,7 +519,7 @@ fn build_fleet(spec: &JobSpec) -> Result<Fleet, String> {
 }
 
 /// The worker loop for one job. Runs on the job's dedicated thread.
-fn run_job(job: &Job, spec: JobSpec) {
+fn run_job(job: &Job, spec: JobSpec, fleet_metrics: Option<Arc<FleetMetrics>>) {
     if let JobSpec::E16Sweep {
         seed,
         clients,
@@ -498,7 +553,7 @@ fn run_job(job: &Job, spec: JobSpec) {
         JobSpec::E16Sweep { .. } => unreachable!("handled above"),
     };
 
-    let fleet = match build_fleet(&spec) {
+    let fleet = match build_fleet(&spec, fleet_metrics) {
         Ok(fleet) => fleet,
         Err(message) => {
             job.set_state(JobState::Failed, Some(message));
@@ -563,12 +618,23 @@ fn run_job(job: &Job, spec: JobSpec) {
 pub struct JobTable {
     jobs: Mutex<BTreeMap<String, Arc<Job>>>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    obs: Option<Arc<DaemonObs>>,
 }
 
 impl JobTable {
-    /// An empty table.
+    /// An empty table without observability (embedding and tests).
     pub fn new() -> JobTable {
         JobTable::default()
+    }
+
+    /// An empty table whose jobs register gauges in `obs`, attach the
+    /// daemon-wide [`FleetMetrics`] to their fleets, and log lifecycle
+    /// transitions through the daemon logger.
+    pub fn with_observability(obs: Arc<DaemonObs>) -> JobTable {
+        JobTable {
+            obs: Some(obs),
+            ..JobTable::default()
+        }
     }
 
     /// Register a job under `name` and start its worker thread. Fails if
@@ -578,7 +644,9 @@ impl JobTable {
         if name.is_empty() {
             return Err("job name must not be empty".to_string());
         }
-        let job = Arc::new(Job::new(name.to_string(), spec.kind()));
+        let job_metrics = self.obs.as_ref().map(|o| o.job_metrics(name));
+        let logger = self.obs.as_ref().map(|o| Arc::clone(&o.logger));
+        let job = Arc::new(Job::new(name.to_string(), spec.kind(), job_metrics, logger));
         {
             let mut jobs = self.jobs.lock().expect("jobs lock");
             if jobs.contains_key(name) {
@@ -586,8 +654,16 @@ impl JobTable {
             }
             jobs.insert(name.to_string(), Arc::clone(&job));
         }
+        if let Some(o) = &self.obs {
+            o.logger.info(
+                "chronosd::jobs",
+                "job submitted",
+                &[("job", &name), ("kind", &spec.kind())],
+            );
+        }
+        let fleet_metrics = self.obs.as_ref().map(|o| Arc::clone(&o.fleet));
         let worker_job = Arc::clone(&job);
-        let handle = std::thread::spawn(move || run_job(&worker_job, spec));
+        let handle = std::thread::spawn(move || run_job(&worker_job, spec, fleet_metrics));
         self.handles.lock().expect("handles lock").push(handle);
         Ok(job)
     }

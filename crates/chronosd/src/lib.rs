@@ -25,7 +25,9 @@
 //! no-op), [`render`] (canonical report/progress JSON), [`jobs`] (the job
 //! table and worker loops), [`daemon`] (the socket server), [`client`]
 //! (the client used by `chronosctl`, the `service_mode` example and the
-//! smoke tests).
+//! smoke tests), [`metrics`] (the chronoscope layer: the metric registry
+//! behind the `metrics` command, per-job gauges, and the structured
+//! logger that replaces the daemon's formerly silent failure paths).
 
 #![warn(missing_docs)]
 
@@ -33,9 +35,11 @@ pub mod client;
 pub mod daemon;
 pub mod jobs;
 pub mod json;
+pub mod metrics;
 pub mod render;
 
 pub use client::{Client, ClientError};
 pub use daemon::{Daemon, PROTOCOL_VERSION};
 pub use jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable};
 pub use json::Json;
+pub use metrics::{DaemonObs, JobMetrics, LOG_ENV};

@@ -69,6 +69,22 @@ pub fn progress_json(progress: &FleetProgress) -> Json {
             "shifted_fraction".into(),
             Json::f64(progress.shifted_fraction),
         ),
+        (
+            // Wall-clock throughput of the most recent stepping slice;
+            // null before the first slice. Operator-facing only — the
+            // deterministic report JSON carries no wall-clock data.
+            "throughput".into(),
+            progress
+                .throughput
+                .map(|t| {
+                    Json::Obj(vec![
+                        ("wall_secs".into(), Json::f64(t.wall_secs)),
+                        ("events_per_sec".into(), Json::f64(t.events_per_sec)),
+                        ("sim_per_wall".into(), Json::f64(t.sim_per_wall)),
+                    ])
+                })
+                .unwrap_or(Json::Null),
+        ),
     ])
 }
 
@@ -193,5 +209,9 @@ mod tests {
         assert_eq!(json.get("clients").unwrap().as_usize(), Some(16));
         let done = json.get("fraction_done").unwrap().as_f64().unwrap();
         assert!(done > 0.0 && done < 1.0, "mid-run fraction, got {done}");
+        // run_until completed a slice, so wall-clock throughput is live.
+        let throughput = json.get("throughput").unwrap();
+        let eps = throughput.get("events_per_sec").unwrap().as_f64().unwrap();
+        assert!(eps > 0.0, "events/s should be positive, got {eps}");
     }
 }

@@ -94,6 +94,36 @@ fn checkpoint_resume_across_daemon_processes_matches_batch() {
         .expect("paused progress");
     assert_eq!(now_s, 1_500.0, "pause boundary");
 
+    // Scrape the metric registry over the socket while the job is
+    // parked: the exposition must satisfy our own parser and carry the
+    // per-job gauges plus the daemon-wide counters.
+    let scraped = client.request("metrics", Vec::new()).expect("metrics");
+    let text = scraped
+        .get("metrics")
+        .and_then(Json::as_str)
+        .expect("metrics payload is a string");
+    let samples = obs::expo::parse(text).expect("exposition parses");
+    assert!(!samples.is_empty(), "exposition carries samples");
+    for needle in [
+        "chronosd_job_events_per_sec{job=\"smoke\"}",
+        "chronosd_job_slice_wall_seconds{job=\"smoke\"}",
+        "chronosd_job_sim_seconds_per_wall_second{job=\"smoke\"}",
+        // The watch stream above ended, so the subscriber gauge is back
+        // to zero but stays registered.
+        "chronosd_job_watch_subscribers{job=\"smoke\"} 0",
+        "chronosd_commands_total{cmd=\"submit\"} 1",
+        "chronosd_connections_total",
+        "# TYPE fleet_stage_seconds histogram",
+    ] {
+        assert!(text.contains(needle), "exposition misses {needle}:\n{text}");
+    }
+    // The engine side-channel observed real work by now.
+    let events = samples
+        .iter()
+        .find(|s| s.name == "fleet_events_total")
+        .expect("fleet_events_total sample");
+    assert!(events.value > 0.0, "stepped slices counted no events");
+
     // A mid-run report is readable over the socket while the job is parked.
     let mid = client
         .request("report", vec![("name".into(), Json::str("smoke"))])
@@ -174,6 +204,25 @@ fn protocol_errors_are_reported_not_fatal() {
     }
     let pong = client.request("ping", Vec::new()).expect("still alive");
     assert_eq!(pong.get("protocol").and_then(Json::as_u64), Some(1));
+    // The enriched ping: identity, uptime, and job counts by state.
+    assert!(pong.get("version").and_then(Json::as_str).is_some());
+    assert!(pong.get("uptime_s").and_then(Json::as_u64).is_some());
+    let states = pong.get("job_states").expect("job_states object");
+    assert_eq!(states.get("running").and_then(Json::as_u64), Some(0));
+    assert_eq!(states.get("failed").and_then(Json::as_u64), Some(0));
+
+    // The unknown command was counted as a protocol error.
+    let scraped = client.request("metrics", Vec::new()).expect("metrics");
+    let text = scraped
+        .get("metrics")
+        .and_then(Json::as_str)
+        .expect("metrics payload");
+    let errors = obs::expo::parse(text)
+        .expect("exposition parses")
+        .into_iter()
+        .find(|s| s.name == "chronosd_protocol_errors_total")
+        .expect("protocol-error counter");
+    assert!(errors.value >= 1.0, "unknown cmd not counted");
 
     client.request("shutdown", Vec::new()).expect("shutdown");
     handle.join().expect("daemon exits");

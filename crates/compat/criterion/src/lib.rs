@@ -34,6 +34,22 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One engine-stage wall-time row, serialized into the artifact's
+/// `stage_timings` section. Bench targets that instrument their workload
+/// (e.g. with `fleet::metrics::FleetMetrics`) convert their stage
+/// summaries into these and attach them via
+/// [`Criterion::record_stage_timings`] — so `BENCH_*.json` says *where*
+/// an iteration spends its time, not just how long it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage label (e.g. `shard_slice`, `report_merge`).
+    pub stage: String,
+    /// Times the stage ran across all measured iterations.
+    pub count: u64,
+    /// Total wall seconds across those runs.
+    pub total_secs: f64,
+}
+
 /// One measured benchmark, as serialized into the JSON artifact.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -107,6 +123,7 @@ impl Bencher {
 pub struct Criterion {
     default_sample_size: u64,
     measurements: Vec<Measurement>,
+    stages: Vec<StageTiming>,
 }
 
 impl Default for Criterion {
@@ -116,6 +133,7 @@ impl Default for Criterion {
             // packet-level simulations per iteration, so keep counts low.
             default_sample_size: 10,
             measurements: Vec::new(),
+            stages: Vec::new(),
         }
     }
 }
@@ -143,6 +161,18 @@ impl Criterion {
         &self.measurements
     }
 
+    /// Attach per-stage wall-time rows to this target's JSON artifact
+    /// (appended; a target instrumenting several workloads calls this
+    /// once per workload with distinct stage labels).
+    pub fn record_stage_timings<I: IntoIterator<Item = StageTiming>>(&mut self, stages: I) {
+        self.stages.extend(stages);
+    }
+
+    /// Stage timings recorded so far.
+    pub fn stage_timings(&self) -> &[StageTiming] {
+        &self.stages
+    }
+
     fn run_one<F: FnMut(&mut Bencher)>(
         &mut self,
         name: String,
@@ -156,13 +186,16 @@ impl Criterion {
             min: Duration::MAX,
         };
         f(&mut b);
-        let m = Measurement {
+        self.push(Measurement {
             name,
             iters: b.iters,
             total: b.total,
             min: b.min,
             throughput,
-        };
+        });
+    }
+
+    fn push(&mut self, m: Measurement) {
         let rate = m
             .rate()
             .map(|(r, unit)| format!("  ({r:.0} {unit})"))
@@ -210,6 +243,52 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Benchmarks two variants of one routine with their samples
+    /// **interleaved** (one warm-up of each, then an A/B sample pair per
+    /// round), recording them as `group/name_a` (`f(false)`) and
+    /// `group/name_b` (`f(true)`).
+    ///
+    /// Not part of upstream criterion. It exists for within-run ratio
+    /// guards on tight floors (e.g. the ~2% metrics-overhead guard in
+    /// `bench-diff`): sequential targets are separated by minutes of
+    /// wall time, and host drift over that span — CPU burst credits,
+    /// noisy neighbours — routinely exceeds a few percent, drowning the
+    /// signal. Alternating the samples puts both variants under the same
+    /// drift, so their ratio measures only the code difference.
+    pub fn bench_pair<O, F: FnMut(bool) -> O>(
+        &mut self,
+        name_a: &str,
+        name_b: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let iters = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        black_box(f(false));
+        black_box(f(true));
+        let mut totals = [Duration::ZERO; 2];
+        let mut mins = [Duration::MAX; 2];
+        for _ in 0..iters {
+            for (i, variant) in [false, true].into_iter().enumerate() {
+                let start = Instant::now();
+                black_box(f(variant));
+                let dt = start.elapsed();
+                totals[i] += dt;
+                mins[i] = mins[i].min(dt);
+            }
+        }
+        for (i, name) in [name_a, name_b].into_iter().enumerate() {
+            self.criterion.push(Measurement {
+                name: format!("{}/{}", self.name, name),
+                iters,
+                total: totals[i],
+                min: mins[i],
+                throughput: self.throughput,
+            });
+        }
+        self
+    }
+
     /// Ends the group (kept for API compatibility).
     pub fn finish(&mut self) {}
 }
@@ -234,8 +313,11 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Serializes `measurements` into the `BENCH_<target>.json` schema.
-pub fn render_json(target: &str, measurements: &[Measurement]) -> String {
+/// Serializes `measurements` (and any recorded stage timings) into the
+/// `BENCH_<target>.json` schema. The `stage_timings` section comes
+/// *after* `results` and its objects carry no `name` key, so scanners of
+/// the results array (the `bench-diff` gate) are unaffected.
+pub fn render_json(target: &str, measurements: &[Measurement], stages: &[StageTiming]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(target)));
@@ -265,6 +347,17 @@ pub fn render_json(target: &str, measurements: &[Measurement]) -> String {
             if i + 1 == measurements.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"stage_timings\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"count\": {}, \"total_secs\": {:.9}}}{}\n",
+            json_escape(&s.stage),
+            s.count,
+            s.total_secs,
+            if i + 1 == stages.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -286,7 +379,10 @@ pub fn run_main(target: &str, manifest_dir: &str, groups: &[fn(&mut Criterion)])
     });
     let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
     if std::fs::create_dir_all(&dir).is_ok() {
-        match std::fs::write(&path, render_json(target, c.measurements())) {
+        match std::fs::write(
+            &path,
+            render_json(target, c.measurements(), c.stage_timings()),
+        ) {
             Ok(()) => println!("bench-json: wrote {}", path.display()),
             Err(e) => eprintln!("bench-json: failed to write {}: {e}", path.display()),
         }
@@ -361,19 +457,77 @@ mod tests {
         let m = &c.measurements()[0];
         assert_eq!(m.elements_per_sec(), None);
         assert!(m.bytes_per_sec().unwrap() > 0.0);
-        let json = render_json("t", c.measurements());
+        let json = render_json("t", c.measurements(), c.stage_timings());
         assert!(json.contains("\"elements_per_sec\": null"));
         assert!(!json.contains("\"bytes_per_sec\": null"));
+    }
+
+    #[test]
+    fn bench_pair_interleaves_and_records_both() {
+        let mut c = Criterion::default();
+        let mut order = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_pair("plain", "metered", |variant| {
+                order.push(variant);
+                black_box(variant)
+            });
+        }
+        // One warm-up of each, then alternating measured pairs.
+        assert_eq!(
+            order,
+            vec![false, true, false, true, false, true, false, true]
+        );
+        let names: Vec<&str> = c.measurements().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["g/plain", "g/metered"]);
+        for m in c.measurements() {
+            assert_eq!(m.iters, 3);
+            assert!(m.elements_per_sec().unwrap() > 0.0);
+        }
     }
 
     #[test]
     fn json_schema_is_parseable_shape() {
         let mut c = Criterion::default();
         c.bench_function("x\"y", |b| b.iter(|| 0));
-        let json = render_json("unit_test", c.measurements());
+        let json = render_json("unit_test", c.measurements(), c.stage_timings());
         assert!(json.contains("\"bench\": \"unit_test\""));
         assert!(json.contains("\\\"")); // escaped quote in name
         assert!(json.contains("\"wall_time_secs\""));
+        assert!(json.contains("\"stage_timings\": [\n  ]"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn stage_timings_render_after_results_without_name_keys() {
+        let mut c = Criterion::default();
+        c.bench_function("work", |b| b.iter(|| black_box(3)));
+        c.record_stage_timings([
+            StageTiming {
+                stage: "shard_slice".into(),
+                count: 40,
+                total_secs: 1.25,
+            },
+            StageTiming {
+                stage: "report_merge".into(),
+                count: 10,
+                total_secs: 0.5,
+            },
+        ]);
+        assert_eq!(c.stage_timings().len(), 2);
+        let json = render_json("t", c.measurements(), c.stage_timings());
+        let results_at = json.find("\"results\"").unwrap();
+        let stages_at = json.find("\"stage_timings\"").unwrap();
+        assert!(
+            stages_at > results_at,
+            "stage section must follow the results array"
+        );
+        assert!(json
+            .contains("{\"stage\": \"shard_slice\", \"count\": 40, \"total_secs\": 1.250000000}"));
+        // No `name` key outside the results array: scanners that walk
+        // `"name":` entries after `"results"` must not pick up stages.
+        assert!(!json[stages_at..].contains("\"name\":"));
     }
 }

@@ -96,6 +96,7 @@
 use crate::checkpoint::{self, CheckpointError, Reader, Writer};
 use crate::cohort::{resolver_of, ClientKind, TierAssignment, TierParams};
 use crate::config::FleetConfig;
+use crate::metrics::FleetMetrics;
 use crate::resolver::{DnsAnswer, QuerySchedule, ResolverModel, ResolverTimeline, STALE_TTL_SECS};
 use crate::rng::{client_seed, fault_f64, FaultLane, FleetRng};
 use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
@@ -199,6 +200,25 @@ pub struct FleetProgress {
     pub synced_clients: u64,
     /// Fraction of the fleet beyond the safety bound right now.
     pub shifted_fraction: f64,
+    /// Wall-clock throughput over the most recent [`Fleet::run_until`]
+    /// slice; `None` before the first slice (and right after a restore).
+    /// Wall-clock only — two byte-identical runs may disagree here.
+    pub throughput: Option<FleetThroughput>,
+}
+
+/// Wall-clock throughput of one completed [`Fleet::run_until`] slice.
+///
+/// This is observability data, not simulation state: it is measured on
+/// the host's monotonic clock, excluded from checkpoints, and never fed
+/// back into the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetThroughput {
+    /// Wall seconds the slice took.
+    pub wall_secs: f64,
+    /// Client events stepped per wall second.
+    pub events_per_sec: f64,
+    /// Simulated seconds advanced per wall second.
+    pub sim_per_wall: f64,
 }
 
 impl FleetProgress {
@@ -450,13 +470,24 @@ impl Shard {
 
     /// Runs the shard up to and including every event with a deadline at
     /// or before `target` ns.
+    ///
+    /// `obs` is a pure wall-clock side channel: when attached it records
+    /// the shard's slice wall time and wheel/batch activity into `obs`
+    /// atomics, and nothing in this method reads it back — simulation
+    /// state is byte-identical with and without it.
     fn run_until(
         &mut self,
         target: u64,
         config: &FleetConfig,
         tiers: &[TierParams],
         dns: DnsView<'_>,
+        obs: Option<&FleetMetrics>,
     ) {
+        let slice_start = obs.map(|_| std::time::Instant::now());
+        let events_before = self.events;
+        let mut advances = 0u64;
+        let mut ticks_skipped = 0u64;
+        let mut batches = 0u64;
         self.boundary_ns = target;
         // Carried events (popped past an earlier boundary) may be due now.
         if !self.carry.is_empty() {
@@ -469,14 +500,18 @@ impl Shard {
                 }
             }
         }
+        batches += u64::from(!self.due.is_empty());
         self.process_due(config, tiers, dns);
         let limit_tick = self.wheel.tick_of(target);
         while self.wheel.now_ns() < target && (self.wheel.armed() > 0 || !self.due.is_empty()) {
             // Jump over the empty stretch to the next tick that can expire
             // or cascade anything — per-shard wheels would otherwise walk
             // the full horizon tick by tick, once per shard.
+            let tick_before = self.wheel.now_tick();
             self.wheel.fast_forward(limit_tick);
+            ticks_skipped += self.wheel.now_tick() - tick_before;
             self.wheel.advance(&mut self.expired);
+            advances += 1;
             while let Some(id) = self.expired.pop() {
                 if self.deadline_ns[id as usize] <= target {
                     self.due.push(id);
@@ -484,10 +519,18 @@ impl Shard {
                     self.carry.push(id);
                 }
             }
+            batches += u64::from(!self.due.is_empty());
             self.process_due(config, tiers, dns);
         }
         self.emit_samples_until(target, config, tiers.len());
         self.now_ns = target;
+        if let (Some(m), Some(start)) = (obs, slice_start) {
+            m.shard_slice.record(start.elapsed());
+            m.events.add(self.events - events_before);
+            m.wheel_advances.add(advances);
+            m.wheel_ticks_skipped.add(ticks_skipped);
+            m.round_batches.add(batches);
+        }
     }
 
     fn process_due(&mut self, config: &FleetConfig, tiers: &[TierParams], dns: DnsView<'_>) {
@@ -1361,6 +1404,12 @@ pub struct Fleet {
     timelines: Vec<ResolverTimeline>,
     shards: Vec<Shard>,
     now_ns: u64,
+    /// Optional wall-clock instrumentation (see [`crate::metrics`]).
+    /// Never checkpointed; a restored fleet starts unmetered.
+    metrics: Option<std::sync::Arc<FleetMetrics>>,
+    /// Wall-clock stats of the most recent `run_until` slice
+    /// (`(wall_secs, events, sim_ns)`); observability only.
+    last_slice: Option<(f64, u64, u64)>,
 }
 
 impl Fleet {
@@ -1379,10 +1428,27 @@ impl Fleet {
             timelines: Vec::new(),
             shards: Vec::new(),
             now_ns: 0,
+            metrics: None,
+            last_slice: None,
             config,
         };
         fleet.rebuild();
         fleet
+    }
+
+    /// Attaches (or with `None`, detaches) engine instrumentation. The
+    /// handle is a strict wall-clock side channel: it consumes no RNG
+    /// draws and never perturbs simulation state, so runs stay
+    /// byte-identical with metrics on or off (proptest-pinned). Survives
+    /// [`Fleet::reset`] / [`Fleet::reconfigure`]; excluded from
+    /// checkpoints.
+    pub fn set_metrics(&mut self, metrics: Option<std::sync::Arc<FleetMetrics>>) {
+        self.metrics = metrics;
+    }
+
+    /// The attached instrumentation handle, if any.
+    pub fn metrics(&self) -> Option<&std::sync::Arc<FleetMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The configuration in force.
@@ -1469,6 +1535,8 @@ impl Fleet {
             );
         }
         self.now_ns = 0;
+        self.last_slice = None;
+        let prepass_start = self.metrics.as_ref().map(|_| std::time::Instant::now());
         self.timelines = if self.config.shared_cache {
             // The deterministic cache pre-pass: every pool-query time is
             // static, so each resolver's whole answer timeline resolves
@@ -1532,6 +1600,9 @@ impl Fleet {
         } else {
             Vec::new()
         };
+        if let (Some(m), Some(start)) = (&self.metrics, prepass_start) {
+            m.timeline_prepass.record(start.elapsed());
+        }
     }
 
     /// Runs the fleet up to and including every event with a deadline at
@@ -1545,8 +1616,14 @@ impl Fleet {
     pub fn run_until(&mut self, until: SimTime) {
         let target = until.as_nanos();
         assert!(target >= self.now_ns, "cannot run backwards");
+        // Wall-clock throughput of this slice (for FleetProgress): one
+        // Instant read per slice, regardless of instrumentation.
+        let slice_start = std::time::Instant::now();
+        let sim_ns = target - self.now_ns;
+        let events_before: u64 = self.shards.iter().map(|s| s.events).sum();
         let config = &self.config;
         let tiers = &self.tiers[..];
+        let obs = self.metrics.as_deref();
         let dns = if config.shared_cache {
             DnsView::Shared(&self.timelines)
         } else {
@@ -1555,14 +1632,20 @@ impl Fleet {
         let threads = config.effective_threads().min(self.shards.len()).max(1);
         if threads == 1 {
             for shard in &mut self.shards {
-                shard.run_until(target, config, tiers, dns);
+                shard.run_until(target, config, tiers, dns, obs);
             }
         } else {
             netsim::par::for_each_mut(&mut self.shards, threads, |shard, _| {
-                shard.run_until(target, config, tiers, dns)
+                shard.run_until(target, config, tiers, dns, obs)
             });
         }
         self.now_ns = target;
+        let events: u64 = self.shards.iter().map(|s| s.events).sum();
+        self.last_slice = Some((
+            slice_start.elapsed().as_secs_f64(),
+            events - events_before,
+            sim_ns,
+        ));
     }
 
     /// Convenience: runs for a duration.
@@ -1686,6 +1769,7 @@ impl Fleet {
     /// one float-sensitive combine — bit-reproducible; everything else is
     /// integer arithmetic and merge-order-free).
     pub fn report(&self) -> FleetReport {
+        let merge_start = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let now = self.now();
         let t_count = self.tiers.len();
         let mut tier_clients = vec![0usize; t_count];
@@ -1771,7 +1855,7 @@ impl Fleet {
         for t in &tier_faults {
             faults.accumulate(t);
         }
-        FleetReport {
+        let report = FleetReport {
             clients: self.config.clients,
             end: now,
             shifted,
@@ -1784,7 +1868,11 @@ impl Fleet {
             events: self.events(),
             faults,
             tiers,
+        };
+        if let (Some(m), Some(start)) = (&self.metrics, merge_start) {
+            m.report_merge.record(start.elapsed());
         }
+        report
     }
 
     /// A cheap position/health snapshot for live observability: O(clients)
@@ -1809,6 +1897,14 @@ impl Fleet {
             events: self.events(),
             synced_clients,
             shifted_fraction: self.shifted_fraction(now),
+            throughput: self.last_slice.map(|(wall_secs, events, sim_ns)| {
+                let wall = wall_secs.max(f64::MIN_POSITIVE);
+                FleetThroughput {
+                    wall_secs,
+                    events_per_sec: events as f64 / wall,
+                    sim_per_wall: sim_ns as f64 / 1e9 / wall,
+                }
+            }),
         }
     }
 
@@ -1849,6 +1945,7 @@ impl Fleet {
     /// assert_eq!(resumed.report(), fleet.report());
     /// ```
     pub fn checkpoint(&self) -> Vec<u8> {
+        let encode_start = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let mut w = Writer::new();
         w.bytes(&checkpoint::MAGIC);
         w.u32(checkpoint::VERSION);
@@ -1858,7 +1955,12 @@ impl Fleet {
         for shard in &self.shards {
             shard.encode(&mut w);
         }
-        w.finish()
+        let bytes = w.finish();
+        if let (Some(m), Some(start)) = (&self.metrics, encode_start) {
+            m.checkpoint_encode.record(start.elapsed());
+            m.checkpoint_bytes.add(bytes.len() as u64);
+        }
+        bytes
     }
 
     /// Rebuilds a fleet from a [`Fleet::checkpoint`] snapshot. Structural
@@ -1873,6 +1975,23 @@ impl Fleet {
     /// are from another format version, fail the checksum, or decode to
     /// an inconsistent structure.
     pub fn restore(bytes: &[u8]) -> Result<Fleet, CheckpointError> {
+        Self::restore_with(bytes, None)
+    }
+
+    /// [`Fleet::restore`] with instrumentation attached up front, so the
+    /// decode itself is timed (`fleet_stage_seconds{stage=
+    /// "checkpoint_restore"}`). The handle ends up attached to the
+    /// returned fleet exactly as if [`Fleet::set_metrics`] had been
+    /// called after a plain restore.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fleet::restore`].
+    pub fn restore_with(
+        bytes: &[u8],
+        metrics: Option<std::sync::Arc<FleetMetrics>>,
+    ) -> Result<Fleet, CheckpointError> {
+        let restore_start = metrics.as_ref().map(|_| std::time::Instant::now());
         let mut r = Reader::verified(bytes)?;
         if r.take(4)? != checkpoint::MAGIC {
             return Err(CheckpointError::BadMagic);
@@ -1899,6 +2018,10 @@ impl Fleet {
         if r.remaining() != 0 {
             return Err(CheckpointError::Corrupt("trailing bytes after shards"));
         }
+        if let (Some(m), Some(start)) = (&metrics, restore_start) {
+            m.checkpoint_restore.record(start.elapsed());
+        }
+        fleet.metrics = metrics;
         Ok(fleet)
     }
 }

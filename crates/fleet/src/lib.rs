@@ -90,6 +90,7 @@ pub mod checkpoint;
 pub mod cohort;
 pub mod config;
 pub mod engine;
+pub mod metrics;
 pub mod resolver;
 pub mod rng;
 pub mod stats;
@@ -100,7 +101,8 @@ pub use cohort::{ClientKind, CohortTier};
 pub use config::{
     FaultPlan, FleetAttack, FleetConfig, OutageWindow, RetryPolicy, ServeStalePolicy, TierFaults,
 };
-pub use engine::{Fleet, FleetProgress, FleetReport, TierBreakdown};
+pub use engine::{Fleet, FleetProgress, FleetReport, FleetThroughput, TierBreakdown};
+pub use metrics::{FleetMetrics, StageSummary};
 pub use stats::{FaultCounters, OffsetHistogram, P2Quantile};
 
 /// Convenient glob-import of the commonly used types.
@@ -111,6 +113,7 @@ pub mod prelude {
         FaultPlan, FleetAttack, FleetConfig, OutageWindow, RetryPolicy, ServeStalePolicy,
         TierFaults,
     };
-    pub use crate::engine::{Fleet, FleetProgress, FleetReport, TierBreakdown};
+    pub use crate::engine::{Fleet, FleetProgress, FleetReport, FleetThroughput, TierBreakdown};
+    pub use crate::metrics::{FleetMetrics, StageSummary};
     pub use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
 }

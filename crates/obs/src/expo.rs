@@ -1,0 +1,363 @@
+//! Prometheus text exposition: rendering [`MetricSnapshot`]s and a small
+//! parser/validator used by `chronosctl metrics` and the CI socket smoke.
+//!
+//! The renderer emits one `# HELP` / `# TYPE` pair per family followed by
+//! its samples. Histograms render cumulative `_bucket{le="…"}` lines
+//! (empty bins are skipped — cumulative values stay monotonic, which the
+//! format allows — and the `+Inf` bucket is always present), then `_sum`
+//! (seconds) and `_count`.
+
+use crate::registry::{MetricSnapshot, MetricValue};
+use std::fmt::Write as _;
+
+/// Escapes a HELP string (`\` and newline).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (`\`, `"` and newline).
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a label set as `{k="v",…}`, with an optional extra pair
+/// appended (used for `le`); empty input with no extra renders as "".
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders snapshots (already sorted by the registry) as Prometheus text
+/// exposition.
+pub fn render(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for snap in snapshots {
+        if last_family != Some(snap.name.as_str()) {
+            let kind = match snap.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", snap.name, escape_help(&snap.help));
+            let _ = writeln!(out, "# TYPE {} {kind}", snap.name);
+            last_family = Some(snap.name.as_str());
+        }
+        match &snap.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", snap.name, label_block(&snap.labels, None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {v}", snap.name, label_block(&snap.labels, None));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, &count) in h.counts.iter().enumerate() {
+                    cumulative += count;
+                    if count == 0 {
+                        continue;
+                    }
+                    let Some(&edge_ns) = h.edges_ns.get(i) else {
+                        break; // the overflow bin is covered by +Inf below
+                    };
+                    let le = format!("{}", edge_ns as f64 / 1e9);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        snap.name,
+                        label_block(&snap.labels, Some(("le", &le)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    snap.name,
+                    label_block(&snap.labels, Some(("le", "+Inf"))),
+                    h.total
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    snap.name,
+                    label_block(&snap.labels, None),
+                    h.sum_ns as f64 / 1e9
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    snap.name,
+                    label_block(&snap.labels, None),
+                    h.total
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` parses as [`f64::INFINITY`]).
+    pub value: f64,
+}
+
+/// A parse failure: the offending 1-based line number and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, ParseError> {
+    let mut chars = line.char_indices().peekable();
+    let name_end = loop {
+        match chars.peek() {
+            Some(&(i, c)) if !is_name_char(c) => break i,
+            Some(_) => {
+                chars.next();
+            }
+            None => break line.len(),
+        }
+    };
+    if name_end == 0 || !line.starts_with(is_name_start) {
+        return Err(err(lineno, "sample must start with a metric name"));
+    }
+    let name = line[..name_end].to_string();
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let mut cursor = 0usize;
+        loop {
+            let tail = &stripped[cursor..];
+            if let Some(after) = tail.strip_prefix('}') {
+                rest = after;
+                break;
+            }
+            // key
+            let key_len = tail.chars().take_while(|&c| is_name_char(c)).count();
+            if key_len == 0 {
+                return Err(err(lineno, "expected a label name"));
+            }
+            let key: String = tail.chars().take(key_len).collect();
+            let tail = &tail[key_len..];
+            let Some(tail) = tail.strip_prefix("=\"") else {
+                return Err(err(lineno, format!("label {key:?} must be =\"…\"-quoted")));
+            };
+            // quoted value with escapes
+            let mut value = String::new();
+            let mut consumed = 0usize;
+            let mut escaped = false;
+            let mut closed = false;
+            for c in tail.chars() {
+                consumed += c.len_utf8();
+                if escaped {
+                    match c {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(err(lineno, format!("bad escape \\{other}"))),
+                    }
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    closed = true;
+                    break;
+                } else {
+                    value.push(c);
+                }
+            }
+            if !closed {
+                return Err(err(lineno, format!("unterminated value for label {key:?}")));
+            }
+            labels.push((key, value));
+            let tail = &tail[consumed..];
+            cursor = stripped.len() - tail.len();
+            if let Some(after_comma) = stripped[cursor..].strip_prefix(',') {
+                cursor = stripped.len() - after_comma.len();
+            }
+        }
+    }
+    let value_str = rest.trim();
+    if value_str.is_empty() {
+        return Err(err(lineno, "sample has no value"));
+    }
+    // A timestamp suffix (second whitespace-separated field) is allowed by
+    // the format; we accept and ignore it.
+    let mut fields = value_str.split_ascii_whitespace();
+    let value_field = fields.next().unwrap();
+    let value = parse_value(value_field)
+        .ok_or_else(|| err(lineno, format!("bad value {value_field:?}")))?;
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(err(lineno, format!("bad timestamp {ts:?}")));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(err(lineno, "trailing garbage after sample"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parses (and thereby validates) a text exposition. Returns every sample
+/// line; `# HELP` / `# TYPE` / comment lines are syntax-checked and
+/// skipped; blank lines are ignored.
+pub fn parse(text: &str) -> Result<Vec<Sample>, ParseError> {
+    let mut samples = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            for (kw, arity) in [("HELP", 2), ("TYPE", 2)] {
+                if let Some(rest) = comment.strip_prefix(kw) {
+                    let mut fields = rest.split_ascii_whitespace();
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| err(lineno, format!("# {kw} needs a metric name")))?;
+                    if !name.starts_with(is_name_start) || !name.chars().all(is_name_char) {
+                        return Err(err(lineno, format!("bad metric name {name:?}")));
+                    }
+                    if kw == "TYPE" {
+                        let ty = fields
+                            .next()
+                            .ok_or_else(|| err(lineno, "# TYPE needs a type"))?;
+                        if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                            return Err(err(lineno, format!("unknown type {ty:?}")));
+                        }
+                    }
+                    let _ = arity;
+                }
+            }
+            continue;
+        }
+        samples.push(parse_sample(line, lineno)?);
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn render_counter_and_gauge_families() {
+        let r = Registry::new();
+        r.counter("hits_total", "Total hits.", &[("job", "a")])
+            .add(3);
+        r.counter("hits_total", "Total hits.", &[("job", "b")])
+            .add(5);
+        r.gauge("depth", "Queue depth.", &[]).set(1.5);
+        let text = r.render_prometheus();
+        let expected = "\
+# HELP depth Queue depth.
+# TYPE depth gauge
+depth 1.5
+# HELP hits_total Total hits.
+# TYPE hits_total counter
+hits_total{job=\"a\"} 3
+hits_total{job=\"b\"} 5
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn render_escapes_help_and_label_values() {
+        let r = Registry::new();
+        r.counter("c_total", "line1\nline2 \\ slash", &[("p", "a\"b\\c\nd")])
+            .inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP c_total line1\\nline2 \\\\ slash"));
+        assert!(text.contains("c_total{p=\"a\\\"b\\\\c\\nd\"} 1"));
+        // And the parser round-trips the escaped label value.
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn render_histogram_buckets_are_cumulative_with_inf_sum_count() {
+        let r = Registry::new();
+        let h = r.histogram("op_seconds", "Op wall time.", &[("job", "x")], 1);
+        h.record_ns(5_000); // 5 µs → first decade bin (le = 1e-5)
+        h.record_ns(5_000);
+        h.record_ns(50_000); // 50 µs → next bin (le = 1e-4)
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE op_seconds histogram"));
+        assert!(text.contains("op_seconds_bucket{job=\"x\",le=\"0.00001\"} 2"));
+        assert!(text.contains("op_seconds_bucket{job=\"x\",le=\"0.0001\"} 3"));
+        assert!(text.contains("op_seconds_bucket{job=\"x\",le=\"+Inf\"} 3"));
+        assert!(text.contains("op_seconds_sum{job=\"x\"} 0.00006"));
+        assert!(text.contains("op_seconds_count{job=\"x\"} 3"));
+        // Empty bins are skipped: only the two occupied edges render.
+        assert_eq!(text.matches("op_seconds_bucket").count(), 3);
+        parse(&text).expect("histogram exposition must parse");
+    }
+
+    #[test]
+    fn parse_accepts_inf_and_rejects_garbage() {
+        assert_eq!(parse("up 1\nx_bucket{le=\"+Inf\"} 3\n").unwrap().len(), 2);
+        assert_eq!(parse("x{le=\"+Inf\"} 3").unwrap()[0].labels[0].1, "+Inf");
+        assert!(parse("1bad 3").is_err());
+        assert!(parse("x{unquoted=3} 1").is_err());
+        assert!(parse("x nope").is_err());
+        assert!(parse("# TYPE x rainbow").is_err());
+        assert!(parse("x{k=\"unterminated} 1").is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! A leveled, monotonic-stamped structured logger.
+//!
+//! Lines are logfmt-shaped — `ts=12.345678 level=info target=chronosd
+//! msg="accepted connection" peer=3` — with the timestamp measured in
+//! seconds since the logger was created on the monotonic clock
+//! ([`std::time::Instant`]): log output never depends on (or perturbs)
+//! simulation time, and two runs of the same binary differ only in the
+//! wall-clock stamps.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error,
+    /// Degraded but continuing (e.g. a client connection died mid-write).
+    Warn,
+    /// Lifecycle events: jobs submitted, slices published, shutdown.
+    Info,
+    /// Per-request chatter.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used in rendered lines and env configuration.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a level name (case-insensitive); `off` and unknown names
+    /// return `None` (meaning: log nothing / use the default).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A structured logger writing logfmt lines to a shared sink.
+pub struct Logger {
+    start: Instant,
+    min: Level,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger").field("min", &self.min).finish()
+    }
+}
+
+/// Quotes a field value when it contains logfmt-hostile characters.
+fn render_value(value: &str, out: &mut String) {
+    let needs_quoting = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '=' || c == '\\');
+    if !needs_quoting {
+        out.push_str(value);
+        return;
+    }
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+impl Logger {
+    /// A logger writing to stderr at the given minimum level.
+    pub fn stderr(min: Level) -> Logger {
+        Logger::to_sink(min, Box::new(std::io::stderr()))
+    }
+
+    /// A logger writing to an arbitrary sink (used by tests to capture
+    /// output).
+    pub fn to_sink(min: Level, sink: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            start: Instant::now(),
+            min,
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// Whether `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.min
+    }
+
+    /// Emits one structured line; `fields` are appended as `key=value`
+    /// pairs after the message.
+    pub fn log(&self, level: Level, target: &str, msg: &str, fields: &[(&str, &dyn fmt::Display)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts = self.start.elapsed().as_secs_f64();
+        let mut line = format!("ts={ts:.6} level={} target={target} msg=", level.as_str());
+        render_value(msg, &mut line);
+        for (key, value) in fields {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            render_value(&value.to_string(), &mut line);
+        }
+        line.push('\n');
+        let mut sink = self.sink.lock().expect("log sink poisoned");
+        // A dead sink must never take the daemon down with it.
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    }
+
+    /// [`Level::Error`] shorthand.
+    pub fn error(&self, target: &str, msg: &str, fields: &[(&str, &dyn fmt::Display)]) {
+        self.log(Level::Error, target, msg, fields);
+    }
+
+    /// [`Level::Warn`] shorthand.
+    pub fn warn(&self, target: &str, msg: &str, fields: &[(&str, &dyn fmt::Display)]) {
+        self.log(Level::Warn, target, msg, fields);
+    }
+
+    /// [`Level::Info`] shorthand.
+    pub fn info(&self, target: &str, msg: &str, fields: &[(&str, &dyn fmt::Display)]) {
+        self.log(Level::Info, target, msg, fields);
+    }
+
+    /// [`Level::Debug`] shorthand.
+    pub fn debug(&self, target: &str, msg: &str, fields: &[(&str, &dyn fmt::Display)]) {
+        self.log(Level::Debug, target, msg, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink tests can read back.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn captured(min: Level) -> (Logger, Capture) {
+        let capture = Capture::default();
+        (Logger::to_sink(min, Box::new(capture.clone())), capture)
+    }
+
+    #[test]
+    fn lines_carry_monotonic_stamp_level_and_fields() {
+        let (log, out) = captured(Level::Info);
+        log.info(
+            "daemon",
+            "job submitted",
+            &[("job", &"smoke"), ("kind", &"e16-fleet")],
+        );
+        let text = String::from_utf8(out.0.lock().unwrap().clone()).unwrap();
+        assert!(text.starts_with("ts="), "got {text:?}");
+        assert!(text.contains(" level=info target=daemon msg=\"job submitted\""));
+        assert!(text.ends_with("job=smoke kind=e16-fleet\n"));
+        let ts: f64 = text[3..text.find(' ').unwrap()].parse().unwrap();
+        assert!(ts >= 0.0);
+    }
+
+    #[test]
+    fn level_filter_suppresses_lower_severities() {
+        let (log, out) = captured(Level::Warn);
+        assert!(log.enabled(Level::Error) && !log.enabled(Level::Info));
+        log.info("x", "dropped", &[]);
+        log.debug("x", "dropped", &[]);
+        log.error("x", "kept", &[]);
+        let text = String::from_utf8(out.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("level=error"));
+    }
+
+    #[test]
+    fn hostile_values_are_quoted_and_escaped() {
+        let (log, out) = captured(Level::Debug);
+        log.debug(
+            "x",
+            "has \"quotes\" and\nnewline",
+            &[("k", &"a b=c"), ("empty", &"")],
+        );
+        let text = String::from_utf8(out.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("msg=\"has \\\"quotes\\\" and\\nnewline\""));
+        assert!(text.contains("k=\"a b=c\""));
+        assert!(text.contains("empty=\"\""));
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+    }
+}

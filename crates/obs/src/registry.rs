@@ -1,0 +1,271 @@
+//! A label-ordered instrument registry with point-in-time snapshots.
+//!
+//! Registration returns shared handles ([`std::sync::Arc`]); recording
+//! through a handle never touches the registry lock, which is only taken
+//! at registration and snapshot time. Registering the same
+//! `(name, labels)` pair twice returns the *existing* handle, so
+//! registration is idempotent and callers can re-derive a handle instead
+//! of threading it through.
+
+use crate::metrics::{Counter, Gauge, HistogramSnapshot, TimeHistogram};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One registered instrument behind its shared handle.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<TimeHistogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// The registry: a flat, mutex-guarded list of entries. Lookups are
+/// linear — registries here hold tens of instruments, not thousands.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("entries", &n).finish()
+    }
+}
+
+/// A point-in-time reading of one instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name (e.g. `chronosd_connections_total`).
+    pub name: String,
+    /// Human-readable help string.
+    pub help: String,
+    /// Label pairs, sorted by key at registration time.
+    pub labels: Vec<(String, String)>,
+    /// The instrument's value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value half of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A histogram reading (edges, bin counts, sum, total).
+    Histogram(HistogramSnapshot),
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        sorted
+    }
+
+    fn register<T, F, G>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: F,
+        extract: G,
+    ) -> Arc<T>
+    where
+        F: FnOnce() -> Instrument,
+        G: Fn(&Instrument) -> Option<Arc<T>>,
+    {
+        let labels = Self::sorted_labels(labels);
+        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return extract(&entry.instrument).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    entry.instrument.kind()
+                )
+            });
+        }
+        let instrument = make();
+        let handle = extract(&instrument).expect("constructor matches extractor");
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            instrument,
+        });
+        handle
+    }
+
+    /// Registers (or re-derives) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(name, labels)` is already registered as another kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            labels,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or re-derives) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(name, labels)` is already registered as another kind.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            labels,
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or re-derives) a log-binned wall-time histogram with
+    /// `bins_per_decade` bins per decade (see
+    /// [`TimeHistogram::log_scale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(name, labels)` is already registered as another kind.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bins_per_decade: usize,
+    ) -> Arc<TimeHistogram> {
+        self.register(
+            name,
+            help,
+            labels,
+            || Instrument::Histogram(Arc::new(TimeHistogram::log_scale(bins_per_decade))),
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Takes a point-in-time snapshot of every instrument, sorted by
+    /// `(name, labels)` so renderings are stable regardless of
+    /// registration order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().expect("registry lock poisoned");
+        let mut snaps: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        snaps.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snaps
+    }
+
+    /// Renders the registry as Prometheus text exposition (shorthand for
+    /// [`crate::expo::render`] over [`Registry::snapshot`]).
+    pub fn render_prometheus(&self) -> String {
+        crate::expo::render(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shares_state() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "hits", &[("job", "x")]);
+        let b = r.counter("hits_total", "hits", &[("job", "x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn labels_are_sorted_by_key_at_registration() {
+        let r = Registry::new();
+        r.gauge("g", "gauge", &[("zeta", "1"), ("alpha", "2")]);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap[0].labels,
+            vec![
+                ("alpha".to_string(), "2".to_string()),
+                ("zeta".to_string(), "1".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name_then_labels() {
+        let r = Registry::new();
+        r.counter("b_total", "b", &[]);
+        r.counter("a_total", "a", &[("job", "z")]);
+        r.counter("a_total", "a", &[("job", "a")]);
+        let names: Vec<(String, Vec<(String, String)>)> = r
+            .snapshot()
+            .into_iter()
+            .map(|s| (s.name, s.labels))
+            .collect();
+        assert_eq!(names[0].0, "a_total");
+        assert_eq!(names[0].1[0].1, "a");
+        assert_eq!(names[1].1[0].1, "z");
+        assert_eq!(names[2].0, "b_total");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "m", &[]);
+        r.gauge("m", "m", &[]);
+    }
+}
