@@ -1,23 +1,33 @@
 //! The operator client for `chronosd`.
 //!
 //! ```text
+//! chronosctl <socket> [--wait N] <command> [...]
+//!
 //! chronosctl <socket> ping
 //! chronosctl <socket> submit <name> <kind> [--seed N] [--clients N] [--resolvers N]
 //!            [--poisoned N] [--loss F] [--outage-coverage N] [--threads N]
-//!            [--slice-s N] [--pause-at-s N]
+//!            [--slice-s N] [--pause-at-s N] [--pause-at-row N]
 //! chronosctl <socket> jobs
 //! chronosctl <socket> status <name>
-//! chronosctl <socket> report <name>          # prints only the report object
+//! chronosctl <socket> report <name> [--row N] # prints only the report object
 //! chronosctl <socket> watch <name> [count]
 //! chronosctl <socket> checkpoint <name> <file>
-//! chronosctl <socket> resume <name> <file> [--threads N] [--slice-s N] [--pause-at-s N]
+//! chronosctl <socket> resume <name> <file> [--threads N] [--slice-s N]
+//!            [--pause-at-s N] [--pause-at-row N]   # CHR1 or SWP1, by magic
 //! chronosctl <socket> unpause <name>
 //! chronosctl <socket> stop <name>
 //! chronosctl <socket> wait <name> <state> [timeout-s]
+//! chronosctl <socket> sync                   # force a state-dir snapshot
 //! chronosctl <socket> metrics                # Prometheus text exposition
 //! chronosctl <socket> shutdown
 //! chronosctl batch-e16 [--seed N] [--clients N] [--resolvers N] [--poisoned K] [--threads N]
 //! ```
+//!
+//! `--wait N` (right after the socket path) retries the connection with
+//! bounded exponential backoff for up to N seconds, so scripts can race
+//! daemon boot; every connection then handshakes the protocol version,
+//! so a mismatched daemon fails with "protocol version mismatch" instead
+//! of a confusing late error.
 //!
 //! `batch-e16` needs no daemon: it runs the E16 sweep in-process via
 //! `chronos_pitfalls::experiments::run_e16` and prints the report of the
@@ -33,9 +43,11 @@ use chronosd::render::report_json;
 use chronosd::Client;
 
 fn usage() -> ! {
-    eprintln!("usage: chronosctl <socket> <command> [...]  (or: chronosctl batch-e16 [...])");
-    eprintln!("commands: ping, submit, jobs, status, report, watch, checkpoint,");
-    eprintln!("          resume, unpause, stop, wait, metrics, shutdown; see docs/OPERATIONS.md");
+    eprintln!(
+        "usage: chronosctl <socket> [--wait N] <command> [...]  (or: chronosctl batch-e16 [...])"
+    );
+    eprintln!("commands: ping, submit, jobs, status, report, watch, checkpoint, resume,");
+    eprintln!("          unpause, stop, wait, sync, metrics, shutdown; see docs/OPERATIONS.md");
     std::process::exit(2);
 }
 
@@ -97,8 +109,17 @@ fn batch_e16(rest: &[String]) {
     println!("{}", report_json(&row.report).render());
 }
 
-fn connect(socket: &str) -> Client {
-    Client::connect(socket).unwrap_or_else(|e| fail(format!("connecting {socket}: {e}")))
+fn connect(socket: &str, wait: Option<u64>) -> Client {
+    let mut client = match wait {
+        Some(seconds) => Client::connect_with_retry(socket, Duration::from_secs(seconds)),
+        None => Client::connect(socket),
+    }
+    .unwrap_or_else(|e| fail(format!("connecting {socket}: {e}")));
+    // Fail fast on a daemon from a different protocol generation.
+    client
+        .handshake()
+        .unwrap_or_else(|e| fail(format!("connecting {socket}: {e}")));
+    client
 }
 
 fn name_field(name: &str) -> Vec<(String, Json)> {
@@ -111,22 +132,35 @@ fn main() {
         batch_e16(&args[1..]);
         return;
     }
-    let (socket, cmd, rest) = match args.split_first() {
-        Some((socket, tail)) => match tail.split_first() {
-            Some((cmd, rest)) => (socket.as_str(), cmd.as_str(), rest),
-            None => usage(),
-        },
+    let (socket, mut tail) = match args.split_first() {
+        Some((socket, tail)) => (socket.as_str(), tail),
+        None => usage(),
+    };
+    let mut wait = None;
+    if tail.first().map(String::as_str) == Some("--wait") {
+        let Some(seconds) = tail.get(1) else {
+            fail("--wait needs a value (seconds)")
+        };
+        wait = Some(
+            seconds
+                .parse::<u64>()
+                .unwrap_or_else(|_| fail(format!("--wait {seconds:?} is not an integer"))),
+        );
+        tail = &tail[2..];
+    }
+    let (cmd, rest) = match tail.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
         None => usage(),
     };
     match cmd {
-        "ping" | "jobs" | "shutdown" => {
-            let response = connect(socket)
+        "ping" | "jobs" | "shutdown" | "sync" => {
+            let response = connect(socket, wait)
                 .request(cmd, Vec::new())
                 .unwrap_or_else(|e| fail(e));
             println!("{}", response.render());
         }
         "metrics" => {
-            let response = connect(socket)
+            let response = connect(socket, wait)
                 .request("metrics", Vec::new())
                 .unwrap_or_else(|e| fail(e));
             let text = response
@@ -146,17 +180,21 @@ fn main() {
             let [name] = rest else {
                 fail(format!("{cmd} needs <name>"))
             };
-            let response = connect(socket)
+            let response = connect(socket, wait)
                 .request(cmd, name_field(name))
                 .unwrap_or_else(|e| fail(e));
             println!("{}", response.render());
         }
         "report" => {
-            let [name] = rest else {
-                fail("report needs <name>")
+            let Some(([name], pairs)) = rest.split_first_chunk().map(|(h, t)| (h, flags(t))) else {
+                fail("report needs <name> [--row N]")
             };
-            let response = connect(socket)
-                .request("report", name_field(name))
+            let mut fields = name_field(name);
+            if let Some(row) = flag_num(&pairs, "row") {
+                fields.push(("row".into(), row));
+            }
+            let response = connect(socket, wait)
+                .request("report", fields)
                 .unwrap_or_else(|e| fail(e));
             // Print only the payload object so the output is
             // byte-comparable with `chronosctl batch-e16`.
@@ -179,7 +217,7 @@ fn main() {
                 }
                 fields.push(("count".into(), Json::Num(count.clone())));
             }
-            let mut client = connect(socket);
+            let mut client = connect(socket, wait);
             let mut response = client.request("watch", fields).unwrap_or_else(|e| fail(e));
             loop {
                 println!("{}", response.render());
@@ -205,6 +243,7 @@ fn main() {
                 ("threads", "threads"),
                 ("slice-s", "slice_s"),
                 ("pause-at-s", "pause_at_s"),
+                ("pause-at-row", "pause_at_row"),
             ] {
                 if let Some(value) = flag_num(&pairs, key) {
                     spec.push((wire.to_string(), value));
@@ -212,7 +251,7 @@ fn main() {
             }
             let mut fields = name_field(name);
             fields.push(("spec".into(), Json::Obj(spec)));
-            let response = connect(socket)
+            let response = connect(socket, wait)
                 .request("submit", fields)
                 .unwrap_or_else(|e| fail(e));
             println!("{}", response.render());
@@ -223,7 +262,7 @@ fn main() {
             };
             let mut fields = name_field(name);
             fields.push(("path".into(), Json::str(path.as_str())));
-            let response = connect(socket)
+            let response = connect(socket, wait)
                 .request("checkpoint", fields)
                 .unwrap_or_else(|e| fail(e));
             println!("{}", response.render());
@@ -239,12 +278,13 @@ fn main() {
                 ("threads", "threads"),
                 ("slice-s", "slice_s"),
                 ("pause-at-s", "pause_at_s"),
+                ("pause-at-row", "pause_at_row"),
             ] {
                 if let Some(value) = flag_num(&pairs, key) {
                     fields.push((wire.to_string(), value));
                 }
             }
-            let response = connect(socket)
+            let response = connect(socket, wait)
                 .request("resume", fields)
                 .unwrap_or_else(|e| fail(e));
             println!("{}", response.render());
@@ -260,7 +300,7 @@ fn main() {
                 ),
                 _ => fail("wait needs <name> <state> [timeout-s]"),
             };
-            let status = connect(socket)
+            let status = connect(socket, wait)
                 .wait_for_state(name, state, Duration::from_secs(timeout_s))
                 .unwrap_or_else(|e| fail(e));
             println!("{}", status.render());

@@ -2,28 +2,72 @@
 //! `shutdown` request arrives.
 //!
 //! ```text
-//! chronosd <socket-path>
+//! chronosd <socket-path> [--state-dir <dir>] [--checkpoint-every-s <n>]
+//!          [--workers <n>] [--resume-threads <n>]
 //! ```
+//!
+//! With `--state-dir`, the daemon is crash-durable: it resumes every job
+//! recorded in the directory's manifest at boot (quarantining corrupt
+//! files rather than dying), snapshots all job state every
+//! `--checkpoint-every-s` seconds (and on the `sync` command and clean
+//! shutdown), and a SIGKILL'd daemon rebooted from the same directory
+//! finishes its jobs with byte-identical reports. `--workers` sizes the
+//! fair-slicing worker pool (default `cores - 1`); `--resume-threads`
+//! overrides the per-fleet thread count of restored jobs (results are
+//! thread-invariant by the engine's contract).
 //!
 //! Structured logs go to stderr; set `CHRONOSD_LOG` to
 //! `error|warn|info|debug` to choose the level (default `info`). The
 //! metric registry is scraped with `chronosctl <socket> metrics`.
 
-use chronosd::Daemon;
+use std::time::Duration;
+
+use chronosd::{Daemon, DaemonConfig, DaemonObs};
+
+fn usage() -> ! {
+    eprintln!("usage: chronosd <socket-path> [--state-dir <dir>] [--checkpoint-every-s <n>]");
+    eprintln!("                [--workers <n>] [--resume-threads <n>]");
+    eprintln!("serves the job-control protocol on a Unix-domain socket;");
+    eprintln!("--state-dir enables crash durability (periodic snapshots + resume-on-boot);");
+    eprintln!("logs to stderr at the CHRONOSD_LOG level (error|warn|info|debug);");
+    eprintln!("see docs/OPERATIONS.md for the protocol and chronosctl for a client");
+    std::process::exit(2);
+}
+
+fn numeric(flag: &str, value: Option<String>) -> u64 {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("chronosd: {flag} needs a non-negative integer value");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let path = match (args.next(), args.next()) {
-        (Some(path), None) if path != "--help" && path != "-h" => path,
-        _ => {
-            eprintln!("usage: chronosd <socket-path>");
-            eprintln!("serves the job-control protocol on a Unix-domain socket;");
-            eprintln!("logs to stderr at the CHRONOSD_LOG level (error|warn|info|debug);");
-            eprintln!("see docs/OPERATIONS.md for the protocol and chronosctl for a client");
-            std::process::exit(2);
-        }
+    let Some(path) = args.next().filter(|p| p != "--help" && p != "-h") else {
+        usage()
     };
-    let daemon = match Daemon::bind(&path) {
+    let mut config = DaemonConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--state-dir" => {
+                config.state_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--checkpoint-every-s" => {
+                config.checkpoint_every = Some(Duration::from_secs(
+                    numeric("--checkpoint-every-s", args.next()).max(1),
+                ));
+            }
+            "--workers" => {
+                config.workers = Some(numeric("--workers", args.next()).max(1) as usize);
+            }
+            "--resume-threads" => {
+                config.resume_threads =
+                    Some(numeric("--resume-threads", args.next()).max(1) as usize);
+            }
+            _ => usage(),
+        }
+    }
+    let daemon = match Daemon::bind_with_config(&path, DaemonObs::from_env(), config) {
         Ok(daemon) => daemon,
         Err(e) => {
             eprintln!("chronosd: cannot bind {path}: {e}");

@@ -45,15 +45,102 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Say precisely why a connect failed: a daemon that was never started
+/// (or already removed its socket) reads differently from one that is
+/// mid-boot or crashed without cleanup.
+fn classify_connect(path: &Path, e: &std::io::Error) -> String {
+    match e.kind() {
+        std::io::ErrorKind::NotFound => format!(
+            "socket absent at {} (daemon not started, or it exited cleanly)",
+            path.display()
+        ),
+        std::io::ErrorKind::ConnectionRefused => format!(
+            "connection refused at {} (socket file exists but no daemon is \
+             accepting — crashed without cleanup, or still booting)",
+            path.display()
+        ),
+        _ => format!("cannot connect to {}: {e}", path.display()),
+    }
+}
+
 impl Client {
-    /// Connect to a daemon socket.
+    /// Connect to a daemon socket. Connect failures are classified:
+    /// "socket absent" (no file) vs "connection refused" (stale file, no
+    /// listener) read differently to an operator racing daemon boot.
     pub fn connect(path: impl AsRef<Path>) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(path)?;
+        let path = path.as_ref();
+        let stream = UnixStream::connect(path)
+            .map_err(|e| ClientError::Daemon(classify_connect(path, &e)))?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// [`Client::connect`] with bounded exponential backoff so scripts
+    /// can race daemon boot: retries every transient connect failure
+    /// (absent socket, refused connection) until `wait` elapses, with
+    /// delays doubling 25 ms → 800 ms plus a small deterministic-ish
+    /// jitter so a stampede of waiting clients doesn't thundering-herd
+    /// the listener. The final error keeps the classified message.
+    pub fn connect_with_retry(
+        path: impl AsRef<Path>,
+        wait: Duration,
+    ) -> Result<Client, ClientError> {
+        let path = path.as_ref();
+        let deadline = Instant::now() + wait;
+        let mut delay = Duration::from_millis(25);
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => {
+                    let writer = stream.try_clone()?;
+                    return Ok(Client {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Daemon(format!(
+                            "{} (gave up after {:.1}s)",
+                            classify_connect(path, &e),
+                            wait.as_secs_f64()
+                        )));
+                    }
+                    // Sub-millisecond wall-clock bits as jitter: enough to
+                    // decorrelate concurrent waiters, no RNG dependency.
+                    let jitter = Duration::from_micros(
+                        (std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.subsec_micros())
+                            .unwrap_or(0)
+                            % 1_000) as u64,
+                    );
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    std::thread::sleep((delay + jitter).min(remaining));
+                    delay = (delay * 2).min(Duration::from_millis(800));
+                }
+            }
+        }
+    }
+
+    /// `ping` the daemon and verify it speaks our protocol version.
+    /// Returns the ping payload; a daemon from a different protocol
+    /// generation produces a "protocol version mismatch" error rather
+    /// than a confusing failure on some later command.
+    pub fn handshake(&mut self) -> Result<Json, ClientError> {
+        let ping = self.request("ping", vec![])?;
+        match ping.get("protocol").and_then(Json::as_u64) {
+            Some(version) if version == crate::PROTOCOL_VERSION => Ok(ping),
+            Some(version) => Err(ClientError::Protocol(format!(
+                "protocol version mismatch: daemon speaks v{version}, this client speaks v{}",
+                crate::PROTOCOL_VERSION
+            ))),
+            None => Err(ClientError::Protocol(
+                "daemon ping carries no protocol version".into(),
+            )),
+        }
     }
 
     /// Send one request line and read one raw response line (already

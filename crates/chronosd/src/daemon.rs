@@ -13,6 +13,7 @@
 //! module used to swallow silently are now logged through the structured
 //! logger (level from `CHRONOSD_LOG`).
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -20,10 +21,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable};
+use fleet::engine::Fleet;
+
+use crate::jobs::{default_workers, Job, JobSnapshot, JobSpec, JobState, JobTable, Params};
 use crate::json::Json;
 use crate::metrics::DaemonObs;
 use crate::render::{progress_json, report_json, sweep_json};
+use crate::state::{self, ManifestEntry, StateDir};
 
 /// Protocol version reported by `ping` (bump on breaking wire changes).
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -35,7 +39,7 @@ const PARK_TIMEOUT: Duration = Duration::from_secs(120);
 /// Commands the daemon understands; anything else is dispatched to the
 /// error arm and counted under `chronosd_commands_total{cmd="unknown"}`
 /// so client typos cannot grow the label set.
-const COMMANDS: [&str; 12] = [
+const COMMANDS: [&str; 13] = [
     "ping",
     "submit",
     "jobs",
@@ -46,9 +50,29 @@ const COMMANDS: [&str; 12] = [
     "resume",
     "unpause",
     "stop",
+    "sync",
     "metrics",
     "shutdown",
 ];
+
+/// Boot-time configuration beyond the socket path: the worker-pool size
+/// and the durability layer.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonConfig {
+    /// Durability root (`--state-dir`); `None` runs the daemon purely in
+    /// memory, exactly as before this layer existed.
+    pub state_dir: Option<PathBuf>,
+    /// Interval between automatic state snapshots (`--checkpoint-every-s`).
+    /// `None` with a state dir means snapshots happen only on `sync` and
+    /// on clean shutdown.
+    pub checkpoint_every: Option<Duration>,
+    /// Worker-pool size (`--workers`); default `cores - 1`, min 1.
+    pub workers: Option<usize>,
+    /// Override the thread count of every job restored from the state
+    /// dir (`--resume-threads`) — byte-identical results regardless, per
+    /// the engine's thread-invariance contract.
+    pub resume_threads: Option<usize>,
+}
 
 /// The daemon: a bound socket plus the job table it serves.
 #[derive(Debug)]
@@ -59,6 +83,8 @@ pub struct Daemon {
     shutdown: Arc<AtomicBool>,
     obs: Arc<DaemonObs>,
     started: Instant,
+    state: Option<StateDir>,
+    checkpoint_every: Option<Duration>,
 }
 
 /// Everything a connection handler needs, bundled so handler threads
@@ -69,6 +95,7 @@ struct ServerCtx {
     obs: Arc<DaemonObs>,
     started: Instant,
     path: PathBuf,
+    state: Option<StateDir>,
 }
 
 impl Daemon {
@@ -83,6 +110,18 @@ impl Daemon {
     /// [`Daemon::bind`] with explicit observability state (tests and
     /// embedders can pass a quiet or captured logger).
     pub fn bind_with(path: impl AsRef<Path>, obs: DaemonObs) -> std::io::Result<Daemon> {
+        Daemon::bind_with_config(path, obs, DaemonConfig::default())
+    }
+
+    /// The fully explicit constructor: bind the socket, build the worker
+    /// pool, and — when `config.state_dir` is set — open the durability
+    /// layer and resume every job recorded in its manifest (corrupt
+    /// files are quarantined, never fatal).
+    pub fn bind_with_config(
+        path: impl AsRef<Path>,
+        obs: DaemonObs,
+        config: DaemonConfig,
+    ) -> std::io::Result<Daemon> {
         let path = path.as_ref().to_path_buf();
         // A leftover socket file makes bind fail with AddrInUse even when
         // nothing is listening; remove it and let bind decide.
@@ -94,13 +133,27 @@ impl Daemon {
             "listening",
             &[("socket", &path.display())],
         );
+        let table = Arc::new(JobTable::with_config(
+            config.workers.unwrap_or_else(default_workers),
+            Some(Arc::clone(&obs)),
+        ));
+        let state = match &config.state_dir {
+            Some(root) => {
+                let dir = StateDir::open(root)?;
+                boot_from_state(&table, &dir, &obs, config.resume_threads);
+                Some(dir)
+            }
+            None => None,
+        };
         Ok(Daemon {
             listener,
             path,
-            table: Arc::new(JobTable::with_observability(Arc::clone(&obs))),
+            table,
             shutdown: Arc::new(AtomicBool::new(false)),
             obs,
             started: Instant::now(),
+            state,
+            checkpoint_every: config.checkpoint_every,
         })
     }
 
@@ -123,7 +176,10 @@ impl Daemon {
     /// Serve until a `shutdown` request arrives. Each connection gets its
     /// own thread; the accept loop re-checks the shutdown flag after
     /// every accepted connection (the `shutdown` handler's own connection
-    /// is what unblocks the final accept).
+    /// is what unblocks the final accept). With a state dir, a ticker
+    /// thread writes periodic snapshots, and a final snapshot lands on
+    /// shutdown — with every daemon-stopped job recorded in its
+    /// *pre-shutdown* state, so the next boot resumes it automatically.
     pub fn serve(self) -> std::io::Result<()> {
         let ctx = Arc::new(ServerCtx {
             table: Arc::clone(&self.table),
@@ -131,7 +187,29 @@ impl Daemon {
             obs: Arc::clone(&self.obs),
             started: self.started,
             path: self.path.clone(),
+            state: self.state.clone(),
         });
+        let ticker = match (&self.state, self.checkpoint_every) {
+            (Some(dir), Some(every)) => {
+                let dir = dir.clone();
+                let table = Arc::clone(&self.table);
+                let obs = Arc::clone(&self.obs);
+                let shutdown = Arc::clone(&self.shutdown);
+                Some(std::thread::spawn(move || {
+                    let mut last = Instant::now();
+                    // 100 ms polls so a shutdown never waits out a long
+                    // checkpoint interval.
+                    while !shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(100));
+                        if last.elapsed() >= every {
+                            write_snapshot(&table, &dir, &obs, &BTreeMap::new());
+                            last = Instant::now();
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
         let mut handlers = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -147,10 +225,26 @@ impl Daemon {
                 break;
             }
         }
+        if let Some(ticker) = ticker {
+            let _ = ticker.join();
+        }
+        // Record each job's pre-shutdown state *before* the pool drain
+        // turns running jobs into stopped ones: the final snapshot writes
+        // these states, so jobs the daemon itself interrupted reboot as
+        // running/paused, while operator-stopped jobs stay stopped.
+        let resume_states: BTreeMap<String, JobState> = self
+            .table
+            .list()
+            .iter()
+            .map(|job| (job.name.clone(), job.snapshot().state))
+            .collect();
         // Stop jobs first: that turns every job terminal, which ends any
         // in-flight `watch` stream, so handler threads (which poll the
         // shutdown flag between reads) can drain and exit.
         self.table.stop_all_and_join();
+        if let Some(dir) = &self.state {
+            write_snapshot(&self.table, dir, &self.obs, &resume_states);
+        }
         for handler in handlers {
             if handler.join().is_err() {
                 self.obs
@@ -161,6 +255,186 @@ impl Daemon {
         let _ = std::fs::remove_file(&self.path);
         self.obs.logger.info("chronosd::daemon", "shut down", &[]);
         Ok(())
+    }
+}
+
+/// Write one state snapshot, logging (never propagating) failures.
+fn write_snapshot(
+    table: &JobTable,
+    dir: &StateDir,
+    obs: &DaemonObs,
+    overrides: &BTreeMap<String, JobState>,
+) -> bool {
+    match state::snapshot(table, dir, overrides) {
+        Ok(jobs) => {
+            obs.checkpoints_written.inc();
+            obs.logger.debug(
+                "chronosd::daemon",
+                "state snapshot written",
+                &[("jobs", &jobs)],
+            );
+            true
+        }
+        Err(io) => {
+            obs.logger.error(
+                "chronosd::daemon",
+                "state snapshot failed",
+                &[("error", &io)],
+            );
+            false
+        }
+    }
+}
+
+/// Resume every job recorded in the state-dir manifest. Corruption at
+/// any layer — the manifest itself, a job file's checksum, the engine's
+/// structural revalidation — quarantines the offending file and adopts
+/// the job as `failed` with the decode error; nothing here aborts boot.
+fn boot_from_state(
+    table: &JobTable,
+    dir: &StateDir,
+    obs: &DaemonObs,
+    resume_threads: Option<usize>,
+) {
+    let entries = match dir.read_manifest() {
+        Ok(None) => return, // first boot: nothing to resume
+        Ok(Some(Ok(entries))) => entries,
+        Ok(Some(Err(decode))) => {
+            obs.quarantines.inc();
+            let quarantined = dir.quarantine("manifest.chrm").is_ok();
+            obs.logger.error(
+                "chronosd::daemon",
+                "manifest corrupt; quarantined, booting empty",
+                &[("error", &decode), ("quarantined", &quarantined)],
+            );
+            return;
+        }
+        Err(io) => {
+            obs.logger.error(
+                "chronosd::daemon",
+                "manifest unreadable; booting empty",
+                &[("error", &io)],
+            );
+            return;
+        }
+    };
+    for entry in entries {
+        let mut params = entry.params;
+        if let Some(threads) = resume_threads {
+            params.threads = threads.max(1);
+        }
+        if let Err(message) = adopt_entry(table, dir, obs, &entry, params) {
+            obs.logger.error(
+                "chronosd::daemon",
+                "job not restored",
+                &[("job", &entry.name), ("error", &message)],
+            );
+        }
+    }
+}
+
+/// Restore one manifest entry into the table.
+fn adopt_entry(
+    table: &JobTable,
+    dir: &StateDir,
+    obs: &DaemonObs,
+    entry: &ManifestEntry,
+    params: Params,
+) -> Result<(), String> {
+    // Quarantine `file` and register the job as failed with `why`.
+    let quarantine = |file: &str, why: String| -> Result<(), String> {
+        obs.quarantines.inc();
+        let moved = dir.quarantine(file).is_ok();
+        obs.logger.warn(
+            "chronosd::daemon",
+            "state file quarantined",
+            &[("job", &entry.name), ("file", &file), ("moved", &moved)],
+        );
+        table
+            .adopt_failed(
+                &entry.name,
+                &entry.kind,
+                entry.spec.clone(),
+                format!("state file quarantined: {why}"),
+            )
+            .map(|_| ())
+    };
+    if entry.state == JobState::Failed {
+        let error = entry
+            .error
+            .clone()
+            .unwrap_or_else(|| "failed before the last shutdown".to_string());
+        return table
+            .adopt_failed(&entry.name, &entry.kind, entry.spec.clone(), error)
+            .map(|_| ());
+    }
+    let Some(file) = &entry.file else {
+        // No simulation bytes: a still-queued job is resubmitted from its
+        // spec; a terminal one has nothing left to serve.
+        if entry.state.is_terminal() {
+            return table
+                .adopt_failed(
+                    &entry.name,
+                    &entry.kind,
+                    entry.spec.clone(),
+                    "no state bytes survived the last shutdown".to_string(),
+                )
+                .map(|_| ());
+        }
+        let spec = JobSpec::from_json(&entry.spec)?;
+        return table.submit(&entry.name, spec).map(|_| ());
+    };
+    let bytes = match dir.read_job_file(file) {
+        Ok(bytes) => bytes,
+        Err(io) => {
+            return table
+                .adopt_failed(
+                    &entry.name,
+                    &entry.kind,
+                    entry.spec.clone(),
+                    format!("state file unreadable: {io}"),
+                )
+                .map(|_| ());
+        }
+    };
+    if bytes.starts_with(&crate::sweep::MAGIC) {
+        match crate::sweep::decode(&bytes) {
+            Ok(cursor) => match table.adopt_sweep(
+                &entry.name,
+                &entry.kind,
+                entry.spec.clone(),
+                params,
+                cursor,
+                entry.state,
+                entry.slices,
+            ) {
+                Ok(_) => {
+                    obs.checkpoints_restored.inc();
+                    Ok(())
+                }
+                // The cursor decoded but a row inside it failed the
+                // engine's revalidation: same quarantine treatment.
+                Err(message) => quarantine(file, message),
+            },
+            Err(decode) => quarantine(file, decode.to_string()),
+        }
+    } else {
+        match Fleet::restore(&bytes) {
+            Ok(fleet) => {
+                table.adopt_fleet(
+                    &entry.name,
+                    &entry.kind,
+                    entry.spec.clone(),
+                    params,
+                    fleet,
+                    entry.state,
+                    entry.slices,
+                )?;
+                obs.checkpoints_restored.inc();
+                Ok(())
+            }
+            Err(decode) => quarantine(file, decode.to_string()),
+        }
     }
 }
 
@@ -200,11 +474,21 @@ fn err(message: impl Into<String>) -> Json {
 }
 
 fn snapshot_fields(job: &Job, snap: &JobSnapshot) -> Vec<(String, Json)> {
+    let rows = snap
+        .sweep_rows
+        .map(|(done, total)| {
+            Json::Obj(vec![
+                ("done".to_string(), Json::usize(done)),
+                ("total".to_string(), Json::usize(total)),
+            ])
+        })
+        .unwrap_or(Json::Null);
     vec![
         ("job".into(), Json::str(job.name.clone())),
         ("kind".into(), Json::str(job.kind)),
         ("state".into(), Json::str(snap.state.as_str())),
         ("slices".into(), Json::u64(snap.slices)),
+        ("rows".into(), rows),
         (
             "progress".into(),
             snap.progress
@@ -332,16 +616,34 @@ fn dispatch(
             Err(response) => response,
         },
         "report" => match require_job(table, request) {
-            Ok(job) => match job.kind {
-                "e16-sweep" => match job.sweep_result() {
-                    Some(result) => ok(vec![("sweep".into(), sweep_json(&result))]),
-                    None => err(format!("sweep job {:?} is not done yet", job.name)),
-                },
-                _ => match job.report(PARK_TIMEOUT) {
-                    Ok(report) => ok(vec![("report".into(), report_json(&report))]),
-                    Err(message) => err(message),
-                },
-            },
+            Ok(job) => {
+                if job.is_sweep() {
+                    // Completed rows are servable while the sweep runs:
+                    // `row` asks for one row's full fleet report.
+                    if let Some(row) = request.get("row").and_then(Json::as_usize) {
+                        match job.sweep_row_report(row) {
+                            Some(report) => ok(vec![
+                                ("row".into(), Json::usize(row)),
+                                ("report".into(), report_json(&report)),
+                            ]),
+                            None => err(format!(
+                                "sweep job {:?} has not completed row {row} yet",
+                                job.name
+                            )),
+                        }
+                    } else {
+                        match job.sweep_result() {
+                            Some(result) => ok(vec![("sweep".into(), sweep_json(&result))]),
+                            None => err(format!("sweep job {:?} is not done yet", job.name)),
+                        }
+                    }
+                } else {
+                    match job.report(PARK_TIMEOUT) {
+                        Ok(report) => ok(vec![("report".into(), report_json(&report))]),
+                        Err(message) => err(message),
+                    }
+                }
+            }
             Err(response) => response,
         },
         "watch" => match require_job(table, request) {
@@ -407,19 +709,32 @@ fn dispatch(
             match (name, path) {
                 (Some(name), Some(path)) => match std::fs::read(path) {
                     Ok(bytes) => {
-                        let spec = JobSpec::Resume {
-                            bytes,
-                            threads: request
-                                .get("threads")
-                                .and_then(Json::as_usize)
-                                .unwrap_or(1)
-                                .max(1),
-                            slice_s: request
-                                .get("slice_s")
-                                .and_then(Json::as_u64)
-                                .unwrap_or(crate::jobs::DEFAULT_SLICE_S)
-                                .max(1),
-                            pause_at_s: request.get("pause_at_s").and_then(Json::as_u64),
+                        let threads = request
+                            .get("threads")
+                            .and_then(Json::as_usize)
+                            .unwrap_or(1)
+                            .max(1);
+                        let slice_s = request
+                            .get("slice_s")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(crate::jobs::DEFAULT_SLICE_S)
+                            .max(1);
+                        // The file's magic says what it is: SWP1 resumes
+                        // a sweep cursor, anything else is tried as CHR1.
+                        let spec = if bytes.starts_with(&crate::sweep::MAGIC) {
+                            JobSpec::ResumeSweep {
+                                bytes,
+                                threads,
+                                slice_s,
+                                pause_at_row: request.get("pause_at_row").and_then(Json::as_usize),
+                            }
+                        } else {
+                            JobSpec::Resume {
+                                bytes,
+                                threads,
+                                slice_s,
+                                pause_at_s: request.get("pause_at_s").and_then(Json::as_u64),
+                            }
                         };
                         match table.submit(name, spec) {
                             Ok(job) => ok(vec![
@@ -448,6 +763,22 @@ fn dispatch(
                 ok(vec![("job".into(), Json::str(job.name.clone()))])
             }
             Err(response) => response,
+        },
+        "sync" => match &ctx.state {
+            Some(dir) => {
+                if write_snapshot(table, dir, &ctx.obs, &BTreeMap::new()) {
+                    ok(vec![
+                        ("jobs".into(), Json::usize(table.list().len())),
+                        (
+                            "state_dir".into(),
+                            Json::str(dir.root().display().to_string()),
+                        ),
+                    ])
+                } else {
+                    err("state snapshot failed (see daemon log)")
+                }
+            }
+            None => err("daemon runs without --state-dir; nothing to sync"),
         },
         "shutdown" => {
             ctx.obs

@@ -1,10 +1,18 @@
-//! Named jobs: persistent fleet runs and pooled sweeps hosted by the
-//! daemon.
+//! Named jobs: persistent fleet runs and checkpointable sweeps hosted by
+//! the daemon, scheduled on a bounded worker pool.
 //!
-//! A *job* owns one simulation and steps it on its own worker thread in
-//! `run_until` **slices** (default 60 simulated seconds). Between slices
-//! the [`fleet::Fleet`] is *parked* in a shared slot, which is the whole
-//! concurrency story:
+//! A *job* owns one simulation and is stepped in `run_until` **slices**
+//! (default 60 simulated seconds) by a shared pool of N workers (default
+//! `cores - 1`). Scheduling is cooperative round-robin: a worker pops the
+//! next runnable job from the queue, steps exactly one slice, re-enqueues
+//! the job at the back, and takes the next one — so a 10⁶-client fleet
+//! cannot starve small jobs, and no job ever owns a thread. Every step is
+//! wrapped in `catch_unwind`: a panicking job transitions to
+//! [`JobState::Failed`] with the panic message in its status while the
+//! pool keeps serving every other job.
+//!
+//! Between slices the [`fleet::Fleet`] is *parked* in a shared slot,
+//! which is the whole concurrency story:
 //!
 //! * the worker takes the fleet out, steps one slice without holding any
 //!   lock, publishes a fresh [`FleetProgress`] snapshot, and puts the
@@ -16,17 +24,30 @@
 //!   invisible to the simulation (`piecewise_runs_equal_one_continuous_run`,
 //!   `resume_equals_uninterrupted_run`).
 //!
+//! Sweep jobs (`e16-sweep`) are no longer monolithic batch units: the
+//! worker steps the current row's fleet in slices like any fleet job and,
+//! when a row reaches its horizon, records the row's final checkpoint and
+//! report and immediately builds (and parks) the next row's fleet. The
+//! slot therefore always holds the *current row*, so a sweep is
+//! observable, pausable at row boundaries (`pause_at_row`), and
+//! checkpointable — the per-row cursor persists as a `SWP1` sidecar (see
+//! [`crate::sweep`]).
+//!
 //! Determinism follows: a job's final report depends only on its
-//! [`fleet::FleetConfig`] — not on slice length, worker threads, how often
+//! [`fleet::FleetConfig`] — not on slice length, worker count, how often
 //! an operator polled, or whether the run was checkpointed into a
 //! different process halfway through.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::Duration;
 
-use chronos_pitfalls::experiments::{e16_config, e17_config, run_e16, E16Result};
+use chronos_pitfalls::experiments::{
+    e16_config, e16_result_from_rows, e17_config, E16Result, E16Row,
+};
+use chronos_pitfalls::montecarlo::SweepStats;
 use fleet::engine::{Fleet, FleetProgress, FleetReport};
 use fleet::metrics::FleetMetrics;
 use netsim::time::{SimDuration, SimTime};
@@ -37,9 +58,20 @@ use crate::metrics::{DaemonObs, JobMetrics};
 /// Default slice length in simulated seconds between observation points.
 pub const DEFAULT_SLICE_S: u64 = 60;
 
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+/// Panic isolation is the pool's job (`catch_unwind` per slice); a
+/// poisoned lock must degrade to "last write wins", never to a daemon
+/// panic on an observer thread.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// What a job runs. Parsed from the `spec` object of a `submit` request
-/// (see `docs/OPERATIONS.md` for the wire format), except for
-/// [`JobSpec::Resume`], which the daemon builds from a checkpoint file.
+/// (see `docs/OPERATIONS.md` for the wire format); the `Resume*` variants
+/// are also built by the daemon from checkpoint files and the state-dir
+/// manifest.
 #[derive(Debug, Clone)]
 pub enum JobSpec {
     /// One E16 fleet: the mixed 2:1:1 population across `resolvers`
@@ -81,9 +113,8 @@ pub enum JobSpec {
         pause_at_s: Option<u64>,
     },
     /// The full E16 partial-poisoning sweep (`k = 0..=resolvers`), run
-    /// through the pooled Monte-Carlo dispatcher. Sweeps are batch
-    /// units: they cannot be paused or checkpointed, only observed and
-    /// awaited.
+    /// row by row so it can be observed, paused at row boundaries, and
+    /// checkpointed (`SWP1` cursor) like any other job.
     E16Sweep {
         /// Deterministic seed.
         seed: u64,
@@ -91,10 +122,16 @@ pub enum JobSpec {
         clients: usize,
         /// Independent resolver caches.
         resolvers: usize,
-        /// Threads for the sweep dispatcher.
+        /// Worker threads for each row's fleet.
         threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optionally park in `paused` state when about to *start* this
+        /// row (0-based; row k poisons k resolvers). A row-boundary
+        /// checkpoint anchor.
+        pause_at_row: Option<usize>,
     },
-    /// Resume a fleet from checkpoint bytes (any fleet kind).
+    /// Resume a fleet from `CHR1` checkpoint bytes (any fleet kind).
     Resume {
         /// Serialized checkpoint (see `fleet::checkpoint`).
         bytes: Vec<u8>,
@@ -104,6 +141,25 @@ pub enum JobSpec {
         slice_s: u64,
         /// Optional pause point (simulated seconds).
         pause_at_s: Option<u64>,
+    },
+    /// Resume a sweep from `SWP1` cursor bytes (see [`crate::sweep`]).
+    ResumeSweep {
+        /// Serialized sweep cursor.
+        bytes: Vec<u8>,
+        /// Worker threads for each remaining row's fleet.
+        threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optional row-boundary pause point (0-based).
+        pause_at_row: Option<usize>,
+    },
+    /// A supervision probe: the job panics on its first slice. Operators
+    /// (and CI) use it to verify the pool's panic isolation — the probe
+    /// must land in `failed` with this message while every other job
+    /// keeps stepping, and `chronosd_job_panics_total` must tick.
+    PanicProbe {
+        /// The panic payload, echoed into `status.error`.
+        message: String,
     },
 }
 
@@ -134,6 +190,26 @@ fn field_f64(spec: &Json, key: &str, default: f64) -> Result<f64, String> {
     }
 }
 
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("bytes_hex: odd length".to_string());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| "bytes_hex: not hex".to_string())
+        })
+        .collect()
+}
+
 impl JobSpec {
     /// Parse a `submit` spec object. Unknown kinds and malformed fields
     /// are rejected with a message naming the offending field.
@@ -149,6 +225,13 @@ impl JobSpec {
             Some(v) => Some(
                 v.as_u64()
                     .ok_or_else(|| "pause_at_s: expected a non-negative integer".to_string())?,
+            ),
+        };
+        let pause_at_row = match spec.get("pause_at_row") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_usize()
+                    .ok_or_else(|| "pause_at_row: expected a non-negative integer".to_string())?,
             ),
         };
         match kind {
@@ -194,20 +277,209 @@ impl JobSpec {
                 clients: field_usize(spec, "clients", 1_000)?.max(1),
                 resolvers: field_usize(spec, "resolvers", 4)?.max(1),
                 threads,
+                slice_s,
+                pause_at_row,
+            }),
+            "resume" => Ok(JobSpec::Resume {
+                bytes: Self::bytes_hex_field(spec)?,
+                threads,
+                slice_s,
+                pause_at_s,
+            }),
+            "resume-sweep" => Ok(JobSpec::ResumeSweep {
+                bytes: Self::bytes_hex_field(spec)?,
+                threads,
+                slice_s,
+                pause_at_row,
+            }),
+            "panic-probe" => Ok(JobSpec::PanicProbe {
+                message: spec
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("panic probe")
+                    .to_string(),
             }),
             other => Err(format!(
-                "spec.kind: unknown kind {other:?} (expected e16-fleet, e17-fleet or e16-sweep)"
+                "spec.kind: unknown kind {other:?} (expected e16-fleet, e17-fleet, \
+                 e16-sweep or panic-probe)"
             )),
         }
     }
 
+    fn bytes_hex_field(spec: &Json) -> Result<Vec<u8>, String> {
+        let hex = spec
+            .get("bytes_hex")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "bytes_hex: expected a hex string".to_string())?;
+        hex_decode(hex)
+    }
+
+    /// Render the spec back to the wire/manifest object [`JobSpec::from_json`]
+    /// accepts (round-trips exactly; checkpoint bytes travel as hex).
+    /// This is what the state-dir manifest stores for jobs that have not
+    /// built their simulation yet, so a rebooted daemon can resubmit them.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![("kind".into(), Json::str(self.kind()))];
+        fn num(fields: &mut Vec<(String, Json)>, key: &str, value: u64) {
+            fields.push((key.into(), Json::u64(value)));
+        }
+        match self {
+            JobSpec::E16Fleet {
+                seed,
+                clients,
+                resolvers,
+                poisoned_resolvers,
+                threads,
+                slice_s,
+                pause_at_s,
+            } => {
+                num(&mut fields, "seed", *seed);
+                num(&mut fields, "clients", *clients as u64);
+                num(&mut fields, "resolvers", *resolvers as u64);
+                num(
+                    &mut fields,
+                    "poisoned_resolvers",
+                    *poisoned_resolvers as u64,
+                );
+                num(&mut fields, "threads", *threads as u64);
+                num(&mut fields, "slice_s", *slice_s);
+                if let Some(p) = pause_at_s {
+                    num(&mut fields, "pause_at_s", *p);
+                }
+            }
+            JobSpec::E17Fleet {
+                seed,
+                clients,
+                resolvers,
+                loss,
+                outage_coverage,
+                threads,
+                slice_s,
+                pause_at_s,
+            } => {
+                num(&mut fields, "seed", *seed);
+                num(&mut fields, "clients", *clients as u64);
+                num(&mut fields, "resolvers", *resolvers as u64);
+                fields.push(("loss".into(), Json::f64(*loss)));
+                num(&mut fields, "outage_coverage", *outage_coverage as u64);
+                num(&mut fields, "threads", *threads as u64);
+                num(&mut fields, "slice_s", *slice_s);
+                if let Some(p) = pause_at_s {
+                    num(&mut fields, "pause_at_s", *p);
+                }
+            }
+            JobSpec::E16Sweep {
+                seed,
+                clients,
+                resolvers,
+                threads,
+                slice_s,
+                pause_at_row,
+            } => {
+                num(&mut fields, "seed", *seed);
+                num(&mut fields, "clients", *clients as u64);
+                num(&mut fields, "resolvers", *resolvers as u64);
+                num(&mut fields, "threads", *threads as u64);
+                num(&mut fields, "slice_s", *slice_s);
+                if let Some(p) = pause_at_row {
+                    num(&mut fields, "pause_at_row", *p as u64);
+                }
+            }
+            JobSpec::Resume {
+                bytes,
+                threads,
+                slice_s,
+                pause_at_s,
+            } => {
+                fields.push(("bytes_hex".into(), Json::str(hex_encode(bytes))));
+                num(&mut fields, "threads", *threads as u64);
+                num(&mut fields, "slice_s", *slice_s);
+                if let Some(p) = pause_at_s {
+                    num(&mut fields, "pause_at_s", *p);
+                }
+            }
+            JobSpec::ResumeSweep {
+                bytes,
+                threads,
+                slice_s,
+                pause_at_row,
+            } => {
+                fields.push(("bytes_hex".into(), Json::str(hex_encode(bytes))));
+                num(&mut fields, "threads", *threads as u64);
+                num(&mut fields, "slice_s", *slice_s);
+                if let Some(p) = pause_at_row {
+                    num(&mut fields, "pause_at_row", *p as u64);
+                }
+            }
+            JobSpec::PanicProbe { message } => {
+                fields.push(("message".into(), Json::str(message.clone())));
+            }
+        }
+        Json::Obj(fields)
+    }
+
     /// The job-kind label reported in `jobs` / `status` responses.
+    /// A resumed sweep reports as `e16-sweep` — it *is* one, and the
+    /// daemon's `report` dispatch keys off this label.
     pub fn kind(&self) -> &'static str {
         match self {
             JobSpec::E16Fleet { .. } => "e16-fleet",
             JobSpec::E17Fleet { .. } => "e17-fleet",
             JobSpec::E16Sweep { .. } => "e16-sweep",
             JobSpec::Resume { .. } => "resume",
+            JobSpec::ResumeSweep { .. } => "resume-sweep",
+            JobSpec::PanicProbe { .. } => "panic-probe",
+        }
+    }
+
+    fn params(&self) -> Params {
+        match self {
+            JobSpec::E16Fleet {
+                threads,
+                slice_s,
+                pause_at_s,
+                ..
+            }
+            | JobSpec::E17Fleet {
+                threads,
+                slice_s,
+                pause_at_s,
+                ..
+            }
+            | JobSpec::Resume {
+                threads,
+                slice_s,
+                pause_at_s,
+                ..
+            } => Params {
+                threads: *threads,
+                slice_s: *slice_s,
+                pause_at_s: *pause_at_s,
+                pause_at_row: None,
+            },
+            JobSpec::E16Sweep {
+                threads,
+                slice_s,
+                pause_at_row,
+                ..
+            }
+            | JobSpec::ResumeSweep {
+                threads,
+                slice_s,
+                pause_at_row,
+                ..
+            } => Params {
+                threads: *threads,
+                slice_s: *slice_s,
+                pause_at_s: None,
+                pause_at_row: *pause_at_row,
+            },
+            JobSpec::PanicProbe { .. } => Params {
+                threads: 1,
+                slice_s: DEFAULT_SLICE_S,
+                pause_at_s: None,
+                pause_at_row: None,
+            },
         }
     }
 }
@@ -215,18 +487,19 @@ impl JobSpec {
 /// Job lifecycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
-    /// Accepted; the worker thread has not yet built the simulation.
+    /// Accepted; no worker has built the simulation yet.
     Queued,
-    /// Actively stepping slices.
+    /// In the run queue (or on a worker) actively stepping slices.
     Running,
-    /// Parked at the requested `pause_at_s` boundary; waits for
-    /// `unpause` (or `stop`). The fleet is observable and checkpointable.
+    /// Parked at the requested `pause_at_s` / `pause_at_row` boundary;
+    /// not in the run queue until `unpause` (or `stop`). The simulation
+    /// is observable and checkpointable.
     Paused,
     /// Reached the horizon; final state retained for `report`/`checkpoint`.
     Done,
     /// Stopped by an operator at a slice boundary; state retained.
     Stopped,
-    /// The worker failed (e.g. a corrupt checkpoint); see the error.
+    /// The worker failed (corrupt checkpoint, panic, ...); see the error.
     Failed,
 }
 
@@ -243,7 +516,20 @@ impl JobState {
         }
     }
 
-    /// Whether the worker has exited.
+    /// Parse a wire label back into a state (manifest loading).
+    pub fn parse(label: &str) -> Option<JobState> {
+        Some(match label {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "paused" => JobState::Paused,
+            "done" => JobState::Done,
+            "stopped" => JobState::Stopped,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will never be stepped again.
     pub fn is_terminal(self) -> bool {
         matches!(self, JobState::Done | JobState::Stopped | JobState::Failed)
     }
@@ -254,13 +540,85 @@ impl JobState {
 pub struct JobSnapshot {
     /// Lifecycle state.
     pub state: JobState,
-    /// Latest end-of-slice progress (fleet jobs; `None` before the first
-    /// slice and for sweep jobs).
+    /// Latest end-of-slice progress of the live fleet — for sweep jobs,
+    /// the *current row's* fleet (`None` before the first slice).
     pub progress: Option<FleetProgress>,
     /// Slices completed so far (monotonic; watch cursors key off it).
     pub slices: u64,
+    /// Sweep cursor: `(rows_done, rows_total)` for sweep jobs.
+    pub sweep_rows: Option<(usize, usize)>,
     /// Failure message when `state == Failed`.
     pub error: Option<String>,
+}
+
+/// The persistable scheduling parameters of a job: what the state-dir
+/// manifest records alongside the checkpoint file so a rebooted daemon
+/// steps the job the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Worker threads for intra-fleet sharded stepping.
+    pub threads: usize,
+    /// Slice length in simulated seconds.
+    pub slice_s: u64,
+    /// Remaining pause anchor (simulated seconds), if any.
+    pub pause_at_s: Option<u64>,
+    /// Remaining row-boundary pause anchor (sweeps), if any.
+    pub pause_at_row: Option<usize>,
+}
+
+/// Sweep bookkeeping: the per-row cursor that `SWP1` persists. The
+/// worker mutates it only while the slot is empty (between `take_parked`
+/// and `park`), so any observer holding the slot with a parked fleet sees
+/// a cursor consistent with that fleet.
+#[derive(Debug, Default)]
+struct SweepBook {
+    /// Deterministic seed (row configs derive from it).
+    seed: u64,
+    /// Fleet size per row.
+    clients: usize,
+    /// Resolver count (grid is `k = 0..=resolvers`).
+    resolvers: usize,
+    /// Rows in the grid (`resolvers + 1`); 0 until the sweep builds.
+    total: usize,
+    /// Index of the current row (== completed row count).
+    row: usize,
+    /// Final `CHR1` checkpoint of each completed row, in row order.
+    /// Restoring one and calling `report()` reproduces the row's report
+    /// byte-identically — this is how a rebooted daemon serves sweep
+    /// reports without recomputing rows.
+    done_blobs: Vec<Vec<u8>>,
+    /// The completed rows' reports (derived from `done_blobs`).
+    done_reports: Vec<FleetReport>,
+}
+
+/// What the worker knows about a job between steps. Guarded by a mutex
+/// that is only ever locked by the worker currently holding the job (the
+/// queue hands a job to one worker at a time) or, for paused jobs, by
+/// `request_unpause`/adoption — so it is never contended.
+#[derive(Debug)]
+enum WorkerState {
+    /// Not yet built; the first step builds the simulation.
+    Pending(JobSpec),
+    /// A fleet job stepping toward this horizon.
+    FleetRun {
+        /// The configured end of simulated time.
+        horizon: SimTime,
+    },
+    /// A sweep stepping its current row (cursor + identity in the
+    /// [`SweepBook`]).
+    SweepRun,
+    /// Terminal: nothing left to step.
+    Finished,
+}
+
+/// What one scheduling step did, and therefore what the worker does next.
+enum StepOutcome {
+    /// Made progress; re-enqueue at the back of the run queue.
+    Again,
+    /// Parked in `paused`; `unpause` re-enqueues it.
+    Idle,
+    /// Terminal; never enqueued again.
+    Terminal,
 }
 
 /// One hosted job: identity, live status, and the parked simulation.
@@ -269,12 +627,18 @@ pub struct Job {
     pub name: String,
     /// Job-kind label (`"e16-fleet"`, `"e16-sweep"`, `"resume"`, ...).
     pub kind: &'static str,
+    me: Weak<Job>,
+    sched: Weak<Scheduler>,
     status: Mutex<JobSnapshot>,
     status_cv: Condvar,
     slot: Mutex<Option<Fleet>>,
     slot_cv: Condvar,
     stop: AtomicBool,
     unpause: AtomicBool,
+    worker: Mutex<WorkerState>,
+    params: Mutex<Params>,
+    book: Mutex<SweepBook>,
+    spec_json: Json,
     sweep_result: Mutex<Option<E16Result>>,
     /// Per-job gauges (`None` when the table runs without observability).
     metrics: Option<JobMetrics>,
@@ -292,20 +656,44 @@ impl std::fmt::Debug for Job {
     }
 }
 
+/// Map a wire/manifest kind label onto the static label the job carries
+/// (unknown labels — a manifest from a future version — collapse to
+/// `"unknown"` rather than being rejected).
+fn static_kind(label: &str) -> &'static str {
+    match label {
+        "e16-fleet" => "e16-fleet",
+        "e17-fleet" => "e17-fleet",
+        "e16-sweep" => "e16-sweep",
+        "resume" => "resume",
+        "resume-sweep" => "resume-sweep",
+        "panic-probe" => "panic-probe",
+        _ => "unknown",
+    }
+}
+
 impl Job {
+    #[allow(clippy::too_many_arguments)]
     fn new(
+        me: &Weak<Job>,
+        sched: Weak<Scheduler>,
         name: String,
         kind: &'static str,
+        spec_json: Json,
+        params: Params,
+        worker: WorkerState,
         metrics: Option<JobMetrics>,
         logger: Option<Arc<obs::Logger>>,
     ) -> Job {
         Job {
             name,
             kind,
+            me: me.clone(),
+            sched,
             status: Mutex::new(JobSnapshot {
                 state: JobState::Queued,
                 progress: None,
                 slices: 0,
+                sweep_rows: None,
                 error: None,
             }),
             status_cv: Condvar::new(),
@@ -313,6 +701,10 @@ impl Job {
             slot_cv: Condvar::new(),
             stop: AtomicBool::new(false),
             unpause: AtomicBool::new(false),
+            worker: Mutex::new(worker),
+            params: Mutex::new(params),
+            book: Mutex::new(SweepBook::default()),
+            spec_json,
             sweep_result: Mutex::new(None),
             metrics,
             logger,
@@ -327,20 +719,67 @@ impl Job {
 
     /// The current status snapshot.
     pub fn snapshot(&self) -> JobSnapshot {
-        self.status.lock().expect("status lock").clone()
+        lock(&self.status).clone()
     }
 
-    /// Ask the worker to stop at the next slice boundary (idempotent).
+    /// The job's scheduling parameters (persisted in the manifest).
+    pub fn params(&self) -> Params {
+        *lock(&self.params)
+    }
+
+    /// The original submit spec, as manifest-round-trippable JSON.
+    pub fn spec_json(&self) -> Json {
+        self.spec_json.clone()
+    }
+
+    /// Ask the pool to stop the job at the next slice boundary
+    /// (idempotent). A paused job has no worker, so it transitions to
+    /// `stopped` right here.
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        let mut status = lock(&self.status);
+        let was_paused = status.state == JobState::Paused;
+        if was_paused {
+            status.state = JobState::Stopped;
+        }
+        drop(status);
+        if was_paused {
+            // No worker owns a paused job (it is not in the queue), so
+            // retiring its worker state here cannot race a step.
+            *lock(&self.worker) = WorkerState::Finished;
+            self.log_state(JobState::Stopped, None);
+        }
         self.status_cv.notify_all();
         self.slot_cv.notify_all();
     }
 
-    /// Release a [`JobState::Paused`] job back into stepping.
+    /// Release a [`JobState::Paused`] job back into the run queue. On a
+    /// job that has not paused yet, cancels its upcoming pause anchor
+    /// instead (the old fire-and-forget semantics).
     pub fn request_unpause(&self) {
-        self.unpause.store(true, Ordering::SeqCst);
+        let mut status = lock(&self.status);
+        if status.state != JobState::Paused {
+            drop(status);
+            self.unpause.store(true, Ordering::SeqCst);
+            self.status_cv.notify_all();
+            return;
+        }
+        status.state = JobState::Running;
+        drop(status);
+        // Safe for the same reason as in `request_stop`: between the
+        // Paused→Running transition above and the enqueue below, no
+        // worker can own this job.
+        {
+            let mut params = lock(&self.params);
+            params.pause_at_s = None;
+            params.pause_at_row = None;
+        }
+        self.unpause.store(false, Ordering::SeqCst);
+        self.log_state(JobState::Running, None);
         self.status_cv.notify_all();
+        if let (Some(sched), Some(me)) = (self.sched.upgrade(), self.me.upgrade()) {
+            sched.enqueue(me);
+        }
     }
 
     /// Block until the job moves past the `(seen_slices, seen_state)`
@@ -354,7 +793,7 @@ impl Job {
         timeout: Duration,
     ) -> Option<JobSnapshot> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut status = self.status.lock().expect("status lock");
+        let mut status = lock(&self.status);
         loop {
             if status.slices != seen_slices
                 || status.state != seen_state
@@ -366,21 +805,21 @@ impl Job {
             let (guard, _) = self
                 .status_cv
                 .wait_timeout(status, left)
-                .expect("status lock");
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             status = guard;
         }
     }
 
     /// Run `f` against the parked fleet, waiting (bounded by `timeout`)
-    /// for the worker to finish its current slice. Errors for sweep jobs
-    /// (which own no fleet) and failed jobs.
+    /// for the worker to finish its current slice. Errors for jobs that
+    /// hold no simulation state (failed jobs, finished sweeps).
     pub fn with_fleet<R>(
         &self,
         timeout: Duration,
         f: impl FnOnce(&Fleet) -> R,
     ) -> Result<R, String> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut slot = self.slot.lock().expect("slot lock");
+        let mut slot = lock(&self.slot);
         loop {
             if let Some(fleet) = slot.as_ref() {
                 return Ok(f(fleet));
@@ -391,12 +830,17 @@ impl Job {
             let left = deadline
                 .checked_duration_since(std::time::Instant::now())
                 .ok_or_else(|| format!("timed out waiting for job {:?} to park", self.name))?;
-            let (guard, _) = self.slot_cv.wait_timeout(slot, left).expect("slot lock");
+            let (guard, _) = self
+                .slot_cv
+                .wait_timeout(slot, left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             slot = guard;
         }
     }
 
     /// Serialize the parked fleet (always at a `run_until` boundary).
+    /// For sweep jobs this is the *current row's* fleet; the full sweep
+    /// cursor is [`Job::sweep_cursor`].
     pub fn checkpoint(&self, timeout: Duration) -> Result<Vec<u8>, String> {
         let start = std::time::Instant::now();
         let bytes = self.with_fleet(timeout, |fleet| fleet.checkpoint())?;
@@ -414,23 +858,71 @@ impl Job {
         Ok(bytes)
     }
 
-    /// The live (or final) aggregate report of a fleet job.
+    /// The live (or final) aggregate report of a fleet job (for sweeps:
+    /// the current row's fleet).
     pub fn report(&self, timeout: Duration) -> Result<FleetReport, String> {
         self.with_fleet(timeout, |fleet| fleet.report())
     }
 
     /// The stored sweep result (`None` until an `e16-sweep` job is done).
     pub fn sweep_result(&self) -> Option<E16Result> {
-        self.sweep_result.lock().expect("sweep lock").clone()
+        lock(&self.sweep_result).clone()
     }
 
-    fn set_state(&self, state: JobState, error: Option<String>) {
+    /// The report of completed sweep row `row` (rows complete in order,
+    /// so this serves partial results while the sweep is still running).
+    pub fn sweep_row_report(&self, row: usize) -> Option<FleetReport> {
+        lock(&self.book).done_reports.get(row).cloned()
+    }
+
+    /// Serialize the sweep cursor as `SWP1` bytes: every completed row's
+    /// final checkpoint plus the current row's live checkpoint. Errors
+    /// for non-sweep jobs and sweeps that have not built yet.
+    pub fn sweep_cursor(&self, timeout: Duration) -> Result<Vec<u8>, String> {
+        // Complete sweeps hold no current fleet: encode the cursor from
+        // the book alone. Otherwise hold the slot (fleet parked) so the
+        // book cannot move while we pair it with the live checkpoint.
+        {
+            let book = lock(&self.book);
+            if book.total == 0 {
+                return Err(format!("job {:?} has no sweep cursor yet", self.name));
+            }
+            if book.row >= book.total {
+                return Ok(crate::sweep::encode(&crate::sweep::SweepCursor {
+                    seed: book.seed,
+                    clients: book.clients,
+                    resolvers: book.resolvers,
+                    row: book.row,
+                    done: book.done_blobs.clone(),
+                    current: None,
+                }));
+            }
+        }
+        self.with_fleet(timeout, |fleet| {
+            let book = lock(&self.book);
+            crate::sweep::encode(&crate::sweep::SweepCursor {
+                seed: book.seed,
+                clients: book.clients,
+                resolvers: book.resolvers,
+                row: book.row,
+                done: book.done_blobs.clone(),
+                current: Some(fleet.checkpoint()),
+            })
+        })
+    }
+
+    /// Whether this job is a sweep (current or resumed).
+    pub fn is_sweep(&self) -> bool {
+        matches!(self.kind, "e16-sweep" | "resume-sweep")
+    }
+
+    fn log_state(&self, state: JobState, error: Option<&str>) {
         if let Some(logger) = &self.logger {
-            match &error {
+            match error {
                 Some(message) => logger.error(
                     "chronosd::jobs",
                     "job failed",
-                    &[("job", &self.name), ("error", message)],
+                    &[("job", &self.name), ("error", &message)],
                 ),
                 None => logger.info(
                     "chronosd::jobs",
@@ -439,7 +931,11 @@ impl Job {
                 ),
             }
         }
-        let mut status = self.status.lock().expect("status lock");
+    }
+
+    fn set_state(&self, state: JobState, error: Option<String>) {
+        self.log_state(state, error.as_deref());
+        let mut status = lock(&self.status);
         status.state = state;
         if error.is_some() {
             status.error = error;
@@ -456,24 +952,351 @@ impl Job {
             m.sim_per_wall.set(t.sim_per_wall);
             m.events_per_sec.set(t.events_per_sec);
         }
-        let mut status = self.status.lock().expect("status lock");
+        let sweep_rows = {
+            let book = lock(&self.book);
+            (book.total > 0).then_some((book.row.min(book.total), book.total))
+        };
+        let mut status = lock(&self.status);
         status.progress = Some(progress);
         status.slices += 1;
+        if sweep_rows.is_some() {
+            status.sweep_rows = sweep_rows;
+        }
         drop(status);
         self.status_cv.notify_all();
     }
 
     fn park(&self, fleet: Fleet) {
-        *self.slot.lock().expect("slot lock") = Some(fleet);
+        *lock(&self.slot) = Some(fleet);
         self.slot_cv.notify_all();
     }
 
-    fn take_parked(&self) -> Fleet {
-        self.slot
-            .lock()
-            .expect("slot lock")
-            .take()
-            .expect("worker owns the only take path")
+    /// Take the parked fleet. `None` only if the state was lost to an
+    /// earlier panic mid-slice — the caller fails the job instead of
+    /// unwrapping.
+    fn take_parked(&self) -> Option<Fleet> {
+        lock(&self.slot).take()
+    }
+
+    fn parked_now(&self) -> Option<SimTime> {
+        lock(&self.slot).as_ref().map(Fleet::now)
+    }
+
+    /// Retire the job as stopped (worker-side or shutdown drain).
+    fn finish_stopped(&self) {
+        *lock(&self.worker) = WorkerState::Finished;
+        self.set_state(JobState::Stopped, None);
+    }
+
+    fn finish_failed(&self, message: String) {
+        *lock(&self.worker) = WorkerState::Finished;
+        self.set_state(JobState::Failed, Some(message));
+    }
+
+    /// One cooperative scheduling step: build the simulation or advance
+    /// it by one slice. Called by pool workers with exclusive ownership
+    /// of the job (it is out of the queue while stepping).
+    fn step(&self, fleet_metrics: &Option<Arc<FleetMetrics>>) -> StepOutcome {
+        if self.snapshot().state.is_terminal() {
+            return StepOutcome::Terminal;
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            self.finish_stopped();
+            return StepOutcome::Terminal;
+        }
+        let worker = lock(&self.worker);
+        match &*worker {
+            WorkerState::Pending(spec) => {
+                let spec = spec.clone();
+                // The job is out of the queue while stepping, so nobody
+                // else touches the worker state: safe to release the
+                // guard and let build() (and adopt_cursor) relock it.
+                drop(worker);
+                self.build(spec, fleet_metrics)
+            }
+            WorkerState::FleetRun { horizon } => {
+                let horizon = *horizon;
+                drop(worker);
+                self.step_fleet(horizon)
+            }
+            WorkerState::SweepRun => {
+                drop(worker);
+                self.step_sweep(fleet_metrics)
+            }
+            WorkerState::Finished => StepOutcome::Terminal,
+        }
+    }
+
+    /// First step: build the simulation from the spec.
+    fn build(&self, spec: JobSpec, fleet_metrics: &Option<Arc<FleetMetrics>>) -> StepOutcome {
+        match spec {
+            JobSpec::PanicProbe { message } => {
+                // The probe exists to exercise the pool's catch_unwind
+                // path end to end; the panic is caught one frame up.
+                panic!("{message}");
+            }
+            JobSpec::E16Sweep {
+                seed,
+                clients,
+                resolvers,
+                threads,
+                ..
+            } => {
+                {
+                    let mut book = lock(&self.book);
+                    book.seed = seed;
+                    book.clients = clients;
+                    book.resolvers = resolvers;
+                    book.total = resolvers + 1;
+                    book.row = 0;
+                }
+                let mut config = e16_config(seed, clients, resolvers, 0);
+                config.threads = threads;
+                let mut fleet = Fleet::new(config);
+                fleet.set_metrics(fleet_metrics.clone());
+                let progress = fleet.progress();
+                self.park(fleet);
+                *lock(&self.worker) = WorkerState::SweepRun;
+                self.set_state(JobState::Running, None);
+                self.publish_slice(progress);
+                StepOutcome::Again
+            }
+            JobSpec::ResumeSweep {
+                ref bytes, threads, ..
+            } => {
+                let adopted = crate::sweep::decode(bytes)
+                    .map_err(|e| e.to_string())
+                    .and_then(|cursor| self.adopt_cursor(cursor, threads, fleet_metrics));
+                match adopted {
+                    Ok(running) => {
+                        if running {
+                            StepOutcome::Again
+                        } else {
+                            StepOutcome::Terminal
+                        }
+                    }
+                    Err(e) => {
+                        *lock(&self.worker) = WorkerState::Finished;
+                        self.set_state(
+                            JobState::Failed,
+                            Some(format!("sweep cursor rejected: {e}")),
+                        );
+                        StepOutcome::Terminal
+                    }
+                }
+            }
+            ref fleet_spec => match build_fleet(fleet_spec, fleet_metrics.clone()) {
+                Ok(fleet) => {
+                    let horizon = SimTime::ZERO + fleet.config().horizon;
+                    let progress = fleet.progress();
+                    self.park(fleet);
+                    *lock(&self.worker) = WorkerState::FleetRun { horizon };
+                    self.set_state(JobState::Running, None);
+                    self.publish_slice(progress);
+                    StepOutcome::Again
+                }
+                Err(message) => {
+                    *lock(&self.worker) = WorkerState::Finished;
+                    self.set_state(JobState::Failed, Some(message));
+                    StepOutcome::Terminal
+                }
+            },
+        }
+    }
+
+    /// Decide whether to pause at the current boundary. Returns `true`
+    /// when the job was parked in `paused` (caller returns `Idle`).
+    fn pause_here(&self) -> bool {
+        if self.unpause.swap(false, Ordering::SeqCst) {
+            let mut params = lock(&self.params);
+            params.pause_at_s = None;
+            params.pause_at_row = None;
+            return false;
+        }
+        let mut status = lock(&self.status);
+        if self.stop.load(Ordering::SeqCst) {
+            // Raced with request_stop: prefer stopped over a pause that
+            // nobody will ever release.
+            drop(status);
+            self.finish_stopped();
+            return true;
+        }
+        status.state = JobState::Paused;
+        drop(status);
+        self.log_state(JobState::Paused, None);
+        self.status_cv.notify_all();
+        true
+    }
+
+    fn step_fleet(&self, horizon: SimTime) -> StepOutcome {
+        let params = self.params();
+        let Some(now) = self.parked_now() else {
+            self.finish_failed("fleet state lost (earlier panic mid-slice)".to_string());
+            return StepOutcome::Terminal;
+        };
+        let pause_at = params.pause_at_s.map(SimTime::from_secs);
+        if let Some(p) = pause_at {
+            if now >= p && self.pause_here() {
+                return StepOutcome::Idle;
+            }
+        }
+        if now >= horizon {
+            *lock(&self.worker) = WorkerState::Finished;
+            self.set_state(JobState::Done, None);
+            return StepOutcome::Terminal;
+        }
+        let mut target = (now + SimDuration::from_secs(params.slice_s)).min(horizon);
+        // Re-read: pause_here() may have just cleared the anchor.
+        if let Some(p) = self.params().pause_at_s.map(SimTime::from_secs) {
+            if p > now {
+                target = target.min(p);
+            }
+        }
+        let Some(mut fleet) = self.take_parked() else {
+            self.finish_failed("fleet state lost (earlier panic mid-slice)".to_string());
+            return StepOutcome::Terminal;
+        };
+        fleet.run_until(target);
+        let progress = fleet.progress();
+        self.park(fleet);
+        self.publish_slice(progress);
+        StepOutcome::Again
+    }
+
+    fn step_sweep(&self, fleet_metrics: &Option<Arc<FleetMetrics>>) -> StepOutcome {
+        let params = self.params();
+        let Some(now) = self.parked_now() else {
+            self.finish_failed("sweep state lost (earlier panic mid-slice)".to_string());
+            return StepOutcome::Terminal;
+        };
+        let (seed, clients, resolvers, row) = {
+            let book = lock(&self.book);
+            (book.seed, book.clients, book.resolvers, book.row)
+        };
+        // Row-boundary pause: about to start row `pause_at_row`, its
+        // fleet freshly built and untouched.
+        if params.pause_at_row == Some(row) && now == SimTime::ZERO && self.pause_here() {
+            return StepOutcome::Idle;
+        }
+        let Some(mut fleet) = self.take_parked() else {
+            self.finish_failed("sweep state lost (earlier panic mid-slice)".to_string());
+            return StepOutcome::Terminal;
+        };
+        let horizon = SimTime::ZERO + fleet.config().horizon;
+        if now < horizon {
+            let target = (now + SimDuration::from_secs(params.slice_s)).min(horizon);
+            fleet.run_until(target);
+            let progress = fleet.progress();
+            self.park(fleet);
+            self.publish_slice(progress);
+            return StepOutcome::Again;
+        }
+        // Row complete: record its final checkpoint + report, then build
+        // the next row (the slot stays empty only inside this window,
+        // which is what keeps cursor observations consistent).
+        let blob = fleet.checkpoint();
+        let report = fleet.report();
+        drop(fleet);
+        let (next_row, total) = {
+            let mut book = lock(&self.book);
+            book.done_blobs.push(blob);
+            book.done_reports.push(report);
+            book.row += 1;
+            (book.row, book.total)
+        };
+        if next_row >= total {
+            self.finish_sweep(resolvers);
+            return StepOutcome::Terminal;
+        }
+        let mut config = e16_config(seed, clients, resolvers, next_row);
+        config.threads = params.threads;
+        let mut next = Fleet::new(config);
+        next.set_metrics(fleet_metrics.clone());
+        let progress = next.progress();
+        self.park(next);
+        self.publish_slice(progress);
+        StepOutcome::Again
+    }
+
+    /// Assemble the final [`E16Result`] from the completed rows and
+    /// retire the sweep. Stats are zeroed: the daemon path builds rows
+    /// directly instead of going through the pooled dispatcher, and the
+    /// wire format omits stats either way.
+    fn finish_sweep(&self, resolvers: usize) {
+        let rows: Vec<E16Row> = {
+            let book = lock(&self.book);
+            book.done_reports
+                .iter()
+                .enumerate()
+                .map(|(k, report)| E16Row {
+                    poisoned_resolvers: k,
+                    poisoned_fraction: k as f64 / resolvers.max(1) as f64,
+                    report: report.clone(),
+                })
+                .collect()
+        };
+        let result = e16_result_from_rows(resolvers.max(1), rows, SweepStats::default());
+        *lock(&self.sweep_result) = Some(result);
+        *lock(&self.worker) = WorkerState::Finished;
+        {
+            let book = lock(&self.book);
+            let mut status = lock(&self.status);
+            status.sweep_rows = Some((book.row, book.total));
+        }
+        self.set_state(JobState::Done, None);
+    }
+
+    /// Install a decoded sweep cursor: restore completed-row reports and
+    /// the current row's fleet. Returns whether the job keeps running
+    /// (false when the cursor was already complete). Shared by the
+    /// `resume-sweep` build path and boot-time adoption.
+    fn adopt_cursor(
+        &self,
+        cursor: crate::sweep::SweepCursor,
+        threads: usize,
+        fleet_metrics: &Option<Arc<FleetMetrics>>,
+    ) -> Result<bool, String> {
+        let total = cursor.resolvers + 1;
+        if cursor.row > total || (cursor.row < total) != cursor.current.is_some() {
+            return Err("cursor row count inconsistent with payload".to_string());
+        }
+        let mut done_reports = Vec::with_capacity(cursor.done.len());
+        for (k, blob) in cursor.done.iter().enumerate() {
+            let restored = Fleet::restore(blob)
+                .map_err(|e| format!("completed row {k} checkpoint rejected: {e}"))?;
+            done_reports.push(restored.report());
+        }
+        {
+            let mut params = lock(&self.params);
+            params.threads = threads;
+        }
+        {
+            let mut book = lock(&self.book);
+            book.seed = cursor.seed;
+            book.clients = cursor.clients;
+            book.resolvers = cursor.resolvers;
+            book.total = total;
+            book.row = cursor.row;
+            book.done_blobs = cursor.done.clone();
+            book.done_reports = done_reports;
+        }
+        *lock(&self.worker) = WorkerState::SweepRun;
+        match cursor.current {
+            Some(blob) => {
+                let mut fleet = Fleet::restore_with(&blob, fleet_metrics.clone())
+                    .map_err(|e| format!("current row checkpoint rejected: {e}"))?;
+                fleet.set_threads(threads);
+                let progress = fleet.progress();
+                self.park(fleet);
+                self.set_state(JobState::Running, None);
+                self.publish_slice(progress);
+                Ok(true)
+            }
+            None => {
+                self.finish_sweep(cursor.resolvers);
+                Ok(false)
+            }
+        }
     }
 }
 
@@ -514,183 +1337,364 @@ fn build_fleet(spec: &JobSpec, metrics: Option<Arc<FleetMetrics>>) -> Result<Fle
             fleet.set_threads(*threads);
             Ok(fleet)
         }
-        JobSpec::E16Sweep { .. } => unreachable!("sweep jobs run through run_sweep"),
+        JobSpec::E16Sweep { .. } | JobSpec::ResumeSweep { .. } | JobSpec::PanicProbe { .. } => {
+            Err("not a fleet spec".to_string())
+        }
     }
 }
 
-/// The worker loop for one job. Runs on the job's dedicated thread.
-fn run_job(job: &Job, spec: JobSpec, fleet_metrics: Option<Arc<FleetMetrics>>) {
-    if let JobSpec::E16Sweep {
-        seed,
-        clients,
-        resolvers,
-        threads,
-    } = spec
-    {
-        job.set_state(JobState::Running, None);
-        let result = run_e16(seed, clients, resolvers, threads);
-        *job.sweep_result.lock().expect("sweep lock") = Some(result);
-        job.set_state(JobState::Done, None);
-        return;
+/// The run queue shared by the pool workers. Jobs enter at submit (and
+/// unpause) time and cycle `pop → step one slice → push` until they park
+/// in `paused` or reach a terminal state.
+#[derive(Debug)]
+struct Scheduler {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
     }
 
-    let (slice_s, mut pause_at) = match &spec {
-        JobSpec::E16Fleet {
-            slice_s,
-            pause_at_s,
-            ..
-        }
-        | JobSpec::E17Fleet {
-            slice_s,
-            pause_at_s,
-            ..
-        }
-        | JobSpec::Resume {
-            slice_s,
-            pause_at_s,
-            ..
-        } => (*slice_s, pause_at_s.map(SimTime::from_secs)),
-        JobSpec::E16Sweep { .. } => unreachable!("handled above"),
-    };
+    fn enqueue(&self, job: Arc<Job>) {
+        lock(&self.queue).push_back(job);
+        self.cv.notify_one();
+    }
 
-    let fleet = match build_fleet(&spec, fleet_metrics) {
-        Ok(fleet) => fleet,
-        Err(message) => {
-            job.set_state(JobState::Failed, Some(message));
-            return;
-        }
-    };
-    let horizon = SimTime::ZERO + fleet.config().horizon;
-    let slice = SimDuration::from_secs(slice_s);
-    job.publish_slice(fleet.progress());
-    job.park(fleet);
-    job.set_state(JobState::Running, None);
-
-    loop {
-        if job.stop.load(Ordering::SeqCst) {
-            job.set_state(JobState::Stopped, None);
-            return;
-        }
-        let now = job
-            .with_fleet(Duration::from_secs(1), |fleet| fleet.now())
-            .expect("worker parked the fleet");
-        if let Some(p) = pause_at {
-            if now >= p {
-                job.set_state(JobState::Paused, None);
-                let mut status = job.status.lock().expect("status lock");
-                while !job.unpause.load(Ordering::SeqCst) && !job.stop.load(Ordering::SeqCst) {
-                    let (guard, _) = job
-                        .status_cv
-                        .wait_timeout(status, Duration::from_millis(200))
-                        .expect("status lock");
-                    status = guard;
-                }
-                drop(status);
-                job.unpause.store(false, Ordering::SeqCst);
-                pause_at = None;
-                if job.stop.load(Ordering::SeqCst) {
-                    job.set_state(JobState::Stopped, None);
-                    return;
-                }
-                job.set_state(JobState::Running, None);
+    /// Pop the next runnable job; blocks until one arrives or shutdown.
+    fn next(&self) -> Option<Arc<Job>> {
+        let mut queue = lock(&self.queue);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
             }
-        }
-        if now >= horizon {
-            job.set_state(JobState::Done, None);
-            return;
-        }
-        let mut target = (now + slice).min(horizon);
-        if let Some(p) = pause_at {
-            if p > now {
-                target = target.min(p);
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
             }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(queue, Duration::from_millis(100))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            queue = guard;
         }
-        let mut fleet = job.take_parked();
-        fleet.run_until(target);
-        let progress = fleet.progress();
-        job.park(fleet);
-        job.publish_slice(progress);
     }
 }
 
-/// The daemon's registry of named jobs.
-#[derive(Debug, Default)]
+/// Extract a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// One pool worker: step jobs round-robin until shutdown.
+fn worker_loop(sched: Arc<Scheduler>, obs: Option<Arc<DaemonObs>>) {
+    let fleet_metrics = obs.as_ref().map(|o| Arc::clone(&o.fleet));
+    while let Some(job) = sched.next() {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job.step(&fleet_metrics)));
+        match outcome {
+            Ok(StepOutcome::Again) => {
+                if let Some(o) = &obs {
+                    o.slices_scheduled.inc();
+                }
+                sched.enqueue(job);
+            }
+            Ok(StepOutcome::Idle) | Ok(StepOutcome::Terminal) => {}
+            Err(payload) => {
+                let message = format!("job panicked: {}", panic_message(payload));
+                if let Some(o) = &obs {
+                    o.job_panics.inc();
+                }
+                job.finish_failed(message);
+            }
+        }
+    }
+}
+
+/// The default pool size: one worker per core, minus one core left for
+/// the socket handlers (never below one).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The daemon's registry of named jobs, backed by the worker pool.
+#[derive(Debug)]
 pub struct JobTable {
     jobs: Mutex<BTreeMap<String, Arc<Job>>>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    sched: Arc<Scheduler>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     obs: Option<Arc<DaemonObs>>,
 }
 
+impl Default for JobTable {
+    fn default() -> JobTable {
+        JobTable::new()
+    }
+}
+
 impl JobTable {
-    /// An empty table without observability (embedding and tests).
+    /// An empty table without observability (embedding and tests), with
+    /// the default worker-pool size.
     pub fn new() -> JobTable {
-        JobTable::default()
+        JobTable::with_config(default_workers(), None)
+    }
+
+    /// An empty table with an explicit pool size, no observability.
+    pub fn with_workers(workers: usize) -> JobTable {
+        JobTable::with_config(workers, None)
     }
 
     /// An empty table whose jobs register gauges in `obs`, attach the
     /// daemon-wide [`FleetMetrics`] to their fleets, and log lifecycle
     /// transitions through the daemon logger.
     pub fn with_observability(obs: Arc<DaemonObs>) -> JobTable {
+        JobTable::with_config(default_workers(), Some(obs))
+    }
+
+    /// The fully explicit constructor: pool size and optional
+    /// observability. Spawns the worker threads immediately.
+    pub fn with_config(workers: usize, obs: Option<Arc<DaemonObs>>) -> JobTable {
+        let sched = Arc::new(Scheduler::new());
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let sched = Arc::clone(&sched);
+                let obs = obs.clone();
+                std::thread::Builder::new()
+                    .name(format!("chronosd-worker-{i}"))
+                    .spawn(move || worker_loop(sched, obs))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
         JobTable {
-            obs: Some(obs),
-            ..JobTable::default()
+            jobs: Mutex::new(BTreeMap::new()),
+            sched,
+            workers: Mutex::new(handles),
+            obs,
         }
     }
 
-    /// Register a job under `name` and start its worker thread. Fails if
-    /// the name is empty or already taken (stale terminal jobs keep
-    /// their name — pick a new one).
+    /// The pool size (worker threads stepping jobs).
+    pub fn worker_count(&self) -> usize {
+        lock(&self.workers).len()
+    }
+
+    /// Register a job under `name` and enqueue it on the worker pool.
+    /// Fails if the name is empty or already taken (stale terminal jobs
+    /// keep their name — pick a new one).
     pub fn submit(&self, name: &str, spec: JobSpec) -> Result<Arc<Job>, String> {
+        let job = self.register(name, spec)?;
+        self.sched.enqueue(Arc::clone(&job));
+        Ok(job)
+    }
+
+    /// Create and register the job without enqueueing it (adoption paths
+    /// place restored jobs in non-queued states first).
+    fn register(&self, name: &str, spec: JobSpec) -> Result<Arc<Job>, String> {
+        let kind = spec.kind();
+        let spec_json = spec.to_json();
+        let params = spec.params();
+        self.register_raw(name, kind, spec_json, params, WorkerState::Pending(spec))
+    }
+
+    fn register_raw(
+        &self,
+        name: &str,
+        kind: &'static str,
+        spec_json: Json,
+        params: Params,
+        worker: WorkerState,
+    ) -> Result<Arc<Job>, String> {
         if name.is_empty() {
             return Err("job name must not be empty".to_string());
         }
         let job_metrics = self.obs.as_ref().map(|o| o.job_metrics(name));
         let logger = self.obs.as_ref().map(|o| Arc::clone(&o.logger));
-        let job = Arc::new(Job::new(name.to_string(), spec.kind(), job_metrics, logger));
-        {
-            let mut jobs = self.jobs.lock().expect("jobs lock");
+        let sched = Arc::downgrade(&self.sched);
+        let job = {
+            let mut jobs = lock(&self.jobs);
             if jobs.contains_key(name) {
                 return Err(format!("job {name:?} already exists"));
             }
+            let job = Arc::new_cyclic(|me| {
+                Job::new(
+                    me,
+                    sched,
+                    name.to_string(),
+                    kind,
+                    spec_json,
+                    params,
+                    worker,
+                    job_metrics,
+                    logger,
+                )
+            });
             jobs.insert(name.to_string(), Arc::clone(&job));
-        }
+            job
+        };
         if let Some(o) = &self.obs {
             o.logger.info(
                 "chronosd::jobs",
                 "job submitted",
-                &[("job", &name), ("kind", &spec.kind())],
+                &[("job", &name), ("kind", &kind)],
             );
         }
+        Ok(job)
+    }
+
+    /// Adopt a restored fleet job from the state dir: park the fleet,
+    /// install the manifest's lifecycle state and scheduling params, and
+    /// (for `running`) enqueue it. `spec_json` is the original submit
+    /// spec (re-recorded in the next manifest); `slices` restores the
+    /// watch cursor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adopt_fleet(
+        &self,
+        name: &str,
+        kind_label: &str,
+        spec_json: Json,
+        params: Params,
+        mut fleet: Fleet,
+        state: JobState,
+        slices: u64,
+    ) -> Result<Arc<Job>, String> {
+        fleet.set_threads(params.threads);
+        if let Some(o) = &self.obs {
+            fleet.set_metrics(Some(Arc::clone(&o.fleet)));
+        }
+        let horizon = SimTime::ZERO + fleet.config().horizon;
+        let progress = fleet.progress();
+        let worker = if state.is_terminal() {
+            WorkerState::Finished
+        } else {
+            WorkerState::FleetRun { horizon }
+        };
+        let job = self.register_raw(name, static_kind(kind_label), spec_json, params, worker)?;
+        job.park(fleet);
+        let run = state == JobState::Running || state == JobState::Queued;
+        {
+            let mut status = lock(&job.status);
+            status.state = if run { JobState::Running } else { state };
+            status.progress = Some(progress);
+            status.slices = slices;
+        }
+        job.status_cv.notify_all();
+        if run {
+            self.sched.enqueue(Arc::clone(&job));
+        }
+        Ok(job)
+    }
+
+    /// Adopt a restored sweep job from its decoded `SWP1` cursor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adopt_sweep(
+        &self,
+        name: &str,
+        kind_label: &str,
+        spec_json: Json,
+        params: Params,
+        cursor: crate::sweep::SweepCursor,
+        state: JobState,
+        slices: u64,
+    ) -> Result<Arc<Job>, String> {
+        let job = self.register_raw(
+            name,
+            static_kind(kind_label),
+            spec_json,
+            params,
+            WorkerState::Finished, // adopt_cursor installs the real state
+        )?;
         let fleet_metrics = self.obs.as_ref().map(|o| Arc::clone(&o.fleet));
-        let worker_job = Arc::clone(&job);
-        let handle = std::thread::spawn(move || run_job(&worker_job, spec, fleet_metrics));
-        self.handles.lock().expect("handles lock").push(handle);
+        let still_running = job
+            .adopt_cursor(cursor, params.threads, &fleet_metrics)
+            .map_err(|e| format!("sweep cursor rejected: {e}"))?;
+        {
+            let mut status = lock(&job.status);
+            status.slices = status.slices.max(slices);
+            // adopt_cursor set Running (live cursor) or Done (complete);
+            // override with the manifest state for paused/stopped.
+            if still_running && state != JobState::Running && state != JobState::Queued {
+                status.state = state;
+            }
+        }
+        job.status_cv.notify_all();
+        if still_running {
+            if state.is_terminal() {
+                *lock(&job.worker) = WorkerState::Finished;
+            } else if state == JobState::Running || state == JobState::Queued {
+                self.sched.enqueue(Arc::clone(&job));
+            }
+        }
+        Ok(job)
+    }
+
+    /// Adopt a job as failed without any simulation state (corrupt or
+    /// quarantined state files, unknown manifest kinds).
+    pub fn adopt_failed(
+        &self,
+        name: &str,
+        kind_label: &str,
+        spec_json: Json,
+        error: String,
+    ) -> Result<Arc<Job>, String> {
+        let params = Params {
+            threads: 1,
+            slice_s: DEFAULT_SLICE_S,
+            pause_at_s: None,
+            pause_at_row: None,
+        };
+        let job = self.register_raw(
+            name,
+            static_kind(kind_label),
+            spec_json,
+            params,
+            WorkerState::Finished,
+        )?;
+        job.set_state(JobState::Failed, Some(error));
         Ok(job)
     }
 
     /// Look up a job by name.
     pub fn get(&self, name: &str) -> Option<Arc<Job>> {
-        self.jobs.lock().expect("jobs lock").get(name).cloned()
+        lock(&self.jobs).get(name).cloned()
     }
 
     /// All jobs, in name order.
     pub fn list(&self) -> Vec<Arc<Job>> {
-        self.jobs
-            .lock()
-            .expect("jobs lock")
-            .values()
-            .cloned()
-            .collect()
+        lock(&self.jobs).values().cloned().collect()
     }
 
-    /// Stop every job and join every worker thread (daemon shutdown).
+    /// Stop every job and join the worker pool (daemon shutdown). Any
+    /// job still non-terminal after the pool drains (it never got a
+    /// final step) is retired as `stopped` directly.
     pub fn stop_all_and_join(&self) {
         for job in self.list() {
             job.request_stop();
         }
-        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
-        for handle in handles {
+        self.sched.shutdown.store(true, Ordering::SeqCst);
+        self.sched.cv.notify_all();
+        let workers: Vec<_> = std::mem::take(&mut *lock(&self.workers));
+        for handle in workers {
             let _ = handle.join();
+        }
+        lock(&self.sched.queue).clear();
+        for job in self.list() {
+            if !job.snapshot().state.is_terminal() {
+                job.finish_stopped();
+            }
         }
     }
 }
@@ -726,8 +1730,9 @@ mod tests {
             }
             assert!(
                 !snap.state.is_terminal(),
-                "terminal {:?} while waiting for {state:?}",
-                snap.state
+                "terminal {:?} (error {:?}) while waiting for {state:?}",
+                snap.state,
+                snap.error
             );
             assert!(std::time::Instant::now() < deadline, "timed out");
             cursor = Some((snap.slices, snap.state));
@@ -736,7 +1741,7 @@ mod tests {
 
     #[test]
     fn fleet_job_runs_to_done_and_matches_batch() {
-        let table = JobTable::new();
+        let table = JobTable::with_workers(2);
         let job = table.submit("smoke", small_spec(None)).unwrap();
         let done = wait_for(&job, JobState::Done);
         assert!(
@@ -752,7 +1757,7 @@ mod tests {
 
     #[test]
     fn pause_checkpoint_resume_is_byte_identical() {
-        let table = JobTable::new();
+        let table = JobTable::with_workers(2);
         let job = table.submit("first-leg", small_spec(Some(1_500))).unwrap();
         wait_for(&job, JobState::Paused);
         let bytes = job.checkpoint(Duration::from_secs(5)).unwrap();
@@ -780,7 +1785,7 @@ mod tests {
 
     #[test]
     fn stop_parks_state_and_names_stay_unique() {
-        let table = JobTable::new();
+        let table = JobTable::with_workers(1);
         let job = table.submit("victim", small_spec(Some(1_000))).unwrap();
         assert!(table.submit("victim", small_spec(None)).is_err());
         wait_for(&job, JobState::Paused);
@@ -799,7 +1804,7 @@ mod tests {
             &Json::parse(r#"{"kind":"e16-fleet","resolvers":2,"poisoned_resolvers":3}"#).unwrap()
         )
         .is_err());
-        let table = JobTable::new();
+        let table = JobTable::with_workers(1);
         let job = table
             .submit(
                 "corrupt",
@@ -822,5 +1827,148 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         table.stop_all_and_join();
+    }
+
+    #[test]
+    fn panicking_job_fails_while_pool_keeps_serving() {
+        // One worker: the probe and the fleet share it, so surviving the
+        // panic *and* finishing the fleet proves the worker survived.
+        let table = JobTable::with_workers(1);
+        let probe = table
+            .submit(
+                "probe",
+                JobSpec::PanicProbe {
+                    message: "deliberate test panic".to_string(),
+                },
+            )
+            .unwrap();
+        let fleet = table.submit("survivor", small_spec(None)).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = probe.snapshot();
+            if snap.state == JobState::Failed {
+                let error = snap.error.unwrap();
+                assert!(
+                    error.contains("deliberate test panic"),
+                    "panic message missing: {error}"
+                );
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "probe never failed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let done = wait_for(&fleet, JobState::Done);
+        assert!(done.slices > 1);
+        let report = fleet.report(Duration::from_secs(5)).unwrap();
+        assert_eq!(report, Fleet::new(e16_config(7, 24, 2, 1)).run());
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn sweep_job_matches_run_e16_rows_and_series() {
+        let table = JobTable::with_workers(2);
+        let job = table
+            .submit(
+                "sweep",
+                JobSpec::E16Sweep {
+                    seed: 7,
+                    clients: 16,
+                    resolvers: 2,
+                    threads: 1,
+                    slice_s: 2_000,
+                    pause_at_row: None,
+                },
+            )
+            .unwrap();
+        let snap = wait_for(&job, JobState::Done);
+        assert_eq!(snap.sweep_rows, Some((3, 3)));
+        let result = job.sweep_result().expect("sweep result");
+        let batch = chronos_pitfalls::experiments::run_e16(7, 16, 2, 1);
+        assert_eq!(result.rows, batch.rows);
+        assert_eq!(result.series, batch.series);
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn sweep_pause_cursor_resume_is_byte_identical() {
+        let table = JobTable::with_workers(2);
+        let job = table
+            .submit(
+                "sweep-a",
+                JobSpec::E16Sweep {
+                    seed: 7,
+                    clients: 16,
+                    resolvers: 2,
+                    threads: 1,
+                    slice_s: 2_000,
+                    pause_at_row: Some(1),
+                },
+            )
+            .unwrap();
+        wait_for(&job, JobState::Paused);
+        let snap = job.snapshot();
+        assert_eq!(snap.sweep_rows, Some((1, 3)));
+        // Row 0 is already servable while the sweep is parked.
+        assert!(job.sweep_row_report(0).is_some());
+        let cursor = job.sweep_cursor(Duration::from_secs(5)).unwrap();
+        job.request_stop();
+
+        let resumed = table
+            .submit(
+                "sweep-b",
+                JobSpec::ResumeSweep {
+                    bytes: cursor,
+                    threads: 2,
+                    slice_s: 1_000,
+                    pause_at_row: None,
+                },
+            )
+            .unwrap();
+        wait_for(&resumed, JobState::Done);
+        let result = resumed.sweep_result().expect("sweep result");
+        let batch = chronos_pitfalls::experiments::run_e16(7, 16, 2, 1);
+        assert_eq!(result.rows, batch.rows);
+        assert_eq!(result.series, batch.series);
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn unpause_reenqueues_a_paused_job() {
+        let table = JobTable::with_workers(1);
+        let job = table.submit("pausing", small_spec(Some(1_000))).unwrap();
+        wait_for(&job, JobState::Paused);
+        job.request_unpause();
+        wait_for(&job, JobState::Done);
+        let report = job.report(Duration::from_secs(5)).unwrap();
+        assert_eq!(report, Fleet::new(e16_config(7, 24, 2, 1)).run());
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        for spec in [
+            small_spec(Some(9)),
+            JobSpec::E16Sweep {
+                seed: 3,
+                clients: 10,
+                resolvers: 2,
+                threads: 2,
+                slice_s: 100,
+                pause_at_row: Some(1),
+            },
+            JobSpec::Resume {
+                bytes: vec![1, 2, 0xfe],
+                threads: 2,
+                slice_s: 60,
+                pause_at_s: None,
+            },
+            JobSpec::PanicProbe {
+                message: "boom".to_string(),
+            },
+        ] {
+            let json = spec.to_json();
+            let reparsed = JobSpec::from_json(&json).expect("round trip parses");
+            assert_eq!(format!("{spec:?}"), format!("{reparsed:?}"));
+        }
     }
 }

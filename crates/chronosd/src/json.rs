@@ -317,8 +317,11 @@ impl<'a> Parser<'a> {
                 return Err(JsonError::at("expected exponent digits", self.pos));
             }
         }
+        // The scanned range is digits/sign/dot/exponent by construction,
+        // but a request-path parser never panics on its input: report
+        // the impossible case as a parse error instead.
         let lit = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ASCII")
+            .map_err(|_| JsonError::at("non-ASCII bytes in number", start))?
             .to_string();
         Ok(Json::Num(lit))
     }
@@ -390,7 +393,10 @@ impl<'a> Parser<'a> {
                     // byte stream is valid UTF-8 by construction).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| JsonError::at("invalid utf-8", self.pos))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| JsonError::at("unterminated string", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -23,11 +23,14 @@
 //!
 //! Module map: [`json`] (hand-rolled wire format; the vendored serde is a
 //! no-op), [`render`] (canonical report/progress JSON), [`jobs`] (the job
-//! table and worker loops), [`daemon`] (the socket server), [`client`]
-//! (the client used by `chronosctl`, the `service_mode` example and the
-//! smoke tests), [`metrics`] (the chronoscope layer: the metric registry
-//! behind the `metrics` command, per-job gauges, and the structured
-//! logger that replaces the daemon's formerly silent failure paths).
+//! table and the fair-slicing worker pool), [`daemon`] (the socket
+//! server), [`client`] (the client used by `chronosctl`, the
+//! `service_mode` example and the smoke tests), [`metrics`] (the
+//! chronoscope layer: the metric registry behind the `metrics` command,
+//! per-job gauges, and the structured logger that replaces the daemon's
+//! formerly silent failure paths), [`sweep`] (the `SWP1` sweep-cursor
+//! codec), [`state`] (the `--state-dir` durability layer: checksummed
+//! manifest, periodic snapshots, resume-on-boot with quarantine).
 
 #![warn(missing_docs)]
 
@@ -37,9 +40,13 @@ pub mod jobs;
 pub mod json;
 pub mod metrics;
 pub mod render;
+pub mod state;
+pub mod sweep;
 
 pub use client::{Client, ClientError};
-pub use daemon::{Daemon, PROTOCOL_VERSION};
+pub use daemon::{Daemon, DaemonConfig, PROTOCOL_VERSION};
 pub use jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable};
 pub use json::Json;
 pub use metrics::{DaemonObs, JobMetrics, LOG_ENV};
+pub use state::StateDir;
+pub use sweep::SweepCursor;

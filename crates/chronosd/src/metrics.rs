@@ -42,6 +42,21 @@ pub struct DaemonObs {
     /// Malformed requests — unparseable JSON, missing or unknown `cmd`
     /// (`chronosd_protocol_errors_total`).
     pub protocol_errors: Arc<Counter>,
+    /// `run_until` slices stepped by the worker pool
+    /// (`chronosd_slices_total`).
+    pub slices_scheduled: Arc<Counter>,
+    /// Job panics caught by the pool's `catch_unwind` isolation
+    /// (`chronosd_job_panics_total`). Stays 0 on a healthy daemon.
+    pub job_panics: Arc<Counter>,
+    /// State-dir snapshots written — manifest rewrites, each covering
+    /// every live job (`chronosd_checkpoints_written_total`).
+    pub checkpoints_written: Arc<Counter>,
+    /// Jobs restored from the state dir at boot
+    /// (`chronosd_checkpoints_restored_total`).
+    pub checkpoints_restored: Arc<Counter>,
+    /// Corrupt state files moved to `quarantine/` at boot
+    /// (`chronosd_quarantines_total`).
+    pub quarantines: Arc<Counter>,
 }
 
 /// Per-job gauges, labelled `{job="<name>"}` in the registry.
@@ -82,12 +97,42 @@ impl DaemonObs {
             "Malformed requests: unparseable JSON, missing or unknown cmd.",
             &[],
         );
+        let slices_scheduled = registry.counter(
+            "chronosd_slices_total",
+            "run_until slices stepped by the worker pool.",
+            &[],
+        );
+        let job_panics = registry.counter(
+            "chronosd_job_panics_total",
+            "Job panics caught by the worker pool (job marked failed).",
+            &[],
+        );
+        let checkpoints_written = registry.counter(
+            "chronosd_checkpoints_written_total",
+            "State-dir snapshots written (manifest plus job files).",
+            &[],
+        );
+        let checkpoints_restored = registry.counter(
+            "chronosd_checkpoints_restored_total",
+            "Jobs restored from the state dir at boot.",
+            &[],
+        );
+        let quarantines = registry.counter(
+            "chronosd_quarantines_total",
+            "Corrupt state files quarantined at boot.",
+            &[],
+        );
         DaemonObs {
             registry,
             logger: Arc::new(logger),
             fleet,
             connections,
             protocol_errors,
+            slices_scheduled,
+            job_panics,
+            checkpoints_written,
+            checkpoints_restored,
+            quarantines,
         }
     }
 

@@ -1,0 +1,271 @@
+//! `SWP1`: the sweep-cursor wire format — how an in-flight `e16-sweep`
+//! grid persists across daemon restarts.
+//!
+//! A sweep is a sequence of fleet runs (`k = 0..=resolvers` poisoned
+//! resolvers). Its durable state is therefore a *cursor*: the final
+//! `CHR1` checkpoint of every completed row (restoring one and calling
+//! `report()` reproduces the row's report byte-identically, so nothing
+//! is recomputed on reboot) plus the live `CHR1` checkpoint of the row
+//! currently stepping. Scheduling knobs (threads, slice length, pause
+//! anchors) deliberately live *outside* the cursor — in the state-dir
+//! manifest or the `resume-sweep` request — because they are allowed to
+//! differ across the two legs of a resume without changing a byte of
+//! the final result.
+//!
+//! Layout (all integers little-endian), sharing `CHR1`'s trailing
+//! XOR-fold checksum ([`fleet::checkpoint::checksum`]) and its error
+//! taxonomy ([`CheckpointError`]):
+//!
+//! ```text
+//! magic    [u8; 4]           "SWP1"
+//! version  u32               currently 1
+//! seed     u64
+//! clients  u64
+//! resolvers u64              grid is k = 0..=resolvers
+//! row      u64               completed-row count == current row index
+//! done     u64, then per row: len u64 + CHR1 bytes
+//! current  u8 flag, then if 1: len u64 + CHR1 bytes
+//! checksum u64               over every byte above
+//! ```
+
+use fleet::checkpoint::{checksum, CheckpointError};
+
+/// First bytes of every sweep cursor.
+pub const MAGIC: [u8; 4] = *b"SWP1";
+
+/// Current cursor format version; other versions are rejected.
+pub const VERSION: u32 = 1;
+
+/// The decoded durable state of a sweep job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCursor {
+    /// Deterministic seed the row configs derive from.
+    pub seed: u64,
+    /// Fleet size per row.
+    pub clients: usize,
+    /// Resolver count; the grid has `resolvers + 1` rows.
+    pub resolvers: usize,
+    /// Completed-row count (== index of the current row).
+    pub row: usize,
+    /// Final `CHR1` checkpoint of each completed row, in row order.
+    pub done: Vec<Vec<u8>>,
+    /// Live `CHR1` checkpoint of the current row; `None` when the sweep
+    /// is complete (`row == resolvers + 1`).
+    pub current: Option<Vec<u8>>,
+}
+
+/// Serialize a cursor to `SWP1` bytes.
+pub fn encode(cursor: &SweepCursor) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    for v in [
+        cursor.seed,
+        cursor.clients as u64,
+        cursor.resolvers as u64,
+        cursor.row as u64,
+        cursor.done.len() as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for blob in &cursor.done {
+        buf.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        buf.extend_from_slice(blob);
+    }
+    match &cursor.current {
+        Some(blob) => {
+            buf.push(1);
+            buf.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            buf.extend_from_slice(blob);
+        }
+        None => buf.push(0),
+    }
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.at.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn len(&mut self) -> Result<usize, CheckpointError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CheckpointError::Corrupt("length overflows usize"))
+    }
+}
+
+/// Decode `SWP1` bytes, reusing the `CHR1` error taxonomy: checksum is
+/// verified before any structural field is trusted, so a bit flip
+/// anywhere surfaces as [`CheckpointError::BadChecksum`], truncation as
+/// [`CheckpointError::Truncated`], and impossible structure (row counts
+/// that disagree with the payload) as [`CheckpointError::Corrupt`]. The
+/// embedded `CHR1` blobs are *not* decoded here — callers restore them
+/// through [`fleet::engine::Fleet::restore`], which revalidates each one.
+pub fn decode(bytes: &[u8]) -> Result<SweepCursor, CheckpointError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(trailer);
+    if checksum(payload) != u64::from_le_bytes(sum) {
+        return Err(CheckpointError::BadChecksum);
+    }
+    let mut r = Reader {
+        bytes: payload,
+        at: MAGIC.len(),
+    };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let seed = r.u64()?;
+    let clients = r.len()?;
+    let resolvers = r.len()?;
+    let row = r.len()?;
+    let done_count = r.len()?;
+    let total = resolvers + 1;
+    if row > total {
+        return Err(CheckpointError::Corrupt("row index beyond grid"));
+    }
+    if done_count != row {
+        return Err(CheckpointError::Corrupt(
+            "completed-row count != cursor row",
+        ));
+    }
+    let mut done = Vec::with_capacity(done_count.min(1 << 16));
+    for _ in 0..done_count {
+        let len = r.len()?;
+        done.push(r.take(len)?.to_vec());
+    }
+    let current = match r.u8()? {
+        0 => None,
+        1 => {
+            let len = r.len()?;
+            Some(r.take(len)?.to_vec())
+        }
+        _ => return Err(CheckpointError::Corrupt("current-row flag out of range")),
+    };
+    if r.at != payload.len() {
+        return Err(CheckpointError::Corrupt("trailing bytes after cursor"));
+    }
+    if (row < total) != current.is_some() {
+        return Err(CheckpointError::Corrupt(
+            "current-row presence disagrees with cursor row",
+        ));
+    }
+    Ok(SweepCursor {
+        seed,
+        clients,
+        resolvers,
+        row,
+        done,
+        current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepCursor {
+        SweepCursor {
+            seed: 7,
+            clients: 16,
+            resolvers: 2,
+            row: 1,
+            done: vec![vec![1, 2, 3, 4, 5]],
+            current: Some(vec![9, 8, 7]),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let cursor = sample();
+        assert_eq!(decode(&encode(&cursor)).unwrap(), cursor);
+        let complete = SweepCursor {
+            row: 3,
+            done: vec![vec![1], vec![2], vec![3]],
+            current: None,
+            ..sample()
+        };
+        assert_eq!(decode(&encode(&complete)).unwrap(), complete);
+    }
+
+    #[test]
+    fn corruption_is_classified() {
+        let bytes = encode(&sample());
+        assert_eq!(decode(&bytes[..3]), Err(CheckpointError::Truncated));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::BadChecksum)
+        );
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0x40;
+        assert_eq!(decode(&flipped), Err(CheckpointError::BadChecksum));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode(&bad_magic), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn structural_lies_are_corrupt_not_panics() {
+        // A cursor whose row count disagrees with its payload must be
+        // rejected as Corrupt even when the checksum is recomputed.
+        let mut cursor = sample();
+        cursor.row = 2; // but only 1 done blob
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        for v in [
+            cursor.seed,
+            cursor.clients as u64,
+            cursor.resolvers as u64,
+            2u64,
+            1u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3, 4, 5]);
+        buf.push(0);
+        let sum = checksum(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode(&buf), Err(CheckpointError::Corrupt(_))));
+    }
+}

@@ -790,6 +790,23 @@ pub fn run_e16(seed: u64, clients: usize, resolvers: usize, threads: usize) -> E
             report: r.remove(0),
         })
         .collect();
+    e16_result_from_rows(resolvers, rows, stats)
+}
+
+/// Assembles an [`E16Result`] from already-computed rows: derives the
+/// per-tier and fleet-wide fraction-shifted series from the row reports.
+///
+/// This is the tail of [`run_e16`], split out so callers that produce the
+/// rows incrementally (chronosd steps each row's fleet in checkpointable
+/// slices) build the identical result structure. Because each row's
+/// report is a pure function of its `FleetConfig`, assembling from
+/// row-by-row `Fleet::run` output is byte-identical to the pooled sweep.
+pub fn e16_result_from_rows(
+    resolvers: usize,
+    rows: Vec<E16Row>,
+    stats: montecarlo::SweepStats,
+) -> E16Result {
+    assert!(!rows.is_empty(), "need at least one E16 row");
     // One curve per tier, plus the fleet-wide one: x = fraction of
     // resolvers poisoned, y = fraction shifted at the horizon.
     let mut series: Vec<crate::report::Series> = rows[0]

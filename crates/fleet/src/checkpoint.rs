@@ -230,8 +230,10 @@ impl<'a> Reader<'a> {
 
 /// XOR-fold checksum over 8-byte lanes: cheap, order-sensitive enough to
 /// catch truncation and bit rot (the failure modes of a file on disk —
-/// this is an integrity check, not an authenticator).
-fn checksum(bytes: &[u8]) -> u64 {
+/// this is an integrity check, not an authenticator). Public so sibling
+/// on-disk formats (chronosd's `SWP1` sweep cursor and `CHRM1` job
+/// manifest) share the same integrity trailer as `CHR1`.
+pub fn checksum(bytes: &[u8]) -> u64 {
     let mut acc = 0xc0de_c0de_c0de_c0deu64 ^ (bytes.len() as u64);
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
