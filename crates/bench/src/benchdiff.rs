@@ -35,6 +35,9 @@ pub const GUARDED: &[&str] = &[
     // PR 8: the guarded fleet target with the chronoscope side channel
     // attached — instrumentation itself is a guarded hot path.
     "e14_fleet_scale/fleet_100k_metrics",
+    // PR 10: partial secure-time deployment — the NTS + Roughtime grid
+    // over the mixed fleet (10 fleets, 90k clients total).
+    "e18_secure_deployment/secure_grid_90k",
 ];
 
 /// Default regression threshold on per-iter mean, in percent.
@@ -69,6 +72,15 @@ pub const RATIO_GUARDS: &[(&str, &str, f64)] = &[
         "e14_fleet_scale/fleet_100k_metrics",
         "e14_fleet_scale/fleet_100k",
         0.98,
+    ),
+    (
+        // The fully secure fleet (NTS association machinery + M-source
+        // Roughtime fetches) may cost at most ~2.5× the all-legacy fleet
+        // of the same size: min(insecure)/min(secure) ≥ 0.4. Same
+        // process, moments apart — host-drift immune.
+        "e18_secure_deployment/secure_9k",
+        "e18_secure_deployment/insecure_9k",
+        0.4,
     ),
 ];
 

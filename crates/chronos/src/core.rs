@@ -297,6 +297,81 @@ pub fn conclude_plain_round(
     }
 }
 
+/// What a concluded Roughtime cross-reference round decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoughtimeOutcome {
+    /// A strict majority of source midpoints agreed within the agreement
+    /// radius: apply their mean.
+    Correction {
+        /// Mean offset of the agreeing cluster (ns).
+        correction_ns: i64,
+        /// Number of sources inside the agreeing cluster.
+        agreeing: usize,
+    },
+    /// No strict majority of sources agreed — the signed midpoints are
+    /// mutually inconsistent evidence of misbehaviour (the cross-check
+    /// Roughtime exists for). The clock is left alone and the caller
+    /// should count a detected inconsistency.
+    Inconsistent,
+    /// No source responded this round.
+    NoSamples,
+}
+
+/// Concludes one Roughtime fetch round by cross-referencing the signed
+/// midpoints of M independently-resolved sources — the borrowed-state
+/// Roughtime analogue of [`conclude_plain_round`].
+///
+/// The decision is majority-of-midpoints: the largest set of sources
+/// whose offsets span at most `agreement_ns` wins if it is a *strict*
+/// majority (`2·cluster > M`), and the correction is the cluster mean.
+/// Anything short of a strict majority is a detected inconsistency — the
+/// clock is not steered by evidence the sources themselves dispute.
+///
+/// With a single source (M = 1) the lone midpoint is trivially a strict
+/// majority, so the lane degenerates to an unchecked single-server fetch
+/// — exactly the ETH2-Medalla failure mode the redundancy exists to
+/// rule out.
+///
+/// `offsets_ns` is sorted in place (caller-owned scratch). Counter
+/// mapping: a correction counts as an *accept*, an inconsistent round as
+/// a *reject*; Roughtime clients never panic.
+pub fn conclude_roughtime_round(
+    stats: &mut ChronosStats,
+    offsets_ns: &mut [i64],
+    agreement_ns: i64,
+) -> RoughtimeOutcome {
+    if offsets_ns.is_empty() {
+        return RoughtimeOutcome::NoSamples;
+    }
+    offsets_ns.sort_unstable();
+    let n = offsets_ns.len();
+    // Largest window [i, j) with spread ≤ agreement_ns, earliest window
+    // on ties (deterministic, and ties cannot both be strict majorities).
+    let (mut best_start, mut best_len) = (0usize, 1usize);
+    let mut start = 0usize;
+    for end in 0..n {
+        while offsets_ns[end] - offsets_ns[start] > agreement_ns {
+            start += 1;
+        }
+        let len = end - start + 1;
+        if len > best_len {
+            (best_start, best_len) = (start, len);
+        }
+    }
+    if 2 * best_len > n {
+        let cluster = &offsets_ns[best_start..best_start + best_len];
+        let sum: i128 = cluster.iter().map(|&o| i128::from(o)).sum();
+        stats.accepts += 1;
+        RoughtimeOutcome::Correction {
+            correction_ns: (sum / best_len as i128) as i64,
+            agreeing: best_len,
+        }
+    } else {
+        stats.rejects += 1;
+        RoughtimeOutcome::Inconsistent
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +560,70 @@ mod tests {
         assert_eq!(
             conclude_plain_round(&mut stats, &mut buf, &[], MS),
             PlainRoundOutcome::NoSamples
+        );
+        assert_eq!(stats, ChronosStats::default());
+    }
+
+    #[test]
+    fn roughtime_majority_accepts_the_cluster_mean() {
+        let mut stats = ChronosStats::default();
+        // Two honest sources agree near zero; one captured source claims
+        // +500 ms. 2-of-3 is a strict majority → mean of the agreeing pair.
+        let mut offsets = [2 * MS, 500 * MS, -2 * MS];
+        let out = conclude_roughtime_round(&mut stats, &mut offsets, 10 * MS);
+        assert_eq!(
+            out,
+            RoughtimeOutcome::Correction {
+                correction_ns: 0,
+                agreeing: 2
+            }
+        );
+        assert_eq!(stats.accepts, 1);
+        assert_eq!(stats.rejects, 0);
+    }
+
+    #[test]
+    fn roughtime_split_sources_are_a_detected_inconsistency() {
+        let mut stats = ChronosStats::default();
+        // A 1-vs-1 split is not a strict majority: the signed midpoints
+        // contradict each other and the clock must not move.
+        let mut offsets = [0, 500 * MS];
+        assert_eq!(
+            conclude_roughtime_round(&mut stats, &mut offsets, 10 * MS),
+            RoughtimeOutcome::Inconsistent
+        );
+        assert_eq!(stats.rejects, 1);
+        // 2-vs-2 likewise (largest window is half, not a majority).
+        let mut offsets = [0, MS, 500 * MS, 501 * MS];
+        assert_eq!(
+            conclude_roughtime_round(&mut stats, &mut offsets, 10 * MS),
+            RoughtimeOutcome::Inconsistent
+        );
+        assert_eq!(stats.rejects, 2);
+    }
+
+    #[test]
+    fn roughtime_single_source_degenerates_to_unchecked_fetch() {
+        let mut stats = ChronosStats::default();
+        // M = 1 (Medalla): the lone midpoint is trivially a strict
+        // majority — nothing cross-checks it.
+        let mut offsets = [500 * MS];
+        assert_eq!(
+            conclude_roughtime_round(&mut stats, &mut offsets, 10 * MS),
+            RoughtimeOutcome::Correction {
+                correction_ns: 500 * MS,
+                agreeing: 1
+            }
+        );
+        assert_eq!(stats.accepts, 1);
+    }
+
+    #[test]
+    fn roughtime_empty_round_is_a_no_op() {
+        let mut stats = ChronosStats::default();
+        assert_eq!(
+            conclude_roughtime_round(&mut stats, &mut [], 10 * MS),
+            RoughtimeOutcome::NoSamples
         );
         assert_eq!(stats, ChronosStats::default());
     }

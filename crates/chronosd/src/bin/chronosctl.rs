@@ -5,8 +5,8 @@
 //!
 //! chronosctl <socket> ping
 //! chronosctl <socket> submit <name> <kind> [--seed N] [--clients N] [--resolvers N]
-//!            [--poisoned N] [--loss F] [--outage-coverage N] [--threads N]
-//!            [--slice-s N] [--pause-at-s N] [--pause-at-row N]
+//!            [--poisoned N] [--loss F] [--outage-coverage N] [--deployment F]
+//!            [--threads N] [--slice-s N] [--pause-at-s N] [--pause-at-row N]
 //! chronosctl <socket> jobs
 //! chronosctl <socket> status <name>
 //! chronosctl <socket> report <name> [--row N] # prints only the report object
@@ -16,6 +16,7 @@
 //!            [--pause-at-s N] [--pause-at-row N]   # CHR1 or SWP1, by magic
 //! chronosctl <socket> unpause <name>
 //! chronosctl <socket> stop <name>
+//! chronosctl <socket> forget <name>          # drop a terminal job's record
 //! chronosctl <socket> wait <name> <state> [timeout-s]
 //! chronosctl <socket> sync                   # force a state-dir snapshot
 //! chronosctl <socket> metrics                # Prometheus text exposition
@@ -47,7 +48,9 @@ fn usage() -> ! {
         "usage: chronosctl <socket> [--wait N] <command> [...]  (or: chronosctl batch-e16 [...])"
     );
     eprintln!("commands: ping, submit, jobs, status, report, watch, checkpoint, resume,");
-    eprintln!("          unpause, stop, wait, sync, metrics, shutdown; see docs/OPERATIONS.md");
+    eprintln!(
+        "          unpause, stop, forget, wait, sync, metrics, shutdown; see docs/OPERATIONS.md"
+    );
     std::process::exit(2);
 }
 
@@ -176,7 +179,7 @@ fn main() {
             // The payload already ends with a newline per family block.
             print!("{text}");
         }
-        "status" | "unpause" | "stop" => {
+        "status" | "unpause" | "stop" | "forget" => {
             let [name] = rest else {
                 fail(format!("{cmd} needs <name>"))
             };
@@ -240,6 +243,7 @@ fn main() {
                 ("poisoned", "poisoned_resolvers"),
                 ("loss", "loss"),
                 ("outage-coverage", "outage_coverage"),
+                ("deployment", "deployment"),
                 ("threads", "threads"),
                 ("slice-s", "slice_s"),
                 ("pause-at-s", "pause_at_s"),

@@ -23,10 +23,12 @@ use std::time::{Duration, Instant};
 
 use fleet::engine::Fleet;
 
-use crate::jobs::{default_workers, Job, JobSnapshot, JobSpec, JobState, JobTable, Params};
+use crate::jobs::{
+    default_workers, Job, JobSnapshot, JobSpec, JobState, JobTable, Params, SweepOutcome,
+};
 use crate::json::Json;
 use crate::metrics::DaemonObs;
-use crate::render::{progress_json, report_json, sweep_json};
+use crate::render::{e18_sweep_json, progress_json, report_json, sweep_json};
 use crate::state::{self, ManifestEntry, StateDir};
 
 /// Protocol version reported by `ping` (bump on breaking wire changes).
@@ -39,7 +41,7 @@ const PARK_TIMEOUT: Duration = Duration::from_secs(120);
 /// Commands the daemon understands; anything else is dispatched to the
 /// error arm and counted under `chronosd_commands_total{cmd="unknown"}`
 /// so client typos cannot grow the label set.
-const COMMANDS: [&str; 13] = [
+const COMMANDS: [&str; 14] = [
     "ping",
     "submit",
     "jobs",
@@ -50,6 +52,7 @@ const COMMANDS: [&str; 13] = [
     "resume",
     "unpause",
     "stop",
+    "forget",
     "sync",
     "metrics",
     "shutdown",
@@ -633,7 +636,12 @@ fn dispatch(
                         }
                     } else {
                         match job.sweep_result() {
-                            Some(result) => ok(vec![("sweep".into(), sweep_json(&result))]),
+                            Some(SweepOutcome::E16(result)) => {
+                                ok(vec![("sweep".into(), sweep_json(&result))])
+                            }
+                            Some(SweepOutcome::E18(result)) => {
+                                ok(vec![("sweep".into(), e18_sweep_json(&result))])
+                            }
                             None => err(format!("sweep job {:?} is not done yet", job.name)),
                         }
                     }
@@ -763,6 +771,27 @@ fn dispatch(
                 ok(vec![("job".into(), Json::str(job.name.clone()))])
             }
             Err(response) => response,
+        },
+        "forget" => match request.get("name").and_then(Json::as_str) {
+            Some(name) => match table.forget(name) {
+                Ok(()) => {
+                    // Drop the job's durable record too, so a restart
+                    // does not resurrect a name the operator retired.
+                    if let Some(dir) = &ctx.state {
+                        if let Err(io) = dir.remove_job_file(&StateDir::job_file_name(name)) {
+                            ctx.obs.logger.warn(
+                                "chronosd::daemon",
+                                "forgotten job checkpoint not removed",
+                                &[("job", &name), ("error", &io)],
+                            );
+                        }
+                        write_snapshot(table, dir, &ctx.obs, &BTreeMap::new());
+                    }
+                    ok(vec![("job".into(), Json::str(name))])
+                }
+                Err(message) => err(message),
+            },
+            None => err("forget needs \"name\" (string)"),
         },
         "sync" => match &ctx.state {
             Some(dir) => {

@@ -24,10 +24,11 @@
 //!   invisible to the simulation (`piecewise_runs_equal_one_continuous_run`,
 //!   `resume_equals_uninterrupted_run`).
 //!
-//! Sweep jobs (`e16-sweep`) are no longer monolithic batch units: the
-//! worker steps the current row's fleet in slices like any fleet job and,
-//! when a row reaches its horizon, records the row's final checkpoint and
-//! report and immediately builds (and parks) the next row's fleet. The
+//! Sweep jobs (`e16-sweep`, `e18-sweep`) are no longer monolithic batch
+//! units: the worker steps the current row's fleet in slices like any
+//! fleet job and, when a row reaches its horizon, records the row's
+//! final checkpoint and report and immediately builds (and parks) the
+//! next row's fleet. The
 //! slot therefore always holds the *current row*, so a sweep is
 //! observable, pausable at row boundaries (`pause_at_row`), and
 //! checkpointable — the per-row cursor persists as a `SWP1` sidecar (see
@@ -45,7 +46,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::Duration;
 
 use chronos_pitfalls::experiments::{
-    e16_config, e16_result_from_rows, e17_config, E16Result, E16Row,
+    e16_config, e16_result_from_rows, e17_config, e18_config, e18_grid, e18_result_from_rows,
+    E16Result, E16Row, E18Result, E18Row,
 };
 use chronos_pitfalls::montecarlo::SweepStats;
 use fleet::engine::{Fleet, FleetProgress, FleetReport};
@@ -54,6 +56,7 @@ use netsim::time::{SimDuration, SimTime};
 
 use crate::json::Json;
 use crate::metrics::{DaemonObs, JobMetrics};
+use crate::sweep::SweepFlavor;
 
 /// Default slice length in simulated seconds between observation points.
 pub const DEFAULT_SLICE_S: u64 = 60;
@@ -112,6 +115,28 @@ pub enum JobSpec {
         /// Optional pause point (simulated seconds).
         pause_at_s: Option<u64>,
     },
+    /// One E18 fleet: the partially-secure population — the E16 mix
+    /// diluted with NTS and Roughtime tiers at `deployment` ∈ [0, 1] —
+    /// with `poisoned_resolvers` caches poisoned at t = 100 s.
+    E18Fleet {
+        /// Deterministic seed.
+        seed: u64,
+        /// Fleet size.
+        clients: usize,
+        /// Independent resolver caches.
+        resolvers: usize,
+        /// Fraction of the population on secure-time tiers (rounded to
+        /// sixteenths by `e18_tiers`; 0 is exactly the E16 mix).
+        deployment: f64,
+        /// Caches the attacker poisons (`0..=resolvers`).
+        poisoned_resolvers: usize,
+        /// Worker threads for intra-fleet sharded stepping.
+        threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optional pause point (simulated seconds).
+        pause_at_s: Option<u64>,
+    },
     /// The full E16 partial-poisoning sweep (`k = 0..=resolvers`), run
     /// row by row so it can be observed, paused at row boundaries, and
     /// checkpointed (`SWP1` cursor) like any other job.
@@ -129,6 +154,24 @@ pub enum JobSpec {
         /// Optionally park in `paused` state when about to *start* this
         /// row (0-based; row k poisons k resolvers). A row-boundary
         /// checkpoint anchor.
+        pause_at_row: Option<usize>,
+    },
+    /// The full E18 deployment × poisoning sweep
+    /// ([`chronos_pitfalls::experiments::e18_grid`]), run row by row
+    /// with the same observe/pause/checkpoint affordances as
+    /// [`JobSpec::E16Sweep`].
+    E18Sweep {
+        /// Deterministic seed.
+        seed: u64,
+        /// Fleet size per sweep point.
+        clients: usize,
+        /// Independent resolver caches.
+        resolvers: usize,
+        /// Worker threads for each row's fleet.
+        threads: usize,
+        /// Slice length (simulated seconds) between observation points.
+        slice_s: u64,
+        /// Optional row-boundary pause anchor (0-based grid index).
         pause_at_row: Option<usize>,
     },
     /// Resume a fleet from `CHR1` checkpoint bytes (any fleet kind).
@@ -272,7 +315,38 @@ impl JobSpec {
                     pause_at_s,
                 })
             }
+            "e18-fleet" => {
+                let resolvers = field_usize(spec, "resolvers", 4)?.max(1);
+                let poisoned_resolvers = field_usize(spec, "poisoned_resolvers", resolvers)?;
+                if poisoned_resolvers > resolvers {
+                    return Err(format!(
+                        "poisoned_resolvers: {poisoned_resolvers} exceeds resolvers ({resolvers})"
+                    ));
+                }
+                let deployment = field_f64(spec, "deployment", 0.5)?;
+                if !(0.0..=1.0).contains(&deployment) {
+                    return Err(format!("deployment: {deployment} outside [0, 1]"));
+                }
+                Ok(JobSpec::E18Fleet {
+                    seed: field_u64(spec, "seed", 7)?,
+                    clients: field_usize(spec, "clients", 1_000)?.max(1),
+                    resolvers,
+                    deployment,
+                    poisoned_resolvers,
+                    threads,
+                    slice_s,
+                    pause_at_s,
+                })
+            }
             "e16-sweep" => Ok(JobSpec::E16Sweep {
+                seed: field_u64(spec, "seed", 7)?,
+                clients: field_usize(spec, "clients", 1_000)?.max(1),
+                resolvers: field_usize(spec, "resolvers", 4)?.max(1),
+                threads,
+                slice_s,
+                pause_at_row,
+            }),
+            "e18-sweep" => Ok(JobSpec::E18Sweep {
                 seed: field_u64(spec, "seed", 7)?,
                 clients: field_usize(spec, "clients", 1_000)?.max(1),
                 resolvers: field_usize(spec, "resolvers", 4)?.max(1),
@@ -301,7 +375,7 @@ impl JobSpec {
             }),
             other => Err(format!(
                 "spec.kind: unknown kind {other:?} (expected e16-fleet, e17-fleet, \
-                 e16-sweep or panic-probe)"
+                 e18-fleet, e16-sweep, e18-sweep or panic-probe)"
             )),
         }
     }
@@ -368,7 +442,40 @@ impl JobSpec {
                     num(&mut fields, "pause_at_s", *p);
                 }
             }
+            JobSpec::E18Fleet {
+                seed,
+                clients,
+                resolvers,
+                deployment,
+                poisoned_resolvers,
+                threads,
+                slice_s,
+                pause_at_s,
+            } => {
+                num(&mut fields, "seed", *seed);
+                num(&mut fields, "clients", *clients as u64);
+                num(&mut fields, "resolvers", *resolvers as u64);
+                fields.push(("deployment".into(), Json::f64(*deployment)));
+                num(
+                    &mut fields,
+                    "poisoned_resolvers",
+                    *poisoned_resolvers as u64,
+                );
+                num(&mut fields, "threads", *threads as u64);
+                num(&mut fields, "slice_s", *slice_s);
+                if let Some(p) = pause_at_s {
+                    num(&mut fields, "pause_at_s", *p);
+                }
+            }
             JobSpec::E16Sweep {
+                seed,
+                clients,
+                resolvers,
+                threads,
+                slice_s,
+                pause_at_row,
+            }
+            | JobSpec::E18Sweep {
                 seed,
                 clients,
                 resolvers,
@@ -425,7 +532,9 @@ impl JobSpec {
         match self {
             JobSpec::E16Fleet { .. } => "e16-fleet",
             JobSpec::E17Fleet { .. } => "e17-fleet",
+            JobSpec::E18Fleet { .. } => "e18-fleet",
             JobSpec::E16Sweep { .. } => "e16-sweep",
+            JobSpec::E18Sweep { .. } => "e18-sweep",
             JobSpec::Resume { .. } => "resume",
             JobSpec::ResumeSweep { .. } => "resume-sweep",
             JobSpec::PanicProbe { .. } => "panic-probe",
@@ -446,6 +555,12 @@ impl JobSpec {
                 pause_at_s,
                 ..
             }
+            | JobSpec::E18Fleet {
+                threads,
+                slice_s,
+                pause_at_s,
+                ..
+            }
             | JobSpec::Resume {
                 threads,
                 slice_s,
@@ -458,6 +573,12 @@ impl JobSpec {
                 pause_at_row: None,
             },
             JobSpec::E16Sweep {
+                threads,
+                slice_s,
+                pause_at_row,
+                ..
+            }
+            | JobSpec::E18Sweep {
                 threads,
                 slice_s,
                 pause_at_row,
@@ -572,13 +693,17 @@ pub struct Params {
 /// a cursor consistent with that fleet.
 #[derive(Debug, Default)]
 struct SweepBook {
+    /// Which experiment grid the sweep walks (E16 k-grid or the E18
+    /// deployment × poisoning grid).
+    flavor: SweepFlavor,
     /// Deterministic seed (row configs derive from it).
     seed: u64,
     /// Fleet size per row.
     clients: usize,
-    /// Resolver count (grid is `k = 0..=resolvers`).
+    /// Resolver count (the grid derives from it per flavor).
     resolvers: usize,
-    /// Rows in the grid (`resolvers + 1`); 0 until the sweep builds.
+    /// Rows in the grid ([`SweepFlavor::total_rows`]); 0 until the
+    /// sweep builds.
     total: usize,
     /// Index of the current row (== completed row count).
     row: usize,
@@ -589,6 +714,40 @@ struct SweepBook {
     done_blobs: Vec<Vec<u8>>,
     /// The completed rows' reports (derived from `done_blobs`).
     done_reports: Vec<FleetReport>,
+}
+
+impl SweepBook {
+    /// The fleet configuration of grid row `row` — a pure function of
+    /// the book's identity, shared (via `e16_config` / `e18_config`)
+    /// with the batch runners so a daemon sweep reproduces `run_e16` /
+    /// `run_e18` byte for byte.
+    fn row_config(&self, row: usize) -> fleet::FleetConfig {
+        match self.flavor {
+            SweepFlavor::E16 => e16_config(self.seed, self.clients, self.resolvers, row),
+            SweepFlavor::E18 => {
+                let (deployment, poisoned) = e18_grid(self.resolvers)[row];
+                e18_config(
+                    self.seed,
+                    self.clients,
+                    self.resolvers,
+                    deployment,
+                    poisoned,
+                )
+            }
+        }
+    }
+}
+
+/// A finished sweep's assembled result, matching the flavor of grid the
+/// job walked. Holds exactly what the batch runner for that flavor
+/// (`run_e16` / `run_e18`) would have produced, minus pooled `stats`.
+#[derive(Debug, Clone)]
+pub enum SweepOutcome {
+    /// An `e16-sweep` (or a resumed one): the partial-poisoning sweep.
+    E16(E16Result),
+    /// An `e18-sweep` (or a resumed one): the deployment × poisoning
+    /// sweep over the partially-secure population.
+    E18(E18Result),
 }
 
 /// What the worker knows about a job between steps. Guarded by a mutex
@@ -639,7 +798,7 @@ pub struct Job {
     params: Mutex<Params>,
     book: Mutex<SweepBook>,
     spec_json: Json,
-    sweep_result: Mutex<Option<E16Result>>,
+    sweep_result: Mutex<Option<SweepOutcome>>,
     /// Per-job gauges (`None` when the table runs without observability).
     metrics: Option<JobMetrics>,
     /// The daemon logger (`None` when embedding without observability).
@@ -663,7 +822,9 @@ fn static_kind(label: &str) -> &'static str {
     match label {
         "e16-fleet" => "e16-fleet",
         "e17-fleet" => "e17-fleet",
+        "e18-fleet" => "e18-fleet",
         "e16-sweep" => "e16-sweep",
+        "e18-sweep" => "e18-sweep",
         "resume" => "resume",
         "resume-sweep" => "resume-sweep",
         "panic-probe" => "panic-probe",
@@ -864,8 +1025,9 @@ impl Job {
         self.with_fleet(timeout, |fleet| fleet.report())
     }
 
-    /// The stored sweep result (`None` until an `e16-sweep` job is done).
-    pub fn sweep_result(&self) -> Option<E16Result> {
+    /// The stored sweep result (`None` until a sweep job is done); the
+    /// variant matches the grid flavor the job walked.
+    pub fn sweep_result(&self) -> Option<SweepOutcome> {
         lock(&self.sweep_result).clone()
     }
 
@@ -889,6 +1051,7 @@ impl Job {
             }
             if book.row >= book.total {
                 return Ok(crate::sweep::encode(&crate::sweep::SweepCursor {
+                    flavor: book.flavor,
                     seed: book.seed,
                     clients: book.clients,
                     resolvers: book.resolvers,
@@ -901,6 +1064,7 @@ impl Job {
         self.with_fleet(timeout, |fleet| {
             let book = lock(&self.book);
             crate::sweep::encode(&crate::sweep::SweepCursor {
+                flavor: book.flavor,
                 seed: book.seed,
                 clients: book.clients,
                 resolvers: book.resolvers,
@@ -913,7 +1077,7 @@ impl Job {
 
     /// Whether this job is a sweep (current or resumed).
     pub fn is_sweep(&self) -> bool {
-        matches!(self.kind, "e16-sweep" | "resume-sweep")
+        matches!(self.kind, "e16-sweep" | "e18-sweep" | "resume-sweep")
     }
 
     fn log_state(&self, state: JobState, error: Option<&str>) {
@@ -1029,6 +1193,10 @@ impl Job {
 
     /// First step: build the simulation from the spec.
     fn build(&self, spec: JobSpec, fleet_metrics: &Option<Arc<FleetMetrics>>) -> StepOutcome {
+        let sweep_flavor = match &spec {
+            JobSpec::E18Sweep { .. } => SweepFlavor::E18,
+            _ => SweepFlavor::E16,
+        };
         match spec {
             JobSpec::PanicProbe { message } => {
                 // The probe exists to exercise the pool's catch_unwind
@@ -1041,16 +1209,24 @@ impl Job {
                 resolvers,
                 threads,
                 ..
+            }
+            | JobSpec::E18Sweep {
+                seed,
+                clients,
+                resolvers,
+                threads,
+                ..
             } => {
-                {
+                let mut config = {
                     let mut book = lock(&self.book);
+                    book.flavor = sweep_flavor;
                     book.seed = seed;
                     book.clients = clients;
                     book.resolvers = resolvers;
-                    book.total = resolvers + 1;
+                    book.total = sweep_flavor.total_rows(resolvers);
                     book.row = 0;
-                }
-                let mut config = e16_config(seed, clients, resolvers, 0);
+                    book.row_config(0)
+                };
                 config.threads = threads;
                 let mut fleet = Fleet::new(config);
                 fleet.set_metrics(fleet_metrics.clone());
@@ -1169,10 +1345,7 @@ impl Job {
             self.finish_failed("sweep state lost (earlier panic mid-slice)".to_string());
             return StepOutcome::Terminal;
         };
-        let (seed, clients, resolvers, row) = {
-            let book = lock(&self.book);
-            (book.seed, book.clients, book.resolvers, book.row)
-        };
+        let row = lock(&self.book).row;
         // Row-boundary pause: about to start row `pause_at_row`, its
         // fleet freshly built and untouched.
         if params.pause_at_row == Some(row) && now == SimTime::ZERO && self.pause_here() {
@@ -1197,18 +1370,19 @@ impl Job {
         let blob = fleet.checkpoint();
         let report = fleet.report();
         drop(fleet);
-        let (next_row, total) = {
+        let (next_row, total, next_config) = {
             let mut book = lock(&self.book);
             book.done_blobs.push(blob);
             book.done_reports.push(report);
             book.row += 1;
-            (book.row, book.total)
+            let config = (book.row < book.total).then(|| book.row_config(book.row));
+            (book.row, book.total, config)
         };
         if next_row >= total {
-            self.finish_sweep(resolvers);
+            self.finish_sweep();
             return StepOutcome::Terminal;
         }
-        let mut config = e16_config(seed, clients, resolvers, next_row);
+        let mut config = next_config.expect("next row is inside the grid");
         config.threads = params.threads;
         let mut next = Fleet::new(config);
         next.set_metrics(fleet_metrics.clone());
@@ -1218,24 +1392,44 @@ impl Job {
         StepOutcome::Again
     }
 
-    /// Assemble the final [`E16Result`] from the completed rows and
-    /// retire the sweep. Stats are zeroed: the daemon path builds rows
-    /// directly instead of going through the pooled dispatcher, and the
-    /// wire format omits stats either way.
-    fn finish_sweep(&self, resolvers: usize) {
-        let rows: Vec<E16Row> = {
+    /// Assemble the final sweep result ([`E16Result`] or [`E18Result`],
+    /// per the book's flavor) from the completed rows and retire the
+    /// sweep. Stats are zeroed: the daemon path builds rows directly
+    /// instead of going through the pooled dispatcher, and the wire
+    /// format omits stats either way.
+    fn finish_sweep(&self) {
+        let result = {
             let book = lock(&self.book);
-            book.done_reports
-                .iter()
-                .enumerate()
-                .map(|(k, report)| E16Row {
-                    poisoned_resolvers: k,
-                    poisoned_fraction: k as f64 / resolvers.max(1) as f64,
-                    report: report.clone(),
-                })
-                .collect()
+            let resolvers = book.resolvers.max(1);
+            match book.flavor {
+                SweepFlavor::E16 => {
+                    let rows: Vec<E16Row> = book
+                        .done_reports
+                        .iter()
+                        .enumerate()
+                        .map(|(k, report)| E16Row {
+                            poisoned_resolvers: k,
+                            poisoned_fraction: k as f64 / resolvers as f64,
+                            report: report.clone(),
+                        })
+                        .collect();
+                    SweepOutcome::E16(e16_result_from_rows(resolvers, rows, SweepStats::default()))
+                }
+                SweepFlavor::E18 => {
+                    let rows: Vec<E18Row> = e18_grid(resolvers)
+                        .iter()
+                        .zip(book.done_reports.iter())
+                        .map(|(&(deployment, poisoned), report)| E18Row {
+                            deployment,
+                            poisoned_resolvers: poisoned,
+                            poisoned_fraction: poisoned as f64 / resolvers as f64,
+                            report: report.clone(),
+                        })
+                        .collect();
+                    SweepOutcome::E18(e18_result_from_rows(resolvers, rows, SweepStats::default()))
+                }
+            }
         };
-        let result = e16_result_from_rows(resolvers.max(1), rows, SweepStats::default());
         *lock(&self.sweep_result) = Some(result);
         *lock(&self.worker) = WorkerState::Finished;
         {
@@ -1256,7 +1450,7 @@ impl Job {
         threads: usize,
         fleet_metrics: &Option<Arc<FleetMetrics>>,
     ) -> Result<bool, String> {
-        let total = cursor.resolvers + 1;
+        let total = cursor.flavor.total_rows(cursor.resolvers);
         if cursor.row > total || (cursor.row < total) != cursor.current.is_some() {
             return Err("cursor row count inconsistent with payload".to_string());
         }
@@ -1272,6 +1466,7 @@ impl Job {
         }
         {
             let mut book = lock(&self.book);
+            book.flavor = cursor.flavor;
             book.seed = cursor.seed;
             book.clients = cursor.clients;
             book.resolvers = cursor.resolvers;
@@ -1293,7 +1488,7 @@ impl Job {
                 Ok(true)
             }
             None => {
-                self.finish_sweep(cursor.resolvers);
+                self.finish_sweep();
                 Ok(false)
             }
         }
@@ -1331,15 +1526,37 @@ fn build_fleet(spec: &JobSpec, metrics: Option<Arc<FleetMetrics>>) -> Result<Fle
             fleet.set_metrics(metrics);
             Ok(fleet)
         }
+        JobSpec::E18Fleet {
+            seed,
+            clients,
+            resolvers,
+            deployment,
+            poisoned_resolvers,
+            threads,
+            ..
+        } => {
+            let mut config = e18_config(
+                *seed,
+                *clients,
+                *resolvers,
+                *deployment,
+                *poisoned_resolvers,
+            );
+            config.threads = *threads;
+            let mut fleet = Fleet::new(config);
+            fleet.set_metrics(metrics);
+            Ok(fleet)
+        }
         JobSpec::Resume { bytes, threads, .. } => {
             let mut fleet = Fleet::restore_with(bytes, metrics)
                 .map_err(|e| format!("checkpoint rejected: {e}"))?;
             fleet.set_threads(*threads);
             Ok(fleet)
         }
-        JobSpec::E16Sweep { .. } | JobSpec::ResumeSweep { .. } | JobSpec::PanicProbe { .. } => {
-            Err("not a fleet spec".to_string())
-        }
+        JobSpec::E16Sweep { .. }
+        | JobSpec::E18Sweep { .. }
+        | JobSpec::ResumeSweep { .. }
+        | JobSpec::PanicProbe { .. } => Err("not a fleet spec".to_string()),
     }
 }
 
@@ -1677,6 +1894,31 @@ impl JobTable {
         lock(&self.jobs).values().cloned().collect()
     }
 
+    /// Drop a terminal job from the table, freeing its name for reuse.
+    /// Fails for unknown names and for jobs still running/paused — stop
+    /// a job first if you want it gone.
+    pub fn forget(&self, name: &str) -> Result<(), String> {
+        {
+            let mut jobs = lock(&self.jobs);
+            let job = jobs
+                .get(name)
+                .ok_or_else(|| format!("no such job: {name:?}"))?;
+            let state = job.snapshot().state;
+            if !state.is_terminal() {
+                return Err(format!(
+                    "job {name:?} is {}; stop it before forgetting",
+                    state.as_str()
+                ));
+            }
+            jobs.remove(name);
+        }
+        if let Some(o) = &self.obs {
+            o.logger
+                .info("chronosd::jobs", "job forgotten", &[("job", &name)]);
+        }
+        Ok(())
+    }
+
     /// Stop every job and join the worker pool (daemon shutdown). Any
     /// job still non-terminal after the pool drains (it never got a
     /// final step) is retired as `stopped` directly.
@@ -1882,7 +2124,9 @@ mod tests {
             .unwrap();
         let snap = wait_for(&job, JobState::Done);
         assert_eq!(snap.sweep_rows, Some((3, 3)));
-        let result = job.sweep_result().expect("sweep result");
+        let SweepOutcome::E16(result) = job.sweep_result().expect("sweep result") else {
+            panic!("e16 sweep produced a non-e16 outcome");
+        };
         let batch = chronos_pitfalls::experiments::run_e16(7, 16, 2, 1);
         assert_eq!(result.rows, batch.rows);
         assert_eq!(result.series, batch.series);
@@ -1925,10 +2169,62 @@ mod tests {
             )
             .unwrap();
         wait_for(&resumed, JobState::Done);
-        let result = resumed.sweep_result().expect("sweep result");
+        let SweepOutcome::E16(result) = resumed.sweep_result().expect("sweep result") else {
+            panic!("resumed e16 sweep produced a non-e16 outcome");
+        };
         let batch = chronos_pitfalls::experiments::run_e16(7, 16, 2, 1);
         assert_eq!(result.rows, batch.rows);
         assert_eq!(result.series, batch.series);
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn e18_sweep_job_matches_run_e18_rows_and_series() {
+        let table = JobTable::with_workers(2);
+        let job = table
+            .submit(
+                "e18-sweep",
+                JobSpec::E18Sweep {
+                    seed: 7,
+                    clients: 16,
+                    resolvers: 2,
+                    threads: 1,
+                    slice_s: 2_000,
+                    pause_at_row: None,
+                },
+            )
+            .unwrap();
+        let snap = wait_for(&job, JobState::Done);
+        let total = e18_grid(2).len();
+        assert_eq!(snap.sweep_rows, Some((total, total)));
+        let SweepOutcome::E18(result) = job.sweep_result().expect("sweep result") else {
+            panic!("e18 sweep produced a non-e18 outcome");
+        };
+        let batch = chronos_pitfalls::experiments::run_e18(7, 16, 2, 1);
+        assert_eq!(result.rows, batch.rows);
+        assert_eq!(result.series, batch.series);
+        table.stop_all_and_join();
+    }
+
+    #[test]
+    fn forget_drops_only_terminal_jobs_and_frees_the_name() {
+        let table = JobTable::with_workers(1);
+        let job = table.submit("keeper", small_spec(Some(1_000))).unwrap();
+        wait_for(&job, JobState::Paused);
+        // Paused is not terminal: the job is still steerable.
+        let err = table.forget("keeper").unwrap_err();
+        assert!(err.contains("paused"), "unexpected error: {err}");
+        assert!(table.get("keeper").is_some());
+        // Unknown names are a clean error, not a panic.
+        assert!(table.forget("nobody").is_err());
+
+        job.request_stop();
+        wait_for(&job, JobState::Stopped);
+        table.forget("keeper").unwrap();
+        assert!(table.get("keeper").is_none());
+        // The name is immediately reusable.
+        let again = table.submit("keeper", small_spec(None)).unwrap();
+        wait_for(&again, JobState::Done);
         table.stop_all_and_join();
     }
 
@@ -1955,6 +2251,24 @@ mod tests {
                 threads: 2,
                 slice_s: 100,
                 pause_at_row: Some(1),
+            },
+            JobSpec::E18Fleet {
+                seed: 11,
+                clients: 48,
+                resolvers: 4,
+                deployment: 0.75,
+                poisoned_resolvers: 2,
+                threads: 2,
+                slice_s: 250,
+                pause_at_s: Some(500),
+            },
+            JobSpec::E18Sweep {
+                seed: 5,
+                clients: 12,
+                resolvers: 3,
+                threads: 1,
+                slice_s: 400,
+                pause_at_row: Some(2),
             },
             JobSpec::Resume {
                 bytes: vec![1, 2, 0xfe],

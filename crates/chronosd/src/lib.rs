@@ -45,8 +45,8 @@ pub mod sweep;
 
 pub use client::{Client, ClientError};
 pub use daemon::{Daemon, DaemonConfig, PROTOCOL_VERSION};
-pub use jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable};
+pub use jobs::{Job, JobSnapshot, JobSpec, JobState, JobTable, SweepOutcome};
 pub use json::Json;
 pub use metrics::{DaemonObs, JobMetrics, LOG_ENV};
 pub use state::StateDir;
-pub use sweep::SweepCursor;
+pub use sweep::{SweepCursor, SweepFlavor};

@@ -11,9 +11,9 @@
 
 use crate::json::Json;
 use chronos::core::ChronosStats;
-use chronos_pitfalls::experiments::E16Result;
+use chronos_pitfalls::experiments::{E16Result, E18Result};
 use fleet::engine::{FleetProgress, FleetReport, TierBreakdown};
-use fleet::stats::{FaultCounters, OffsetHistogram};
+use fleet::stats::{FaultCounters, OffsetHistogram, SecureCounters};
 
 /// Render a [`FleetReport`] — the full aggregate: shifted series,
 /// histogram, quantiles, totals, fault counters and per-tier breakdowns.
@@ -45,6 +45,7 @@ pub fn report_json(report: &FleetReport) -> Json {
         ("histogram".into(), histogram_json(&report.histogram)),
         ("events".into(), Json::u64(report.events)),
         ("faults".into(), faults_json(&report.faults)),
+        ("secure".into(), secure_json(&report.secure)),
         (
             "tiers".into(),
             Json::Arr(report.tiers.iter().map(tier_json).collect()),
@@ -117,6 +118,37 @@ pub fn sweep_json(result: &E16Result) -> Json {
     ])
 }
 
+/// Render an [`E18Result`]: the resolver count plus one row (deployment
+/// fraction, poisoned count/fraction, full [`FleetReport`]) per grid
+/// point. Like [`sweep_json`], the figure-ready series are recomputable
+/// from the rows ([`chronos_pitfalls::experiments::e18_result_from_rows`])
+/// and are omitted from the wire format.
+pub fn e18_sweep_json(result: &E18Result) -> Json {
+    Json::Obj(vec![
+        ("resolvers".into(), Json::usize(result.resolvers)),
+        (
+            "rows".into(),
+            Json::Arr(
+                result
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        Json::Obj(vec![
+                            ("deployment".into(), Json::f64(row.deployment)),
+                            (
+                                "poisoned_resolvers".into(),
+                                Json::usize(row.poisoned_resolvers),
+                            ),
+                            ("poisoned_fraction".into(), Json::f64(row.poisoned_fraction)),
+                            ("report".into(), report_json(&row.report)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn series_json(series: &[(f64, f64)]) -> Json {
     Json::Arr(
         series
@@ -144,6 +176,20 @@ fn faults_json(faults: &FaultCounters) -> Json {
         ("outage_hits".into(), Json::u64(faults.outage_hits)),
         ("stale_served".into(), Json::u64(faults.stale_served)),
         ("boot_retries".into(), Json::u64(faults.boot_retries)),
+    ])
+}
+
+fn secure_json(secure: &SecureCounters) -> Json {
+    Json::Obj(vec![
+        (
+            "captured_associations".into(),
+            Json::u64(secure.captured_associations),
+        ),
+        (
+            "detected_inconsistencies".into(),
+            Json::u64(secure.detected_inconsistencies),
+        ),
+        ("rekeys".into(), Json::u64(secure.rekeys)),
     ])
 }
 
@@ -176,6 +222,7 @@ fn tier_json(tier: &TierBreakdown) -> Json {
         ("synced_clients".into(), Json::u64(tier.synced_clients)),
         ("totals".into(), stats_json(&tier.totals)),
         ("faults".into(), faults_json(&tier.faults)),
+        ("secure".into(), secure_json(&tier.secure)),
     ])
 }
 

@@ -1,16 +1,17 @@
 //! `SWP1`: the sweep-cursor wire format — how an in-flight `e16-sweep`
-//! grid persists across daemon restarts.
+//! or `e18-sweep` grid persists across daemon restarts.
 //!
-//! A sweep is a sequence of fleet runs (`k = 0..=resolvers` poisoned
-//! resolvers). Its durable state is therefore a *cursor*: the final
-//! `CHR1` checkpoint of every completed row (restoring one and calling
-//! `report()` reproduces the row's report byte-identically, so nothing
-//! is recomputed on reboot) plus the live `CHR1` checkpoint of the row
-//! currently stepping. Scheduling knobs (threads, slice length, pause
-//! anchors) deliberately live *outside* the cursor — in the state-dir
-//! manifest or the `resume-sweep` request — because they are allowed to
-//! differ across the two legs of a resume without changing a byte of
-//! the final result.
+//! A sweep is a sequence of fleet runs — the E16 poisoned-resolver grid
+//! (`k = 0..=resolvers`) or the E18 deployment × poisoning grid
+//! ([`chronos_pitfalls::experiments::e18_grid`]). Its durable state is
+//! therefore a *cursor*: the final `CHR1` checkpoint of every completed
+//! row (restoring one and calling `report()` reproduces the row's report
+//! byte-identically, so nothing is recomputed on reboot) plus the live
+//! `CHR1` checkpoint of the row currently stepping. Scheduling knobs
+//! (threads, slice length, pause anchors) deliberately live *outside*
+//! the cursor — in the state-dir manifest or the `resume-sweep` request
+//! — because they are allowed to differ across the two legs of a resume
+//! without changing a byte of the final result.
 //!
 //! Layout (all integers little-endian), sharing `CHR1`'s trailing
 //! XOR-fold checksum ([`fleet::checkpoint::checksum`]) and its error
@@ -18,10 +19,11 @@
 //!
 //! ```text
 //! magic    [u8; 4]           "SWP1"
-//! version  u32               currently 1
+//! version  u32               currently 2 (v2 added the flavor byte)
+//! flavor   u8                0 = e16 grid, 1 = e18 grid
 //! seed     u64
 //! clients  u64
-//! resolvers u64              grid is k = 0..=resolvers
+//! resolvers u64              row grid derives from this per flavor
 //! row      u64               completed-row count == current row index
 //! done     u64, then per row: len u64 + CHR1 bytes
 //! current  u8 flag, then if 1: len u64 + CHR1 bytes
@@ -33,24 +35,65 @@ use fleet::checkpoint::{checksum, CheckpointError};
 /// First bytes of every sweep cursor.
 pub const MAGIC: [u8; 4] = *b"SWP1";
 
-/// Current cursor format version; other versions are rejected.
-pub const VERSION: u32 = 1;
+/// Current cursor format version; other versions are rejected. Version
+/// 2 added the grid-flavor byte when `e18-sweep` jobs landed.
+pub const VERSION: u32 = 2;
+
+/// Which experiment grid a sweep walks. The flavor fixes the row count
+/// and the per-row fleet configuration as pure functions of
+/// `(seed, clients, resolvers, row)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepFlavor {
+    /// The E16 partial-poisoning grid: `k = 0..=resolvers`.
+    #[default]
+    E16,
+    /// The E18 deployment × poisoning grid
+    /// ([`chronos_pitfalls::experiments::e18_grid`]).
+    E18,
+}
+
+impl SweepFlavor {
+    /// Total rows in this flavor's grid for a given resolver count.
+    pub fn total_rows(self, resolvers: usize) -> usize {
+        match self {
+            SweepFlavor::E16 => resolvers + 1,
+            SweepFlavor::E18 => chronos_pitfalls::experiments::e18_grid(resolvers.max(1)).len(),
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            SweepFlavor::E16 => 0,
+            SweepFlavor::E18 => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<SweepFlavor, CheckpointError> {
+        match b {
+            0 => Ok(SweepFlavor::E16),
+            1 => Ok(SweepFlavor::E18),
+            _ => Err(CheckpointError::Corrupt("sweep flavor out of range")),
+        }
+    }
+}
 
 /// The decoded durable state of a sweep job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepCursor {
+    /// Which grid the sweep walks (fixes the row count and row configs).
+    pub flavor: SweepFlavor,
     /// Deterministic seed the row configs derive from.
     pub seed: u64,
     /// Fleet size per row.
     pub clients: usize,
-    /// Resolver count; the grid has `resolvers + 1` rows.
+    /// Resolver count; the grid derives from it per flavor.
     pub resolvers: usize,
     /// Completed-row count (== index of the current row).
     pub row: usize,
     /// Final `CHR1` checkpoint of each completed row, in row order.
     pub done: Vec<Vec<u8>>,
     /// Live `CHR1` checkpoint of the current row; `None` when the sweep
-    /// is complete (`row == resolvers + 1`).
+    /// is complete (`row == total_rows`).
     pub current: Option<Vec<u8>>,
 }
 
@@ -59,6 +102,7 @@ pub fn encode(cursor: &SweepCursor) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(cursor.flavor.to_byte());
     for v in [
         cursor.seed,
         cursor.clients as u64,
@@ -154,12 +198,13 @@ pub fn decode(bytes: &[u8]) -> Result<SweepCursor, CheckpointError> {
     if version != VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
+    let flavor = SweepFlavor::from_byte(r.u8()?)?;
     let seed = r.u64()?;
     let clients = r.len()?;
     let resolvers = r.len()?;
     let row = r.len()?;
     let done_count = r.len()?;
-    let total = resolvers + 1;
+    let total = flavor.total_rows(resolvers);
     if row > total {
         return Err(CheckpointError::Corrupt("row index beyond grid"));
     }
@@ -190,6 +235,7 @@ pub fn decode(bytes: &[u8]) -> Result<SweepCursor, CheckpointError> {
         ));
     }
     Ok(SweepCursor {
+        flavor,
         seed,
         clients,
         resolvers,
@@ -205,6 +251,7 @@ mod tests {
 
     fn sample() -> SweepCursor {
         SweepCursor {
+            flavor: SweepFlavor::E16,
             seed: 7,
             clients: 16,
             resolvers: 2,
@@ -225,6 +272,38 @@ mod tests {
             ..sample()
         };
         assert_eq!(decode(&encode(&complete)).unwrap(), complete);
+        // The E18 grid with 2 resolvers has 10 rows (5 deployments × 2
+        // poisoned counts), so a mid-grid cursor round-trips too.
+        let e18 = SweepCursor {
+            flavor: SweepFlavor::E18,
+            row: 4,
+            done: vec![vec![1], vec![2], vec![3], vec![4]],
+            current: Some(vec![5]),
+            ..sample()
+        };
+        assert_eq!(decode(&encode(&e18)).unwrap(), e18);
+    }
+
+    #[test]
+    fn flavor_bounds_the_grid() {
+        assert_eq!(SweepFlavor::E16.total_rows(2), 3);
+        assert_eq!(
+            SweepFlavor::E18.total_rows(2),
+            chronos_pitfalls::experiments::e18_grid(2).len()
+        );
+        // An E16 row index valid only under the larger E18 grid is
+        // rejected once the flavor says E16.
+        let wrong = SweepCursor {
+            flavor: SweepFlavor::E16,
+            row: 4,
+            done: vec![vec![1], vec![2], vec![3], vec![4]],
+            current: Some(vec![5]),
+            ..sample()
+        };
+        assert!(matches!(
+            decode(&encode(&wrong)),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -252,6 +331,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(0); // flavor: e16
         for v in [
             cursor.seed,
             cursor.clients as u64,

@@ -21,7 +21,7 @@ use std::time::Duration;
 use chronosd::json::Json;
 use chronosd::state::{decode_manifest, encode_manifest, ManifestEntry};
 use chronosd::sweep::{decode, encode};
-use chronosd::{Client, Daemon, DaemonConfig, DaemonObs, StateDir, SweepCursor};
+use chronosd::{Client, Daemon, DaemonConfig, DaemonObs, StateDir, SweepCursor, SweepFlavor};
 use fleet::checkpoint::CheckpointError;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -99,22 +99,29 @@ fn entry_strategy() -> impl Strategy<Value = ManifestEntry> {
 
 fn cursor_strategy() -> impl Strategy<Value = SweepCursor> {
     (
+        any::<bool>(),
         0u64..1_000,
         1usize..5_000,
         1usize..=6,
-        0usize..=7,
-        vec(vec(any::<u8>(), 0..40), 0..8),
+        0usize..=12,
+        vec(vec(any::<u8>(), 0..40), 0..13),
         vec(any::<u8>(), 0..40),
     )
-        .prop_map(|(seed, clients, resolvers, row, blobs, live)| {
+        .prop_map(|(e18, seed, clients, resolvers, row, blobs, live)| {
             // Make the cursor structurally valid: row within the grid,
             // exactly `row` done blobs, a current blob iff incomplete.
-            let total = resolvers + 1;
+            let flavor = if e18 {
+                SweepFlavor::E18
+            } else {
+                SweepFlavor::E16
+            };
+            let total = flavor.total_rows(resolvers);
             let row = row.min(total);
             let mut done = blobs;
             done.resize(row, vec![0xAB; 7]);
             let current = (row < total).then_some(live);
             SweepCursor {
+                flavor,
                 seed,
                 clients,
                 resolvers,

@@ -1075,6 +1075,297 @@ pub fn e17_table(result: &E17Result) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E18 — partial secure-time deployment: the E16 mix diluted with NTS and
+// Roughtime cohort tiers, swept deployment fraction × poisoned
+// resolvers. The question the secure tiers exist to answer: how much of
+// the paper's population-scale capture survives when a fraction of the
+// fleet runs authenticated time — and through *which* residual surface
+// (the NTS-KE bootstrap still rides poisoned DNS; Roughtime's
+// cross-referencing degenerates at M = 1, the ETH2-Medalla failure).
+// ---------------------------------------------------------------------
+
+/// The E18 deployment sweep: the fraction of the population (in
+/// sixteenths, see [`e18_tiers`]) moved from the legacy E16 mix onto
+/// secure-time tiers.
+pub const E18_DEPLOYMENTS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One point of the E18 grid: the partially-secure fleet with the
+/// attacker in `poisoned_resolvers` caches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E18Row {
+    /// Fraction of the population on secure-time tiers (NTS + Roughtime).
+    pub deployment: f64,
+    /// Resolvers the attacker poisoned.
+    pub poisoned_resolvers: usize,
+    /// The x coordinate of the poisoning axis: `poisoned / resolvers`.
+    pub poisoned_fraction: f64,
+    /// The mixed fleet's outcome (per-tier secure counters included).
+    pub report: fleet::FleetReport,
+}
+
+/// Result of the E18 deployment × poisoning sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E18Result {
+    /// Independent resolver caches in every fleet.
+    pub resolvers: usize,
+    /// One row per grid point, deployment-major then poisoned count.
+    pub rows: Vec<E18Row>,
+    /// Fraction-shifted vs deployment fraction, one curve per tier plus
+    /// the fleet-wide one, one family per poisoned-resolver count — and
+    /// the secure tiers' capture/detection diagnostics.
+    pub series: Vec<crate::report::Series>,
+    /// Sweep/pooling counters.
+    pub stats: montecarlo::SweepStats,
+}
+
+/// The E18 population mix at `deployment` ∈ [0, 1]: the fleet is carved
+/// into 16 weighted-round-robin units, `deployment · 16` of them secure
+/// (split evenly NTS / Roughtime at their default knobs: day-long NTS
+/// key lifetime, M = 3 Roughtime sources) and the rest the [`e16_tiers`]
+/// 2:1:1 Chronos / §V-mitigated / plain-NTP legacy mix. Shares are
+/// gcd-reduced and zero-share tiers dropped, so `deployment = 0` returns
+/// *exactly* [`e16_tiers`] — the inert end of the sweep is the E16 fleet
+/// byte for byte.
+pub fn e18_tiers(deployment: f64) -> Vec<fleet::CohortTier> {
+    use fleet::CohortTier;
+    assert!(
+        (0.0..=1.0).contains(&deployment),
+        "deployment fraction {deployment} outside [0, 1]"
+    );
+    const UNITS: u32 = 16;
+    let secure = (deployment * f64::from(UNITS)).round() as u32;
+    if secure == 0 {
+        return e16_tiers();
+    }
+    let nts = secure / 2;
+    let roughtime = secure - nts;
+    let insecure = UNITS - secure;
+    let chronos = insecure / 2;
+    let mitigated = insecure / 4;
+    let plain = insecure - chronos - mitigated;
+    let mut shares = vec![chronos, mitigated, plain, nts, roughtime];
+    let g = shares.iter().copied().filter(|&s| s > 0).fold(0, gcd);
+    for s in &mut shares {
+        *s /= g.max(1);
+    }
+    let mut base = e16_tiers();
+    let mut tiers = Vec::new();
+    for (tier, share) in base.drain(..).zip(&shares) {
+        if *share > 0 {
+            tiers.push(fleet::CohortTier {
+                share: *share,
+                ..tier
+            });
+        }
+    }
+    if shares[3] > 0 {
+        tiers.push(CohortTier::nts("nts", shares[3]));
+    }
+    if shares[4] > 0 {
+        tiers.push(CohortTier::roughtime("roughtime", shares[4]));
+    }
+    tiers
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The fleet configuration one E18 grid point runs: [`e16_config`]'s
+/// scenario (poison at t = 100 s, inside the 200 s boot stagger) with the
+/// [`e18_tiers`] mix swapped in. No fault plan — E18 isolates the
+/// secure-deployment question; the fault × secure-tier interactions are
+/// pinned by the engine's unit tests.
+pub fn e18_config(
+    seed: u64,
+    clients: usize,
+    resolvers: usize,
+    deployment: f64,
+    poisoned_resolvers: usize,
+) -> fleet::FleetConfig {
+    let mut config = e16_config(seed, clients, resolvers, poisoned_resolvers);
+    config.tiers = e18_tiers(deployment);
+    config
+}
+
+/// Runs E18: one [`montecarlo::run_fleets`] invocation sweeps
+/// [`E18_DEPLOYMENTS`] × poisoned resolvers ∈ {1, all} over the
+/// partially-secure mix.
+///
+/// The shape the unit test pins: the zero-deployment corner is the E16
+/// fleet byte for byte; NTS capture is bounded by the *association*
+/// exposure window (only clients whose boot-time NTS-KE resolution fell
+/// after the poison landed — polls are authenticated and unspoofable),
+/// so the tier tracks the plain-NTP slope rather than the 24-round
+/// Chronos one; and Roughtime's M = 3 majority-of-midpoints stays flat
+/// under single-resolver poisoning (each client holds at most one
+/// captured source) while full poisoning captures whole source sets at
+/// boot.
+pub fn run_e18(seed: u64, clients: usize, resolvers: usize, threads: usize) -> E18Result {
+    assert!(resolvers >= 1, "need at least one resolver");
+    let grid = e18_grid(resolvers);
+    let outer = threads.max(1).min(grid.len());
+    let inner = (threads.max(1) / outer).max(1);
+    let configs: Vec<fleet::FleetConfig> = grid
+        .iter()
+        .map(|&(d, k)| fleet::FleetConfig {
+            threads: inner,
+            ..e18_config(seed, clients, resolvers, d, k)
+        })
+        .collect();
+    let (mut reports, stats) =
+        montecarlo::run_fleets(&configs, outer, 1, |fleet, _, _| fleet.run());
+    let rows: Vec<E18Row> = grid
+        .iter()
+        .zip(reports.iter_mut())
+        .map(|(&(d, k), r)| E18Row {
+            deployment: d,
+            poisoned_resolvers: k,
+            poisoned_fraction: k as f64 / resolvers as f64,
+            report: r.remove(0),
+        })
+        .collect();
+    e18_result_from_rows(resolvers, rows, stats)
+}
+
+/// The E18 grid, deployment-major: every [`E18_DEPLOYMENTS`] fraction
+/// crossed with the poisoned-resolver counts `{1, resolvers}` (just
+/// `{1}` when there is a single resolver). Shared between [`run_e18`]
+/// and chronosd's row-by-row `e18-sweep` jobs so both walk the exact
+/// same rows in the exact same order.
+pub fn e18_grid(resolvers: usize) -> Vec<(f64, usize)> {
+    assert!(resolvers >= 1, "need at least one resolver");
+    let mut ks = vec![1usize];
+    if resolvers > 1 {
+        ks.push(resolvers);
+    }
+    E18_DEPLOYMENTS
+        .iter()
+        .flat_map(|&d| ks.iter().map(move |&k| (d, k)))
+        .collect()
+}
+
+/// Assembles an [`E18Result`] from already-computed rows — the tail of
+/// [`run_e18`], split out (like [`e16_result_from_rows`]) so chronosd's
+/// checkpointable row-by-row sweeps build the identical structure.
+pub fn e18_result_from_rows(
+    resolvers: usize,
+    rows: Vec<E18Row>,
+    stats: montecarlo::SweepStats,
+) -> E18Result {
+    assert!(!rows.is_empty(), "need at least one E18 row");
+    let mut ks: Vec<usize> = rows.iter().map(|r| r.poisoned_resolvers).collect();
+    ks.dedup();
+    ks.sort_unstable();
+    ks.dedup();
+    // Per poisoned-resolver count, fraction-shifted vs deployment per
+    // tier (tier sets change across deployments, so each label's curve
+    // spans the rows where the tier exists), the fleet-wide curve, and
+    // the secure tiers' per-client capture/detection diagnostics.
+    let mut series: Vec<crate::report::Series> = Vec::new();
+    for &k in &ks {
+        let k_rows: Vec<&E18Row> = rows.iter().filter(|r| r.poisoned_resolvers == k).collect();
+        let suffix = format!("k={k}/{resolvers}");
+        let mut labels: Vec<String> = Vec::new();
+        for row in &k_rows {
+            for tier in &row.report.tiers {
+                if !labels.contains(&tier.label) {
+                    labels.push(tier.label.clone());
+                }
+            }
+        }
+        let tier_points = |f: &dyn Fn(&fleet::TierBreakdown) -> f64, label: &str| {
+            k_rows
+                .iter()
+                .filter_map(|r| {
+                    r.report
+                        .tiers
+                        .iter()
+                        .find(|t| t.label == label)
+                        .map(|t| (r.deployment, f(t)))
+                })
+                .collect::<Vec<_>>()
+        };
+        for label in &labels {
+            series.push(crate::report::Series {
+                label: format!("{label} shifted ({suffix})"),
+                points: tier_points(&|t| t.final_shifted_fraction, label),
+            });
+        }
+        series.push(crate::report::Series {
+            label: format!("all clients shifted ({suffix})"),
+            points: k_rows
+                .iter()
+                .map(|r| (r.deployment, r.report.final_shifted_fraction))
+                .collect(),
+        });
+        let per_client = |v: u64, t: &fleet::TierBreakdown| v as f64 / t.clients.max(1) as f64;
+        if labels.iter().any(|l| l == "nts") {
+            series.push(crate::report::Series {
+                label: format!("nts captured assoc/client ({suffix})"),
+                points: tier_points(&|t| per_client(t.secure.captured_associations, t), "nts"),
+            });
+        }
+        if labels.iter().any(|l| l == "roughtime") {
+            series.push(crate::report::Series {
+                label: format!("roughtime inconsistencies/client ({suffix})"),
+                points: tier_points(
+                    &|t| per_client(t.secure.detected_inconsistencies, t),
+                    "roughtime",
+                ),
+            });
+        }
+    }
+    E18Result {
+        resolvers,
+        rows,
+        series,
+        stats,
+    }
+}
+
+/// Renders the E18 grid, one line per (deployment, poisoned count, tier)
+/// with the tier's decision and secure counters side by side.
+pub fn e18_table(result: &E18Result) -> Table {
+    let mut t = Table::new(
+        "E18 — partial secure-time deployment (deployment × poisoned resolvers)",
+        &[
+            "deployment %",
+            "poisoned",
+            "tier",
+            "shifted %",
+            "poisoned clients",
+            "captured assoc",
+            "inconsistencies",
+            "re-keys",
+            "accepts",
+            "rejects",
+        ],
+    );
+    for row in &result.rows {
+        for tier in &row.report.tiers {
+            t.push_row(vec![
+                format!("{:.0}", 100.0 * row.deployment),
+                format!("{}/{}", row.poisoned_resolvers, result.resolvers),
+                tier.label.clone(),
+                format!("{:.1}", 100.0 * tier.final_shifted_fraction),
+                tier.poisoned_clients.to_string(),
+                tier.secure.captured_associations.to_string(),
+                tier.secure.detected_inconsistencies.to_string(),
+                tier.secure.rekeys.to_string(),
+                tier.totals.accepts.to_string(),
+                tier.totals.rejects.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // E7 — the measurement study (claims C7–C9).
 // ---------------------------------------------------------------------
 
@@ -2065,6 +2356,94 @@ mod tests {
         // curves per tier per coverage level.
         assert_eq!(e17_table(&r).len(), r.rows.len() * 3);
         assert_eq!(r.series.len(), 2 * 3 * 3);
+    }
+
+    #[test]
+    fn e18_secure_deployment_reshapes_the_capture() {
+        let resolvers = 4;
+        let r = run_e18(11, 128, resolvers, 2);
+        assert_eq!(r.rows.len(), 2 * E18_DEPLOYMENTS.len());
+        let at = |d: f64, k: usize| {
+            r.rows
+                .iter()
+                .find(|row| row.deployment == d && row.poisoned_resolvers == k)
+                .expect("grid point present")
+        };
+        let tier = |row: &E18Row, label: &str| {
+            row.report
+                .tiers
+                .iter()
+                .find(|t| t.label == label)
+                .cloned()
+                .unwrap_or_else(|| panic!("tier {label} present"))
+        };
+        // The zero-deployment corner is the E16 fleet byte for byte:
+        // e18_tiers(0) gcd-reduces to e16_tiers exactly.
+        assert_eq!(e18_tiers(0.0), e16_tiers());
+        let base = at(0.0, resolvers);
+        let mut e16_fleet = fleet::Fleet::new(fleet::FleetConfig {
+            threads: 1,
+            ..e16_config(11, 128, resolvers, resolvers)
+        });
+        assert_eq!(base.report, e16_fleet.run(), "0% deployment equals E16");
+        // Full deployment, full poisoning: NTS capture is bounded by the
+        // boot-time association window (roughly the half of the tier
+        // booting after the t = 100 s poison) — far below the stock
+        // Chronos tier's near-total capture at 0% deployment.
+        let full = at(1.0, resolvers);
+        let nts = tier(full, "nts");
+        assert!(nts.secure.captured_associations > 0);
+        assert_eq!(
+            nts.poisoned_clients, nts.secure.captured_associations,
+            "capture is one poisoned boot association per client"
+        );
+        let chronos_base = tier(base, "chronos").final_shifted_fraction;
+        assert!(chronos_base > 0.9);
+        assert!(
+            nts.final_shifted_fraction > 0.2 && nts.final_shifted_fraction < 0.8,
+            "NTS capture tracks the boot-exposure window, not the pool \
+             window: {}",
+            nts.final_shifted_fraction
+        );
+        // Roughtime under single-resolver poisoning: captured sources
+        // exist, but the M = 3 majority out-votes every one of them —
+        // the curve stays flat at zero (no Medalla with M > 1).
+        let k1 = at(1.0, 1);
+        let rt = tier(k1, "roughtime");
+        assert!(rt.secure.captured_associations > 0, "sources were captured");
+        assert_eq!(
+            rt.final_shifted_fraction, 0.0,
+            "majority-of-midpoints rides out one poisoned resolver"
+        );
+        // Full poisoning captures whole source sets at boot instead.
+        let rt_full = tier(full, "roughtime");
+        assert!(rt_full.final_shifted_fraction > 0.2);
+        // Secure deployment strictly shrinks the fleet-wide capture at
+        // full poisoning.
+        assert!(
+            full.report.final_shifted_fraction < base.report.final_shifted_fraction,
+            "secure tiers dilute the capture: {} vs {}",
+            full.report.final_shifted_fraction,
+            base.report.final_shifted_fraction
+        );
+        // Table: one line per (row, tier); series: per-k tier curves +
+        // fleet-wide + the two secure diagnostics.
+        let table_rows: usize = r.rows.iter().map(|row| row.report.tiers.len()).sum();
+        assert_eq!(e18_table(&r).len(), table_rows);
+        for k in [1, resolvers] {
+            for needle in [
+                format!("nts shifted (k={k}/{resolvers})"),
+                format!("roughtime shifted (k={k}/{resolvers})"),
+                format!("all clients shifted (k={k}/{resolvers})"),
+                format!("nts captured assoc/client (k={k}/{resolvers})"),
+                format!("roughtime inconsistencies/client (k={k}/{resolvers})"),
+            ] {
+                assert!(
+                    r.series.iter().any(|s| s.label == needle),
+                    "series {needle} present"
+                );
+            }
+        }
     }
 
     #[test]

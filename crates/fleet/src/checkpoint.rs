@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! magic  b"CHR1"            4 bytes
-//! version u32               currently 1
+//! version u32               currently 2
 //! config  FleetConfig       self-delimiting field sequence
 //! now_ns  u64               fleet clock at the snapshot
 //! shards  u32 + per-shard   columns, wheel tick, aggregates
@@ -46,7 +46,10 @@ pub const MAGIC: [u8; 4] = *b"CHR1";
 
 /// Current format version. Bumped on any layout change; old versions are
 /// rejected (a simulation checkpoint is a cache, not an archive format).
-pub const VERSION: u32 = 1;
+/// Version 2 added the E18 secure-tier state: NTS/Roughtime kind tags,
+/// per-tier key-lifetime/re-key/sources knobs, and the per-client
+/// association columns.
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -331,6 +334,8 @@ fn put_kind(w: &mut Writer, k: ClientKind) {
     w.u8(match k {
         ClientKind::Chronos => 0,
         ClientKind::PlainNtp => 1,
+        ClientKind::Nts => 2,
+        ClientKind::Roughtime => 3,
     });
 }
 
@@ -338,6 +343,8 @@ fn get_kind(r: &mut Reader<'_>) -> Result<ClientKind, CheckpointError> {
     match r.u8()? {
         0 => Ok(ClientKind::Chronos),
         1 => Ok(ClientKind::PlainNtp),
+        2 => Ok(ClientKind::Nts),
+        3 => Ok(ClientKind::Roughtime),
         _ => Err(CheckpointError::Corrupt("client kind out of range")),
     }
 }
@@ -355,6 +362,9 @@ fn put_tier(w: &mut Writer, t: &CohortTier) {
     }
     put_opt_u64(w, t.poll_interval.map(|d| d.as_nanos()));
     put_opt_u64(w, t.pool_size.map(|v| v as u64));
+    put_opt_u64(w, t.key_lifetime.map(|d| d.as_nanos()));
+    put_opt_u64(w, t.rekey_interval.map(|d| d.as_nanos()));
+    put_opt_u64(w, t.sources.map(|v| v as u64));
 }
 
 fn get_tier(r: &mut Reader<'_>) -> Result<CohortTier, CheckpointError> {
@@ -369,6 +379,9 @@ fn get_tier(r: &mut Reader<'_>) -> Result<CohortTier, CheckpointError> {
         },
         poll_interval: get_opt_u64(r)?.map(SimDuration::from_nanos),
         pool_size: get_opt_u64(r)?.map(|v| v as usize),
+        key_lifetime: get_opt_u64(r)?.map(SimDuration::from_nanos),
+        rekey_interval: get_opt_u64(r)?.map(SimDuration::from_nanos),
+        sources: get_opt_u64(r)?.map(|v| v as usize),
     })
 }
 
@@ -556,11 +569,22 @@ mod tests {
         mitigated.poll_interval = Some(SimDuration::from_secs(32));
         let mut plain = CohortTier::plain_ntp("plain", 1);
         plain.pool_size = Some(6);
+        let mut nts = CohortTier::nts("nts", 1);
+        nts.key_lifetime = Some(SimDuration::from_secs(3600));
+        nts.rekey_interval = Some(SimDuration::from_secs(900));
+        let mut roughtime = CohortTier::roughtime("roughtime", 1);
+        roughtime.sources = Some(5);
         FleetConfig {
             seed: 0xdead_beef,
             clients: 100,
             first_client_id: 17,
-            tiers: vec![CohortTier::chronos("stock", 3), mitigated, plain],
+            tiers: vec![
+                CohortTier::chronos("stock", 3),
+                mitigated,
+                plain,
+                nts,
+                roughtime,
+            ],
             resolvers: 4,
             attack: Some(
                 FleetAttack::paper_default(SimTime::from_secs(300), SimDuration::from_millis(500))

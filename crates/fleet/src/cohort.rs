@@ -40,6 +40,25 @@ const RESOLVER_ASSIGN_SALT: u64 = 0x5eed_d15c_0bab_b1e5;
 /// resolution (`pool.ntp.org` serves 4 addresses per response).
 pub const PLAIN_DEFAULT_SERVERS: usize = 4;
 
+/// Default number of independently-resolved Roughtime sources
+/// cross-referenced per fetch round (M). Three is the smallest count
+/// with a strict majority under one compromised source.
+pub const ROUGHTIME_DEFAULT_SOURCES: usize = 3;
+
+/// Hard cap on Roughtime sources per client: the resolved/poisoned
+/// source sets are packed into one `u32` association column (two 16-bit
+/// masks), so M must fit in 16 bits.
+pub const ROUGHTIME_MAX_SOURCES: usize = 16;
+
+/// Default NTS key lifetime (24 h): how long an association's cookies
+/// stay usable after the NTS-KE handshake that minted them.
+pub const NTS_DEFAULT_KEY_LIFETIME_SECS: u64 = 86_400;
+
+/// Default NTS re-key cadence (24 h): how often a client re-runs
+/// NTS-KE — and therefore re-resolves the KE server name through its
+/// (possibly poisoned) resolver.
+pub const NTS_DEFAULT_REKEY_SECS: u64 = 86_400;
+
 /// What kind of time client a tier runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ClientKind {
@@ -50,6 +69,20 @@ pub enum ClientKind {
     /// 4-server pool, intersection → cluster → combine each poll
     /// ([`ntplab::combine::ntpd_pipeline`]).
     PlainNtp,
+    /// NTS-secured NTP (RFC 8915): time samples are authenticated, so a
+    /// poisoned resolver cannot alter offsets *post-association* — but
+    /// the NTS-KE bootstrap (server-name resolution at boot and on every
+    /// re-key) still rides the tier's resolver. A boot or re-key inside
+    /// the poison window associates the client to attacker-controlled
+    /// servers for the key lifetime.
+    Nts,
+    /// Roughtime-style redundant fetch: M sources resolved through M
+    /// *distinct* resolvers at boot, each poll cross-references their
+    /// signed midpoints by majority; rounds without a strict majority are
+    /// flagged as detected inconsistencies and applied nowhere. M = 1
+    /// degenerates to a single-server plain fetch — the ETH2-Medalla
+    /// failure mode.
+    Roughtime,
 }
 
 /// One population tier of a heterogeneous fleet: a client kind, a
@@ -75,33 +108,61 @@ pub struct CohortTier {
     /// Pool-size override: for Chronos tiers it replaces
     /// `chronos.pool.queries` (the number of pool-generation rounds), for
     /// plain-NTP tiers the number of servers kept from the single
-    /// resolution (default [`PLAIN_DEFAULT_SERVERS`]).
+    /// resolution (default [`PLAIN_DEFAULT_SERVERS`]), for NTS tiers the
+    /// number of servers the KE handshake hands out (default: the tier's
+    /// `chronos.sample_size`).
     pub pool_size: Option<usize>,
+    /// NTS tiers only: how long one association's keys stay usable
+    /// (default [`NTS_DEFAULT_KEY_LIFETIME_SECS`]). Samples after expiry
+    /// are discarded until the next re-key succeeds.
+    pub key_lifetime: Option<SimDuration>,
+    /// NTS tiers only: cadence of scheduled NTS-KE re-keys, each of which
+    /// re-resolves the KE server name (default
+    /// [`NTS_DEFAULT_REKEY_SECS`]). Set it beyond the horizon to model
+    /// boot-only association.
+    pub rekey_interval: Option<SimDuration>,
+    /// Roughtime tiers only: number of independently-resolved sources M
+    /// cross-referenced per fetch (default
+    /// [`ROUGHTIME_DEFAULT_SOURCES`], at most
+    /// [`ROUGHTIME_MAX_SOURCES`]).
+    pub sources: Option<usize>,
 }
 
 impl CohortTier {
-    /// A Chronos tier inheriting every fleet-level knob.
-    pub fn chronos(label: &str, share: u32) -> CohortTier {
+    fn base(label: &str, kind: ClientKind, share: u32) -> CohortTier {
         CohortTier {
             label: label.to_string(),
-            kind: ClientKind::Chronos,
+            kind,
             share,
             chronos: None,
             poll_interval: None,
             pool_size: None,
+            key_lifetime: None,
+            rekey_interval: None,
+            sources: None,
         }
+    }
+
+    /// A Chronos tier inheriting every fleet-level knob.
+    pub fn chronos(label: &str, share: u32) -> CohortTier {
+        CohortTier::base(label, ClientKind::Chronos, share)
     }
 
     /// A plain-NTP tier with the default 4-server pool.
     pub fn plain_ntp(label: &str, share: u32) -> CohortTier {
-        CohortTier {
-            label: label.to_string(),
-            kind: ClientKind::PlainNtp,
-            share,
-            chronos: None,
-            poll_interval: None,
-            pool_size: None,
-        }
+        CohortTier::base(label, ClientKind::PlainNtp, share)
+    }
+
+    /// An NTS tier with the default daily key lifetime and re-key
+    /// cadence.
+    pub fn nts(label: &str, share: u32) -> CohortTier {
+        CohortTier::base(label, ClientKind::Nts, share)
+    }
+
+    /// A Roughtime tier with the default M = 3 independently-resolved
+    /// sources.
+    pub fn roughtime(label: &str, share: u32) -> CohortTier {
+        CohortTier::base(label, ClientKind::Roughtime, share)
     }
 }
 
@@ -117,8 +178,16 @@ pub struct TierParams {
     /// `poll_interval` and `response_window` from here (their cadence),
     /// but none of the selection machinery.
     pub chronos: ChronosConfig,
-    /// Plain-NTP only: servers kept from the single DNS resolution.
+    /// Plain-NTP: servers kept from the single DNS resolution. NTS:
+    /// servers the KE handshake hands out per association.
     pub plain_servers: usize,
+    /// NTS only: association key lifetime in nanoseconds.
+    pub key_lifetime_ns: u64,
+    /// NTS only: scheduled re-key cadence in nanoseconds (each re-key is
+    /// a fresh KE server-name resolution).
+    pub rekey_interval_ns: u64,
+    /// Roughtime only: number of independently-resolved sources M.
+    pub sources: usize,
     /// This tier's fault probabilities, stamped by
     /// [`crate::config::FleetConfig::effective_tiers`] from the fleet's
     /// [`crate::config::FaultPlan`] (inert when resolved directly).
@@ -140,11 +209,27 @@ impl TierParams {
                 chronos.pool.queries = pool;
             }
         }
+        // NTS associations default to the Chronos sample size so the
+        // authenticated pool feeds the same selection machinery; plain
+        // NTP keeps the classic 4-address DNS response.
+        let plain_servers = match tier.kind {
+            ClientKind::Nts => tier.pool_size.unwrap_or(chronos.sample_size),
+            _ => tier.pool_size.unwrap_or(PLAIN_DEFAULT_SERVERS),
+        };
         TierParams {
             label: tier.label.clone(),
             kind: tier.kind,
             chronos,
-            plain_servers: tier.pool_size.unwrap_or(PLAIN_DEFAULT_SERVERS),
+            plain_servers,
+            key_lifetime_ns: tier
+                .key_lifetime
+                .unwrap_or(SimDuration::from_secs(NTS_DEFAULT_KEY_LIFETIME_SECS))
+                .as_nanos(),
+            rekey_interval_ns: tier
+                .rekey_interval
+                .unwrap_or(SimDuration::from_secs(NTS_DEFAULT_REKEY_SECS))
+                .as_nanos(),
+            sources: tier.sources.unwrap_or(ROUGHTIME_DEFAULT_SOURCES),
             faults: crate::config::TierFaults::default(),
         }
     }
@@ -389,6 +474,43 @@ mod tests {
         let p = TierParams::resolve(&plain, &fleet_chronos);
         assert_eq!(p.plain_servers, 3);
         assert_eq!(p.chronos.pool.queries, fleet_chronos.pool.queries);
+    }
+
+    #[test]
+    fn secure_tier_params_resolve_defaults_and_overrides() {
+        let fleet_chronos = ChronosConfig::default();
+
+        // NTS: association pool defaults to the Chronos sample size so
+        // the authenticated samples feed the same selection machinery.
+        let mut nts = CohortTier::nts("nts", 1);
+        let p = TierParams::resolve(&nts, &fleet_chronos);
+        assert_eq!(p.kind, ClientKind::Nts);
+        assert_eq!(p.plain_servers, fleet_chronos.sample_size);
+        assert_eq!(
+            p.key_lifetime_ns,
+            SimDuration::from_secs(NTS_DEFAULT_KEY_LIFETIME_SECS).as_nanos()
+        );
+        assert_eq!(
+            p.rekey_interval_ns,
+            SimDuration::from_secs(NTS_DEFAULT_REKEY_SECS).as_nanos()
+        );
+        nts.pool_size = Some(7);
+        nts.key_lifetime = Some(SimDuration::from_secs(900));
+        nts.rekey_interval = Some(SimDuration::from_secs(600));
+        let p = TierParams::resolve(&nts, &fleet_chronos);
+        assert_eq!(p.plain_servers, 7);
+        assert_eq!(p.key_lifetime_ns, SimDuration::from_secs(900).as_nanos());
+        assert_eq!(p.rekey_interval_ns, SimDuration::from_secs(600).as_nanos());
+
+        // Roughtime: M defaults to 3, overridable down to the Medalla
+        // single-source degeneracy.
+        let mut rt = CohortTier::roughtime("roughtime", 1);
+        let p = TierParams::resolve(&rt, &fleet_chronos);
+        assert_eq!(p.kind, ClientKind::Roughtime);
+        assert_eq!(p.sources, ROUGHTIME_DEFAULT_SOURCES);
+        rt.sources = Some(1);
+        let p = TierParams::resolve(&rt, &fleet_chronos);
+        assert_eq!(p.sources, 1);
     }
 
     #[test]

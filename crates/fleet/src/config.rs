@@ -477,10 +477,37 @@ impl FleetConfig {
         assert!(self.tiers.len() <= 255, "at most 255 tiers (u8 column)");
         for tier in &self.tiers {
             assert!(tier.share >= 1, "tier '{}' has zero share", tier.label);
-            if tier.kind == crate::cohort::ClientKind::PlainNtp {
+            match tier.kind {
+                crate::cohort::ClientKind::PlainNtp | crate::cohort::ClientKind::Nts => {
+                    assert!(
+                        tier.pool_size.is_none_or(|n| n >= 1),
+                        "tier '{}' keeps zero servers",
+                        tier.label
+                    );
+                }
+                crate::cohort::ClientKind::Roughtime => {
+                    let m = tier
+                        .sources
+                        .unwrap_or(crate::cohort::ROUGHTIME_DEFAULT_SOURCES);
+                    assert!(
+                        (1..=crate::cohort::ROUGHTIME_MAX_SOURCES).contains(&m),
+                        "roughtime tier '{}' wants {m} sources, outside 1..={} \
+                         (u32 source-mask column)",
+                        tier.label,
+                        crate::cohort::ROUGHTIME_MAX_SOURCES
+                    );
+                }
+                crate::cohort::ClientKind::Chronos => {}
+            }
+            if tier.kind == crate::cohort::ClientKind::Nts {
                 assert!(
-                    tier.pool_size.is_none_or(|n| n >= 1),
-                    "plain tier '{}' keeps zero servers",
+                    tier.key_lifetime.is_none_or(|d| !d.is_zero()),
+                    "nts tier '{}' has a zero key lifetime",
+                    tier.label
+                );
+                assert!(
+                    tier.rekey_interval.is_none_or(|d| !d.is_zero()),
+                    "nts tier '{}' has a zero re-key interval",
                     tier.label
                 );
             }

@@ -20,8 +20,8 @@
 //! # Cohorts: heterogeneous tiers across multiple resolvers
 //!
 //! A fleet is a set of [`CohortTier`](crate::cohort::CohortTier)s —
-//! client kind (Chronos or plain-NTP), population share, per-tier
-//! configuration overrides — whose clients hash across
+//! client kind (Chronos, plain-NTP, NTS or Roughtime), population share,
+//! per-tier configuration overrides — whose clients hash across
 //! [`FleetConfig::resolvers`] independent resolver caches. Both
 //! assignments are pure functions of the global client id
 //! ([`crate::cohort`]), materialized into `tier`/`resolver` state columns
@@ -32,6 +32,20 @@
 //! runs the *same* decision code as its packet-level reference client.
 //! An empty tier list with `resolvers = 1` is the homogeneous legacy
 //! fleet, byte-identical to the pre-cohort engine.
+//!
+//! The secure tiers model partial secure-time deployment (E18). **NTS**
+//! clients poll Chronos-shaped over an *authenticated* association —
+//! poisoned resolvers cannot alter their samples — but the NTS-KE
+//! bootstrap (boot, and every re-key boundary) resolves the KE server
+//! name through the client's resolver, so an association inside the
+//! poison window hands the client to attacker servers for the key
+//! lifetime (`assoc_expiry_ns` column; re-key boundaries interleave with
+//! polls via [`Phase::PoolGeneration`] flips). **Roughtime** clients
+//! resolve M sources through M distinct resolvers at boot
+//! (`assoc_sources` packed bitmask column) and cross-reference their
+//! signed midpoints by strict majority every fetch
+//! ([`chronos::core::conclude_roughtime_round`]); rounds without a
+//! majority are *detected* inconsistencies — counted, never applied.
 //!
 //! # Sharded parallel stepping
 //!
@@ -99,9 +113,11 @@ use crate::config::FleetConfig;
 use crate::metrics::FleetMetrics;
 use crate::resolver::{DnsAnswer, QuerySchedule, ResolverModel, ResolverTimeline, STALE_TTL_SECS};
 use crate::rng::{client_seed, fault_f64, FaultLane, FleetRng};
-use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
+use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile, SecureCounters};
 use crate::wheel::TimerWheel;
-use chronos::core::{self, ChronosStats, CoreState, Phase, PlainRoundOutcome, RoundOutcome};
+use chronos::core::{
+    self, ChronosStats, CoreState, Phase, PlainRoundOutcome, RoughtimeOutcome, RoundOutcome,
+};
 use chronos::select::SelectScratch;
 use netsim::time::{SimDuration, SimTime};
 use ntplab::clock::LocalClock;
@@ -153,6 +169,9 @@ pub struct FleetReport {
     /// Fleet-wide fault-injection counters (all zero without a
     /// [`crate::config::FaultPlan`]).
     pub faults: FaultCounters,
+    /// Fleet-wide secure-tier counters (all zero without NTS/Roughtime
+    /// tiers).
+    pub secure: SecureCounters,
     /// Per-tier breakdown, in tier order (a single implicit `"chronos"`
     /// tier for homogeneous fleets). Tier sums reproduce the fleet-wide
     /// fields above.
@@ -181,6 +200,10 @@ pub struct TierBreakdown {
     pub totals: ChronosStats,
     /// Element-wise sum of the tier's fault-injection counters.
     pub faults: FaultCounters,
+    /// Element-wise sum of the tier's secure-tier counters (captured
+    /// associations, detected inconsistencies, completed re-keys) — all
+    /// zero for Chronos and plain-NTP tiers.
+    pub secure: SecureCounters,
 }
 
 /// A cheap mid-run snapshot of a fleet's position and health — what a
@@ -295,6 +318,26 @@ impl CompactFaults {
     }
 }
 
+/// Per-client secure-tier counters at column width (cf. [`CompactStats`]):
+/// association and cross-check events are horizon-bounded, so u32
+/// suffices; the report widens into [`SecureCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CompactSecure {
+    captured: u32,
+    inconsistent: u32,
+    rekeys: u32,
+}
+
+impl CompactSecure {
+    fn widen(self) -> SecureCounters {
+        SecureCounters {
+            captured_associations: u64::from(self.captured),
+            detected_inconsistencies: u64::from(self.inconsistent),
+            rekeys: u64::from(self.rekeys),
+        }
+    }
+}
+
 /// The DNS model a shard consults during pool generation, one entry per
 /// resolver (indexed by the client's `resolver` column): the precomputed
 /// shared-cache timelines, or the read-only independent resolvers.
@@ -335,6 +378,14 @@ struct Shard {
     /// Malicious servers admitted to the pool (post-mitigation).
     malicious: Vec<u32>,
     deadline_ns: Vec<u64>,
+    /// NTS lanes: ns the current association's keys expire at (0 = no
+    /// usable association — pre-boot, or every re-key so far failed).
+    assoc_expiry_ns: Vec<u64>,
+    /// Roughtime lanes, packed: low 16 bits = sources resolved at boot,
+    /// high 16 bits = the subset resolved through a poisoned cache.
+    assoc_sources: Vec<u32>,
+    /// Secure-tier counters (all zero for Chronos/plain-NTP clients).
+    secure: Vec<CompactSecure>,
     /// Lazily sized: empty unless trajectory capture is opted in.
     traces: Vec<Vec<(SimTime, i64)>>,
     // --- machinery ---
@@ -378,6 +429,9 @@ impl Shard {
             benign_batches: Vec::new(),
             malicious: Vec::new(),
             deadline_ns: Vec::new(),
+            assoc_expiry_ns: Vec::new(),
+            assoc_sources: Vec::new(),
+            secure: Vec::new(),
             traces: Vec::new(),
             wheel: TimerWheel::new(0, TICK_NS),
             scratch: SelectScratch::new(),
@@ -423,6 +477,9 @@ impl Shard {
         self.benign_batches.resize(len, 0);
         self.malicious.resize(len, 0);
         self.deadline_ns.resize(len, 0);
+        self.assoc_expiry_ns.resize(len, 0);
+        self.assoc_sources.resize(len, 0);
+        self.secure.resize(len, CompactSecure::default());
         if config.record_trajectories {
             self.traces.resize(len, Vec::new());
             for trace in &mut self.traces {
@@ -464,6 +521,9 @@ impl Shard {
             self.pool_rounds[i] = 0;
             self.benign_batches[i] = 0;
             self.malicious[i] = 0;
+            self.assoc_expiry_ns[i] = 0;
+            self.assoc_sources[i] = 0;
+            self.secure[i] = CompactSecure::default();
             self.schedule(i, start_ns);
         }
     }
@@ -566,6 +626,17 @@ impl Shard {
                     self.plain_pool_round(id, at_ns, config, tier, dns)
                 }
                 (ClientKind::PlainNtp, _) => self.plain_poll_round(id, at_ns, config, tier),
+                // NTS: PoolGeneration marks a pending NTS-KE association
+                // (boot or re-key) — the one DNS-dependent step; polls
+                // are Chronos-shaped over the authenticated association.
+                (ClientKind::Nts, Phase::PoolGeneration) => {
+                    self.nts_associate_round(id, at_ns, config, tier, dns)
+                }
+                (ClientKind::Nts, _) => self.poll_round(id, at_ns, config, tier),
+                (ClientKind::Roughtime, Phase::PoolGeneration) => {
+                    self.roughtime_boot_round(id, at_ns, config, tier, dns)
+                }
+                (ClientKind::Roughtime, _) => self.roughtime_poll_round(id, at_ns, config, tier),
             }
         }
         self.due.clear();
@@ -584,22 +655,17 @@ impl Shard {
         }
     }
 
-    /// The DNS answer client `i`'s resolver serves at `at_ns` (`round` is
-    /// the client's private rotation position in independent mode).
-    fn dns_answer(&self, i: usize, at_ns: u64, round: u64, dns: DnsView<'_>) -> DnsAnswer {
-        let r = self.resolver[i] as usize;
+    /// The DNS answer resolver `r` serves at `at_ns` (`round` is the
+    /// client's private rotation position in independent mode).
+    fn dns_answer(&self, r: usize, at_ns: u64, round: u64, dns: DnsView<'_>) -> DnsAnswer {
         match dns {
             DnsView::Shared(timelines) => timelines[r].answer(at_ns),
             DnsView::Independent(models) => models[r].query_independent(at_ns, round),
         }
     }
 
-    /// [`Shard::dns_answer`] with the client tier's fault plan applied: a
-    /// SERVFAIL draw (keyed on the client's query index, so it is
-    /// stepping-order-free) replaces the resolver's answer with whatever
-    /// serve-stale can salvage from the cache, and the fault counters
-    /// record what the client actually experienced. With an inert plan
-    /// this takes no draws and is exactly `dns_answer`.
+    /// [`Shard::dns_answer`] against the client's own resolver, on the
+    /// [`FaultLane::DnsQuery`] substream — the Chronos/plain-NTP path.
     fn resolve_dns(
         &mut self,
         i: usize,
@@ -609,27 +675,43 @@ impl Shard {
         tier: &TierParams,
         dns: DnsView<'_>,
     ) -> DnsAnswer {
+        let r = self.resolver[i] as usize;
+        self.resolve_dns_via(i, r, at_ns, FaultLane::DnsQuery, round, config, tier, dns)
+    }
+
+    /// [`Shard::dns_answer`] with the client tier's fault plan applied: a
+    /// SERVFAIL draw (keyed on `lane` and the client's query index, so it
+    /// is stepping-order-free) replaces the resolver's answer with
+    /// whatever serve-stale can salvage from the cache, and the fault
+    /// counters record what the client actually experienced. With an
+    /// inert plan this takes no draws and is exactly `dns_answer`.
+    /// `resolver` is explicit because Roughtime clients fan their M
+    /// source resolutions across distinct resolvers.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_dns_via(
+        &mut self,
+        i: usize,
+        resolver: usize,
+        at_ns: u64,
+        lane: FaultLane,
+        round: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+        dns: DnsView<'_>,
+    ) -> DnsAnswer {
         let p = tier.faults.dns_servfail;
         let answer = if p > 0.0
-            && fault_f64(
-                config.seed,
-                self.first_global + i as u64,
-                FaultLane::DnsQuery,
-                round,
-                0,
-            ) < p
+            && fault_f64(config.seed, self.first_global + i as u64, lane, round, 0) < p
         {
             self.faults[i].dns_servfails += 1;
             match dns {
                 // The recursive resolver fails client-side; RFC 8767
                 // serve-stale may still answer from the shared cache.
-                DnsView::Shared(timelines) => {
-                    timelines[self.resolver[i] as usize].stale_answer(at_ns)
-                }
+                DnsView::Shared(timelines) => timelines[resolver].stale_answer(at_ns),
                 DnsView::Independent(_) => DnsAnswer::Fail,
             }
         } else {
-            let answer = self.dns_answer(i, at_ns, round, dns);
+            let answer = self.dns_answer(resolver, at_ns, round, dns);
             if matches!(
                 answer,
                 DnsAnswer::StaleBenign { .. } | DnsAnswer::StalePoisoned { .. } | DnsAnswer::Fail
@@ -763,6 +845,21 @@ impl Shard {
                     0
                 }
             }
+            // An NTS association is all-benign or all-attacker: the KE
+            // handshake hands out the whole server list, uncapped by the
+            // DNS per-response record count.
+            ClientKind::Nts => {
+                if self.benign_batches[i] != 0 {
+                    tier.plain_servers
+                } else {
+                    0
+                }
+            }
+            // Roughtime sources resolved at boot minus the captured ones.
+            ClientKind::Roughtime => {
+                let packed = self.assoc_sources[i];
+                ((packed & 0xffff) & !(packed >> 16)).count_ones() as usize
+            }
         }
     }
 
@@ -890,6 +987,212 @@ impl Shard {
         self.schedule(i, at_ns + poll_ns);
     }
 
+    // --- NTS lanes ---
+
+    /// One NTS-KE association attempt (boot or re-key): resolve the KE
+    /// server name through the client's resolver, then hold whatever the
+    /// handshake returned — benign servers or the attacker's — for the
+    /// key lifetime. This is the *only* DNS-dependent step of the NTS
+    /// lane: polls are authenticated and cannot be spoofed, so the tier's
+    /// entire attack surface is an association falling inside the poison
+    /// window. Failed resolutions retry on the plain-NTP backoff policy
+    /// (jitter and SERVFAIL draws keyed `boundary · max_attempts +
+    /// attempt` on their own lanes); a boundary that exhausts its
+    /// attempts is abandoned — the old keys serve until expiry, the next
+    /// boundary tries again.
+    fn nts_associate_round(
+        &mut self,
+        i: usize,
+        at_ns: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+        dns: DnsView<'_>,
+    ) {
+        self.stats[i].pool_queries += 1;
+        let ma = u64::from(config.faults.retry.max_attempts.max(1));
+        let k = u64::from(self.pool_rounds[i]);
+        let attempt = self.retries[i];
+        let round = k * ma + u64::from(attempt);
+        let r = self.resolver[i] as usize;
+        let answer =
+            self.resolve_dns_via(i, r, at_ns, FaultLane::NtsRekey, round, config, tier, dns);
+        match answer {
+            DnsAnswer::Benign { .. } | DnsAnswer::StaleBenign { .. } => {
+                self.benign_batches[i] = 1;
+                self.malicious[i] = 0;
+                self.assoc_expiry_ns[i] = at_ns + tier.key_lifetime_ns;
+                self.secure[i].rekeys += 1;
+            }
+            DnsAnswer::Poisoned { farm_size, .. } | DnsAnswer::StalePoisoned { farm_size } => {
+                // The KE handshake itself is with attacker servers: every
+                // key it mints authenticates the attacker's time for the
+                // whole lifetime.
+                self.benign_batches[i] = 0;
+                self.malicious[i] = farm_size.min(tier.plain_servers) as u32;
+                self.assoc_expiry_ns[i] = at_ns + tier.key_lifetime_ns;
+                self.secure[i].captured += 1;
+                self.secure[i].rekeys += 1;
+            }
+            DnsAnswer::Fail => {
+                self.stats[i].pool_failures += 1;
+                if attempt + 1 < config.faults.retry.max_attempts {
+                    self.retries[i] = attempt + 1;
+                    self.faults[i].boot_retries += 1;
+                    let unit = fault_f64(
+                        config.seed,
+                        self.first_global + i as u64,
+                        FaultLane::RetryJitter,
+                        round,
+                        0,
+                    );
+                    self.schedule(i, at_ns + config.faults.retry.delay_ns(attempt, unit));
+                    return;
+                }
+                // Boundary abandoned: keep whatever association (possibly
+                // none) is in force and poll on — samples resume only
+                // while the old keys are still inside their lifetime.
+            }
+        }
+        self.retries[i] = 0;
+        self.pool_rounds[i] += 1;
+        self.phase[i] = Phase::Syncing;
+        // Zero-delay first poll, exactly like a completed Chronos pool.
+        self.schedule_poll(i, at_ns, config, tier);
+    }
+
+    // --- Roughtime lanes ---
+
+    /// A Roughtime client's boot: resolve its M sources through M
+    /// *distinct* resolvers (`(resolver + j) mod R`), once. Sources
+    /// behind a poisoned cache are captured for the whole run (signed
+    /// responses from the wrong server — the redundancy, not the
+    /// signature, is what catches them); failed resolutions just shrink
+    /// the source set (no retries — the redundant sources *are* the
+    /// fallback).
+    fn roughtime_boot_round(
+        &mut self,
+        i: usize,
+        at_ns: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+        dns: DnsView<'_>,
+    ) {
+        let mut resolved: u32 = 0;
+        let mut poisoned: u32 = 0;
+        for j in 0..tier.sources {
+            self.stats[i].pool_queries += 1;
+            let r = (self.resolver[i] as usize + j) % config.resolvers;
+            let answer = self.resolve_dns_via(
+                i,
+                r,
+                at_ns,
+                FaultLane::DnsQuery,
+                j as u64,
+                config,
+                tier,
+                dns,
+            );
+            match answer {
+                DnsAnswer::Benign { .. } | DnsAnswer::StaleBenign { .. } => {
+                    resolved |= 1 << j;
+                }
+                DnsAnswer::Poisoned { .. } | DnsAnswer::StalePoisoned { .. } => {
+                    resolved |= 1 << j;
+                    poisoned |= 1 << j;
+                    self.secure[i].captured += 1;
+                }
+                DnsAnswer::Fail => self.stats[i].pool_failures += 1,
+            }
+        }
+        self.assoc_sources[i] = resolved | (poisoned << 16);
+        self.malicious[i] = poisoned.count_ones();
+        self.pool_rounds[i] = 1;
+        self.phase[i] = Phase::Syncing;
+        // Zero-delay first fetch on resolution.
+        self.schedule(i, at_ns);
+    }
+
+    /// One Roughtime fetch round: every resolved source returns a signed
+    /// midpoint, and the round concludes through
+    /// [`chronos::core::conclude_roughtime_round`]'s strict
+    /// majority-of-midpoints cross-check. Captured sources lie by the
+    /// attack shift; with M ≥ 2·captured+1 the honest majority wins, an
+    /// even split is a *detected* inconsistency (clock untouched,
+    /// counter ticked), a captured majority steers the clock — and M = 1
+    /// trusts its lone source blindly (Medalla).
+    fn roughtime_poll_round(
+        &mut self,
+        i: usize,
+        at_ns: u64,
+        config: &FleetConfig,
+        tier: &TierParams,
+    ) {
+        let packed = self.assoc_sources[i];
+        let resolved = packed & 0xffff;
+        let poisoned = packed >> 16;
+        let poll_ns = tier.chronos.poll_interval.as_nanos();
+        if resolved == 0 {
+            self.schedule(i, at_ns + poll_ns);
+            return;
+        }
+        let poll_index = u64::from(self.stats[i].polls);
+        self.stats[i].polls += 1;
+        let mut rng = FleetRng::from_seed(self.rng[i]);
+        let shift_ns = config.attack.map_or(0, |a| a.shift_ns);
+        let benign_bound = config.benign_offset_ms as i64 * 1_000_000;
+        let jitter = config.jitter_std.as_nanos() as f64;
+        let client_off = self.clocks[i].offset_from_true(SimTime::from_nanos(at_ns));
+        // Fixed draw order: sources ascending by their boot slot, each
+        // drawing exactly one midpoint (captured sources serve the
+        // attacker's clock, honest ones their own benign offset).
+        self.offsets_buf.clear();
+        for j in 0..16 {
+            if resolved & (1 << j) == 0 {
+                continue;
+            }
+            let server_off = if poisoned & (1 << j) != 0 {
+                shift_ns
+            } else {
+                Self::draw_benign_offset(&mut rng, benign_bound)
+            };
+            let noise = if jitter > 0.0 {
+                rng.normal(0.0, jitter) as i64
+            } else {
+                0
+            };
+            self.offsets_buf.push(server_off - client_off + noise);
+        }
+        // Per-source fetch losses ride their own lane so Roughtime tiers
+        // in a fault plan leave every other substream untouched.
+        self.apply_sample_loss(
+            i,
+            tier.faults.ntp_loss,
+            FaultLane::RoughtimeFetch,
+            poll_index,
+            config.seed,
+        );
+        let collect_ns = at_ns + tier.chronos.response_window.as_nanos();
+        let collect = SimTime::from_nanos(collect_ns);
+        let mut stats = self.stats[i].widen();
+        let outcome = core::conclude_roughtime_round(
+            &mut stats,
+            &mut self.offsets_buf,
+            roughtime_agreement_ns(config),
+        );
+        self.stats[i] = CompactStats::narrow(&stats);
+        match outcome {
+            RoughtimeOutcome::Correction { correction_ns, .. } => {
+                self.clocks[i].apply_correction(collect, correction_ns);
+            }
+            RoughtimeOutcome::Inconsistent => self.secure[i].inconsistent += 1,
+            RoughtimeOutcome::NoSamples => {}
+        }
+        self.observe(i, collect, config);
+        self.rng[i] = rng.state();
+        // On-grid cadence like plain NTP: fetches start every interval.
+        self.schedule(i, at_ns + poll_ns);
+    }
+
     // --- Chronos poll rounds ---
 
     fn draw_benign_offset(rng: &mut FleetRng, bound_ns: i64) -> i64 {
@@ -900,15 +1203,22 @@ impl Shard {
         }
     }
 
+    /// One Chronos-shaped poll round. NTS clients share this lane — their
+    /// association pool feeds the same sampling and decision machinery —
+    /// with two twists: an expired association yields no samples (keys
+    /// outlived their lifetime and every re-key since failed), and the
+    /// next deadline is the earlier of the next poll and the next
+    /// scheduled re-key ([`Shard::schedule_poll`]).
     fn poll_round(&mut self, i: usize, at_ns: u64, config: &FleetConfig, tier: &TierParams) {
+        let expired = tier.kind == ClientKind::Nts && self.assoc_expiry_ns[i] <= at_ns;
         let benign = self.benign_count(i, config, tier);
         let malicious = self.malicious[i] as usize;
-        let total = benign + malicious;
+        let total = if expired { 0 } else { benign + malicious };
         let poll_ns = tier.chronos.poll_interval.as_nanos();
         if total == 0 {
             // Nothing to sample; try again next interval (as the packet
             // client does, without counting a poll).
-            self.schedule(i, at_ns + poll_ns);
+            self.schedule_poll(i, at_ns + poll_ns, config, tier);
             return;
         }
         let poll_index = u64::from(self.stats[i].polls);
@@ -973,18 +1283,48 @@ impl Shard {
                 self.clocks[i].apply_correction(collect, correction_ns);
                 self.observe(i, collect, config);
                 self.rng[i] = rng.state();
-                self.schedule(i, collect_ns + poll_ns);
+                self.schedule_poll(i, collect_ns + poll_ns, config, tier);
             }
             RoundOutcome::Resample => {
                 self.observe(i, collect, config);
                 self.rng[i] = rng.state();
-                self.schedule(i, collect_ns);
+                self.schedule_poll(i, collect_ns, config, tier);
             }
             RoundOutcome::EnterPanic => {
                 self.observe(i, collect, config);
                 self.panic_round(i, collect_ns, &mut rng, benign, malicious, config, tier);
                 self.rng[i] = rng.state();
             }
+        }
+    }
+
+    /// Schedules a client's next poll-lane deadline. For every kind but
+    /// NTS this is a plain [`Shard::schedule`]; an NTS client instead
+    /// takes the earlier of the intended poll and its next scheduled
+    /// re-key boundary — if the re-key comes first, the phase flips back
+    /// to [`Phase::PoolGeneration`] so the next event runs NTS-KE.
+    fn schedule_poll(&mut self, i: usize, at_ns: u64, config: &FleetConfig, tier: &TierParams) {
+        if tier.kind != ClientKind::Nts {
+            self.schedule(i, at_ns);
+            return;
+        }
+        let global = self.first_global + i as u64;
+        let (boot_ns, _, _) = client_boot(config, global);
+        // `pool_rounds` counts handled re-key boundaries (boot = boundary
+        // 0), so the next boundary sits one re-key interval per handled
+        // boundary past the boot instant.
+        let k = u64::from(self.pool_rounds[i]);
+        let next_rekey = boot_ns + k * tier.rekey_interval_ns;
+        if next_rekey <= at_ns {
+            self.phase[i] = Phase::PoolGeneration;
+            self.retries[i] = 0;
+            // An overdue boundary (a panic or retry chain ran past it)
+            // fires immediately; its DNS query reads the cache at the
+            // actual query time, same documented semantic as plain-NTP
+            // phantom retries.
+            self.schedule(i, next_rekey.max(self.deadline_ns[i]));
+        } else {
+            self.schedule(i, at_ns);
         }
     }
 
@@ -1055,7 +1395,12 @@ impl Shard {
             self.clocks[i].apply_correction(panic_at, correction);
         }
         self.observe(i, panic_at, config);
-        self.schedule(i, panic_ns + tier.chronos.poll_interval.as_nanos());
+        self.schedule_poll(
+            i,
+            panic_ns + tier.chronos.poll_interval.as_nanos(),
+            config,
+            tier,
+        );
     }
 
     /// Streams one concluded round's clock error into the aggregates (and
@@ -1169,6 +1514,12 @@ impl Shard {
             w.u64(self.benign_batches[i]);
             w.u32(self.malicious[i]);
             w.u64(self.deadline_ns[i]);
+            w.u64(self.assoc_expiry_ns[i]);
+            w.u32(self.assoc_sources[i]);
+            let sec = &self.secure[i];
+            for c in [sec.captured, sec.inconsistent, sec.rekeys] {
+                w.u32(c);
+            }
         }
         w.len(self.traces.len());
         for trace in &self.traces {
@@ -1264,6 +1615,13 @@ impl Shard {
             self.benign_batches[i] = r.u64()?;
             self.malicious[i] = r.u32()?;
             self.deadline_ns[i] = r.u64()?;
+            self.assoc_expiry_ns[i] = r.u64()?;
+            self.assoc_sources[i] = r.u32()?;
+            self.secure[i] = CompactSecure {
+                captured: r.u32()?,
+                inconsistent: r.u32()?,
+                rekeys: r.u32()?,
+            };
         }
         let trace_count = r.len()?;
         let expected_traces = if config.record_trajectories { len } else { 0 };
@@ -1362,6 +1720,16 @@ fn unpack_update(packed: u64) -> Option<SimTime> {
 /// inside the bound) while a 500 ms-scale lie never intersects them.
 fn plain_root_distance_ns(config: &FleetConfig) -> i64 {
     config.benign_offset_ms as i64 * 1_000_000 + 4 * config.jitter_std.as_nanos() as i64 + 1_000_000
+}
+
+/// The Roughtime majority-of-midpoints agreement radius: two honest
+/// sources can disagree by up to twice the benign imperfection bound plus
+/// an 8σ two-sided jitter budget (plus a 1 ms floor) and must still
+/// cluster, while a 500 ms-scale lie must never join the honest window.
+fn roughtime_agreement_ns(config: &FleetConfig) -> i64 {
+    2 * config.benign_offset_ms as i64 * 1_000_000
+        + 8 * config.jitter_std.as_nanos() as i64
+        + 1_000_000
 }
 
 /// Derives one client's boot state from the fleet seed and its global id:
@@ -1590,6 +1958,60 @@ impl Fleet {
                         interval_ns: 0,
                         rounds: 1,
                     }),
+                    // NTS resolves its KE server name at boot and at
+                    // every re-key boundary inside the horizon.
+                    ClientKind::Nts => {
+                        let rekey = tier.rekey_interval_ns;
+                        let horizon = self.config.horizon.as_nanos();
+                        if self.config.faults.dns_can_fail(tier_index, r as usize) {
+                            // Each boundary may retry on backoff — the
+                            // same phantom-attempt replay as plain NTP,
+                            // with the jitter recurrence keyed
+                            // `boundary · max_attempts + attempt`.
+                            let retry = &self.config.faults.retry;
+                            let ma = u64::from(retry.max_attempts.max(1));
+                            let mut boundary = start_ns;
+                            let mut k = 0u64;
+                            while boundary <= horizon {
+                                let mut at = boundary;
+                                for attempt in 0..retry.max_attempts {
+                                    schedules[r as usize].push(QuerySchedule {
+                                        start_ns: at,
+                                        interval_ns: 0,
+                                        rounds: 1,
+                                    });
+                                    let unit = fault_f64(
+                                        self.config.seed,
+                                        global,
+                                        FaultLane::RetryJitter,
+                                        k * ma + u64::from(attempt),
+                                        0,
+                                    );
+                                    at += retry.delay_ns(attempt, unit);
+                                }
+                                k += 1;
+                                boundary = start_ns + k * rekey;
+                            }
+                        } else {
+                            schedules[r as usize].push(QuerySchedule {
+                                start_ns,
+                                interval_ns: rekey,
+                                rounds: 1 + (horizon.saturating_sub(start_ns)) / rekey,
+                            });
+                        }
+                    }
+                    // Roughtime resolves each of its M sources once at
+                    // boot, through M distinct resolvers.
+                    ClientKind::Roughtime => {
+                        for j in 0..tier.sources {
+                            let src = (r as usize + j) % self.config.resolvers;
+                            schedules[src].push(QuerySchedule {
+                                start_ns,
+                                interval_ns: 0,
+                                rounds: 1,
+                            });
+                        }
+                    }
                 }
             }
             self.resolvers
@@ -1689,6 +2111,9 @@ impl Fleet {
             + std::mem::size_of::<u64>()                // benign_batches
             + std::mem::size_of::<u32>()                // malicious
             + std::mem::size_of::<u64>()                // deadline_ns
+            + std::mem::size_of::<u64>()                // assoc_expiry_ns
+            + std::mem::size_of::<u32>()                // assoc_sources
+            + std::mem::size_of::<CompactSecure>()      // secure counters
             + TimerWheel::PER_TIMER_BYTES // wheel next + deadline_tick
     }
 
@@ -1715,6 +2140,30 @@ impl Fleet {
     pub fn client_faults(&self, i: usize) -> FaultCounters {
         let (shard, local) = self.locate(i);
         shard.faults[local].widen()
+    }
+
+    /// One client's secure-tier counters (all zero for Chronos and
+    /// plain-NTP clients).
+    pub fn client_secure(&self, i: usize) -> SecureCounters {
+        let (shard, local) = self.locate(i);
+        shard.secure[local].widen()
+    }
+
+    /// One NTS client's association-expiry instant (`None` while no
+    /// association's keys are usable: pre-boot, or every handshake so far
+    /// failed).
+    pub fn client_association_expiry(&self, i: usize) -> Option<SimTime> {
+        let (shard, local) = self.locate(i);
+        let ns = shard.assoc_expiry_ns[local];
+        (ns != 0).then(|| SimTime::from_nanos(ns))
+    }
+
+    /// One Roughtime client's source sets as `(resolved, captured)`
+    /// bitmasks over its M boot-time source slots.
+    pub fn client_sources(&self, i: usize) -> (u32, u32) {
+        let (shard, local) = self.locate(i);
+        let packed = shard.assoc_sources[local];
+        (packed & 0xffff, packed >> 16)
     }
 
     /// One client's pool composition as `(benign, malicious)`.
@@ -1776,6 +2225,7 @@ impl Fleet {
         let mut tier_totals = vec![ChronosStats::default(); t_count];
         let mut tier_poisoned = vec![0u64; t_count];
         let mut tier_faults = vec![FaultCounters::default(); t_count];
+        let mut tier_secure = vec![SecureCounters::default(); t_count];
         let mut tier_synced = vec![0u64; t_count];
         let mut tier_final_shifted = vec![0u64; t_count];
         let mut histogram = OffsetHistogram::log_scale(HISTOGRAM_BINS_PER_DECADE);
@@ -1788,6 +2238,7 @@ impl Fleet {
                 tier_clients[t] += 1;
                 tier_totals[t].accumulate(&s.widen());
                 tier_faults[t].accumulate(&shard.faults[i].widen());
+                tier_secure[t].accumulate(&shard.secure[i].widen());
                 if shard.malicious[i] > 0 {
                     tier_poisoned[t] += 1;
                 }
@@ -1844,6 +2295,7 @@ impl Fleet {
                     synced_clients: tier_synced[t],
                     totals: tier_totals[t],
                     faults: tier_faults[t],
+                    secure: tier_secure[t],
                 }
             })
             .collect();
@@ -1854,6 +2306,10 @@ impl Fleet {
         let mut faults = FaultCounters::default();
         for t in &tier_faults {
             faults.accumulate(t);
+        }
+        let mut secure = SecureCounters::default();
+        for t in &tier_secure {
+            secure.accumulate(t);
         }
         let report = FleetReport {
             clients: self.config.clients,
@@ -1867,6 +2323,7 @@ impl Fleet {
             histogram,
             events: self.events(),
             faults,
+            secure,
             tiers,
         };
         if let (Some(m), Some(start)) = (&self.metrics, merge_start) {
@@ -2254,21 +2711,22 @@ mod tests {
     }
 
     /// The satellite footprint budget: per-client column state must sit
-    /// comfortably below the ~150 B the PR 3 engine spent, so a 10⁶-client
-    /// fleet's columns fit in ~125 MB.
+    /// comfortably below ~180 B, so a 10⁶-client fleet's columns fit in
+    /// ~170 MB.
     #[test]
     fn per_client_footprint_is_under_budget() {
         let footprint = Fleet::per_client_footprint_bytes();
         assert!(
-            footprint < 150,
-            "per-client footprint grew to {footprint} B (budget: < 150 B)"
+            footprint < 180,
+            "per-client footprint grew to {footprint} B (budget: < 180 B)"
         );
         // Document the breakdown this asserts over: 40 B clock, 24 B
         // compact stats, 20 B compact fault counters, 8 B each for
         // last_update/rng/benign-bitmap/deadline, 12 B wheel columns, 3 B
-        // tier + resolver (the cohort columns PR 5 added), and small
-        // counters.
-        assert_eq!(footprint, 142, "update the breakdown when columns change");
+        // tier + resolver (the cohort columns PR 5 added), small counters,
+        // and the E18 secure-tier columns: 8 B association expiry, 4 B
+        // source bitmasks, 12 B compact secure counters.
+        assert_eq!(footprint, 166, "update the breakdown when columns change");
         // Trajectory capture is lazy: no per-client Vec headers unless
         // opted in.
         let fleet = Fleet::new(small_config());
@@ -2569,6 +3027,242 @@ mod tests {
             report.final_shifted_fraction < 0.1,
             "benign stale answers keep the fleet synced ({})",
             report.final_shifted_fraction
+        );
+    }
+
+    // --- secure tiers (E18) ---
+
+    const G: u64 = 1_000_000_000;
+
+    /// The NTS attack surface in one pair of runs: an association (NTS-KE
+    /// resolution) inside the poison window hands the whole key lifetime
+    /// to the attacker, while associations concluded *before* the poison
+    /// are unspoofable for as long as the keys live — the same attack
+    /// that captures every Chronos client mid-generation doesn't move an
+    /// already-associated NTS client at all.
+    #[test]
+    fn nts_capture_is_bounded_by_the_association_window() {
+        let mut config = small_config();
+        config.tiers = vec![CohortTier::chronos("chronos", 1), CohortTier::nts("nts", 1)];
+        // Poison precedes every boot: each NTS-KE handshake is with the
+        // attacker's servers, and the minted keys authenticate the
+        // attacker's time for the (day-long) key lifetime.
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::ZERO,
+            SimDuration::from_millis(500),
+        ));
+        let early = Fleet::new(config.clone()).run();
+        let nts = &early.tiers[1];
+        assert_eq!(nts.secure.captured_associations as usize, nts.clients);
+        assert_eq!(nts.secure.rekeys as usize, nts.clients, "boot only");
+        assert_eq!(nts.poisoned_clients as usize, nts.clients);
+        assert!(
+            nts.final_shifted_fraction > 0.9,
+            "captured associations steer the tier: {}",
+            nts.final_shifted_fraction
+        );
+        // Poison lands after every boot (stagger spreads boots over the
+        // first 100 s) but still mid-Chronos-pool-generation: Chronos
+        // tiers are captured as always, NTS tiers don't budge — their
+        // only DNS-dependent step already happened.
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(150),
+            SimDuration::from_millis(500),
+        ));
+        let late = Fleet::new(config).run();
+        let (chronos, nts) = (&late.tiers[0], &late.tiers[1]);
+        assert_eq!(chronos.poisoned_clients as usize, chronos.clients);
+        assert!(chronos.final_shifted_fraction > 0.9);
+        assert_eq!(nts.secure.captured_associations, 0);
+        assert_eq!(nts.poisoned_clients, 0);
+        assert_eq!(nts.final_shifted_fraction, 0.0, "post-boot poison is inert");
+        assert!(nts.totals.accepts > 0, "the tier kept syncing normally");
+    }
+
+    /// RFC 8767 serve-stale as a poison launderer: the attack's cache
+    /// entry expired long before the NTS re-key boundary, but an outage
+    /// at the boundary makes the resolver re-serve the *expired poisoned*
+    /// record (it is the latest cache write), so the re-key associates to
+    /// the attacker after the poison window already closed — stale
+    /// service extends the attacker's reach beyond the record's TTL.
+    #[test]
+    fn serve_stale_launders_expired_poison_into_an_nts_rekey() {
+        let mut config = small_config();
+        config.clients = 8;
+        config.stagger = SimDuration::ZERO;
+        config.horizon = SimDuration::from_secs(1_100);
+        let mut nts = CohortTier::nts("nts", 1);
+        nts.rekey_interval = Some(SimDuration::from_secs(600));
+        nts.key_lifetime = Some(SimDuration::from_secs(3_600));
+        config.tiers = vec![nts];
+        // A short boot-retry chain (all phantom attempts land before
+        // 300 s) so no phantom benign fetch re-primes the cache between
+        // the poison's expiry and the re-key boundary.
+        config.faults.retry = crate::config::RetryPolicy {
+            base: SimDuration::from_secs(32),
+            cap: SimDuration::from_secs(256),
+            jitter: 0.25,
+            max_attempts: 4,
+        };
+        // Poison lives [50 s, 560 s) — boots at 0 s are clean, and the
+        // 600 s re-key is past the poison's expiry.
+        config.attack = Some(FleetAttack {
+            ttl_secs: 510,
+            ..FleetAttack::paper_default(SimTime::from_secs(50), SimDuration::from_millis(500))
+        });
+        let clean = Fleet::new(config.clone()).run();
+        assert_eq!(
+            clean.secure.captured_associations, 0,
+            "the re-key sees fresh benign records"
+        );
+        assert_eq!(clean.final_shifted_fraction, 0.0);
+        assert_eq!(clean.secure.rekeys, 16, "boot + one clean re-key each");
+        // Same run with the resolver down across the boundary and
+        // serve-stale configured: the stale answer is the poisoned one.
+        config.faults.outages = vec![vec![OutageWindow {
+            start_ns: 590 * G,
+            duration_ns: 30 * G,
+        }]];
+        config.faults.serve_stale = Some(ServeStalePolicy {
+            max_stale_secs: 3_600,
+        });
+        let report = Fleet::new(config).run();
+        assert_eq!(
+            report.secure.captured_associations, 8,
+            "every re-key was laundered into an attacker association"
+        );
+        assert!(report.faults.stale_served >= 8);
+        assert_eq!(report.secure.rekeys, 16);
+        assert!(
+            report.final_shifted_fraction > 0.9,
+            "the laundered keys steer the tier: {}",
+            report.final_shifted_fraction
+        );
+    }
+
+    /// The availability/security interaction on the NTS re-key lane: a
+    /// resolver outage at the boundary hard-fails the NTS-KE resolution
+    /// (no serve-stale), and the capped-exponential retry chain walks
+    /// right past the attack's landing time — the re-key that would have
+    /// concluded safely at 600 s instead associates inside the poison
+    /// window. Availability faults widen the NTS association surface
+    /// exactly as they widen plain-NTP boots.
+    #[test]
+    fn outage_retries_walk_an_nts_rekey_into_the_poison_window() {
+        let mut config = small_config();
+        config.clients = 8;
+        config.stagger = SimDuration::ZERO;
+        config.horizon = SimDuration::from_secs(1_100);
+        let mut nts = CohortTier::nts("nts", 1);
+        nts.rekey_interval = Some(SimDuration::from_secs(600));
+        nts.key_lifetime = Some(SimDuration::from_secs(3_600));
+        config.tiers = vec![nts];
+        // Boot-retry phantom fetches must all land (and their cache
+        // entries expire) before the outage opens at 590 s, so the 600 s
+        // re-key is a genuine cache miss.
+        config.faults.retry = crate::config::RetryPolicy {
+            base: SimDuration::from_secs(32),
+            cap: SimDuration::from_secs(256),
+            jitter: 0.25,
+            max_attempts: 4,
+        };
+        config.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(700),
+            SimDuration::from_millis(500),
+        ));
+        let clean = Fleet::new(config.clone()).run();
+        assert_eq!(
+            clean.secure.captured_associations, 0,
+            "the 600 s re-key precedes the 700 s attack"
+        );
+        assert_eq!(clean.final_shifted_fraction, 0.0);
+        // Outage [590 s, 710 s): the boundary fails, and the backoff
+        // chain (32, 64, 128 s) retries until it lands after the attack.
+        config.faults.outages = vec![vec![OutageWindow {
+            start_ns: 590 * G,
+            duration_ns: 120 * G,
+        }]];
+        let report = Fleet::new(config).run();
+        assert_eq!(
+            report.secure.captured_associations, 8,
+            "every retry chain re-associated inside the poison window"
+        );
+        assert!(report.faults.boot_retries > 0, "the boundary retried");
+        assert!(report.faults.outage_hits > 0, "the outage was observed");
+        assert!(
+            report.final_shifted_fraction > 0.9,
+            "walked-in associations steer the tier: {}",
+            report.final_shifted_fraction
+        );
+    }
+
+    /// Roughtime's redundancy argument, plus its M = 1 failure mode
+    /// (ETH2 Medalla) in the same run: with M = 3 sources fanned over 3
+    /// distinct resolvers, poisoning one resolver captures exactly one
+    /// source per client and the 2-honest majority out-votes it every
+    /// fetch; with M = 1 the lone source *is* the client's resolver, and
+    /// the captured third of the tier follows the attacker blindly —
+    /// nothing is ever detected.
+    #[test]
+    fn roughtime_majority_rides_out_a_poisoned_resolver() {
+        let mut config = small_config();
+        config.clients = 48;
+        config.resolvers = 3;
+        let mut redundant = CohortTier::roughtime("rt-3", 1);
+        redundant.sources = Some(3);
+        let mut medalla = CohortTier::roughtime("rt-1", 1);
+        medalla.sources = Some(1);
+        config.tiers = vec![redundant, medalla];
+        config.attack = Some(
+            FleetAttack::paper_default(SimTime::ZERO, SimDuration::from_millis(500))
+                .with_poisoned_resolvers(1),
+        );
+        let report = Fleet::new(config).run();
+        let (rt3, rt1) = (&report.tiers[0], &report.tiers[1]);
+        assert_eq!(
+            rt3.secure.captured_associations as usize, rt3.clients,
+            "each M = 3 client holds exactly one captured source"
+        );
+        assert_eq!(rt3.final_shifted_fraction, 0.0, "majority out-votes it");
+        assert_eq!(rt3.secure.detected_inconsistencies, 0);
+        assert!(rt3.totals.accepts > 0, "cross-checked fetches kept landing");
+        assert!(
+            rt1.final_shifted_fraction > 0.15 && rt1.final_shifted_fraction < 0.6,
+            "the resolver-0 share of the M = 1 tier is captured: {}",
+            rt1.final_shifted_fraction
+        );
+        assert_eq!(rt1.secure.detected_inconsistencies, 0, "nothing to vote");
+        assert_eq!(
+            rt1.secure.captured_associations, rt1.poisoned_clients,
+            "capture = the lone source behind the poisoned cache"
+        );
+    }
+
+    /// An even source split (M = 2, one captured) has no strict majority:
+    /// every fetch is a *detected* inconsistency — counted, never applied
+    /// — so the clock freewheels rather than follow the attacker.
+    #[test]
+    fn roughtime_even_split_is_detected_not_followed() {
+        let mut config = small_config();
+        config.clients = 16;
+        config.resolvers = 2;
+        let mut tier = CohortTier::roughtime("rt-2", 1);
+        tier.sources = Some(2);
+        config.tiers = vec![tier];
+        config.attack = Some(
+            FleetAttack::paper_default(SimTime::ZERO, SimDuration::from_millis(500))
+                .with_poisoned_resolvers(1),
+        );
+        let report = Fleet::new(config).run();
+        assert!(report.secure.detected_inconsistencies > 0);
+        assert_eq!(
+            report.secure.detected_inconsistencies, report.totals.rejects,
+            "every inconsistency is a rejected round"
+        );
+        assert_eq!(report.totals.accepts, 0, "no majority, no corrections");
+        assert_eq!(
+            report.final_shifted_fraction, 0.0,
+            "a detected split never steers the clock"
         );
     }
 }

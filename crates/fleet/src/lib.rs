@@ -103,7 +103,7 @@ pub use config::{
 };
 pub use engine::{Fleet, FleetProgress, FleetReport, FleetThroughput, TierBreakdown};
 pub use metrics::{FleetMetrics, StageSummary};
-pub use stats::{FaultCounters, OffsetHistogram, P2Quantile};
+pub use stats::{FaultCounters, OffsetHistogram, P2Quantile, SecureCounters};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
@@ -115,5 +115,5 @@ pub mod prelude {
     };
     pub use crate::engine::{Fleet, FleetProgress, FleetReport, FleetThroughput, TierBreakdown};
     pub use crate::metrics::{FleetMetrics, StageSummary};
-    pub use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile};
+    pub use crate::stats::{FaultCounters, OffsetHistogram, P2Quantile, SecureCounters};
 }

@@ -63,8 +63,20 @@ pub enum FaultLane {
     /// client's panic-episode index, `slot` = position).
     PanicSample = 3,
     /// The backoff-jitter draw of one plain-NTP boot retry (`round` = the
-    /// failed attempt index, `slot` = 0).
+    /// failed attempt index, `slot` = 0). NTS re-key retries share the
+    /// lane with `round` = `boundary · max_attempts + attempt`, which
+    /// never collides with the plain encoding on the same client because
+    /// a client runs exactly one kind.
     RetryJitter = 4,
+    /// One NTS-KE association query's SERVFAIL draw (`round` = the
+    /// re-key boundary index × `max_attempts` + the retry attempt,
+    /// `slot` = 0). A lane of its own so adding NTS tiers to a plan
+    /// leaves every pre-E18 substream untouched.
+    NtsRekey = 5,
+    /// One Roughtime source fetch's loss draw (`round` = the client's
+    /// fetch-round index, `slot` = the source's position among the
+    /// resolved sources).
+    RoughtimeFetch = 6,
 }
 
 /// The seed of one fault draw's substream: a pure function of
@@ -238,6 +250,8 @@ mod tests {
             FaultLane::NtpSample,
             FaultLane::PanicSample,
             FaultLane::RetryJitter,
+            FaultLane::NtsRekey,
+            FaultLane::RoughtimeFetch,
         ] {
             let n = 4_000;
             let mean: f64 = (0..n)

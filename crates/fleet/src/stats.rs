@@ -56,6 +56,40 @@ impl FaultCounters {
     }
 }
 
+/// Secure-tier (NTS / Roughtime) activity counters, accumulated per
+/// client and merged into per-tier and fleet-wide sums in
+/// [`FleetReport`](crate::engine::FleetReport). All-zero for fleets
+/// without secure tiers, so pre-E18 reports are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecureCounters {
+    /// NTS-KE associations (boot or re-key) resolved through a poisoned
+    /// cache: the client held attacker-issued keys for the key lifetime
+    /// that followed. Roughtime sources resolved to attacker servers at
+    /// boot count here too.
+    pub captured_associations: u64,
+    /// Roughtime fetch rounds whose signed midpoints failed the strict
+    /// majority-of-midpoints cross-check — misbehaviour *detected* (the
+    /// clock was left alone).
+    pub detected_inconsistencies: u64,
+    /// NTS-KE handshakes that completed (boot and re-key, benign or
+    /// captured) — the denominator of the capture rate.
+    pub rekeys: u64,
+}
+
+impl SecureCounters {
+    /// Element-wise accumulation (for tier and fleet sums).
+    pub fn accumulate(&mut self, other: &SecureCounters) {
+        self.captured_associations += other.captured_associations;
+        self.detected_inconsistencies += other.detected_inconsistencies;
+        self.rekeys += other.rekeys;
+    }
+
+    /// Total secure-tier events recorded.
+    pub fn total(&self) -> u64 {
+        self.captured_associations + self.detected_inconsistencies + self.rekeys
+    }
+}
+
 /// A fixed-bin histogram over absolute clock offsets (nanoseconds).
 ///
 /// Bins are logarithmic — each decade from 1 µs to 1000 s splits into

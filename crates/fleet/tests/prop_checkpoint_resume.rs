@@ -16,10 +16,13 @@ use fleet::engine::Fleet;
 use netsim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
-/// A deliberately heterogeneous scenario: mixed Chronos/plain-NTP tiers
-/// over multiple resolvers, mid-generation poisoning, and (optionally) a
-/// lossy fault plan — so the snapshot covers every state column the
-/// engine owns, not just the happy path.
+/// A deliberately heterogeneous scenario: mixed Chronos/plain-NTP/NTS/
+/// Roughtime tiers over multiple resolvers, mid-generation poisoning,
+/// and (optionally) a lossy fault plan — so the snapshot covers every
+/// state column the engine owns (the secure tiers' association-expiry
+/// and packed source-set columns included), not just the happy path.
+/// The NTS cadence is short enough that re-keys — and key expiries —
+/// straddle arbitrary checkpoint cuts.
 fn config(
     seed: u64,
     clients: usize,
@@ -28,6 +31,9 @@ fn config(
     lossy: bool,
     attack_at: Option<u64>,
 ) -> FleetConfig {
+    let mut nts = CohortTier::nts("nts", 1);
+    nts.key_lifetime = Some(SimDuration::from_secs(900));
+    nts.rekey_interval = Some(SimDuration::from_secs(600));
     FleetConfig {
         seed,
         clients,
@@ -36,6 +42,8 @@ fn config(
         tiers: vec![
             CohortTier::chronos("chronos", 2),
             CohortTier::plain_ntp("plain", 1),
+            nts,
+            CohortTier::roughtime("roughtime", 1),
         ],
         record_trajectories: true,
         universe: 96,
@@ -78,6 +86,9 @@ struct ClientFingerprint {
     pool: (usize, usize),
     stats: chronos::core::ChronosStats,
     faults: fleet::stats::FaultCounters,
+    secure: fleet::stats::SecureCounters,
+    sources: (u32, u32),
+    assoc_expiry: Option<SimTime>,
     phase: chronos::core::Phase,
     final_offset_ns: i64,
 }
@@ -88,6 +99,9 @@ fn fingerprint(fleet: &Fleet, i: usize) -> ClientFingerprint {
         pool: fleet.client_pool(i),
         stats: fleet.client_stats(i),
         faults: fleet.client_faults(i),
+        secure: fleet.client_secure(i),
+        sources: fleet.client_sources(i),
+        assoc_expiry: fleet.client_association_expiry(i),
         phase: fleet.client_phase(i),
         final_offset_ns: fleet.client_offset_ns(i, fleet.now()),
     }

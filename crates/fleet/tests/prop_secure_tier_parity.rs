@@ -1,0 +1,246 @@
+//! Property tests pinning the secure tiers' *parity* contracts — the
+//! semantic claims that make the E18 deployment sweep trustworthy:
+//!
+//! 1. **NTS post-association immunity** — NTS time samples are
+//!    authenticated, so a poison window that opens strictly after every
+//!    association event (all boots done, no re-key before the horizon)
+//!    is *invisible*: the attacked fleet is byte-identical to the same
+//!    fleet with no attack at all, captures included (zero).
+//! 2. **Roughtime M = 1 is a plain fetch** — a single-source Roughtime
+//!    client trusts its lone source blindly (the ETH2-Medalla failure
+//!    mode), so under a noise-free matched scenario it lands exactly
+//!    where a single-server plain-NTP client lands: on the lie when the
+//!    resolver is poisoned at boot, on zero when it is clean.
+//! 3. **Mixed-fleet equivalence, secure tiers included** — with
+//!    `shared_cache: false` a four-tier Chronos/plain/NTS/Roughtime
+//!    fleet is byte-identical, client by client, to matched one-client
+//!    fleets (same tier, same `first_client_id`), extending the cohort
+//!    layer's solo-run equivalence to the secure lanes' association,
+//!    re-key and multi-source state.
+
+use fleet::cohort::CohortTier;
+use fleet::config::{FleetAttack, FleetConfig};
+use fleet::engine::Fleet;
+use netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const SHIFT_NS: i64 = 500_000_000;
+
+fn base_chronos() -> chronos::config::ChronosConfig {
+    chronos::config::ChronosConfig {
+        sample_size: 9,
+        trim: 3,
+        poll_interval: SimDuration::from_secs(64),
+        pool: chronos::config::PoolGenConfig {
+            queries: 5,
+            query_interval: SimDuration::from_secs(200),
+            ..chronos::config::PoolGenConfig::default()
+        },
+        ..chronos::config::ChronosConfig::default()
+    }
+}
+
+/// Everything observable about one client, secure-lane state included.
+#[derive(Debug, Clone, PartialEq)]
+struct ClientFingerprint {
+    trace: Vec<(SimTime, i64)>,
+    pool: (usize, usize),
+    stats: chronos::core::ChronosStats,
+    secure: fleet::stats::SecureCounters,
+    sources: (u32, u32),
+    assoc_expiry: Option<SimTime>,
+    phase: chronos::core::Phase,
+    tier: usize,
+    resolver: usize,
+    final_offset_ns: i64,
+}
+
+fn fingerprint(fleet: &Fleet, i: usize) -> ClientFingerprint {
+    ClientFingerprint {
+        trace: fleet.trace(i).to_vec(),
+        pool: fleet.client_pool(i),
+        stats: fleet.client_stats(i),
+        secure: fleet.client_secure(i),
+        sources: fleet.client_sources(i),
+        assoc_expiry: fleet.client_association_expiry(i),
+        phase: fleet.client_phase(i),
+        tier: fleet.client_tier(i),
+        resolver: fleet.client_resolver(i),
+        final_offset_ns: fleet.client_offset_ns(i, fleet.now()),
+    }
+}
+
+/// An all-NTS fleet whose only association event is the boot handshake:
+/// the re-key cadence sits far beyond the horizon.
+fn nts_boot_only_config(seed: u64, clients: usize, resolvers: usize) -> FleetConfig {
+    let mut nts = CohortTier::nts("nts", 1);
+    nts.rekey_interval = Some(SimDuration::from_secs(1_000_000));
+    FleetConfig {
+        seed,
+        clients,
+        resolvers,
+        tiers: vec![nts],
+        record_trajectories: true,
+        universe: 96,
+        chronos: base_chronos(),
+        stagger: SimDuration::from_secs(150),
+        sample_every: SimDuration::from_secs(120),
+        horizon: SimDuration::from_secs(1_800),
+        ..FleetConfig::default()
+    }
+}
+
+/// A noise-free single-resolver scenario (no stagger, drift, benign
+/// offset or jitter) so the Medalla parity is exact, not statistical.
+fn noise_free_config(seed: u64, clients: usize, tier: CohortTier, lying: bool) -> FleetConfig {
+    FleetConfig {
+        seed,
+        clients,
+        resolvers: 1,
+        tiers: vec![tier],
+        stagger: SimDuration::ZERO,
+        client_drift_ppm: 0.0,
+        benign_offset_ms: 0,
+        jitter_std: SimDuration::ZERO,
+        horizon: SimDuration::from_secs(400),
+        attack: lying.then(|| {
+            FleetAttack::paper_default(SimTime::ZERO, SimDuration::from_nanos(SHIFT_NS as u64))
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    /// Poison that lands strictly after every NTS association is
+    /// invisible: the attacked fleet reproduces the clean one byte for
+    /// byte — authenticated samples leave no channel for a poisoned
+    /// cache the client never consults again.
+    #[test]
+    fn nts_poison_after_associations_equals_the_clean_run(
+        seed in 1u64..300,
+        clients in 4usize..=12,
+        resolvers in 1usize..=3,
+        attack_at in 400u64..1_200,
+    ) {
+        let clean = nts_boot_only_config(seed, clients, resolvers);
+        let mut attacked = clean.clone();
+        // All boots finish inside the 150 s stagger (resolutions are
+        // immediate without a fault plan), so the poison opens strictly
+        // after the last association.
+        attacked.attack = Some(FleetAttack::paper_default(
+            SimTime::from_secs(attack_at),
+            SimDuration::from_millis(500),
+        ));
+        let mut a = Fleet::new(attacked);
+        let mut b = Fleet::new(clean);
+        let attacked_report = a.run();
+        let clean_report = b.run();
+        prop_assert_eq!(attacked_report.secure.captured_associations, 0);
+        prop_assert_eq!(&attacked_report, &clean_report);
+        for i in 0..clients {
+            prop_assert_eq!(fingerprint(&a, i), fingerprint(&b, i), "client {}", i);
+        }
+    }
+
+    /// The Medalla degeneracy: Roughtime at M = 1 is a single-server
+    /// plain fetch. Under a noise-free matched scenario both clients
+    /// land on exactly the same offset every run — the full lie when
+    /// the lone resolver was poisoned at boot, zero when it was clean.
+    #[test]
+    fn roughtime_single_source_matches_a_single_server_plain_fetch(
+        seed in 1u64..200,
+        clients in 1usize..=8,
+        lying in any::<bool>(),
+    ) {
+        let mut medalla = CohortTier::roughtime("rt-1", 1);
+        medalla.sources = Some(1);
+        let mut plain = CohortTier::plain_ntp("plain-1", 1);
+        plain.pool_size = Some(1);
+        let mut rt_fleet = Fleet::new(noise_free_config(seed, clients, medalla, lying));
+        let mut plain_fleet = Fleet::new(noise_free_config(seed, clients, plain, lying));
+        let rt_report = rt_fleet.run();
+        let plain_report = plain_fleet.run();
+        prop_assert_eq!(
+            rt_report.final_shifted_fraction,
+            plain_report.final_shifted_fraction
+        );
+        let expected = if lying { SHIFT_NS } else { 0 };
+        for i in 0..clients {
+            let rt_off = rt_fleet.client_offset_ns(i, rt_fleet.now());
+            let plain_off = plain_fleet.client_offset_ns(i, plain_fleet.now());
+            prop_assert_eq!(rt_off, plain_off, "client {} offsets diverged", i);
+            prop_assert_eq!(rt_off, expected, "client {} missed the endpoint", i);
+            prop_assert_eq!(
+                rt_fleet.client_stats(i).polls,
+                plain_fleet.client_stats(i).polls,
+                "client {} cadence diverged", i
+            );
+            let secure = rt_fleet.client_secure(i);
+            prop_assert_eq!(secure.captured_associations, u64::from(lying));
+            // One source can never disagree with itself: blind trust,
+            // zero detections — redundancy, not signatures, is the
+            // defense Roughtime loses at M = 1.
+            prop_assert_eq!(secure.detected_inconsistencies, 0);
+        }
+    }
+
+    /// Solo-run equivalence extends to the secure tiers: every client of
+    /// a four-tier Chronos/plain/NTS/Roughtime fleet (per-client caches)
+    /// reproduces byte-identically in a one-client fleet of its own tier
+    /// at its own global id — association expiry, captured source sets
+    /// and re-key counters included.
+    #[test]
+    fn four_tier_fleet_equals_matched_solo_runs(
+        seed in 1u64..300,
+        clients in 4usize..=8,
+        resolvers in 1usize..=3,
+        attack_at in prop_oneof![Just(None), Just(Some(100u64)), Just(Some(400u64))],
+    ) {
+        let mut nts = CohortTier::nts("nts", 1);
+        // Short key lifetime and re-key cadence so association renewal
+        // (and mid-run expiry) happens inside the horizon.
+        nts.key_lifetime = Some(SimDuration::from_secs(900));
+        nts.rekey_interval = Some(SimDuration::from_secs(600));
+        let config = FleetConfig {
+            seed,
+            clients,
+            shared_cache: false,
+            resolvers,
+            tiers: vec![
+                CohortTier::chronos("chronos", 2),
+                CohortTier::plain_ntp("plain ntp", 1),
+                nts,
+                CohortTier::roughtime("roughtime", 1),
+            ],
+            record_trajectories: true,
+            universe: 96,
+            chronos: base_chronos(),
+            stagger: SimDuration::from_secs(150),
+            sample_every: SimDuration::from_secs(120),
+            horizon: SimDuration::from_secs(1_800),
+            attack: attack_at.map(|t| {
+                FleetAttack::paper_default(SimTime::from_secs(t), SimDuration::from_millis(500))
+            }),
+            ..FleetConfig::default()
+        };
+        let mut fleet = Fleet::new(config.clone());
+        fleet.run();
+        for i in 0..clients {
+            let tier_idx = fleet.client_tier(i);
+            let mut solo_config = config.clone();
+            solo_config.clients = 1;
+            solo_config.first_client_id = i as u64;
+            solo_config.tiers = vec![config.tiers[tier_idx].clone()];
+            let mut solo = Fleet::new(solo_config);
+            solo.run();
+            let mut expected = fingerprint(&fleet, i);
+            expected.tier = 0;
+            prop_assert_eq!(
+                expected,
+                fingerprint(&solo, 0),
+                "client {} of the four-tier fleet diverged from its solo run",
+                i
+            );
+        }
+    }
+}
